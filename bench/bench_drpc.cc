@@ -1,0 +1,113 @@
+// E7: dRPC — in-band data-plane RPC services vs controller-mediated
+// operations (paper section 3.4).
+//
+// Workload: tenants on leaf switches invoke the infrastructure's state
+// pull and echo services.  We report invocation latency in-band (with and
+// without the one-time discovery round trip) and through the controller,
+// plus sustained invocation throughput.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "drpc/drpc.h"
+#include "net/topology.h"
+
+using namespace flexnet;
+
+namespace {
+
+struct Setup {
+  sim::Simulator sim;
+  net::Network network{&sim};
+  net::LeafSpineTopology topo;
+  std::unique_ptr<drpc::Registry> registry;
+
+  Setup() {
+    net::LeafSpineConfig config;
+    config.spines = 2;
+    config.leaves = 4;
+    config.hosts_per_leaf = 1;
+    topo = net::BuildLeafSpine(network, config);
+    registry = std::make_unique<drpc::Registry>(&network, topo.spines[0]);
+    if (!drpc::RegisterEchoService(*registry, topo.spines[0]).ok()) {
+      std::abort();
+    }
+  }
+};
+
+void PrintExperiment() {
+  bench::PrintHeader(
+      "E7 (bench_drpc): in-band dRPC vs controller-mediated operations",
+      "tenant datapaths reuse infrastructure utilities via data-plane RPC "
+      "at path latency, not control-software latency");
+  Setup setup;
+  drpc::Client client(&setup.network, setup.registry.get(),
+                      setup.topo.leaves[3]);
+
+  SimDuration first = 0;
+  client.Invoke("drpc://infra/echo", drpc::Message{},
+                [&](const drpc::InvokeOutcome& o) { first = o.latency; });
+  setup.sim.Run();
+  RunningStats warm;
+  for (int i = 0; i < 100; ++i) {
+    client.Invoke("drpc://infra/echo", drpc::Message{},
+                  [&](const drpc::InvokeOutcome& o) {
+                    warm.Add(static_cast<double>(o.latency));
+                  });
+    setup.sim.Run();
+  }
+  RunningStats mediated;
+  for (int i = 0; i < 100; ++i) {
+    client.InvokeViaController("drpc://infra/echo", drpc::Message{},
+                               [&](const drpc::InvokeOutcome& o) {
+                                 mediated.Add(
+                                     static_cast<double>(o.latency));
+                               });
+    setup.sim.Run();
+  }
+
+  bench::PrintRow("%-28s %-14s", "path", "latency_us");
+  bench::PrintRow("%-28s %-14.1f", "drpc first (with discovery)",
+                  ToMicros(first));
+  bench::PrintRow("%-28s %-14.1f", "drpc warm (cached)",
+                  warm.mean() / 1000.0);
+  bench::PrintRow("%-28s %-14.1f", "controller-mediated",
+                  mediated.mean() / 1000.0);
+  bench::PrintRow("%-28s %-14.1fx", "in-band speedup",
+                  mediated.mean() / warm.mean());
+
+  // Throughput: back-to-back pipelined invocations over one sim second.
+  std::uint64_t completed = 0;
+  for (int i = 0; i < 20000; ++i) {
+    client.Invoke("drpc://infra/echo", drpc::Message{},
+                  [&](const drpc::InvokeOutcome& o) {
+                    if (o.ok) ++completed;
+                  });
+  }
+  setup.sim.Run();
+  bench::PrintRow("\npipelined invocations completed: %llu/20000",
+                  static_cast<unsigned long long>(completed));
+}
+
+void BM_DrpcInvoke(benchmark::State& state) {
+  Setup setup;
+  drpc::Client client(&setup.network, setup.registry.get(),
+                      setup.topo.leaves[3]);
+  for (auto _ : state) {
+    bool done = false;
+    client.Invoke("drpc://infra/echo", drpc::Message{},
+                  [&](const drpc::InvokeOutcome&) { done = true; });
+    setup.sim.Run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_DrpcInvoke)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,179 @@
+// E4: incremental recompilation touches orders of magnitude fewer
+// resources than full recompilation (paper section 3.3, "maximally
+// adjacent reconfigurations").
+//
+// Workload: a base program of N tables+functions installed on a dRMT
+// switch; a patch stream applies (a) one entry change, (b) one added
+// table, (c) one restructured table.  For each we report the plan ops and
+// modeled apply time of the incremental path vs the full teardown+reinstall
+// baseline.  Wall-clock compile time is measured with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "arch/drmt.h"
+#include "bench/bench_util.h"
+#include "compiler/incremental.h"
+#include "flexbpf/builder.h"
+
+using namespace flexnet;
+
+namespace {
+
+flexbpf::ProgramIR BaseProgram(int tables) {
+  flexbpf::ProgramBuilder b("base");
+  for (int i = 0; i < tables; ++i) {
+    flexbpf::TableDecl t;
+    t.name = "base.t" + std::to_string(i);
+    t.key = {{"ipv4.src", dataplane::MatchKind::kExact, 32}};
+    t.capacity = 64;
+    dataplane::Action deny = dataplane::MakeDropAction();
+    deny.name = "deny";
+    t.actions.push_back(deny);
+    b.AddTable(std::move(t));
+  }
+  b.AddMap("base.m", 256, {"v"});
+  auto fn = flexbpf::FunctionBuilder("base.f")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("base.m", 0, "v", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+enum class Change { kEntry, kAddTable, kRestructure };
+
+flexbpf::ProgramIR Mutate(const flexbpf::ProgramIR& base, Change change) {
+  flexbpf::ProgramIR after = base;
+  switch (change) {
+    case Change::kEntry: {
+      flexbpf::InitialEntry e;
+      e.match = {dataplane::MatchValue::Exact(7)};
+      e.action_name = "deny";
+      after.MutableTable("base.t0")->entries.push_back(e);
+      break;
+    }
+    case Change::kAddTable: {
+      flexbpf::TableDecl t;
+      t.name = "base.extra";
+      t.key = {{"ipv4.dst", dataplane::MatchKind::kExact, 32}};
+      t.capacity = 64;
+      after.tables.push_back(std::move(t));
+      break;
+    }
+    case Change::kRestructure:
+      after.MutableTable("base.t1")->capacity = 96;
+      break;
+  }
+  return after;
+}
+
+const char* Name(Change change) {
+  switch (change) {
+    case Change::kEntry:
+      return "entry_add";
+    case Change::kAddTable:
+      return "table_add";
+    case Change::kRestructure:
+      return "restructure";
+  }
+  return "?";
+}
+
+struct Fixture {
+  std::unique_ptr<runtime::ManagedDevice> device;
+  std::vector<runtime::ManagedDevice*> slice;
+  flexbpf::ProgramIR base;
+  compiler::CompiledProgram installed;
+
+  explicit Fixture(int tables) {
+    arch::DrmtConfig config;
+    config.sram_pool = 64 * 1024;
+    config.action_pool = 512;
+    device = std::make_unique<runtime::ManagedDevice>(
+        std::make_unique<arch::DrmtDevice>(DeviceId(1), "sw", config));
+    slice = {device.get()};
+    base = BaseProgram(tables);
+    compiler::Compiler compiler;
+    auto compiled = compiler.Compile(base, slice);
+    if (!compiled.ok()) std::abort();
+    for (const auto& [_, plan] : compiled->plans) {
+      if (!device->ApplyAll(plan).ok()) std::abort();
+    }
+    installed = std::move(compiled).value();
+  }
+};
+
+void PrintExperiment() {
+  bench::PrintHeader(
+      "E4 (bench_incremental): incremental vs full recompilation",
+      "a small change compiles to a few adjacent ops, not a rebuild of "
+      "the whole datapath");
+  bench::PrintRow("%-8s %-13s %-10s %-12s %-10s %-12s %-8s", "tables",
+                  "change", "inc_ops", "inc_ms", "full_ops", "full_ms",
+                  "ratio");
+  for (const int tables : {8, 16, 32, 64}) {
+    for (const Change change :
+         {Change::kEntry, Change::kAddTable, Change::kRestructure}) {
+      Fixture fixture(tables);
+      const flexbpf::ProgramIR after = Mutate(fixture.base, change);
+      compiler::IncrementalCompiler incremental;
+      auto inc = incremental.Recompile(fixture.base, after,
+                                       fixture.installed, fixture.slice);
+      if (!inc.ok()) std::abort();
+      SimDuration inc_time = 0;
+      for (const auto& [_, plan] : inc->plans) {
+        inc_time += plan.EstimateDuration(fixture.device->device());
+      }
+      auto full = compiler::EstimateFullRecompile(
+          fixture.base, after, fixture.installed, fixture.slice);
+      if (!full.ok()) std::abort();
+      // Full recompile time: removals + installs, all structural.
+      const SimDuration op_cost = fixture.device->device().ReconfigCost(
+          arch::ReconfigOp::kAddTable);
+      const SimDuration full_time =
+          static_cast<SimDuration>(full->TotalOps()) * op_cost;
+      bench::PrintRow(
+          "%-8d %-13s %-10zu %-12.2f %-10zu %-12.1f %-8.1fx", tables,
+          Name(change), inc->TotalOps(), ToMillis(inc_time),
+          full->TotalOps(), ToMillis(full_time),
+          inc->TotalOps() == 0
+              ? 0.0
+              : static_cast<double>(full->TotalOps()) /
+                    static_cast<double>(inc->TotalOps()));
+    }
+  }
+}
+
+void BM_IncrementalCompile(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  const flexbpf::ProgramIR after = Mutate(fixture.base, Change::kEntry);
+  compiler::IncrementalCompiler incremental;
+  for (auto _ : state) {
+    auto r = incremental.Recompile(fixture.base, after, fixture.installed,
+                                   fixture.slice);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_IncrementalCompile)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_FullRecompile(benchmark::State& state) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  const flexbpf::ProgramIR after = Mutate(fixture.base, Change::kEntry);
+  for (auto _ : state) {
+    auto r = compiler::EstimateFullRecompile(fixture.base, after,
+                                             fixture.installed,
+                                             fixture.slice);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_FullRecompile)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

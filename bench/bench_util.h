@@ -1,0 +1,30 @@
+// Shared helpers for the experiment benches.  Each bench binary prints
+// the series recorded in EXPERIMENTS.md as an aligned text table; benches
+// with a wall-clock dimension additionally register google-benchmark
+// timings.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace flexnet::bench {
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace flexnet::bench

@@ -1,0 +1,102 @@
+#include "apps/congestion.h"
+
+#include "flexbpf/builder.h"
+
+namespace flexnet::apps {
+
+namespace {
+
+flexbpf::TableDecl MakeMarkingTable(const CongestionOptions& options) {
+  // A single always-matching row runs the meter; red packets get marked.
+  flexbpf::TableDecl mark;
+  mark.name = "cc.mark";
+  mark.key = {{"ipv4.dscp", dataplane::MatchKind::kTernary, 6}};
+  mark.capacity = 4;
+  dataplane::Action meter;
+  meter.name = "meter";
+  meter.ops.push_back(dataplane::OpMeterExec{"cc.meter", "cc_color"});
+  // meta.ecn := color (0 green / 2 red); host side treats >=2 as mark.
+  meter.ops.push_back(dataplane::OpSetField{
+      "meta.ecn", dataplane::OperandField{"meta.cc_color"}});
+  mark.actions.push_back(std::move(meter));
+  mark.meters.push_back(
+      flexbpf::MeterDecl{"cc.meter", options.mark_rate_pps, options.mark_burst});
+  flexbpf::InitialEntry all;
+  all.match = {dataplane::MatchValue::Wildcard()};
+  all.action_name = "meter";
+  mark.entries.push_back(std::move(all));
+  mark.default_action = dataplane::MakeNopAction();
+  (void)options;
+  return mark;
+}
+
+flexbpf::FunctionDecl MakeWindowInit(const CongestionOptions& options) {
+  // window==0 (new flow) -> initial_window.
+  auto fn = flexbpf::FunctionBuilder("cc.init", flexbpf::Domain::kHost)
+                .FlowKey(0)
+                .MapLoad(1, "cc.window", 0, "wnd")
+                .Const(2, 0)
+                .BranchIf(flexbpf::CmpKind::kNe, 1, 2, "done")
+                .Const(3, options.initial_window)
+                .MapStore("cc.window", 0, "wnd", 3)
+                .Label("done")
+                .Return()
+                .Build();
+  return std::move(fn).value();
+}
+
+}  // namespace
+
+flexbpf::ProgramIR MakeDctcpStyleProgram(const CongestionOptions& options) {
+  flexbpf::ProgramBuilder builder("cc_dctcp");
+  builder.AddMap("cc.window", options.window_map_size, {"wnd"});
+  builder.AddTable(MakeMarkingTable(options));
+  builder.AddFunction(MakeWindowInit(options));
+  // On mark: wnd := max(1, wnd/2).  On clean: wnd := min(max, wnd+1).
+  auto react = flexbpf::FunctionBuilder("cc.react", flexbpf::Domain::kHost)
+                   .Field(0, "meta.ecn")
+                   .Const(1, 2)  // red
+                   .FlowKey(2)
+                   .MapLoad(3, "cc.window", 2, "wnd")
+                   .BranchIf(flexbpf::CmpKind::kLt, 0, 1, "clean")
+                   .OpImm(flexbpf::BinOpKind::kShr, 3, 3, 1)
+                   .OpImm(flexbpf::BinOpKind::kMax, 3, 3, 1)
+                   .MapStore("cc.window", 2, "wnd", 3)
+                   .Jump("done")
+                   .Label("clean")
+                   .OpImm(flexbpf::BinOpKind::kAdd, 3, 3, 1)
+                   .OpImm(flexbpf::BinOpKind::kMin, 3, 3, options.max_window)
+                   .MapStore("cc.window", 2, "wnd", 3)
+                   .Label("done")
+                   .Return()
+                   .Build();
+  builder.AddFunction(std::move(react).value());
+  return builder.Build();
+}
+
+flexbpf::ProgramIR MakeAdditiveStyleProgram(const CongestionOptions& options) {
+  flexbpf::ProgramIR program = MakeDctcpStyleProgram(options);
+  program.name = "cc_additive";
+  // Replace the reaction: subtract 1 on mark instead of halving.
+  auto react = flexbpf::FunctionBuilder("cc.react", flexbpf::Domain::kHost)
+                   .Field(0, "meta.ecn")
+                   .Const(1, 2)
+                   .FlowKey(2)
+                   .MapLoad(3, "cc.window", 2, "wnd")
+                   .BranchIf(flexbpf::CmpKind::kLt, 0, 1, "clean")
+                   .OpImm(flexbpf::BinOpKind::kSub, 3, 3, 1)
+                   .OpImm(flexbpf::BinOpKind::kMax, 3, 3, 1)
+                   .MapStore("cc.window", 2, "wnd", 3)
+                   .Jump("done")
+                   .Label("clean")
+                   .OpImm(flexbpf::BinOpKind::kAdd, 3, 3, 1)
+                   .OpImm(flexbpf::BinOpKind::kMin, 3, 3, options.max_window)
+                   .MapStore("cc.window", 2, "wnd", 3)
+                   .Label("done")
+                   .Return()
+                   .Build();
+  *program.MutableFunction("cc.react") = std::move(react).value();
+  return program;
+}
+
+}  // namespace flexnet::apps

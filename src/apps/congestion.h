@@ -1,0 +1,39 @@
+// Congestion-control customization (paper section 1.1, "Live
+// infrastructure customization": deploying new transport behaviour
+// "requires changes not only to host kernels but also telemetry and
+// congestion control algorithms at the NICs and switches").
+//
+// The app spans the stack vertically:
+//   * switch part  — a metered marking table: traffic beyond the
+//     configured rate gets an ECN-style mark (meta.ecn),
+//   * host part    — a Domain::kHost function reacting to marks by
+//     maintaining a per-flow congestion window in map "cc.window"
+//     (halve-on-mark, grow-on-clean, DCTCP-flavoured).
+//
+// Swapping CC algorithms at runtime = UpdateApp with a different host
+// function — no drain, no reboot.
+#pragma once
+
+#include <cstdint>
+
+#include "flexbpf/ir.h"
+
+namespace flexnet::apps {
+
+struct CongestionOptions {
+  double mark_rate_pps = 50000.0;  // switch marking threshold
+  double mark_burst = 100.0;
+  std::size_t window_map_size = 4096;
+  std::uint64_t initial_window = 10;
+  std::uint64_t max_window = 1024;
+};
+
+// The DCTCP-flavoured variant (halve on mark).
+flexbpf::ProgramIR MakeDctcpStyleProgram(const CongestionOptions& options = {});
+
+// An alternative reaction curve (subtract-one on mark, HPCC-flavoured
+// additive decrease) — used to demonstrate a live CC swap via UpdateApp.
+flexbpf::ProgramIR MakeAdditiveStyleProgram(
+    const CongestionOptions& options = {});
+
+}  // namespace flexnet::apps

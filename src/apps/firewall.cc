@@ -1,0 +1,70 @@
+#include "apps/firewall.h"
+
+#include "flexbpf/builder.h"
+
+namespace flexnet::apps {
+
+namespace {
+
+flexbpf::InitialEntry EntryFor(const FirewallRule& rule,
+                               std::int32_t priority) {
+  flexbpf::InitialEntry entry;
+  entry.match = {
+      dataplane::MatchValue::Lpm(rule.src_prefix, rule.src_prefix_len, 32),
+      dataplane::MatchValue::Lpm(rule.dst_prefix, rule.dst_prefix_len, 32),
+      dataplane::MatchValue::Range(rule.dport_lo, rule.dport_hi),
+  };
+  entry.action_name = rule.allow ? "allow" : "deny";
+  entry.priority = priority;
+  return entry;
+}
+
+}  // namespace
+
+flexbpf::ProgramIR MakeFirewallProgram(const FirewallOptions& options) {
+  flexbpf::ProgramBuilder builder("firewall");
+
+  flexbpf::TableDecl acl;
+  acl.name = "fw.acl";
+  acl.key = {
+      {"ipv4.src", dataplane::MatchKind::kLpm, 32},
+      {"ipv4.dst", dataplane::MatchKind::kLpm, 32},
+      {"tcp.dport", dataplane::MatchKind::kRange, 16},
+  };
+  acl.capacity = options.acl_capacity;
+  dataplane::Action allow;
+  allow.name = "allow";
+  allow.ops.push_back(dataplane::OpSetField{"meta.fw_allowed",
+                                            dataplane::OperandConst{1}});
+  acl.actions.push_back(std::move(allow));
+  dataplane::Action deny = dataplane::MakeDropAction("fw_deny");
+  deny.name = "deny";
+  acl.actions.push_back(std::move(deny));
+  acl.default_action = options.default_allow
+                           ? dataplane::MakeNopAction()
+                           : dataplane::MakeDropAction("fw_default_deny");
+  std::int32_t priority = static_cast<std::int32_t>(options.rules.size());
+  for (const FirewallRule& rule : options.rules) {
+    acl.entries.push_back(EntryFor(rule, priority--));
+  }
+  builder.AddTable(std::move(acl));
+
+  builder.AddMap("fw.conn", options.conntrack_size, {"pkts"});
+  auto conntrack = flexbpf::FunctionBuilder("fw.conntrack")
+                       .FlowKey(0)
+                       .Const(1, 1)
+                       .MapAdd("fw.conn", 0, "pkts", 1)
+                       .Return()
+                       .Build();
+  builder.AddFunction(std::move(conntrack).value());
+  return builder.Build();
+}
+
+void AddFirewallRule(flexbpf::ProgramIR& firewall, const FirewallRule& rule,
+                     std::int32_t priority) {
+  flexbpf::TableDecl* acl = firewall.MutableTable("fw.acl");
+  if (acl == nullptr) return;
+  acl->entries.push_back(EntryFor(rule, priority));
+}
+
+}  // namespace flexnet::apps

@@ -1,0 +1,38 @@
+// Stateful firewall app: an ACL table plus eBPF-style connection
+// tracking over a logical map — the canonical "summoned security
+// defense" of the paper's real-time security use case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flexbpf/ir.h"
+
+namespace flexnet::apps {
+
+struct FirewallRule {
+  std::uint64_t src_prefix = 0;
+  std::uint32_t src_prefix_len = 0;   // 0 = any
+  std::uint64_t dst_prefix = 0;
+  std::uint32_t dst_prefix_len = 0;
+  std::uint64_t dport_lo = 0;
+  std::uint64_t dport_hi = 65535;
+  bool allow = false;
+};
+
+struct FirewallOptions {
+  std::size_t acl_capacity = 256;
+  std::size_t conntrack_size = 4096;
+  bool default_allow = true;
+  std::vector<FirewallRule> rules;
+};
+
+// Tables: "fw.acl" (ternary src/dst prefix + dport range).
+// Function: "fw.conntrack" counts per-flow packets into map "fw.conn".
+flexbpf::ProgramIR MakeFirewallProgram(const FirewallOptions& options = {});
+
+// Appends a rule to an existing firewall program's ACL.
+void AddFirewallRule(flexbpf::ProgramIR& firewall, const FirewallRule& rule,
+                     std::int32_t priority);
+
+}  // namespace flexnet::apps

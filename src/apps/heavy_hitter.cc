@@ -1,0 +1,39 @@
+#include "apps/heavy_hitter.h"
+
+#include <algorithm>
+
+#include "flexbpf/builder.h"
+
+namespace flexnet::apps {
+
+flexbpf::ProgramIR MakeHeavyHitterProgram(std::size_t map_size) {
+  flexbpf::ProgramBuilder builder("heavy_hitter");
+  builder.AddMap("hh.counts", map_size, {"pkts"});
+  auto fn = flexbpf::FunctionBuilder("hh.count")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("hh.counts", 0, "pkts", 1)
+                .Return()
+                .Build();
+  builder.AddFunction(std::move(fn).value());
+  return builder.Build();
+}
+
+std::vector<HeavyHitterReport> QueryHeavyHitters(
+    runtime::ManagedDevice& device, std::uint64_t threshold) {
+  std::vector<HeavyHitterReport> hitters;
+  state::EncodedMap* map = device.maps().Find("hh.counts");
+  if (map == nullptr) return hitters;
+  for (const state::MapCellValue& cell : map->Export()) {
+    if (cell.cell == "pkts" && cell.value >= threshold) {
+      hitters.push_back(HeavyHitterReport{cell.key, cell.value});
+    }
+  }
+  std::sort(hitters.begin(), hitters.end(),
+            [](const HeavyHitterReport& a, const HeavyHitterReport& b) {
+              return a.count > b.count;
+            });
+  return hitters;
+}
+
+}  // namespace flexnet::apps

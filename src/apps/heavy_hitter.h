@@ -1,0 +1,29 @@
+// Heavy-hitter monitor: per-flow packet counting into a logical map
+// (count-min-like when the map is register-encoded, exact when
+// stateful-table-encoded — the encoding choice is the compiler's).
+// This is the stateful monitoring app the paper's migration discussion
+// uses (a sketch whose state mutates per packet).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flexbpf/ir.h"
+#include "runtime/managed_device.h"
+
+namespace flexnet::apps {
+
+// Map "hh.counts" keyed by flow hash; function "hh.count" increments.
+flexbpf::ProgramIR MakeHeavyHitterProgram(std::size_t map_size = 8192);
+
+struct HeavyHitterReport {
+  std::uint64_t key = 0;
+  std::uint64_t count = 0;
+};
+
+// Reads the installed map on `device` and returns flows with count >=
+// threshold, largest first.
+std::vector<HeavyHitterReport> QueryHeavyHitters(
+    runtime::ManagedDevice& device, std::uint64_t threshold);
+
+}  // namespace flexnet::apps

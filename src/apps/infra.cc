@@ -1,0 +1,115 @@
+#include "apps/infra.h"
+
+#include "flexbpf/builder.h"
+
+namespace flexnet::apps {
+
+flexbpf::ProgramIR MakeInfrastructureProgram(const InfraOptions& options) {
+  flexbpf::ProgramBuilder builder("infra");
+
+  // L2: exact match on destination MAC.
+  flexbpf::TableDecl l2;
+  l2.name = "infra.l2";
+  l2.key = {{"eth.dst", dataplane::MatchKind::kExact, 48}};
+  l2.capacity = options.l2_capacity;
+  l2.actions.push_back(dataplane::MakeForwardAction(0));
+  l2.default_action = dataplane::MakeNopAction();
+  builder.AddTable(std::move(l2));
+
+  // L3: LPM on destination IP; the simulator's routing layer is
+  // authoritative for next hops, so route actions annotate metadata.
+  flexbpf::TableDecl l3;
+  l3.name = "infra.l3";
+  l3.key = {{"ipv4.dst", dataplane::MatchKind::kLpm, 32}};
+  l3.capacity = options.l3_capacity;
+  dataplane::Action route;
+  route.name = "route";
+  route.ops.push_back(dataplane::OpSetField{
+      "meta.l3_hit", dataplane::OperandConst{1}});
+  l3.actions.push_back(std::move(route));
+  l3.default_action = dataplane::MakeNopAction();
+  builder.AddTable(std::move(l3));
+
+  // TTL handling: decrement, drop at zero.
+  flexbpf::TableDecl ttl;
+  ttl.name = "infra.ttl";
+  ttl.key = {{"ipv4.ttl", dataplane::MatchKind::kRange, 8}};
+  ttl.capacity = 4;
+  dataplane::Action expire = dataplane::MakeDropAction("ttl_expired");
+  expire.name = "expire";
+  ttl.actions.push_back(expire);
+  dataplane::Action decrement;
+  decrement.name = "decrement";
+  decrement.ops.push_back(dataplane::OpAddField{
+      "ipv4.ttl", dataplane::OperandConst{~0ULL}});  // -1 wrapping
+  ttl.actions.push_back(decrement);
+  flexbpf::InitialEntry ttl_zero;
+  ttl_zero.match = {dataplane::MatchValue::Range(0, 0)};
+  ttl_zero.action_name = "expire";
+  ttl_zero.priority = 10;
+  ttl.entries.push_back(ttl_zero);
+  flexbpf::InitialEntry ttl_live;
+  ttl_live.match = {dataplane::MatchValue::Range(1, 255)};
+  ttl_live.action_name = "decrement";
+  ttl_live.priority = 1;
+  ttl.entries.push_back(ttl_live);
+  ttl.default_action = dataplane::MakeNopAction();
+  builder.AddTable(std::move(ttl));
+
+  // VLAN admission (tenant arrivals add entries here).
+  flexbpf::TableDecl vlan;
+  vlan.name = "infra.vlan";
+  vlan.key = {{"vlan.id", dataplane::MatchKind::kExact, 12}};
+  vlan.capacity = options.vlan_capacity;
+  dataplane::Action admit;
+  admit.name = "admit";
+  admit.ops.push_back(dataplane::OpSetField{
+      "meta.vlan_admitted", dataplane::OperandConst{1}});
+  vlan.actions.push_back(std::move(admit));
+  vlan.default_action = dataplane::MakeNopAction();
+  builder.AddTable(std::move(vlan));
+
+  if (options.with_telemetry_counters) {
+    builder.AddMap("infra.stats", 1024, {"pkts", "bytes"});
+    auto fn = flexbpf::FunctionBuilder("infra.count")
+                  .FlowKey(0)
+                  .Const(1, 1)
+                  .MapAdd("infra.stats", 0, "pkts", 1)
+                  .Return()
+                  .Build();
+    builder.AddFunction(std::move(fn).value());
+  }
+
+  for (std::size_t i = 0; i < options.filler_tables; ++i) {
+    flexbpf::TableDecl filler;
+    filler.name = "infra.util" + std::to_string(i);
+    filler.key = {{"ipv4.dscp", dataplane::MatchKind::kExact, 6}};
+    filler.capacity = options.filler_capacity;
+    filler.default_action = dataplane::MakeNopAction();
+    builder.AddTable(std::move(filler));
+  }
+  return builder.Build();
+}
+
+void AddRoute(flexbpf::ProgramIR& infra, std::uint64_t prefix,
+              std::uint32_t prefix_len, std::uint32_t port) {
+  flexbpf::TableDecl* l3 = infra.MutableTable("infra.l3");
+  if (l3 == nullptr) return;
+  flexbpf::InitialEntry entry;
+  entry.match = {dataplane::MatchValue::Lpm(prefix, prefix_len, 32)};
+  entry.action_name = "route";
+  entry.priority = static_cast<std::int32_t>(prefix_len);
+  (void)port;  // next hop is the routing layer's job in the simulator
+  l3->entries.push_back(std::move(entry));
+}
+
+void AdmitVlan(flexbpf::ProgramIR& infra, std::uint64_t vlan) {
+  flexbpf::TableDecl* table = infra.MutableTable("infra.vlan");
+  if (table == nullptr) return;
+  flexbpf::InitialEntry entry;
+  entry.match = {dataplane::MatchValue::Exact(vlan)};
+  entry.action_name = "admit";
+  table->entries.push_back(std::move(entry));
+}
+
+}  // namespace flexnet::apps

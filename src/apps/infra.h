@@ -1,0 +1,37 @@
+// The network owner's "infrastructure" program (paper section 3,
+// Scenario): basic L2/L3 forwarding plus utility functions for
+// management and control.  It forms the trusted base that tenant
+// extensions are composed onto.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flexbpf/ir.h"
+
+namespace flexnet::apps {
+
+struct InfraOptions {
+  std::size_t l2_capacity = 1024;
+  std::size_t l3_capacity = 2048;
+  std::size_t vlan_capacity = 256;
+  bool with_telemetry_counters = true;
+  // Extra no-op utility tables to model a realistically sized base
+  // program (the paper's 64-table-scale infrastructure, E1).
+  std::size_t filler_tables = 0;
+  std::size_t filler_capacity = 128;
+};
+
+// L2 exact-match on eth.dst, L3 LPM on ipv4.dst, VLAN admission table,
+// TTL decrement, and (optionally) per-device telemetry counters.
+flexbpf::ProgramIR MakeInfrastructureProgram(const InfraOptions& options = {});
+
+// Adds L3 routes: each (prefix, prefix_len) forwards to `port`.
+void AddRoute(flexbpf::ProgramIR& infra, std::uint64_t prefix,
+              std::uint32_t prefix_len, std::uint32_t port);
+
+// Admits a VLAN id (tenant arrival); packets on unlisted VLANs pass
+// untouched (infrastructure stays permissive; isolation is per-tenant).
+void AdmitVlan(flexbpf::ProgramIR& infra, std::uint64_t vlan);
+
+}  // namespace flexnet::apps

@@ -1,0 +1,67 @@
+#include "apps/kvcache.h"
+
+#include "flexbpf/builder.h"
+
+namespace flexnet::apps {
+
+flexbpf::ProgramIR MakeKvCacheProgram(std::size_t store_size) {
+  flexbpf::ProgramBuilder builder("kvcache");
+  builder.AddMap("kv.store", store_size, {"value"});
+  builder.RequireHeader("kv", "ipv4", kKvProto);
+
+  // r0=proto guard, r1=op, r2=key, r3=value.
+  auto serve = flexbpf::FunctionBuilder("kv.serve")
+                   .Field(0, "ipv4.proto")
+                   .Const(1, kKvProto)
+                   .BranchIf(flexbpf::CmpKind::kNe, 0, 1, "pass")
+                   .Field(1, "kv.op")
+                   .Field(2, "kv.key")
+                   .Const(4, kKvPut)
+                   .BranchIf(flexbpf::CmpKind::kNe, 1, 4, "get")
+                   // PUT: absorb into the store.
+                   .Field(3, "kv.value")
+                   .MapStore("kv.store", 2, "value", 3)
+                   .Const(5, 1)
+                   .StoreField("meta.kv_stored", 5)
+                   .Jump("pass")
+                   .Label("get")
+                   // GET: serve nonzero cached values.
+                   .MapLoad(6, "kv.store", 2, "value")
+                   .Const(7, 0)
+                   .BranchIf(flexbpf::CmpKind::kEq, 6, 7, "pass")
+                   .StoreField("kv.value", 6)
+                   .Const(8, 1)
+                   .StoreField("meta.kv_hit", 8)
+                   .Label("pass")
+                   .Return()
+                   .Build();
+  builder.AddFunction(std::move(serve).value());
+  return builder.Build();
+}
+
+packet::Packet MakeKvRequest(std::uint64_t id, std::uint64_t src,
+                             std::uint64_t dst, std::uint64_t op,
+                             std::uint64_t key, std::uint64_t value) {
+  packet::Packet p(id, 96);
+  packet::AddEthernet(p, packet::EthernetSpec{});
+  packet::Ipv4Spec ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.proto = kKvProto;
+  packet::AddIpv4(p, ip);
+  packet::Header& h = p.PushHeader("kv");
+  h.Set("op", op);
+  h.Set("key", key);
+  h.Set("value", value);
+  return p;
+}
+
+bool KvServedFromCache(const packet::Packet& p) {
+  return p.GetMeta("kv_hit").value_or(0) == 1;
+}
+
+std::uint64_t KvValue(const packet::Packet& p) {
+  return p.GetField("kv.value").value_or(0);
+}
+
+}  // namespace flexnet::apps

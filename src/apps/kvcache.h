@@ -1,0 +1,38 @@
+// In-network key/value cache (IncBricks-flavoured): the "higher-layer
+// offloads" the paper folds into the fungible datapath abstraction
+// (section 3.1).  KV requests travel in a custom "kv" header behind IPv4;
+// switches hosting the cache serve GETs from a logical map and absorb
+// PUTs, short-circuiting the round trip to the backing store.
+//
+// Deploying the cache exercises the full runtime-programmability surface:
+// a new protocol header (parser reconfig), a logical map (state install),
+// and a function (program install) — all hitless.
+#pragma once
+
+#include <cstdint>
+
+#include "flexbpf/ir.h"
+#include "packet/packet.h"
+
+namespace flexnet::apps {
+
+inline constexpr std::uint64_t kKvProto = 0xFC;  // experimental IP proto
+inline constexpr std::uint64_t kKvGet = 0;
+inline constexpr std::uint64_t kKvPut = 1;
+
+// Map "kv.store" (key -> value), function "kv.serve".  On PUT the value is
+// absorbed into the store; on GET with a cached (nonzero) value the reply
+// is written into the header and meta.kv_hit is set.
+flexbpf::ProgramIR MakeKvCacheProgram(std::size_t store_size = 8192);
+
+// Builds a KV request packet.
+packet::Packet MakeKvRequest(std::uint64_t id, std::uint64_t src,
+                             std::uint64_t dst, std::uint64_t op,
+                             std::uint64_t key, std::uint64_t value = 0);
+
+// True if the packet was answered from the in-network cache.
+bool KvServedFromCache(const packet::Packet& p);
+// The value carried in the packet's kv header (0 if absent).
+std::uint64_t KvValue(const packet::Packet& p);
+
+}  // namespace flexnet::apps

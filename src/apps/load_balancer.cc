@@ -1,0 +1,45 @@
+#include "apps/load_balancer.h"
+
+#include "flexbpf/builder.h"
+
+namespace flexnet::apps {
+
+flexbpf::ProgramIR MakeLoadBalancerProgram(
+    std::uint64_t vip, const std::vector<std::uint64_t>& backends) {
+  flexbpf::ProgramBuilder builder("load_balancer");
+  builder.AddMap("lb.flows", 4096, {"pkts"});
+
+  flexbpf::FunctionBuilder fn("lb.pick");
+  fn.Field(0, "ipv4.dst")
+      .Const(1, vip)
+      .BranchIf(flexbpf::CmpKind::kNe, 0, 1, "pass");
+  if (!backends.empty()) {
+    fn.FlowKey(2)
+        .OpImm(flexbpf::BinOpKind::kAnd, 3, 2, 0x7fffffff)
+        .Const(4, backends.size());
+    // r5 = r3 % n via repeated comparison is wasteful; use multiply-shift
+    // style bucketing: bucket = (r3 * n) >> 31.
+    fn.Op(flexbpf::BinOpKind::kMul, 5, 3, 4)
+        .OpImm(flexbpf::BinOpKind::kShr, 5, 5, 31);
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      const std::string next = "b" + std::to_string(i + 1);
+      fn.Const(6, i)
+          .BranchIf(flexbpf::CmpKind::kNe, 5, 6, next)
+          .Const(7, backends[i])
+          .StoreField("ipv4.dst", 7)
+          .Jump("track")
+          .Label(next);
+    }
+    fn.Label("b" + std::to_string(backends.size()));  // bucket==n unreachable
+    fn.Label("track")
+        .FlowKey(8)
+        .Const(9, 1)
+        .MapAdd("lb.flows", 8, "pkts", 9);
+  }
+  fn.Label("pass").Return();
+  auto built = fn.Build();
+  builder.AddFunction(std::move(built).value());
+  return builder.Build();
+}
+
+}  // namespace flexnet::apps

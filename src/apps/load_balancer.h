@@ -1,0 +1,21 @@
+// In-network L4 load balancer (HULA-flavoured): packets addressed to a
+// virtual IP are rewritten toward one of N backends, chosen by flow hash
+// so a flow sticks to its backend.  Demonstrates an app whose *program*
+// changes at runtime when the backend set changes (the dynamic-apps use
+// case): adding a backend is an UpdateApp with a changed function body.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flexbpf/ir.h"
+
+namespace flexnet::apps {
+
+// Function "lb.pick": if ipv4.dst == vip, dst := backends[flowhash % n].
+// The backend list is compiled into a branch chain (switches have no
+// indirect loads from packet-derived indices into immediate tables).
+flexbpf::ProgramIR MakeLoadBalancerProgram(
+    std::uint64_t vip, const std::vector<std::uint64_t>& backends);
+
+}  // namespace flexnet::apps

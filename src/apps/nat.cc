@@ -1,0 +1,92 @@
+#include "apps/nat.h"
+
+#include "flexbpf/builder.h"
+
+namespace flexnet::apps {
+
+namespace {
+
+dataplane::Action RewriteSrc(std::uint64_t public_addr) {
+  dataplane::Action a;
+  a.name = "snat_" + std::to_string(public_addr);
+  a.ops.push_back(dataplane::OpSetField{"ipv4.src",
+                                        dataplane::OperandConst{public_addr}});
+  a.ops.push_back(dataplane::OpSetField{"meta.natted",
+                                        dataplane::OperandConst{1}});
+  return a;
+}
+
+dataplane::Action RewriteDst(std::uint64_t private_addr) {
+  dataplane::Action a;
+  a.name = "dnat_" + std::to_string(private_addr);
+  a.ops.push_back(dataplane::OpSetField{
+      "ipv4.dst", dataplane::OperandConst{private_addr}});
+  a.ops.push_back(dataplane::OpSetField{"meta.natted",
+                                        dataplane::OperandConst{1}});
+  return a;
+}
+
+}  // namespace
+
+void AddNatBinding(flexbpf::ProgramIR& nat, const NatBinding& binding) {
+  flexbpf::TableDecl* out = nat.MutableTable("nat.out");
+  flexbpf::TableDecl* in = nat.MutableTable("nat.in");
+  if (out == nullptr || in == nullptr) return;
+
+  dataplane::Action snat = RewriteSrc(binding.public_addr);
+  flexbpf::InitialEntry out_entry;
+  out_entry.match = {dataplane::MatchValue::Exact(binding.private_addr)};
+  out_entry.action_name = snat.name;
+  if (out->FindAction(snat.name) == nullptr) {
+    out->actions.push_back(std::move(snat));
+  }
+  out->entries.push_back(std::move(out_entry));
+
+  dataplane::Action dnat = RewriteDst(binding.private_addr);
+  flexbpf::InitialEntry in_entry;
+  in_entry.match = {dataplane::MatchValue::Exact(binding.public_addr)};
+  in_entry.action_name = dnat.name;
+  if (in->FindAction(dnat.name) == nullptr) {
+    in->actions.push_back(std::move(dnat));
+  }
+  in->entries.push_back(std::move(in_entry));
+}
+
+flexbpf::ProgramIR MakeNatProgram(const std::vector<NatBinding>& bindings) {
+  flexbpf::ProgramBuilder builder("nat");
+  builder.AddMap("nat.hits", 1024, {"pkts"});
+
+  flexbpf::TableDecl out;
+  out.name = "nat.out";
+  out.key = {{"ipv4.src", dataplane::MatchKind::kExact, 32}};
+  out.capacity = 1024;
+  out.default_action = dataplane::MakeNopAction();
+  builder.AddTable(std::move(out));
+
+  flexbpf::TableDecl in;
+  in.name = "nat.in";
+  in.key = {{"ipv4.dst", dataplane::MatchKind::kExact, 32}};
+  in.capacity = 1024;
+  in.default_action = dataplane::MakeNopAction();
+  builder.AddTable(std::move(in));
+
+  // Count translated packets per (post-rewrite) source address.
+  auto hits = flexbpf::FunctionBuilder("nat.count")
+                  .Field(0, "meta.natted")
+                  .Const(1, 1)
+                  .BranchIf(flexbpf::CmpKind::kNe, 0, 1, "skip")
+                  .Field(2, "ipv4.src")
+                  .MapAdd("nat.hits", 2, "pkts", 1)
+                  .Label("skip")
+                  .Return()
+                  .Build();
+  builder.AddFunction(std::move(hits).value());
+
+  flexbpf::ProgramIR program = builder.Build();
+  for (const NatBinding& binding : bindings) {
+    AddNatBinding(program, binding);
+  }
+  return program;
+}
+
+}  // namespace flexnet::apps

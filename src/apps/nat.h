@@ -1,0 +1,28 @@
+// Static NAT app: 1:1 address translation at the network edge, with
+// per-binding hit counters.  Outbound traffic from a private address gets
+// its source rewritten to the public address; inbound traffic to the
+// public address gets its destination rewritten back.  Deployed and
+// updated (bindings added/removed) entirely at runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flexbpf/ir.h"
+
+namespace flexnet::apps {
+
+struct NatBinding {
+  std::uint64_t private_addr = 0;
+  std::uint64_t public_addr = 0;
+};
+
+// Tables "nat.out" (src rewrite) and "nat.in" (dst rewrite); counter map
+// "nat.hits" keyed by private address.
+flexbpf::ProgramIR MakeNatProgram(const std::vector<NatBinding>& bindings);
+
+// Adds a binding to an existing NAT program (entry-level change — the
+// incremental compiler turns this into two table writes).
+void AddNatBinding(flexbpf::ProgramIR& nat, const NatBinding& binding);
+
+}  // namespace flexnet::apps

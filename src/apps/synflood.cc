@@ -1,0 +1,133 @@
+#include "apps/synflood.h"
+
+#include "flexbpf/builder.h"
+#include "packet/packet.h"
+
+namespace flexnet::apps {
+
+flexbpf::ProgramIR MakeSynMonitorProgram() {
+  flexbpf::ProgramBuilder builder("syn_monitor");
+  builder.AddMap("syn.seen", 1, {"syns"});
+  // if (tcp.flags & SYN) == SYN: syn.seen[0].syns += 1
+  auto fn = flexbpf::FunctionBuilder("syn.monitor")
+                .Field(0, "tcp.flags")
+                .OpImm(flexbpf::BinOpKind::kAnd, 1, 0, packet::kTcpFlagSyn)
+                .Const(2, packet::kTcpFlagSyn)
+                .BranchIf(flexbpf::CmpKind::kNe, 1, 2, "pass")
+                .Const(3, 0)   // bucket key
+                .Const(4, 1)
+                .MapAdd("syn.seen", 3, "syns", 4)
+                .Label("pass")
+                .Return()
+                .Build();
+  builder.AddFunction(std::move(fn).value());
+  return builder.Build();
+}
+
+flexbpf::ProgramIR MakeSynGuardProgram(std::uint64_t threshold,
+                                       std::size_t map_size) {
+  flexbpf::ProgramBuilder builder("syn_guard");
+  builder.AddMap("syn.count", map_size, {"syns"});
+  auto fn = flexbpf::FunctionBuilder("syn.guard")
+                .Field(0, "tcp.flags")
+                .OpImm(flexbpf::BinOpKind::kAnd, 1, 0, packet::kTcpFlagSyn)
+                .Const(2, packet::kTcpFlagSyn)
+                .BranchIf(flexbpf::CmpKind::kNe, 1, 2, "pass")
+                .Field(3, "ipv4.dst")
+                .Const(4, 1)
+                .MapAdd("syn.count", 3, "syns", 4)
+                .MapLoad(5, "syn.count", 3, "syns")
+                .Const(6, threshold)
+                .BranchIf(flexbpf::CmpKind::kLe, 5, 6, "pass")
+                .Drop("syn_flood")
+                .Label("pass")
+                .Return()
+                .Build();
+  builder.AddFunction(std::move(fn).value());
+  return builder.Build();
+}
+
+ElasticDefense::ElasticDefense(controller::Controller* controller,
+                               ElasticDefenseConfig config)
+    : controller_(controller), config_(std::move(config)) {}
+
+Status ElasticDefense::Start() {
+  runtime::ManagedDevice* monitor_host =
+      controller_->network()->Find(config_.monitor_device);
+  if (monitor_host == nullptr) {
+    return NotFound("monitor device not in network");
+  }
+  auto deployed = controller_->DeployApp("flexnet://infra/syn-monitor",
+                                         MakeSynMonitorProgram(),
+                                         {monitor_host});
+  if (!deployed.ok()) return deployed.error();
+  controller_->network()->simulator()->Schedule(
+      config_.sample_interval, [this]() { Sample(); });
+  return OkStatus();
+}
+
+double ElasticDefense::ReadAndResetSynCount() {
+  runtime::ManagedDevice* device =
+      controller_->network()->Find(config_.monitor_device);
+  if (device == nullptr) return 0.0;
+  state::EncodedMap* map = device->maps().Find("syn.seen");
+  if (map == nullptr) return 0.0;
+  const double count = static_cast<double>(map->Load(0, "syns"));
+  map->Store(0, "syns", 0);  // windowed counting
+  return count;
+}
+
+void ElasticDefense::Sample() {
+  if (stopped_) return;
+  const double window_s = ToSeconds(config_.sample_interval);
+  const double pps = ReadAndResetSynCount() / window_s;
+
+  std::size_t want = replicas_;
+  if (pps >= config_.escalate_threshold_pps) {
+    want = config_.ladder.size();
+  } else if (pps >= config_.deploy_threshold_pps) {
+    want = std::max<std::size_t>(want, 1);
+    if (want < config_.ladder.size() && replicas_ >= 1) {
+      ++want;  // sustained attack pressure: grow one step per window
+    }
+  } else if (pps <= config_.retire_threshold_pps) {
+    want = 0;
+  }
+  want = std::min(want, config_.ladder.size());
+  if (want != replicas_) ScaleTo(want);
+
+  timeline_.push_back(DefenseTimelinePoint{
+      controller_->network()->simulator()->now(), pps, replicas_});
+  controller_->network()->simulator()->Schedule(config_.sample_interval,
+                                                [this]() { Sample(); });
+}
+
+void ElasticDefense::ScaleTo(std::size_t want) {
+  // Guards are independent per device, named by ladder position.
+  while (replicas_ < want) {
+    runtime::ManagedDevice* device =
+        controller_->network()->Find(config_.ladder[replicas_]);
+    if (device == nullptr) return;
+    const std::string uri =
+        "flexnet://infra/syn-guard-" + std::to_string(replicas_);
+    auto deployed = controller_->DeployApp(
+        uri, MakeSynGuardProgram(config_.guard_syn_threshold), {device});
+    if (!deployed.ok()) return;  // out of resources: hold at current scale
+    ++replicas_;
+  }
+  while (replicas_ > want) {
+    const std::string uri =
+        "flexnet://infra/syn-guard-" + std::to_string(replicas_ - 1);
+    if (!controller_->RetireApp(uri).ok()) return;
+    --replicas_;
+  }
+}
+
+SimTime ElasticDefense::FirstMitigationAfter(SimTime attack_start) const noexcept {
+  for (const DefenseTimelinePoint& point : timeline_) {
+    if (point.at >= attack_start && point.replicas > 0) return point.at;
+  }
+  return 0;
+}
+
+}  // namespace flexnet::apps

@@ -1,0 +1,80 @@
+// SYN-flood defense with elastic scaling (paper section 1.1, "Real-time
+// security": defenses are "summoned into the network on-the-fly and
+// retired when attacks subside ... capable of scaling, replicating, and
+// migrating to other locations based on changing attack strengths").
+//
+// Two programs:
+//   * monitor  — always-on lightweight SYN counter (map "syn.seen"),
+//   * guard    — per-destination SYN counting + threshold drop, deployed
+//                only while an attack is underway.
+//
+// ElasticDefense samples the monitor at a fixed interval, estimates the
+// SYN rate, and walks a deployment ladder: more replicas as the attack
+// grows, retirement when it subsides.  Experiment E8 records the
+// time-to-mitigation and the resource footprint over time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+#include "flexbpf/ir.h"
+
+namespace flexnet::apps {
+
+// Counts SYN packets into map "syn.seen" (single bucket, cell "syns").
+flexbpf::ProgramIR MakeSynMonitorProgram();
+
+// Drops SYNs to any destination whose per-window SYN count exceeds
+// `threshold` (map "syn.count" keyed by destination address).
+flexbpf::ProgramIR MakeSynGuardProgram(std::uint64_t threshold,
+                                       std::size_t map_size = 4096);
+
+struct ElasticDefenseConfig {
+  SimDuration sample_interval = 50 * kMillisecond;
+  double deploy_threshold_pps = 20000.0;   // attack suspected
+  double escalate_threshold_pps = 60000.0; // add replicas
+  double retire_threshold_pps = 5000.0;    // attack subsided
+  std::uint64_t guard_syn_threshold = 512; // per window per destination
+  // Escalation ladder: devices get the guard in this order.
+  std::vector<DeviceId> ladder;
+  DeviceId monitor_device;                 // where the monitor runs
+};
+
+struct DefenseTimelinePoint {
+  SimTime at = 0;
+  double estimated_syn_pps = 0.0;
+  std::size_t replicas = 0;
+};
+
+class ElasticDefense {
+ public:
+  ElasticDefense(controller::Controller* controller,
+                 ElasticDefenseConfig config);
+
+  // Deploys the monitor and starts sampling.  Runs entirely on simulator
+  // events; call before driving the simulation.
+  Status Start();
+  void Stop() { stopped_ = true; }
+
+  std::size_t replicas() const noexcept { return replicas_; }
+  const std::vector<DefenseTimelinePoint>& timeline() const noexcept {
+    return timeline_;
+  }
+  // First time the defense had >=1 replica after `attack_start` (0 = never).
+  SimTime FirstMitigationAfter(SimTime attack_start) const noexcept;
+
+ private:
+  void Sample();
+  void ScaleTo(std::size_t want);
+  double ReadAndResetSynCount();
+
+  controller::Controller* controller_;
+  ElasticDefenseConfig config_;
+  std::size_t replicas_ = 0;
+  bool stopped_ = false;
+  std::vector<DefenseTimelinePoint> timeline_;
+};
+
+}  // namespace flexnet::apps

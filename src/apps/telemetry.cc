@@ -1,0 +1,43 @@
+#include "apps/telemetry.h"
+
+#include "flexbpf/builder.h"
+
+namespace flexnet::apps {
+
+flexbpf::ProgramIR MakeTelemetryProgram() {
+  flexbpf::ProgramBuilder builder("telemetry");
+  builder.RequireHeader("int", "ipv4", kIntProto);
+
+  auto hop = flexbpf::FunctionBuilder("int.hop")
+                 .Field(0, "ipv4.proto")
+                 .Const(1, kIntProto)
+                 .BranchIf(flexbpf::CmpKind::kNe, 0, 1, "pass")
+                 .Field(2, "int.hops")
+                 .OpImm(flexbpf::BinOpKind::kAdd, 2, 2, 1)
+                 .StoreField("int.hops", 2)
+                 .Label("pass")
+                 .Return()
+                 .Build();
+  builder.AddFunction(std::move(hop).value());
+  return builder.Build();
+}
+
+packet::Packet MakeTelemetryProbe(std::uint64_t id, std::uint64_t src,
+                                  std::uint64_t dst) {
+  packet::Packet p(id, 128);
+  packet::AddEthernet(p, packet::EthernetSpec{});
+  packet::Ipv4Spec ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.proto = kIntProto;
+  packet::AddIpv4(p, ip);
+  packet::Header& h = p.PushHeader("int");
+  h.Set("hops", 0);
+  return p;
+}
+
+std::uint64_t TelemetryHops(const packet::Packet& p) {
+  return p.GetField("int.hops").value_or(0);
+}
+
+}  // namespace flexnet::apps

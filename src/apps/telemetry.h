@@ -1,0 +1,30 @@
+// In-band telemetry (INT-flavoured): telemetry packets carry a custom
+// "int" header behind IPv4 under a dedicated protocol number.  Deploying
+// this app exercises *runtime parser reconfiguration* — devices learn the
+// new header type on the fly (paper section 2: "parser states can be
+// similarly manipulated to add and remove header types and protocols").
+// Until a device's parse graph gains the "int" state, telemetry packets
+// are parse-rejected there — making the reconfiguration observable.
+#pragma once
+
+#include <cstdint>
+
+#include "flexbpf/ir.h"
+#include "packet/packet.h"
+
+namespace flexnet::apps {
+
+inline constexpr std::uint64_t kIntProto = 0xFD;  // experimental IP proto
+
+// Function "int.hop" increments int.hops per device for INT packets.
+// Requires header "int" chained after ipv4 on proto == kIntProto.
+flexbpf::ProgramIR MakeTelemetryProgram();
+
+// Builds an INT probe packet toward dst.
+packet::Packet MakeTelemetryProbe(std::uint64_t id, std::uint64_t src,
+                                  std::uint64_t dst);
+
+// Hop count recorded by the INT app (0 if absent).
+std::uint64_t TelemetryHops(const packet::Packet& p);
+
+}  // namespace flexnet::apps

@@ -1,0 +1,80 @@
+#include "arch/drmt.h"
+
+namespace flexnet::arch {
+
+DrmtDevice::DrmtDevice(DeviceId id, std::string name, DrmtConfig config)
+    : Device(id, std::move(name)), config_(config) {}
+
+Result<std::string> DrmtDevice::ReserveTable(
+    const std::string& table_name, const dataplane::TableResources& demand,
+    std::size_t /*position_hint*/, std::uint64_t /*order_group*/) {
+  if (reservations_.contains(table_name)) {
+    return AlreadyExists("table '" + table_name + "' already placed");
+  }
+  ResourceVector want = used_;
+  want.sram_entries += static_cast<std::int64_t>(demand.sram_entries);
+  want.tcam_entries += static_cast<std::int64_t>(demand.tcam_entries);
+  want.action_slots += static_cast<std::int64_t>(demand.action_slots);
+  want.state_bytes += static_cast<std::int64_t>(demand.state_bytes);
+  ResourceVector cap = TotalCapacity();
+  cap.parser_states = want.parser_states;  // parser tracked separately
+  if (!want.FitsWithin(cap)) {
+    return ResourceExhausted("drmt '" + name() + "': pool exhausted for '" +
+                             table_name + "' (used " + used_.ToText() + ")");
+  }
+  used_ = want;
+  reservations_[table_name] = Reservation{demand, "pool"};
+  return std::string("pool");
+}
+
+Status DrmtDevice::ReleaseTable(const std::string& table_name) {
+  const auto it = reservations_.find(table_name);
+  if (it == reservations_.end()) {
+    return NotFound("table '" + table_name + "' not placed");
+  }
+  used_.sram_entries -= static_cast<std::int64_t>(it->second.demand.sram_entries);
+  used_.tcam_entries -= static_cast<std::int64_t>(it->second.demand.tcam_entries);
+  used_.action_slots -= static_cast<std::int64_t>(it->second.demand.action_slots);
+  used_.state_bytes -= static_cast<std::int64_t>(it->second.demand.state_bytes);
+  reservations_.erase(it);
+  return OkStatus();
+}
+
+ResourceVector DrmtDevice::TotalCapacity() const noexcept {
+  ResourceVector c;
+  c.sram_entries = config_.sram_pool;
+  c.tcam_entries = config_.tcam_pool;
+  c.action_slots = config_.action_pool;
+  c.parser_states = config_.max_parser_states;
+  c.state_bytes = config_.state_pool_bytes;
+  return c;
+}
+
+SimDuration DrmtDevice::ReconfigCost(ReconfigOp op) const noexcept {
+  switch (op) {
+    case ReconfigOp::kAddTable:
+      return 50 * kMillisecond;
+    case ReconfigOp::kRemoveTable:
+      return 20 * kMillisecond;
+    case ReconfigOp::kMoveTable:
+      return 70 * kMillisecond;
+    case ReconfigOp::kAddParserState:
+    case ReconfigOp::kRemoveParserState:
+      return 30 * kMillisecond;
+    case ReconfigOp::kAddStateObject:
+    case ReconfigOp::kRemoveStateObject:
+      return 10 * kMillisecond;
+  }
+  return 50 * kMillisecond;
+}
+
+SimDuration DrmtDevice::LatencyModel(std::size_t tables_traversed) const noexcept {
+  // Run-to-completion: each table is a memory round trip from a processor.
+  return 200 + 60 * static_cast<SimDuration>(tables_traversed);
+}
+
+double DrmtDevice::EnergyModelNj(std::size_t tables_traversed) const noexcept {
+  return 18.0 + 2.5 * static_cast<double>(tables_traversed);
+}
+
+}  // namespace flexnet::arch

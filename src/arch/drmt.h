@@ -1,0 +1,53 @@
+// dRMT (disaggregated RMT) switch model — Spectrum-style.
+//
+// Match/action processors are decoupled from memory: any processor can
+// reach any table in the shared SRAM/TCAM pool, so placement succeeds
+// whenever *aggregate* resources suffice — memory and action resources are
+// fully fungible (paper section 3.3(ii)).  This is also the architecture
+// the paper's companion NSDI'22 system makes runtime-programmable, so the
+// dRMT model carries the headline reconfiguration costs: table and parser
+// ops land within tens of milliseconds and whole program changes complete
+// within a second, hitlessly.
+#pragma once
+
+#include "arch/device.h"
+
+namespace flexnet::arch {
+
+struct DrmtConfig {
+  std::size_t processors = 32;
+  std::int64_t sram_pool = 48 * 1024;
+  std::int64_t tcam_pool = 12 * 1024;
+  std::int64_t action_pool = 192;
+  std::int64_t max_parser_states = 48;
+  std::int64_t state_pool_bytes = 1024 * 1024;
+};
+
+class DrmtDevice final : public Device {
+ public:
+  DrmtDevice(DeviceId id, std::string name, DrmtConfig config = {});
+
+  ArchKind arch() const noexcept override { return ArchKind::kDrmt; }
+
+  Result<std::string> ReserveTable(const std::string& table_name,
+                                   const dataplane::TableResources& demand,
+                                   std::size_t position_hint,
+                                   std::uint64_t order_group = 0) override;
+  Status ReleaseTable(const std::string& table_name) override;
+  bool Defragment() override { return true; }  // pool: nothing to defrag
+
+  ResourceVector TotalCapacity() const noexcept override;
+  SimDuration ReconfigCost(ReconfigOp op) const noexcept override;
+
+  const DrmtConfig& config() const noexcept { return config_; }
+
+ protected:
+  SimDuration LatencyModel(std::size_t tables_traversed) const noexcept override;
+  double EnergyModelNj(std::size_t tables_traversed) const noexcept override;
+
+ private:
+  DrmtConfig config_;
+  ResourceVector used_;
+};
+
+}  // namespace flexnet::arch

@@ -1,0 +1,95 @@
+#include "arch/endpoint.h"
+
+namespace flexnet::arch {
+
+EndpointConfig DefaultNicConfig() { return EndpointConfig{}; }
+
+EndpointConfig DefaultHostConfig() {
+  EndpointConfig c;
+  c.memory_bytes = 256LL * 1024 * 1024;
+  c.base_latency = 5000;
+  c.per_table_latency = 300;
+  c.base_energy_nj = 900.0;
+  c.per_table_energy_nj = 120.0;
+  c.reconfig_cost = 1 * kMillisecond;  // eBPF program swap
+  return c;
+}
+
+EndpointDevice::EndpointDevice(DeviceId id, std::string name, ArchKind kind,
+                               EndpointConfig config)
+    : Device(id, std::move(name)), kind_(kind), config_(config) {}
+
+std::int64_t EndpointDevice::BytesFor(
+    const dataplane::TableResources& d) const noexcept {
+  return static_cast<std::int64_t>(d.sram_entries) *
+             config_.bytes_per_sram_entry +
+         static_cast<std::int64_t>(d.tcam_entries) *
+             config_.bytes_per_tcam_entry +
+         static_cast<std::int64_t>(d.state_bytes);
+}
+
+Result<std::string> EndpointDevice::ReserveTable(
+    const std::string& table_name, const dataplane::TableResources& demand,
+    std::size_t /*position_hint*/, std::uint64_t /*order_group*/) {
+  if (reservations_.contains(table_name)) {
+    return AlreadyExists("table '" + table_name + "' already placed");
+  }
+  const std::int64_t bytes = BytesFor(demand);
+  if (used_bytes_ + bytes > config_.memory_bytes) {
+    return ResourceExhausted(std::string(ToString(kind_)) + " '" + name() +
+                             "': out of memory (" +
+                             std::to_string(used_bytes_ + bytes) + " > " +
+                             std::to_string(config_.memory_bytes) + ")");
+  }
+  used_bytes_ += bytes;
+  reservations_[table_name] = Reservation{demand, "mem"};
+  return std::string("mem");
+}
+
+Status EndpointDevice::ReleaseTable(const std::string& table_name) {
+  const auto it = reservations_.find(table_name);
+  if (it == reservations_.end()) {
+    return NotFound("table '" + table_name + "' not placed");
+  }
+  used_bytes_ -= BytesFor(it->second.demand);
+  reservations_.erase(it);
+  return OkStatus();
+}
+
+ResourceVector EndpointDevice::TotalCapacity() const noexcept {
+  ResourceVector c;
+  c.state_bytes = config_.memory_bytes;
+  c.parser_states = config_.max_parser_states;
+  // Entry capacities are advertised for the compiler's coarse filtering:
+  // what fits if the whole memory went to that one use.
+  c.sram_entries = config_.memory_bytes / config_.bytes_per_sram_entry;
+  c.tcam_entries = config_.memory_bytes / config_.bytes_per_tcam_entry;
+  c.action_slots = 1 << 20;  // software: effectively unbounded
+  return c;
+}
+
+ResourceVector EndpointDevice::UsedResources() const noexcept {
+  ResourceVector used;
+  used.state_bytes = used_bytes_;
+  used.parser_states =
+      static_cast<std::int64_t>(pipeline().parser().state_count());
+  return used;
+}
+
+SimDuration EndpointDevice::ReconfigCost(ReconfigOp /*op*/) const noexcept {
+  return config_.reconfig_cost;
+}
+
+SimDuration EndpointDevice::LatencyModel(
+    std::size_t tables_traversed) const noexcept {
+  return config_.base_latency +
+         config_.per_table_latency * static_cast<SimDuration>(tables_traversed);
+}
+
+double EndpointDevice::EnergyModelNj(
+    std::size_t tables_traversed) const noexcept {
+  return config_.base_energy_nj +
+         config_.per_table_energy_nj * static_cast<double>(tables_traversed);
+}
+
+}  // namespace flexnet::arch

@@ -1,0 +1,80 @@
+// Fully fungible endpoint targets: SoC SmartNICs and host kernel stacks.
+//
+// Both execute programs on general-purpose cores over one byte-addressable
+// memory, so every table/state demand converts to bytes against a single
+// pool — "resources are essentially fully fungible on these architectures"
+// (section 3.3(iv)).  They trade that flexibility for per-packet latency
+// one to two orders of magnitude above ASICs, which the compiler's SLA
+// objective must weigh (section 3.3, performance optimizations).
+#pragma once
+
+#include "arch/device.h"
+
+namespace flexnet::arch {
+
+struct EndpointConfig {
+  std::int64_t memory_bytes = 16LL * 1024 * 1024;
+  std::int64_t bytes_per_sram_entry = 32;
+  std::int64_t bytes_per_tcam_entry = 64;  // software ternary: interval trees
+  std::int64_t max_parser_states = 256;
+  SimDuration base_latency = 1500;       // ns
+  SimDuration per_table_latency = 150;   // ns
+  double base_energy_nj = 180.0;
+  double per_table_energy_nj = 45.0;
+  SimDuration reconfig_cost = 10 * kMillisecond;  // program reload
+};
+
+EndpointConfig DefaultNicConfig();
+EndpointConfig DefaultHostConfig();
+
+class EndpointDevice : public Device {
+ public:
+  EndpointDevice(DeviceId id, std::string name, ArchKind kind,
+                 EndpointConfig config);
+
+  ArchKind arch() const noexcept override { return kind_; }
+
+  Result<std::string> ReserveTable(const std::string& table_name,
+                                   const dataplane::TableResources& demand,
+                                   std::size_t position_hint,
+                                   std::uint64_t order_group = 0) override;
+  Status ReleaseTable(const std::string& table_name) override;
+  bool Defragment() override { return true; }
+
+  ResourceVector TotalCapacity() const noexcept override;
+  ResourceVector UsedResources() const noexcept override;
+  SimDuration ReconfigCost(ReconfigOp op) const noexcept override;
+  SimDuration FullReflashCost() const noexcept override {
+    return config_.reconfig_cost;  // reload == reflash on endpoints
+  }
+
+  std::int64_t used_bytes() const noexcept { return used_bytes_; }
+  const EndpointConfig& config() const noexcept { return config_; }
+
+ protected:
+  SimDuration LatencyModel(std::size_t tables_traversed) const noexcept override;
+  double EnergyModelNj(std::size_t tables_traversed) const noexcept override;
+
+ private:
+  std::int64_t BytesFor(const dataplane::TableResources& d) const noexcept;
+
+  ArchKind kind_;
+  EndpointConfig config_;
+  std::int64_t used_bytes_ = 0;
+};
+
+class NicDevice final : public EndpointDevice {
+ public:
+  NicDevice(DeviceId id, std::string name,
+            EndpointConfig config = DefaultNicConfig())
+      : EndpointDevice(id, std::move(name), ArchKind::kNic, config) {}
+};
+
+class HostDevice final : public EndpointDevice {
+ public:
+  HostDevice(DeviceId id, std::string name,
+             EndpointConfig config = DefaultHostConfig())
+      : EndpointDevice(id, std::move(name), ArchKind::kHost, config) {}
+};
+
+}  // namespace flexnet::arch

@@ -1,0 +1,62 @@
+#include "arch/resources.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flexnet::arch {
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) noexcept {
+  sram_entries += o.sram_entries;
+  tcam_entries += o.tcam_entries;
+  action_slots += o.action_slots;
+  parser_states += o.parser_states;
+  state_bytes += o.state_bytes;
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) noexcept {
+  sram_entries -= o.sram_entries;
+  tcam_entries -= o.tcam_entries;
+  action_slots -= o.action_slots;
+  parser_states -= o.parser_states;
+  state_bytes -= o.state_bytes;
+  return *this;
+}
+
+bool ResourceVector::FitsWithin(const ResourceVector& c) const noexcept {
+  return sram_entries <= c.sram_entries && tcam_entries <= c.tcam_entries &&
+         action_slots <= c.action_slots && parser_states <= c.parser_states &&
+         state_bytes <= c.state_bytes;
+}
+
+bool ResourceVector::IsZero() const noexcept {
+  return sram_entries == 0 && tcam_entries == 0 && action_slots == 0 &&
+         parser_states == 0 && state_bytes == 0;
+}
+
+double ResourceVector::Utilization(const ResourceVector& used,
+                                   const ResourceVector& capacity) noexcept {
+  double util = 0.0;
+  const auto dim = [&](std::int64_t u, std::int64_t c) {
+    if (c > 0) {
+      util = std::max(util,
+                      static_cast<double>(u) / static_cast<double>(c));
+    }
+  };
+  dim(used.sram_entries, capacity.sram_entries);
+  dim(used.tcam_entries, capacity.tcam_entries);
+  dim(used.action_slots, capacity.action_slots);
+  dim(used.parser_states, capacity.parser_states);
+  dim(used.state_bytes, capacity.state_bytes);
+  return util;
+}
+
+std::string ResourceVector::ToText() const {
+  std::ostringstream out;
+  out << "{sram=" << sram_entries << " tcam=" << tcam_entries
+      << " action=" << action_slots << " parser=" << parser_states
+      << " state=" << state_bytes << "B}";
+  return out.str();
+}
+
+}  // namespace flexnet::arch

@@ -1,0 +1,45 @@
+// Resource vectors used for placement and fungibility accounting.
+//
+// All architectures describe capacity and demand in the same units so the
+// compiler can reason uniformly; each architecture then adds its own
+// *structural* constraints (stage boundaries, tile granularity, ...) on top.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flexnet::arch {
+
+struct ResourceVector {
+  std::int64_t sram_entries = 0;    // exact-match table capacity
+  std::int64_t tcam_entries = 0;    // ternary/LPM capacity
+  std::int64_t action_slots = 0;    // match/action processing units
+  std::int64_t parser_states = 0;   // parse graph states
+  std::int64_t state_bytes = 0;     // registers / sketches / flow state
+
+  ResourceVector& operator+=(const ResourceVector& o) noexcept;
+  ResourceVector& operator-=(const ResourceVector& o) noexcept;
+  friend ResourceVector operator+(ResourceVector a,
+                                  const ResourceVector& b) noexcept {
+    a += b;
+    return a;
+  }
+  friend ResourceVector operator-(ResourceVector a,
+                                  const ResourceVector& b) noexcept {
+    a -= b;
+    return a;
+  }
+  friend bool operator==(const ResourceVector&,
+                         const ResourceVector&) = default;
+
+  bool FitsWithin(const ResourceVector& capacity) const noexcept;
+  bool IsZero() const noexcept;
+
+  // Max over dimensions of used/capacity, ignoring zero-capacity dimensions.
+  static double Utilization(const ResourceVector& used,
+                            const ResourceVector& capacity) noexcept;
+
+  std::string ToText() const;
+};
+
+}  // namespace flexnet::arch

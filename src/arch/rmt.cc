@@ -1,0 +1,175 @@
+#include "arch/rmt.h"
+
+#include <algorithm>
+
+namespace flexnet::arch {
+
+RmtDevice::RmtDevice(DeviceId id, std::string name, RmtConfig config)
+    : Device(id, std::move(name)),
+      config_(config),
+      stage_use_(config.stages) {}
+
+bool RmtDevice::FitsStage(const StageUse& use,
+                          const dataplane::TableResources& d) const noexcept {
+  return use.sram + static_cast<std::int64_t>(d.sram_entries) <=
+             config_.sram_per_stage &&
+         use.tcam + static_cast<std::int64_t>(d.tcam_entries) <=
+             config_.tcam_per_stage &&
+         use.actions + static_cast<std::int64_t>(d.action_slots) <=
+             config_.actions_per_stage &&
+         use.state_bytes + static_cast<std::int64_t>(d.state_bytes) <=
+             config_.state_bytes_per_stage;
+}
+
+void RmtDevice::Occupy(StageUse& use, const dataplane::TableResources& d,
+                       int sign) noexcept {
+  use.sram += sign * static_cast<std::int64_t>(d.sram_entries);
+  use.tcam += sign * static_cast<std::int64_t>(d.tcam_entries);
+  use.actions += sign * static_cast<std::int64_t>(d.action_slots);
+  use.state_bytes += sign * static_cast<std::int64_t>(d.state_bytes);
+}
+
+Result<std::string> RmtDevice::ReserveTable(
+    const std::string& table_name, const dataplane::TableResources& demand,
+    std::size_t position_hint, std::uint64_t order_group) {
+  if (reservations_.contains(table_name)) {
+    return AlreadyExists("table '" + table_name + "' already placed");
+  }
+  // Pipeline-order constraint, scoped to the table's program (order
+  // group): this table's stage must be >= every earlier same-group
+  // table's stage and <= every later same-group table's stage.  Tables
+  // of independent programs impose nothing on each other, and a hint of
+  // SIZE_MAX opts out of ordering entirely.
+  int min_stage = 0;
+  int max_stage = static_cast<int>(config_.stages) - 1;
+  if (position_hint != SIZE_MAX) {
+    for (const auto& [name, placement] : stage_of_) {
+      if (placement.order_group != order_group ||
+          placement.position_hint == SIZE_MAX) {
+        continue;
+      }
+      if (placement.position_hint < position_hint) {
+        min_stage = std::max(min_stage, placement.stage);
+      } else if (placement.position_hint > position_hint) {
+        max_stage = std::min(max_stage, placement.stage);
+      }
+    }
+  }
+  for (int s = min_stage; s <= max_stage; ++s) {
+    if (FitsStage(stage_use_[static_cast<std::size_t>(s)], demand)) {
+      Occupy(stage_use_[static_cast<std::size_t>(s)], demand, +1);
+      stage_of_[table_name] = Placement{s, position_hint, order_group};
+      reservations_[table_name] =
+          Reservation{demand, "stage" + std::to_string(s)};
+      return "stage" + std::to_string(s);
+    }
+  }
+  return ResourceExhausted("rmt '" + name() + "': no stage in [" +
+                           std::to_string(min_stage) + "," +
+                           std::to_string(max_stage) + "] fits table '" +
+                           table_name + "'");
+}
+
+Status RmtDevice::ReleaseTable(const std::string& table_name) {
+  const auto it = reservations_.find(table_name);
+  if (it == reservations_.end()) {
+    return NotFound("table '" + table_name + "' not placed");
+  }
+  const auto sit = stage_of_.find(table_name);
+  Occupy(stage_use_[static_cast<std::size_t>(sit->second.stage)],
+         it->second.demand, -1);
+  stage_of_.erase(sit);
+  reservations_.erase(it);
+  return OkStatus();
+}
+
+bool RmtDevice::Defragment() {
+  if (!config_.runtime_capable) return false;
+  // Repack all tables greedily into the earliest stage that fits — models
+  // live stage rewrites restoring full fungibility.  Ordering is
+  // preserved per group: within one group, later-hint tables land at
+  // stages >= their predecessors (tracked by a per-group cursor).
+  std::vector<std::pair<std::string, Placement>> tables(stage_of_.begin(),
+                                                        stage_of_.end());
+  std::sort(tables.begin(), tables.end(), [](const auto& a, const auto& b) {
+    if (a.second.order_group != b.second.order_group) {
+      return a.second.order_group < b.second.order_group;
+    }
+    if (a.second.position_hint != b.second.position_hint) {
+      return a.second.position_hint < b.second.position_hint;
+    }
+    return a.first < b.first;
+  });
+  std::vector<StageUse> fresh(config_.stages);
+  std::unordered_map<std::string, Placement> new_stage_of;
+  std::unordered_map<std::uint64_t, int> group_cursor;
+  for (const auto& [name, placement] : tables) {
+    const auto& demand = reservations_.at(name).demand;
+    const bool ordered = placement.position_hint != SIZE_MAX;
+    const int start = ordered ? group_cursor[placement.order_group] : 0;
+    bool placed = false;
+    for (int s = start; s < static_cast<int>(config_.stages); ++s) {
+      if (FitsStage(fresh[static_cast<std::size_t>(s)], demand)) {
+        Occupy(fresh[static_cast<std::size_t>(s)], demand, +1);
+        new_stage_of[name] =
+            Placement{s, placement.position_hint, placement.order_group};
+        if (ordered) group_cursor[placement.order_group] = s;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;  // repack impossible; keep old layout
+  }
+  stage_use_ = std::move(fresh);
+  stage_of_ = std::move(new_stage_of);
+  for (auto& [name, res] : reservations_) {
+    res.location = "stage" + std::to_string(stage_of_.at(name).stage);
+  }
+  return true;
+}
+
+ResourceVector RmtDevice::TotalCapacity() const noexcept {
+  ResourceVector c;
+  const auto stages = static_cast<std::int64_t>(config_.stages);
+  c.sram_entries = stages * config_.sram_per_stage;
+  c.tcam_entries = stages * config_.tcam_per_stage;
+  c.action_slots = stages * config_.actions_per_stage;
+  c.parser_states = config_.max_parser_states;
+  c.state_bytes = stages * config_.state_bytes_per_stage;
+  return c;
+}
+
+SimDuration RmtDevice::ReconfigCost(ReconfigOp op) const noexcept {
+  // Live per-stage rewrites; tables shuffle one stage at a time.
+  switch (op) {
+    case ReconfigOp::kAddTable:
+      return 100 * kMillisecond;
+    case ReconfigOp::kRemoveTable:
+      return 60 * kMillisecond;
+    case ReconfigOp::kMoveTable:
+      return 160 * kMillisecond;
+    case ReconfigOp::kAddParserState:
+    case ReconfigOp::kRemoveParserState:
+      return 50 * kMillisecond;
+    case ReconfigOp::kAddStateObject:
+    case ReconfigOp::kRemoveStateObject:
+      return 20 * kMillisecond;
+  }
+  return 100 * kMillisecond;
+}
+
+SimDuration RmtDevice::LatencyModel(std::size_t) const noexcept {
+  // Fixed pipeline: latency independent of program length.
+  return static_cast<SimDuration>(config_.stages) * 50;
+}
+
+double RmtDevice::EnergyModelNj(std::size_t tables_traversed) const noexcept {
+  return 15.0 + 3.0 * static_cast<double>(tables_traversed);
+}
+
+int RmtDevice::StageOf(const std::string& table_name) const noexcept {
+  const auto it = stage_of_.find(table_name);
+  return it == stage_of_.end() ? -1 : it->second.stage;
+}
+
+}  // namespace flexnet::arch

@@ -1,0 +1,81 @@
+// RMT (Reconfigurable Match Table) switch model — Tofino/FlexPipe style.
+//
+// A fixed pipeline of hardware stages; each stage has its own SRAM, TCAM,
+// and action budgets.  A table must fit entirely inside one stage, and
+// tables must occupy stages in pipeline order (a table cannot live in an
+// earlier stage than a table that precedes it).  Resources are therefore
+// fungible only *within a stage*: the pipeline can have plenty of free
+// SRAM in aggregate yet fail to place a table — the fragmentation that
+// experiment E3 measures.  Defragment() models the paper's "adding runtime
+// support to reconfigure individual stages" which repacks tables and makes
+// all pipeline resources fungible.
+#pragma once
+
+#include "arch/device.h"
+
+namespace flexnet::arch {
+
+struct RmtConfig {
+  std::size_t stages = 12;
+  std::int64_t sram_per_stage = 4096;
+  std::int64_t tcam_per_stage = 1024;
+  std::int64_t actions_per_stage = 16;
+  std::int64_t max_parser_states = 32;
+  std::int64_t state_bytes_per_stage = 64 * 1024;
+  // Whether the ASIC exposes live per-stage reconfiguration (paper: future
+  // RMT variants).  When false the only reprogramming path is a full
+  // drain/reflash (compile-time programmability).
+  bool runtime_capable = false;
+};
+
+class RmtDevice final : public Device {
+ public:
+  RmtDevice(DeviceId id, std::string name, RmtConfig config = {});
+
+  ArchKind arch() const noexcept override { return ArchKind::kRmt; }
+
+  Result<std::string> ReserveTable(const std::string& table_name,
+                                   const dataplane::TableResources& demand,
+                                   std::size_t position_hint,
+                                   std::uint64_t order_group = 0) override;
+  Status ReleaseTable(const std::string& table_name) override;
+  bool Defragment() override;
+
+  ResourceVector TotalCapacity() const noexcept override;
+  bool SupportsRuntimeReconfig() const noexcept override {
+    return config_.runtime_capable;
+  }
+  SimDuration ReconfigCost(ReconfigOp op) const noexcept override;
+  SimDuration FullReflashCost() const noexcept override { return 45 * kSecond; }
+
+  // Stage index a table was placed in, or -1.
+  int StageOf(const std::string& table_name) const noexcept;
+  const RmtConfig& config() const noexcept { return config_; }
+
+ protected:
+  SimDuration LatencyModel(std::size_t tables_traversed) const noexcept override;
+  double EnergyModelNj(std::size_t tables_traversed) const noexcept override;
+
+ private:
+  struct StageUse {
+    std::int64_t sram = 0;
+    std::int64_t tcam = 0;
+    std::int64_t actions = 0;
+    std::int64_t state_bytes = 0;
+  };
+  bool FitsStage(const StageUse& use,
+                 const dataplane::TableResources& demand) const noexcept;
+  void Occupy(StageUse& use, const dataplane::TableResources& demand,
+              int sign) noexcept;
+
+  RmtConfig config_;
+  std::vector<StageUse> stage_use_;
+  struct Placement {
+    int stage;
+    std::size_t position_hint;
+    std::uint64_t order_group;
+  };
+  std::unordered_map<std::string, Placement> stage_of_;
+};
+
+}  // namespace flexnet::arch

@@ -1,0 +1,109 @@
+#include "arch/tile.h"
+
+namespace flexnet::arch {
+
+namespace {
+std::size_t DivUp(std::int64_t value, std::int64_t unit) noexcept {
+  return value <= 0 ? 0
+                    : static_cast<std::size_t>((value + unit - 1) / unit);
+}
+}  // namespace
+
+TileDevice::TileDevice(DeviceId id, std::string name, TileConfig config)
+    : Device(id, std::move(name)), config_(config) {}
+
+Result<std::string> TileDevice::ReserveTable(
+    const std::string& table_name, const dataplane::TableResources& demand,
+    std::size_t /*position_hint*/, std::uint64_t /*order_group*/) {
+  if (reservations_.contains(table_name)) {
+    return AlreadyExists("table '" + table_name + "' already placed");
+  }
+  TileUse use;
+  // State rides in hash tiles alongside entries (same SRAM substrate).
+  use.hash_tiles =
+      DivUp(static_cast<std::int64_t>(demand.sram_entries),
+            config_.entries_per_hash_tile) +
+      DivUp(static_cast<std::int64_t>(demand.state_bytes),
+            config_.state_bytes_per_hash_tile);
+  use.tcam_tiles = DivUp(static_cast<std::int64_t>(demand.tcam_entries),
+                         config_.entries_per_tcam_tile);
+  use.pem = static_cast<std::int64_t>(demand.action_slots);
+  if (used_hash_tiles_ + use.hash_tiles > config_.hash_tiles) {
+    return ResourceExhausted("tile '" + name() + "': needs " +
+                             std::to_string(use.hash_tiles) +
+                             " hash tiles, only " +
+                             std::to_string(free_hash_tiles()) + " free");
+  }
+  if (used_tcam_tiles_ + use.tcam_tiles > config_.tcam_tiles) {
+    return ResourceExhausted("tile '" + name() + "': needs " +
+                             std::to_string(use.tcam_tiles) +
+                             " tcam tiles, only " +
+                             std::to_string(free_tcam_tiles()) + " free");
+  }
+  if (used_pem_ + use.pem > config_.pem_elements) {
+    return ResourceExhausted("tile '" + name() + "': PEM elements exhausted");
+  }
+  used_hash_tiles_ += use.hash_tiles;
+  used_tcam_tiles_ += use.tcam_tiles;
+  used_pem_ += use.pem;
+  tiles_of_[table_name] = use;
+  const std::string location = "tiles{hash=" + std::to_string(use.hash_tiles) +
+                               ",tcam=" + std::to_string(use.tcam_tiles) + "}";
+  reservations_[table_name] = Reservation{demand, location};
+  return location;
+}
+
+Status TileDevice::ReleaseTable(const std::string& table_name) {
+  const auto it = reservations_.find(table_name);
+  if (it == reservations_.end()) {
+    return NotFound("table '" + table_name + "' not placed");
+  }
+  const TileUse& use = tiles_of_.at(table_name);
+  used_hash_tiles_ -= use.hash_tiles;
+  used_tcam_tiles_ -= use.tcam_tiles;
+  used_pem_ -= use.pem;
+  tiles_of_.erase(table_name);
+  reservations_.erase(it);
+  return OkStatus();
+}
+
+ResourceVector TileDevice::TotalCapacity() const noexcept {
+  ResourceVector c;
+  c.sram_entries = static_cast<std::int64_t>(config_.hash_tiles) *
+                   config_.entries_per_hash_tile;
+  c.tcam_entries = static_cast<std::int64_t>(config_.tcam_tiles) *
+                   config_.entries_per_tcam_tile;
+  c.action_slots = config_.pem_elements;
+  c.parser_states = config_.max_parser_states;
+  c.state_bytes = static_cast<std::int64_t>(config_.hash_tiles) *
+                  config_.state_bytes_per_hash_tile;
+  return c;
+}
+
+SimDuration TileDevice::ReconfigCost(ReconfigOp op) const noexcept {
+  switch (op) {
+    case ReconfigOp::kAddTable:
+      return 80 * kMillisecond;
+    case ReconfigOp::kRemoveTable:
+      return 40 * kMillisecond;
+    case ReconfigOp::kMoveTable:
+      return 120 * kMillisecond;
+    case ReconfigOp::kAddParserState:
+    case ReconfigOp::kRemoveParserState:
+      return 45 * kMillisecond;
+    case ReconfigOp::kAddStateObject:
+    case ReconfigOp::kRemoveStateObject:
+      return 15 * kMillisecond;
+  }
+  return 80 * kMillisecond;
+}
+
+SimDuration TileDevice::LatencyModel(std::size_t tables_traversed) const noexcept {
+  return 150 + 55 * static_cast<SimDuration>(tables_traversed);
+}
+
+double TileDevice::EnergyModelNj(std::size_t tables_traversed) const noexcept {
+  return 16.0 + 2.8 * static_cast<double>(tables_traversed);
+}
+
+}  // namespace flexnet::arch

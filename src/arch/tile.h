@@ -1,0 +1,69 @@
+// Tiled-memory switch model — Broadcom Trident4 / Jericho2 style.
+//
+// Memory is carved into discrete hash/index tiles (SRAM) and TCAM tiles; a
+// table consumes an integer number of whole tiles of the matching type.
+// Resources are fungible *within a tile type* but tiles are indivisible,
+// so a table needing 1.1 tiles burns 2 — the quantization loss experiment
+// E3 exposes.  Jericho2's Programmable Elements Matrix is modeled as a
+// pool of PEM action elements shared by all tiles.
+#pragma once
+
+#include "arch/device.h"
+
+namespace flexnet::arch {
+
+struct TileConfig {
+  std::size_t hash_tiles = 16;
+  std::int64_t entries_per_hash_tile = 2048;
+  std::size_t tcam_tiles = 8;
+  std::int64_t entries_per_tcam_tile = 512;
+  std::int64_t pem_elements = 96;  // action elements (PEM)
+  std::int64_t max_parser_states = 40;
+  std::int64_t state_bytes_per_hash_tile = 32 * 1024;
+};
+
+class TileDevice final : public Device {
+ public:
+  TileDevice(DeviceId id, std::string name, TileConfig config = {});
+
+  ArchKind arch() const noexcept override { return ArchKind::kTile; }
+
+  Result<std::string> ReserveTable(const std::string& table_name,
+                                   const dataplane::TableResources& demand,
+                                   std::size_t position_hint,
+                                   std::uint64_t order_group = 0) override;
+  Status ReleaseTable(const std::string& table_name) override;
+  // Tiles are position-independent: releasing always leaves whole free
+  // tiles, so there is no fragmentation to fix — but quantization loss
+  // (partial tiles) is inherent and not fixable by defrag.
+  bool Defragment() override { return true; }
+
+  ResourceVector TotalCapacity() const noexcept override;
+  SimDuration ReconfigCost(ReconfigOp op) const noexcept override;
+
+  std::size_t free_hash_tiles() const noexcept {
+    return config_.hash_tiles - used_hash_tiles_;
+  }
+  std::size_t free_tcam_tiles() const noexcept {
+    return config_.tcam_tiles - used_tcam_tiles_;
+  }
+  const TileConfig& config() const noexcept { return config_; }
+
+ protected:
+  SimDuration LatencyModel(std::size_t tables_traversed) const noexcept override;
+  double EnergyModelNj(std::size_t tables_traversed) const noexcept override;
+
+ private:
+  struct TileUse {
+    std::size_t hash_tiles = 0;
+    std::size_t tcam_tiles = 0;
+    std::int64_t pem = 0;
+  };
+  TileConfig config_;
+  std::size_t used_hash_tiles_ = 0;
+  std::size_t used_tcam_tiles_ = 0;
+  std::int64_t used_pem_ = 0;
+  std::unordered_map<std::string, TileUse> tiles_of_;
+};
+
+}  // namespace flexnet::arch

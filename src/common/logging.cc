@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace flexnet {
+
+const char* ToString(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (!Enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level >= LogLevel::kWarn) ++warning_count_;
+  std::fprintf(stderr, "[%s] %s\n", ToString(level), message.c_str());
+}
+
+}  // namespace flexnet

@@ -1,0 +1,58 @@
+// Minimal leveled logger.  Single global sink, line-oriented, thread-safe.
+// Simulation components log with the simulated timestamp where available.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace flexnet {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* ToString(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_min_level(LogLevel level) noexcept { min_level_ = level; }
+  LogLevel min_level() const noexcept { return min_level_; }
+
+  bool Enabled(LogLevel level) const noexcept { return level >= min_level_; }
+  void Write(LogLevel level, const std::string& message);
+
+  // Number of messages emitted at >= kWarn; used by tests to assert clean runs.
+  int warning_count() const noexcept { return warning_count_; }
+
+ private:
+  Logger() = default;
+  std::mutex mu_;
+  LogLevel min_level_ = LogLevel::kWarn;
+  int warning_count_ = 0;
+};
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Instance().Write(level_, stream_.str()); }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define FLEXNET_LOG(level)                                           \
+  if (!::flexnet::Logger::Instance().Enabled(::flexnet::LogLevel::level)) { \
+  } else                                                             \
+    ::flexnet::internal::LogMessage(::flexnet::LogLevel::level).stream()
+
+#define FLEXNET_DLOG FLEXNET_LOG(kDebug)
+#define FLEXNET_ILOG FLEXNET_LOG(kInfo)
+#define FLEXNET_WLOG FLEXNET_LOG(kWarn)
+#define FLEXNET_ELOG FLEXNET_LOG(kError)
+
+}  // namespace flexnet

@@ -1,0 +1,38 @@
+#include "common/result.h"
+
+namespace flexnet {
+
+const char* ToString(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kVerificationFailed:
+      return "VERIFICATION_FAILED";
+    case ErrorCode::kCompilationFailed:
+      return "COMPILATION_FAILED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Error::ToText() const {
+  std::string out = ToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace flexnet

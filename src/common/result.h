@@ -1,0 +1,167 @@
+// Result<T>: lightweight expected-style error handling used across FlexNet.
+//
+// FlexNet is a simulator-backed control system: most failures (placement
+// does not fit, verifier rejects a program, device refuses a reconfig op)
+// are expected, recoverable outcomes the caller must branch on.  Exceptions
+// are reserved for programming errors; expected failures travel as values.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace flexnet {
+
+// Machine-readable failure category. `message` carries the human detail.
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kPermissionDenied,
+  kVerificationFailed,
+  kCompilationFailed,
+  kInternal,
+};
+
+const char* ToString(ErrorCode code) noexcept;
+
+class [[nodiscard]] Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  // "RESOURCE_EXHAUSTED: stage 3 SRAM over budget"
+  std::string ToText() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Error InvalidArgument(std::string m) {
+  return Error(ErrorCode::kInvalidArgument, std::move(m));
+}
+inline Error NotFound(std::string m) {
+  return Error(ErrorCode::kNotFound, std::move(m));
+}
+inline Error AlreadyExists(std::string m) {
+  return Error(ErrorCode::kAlreadyExists, std::move(m));
+}
+inline Error ResourceExhausted(std::string m) {
+  return Error(ErrorCode::kResourceExhausted, std::move(m));
+}
+inline Error FailedPrecondition(std::string m) {
+  return Error(ErrorCode::kFailedPrecondition, std::move(m));
+}
+inline Error Unavailable(std::string m) {
+  return Error(ErrorCode::kUnavailable, std::move(m));
+}
+inline Error PermissionDenied(std::string m) {
+  return Error(ErrorCode::kPermissionDenied, std::move(m));
+}
+inline Error VerificationFailed(std::string m) {
+  return Error(ErrorCode::kVerificationFailed, std::move(m));
+}
+inline Error CompilationFailed(std::string m) {
+  return Error(ErrorCode::kCompilationFailed, std::move(m));
+}
+inline Error Internal(std::string m) {
+  return Error(ErrorCode::kInternal, std::move(m));
+}
+
+// Result<T> holds either a value or an Error.  Result<void> (via the
+// specialization below) holds success or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(runtime/explicit)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}     // NOLINT(runtime/explicit)
+
+  bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const& {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+using Status = Result<void>;
+
+inline Status OkStatus() { return Status(); }
+
+// Propagate an error from an expression yielding a Result.
+#define FLEXNET_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    auto flexnet_status_ = (expr);                     \
+    if (!flexnet_status_.ok()) {                       \
+      return flexnet_status_.error();                  \
+    }                                                  \
+  } while (false)
+
+// Assign the value of a Result<T> expression or propagate its error.
+#define FLEXNET_ASSIGN_OR_RETURN(lhs, expr)            \
+  FLEXNET_ASSIGN_OR_RETURN_IMPL_(                      \
+      FLEXNET_CONCAT_(flexnet_result_, __LINE__), lhs, expr)
+
+#define FLEXNET_CONCAT_INNER_(a, b) a##b
+#define FLEXNET_CONCAT_(a, b) FLEXNET_CONCAT_INNER_(a, b)
+
+#define FLEXNET_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) {                                     \
+    return tmp.error();                                \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace flexnet

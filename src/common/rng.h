@@ -1,0 +1,75 @@
+// Deterministic pseudo-random source (splitmix64 core).
+//
+// Every stochastic component (traffic generators, tenant churn, placement
+// tie-breaking) draws from an explicitly seeded Rng so that simulations and
+// benchmarks are exactly reproducible run-to-run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace flexnet {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t NextU64() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) noexcept {
+    return NextU64() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool NextBool(double p_true) noexcept { return NextDouble() < p_true; }
+
+  // Exponential with the given rate (mean 1/rate); used for Poisson arrivals.
+  double NextExponential(double rate) noexcept {
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-18;
+    return -std::log(u) / rate;
+  }
+
+  // Bounded Pareto (heavy tail) used for flow-size mixes.
+  double NextParetoBounded(double alpha, double lo, double hi) noexcept {
+    const double u = NextDouble();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Derive an independent stream (for per-component RNGs from one seed).
+  Rng Fork() noexcept { return Rng(NextU64()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace flexnet

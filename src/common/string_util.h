@@ -1,0 +1,29 @@
+// Small string helpers shared by the FlexBPF text front-end and the patch DSL.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexnet {
+
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Split on any run of whitespace; no empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix) noexcept;
+bool EndsWith(std::string_view text, std::string_view suffix) noexcept;
+
+// Glob-style match supporting '*' (any run) and '?' (any one char).  Used by
+// the patch DSL's name-matching selectors (paper section 3.2).
+bool GlobMatch(std::string_view pattern, std::string_view text) noexcept;
+
+std::string ToLower(std::string_view text);
+
+// Join with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace flexnet

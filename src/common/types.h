@@ -1,0 +1,85 @@
+// Core value types shared across modules: simulated time and strong ids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace flexnet {
+
+// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+inline double ToSeconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+inline double ToMillis(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+inline double ToMicros(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+// Strongly typed integral id.  Tag disambiguates id spaces at compile time.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t value) : value_(value) {}
+
+  constexpr std::uint64_t value() const noexcept { return value_; }
+  constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Id a, Id b) noexcept {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(Id a, Id b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+  static constexpr std::uint64_t kInvalid = ~0ULL;
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct DeviceTag {};
+struct AppTag {};
+struct TenantTag {};
+struct TableTag {};
+struct FlowTag {};
+
+using DeviceId = Id<DeviceTag>;
+using AppId = Id<AppTag>;
+using TenantId = Id<TenantTag>;
+using TableId = Id<TableTag>;
+
+// Monotonic id allocator for one id space.
+template <typename IdType>
+class IdAllocator {
+ public:
+  IdType Next() noexcept { return IdType(next_++); }
+
+ private:
+  std::uint64_t next_ = 1;  // 0 is reserved; kInvalid marks "unset".
+};
+
+}  // namespace flexnet
+
+namespace std {
+template <typename Tag>
+struct hash<flexnet::Id<Tag>> {
+  size_t operator()(flexnet::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>()(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,238 @@
+#include "compiler/compose.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace flexnet::compiler {
+
+namespace {
+
+std::string Prefixed(std::uint64_t vlan, const std::string& name) {
+  return "t" + std::to_string(vlan) + "." + name;
+}
+
+// Protected namespace a tenant may not write: infra metadata fields.
+bool WritesProtectedField(const std::string& field) {
+  return StartsWith(field, "meta.infra");
+}
+
+Status RewriteFunctionBody(flexbpf::FunctionDecl& fn, std::uint64_t vlan,
+                           const flexbpf::ProgramIR& tenant_program) {
+  for (flexbpf::Instr& instr : fn.instrs) {
+    if (auto* store = std::get_if<flexbpf::InstrStoreField>(&instr)) {
+      if (WritesProtectedField(store->field)) {
+        return PermissionDenied("function '" + fn.name +
+                                "' writes protected field '" + store->field +
+                                "'");
+      }
+    } else if (auto* load = std::get_if<flexbpf::InstrMapLoad>(&instr)) {
+      if (tenant_program.FindMap(load->map) == nullptr) {
+        return PermissionDenied("function '" + fn.name +
+                                "' references foreign map '" + load->map +
+                                "'");
+      }
+      load->map = Prefixed(vlan, load->map);
+    } else if (auto* st = std::get_if<flexbpf::InstrMapStore>(&instr)) {
+      if (tenant_program.FindMap(st->map) == nullptr) {
+        return PermissionDenied("function '" + fn.name +
+                                "' references foreign map '" + st->map + "'");
+      }
+      st->map = Prefixed(vlan, st->map);
+    } else if (auto* add = std::get_if<flexbpf::InstrMapAdd>(&instr)) {
+      if (tenant_program.FindMap(add->map) == nullptr) {
+        return PermissionDenied("function '" + fn.name +
+                                "' references foreign map '" + add->map + "'");
+      }
+      add->map = Prefixed(vlan, add->map);
+    }
+  }
+  return OkStatus();
+}
+
+Status CheckActionOps(const dataplane::Action& action,
+                      const std::string& table_name) {
+  for (const dataplane::ActionOp& op : action.ops) {
+    if (const auto* set = std::get_if<dataplane::OpSetField>(&op)) {
+      if (WritesProtectedField(set->field)) {
+        return PermissionDenied("table '" + table_name + "' action '" +
+                                action.name + "' writes protected field '" +
+                                set->field + "'");
+      }
+    } else if (const auto* add = std::get_if<dataplane::OpAddField>(&op)) {
+      if (WritesProtectedField(add->field)) {
+        return PermissionDenied("table '" + table_name + "' action '" +
+                                action.name + "' writes protected field '" +
+                                add->field + "'");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+bool ActionIsNop(const dataplane::Action& action) {
+  return action.ops.empty();
+}
+
+}  // namespace
+
+flexbpf::FunctionDecl GateFunctionOnVlan(const flexbpf::FunctionDecl& fn,
+                                         std::uint64_t vlan) {
+  flexbpf::FunctionDecl gated;
+  gated.name = fn.name;
+  gated.domain = fn.domain;
+  gated.maps_used = fn.maps_used;
+  // Prologue (3 instructions): r15 = vlan.id; r14 = vlan; if != -> skip.
+  constexpr std::size_t kPrologue = 3;
+  const std::size_t body_size = fn.instrs.size();
+  const std::size_t skip_target = kPrologue + body_size;  // appended return
+  gated.instrs.push_back(flexbpf::InstrLoadField{15, "vlan.id"});
+  gated.instrs.push_back(flexbpf::InstrLoadConst{14, vlan});
+  gated.instrs.push_back(
+      flexbpf::InstrBranch{flexbpf::CmpKind::kNe, 15, 14, skip_target});
+  for (flexbpf::Instr instr : fn.instrs) {
+    if (auto* branch = std::get_if<flexbpf::InstrBranch>(&instr)) {
+      branch->target += kPrologue;
+    } else if (auto* jump = std::get_if<flexbpf::InstrJump>(&instr)) {
+      jump->target += kPrologue;
+    }
+    gated.instrs.push_back(std::move(instr));
+  }
+  gated.instrs.push_back(flexbpf::InstrReturn{});
+  return gated;
+}
+
+Result<flexbpf::ProgramIR> RewriteTenantProgram(const TenantExtension& tenant,
+                                                ComposeReport* report) {
+  flexbpf::ProgramIR rewritten;
+  rewritten.name = Prefixed(tenant.vlan, tenant.program.name);
+
+  for (const flexbpf::MapDecl& map : tenant.program.maps) {
+    flexbpf::MapDecl renamed = map;
+    renamed.name = Prefixed(tenant.vlan, map.name);
+    rewritten.maps.push_back(std::move(renamed));
+    if (report != nullptr) ++report->elements_rewritten;
+  }
+
+  for (const flexbpf::TableDecl& table : tenant.program.tables) {
+    for (const dataplane::Action& action : table.actions) {
+      FLEXNET_RETURN_IF_ERROR(CheckActionOps(action, table.name));
+    }
+    FLEXNET_RETURN_IF_ERROR(CheckActionOps(table.default_action, table.name));
+    flexbpf::TableDecl isolated = table;
+    isolated.name = Prefixed(tenant.vlan, table.name);
+    // Leading VLAN gate column.
+    dataplane::KeySpec vlan_col;
+    vlan_col.field = "vlan.id";
+    vlan_col.kind = dataplane::MatchKind::kExact;
+    vlan_col.width_bits = 12;
+    isolated.key.insert(isolated.key.begin(), vlan_col);
+    for (flexbpf::InitialEntry& entry : isolated.entries) {
+      entry.match.insert(entry.match.begin(),
+                         dataplane::MatchValue::Exact(tenant.vlan));
+    }
+    if (!ActionIsNop(isolated.default_action)) {
+      // A default fires on *every* miss, including foreign traffic; the
+      // tenant's intended default becomes a lowest-priority VLAN-gated
+      // entry instead (only expressible for all-ternary-compatible keys;
+      // otherwise it is simply neutralized and reported).
+      if (report != nullptr) {
+        report->neutralized_defaults.push_back(isolated.name);
+      }
+      isolated.default_action = dataplane::MakeNopAction();
+    }
+    rewritten.tables.push_back(std::move(isolated));
+    if (report != nullptr) ++report->elements_rewritten;
+  }
+
+  for (const flexbpf::FunctionDecl& fn : tenant.program.functions) {
+    flexbpf::FunctionDecl rewritten_fn = fn;
+    FLEXNET_RETURN_IF_ERROR(
+        RewriteFunctionBody(rewritten_fn, tenant.vlan, tenant.program));
+    flexbpf::FunctionDecl gated = GateFunctionOnVlan(rewritten_fn, tenant.vlan);
+    gated.name = Prefixed(tenant.vlan, fn.name);
+    rewritten.functions.push_back(std::move(gated));
+    if (report != nullptr) ++report->elements_rewritten;
+  }
+
+  rewritten.headers = tenant.program.headers;
+  return rewritten;
+}
+
+Result<flexbpf::ProgramIR> ComposeDatapath(
+    const flexbpf::ProgramIR& infrastructure,
+    const std::vector<TenantExtension>& tenants, ComposeReport* report) {
+  flexbpf::ProgramIR composed = infrastructure;
+  composed.name = infrastructure.name + "+tenants";
+
+  std::vector<const flexbpf::FunctionDecl*> tenant_functions;
+  for (const TenantExtension& tenant : tenants) {
+    FLEXNET_ASSIGN_OR_RETURN(flexbpf::ProgramIR rewritten,
+                             RewriteTenantProgram(tenant, report));
+    for (auto& map : rewritten.maps) composed.maps.push_back(std::move(map));
+    for (auto& table : rewritten.tables) {
+      composed.tables.push_back(std::move(table));
+    }
+    for (auto& fn : rewritten.functions) {
+      composed.functions.push_back(std::move(fn));
+    }
+    for (auto& h : rewritten.headers) {
+      if (std::find(composed.headers.begin(), composed.headers.end(), h) ==
+          composed.headers.end()) {
+        composed.headers.push_back(std::move(h));
+      }
+    }
+    if (report != nullptr) ++report->tenants_composed;
+  }
+
+  // Shared-code detection: same body modulo the tenant identity.  Bodies
+  // are compared with the VLAN guard constant masked out and tenant map
+  // prefixes ("t<vlan>.") normalized away.
+  if (report != nullptr) {
+    const auto normalize_map = [](std::string name) {
+      if (!name.empty() && name[0] == 't') {
+        std::size_t i = 1;
+        while (i < name.size() && std::isdigit(static_cast<unsigned char>(
+                                      name[i]))) {
+          ++i;
+        }
+        if (i > 1 && i < name.size() && name[i] == '.') {
+          return "T." + name.substr(i + 1);
+        }
+      }
+      return name;
+    };
+    const auto normalized = [&](const flexbpf::Instr& instr) {
+      flexbpf::Instr copy = instr;
+      if (auto* load = std::get_if<flexbpf::InstrMapLoad>(&copy)) {
+        load->map = normalize_map(load->map);
+      } else if (auto* store = std::get_if<flexbpf::InstrMapStore>(&copy)) {
+        store->map = normalize_map(store->map);
+      } else if (auto* add = std::get_if<flexbpf::InstrMapAdd>(&copy)) {
+        add->map = normalize_map(add->map);
+      }
+      return copy;
+    };
+    const auto& fns = composed.functions;
+    for (std::size_t i = 0; i < fns.size(); ++i) {
+      for (std::size_t j = i + 1; j < fns.size(); ++j) {
+        const auto& a = fns[i].instrs;
+        const auto& b = fns[j].instrs;
+        if (a.size() != b.size() || a.size() < 4) continue;
+        bool same = true;
+        for (std::size_t k = 0; k < a.size() && same; ++k) {
+          if (k == 1) continue;  // guard constant differs per tenant
+          same = normalized(a[k]) == normalized(b[k]);
+        }
+        if (same && fns[i].name != fns[j].name &&
+            StartsWith(fns[i].name, "t") && StartsWith(fns[j].name, "t")) {
+          report->shared_function_pairs.emplace_back(fns[i].name,
+                                                     fns[j].name);
+        }
+      }
+    }
+  }
+  return composed;
+}
+
+}  // namespace flexnet::compiler

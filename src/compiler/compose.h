@@ -1,0 +1,65 @@
+// Datapath composition (paper sections 3 "Scenario" and 3.2 "Datapath
+// composition"): tenant extension programs are laid atop the trusted
+// infrastructure program with VLAN-based isolation and access control.
+//
+// Composition rewrites each tenant program:
+//   * element names are prefixed "t<vlan>." (no collisions across tenants
+//     or with infrastructure),
+//   * map references inside functions are rewritten to the tenant's own
+//     prefixed maps — a tenant cannot name infrastructure or foreign state,
+//   * tables gain a leading exact-match column on vlan.id so entries only
+//     ever fire on the tenant's traffic, and their default action is
+//     forced to nop (a tenant default must not affect foreign packets),
+//   * functions are gated by a VLAN guard prologue (non-matching packets
+//     fall through untouched),
+//   * writes to protected fields (meta.infra.*) are rejected.
+//
+// The composer also reports logically shared code across tenants
+// (structurally identical functions), the dedup opportunity section 3.2
+// calls out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flexbpf/ir.h"
+
+namespace flexnet::compiler {
+
+struct TenantExtension {
+  TenantId tenant;
+  std::uint64_t vlan = 0;
+  flexbpf::ProgramIR program;
+};
+
+struct ComposeReport {
+  std::size_t tenants_composed = 0;
+  std::size_t elements_rewritten = 0;
+  // Pairs of function names (post-rewrite) that are structurally identical
+  // across tenants — candidates for shared placement.
+  std::vector<std::pair<std::string, std::string>> shared_function_pairs;
+  // Tenant table defaults that were forced to nop.
+  std::vector<std::string> neutralized_defaults;
+};
+
+// Produces the composed whole-network datapath: infrastructure first (its
+// elements keep their names and run first), then each tenant's gated
+// extension.  Fails with kPermissionDenied on an access-control violation.
+Result<flexbpf::ProgramIR> ComposeDatapath(
+    const flexbpf::ProgramIR& infrastructure,
+    const std::vector<TenantExtension>& tenants,
+    ComposeReport* report = nullptr);
+
+// Rewrites one tenant program in isolation (exposed for tests and for the
+// controller's per-tenant admission path).
+Result<flexbpf::ProgramIR> RewriteTenantProgram(const TenantExtension& tenant,
+                                                ComposeReport* report);
+
+// Wraps a function body in a VLAN guard: packets whose vlan.id != vlan
+// skip the body.  Exposed for tests.
+flexbpf::FunctionDecl GateFunctionOnVlan(const flexbpf::FunctionDecl& fn,
+                                         std::uint64_t vlan);
+
+}  // namespace flexnet::compiler

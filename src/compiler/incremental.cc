@@ -1,0 +1,448 @@
+#include "compiler/incremental.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace flexnet::compiler {
+
+bool ProgramDelta::Empty() const noexcept {
+  return StructuralChangeCount() == 0 && EntryChangeCount() == 0;
+}
+
+std::size_t ProgramDelta::StructuralChangeCount() const noexcept {
+  return tables_added.size() + tables_removed.size() +
+         tables_restructured.size() + functions_added.size() +
+         functions_removed.size() + functions_changed.size() +
+         maps_added.size() + maps_removed.size() + headers_added.size();
+}
+
+std::size_t ProgramDelta::EntryChangeCount() const noexcept {
+  std::size_t n = 0;
+  for (const EntryDelta& d : entry_deltas) {
+    n += d.added.size() + d.removed.size();
+  }
+  return n;
+}
+
+ProgramDelta DiffPrograms(const flexbpf::ProgramIR& before,
+                          const flexbpf::ProgramIR& after) {
+  ProgramDelta delta;
+  // Tables.
+  for (const flexbpf::TableDecl& new_table : after.tables) {
+    const flexbpf::TableDecl* old_table = before.FindTable(new_table.name);
+    if (old_table == nullptr) {
+      delta.tables_added.push_back(new_table);
+    } else if (!old_table->SameStructure(new_table)) {
+      delta.tables_restructured.push_back(new_table);
+    } else if (old_table->entries != new_table.entries) {
+      EntryDelta ed;
+      ed.table = new_table.name;
+      for (const flexbpf::InitialEntry& e : new_table.entries) {
+        if (std::find(old_table->entries.begin(), old_table->entries.end(),
+                      e) == old_table->entries.end()) {
+          ed.added.push_back(e);
+        }
+      }
+      for (const flexbpf::InitialEntry& e : old_table->entries) {
+        if (std::find(new_table.entries.begin(), new_table.entries.end(), e) ==
+            new_table.entries.end()) {
+          ed.removed.push_back(e.match);
+        }
+      }
+      delta.entry_deltas.push_back(std::move(ed));
+    }
+  }
+  for (const flexbpf::TableDecl& old_table : before.tables) {
+    if (after.FindTable(old_table.name) == nullptr) {
+      delta.tables_removed.push_back(old_table.name);
+    }
+  }
+  // Functions.
+  for (const flexbpf::FunctionDecl& new_fn : after.functions) {
+    const flexbpf::FunctionDecl* old_fn = before.FindFunction(new_fn.name);
+    if (old_fn == nullptr) {
+      delta.functions_added.push_back(new_fn);
+    } else if (!(*old_fn == new_fn)) {
+      delta.functions_changed.push_back(new_fn);
+    }
+  }
+  for (const flexbpf::FunctionDecl& old_fn : before.functions) {
+    if (after.FindFunction(old_fn.name) == nullptr) {
+      delta.functions_removed.push_back(old_fn.name);
+    }
+  }
+  // Maps (maps are never "restructured" in place: a size/cell change is a
+  // remove+add because live state would be invalidated anyway).
+  for (const flexbpf::MapDecl& new_map : after.maps) {
+    const flexbpf::MapDecl* old_map = before.FindMap(new_map.name);
+    if (old_map == nullptr) {
+      delta.maps_added.push_back(new_map);
+    } else if (!(*old_map == new_map)) {
+      delta.maps_removed.push_back(new_map.name);
+      delta.maps_added.push_back(new_map);
+    }
+  }
+  for (const flexbpf::MapDecl& old_map : before.maps) {
+    if (after.FindMap(old_map.name) == nullptr) {
+      delta.maps_removed.push_back(old_map.name);
+    }
+  }
+  // Headers: additions only (removals are rare and unsafe while tables
+  // still match on the header; the composer handles retirement).
+  for (const flexbpf::HeaderRequirement& req : after.headers) {
+    if (std::find(before.headers.begin(), before.headers.end(), req) ==
+        before.headers.end()) {
+      delta.headers_added.push_back(req);
+    }
+  }
+  return delta;
+}
+
+namespace {
+
+Result<dataplane::TableEntry> ResolveEntry(const flexbpf::TableDecl& table,
+                                           const flexbpf::InitialEntry& e) {
+  const dataplane::Action* action = table.FindAction(e.action_name);
+  if (action == nullptr) {
+    return InvalidArgument("table '" + table.name + "': unknown action '" +
+                           e.action_name + "'");
+  }
+  dataplane::TableEntry entry;
+  entry.match = e.match;
+  entry.action = *action;
+  entry.priority = e.priority;
+  return entry;
+}
+
+}  // namespace
+
+Result<IncrementalResult> IncrementalCompiler::Recompile(
+    const flexbpf::ProgramIR& before, const flexbpf::ProgramIR& after,
+    const CompiledProgram& existing,
+    const std::vector<runtime::ManagedDevice*>& slice) {
+  // Verify the *new* program before computing anything.
+  flexbpf::ProgramIR verified = after;
+  flexbpf::Verifier verifier;
+  FLEXNET_RETURN_IF_ERROR([&]() -> Status {
+    auto r = verifier.Verify(verified);
+    if (!r.ok()) return r.error();
+    return OkStatus();
+  }());
+
+  const ProgramDelta delta = DiffPrograms(before, verified);
+
+  IncrementalResult result;
+  result.compiled.program_name = verified.name;
+
+  const auto find_device = [&](DeviceId id) -> runtime::ManagedDevice* {
+    for (runtime::ManagedDevice* d : slice) {
+      if (d->id() == id) return d;
+    }
+    return nullptr;
+  };
+  const auto plan_for = [&](DeviceId id) -> runtime::ReconfigPlan& {
+    runtime::ReconfigPlan& plan = result.plans[id];
+    if (plan.description.empty()) {
+      plan.description = "incremental update of " + verified.name;
+    }
+    return plan;
+  };
+
+  // Adjacency preference: the device hosting the most elements of this
+  // program, for placing additions next to their siblings.
+  std::unordered_map<DeviceId, std::size_t> host_weight;
+  for (const ElementPlacement& p : existing.placements) {
+    ++host_weight[p.device];
+  }
+  runtime::ManagedDevice* adjacent_preferred = nullptr;
+  std::size_t best_weight = 0;
+  for (const auto& [id, weight] : host_weight) {
+    if (weight > best_weight) {
+      if (runtime::ManagedDevice* d = find_device(id)) {
+        best_weight = weight;
+        adjacent_preferred = d;
+      }
+    }
+  }
+
+  // Start from the old placement book; mutate as we process the delta.
+  std::vector<ElementPlacement> placements = existing.placements;
+  const auto drop_placement = [&](ElementKind kind, const std::string& name) {
+    placements.erase(
+        std::remove_if(placements.begin(), placements.end(),
+                       [&](const ElementPlacement& p) {
+                         return p.kind == kind && p.name == name;
+                       }),
+        placements.end());
+  };
+  const auto placement_of =
+      [&](ElementKind kind,
+          const std::string& name) -> const ElementPlacement* {
+    for (const ElementPlacement& p : placements) {
+      if (p.kind == kind && p.name == name) return &p;
+    }
+    return nullptr;
+  };
+
+  // Helper that places a new element adjacent-first, falling back to any
+  // slice device; probes real devices, keeping reservations released.
+  const auto place_new =
+      [&](ElementKind kind, const std::string& name,
+          const dataplane::TableResources& demand,
+          flexbpf::Domain domain) -> Result<runtime::ManagedDevice*> {
+    std::vector<runtime::ManagedDevice*> candidates;
+    if (adjacent_preferred != nullptr) candidates.push_back(adjacent_preferred);
+    for (runtime::ManagedDevice* d : slice) {
+      if (d != adjacent_preferred) candidates.push_back(d);
+    }
+    const std::string reservation =
+        kind == ElementKind::kFunction
+            ? "fn:" + name
+            : (kind == ElementKind::kMap ? "map:" + name : name);
+    const std::uint64_t order_group =
+        std::hash<std::string>{}(verified.name) | 1;
+    std::string last_error = "no candidates";
+    for (runtime::ManagedDevice* device : candidates) {
+      const arch::ArchKind arch_kind = device->device().arch();
+      const bool domain_ok =
+          domain == flexbpf::Domain::kAny ||
+          (domain == flexbpf::Domain::kEndpoint &&
+           (arch_kind == arch::ArchKind::kNic ||
+            arch_kind == arch::ArchKind::kHost)) ||
+          (domain == flexbpf::Domain::kHost &&
+           arch_kind == arch::ArchKind::kHost);
+      if (!domain_ok) continue;
+      auto probe = device->device().ReserveTable(reservation, demand,
+                                                  SIZE_MAX, order_group);
+      if (probe.ok()) {
+        (void)device->device().ReleaseTable(reservation);
+        placements.push_back(
+            ElementPlacement{kind, name, device->id(), probe.value()});
+        return device;
+      }
+      last_error = probe.error().message();
+    }
+    return CompilationFailed("incremental: cannot place '" + name +
+                             "': " + last_error);
+  };
+
+  // --- Removals first (they free resources the additions may need). ---
+  for (const std::string& name : delta.functions_removed) {
+    if (const ElementPlacement* p =
+            placement_of(ElementKind::kFunction, name)) {
+      plan_for(p->device).steps.push_back(runtime::StepRemoveFunction{name});
+      ++result.structural_ops;
+    }
+    drop_placement(ElementKind::kFunction, name);
+  }
+  for (const std::string& name : delta.tables_removed) {
+    if (const ElementPlacement* p = placement_of(ElementKind::kTable, name)) {
+      plan_for(p->device).steps.push_back(runtime::StepRemoveTable{name});
+      ++result.structural_ops;
+    }
+    drop_placement(ElementKind::kTable, name);
+  }
+  for (const std::string& name : delta.maps_removed) {
+    if (const ElementPlacement* p = placement_of(ElementKind::kMap, name)) {
+      plan_for(p->device).steps.push_back(runtime::StepRemoveMap{name});
+      ++result.structural_ops;
+    }
+    drop_placement(ElementKind::kMap, name);
+  }
+
+  // --- Restructured tables: remove+add, same device when it still fits.
+  for (const flexbpf::TableDecl& table : delta.tables_restructured) {
+    const ElementPlacement* old_place =
+        placement_of(ElementKind::kTable, table.name);
+    runtime::ManagedDevice* old_device =
+        old_place != nullptr ? find_device(old_place->device) : nullptr;
+    drop_placement(ElementKind::kTable, table.name);
+    runtime::ManagedDevice* target = nullptr;
+    if (old_device != nullptr) {
+      // The old reservation still sits on the device; adding the new shape
+      // is feasible if the *delta* fits, probed with a scratch name.
+      auto probe = old_device->device().ReserveTable(
+          "probe:" + table.name, table.Resources(), SIZE_MAX, 0);
+      if (probe.ok()) {
+        (void)old_device->device().ReleaseTable("probe:" + table.name);
+        target = old_device;
+      }
+    }
+    if (target != nullptr) {
+      runtime::ReconfigPlan& plan = plan_for(target->id());
+      plan.steps.push_back(runtime::StepRemoveTable{table.name});
+      runtime::StepAddTable add;
+      add.decl = table;
+      plan.steps.push_back(std::move(add));
+      result.structural_ops += 2;
+      placements.push_back(ElementPlacement{ElementKind::kTable, table.name,
+                                            target->id(), "adjacent"});
+    } else {
+      // Move: remove where it was, place fresh elsewhere.
+      if (old_device != nullptr) {
+        plan_for(old_device->id())
+            .steps.push_back(runtime::StepRemoveTable{table.name});
+        ++result.structural_ops;
+      }
+      FLEXNET_ASSIGN_OR_RETURN(
+          runtime::ManagedDevice * moved,
+          place_new(ElementKind::kTable, table.name, table.Resources(),
+                    flexbpf::Domain::kAny));
+      runtime::StepAddTable add;
+      add.decl = table;
+      plan_for(moved->id()).steps.push_back(std::move(add));
+      ++result.structural_ops;
+      ++result.moved_elements;
+    }
+  }
+
+  // --- Changed functions: replace in place (functions are tiny).
+  for (const flexbpf::FunctionDecl& fn : delta.functions_changed) {
+    const ElementPlacement* p = placement_of(ElementKind::kFunction, fn.name);
+    if (p == nullptr) {
+      return Internal("changed function '" + fn.name + "' has no placement");
+    }
+    runtime::ReconfigPlan& plan = plan_for(p->device);
+    plan.steps.push_back(runtime::StepRemoveFunction{fn.name});
+    runtime::StepAddFunction add;
+    add.fn = fn;
+    plan.steps.push_back(std::move(add));
+    result.structural_ops += 2;
+  }
+
+  // --- Additions.
+  for (const flexbpf::MapDecl& map : delta.maps_added) {
+    dataplane::TableResources demand;
+    demand.state_bytes = map.StateBytes();
+    FLEXNET_ASSIGN_OR_RETURN(runtime::ManagedDevice * device,
+                             place_new(ElementKind::kMap, map.name, demand,
+                                       flexbpf::Domain::kAny));
+    runtime::StepAddMap step;
+    step.decl = map;
+    step.encoding = ResolveEncoding(map.encoding, device->device().arch());
+    plan_for(device->id()).steps.push_back(std::move(step));
+    ++result.structural_ops;
+  }
+  for (const flexbpf::HeaderRequirement& req : delta.headers_added) {
+    // Install on every device hosting this program's elements.
+    std::unordered_set<std::uint64_t> devices;
+    for (const ElementPlacement& p : placements) devices.insert(p.device.value());
+    for (const std::uint64_t raw : devices) {
+      runtime::StepAddParserState step;
+      step.state.name = req.header;
+      step.from = req.after;
+      step.select_value = req.select_value;
+      plan_for(DeviceId(raw)).steps.push_back(std::move(step));
+      ++result.structural_ops;
+    }
+  }
+  for (const flexbpf::TableDecl& table : delta.tables_added) {
+    FLEXNET_ASSIGN_OR_RETURN(
+        runtime::ManagedDevice * device,
+        place_new(ElementKind::kTable, table.name, table.Resources(),
+                  flexbpf::Domain::kAny));
+    runtime::StepAddTable step;
+    step.decl = table;
+    plan_for(device->id()).steps.push_back(std::move(step));
+    ++result.structural_ops;
+  }
+  for (const flexbpf::FunctionDecl& fn : delta.functions_added) {
+    dataplane::TableResources demand;
+    demand.action_slots = 1;
+    FLEXNET_ASSIGN_OR_RETURN(
+        runtime::ManagedDevice * device,
+        place_new(ElementKind::kFunction, fn.name, demand, fn.domain));
+    runtime::StepAddFunction step;
+    step.fn = fn;
+    plan_for(device->id()).steps.push_back(std::move(step));
+    ++result.structural_ops;
+  }
+
+  // --- Entry-level deltas: control-plane writes on the hosting device.
+  for (const EntryDelta& ed : delta.entry_deltas) {
+    const ElementPlacement* p = placement_of(ElementKind::kTable, ed.table);
+    const flexbpf::TableDecl* table = verified.FindTable(ed.table);
+    if (p == nullptr || table == nullptr) {
+      return Internal("entry delta against unplaced table '" + ed.table + "'");
+    }
+    runtime::ReconfigPlan& plan = plan_for(p->device);
+    for (const auto& match : ed.removed) {
+      plan.steps.push_back(runtime::StepRemoveEntry{ed.table, match});
+      ++result.entry_ops;
+    }
+    for (const flexbpf::InitialEntry& e : ed.added) {
+      FLEXNET_ASSIGN_OR_RETURN(dataplane::TableEntry entry,
+                               ResolveEntry(*table, e));
+      plan.steps.push_back(runtime::StepAddEntry{ed.table, std::move(entry)});
+      ++result.entry_ops;
+    }
+  }
+
+  result.compiled.placements = std::move(placements);
+  result.compiled.plans = result.plans;
+  return result;
+}
+
+Result<FullRecompileEstimate> EstimateFullRecompile(
+    const flexbpf::ProgramIR& before, const flexbpf::ProgramIR& after,
+    const CompiledProgram& existing,
+    const std::vector<runtime::ManagedDevice*>& slice,
+    CompileOptions options) {
+  FullRecompileEstimate estimate;
+  const auto removal_plans = MakeRemovalPlans(before, existing);
+  for (const auto& [_, plan] : removal_plans) {
+    estimate.removal_ops += plan.OpCount();
+  }
+  // Probe the fresh compile against devices with the old program's
+  // reservations temporarily lifted.
+  struct Lifted {
+    runtime::ManagedDevice* device;
+    std::string name;
+    dataplane::TableResources demand;
+    std::size_t position;
+  };
+  std::vector<Lifted> lifted;
+  const auto find_device = [&](DeviceId id) -> runtime::ManagedDevice* {
+    for (runtime::ManagedDevice* d : slice) {
+      if (d->id() == id) return d;
+    }
+    return nullptr;
+  };
+  for (const ElementPlacement& p : existing.placements) {
+    runtime::ManagedDevice* device = find_device(p.device);
+    if (device == nullptr) continue;
+    std::string reservation =
+        p.kind == ElementKind::kFunction
+            ? "fn:" + p.name
+            : (p.kind == ElementKind::kMap ? "map:" + p.name : p.name);
+    // Reconstruct demand from the program declaration.
+    dataplane::TableResources demand;
+    demand.action_slots = 0;  // only tables/functions consume action slots
+    if (p.kind == ElementKind::kTable) {
+      if (const flexbpf::TableDecl* t = before.FindTable(p.name)) {
+        demand = t->Resources();
+      }
+    } else if (p.kind == ElementKind::kMap) {
+      if (const flexbpf::MapDecl* m = before.FindMap(p.name)) {
+        demand.state_bytes = m->StateBytes();
+      }
+    } else {
+      demand.action_slots = 1;
+    }
+    if (device->device().ReleaseTable(reservation).ok()) {
+      lifted.push_back(Lifted{device, reservation, demand, SIZE_MAX});
+    }
+  }
+  Compiler fresh(options);
+  auto compiled = fresh.Compile(after, slice);
+  // Restore the lifted reservations regardless of outcome.
+  for (const Lifted& l : lifted) {
+    (void)l.device->device().ReserveTable(l.name, l.demand, l.position, 0);
+  }
+  if (!compiled.ok()) return compiled.error();
+  estimate.install_ops = compiled.value().TotalPlanOps();
+  return estimate;
+}
+
+}  // namespace flexnet::compiler

@@ -1,0 +1,134 @@
+#include "compiler/merge.h"
+
+#include <algorithm>
+
+namespace flexnet::compiler {
+
+namespace {
+
+// A "row" of the cross product: a concrete entry or the table's default.
+struct Row {
+  std::vector<dataplane::MatchValue> match;  // empty => wildcard row
+  const dataplane::Action* action;
+  std::int32_t priority;
+};
+
+std::vector<Row> RowsOf(const flexbpf::TableDecl& table) {
+  std::vector<Row> rows;
+  for (const flexbpf::InitialEntry& e : table.entries) {
+    const dataplane::Action* action = table.FindAction(e.action_name);
+    if (action != nullptr) {
+      rows.push_back(Row{e.match, action, e.priority});
+    }
+  }
+  // Default row: wildcard on every column, lowest priority.
+  rows.push_back(Row{{}, &table.default_action, -1});
+  return rows;
+}
+
+// Wildcard columns must match anything under each column's kind: ternary
+// with mask 0 for (converted) exact/lpm/ternary keys, full range for range
+// keys.
+std::vector<dataplane::MatchValue> WildcardColumns(
+    const std::vector<dataplane::KeySpec>& key) {
+  std::vector<dataplane::MatchValue> cols;
+  cols.reserve(key.size());
+  for (const dataplane::KeySpec& spec : key) {
+    cols.push_back(spec.kind == dataplane::MatchKind::kRange
+                       ? dataplane::MatchValue::Range(0, ~0ULL)
+                       : dataplane::MatchValue::Wildcard());
+  }
+  return cols;
+}
+
+// The merged table is inherently ternary: a cross-product row may be
+// wildcard on one side's columns.  Exact and LPM columns become ternary
+// (their MatchValues already carry value+mask); range stays range.
+dataplane::KeySpec TernaryizeColumn(dataplane::KeySpec spec) {
+  if (spec.kind == dataplane::MatchKind::kExact ||
+      spec.kind == dataplane::MatchKind::kLpm) {
+    spec.kind = dataplane::MatchKind::kTernary;
+  }
+  return spec;
+}
+
+bool ActionDrops(const dataplane::Action& action) {
+  return std::any_of(action.ops.begin(), action.ops.end(),
+                     [](const dataplane::ActionOp& op) {
+                       return std::holds_alternative<dataplane::OpDrop>(op);
+                     });
+}
+
+}  // namespace
+
+Result<MergeOutcome> MergeTables(const flexbpf::TableDecl& first,
+                                 const flexbpf::TableDecl& second) {
+  for (const dataplane::KeySpec& a : first.key) {
+    for (const dataplane::KeySpec& b : second.key) {
+      if (a.field == b.field) {
+        return InvalidArgument("tables '" + first.name + "' and '" +
+                               second.name + "' both match on '" + a.field +
+                               "'");
+      }
+    }
+  }
+  MergeOutcome outcome;
+  outcome.entries_before = first.entries.size() + second.entries.size();
+
+  flexbpf::TableDecl& merged = outcome.merged;
+  merged.name = first.name + "+" + second.name;
+  for (const dataplane::KeySpec& spec : first.key) {
+    merged.key.push_back(TernaryizeColumn(spec));
+  }
+  for (const dataplane::KeySpec& spec : second.key) {
+    merged.key.push_back(TernaryizeColumn(spec));
+  }
+  merged.capacity = std::max<std::size_t>(1, first.capacity) *
+                    std::max<std::size_t>(1, second.capacity);
+
+  const std::vector<Row> rows_a = RowsOf(first);
+  const std::vector<Row> rows_b = RowsOf(second);
+  for (const Row& a : rows_a) {
+    for (const Row& b : rows_b) {
+      dataplane::Action combined;
+      combined.name = a.action->name + "+" + b.action->name;
+      combined.ops = a.action->ops;
+      // If A's half already drops, B's half never ran in the split layout.
+      if (!ActionDrops(*a.action)) {
+        combined.ops.insert(combined.ops.end(), b.action->ops.begin(),
+                            b.action->ops.end());
+      }
+      if (merged.FindAction(combined.name) == nullptr) {
+        merged.actions.push_back(combined);
+      }
+      flexbpf::InitialEntry entry;
+      entry.match = a.match.empty() ? WildcardColumns(first.key) : a.match;
+      const auto b_cols =
+          b.match.empty() ? WildcardColumns(second.key) : b.match;
+      entry.match.insert(entry.match.end(), b_cols.begin(), b_cols.end());
+      entry.action_name = combined.name;
+      // Priority: concrete/concrete beats concrete/default beats
+      // default/default, preserving split-table first-match semantics.
+      entry.priority = (a.priority + 1) * 1000 + (b.priority + 1);
+      merged.entries.push_back(std::move(entry));
+    }
+  }
+  // The pure default/default row becomes the merged default.
+  merged.default_action = merged.entries.back().action_name ==
+                                  first.default_action.name + "+" +
+                                      second.default_action.name
+                              ? *merged.FindAction(merged.entries.back()
+                                                       .action_name)
+                              : dataplane::MakeNopAction();
+  merged.entries.pop_back();
+
+  outcome.entries_after = merged.entries.size();
+  outcome.memory_blowup =
+      outcome.entries_before == 0
+          ? 0.0
+          : static_cast<double>(outcome.entries_after) /
+                static_cast<double>(outcome.entries_before);
+  return outcome;
+}
+
+}  // namespace flexnet::compiler

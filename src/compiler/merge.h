@@ -1,0 +1,31 @@
+// Table-merge optimization (paper section 3.3, "Performance and energy
+// optimizations"): "merging two match/action tables ... will lead to
+// increased memory usage due to a table cross product, but it saves one
+// table lookup time and reduces latency".
+//
+// MergeTables builds the cross-product table: the key is the
+// concatenation of both keys; each merged entry pairs one row of `first`
+// (or its default) with one row of `second` (or its default) and runs
+// both actions in sequence.  Experiment E5 sweeps entry counts to plot
+// the memory-vs-latency trade-off.
+#pragma once
+
+#include "common/result.h"
+#include "flexbpf/ir.h"
+
+namespace flexnet::compiler {
+
+struct MergeOutcome {
+  flexbpf::TableDecl merged;
+  std::size_t entries_before = 0;  // |A| + |B|
+  std::size_t entries_after = 0;   // |A'| * |B'| with defaults included
+  double memory_blowup = 0.0;      // entries_after / entries_before
+  std::size_t lookups_saved = 1;
+};
+
+// Fails if the two tables share a key column (cross product would be
+// ambiguous) or if either has no entries and no default behaviour.
+Result<MergeOutcome> MergeTables(const flexbpf::TableDecl& first,
+                                 const flexbpf::TableDecl& second);
+
+}  // namespace flexnet::compiler

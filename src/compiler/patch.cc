@@ -1,0 +1,252 @@
+#include "compiler/patch.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+#include "flexbpf/text_parser.h"
+
+namespace flexnet::compiler {
+
+namespace {
+
+Error PatchError(std::size_t line_no, const std::string& detail) {
+  return InvalidArgument("patch line " + std::to_string(line_no + 1) + ": " +
+                         detail);
+}
+
+std::vector<flexbpf::TableDecl*> SelectTables(flexbpf::ProgramIR& program,
+                                              std::string_view glob) {
+  std::vector<flexbpf::TableDecl*> out;
+  for (flexbpf::TableDecl& t : program.tables) {
+    if (GlobMatch(glob, t.name)) out.push_back(&t);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PatchReport> ApplyPatch(flexbpf::ProgramIR& program,
+                               std::string_view patch_text) {
+  PatchReport report;
+  std::vector<std::string> lines = Split(patch_text, '\n');
+  for (std::string& line : lines) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+  }
+
+  bool named = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto t = SplitWhitespace(lines[i]);
+    if (t.empty()) continue;
+
+    if (t[0] == "patch") {
+      if (t.size() != 2) return PatchError(i, "patch <name>");
+      report.patch_name = t[1];
+      named = true;
+      continue;
+    }
+    if (!named) return PatchError(i, "patch must start with 'patch <name>'");
+
+    if (t[0] == "on") {
+      if (t.size() < 4 || t[1] != "table") {
+        return PatchError(i, "on table <glob> <edit...>");
+      }
+      const std::vector<flexbpf::TableDecl*> selected =
+          SelectTables(program, t[2]);
+      if (selected.empty()) {
+        return PatchError(i, "selector '" + t[2] + "' matches no table");
+      }
+      const std::string& edit = t[3];
+      if (edit == "capacity") {
+        if (t.size() != 5) return PatchError(i, "capacity <n>");
+        const std::size_t capacity =
+            static_cast<std::size_t>(std::stoull(t[4]));
+        for (flexbpf::TableDecl* table : selected) {
+          table->capacity = capacity;
+          ++report.tables_modified;
+        }
+      } else if (edit == "default") {
+        if (t.size() != 5) return PatchError(i, "default <drop|nop|action>");
+        for (flexbpf::TableDecl* table : selected) {
+          if (t[4] == "drop") {
+            table->default_action = dataplane::MakeDropAction();
+          } else if (t[4] == "nop") {
+            table->default_action = dataplane::MakeNopAction();
+          } else {
+            const dataplane::Action* action = table->FindAction(t[4]);
+            if (action == nullptr) {
+              return PatchError(i, "table '" + table->name +
+                                       "' has no action '" + t[4] + "'");
+            }
+            table->default_action = *action;
+          }
+          ++report.tables_modified;
+        }
+      } else if (edit == "entry") {
+        // on table <glob> entry <m,...> -> <action> [priority <p>]
+        if (t.size() < 6 || t[5] != "->") {
+          return PatchError(i, "entry <m,...> -> <action> [priority <p>]");
+        }
+        for (flexbpf::TableDecl* table : selected) {
+          auto match = flexbpf::ParseEntryMatchText(table->key, t[4]);
+          if (!match.ok()) {
+            return PatchError(i, "table '" + table->name +
+                                     "': " + match.error().message());
+          }
+          flexbpf::InitialEntry entry;
+          entry.match = std::move(match).value();
+          entry.action_name = t[6];
+          if (table->FindAction(entry.action_name) == nullptr) {
+            return PatchError(i, "table '" + table->name +
+                                     "' has no action '" + entry.action_name +
+                                     "'");
+          }
+          if (t.size() == 9 && t[7] == "priority") {
+            entry.priority = static_cast<std::int32_t>(std::stol(t[8]));
+          } else if (t.size() != 7) {
+            return PatchError(i, "trailing tokens after entry");
+          }
+          table->entries.push_back(std::move(entry));
+          ++report.entries_changed;
+        }
+      } else if (edit == "remove-entry") {
+        if (t.size() != 5) return PatchError(i, "remove-entry <m,...>");
+        for (flexbpf::TableDecl* table : selected) {
+          auto match = flexbpf::ParseEntryMatchText(table->key, t[4]);
+          if (!match.ok()) {
+            return PatchError(i, "table '" + table->name +
+                                     "': " + match.error().message());
+          }
+          const std::size_t before = table->entries.size();
+          table->entries.erase(
+              std::remove_if(table->entries.begin(), table->entries.end(),
+                             [&](const flexbpf::InitialEntry& e) {
+                               return e.match == match.value();
+                             }),
+              table->entries.end());
+          report.entries_changed += before - table->entries.size();
+        }
+      } else if (edit == "action") {
+        // on table <glob> action <name> <op;op;...>
+        if (t.size() < 6) return PatchError(i, "action <name> <ops>");
+        const std::string& action_name = t[4];
+        const std::string& raw = lines[i];
+        const std::size_t name_pos = raw.find(action_name, raw.find("action"));
+        const std::string ops_text(
+            Trim(std::string_view(raw).substr(name_pos + action_name.size())));
+        auto action = flexbpf::ParseActionText(action_name, ops_text);
+        if (!action.ok()) return PatchError(i, action.error().message());
+        for (flexbpf::TableDecl* table : selected) {
+          bool replaced = false;
+          for (dataplane::Action& existing : table->actions) {
+            if (existing.name == action_name) {
+              existing = action.value();
+              replaced = true;
+            }
+          }
+          if (!replaced) table->actions.push_back(action.value());
+          ++report.tables_modified;
+        }
+      } else {
+        return PatchError(i, "unknown table edit '" + edit + "'");
+      }
+      continue;
+    }
+
+    if (t[0] == "drop") {
+      if (t.size() != 3) return PatchError(i, "drop <table|func|map> <glob>");
+      const std::string& kind = t[1];
+      const std::string& glob = t[2];
+      std::size_t removed = 0;
+      if (kind == "table") {
+        const std::size_t before = program.tables.size();
+        program.tables.erase(
+            std::remove_if(program.tables.begin(), program.tables.end(),
+                           [&](const flexbpf::TableDecl& d) {
+                             return GlobMatch(glob, d.name);
+                           }),
+            program.tables.end());
+        removed = before - program.tables.size();
+      } else if (kind == "func") {
+        const std::size_t before = program.functions.size();
+        program.functions.erase(
+            std::remove_if(program.functions.begin(), program.functions.end(),
+                           [&](const flexbpf::FunctionDecl& d) {
+                             return GlobMatch(glob, d.name);
+                           }),
+            program.functions.end());
+        removed = before - program.functions.size();
+      } else if (kind == "map") {
+        const std::size_t before = program.maps.size();
+        program.maps.erase(
+            std::remove_if(program.maps.begin(), program.maps.end(),
+                           [&](const flexbpf::MapDecl& d) {
+                             return GlobMatch(glob, d.name);
+                           }),
+            program.maps.end());
+        removed = before - program.maps.size();
+      } else {
+        return PatchError(i, "drop kind must be table|func|map");
+      }
+      if (removed == 0) {
+        return PatchError(i, "selector '" + glob + "' matches no " + kind);
+      }
+      report.elements_removed += removed;
+      continue;
+    }
+
+    if (t[0] == "add") {
+      // Collect lines until end-add and parse them as a FlexBPF fragment.
+      std::string fragment = "program _patch_fragment\n";
+      std::size_t j = i + 1;
+      bool closed = false;
+      for (; j < lines.size(); ++j) {
+        const auto jt = SplitWhitespace(lines[j]);
+        if (!jt.empty() && jt[0] == "end-add") {
+          closed = true;
+          break;
+        }
+        fragment += lines[j];
+        fragment += '\n';
+      }
+      if (!closed) return PatchError(i, "'add' block missing 'end-add'");
+      auto parsed = flexbpf::ParseProgramText(fragment);
+      if (!parsed.ok()) {
+        return PatchError(i, "add block: " + parsed.error().message());
+      }
+      for (auto& m : parsed.value().maps) {
+        if (program.FindMap(m.name) != nullptr) {
+          return PatchError(i, "map '" + m.name + "' already exists");
+        }
+        program.maps.push_back(std::move(m));
+        ++report.elements_added;
+      }
+      for (auto& table : parsed.value().tables) {
+        if (program.FindTable(table.name) != nullptr) {
+          return PatchError(i, "table '" + table.name + "' already exists");
+        }
+        program.tables.push_back(std::move(table));
+        ++report.elements_added;
+      }
+      for (auto& fn : parsed.value().functions) {
+        if (program.FindFunction(fn.name) != nullptr) {
+          return PatchError(i, "function '" + fn.name + "' already exists");
+        }
+        program.functions.push_back(std::move(fn));
+        ++report.elements_added;
+      }
+      for (auto& h : parsed.value().headers) {
+        program.headers.push_back(std::move(h));
+      }
+      i = j;  // skip past end-add
+      continue;
+    }
+
+    return PatchError(i, "unknown directive '" + t[0] + "'");
+  }
+  if (!named) return InvalidArgument("patch text has no 'patch <name>'");
+  return report;
+}
+
+}  // namespace flexnet::compiler

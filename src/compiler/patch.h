@@ -1,0 +1,45 @@
+// The FlexNet patch DSL (paper section 3.2, "Incremental upgrades").
+//
+// Runtime changes "need not specify a complete network processing stack":
+// a patch selects parts of an existing program by *name pattern* and
+// states the edit.  The compiler applies the patch to the base ProgramIR;
+// the IncrementalCompiler then turns old-vs-new into a minimal plan.
+//
+// Grammar (line-oriented, '#' comments):
+//
+//   patch <name>
+//   on table <glob> capacity <n>             # resize matching tables
+//   on table <glob> default <drop|nop|name>  # swap default action
+//   on table <glob> entry <m,...> -> <action> [priority <p>]
+//   on table <glob> remove-entry <m,...>
+//   on table <glob> action <name> <op;op;..> # add/replace a named action
+//   drop table <glob> | drop func <glob> | drop map <glob>
+//   add                                      # begin FlexBPF source block
+//     <map|table|func|header declarations, FlexBPF text syntax>
+//   end-add
+//
+// Globs use '*'/'?' (see GlobMatch).  A selector that matches nothing is
+// an error — silent no-op patches hide typos.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "flexbpf/ir.h"
+
+namespace flexnet::compiler {
+
+struct PatchReport {
+  std::string patch_name;
+  std::size_t tables_modified = 0;
+  std::size_t elements_removed = 0;
+  std::size_t elements_added = 0;
+  std::size_t entries_changed = 0;
+};
+
+// Applies `patch_text` to `program` in place.
+Result<PatchReport> ApplyPatch(flexbpf::ProgramIR& program,
+                               std::string_view patch_text);
+
+}  // namespace flexnet::compiler

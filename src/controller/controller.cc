@@ -1,0 +1,288 @@
+#include "controller/controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flexnet::controller {
+
+const char* ToString(AppState s) noexcept {
+  switch (s) {
+    case AppState::kDeploying:
+      return "deploying";
+    case AppState::kRunning:
+      return "running";
+    case AppState::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
+Controller::Controller(net::Network* network,
+                       compiler::CompileOptions compile_options)
+    : network_(network),
+      options_(std::move(compile_options)),
+      engine_(network->simulator()) {}
+
+std::vector<runtime::ManagedDevice*> Controller::AllDevices() const {
+  std::vector<runtime::ManagedDevice*> devices;
+  for (const auto& d : network_->devices()) devices.push_back(d.get());
+  return devices;
+}
+
+Result<SimTime> Controller::ApplyPlansConsistently(
+    const std::unordered_map<DeviceId, runtime::ReconfigPlan>& plans) {
+  if (plans.empty()) return network_->simulator()->now();
+  // Two-phase ordering: devices with more links (interior/fabric) update
+  // first; edge devices (hosts/NICs, where traffic enters) flip last.
+  // Within our latency model plans run concurrently per device, so we
+  // stagger phases: interior now, edge after the slowest interior plan.
+  std::vector<std::pair<DeviceId, const runtime::ReconfigPlan*>> interior;
+  std::vector<std::pair<DeviceId, const runtime::ReconfigPlan*>> edge;
+  for (const auto& [id, plan] : plans) {
+    runtime::ManagedDevice* device = network_->Find(id);
+    if (device == nullptr) {
+      return NotFound("plan targets unknown device");
+    }
+    const arch::ArchKind kind = device->device().arch();
+    if (kind == arch::ArchKind::kHost || kind == arch::ArchKind::kNic) {
+      edge.emplace_back(id, &plan);
+    } else {
+      interior.emplace_back(id, &plan);
+    }
+  }
+  sim::Simulator* sim = network_->simulator();
+  SimTime interior_done = sim->now();
+  bool failed = false;
+  std::vector<std::string> errors;
+  const auto on_done = [&failed, &errors](const runtime::ApplyReport& report) {
+    if (!report.ok()) {
+      failed = true;
+      errors.insert(errors.end(), report.errors.begin(), report.errors.end());
+    }
+  };
+  for (const auto& [id, plan] : interior) {
+    runtime::ManagedDevice* device = network_->Find(id);
+    reconfig_ops_ += plan->OpCount();
+    interior_done = std::max(
+        interior_done, engine_.ApplyRuntime(*device, *plan, on_done));
+  }
+  // Phase two: schedule edge plans to start once interior is in place.
+  SimTime all_done = interior_done;
+  for (const auto& [id, plan] : edge) {
+    runtime::ManagedDevice* device = network_->Find(id);
+    reconfig_ops_ += plan->OpCount();
+    const SimDuration offset = interior_done - sim->now();
+    // Model phase-two start by prepending the wait to the plan cost.
+    runtime::ReconfigPlan copy = *plan;
+    const SimTime done_at =
+        interior_done + copy.EstimateDuration(device->device());
+    runtime::RuntimeEngine* engine = &engine_;
+    runtime::ManagedDevice* dev = device;
+    runtime::ReconfigPlan plan_copy = std::move(copy);
+    sim->Schedule(offset, [engine, dev, plan_copy, on_done]() {
+      engine->ApplyRuntime(*dev, plan_copy, on_done);
+    });
+    all_done = std::max(all_done, done_at);
+  }
+  network_->simulator()->RunUntil(all_done);
+  if (failed) {
+    std::string joined;
+    for (const std::string& e : errors) {
+      joined += e;
+      joined += "; ";
+    }
+    return Internal("plan application failed: " + joined);
+  }
+  return all_done;
+}
+
+Result<DeployOutcome> Controller::DeployApp(
+    const std::string& uri, flexbpf::ProgramIR program,
+    std::vector<runtime::ManagedDevice*> slice) {
+  if (apps_.contains(uri)) {
+    return AlreadyExists("app '" + uri + "'");
+  }
+  if (slice.empty()) slice = AllDevices();
+  compiler::Compiler compiler(options_);
+  FLEXNET_ASSIGN_OR_RETURN(compiler::CompiledProgram compiled,
+                           compiler.Compile(program, slice));
+  FLEXNET_ASSIGN_OR_RETURN(const SimTime ready,
+                           ApplyPlansConsistently(compiled.plans));
+  AppRecord record;
+  record.id = app_ids_.Next();
+  record.uri = uri;
+  record.program = std::move(program);
+  record.compiled = compiled;
+  record.state = AppState::kRunning;
+  record.deployed_at = ready;
+  apps_.emplace(uri, std::move(record));
+
+  DeployOutcome outcome;
+  outcome.app = apps_.at(uri).id;
+  outcome.ready_at = ready;
+  outcome.plan_ops = compiled.TotalPlanOps();
+  outcome.predicted_latency = compiled.predicted_latency;
+  FLEXNET_ILOG << "deployed " << uri << " (" << outcome.plan_ops
+               << " ops, ready at " << ToMillis(ready) << " ms)";
+  return outcome;
+}
+
+Result<DeployOutcome> Controller::UpdateApp(const std::string& uri,
+                                            flexbpf::ProgramIR new_program) {
+  const auto it = apps_.find(uri);
+  if (it == apps_.end() || it->second.state != AppState::kRunning) {
+    return NotFound("running app '" + uri + "'");
+  }
+  compiler::IncrementalCompiler incremental(options_);
+  FLEXNET_ASSIGN_OR_RETURN(
+      compiler::IncrementalResult result,
+      incremental.Recompile(it->second.program, new_program,
+                            it->second.compiled, AllDevices()));
+  FLEXNET_ASSIGN_OR_RETURN(const SimTime ready,
+                           ApplyPlansConsistently(result.plans));
+  it->second.program = std::move(new_program);
+  it->second.compiled = std::move(result.compiled);
+
+  DeployOutcome outcome;
+  outcome.app = it->second.id;
+  outcome.ready_at = ready;
+  outcome.plan_ops = result.TotalOps();
+  return outcome;
+}
+
+Status Controller::RetireApp(const std::string& uri) {
+  const auto it = apps_.find(uri);
+  if (it == apps_.end() || it->second.state != AppState::kRunning) {
+    return NotFound("running app '" + uri + "'");
+  }
+  const auto plans =
+      compiler::MakeRemovalPlans(it->second.program, it->second.compiled);
+  FLEXNET_RETURN_IF_ERROR([&]() -> Status {
+    auto r = ApplyPlansConsistently(plans);
+    if (!r.ok()) return r.error();
+    return OkStatus();
+  }());
+  it->second.state = AppState::kRetired;
+  apps_.erase(it);
+  FLEXNET_ILOG << "retired " << uri;
+  return OkStatus();
+}
+
+Status Controller::MigrateApp(const std::string& uri, DeviceId from,
+                              DeviceId to) {
+  const auto it = apps_.find(uri);
+  if (it == apps_.end() || it->second.state != AppState::kRunning) {
+    return NotFound("running app '" + uri + "'");
+  }
+  runtime::ManagedDevice* src = network_->Find(from);
+  runtime::ManagedDevice* dst = network_->Find(to);
+  if (src == nullptr || dst == nullptr) {
+    return NotFound("migration endpoint device");
+  }
+  AppRecord& record = it->second;
+
+  // Build the per-element move: install on `to`, migrate state, remove
+  // from `from`.  Installation first so the destination can dual-apply.
+  runtime::ReconfigPlan install;
+  install.description = "migrate " + uri + " (install at " + dst->name() + ")";
+  runtime::ReconfigPlan remove;
+  remove.description = "migrate " + uri + " (remove at " + src->name() + ")";
+  std::vector<std::string> moved_maps;
+  for (compiler::ElementPlacement& p : record.compiled.placements) {
+    if (p.device != from) continue;
+    switch (p.kind) {
+      case compiler::ElementKind::kTable: {
+        const flexbpf::TableDecl* decl = record.program.FindTable(p.name);
+        if (decl == nullptr) return Internal("placement without declaration");
+        runtime::StepAddTable add;
+        add.decl = *decl;
+        install.steps.push_back(std::move(add));
+        remove.steps.push_back(runtime::StepRemoveTable{p.name});
+        break;
+      }
+      case compiler::ElementKind::kFunction: {
+        const flexbpf::FunctionDecl* decl =
+            record.program.FindFunction(p.name);
+        if (decl == nullptr) return Internal("placement without declaration");
+        runtime::StepAddFunction add;
+        add.fn = *decl;
+        install.steps.push_back(std::move(add));
+        remove.steps.push_back(runtime::StepRemoveFunction{p.name});
+        break;
+      }
+      case compiler::ElementKind::kMap: {
+        const flexbpf::MapDecl* decl = record.program.FindMap(p.name);
+        if (decl == nullptr) return Internal("placement without declaration");
+        runtime::StepAddMap add;
+        add.decl = *decl;
+        add.encoding = compiler::ResolveEncoding(decl->encoding,
+                                                 dst->device().arch());
+        install.steps.push_back(std::move(add));
+        remove.steps.push_back(runtime::StepRemoveMap{p.name});
+        moved_maps.push_back(p.name);
+        break;
+      }
+    }
+    p.device = to;
+    p.location = "migrated";
+  }
+  if (install.steps.empty()) {
+    return FailedPrecondition("app '" + uri + "' has no elements on device");
+  }
+  std::unordered_map<DeviceId, runtime::ReconfigPlan> install_plans;
+  install_plans.emplace(to, std::move(install));
+  FLEXNET_RETURN_IF_ERROR([&]() -> Status {
+    auto r = ApplyPlansConsistently(install_plans);
+    if (!r.ok()) return r.error();
+    return OkStatus();
+  }());
+  // Data-plane state migration per map (lossless; E6's protocol).
+  for (const std::string& map_name : moved_maps) {
+    state::EncodedMap* source = src->maps().Find(map_name);
+    state::EncodedMap* destination = dst->maps().Find(map_name);
+    if (source == nullptr || destination == nullptr) {
+      return Internal("migrated map '" + map_name + "' missing an endpoint");
+    }
+    destination->Import(source->Export());
+  }
+  std::unordered_map<DeviceId, runtime::ReconfigPlan> remove_plans;
+  remove_plans.emplace(from, std::move(remove));
+  FLEXNET_RETURN_IF_ERROR([&]() -> Status {
+    auto r = ApplyPlansConsistently(remove_plans);
+    if (!r.ok()) return r.error();
+    return OkStatus();
+  }());
+  return OkStatus();
+}
+
+const AppRecord* Controller::FindApp(const std::string& uri) const noexcept {
+  const auto it = apps_.find(uri);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Controller::AppUris() const {
+  std::vector<std::string> uris;
+  uris.reserve(apps_.size());
+  for (const auto& [uri, _] : apps_) uris.push_back(uri);
+  std::sort(uris.begin(), uris.end());
+  return uris;
+}
+
+std::size_t Controller::running_apps() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [_, record] : apps_) {
+    if (record.state == AppState::kRunning) ++n;
+  }
+  return n;
+}
+
+double Controller::PeakUtilization() const {
+  double peak = 0.0;
+  for (const auto& device : network_->devices()) {
+    peak = std::max(peak, device->device().Utilization());
+  }
+  return peak;
+}
+
+}  // namespace flexnet::controller

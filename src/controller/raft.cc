@@ -1,0 +1,290 @@
+#include "controller/raft.h"
+
+#include <algorithm>
+
+namespace flexnet::controller {
+
+RaftCluster::RaftCluster(sim::Simulator* sim, RaftConfig config,
+                         std::uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed), nodes_(config.nodes) {
+  for (Node& node : nodes_) {
+    node.match_index.assign(config_.nodes, 0);
+  }
+}
+
+SimDuration RaftCluster::RandomElectionTimeout() {
+  const auto span = static_cast<std::uint64_t>(
+      config_.election_timeout_max - config_.election_timeout_min);
+  return config_.election_timeout_min +
+         static_cast<SimDuration>(rng_.NextBounded(span + 1));
+}
+
+void RaftCluster::Send(std::size_t to, std::function<void()> fn) {
+  const SimDuration latency = config_.message_rtt / 2;
+  sim_->Schedule(latency, [this, to, fn = std::move(fn)]() {
+    if (nodes_[to].alive) fn();
+  });
+}
+
+void RaftCluster::Start() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    ArmElectionTimer(i);
+  }
+}
+
+void RaftCluster::ArmElectionTimer(std::size_t node) {
+  Node& n = nodes_[node];
+  const std::uint64_t epoch = ++n.timer_epoch;
+  n.timer_id = sim_->Schedule(RandomElectionTimeout(), [this, node, epoch]() {
+    Node& n = nodes_[node];
+    if (!n.alive || n.timer_epoch != epoch || n.role == Role::kLeader) return;
+    StartElection(node);
+  });
+}
+
+void RaftCluster::StartElection(std::size_t node) {
+  Node& n = nodes_[node];
+  ++elections_;
+  n.role = Role::kCandidate;
+  ++n.term;
+  n.voted_for = static_cast<int>(node);
+  n.votes = 1;
+  const std::uint64_t last_index = n.log.size();
+  const std::uint64_t last_term = n.log.empty() ? 0 : n.log.back().term;
+  const std::uint64_t term = n.term;
+  for (std::size_t peer = 0; peer < nodes_.size(); ++peer) {
+    if (peer == node) continue;
+    Send(peer, [this, peer, node, term, last_index, last_term]() {
+      HandleVoteRequest(peer, node, term, last_index, last_term);
+    });
+  }
+  ArmElectionTimer(node);  // retry with a fresh timeout if the vote splits
+}
+
+void RaftCluster::HandleVoteRequest(std::size_t node, std::size_t from,
+                                    std::uint64_t term,
+                                    std::uint64_t last_log_index,
+                                    std::uint64_t last_log_term) {
+  Node& n = nodes_[node];
+  if (term > n.term) {
+    n.term = term;
+    n.role = Role::kFollower;
+    n.voted_for = -1;
+  }
+  bool granted = false;
+  if (term == n.term &&
+      (n.voted_for == -1 || n.voted_for == static_cast<int>(from))) {
+    const std::uint64_t my_last_term = n.log.empty() ? 0 : n.log.back().term;
+    const bool up_to_date =
+        last_log_term > my_last_term ||
+        (last_log_term == my_last_term && last_log_index >= n.log.size());
+    if (up_to_date) {
+      granted = true;
+      n.voted_for = static_cast<int>(from);
+      ArmElectionTimer(node);  // granting a vote defers our own candidacy
+    }
+  }
+  const std::uint64_t reply_term = n.term;
+  Send(from, [this, from, reply_term, granted]() {
+    HandleVoteReply(from, reply_term, granted);
+  });
+}
+
+void RaftCluster::HandleVoteReply(std::size_t node, std::uint64_t term,
+                                  bool granted) {
+  Node& n = nodes_[node];
+  if (term > n.term) {
+    n.term = term;
+    n.role = Role::kFollower;
+    n.voted_for = -1;
+    return;
+  }
+  if (n.role != Role::kCandidate || term != n.term || !granted) return;
+  ++n.votes;
+  if (n.votes * 2 > static_cast<int>(nodes_.size())) {
+    BecomeLeader(node);
+  }
+}
+
+void RaftCluster::BecomeLeader(std::size_t node) {
+  Node& n = nodes_[node];
+  n.role = Role::kLeader;
+  n.match_index.assign(nodes_.size(), 0);
+  n.match_index[node] = n.log.size();
+  SendHeartbeats(node);
+}
+
+void RaftCluster::SendHeartbeats(std::size_t leader_node) {
+  Node& n = nodes_[leader_node];
+  if (!n.alive || n.role != Role::kLeader) return;
+  const std::uint64_t term = n.term;
+  for (std::size_t peer = 0; peer < nodes_.size(); ++peer) {
+    if (peer == leader_node) continue;
+    // Ship the suffix past the follower's known match point.  Shipping
+    // from match_index is correct (if pessimistic) because match_index
+    // only advances on confirmed replication.
+    const std::uint64_t prev = n.match_index[peer];
+    const std::uint64_t prev_term =
+        prev == 0 ? 0 : n.log[prev - 1].term;
+    std::vector<LogEntry> entries(n.log.begin() +
+                                      static_cast<std::ptrdiff_t>(prev),
+                                  n.log.end());
+    const std::uint64_t commit = n.commit_index;
+    Send(peer, [this, peer, leader_node, term, prev, prev_term,
+                entries = std::move(entries), commit]() {
+      HandleAppend(peer, leader_node, term, prev, prev_term, entries, commit);
+    });
+  }
+  sim_->Schedule(config_.heartbeat_interval, [this, leader_node]() {
+    SendHeartbeats(leader_node);
+  });
+}
+
+void RaftCluster::HandleAppend(std::size_t node, std::size_t from,
+                               std::uint64_t term, std::uint64_t prev_index,
+                               std::uint64_t prev_term,
+                               std::vector<LogEntry> entries,
+                               std::uint64_t leader_commit) {
+  Node& n = nodes_[node];
+  if (term < n.term) {
+    const std::uint64_t reply_term = n.term;
+    Send(from, [this, from, node, reply_term]() {
+      HandleAppendReply(from, node, reply_term, false, 0);
+    });
+    return;
+  }
+  n.term = term;
+  n.role = Role::kFollower;
+  ArmElectionTimer(node);
+  // Log consistency check at prev_index.
+  if (prev_index > n.log.size() ||
+      (prev_index > 0 && n.log[prev_index - 1].term != prev_term)) {
+    const std::uint64_t reply_term = n.term;
+    Send(from, [this, from, node, reply_term]() {
+      HandleAppendReply(from, node, reply_term, false, 0);
+    });
+    return;
+  }
+  // Truncate conflicts and append.
+  n.log.resize(prev_index);
+  for (LogEntry& e : entries) n.log.push_back(std::move(e));
+  if (leader_commit > n.commit_index) {
+    n.commit_index = std::min<std::uint64_t>(leader_commit, n.log.size());
+    ApplyCommits(node);
+  }
+  const std::uint64_t match = n.log.size();
+  const std::uint64_t reply_term = n.term;
+  Send(from, [this, from, node, reply_term, match]() {
+    HandleAppendReply(from, node, reply_term, true, match);
+  });
+}
+
+void RaftCluster::HandleAppendReply(std::size_t node, std::size_t from,
+                                    std::uint64_t term, bool success,
+                                    std::uint64_t match) {
+  Node& n = nodes_[node];
+  if (term > n.term) {
+    n.term = term;
+    n.role = Role::kFollower;
+    n.voted_for = -1;
+    return;
+  }
+  if (n.role != Role::kLeader || !success) return;
+  n.match_index[from] = std::max(n.match_index[from], match);
+  AdvanceCommit(node);
+}
+
+void RaftCluster::AdvanceCommit(std::size_t leader_node) {
+  Node& n = nodes_[leader_node];
+  for (std::uint64_t candidate = n.log.size(); candidate > n.commit_index;
+       --candidate) {
+    if (n.log[candidate - 1].term != n.term) break;  // only own-term commits
+    std::size_t replicas = 0;
+    for (std::size_t peer = 0; peer < nodes_.size(); ++peer) {
+      if (n.match_index[peer] >= candidate) ++replicas;
+    }
+    if (replicas * 2 > nodes_.size()) {
+      n.commit_index = candidate;
+      ApplyCommits(leader_node);
+      break;
+    }
+  }
+}
+
+void RaftCluster::ApplyCommits(std::size_t node) {
+  Node& n = nodes_[node];
+  if (n.role != Role::kLeader) return;  // callbacks fire at the leader
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->index <= n.commit_index) {
+      const bool same_entry = it->index <= n.log.size() &&
+                              n.log[it->index - 1].term == it->term;
+      if (it->done) it->done(same_entry, it->index);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int RaftCluster::leader() const noexcept {
+  int best = -1;
+  std::uint64_t best_term = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive && nodes_[i].role == Role::kLeader &&
+        nodes_[i].term >= best_term) {
+      best = static_cast<int>(i);
+      best_term = nodes_[i].term;
+    }
+  }
+  return best;
+}
+
+std::uint64_t RaftCluster::current_term() const noexcept {
+  std::uint64_t term = 0;
+  for (const Node& n : nodes_) term = std::max(term, n.term);
+  return term;
+}
+
+void RaftCluster::Kill(std::size_t node) {
+  nodes_[node].alive = false;
+  nodes_[node].role = Role::kFollower;
+}
+
+void RaftCluster::Revive(std::size_t node) {
+  Node& n = nodes_[node];
+  n.alive = true;
+  n.role = Role::kFollower;
+  n.voted_for = -1;
+  ArmElectionTimer(node);
+}
+
+bool RaftCluster::Propose(std::string op, CommitFn done) {
+  const int l = leader();
+  if (l < 0) return false;
+  Node& n = nodes_[static_cast<std::size_t>(l)];
+  n.log.push_back(LogEntry{n.term, std::move(op)});
+  n.match_index[static_cast<std::size_t>(l)] = n.log.size();
+  pending_.push_back(Pending{n.log.size(), n.term, std::move(done)});
+  return true;
+}
+
+bool RaftCluster::CommittedPrefixesConsistent() const {
+  // Compare every pair of live nodes over their common committed prefix.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].alive) continue;
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (!nodes_[j].alive) continue;
+      const std::uint64_t common =
+          std::min(nodes_[i].commit_index, nodes_[j].commit_index);
+      for (std::uint64_t k = 0; k < common; ++k) {
+        if (nodes_[i].log[k].term != nodes_[j].log[k].term ||
+            nodes_[i].log[k].op != nodes_[j].log[k].op) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace flexnet::controller

@@ -1,0 +1,125 @@
+// Raft consensus for the replicated FlexNet controller (paper section 3.4:
+// "logically centralized controllers are realized in physically
+// distributed nodes, which brings classic distributed systems concerns on
+// consensus and availability").
+//
+// A compact single-threaded Raft over the discrete-event simulator:
+// randomized election timeouts, heartbeat-driven AppendEntries carrying
+// the follower's missing log suffix, majority commit.  Controller
+// operations (app deploys, tenant admissions) are proposed as opaque
+// strings; their completion callbacks fire when the entry commits.
+// Experiment E10 measures failover time and op latency across cluster
+// sizes and leader failures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace flexnet::controller {
+
+struct RaftConfig {
+  std::size_t nodes = 3;
+  SimDuration election_timeout_min = 150 * kMillisecond;
+  SimDuration election_timeout_max = 300 * kMillisecond;
+  SimDuration heartbeat_interval = 50 * kMillisecond;
+  SimDuration message_rtt = 5 * kMillisecond;  // one-way latency is rtt/2
+};
+
+struct LogEntry {
+  std::uint64_t term = 0;
+  std::string op;
+};
+
+class RaftCluster {
+ public:
+  RaftCluster(sim::Simulator* sim, RaftConfig config, std::uint64_t seed = 7);
+
+  // Arms every node's election timer.  Run the simulator to elect.
+  void Start();
+
+  // Index of the current leader, or -1.  With multiple claimants (stale
+  // terms during churn) the highest term wins.
+  int leader() const noexcept;
+  std::uint64_t current_term() const noexcept;
+
+  // Crash-stops a node (drops all its messages until Revive).
+  void Kill(std::size_t node);
+  void Revive(std::size_t node);
+  bool alive(std::size_t node) const noexcept { return nodes_[node].alive; }
+
+  using CommitFn = std::function<void(bool committed, std::uint64_t index)>;
+  // Appends through the current leader; false if no leader is known.
+  bool Propose(std::string op, CommitFn done = nullptr);
+
+  std::uint64_t commit_index(std::size_t node) const noexcept {
+    return nodes_[node].commit_index;
+  }
+  const std::vector<LogEntry>& log(std::size_t node) const noexcept {
+    return nodes_[node].log;
+  }
+  std::size_t size() const noexcept { return nodes_.size(); }
+  std::uint64_t elections_started() const noexcept { return elections_; }
+
+  // True when every live node's committed prefix is identical.
+  bool CommittedPrefixesConsistent() const;
+
+ private:
+  enum class Role : std::uint8_t { kFollower, kCandidate, kLeader };
+
+  struct Node {
+    Role role = Role::kFollower;
+    bool alive = true;
+    std::uint64_t term = 0;
+    int voted_for = -1;
+    std::vector<LogEntry> log;          // 1-based semantics via index+1
+    std::uint64_t commit_index = 0;     // count of committed entries
+    // Leader bookkeeping.
+    std::vector<std::uint64_t> match_index;
+    // Election timer event id (for cancellation).
+    std::uint64_t timer_id = 0;
+    std::uint64_t timer_epoch = 0;      // invalidates stale timer events
+    int votes = 0;
+  };
+
+  struct Pending {
+    std::uint64_t index;  // 1-based log position
+    std::uint64_t term;
+    CommitFn done;
+  };
+
+  void ArmElectionTimer(std::size_t node);
+  void StartElection(std::size_t node);
+  void BecomeLeader(std::size_t node);
+  void SendHeartbeats(std::size_t leader_node);
+  void HandleVoteRequest(std::size_t node, std::size_t from,
+                         std::uint64_t term, std::uint64_t last_log_index,
+                         std::uint64_t last_log_term);
+  void HandleVoteReply(std::size_t node, std::uint64_t term, bool granted);
+  void HandleAppend(std::size_t node, std::size_t from, std::uint64_t term,
+                    std::uint64_t prev_index, std::uint64_t prev_term,
+                    std::vector<LogEntry> entries,
+                    std::uint64_t leader_commit);
+  void HandleAppendReply(std::size_t node, std::size_t from,
+                         std::uint64_t term, bool success,
+                         std::uint64_t match);
+  void AdvanceCommit(std::size_t leader_node);
+  void ApplyCommits(std::size_t node);
+  void Send(std::size_t to, std::function<void()> fn);
+  SimDuration RandomElectionTimeout();
+
+  sim::Simulator* sim_;
+  RaftConfig config_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<Pending> pending_;
+  std::uint64_t elections_ = 0;
+};
+
+}  // namespace flexnet::controller

@@ -1,0 +1,70 @@
+#include "controller/tenant.h"
+
+namespace flexnet::controller {
+
+Result<TenantRecord> TenantManager::AdmitTenant(
+    const std::string& name, const flexbpf::ProgramIR& extension) {
+  if (tenants_.contains(name)) {
+    return AlreadyExists("tenant '" + name + "'");
+  }
+  std::uint64_t vlan;
+  if (!free_vlans_.empty()) {
+    vlan = free_vlans_.back();
+    free_vlans_.pop_back();
+  } else {
+    vlan = next_vlan_++;
+  }
+
+  compiler::TenantExtension tenant_ext;
+  tenant_ext.tenant = ids_.Next();
+  tenant_ext.vlan = vlan;
+  tenant_ext.program = extension;
+
+  last_report_ = compiler::ComposeReport{};
+  auto rewritten = compiler::RewriteTenantProgram(tenant_ext, &last_report_);
+  if (!rewritten.ok()) {
+    free_vlans_.push_back(vlan);
+    return rewritten.error();
+  }
+
+  const std::string uri = "flexnet://" + name + "/extension";
+  const SimTime started = controller_->network()->simulator()->now();
+  auto deployed = controller_->DeployApp(uri, std::move(rewritten).value());
+  if (!deployed.ok()) {
+    free_vlans_.push_back(vlan);
+    return deployed.error();
+  }
+
+  TenantRecord record;
+  record.id = tenant_ext.tenant;
+  record.name = name;
+  record.vlan = vlan;
+  record.app_uri = uri;
+  record.admitted_at = deployed->ready_at;
+  record.admission_latency = deployed->ready_at - started;
+  tenants_.emplace(name, record);
+  return record;
+}
+
+Status TenantManager::RemoveTenant(const std::string& name) {
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) return NotFound("tenant '" + name + "'");
+  FLEXNET_RETURN_IF_ERROR(controller_->RetireApp(it->second.app_uri));
+  free_vlans_.push_back(it->second.vlan);
+  tenants_.erase(it);
+  return OkStatus();
+}
+
+const TenantRecord* TenantManager::Find(const std::string& name) const noexcept {
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> TenantManager::TenantNames() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [n, _] : tenants_) names.push_back(n);
+  return names;
+}
+
+}  // namespace flexnet::controller

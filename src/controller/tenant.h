@@ -1,0 +1,58 @@
+// Tenant lifecycle management (paper section 3 "Scenario" and the
+// "Tenant extensions" use case): tenants arrive with extension programs,
+// get a VLAN and access-control rewriting, are deployed beside the
+// trusted infrastructure program, and are torn down on departure —
+// releasing resources back to the fungible pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/compose.h"
+#include "controller/controller.h"
+
+namespace flexnet::controller {
+
+struct TenantRecord {
+  TenantId id;
+  std::string name;
+  std::uint64_t vlan = 0;
+  std::string app_uri;  // deployed extension app
+  SimTime admitted_at = 0;
+  SimDuration admission_latency = 0;
+};
+
+class TenantManager {
+ public:
+  explicit TenantManager(Controller* controller)
+      : controller_(controller) {}
+
+  // Validates + rewrites the extension for isolation, assigns a VLAN, and
+  // deploys it as "flexnet://<name>/extension".  The extension must pass
+  // access control (kPermissionDenied otherwise) and verification.
+  Result<TenantRecord> AdmitTenant(const std::string& name,
+                                   const flexbpf::ProgramIR& extension);
+
+  // Retires the tenant's app and releases its VLAN.
+  Status RemoveTenant(const std::string& name);
+
+  const TenantRecord* Find(const std::string& name) const noexcept;
+  std::size_t active_tenants() const noexcept { return tenants_.size(); }
+  std::vector<std::string> TenantNames() const;
+
+  const compiler::ComposeReport& last_compose_report() const noexcept {
+    return last_report_;
+  }
+
+ private:
+  Controller* controller_;
+  std::unordered_map<std::string, TenantRecord> tenants_;
+  IdAllocator<TenantId> ids_;
+  std::uint64_t next_vlan_ = 100;
+  std::vector<std::uint64_t> free_vlans_;
+  compiler::ComposeReport last_report_;
+};
+
+}  // namespace flexnet::controller

@@ -1,0 +1,112 @@
+#include "core/flexnet.h"
+
+namespace flexnet::core {
+
+FungibleDatapath::FungibleDatapath(controller::Controller* controller,
+                                   std::string name,
+                                   std::vector<runtime::ManagedDevice*> slice,
+                                   SlaSpec sla)
+    : controller_(controller),
+      name_(std::move(name)),
+      uri_("flexnet://dp/" + name_),
+      slice_(std::move(slice)),
+      sla_(sla) {}
+
+Result<controller::DeployOutcome> FungibleDatapath::Install(
+    flexbpf::ProgramIR program) {
+  if (installed_) {
+    return FailedPrecondition("datapath '" + name_ + "' already installed");
+  }
+  controller_->compile_options().objective = sla_.objective;
+  FLEXNET_ASSIGN_OR_RETURN(controller::DeployOutcome outcome,
+                           controller_->DeployApp(uri_, program, slice_));
+  predicted_latency_ = outcome.predicted_latency;
+  if (sla_.max_path_latency > 0 &&
+      predicted_latency_ > sla_.max_path_latency) {
+    (void)controller_->RetireApp(uri_);
+    return FailedPrecondition(
+        "datapath '" + name_ + "': predicted latency " +
+        std::to_string(predicted_latency_) + "ns exceeds SLA budget " +
+        std::to_string(sla_.max_path_latency) + "ns");
+  }
+  program_ = std::move(program);
+  installed_ = true;
+  return outcome;
+}
+
+Result<controller::DeployOutcome> FungibleDatapath::ApplyPatch(
+    std::string_view patch_text) {
+  if (!installed_) {
+    return FailedPrecondition("datapath '" + name_ + "' not installed");
+  }
+  flexbpf::ProgramIR patched = program_;
+  FLEXNET_ASSIGN_OR_RETURN(const compiler::PatchReport report,
+                           compiler::ApplyPatch(patched, patch_text));
+  (void)report;
+  return Update(std::move(patched));
+}
+
+Result<controller::DeployOutcome> FungibleDatapath::Update(
+    flexbpf::ProgramIR new_program) {
+  if (!installed_) {
+    return FailedPrecondition("datapath '" + name_ + "' not installed");
+  }
+  FLEXNET_ASSIGN_OR_RETURN(controller::DeployOutcome outcome,
+                           controller_->UpdateApp(uri_, new_program));
+  program_ = std::move(new_program);
+  return outcome;
+}
+
+Status FungibleDatapath::Retire() {
+  if (!installed_) {
+    return FailedPrecondition("datapath '" + name_ + "' not installed");
+  }
+  FLEXNET_RETURN_IF_ERROR(controller_->RetireApp(uri_));
+  installed_ = false;
+  return OkStatus();
+}
+
+FlexNet::FlexNet(compiler::CompileOptions compile_options)
+    : network_(&sim_),
+      controller_(&network_, std::move(compile_options)),
+      tenants_(&controller_),
+      traffic_(&network_) {}
+
+Result<FungibleDatapath*> FlexNet::CreateDatapath(
+    const std::string& name, const std::vector<DeviceId>& slice,
+    SlaSpec sla) {
+  if (FindDatapath(name) != nullptr) {
+    return AlreadyExists("datapath '" + name + "'");
+  }
+  std::vector<runtime::ManagedDevice*> devices;
+  if (slice.empty()) {
+    for (const auto& d : network_.devices()) devices.push_back(d.get());
+  } else {
+    for (const DeviceId id : slice) {
+      runtime::ManagedDevice* device = network_.Find(id);
+      if (device == nullptr) {
+        return NotFound("device id " + std::to_string(id.value()) +
+                        " not in network");
+      }
+      devices.push_back(device);
+    }
+  }
+  datapaths_.push_back(std::unique_ptr<FungibleDatapath>(
+      new FungibleDatapath(&controller_, name, std::move(devices), sla)));
+  return datapaths_.back().get();
+}
+
+FungibleDatapath* FlexNet::FindDatapath(const std::string& name) noexcept {
+  for (const auto& dp : datapaths_) {
+    if (dp->name() == name) return dp.get();
+  }
+  return nullptr;
+}
+
+Result<controller::DeployOutcome> FlexNet::InstallInfrastructure(
+    const apps::InfraOptions& options) {
+  return controller_.DeployApp("flexnet://infra/base",
+                               apps::MakeInfrastructureProgram(options));
+}
+
+}  // namespace flexnet::core

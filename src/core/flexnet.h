@@ -1,0 +1,122 @@
+// FlexNet facade — the paper's primary contribution assembled.
+//
+// FungibleDatapath is the programming abstraction of section 3.1: "a
+// whole-stack network device" implemented on a physical slice of the
+// end-to-end network.  Programs are written against the datapath; the
+// compiler decides which components run where; components migrate and
+// the slice's shape is regulated by the SLA.  The FlexNet class owns the
+// full stack — simulator, network, controller, tenants — so examples and
+// benches construct one object and go.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/infra.h"
+#include "compiler/patch.h"
+#include "controller/controller.h"
+#include "controller/tenant.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace flexnet::core {
+
+struct SlaSpec {
+  // 0 = unbounded.  Checked against the compiler's per-slice prediction.
+  SimDuration max_path_latency = 0;
+  compiler::Objective objective = compiler::Objective::kBalanced;
+};
+
+class FlexNet;
+
+// A logical whole-stack device bound to a slice of physical devices.
+class FungibleDatapath {
+ public:
+  const std::string& name() const noexcept { return name_; }
+  const std::string& uri() const noexcept { return uri_; }
+  const std::vector<runtime::ManagedDevice*>& slice() const noexcept {
+    return slice_;
+  }
+
+  // Compiles + hitlessly installs; fails (and rolls back) if the SLA's
+  // latency budget is exceeded by the predicted placement.
+  Result<controller::DeployOutcome> Install(flexbpf::ProgramIR program);
+
+  // Applies a patch-DSL text to the current program and pushes the change
+  // as an incremental update (minimal reconfiguration).
+  Result<controller::DeployOutcome> ApplyPatch(std::string_view patch_text);
+
+  // Replaces the program wholesale through the incremental compiler.
+  Result<controller::DeployOutcome> Update(flexbpf::ProgramIR new_program);
+
+  Status Retire();
+
+  bool installed() const noexcept { return installed_; }
+  const flexbpf::ProgramIR& program() const noexcept { return program_; }
+  SimDuration predicted_latency() const noexcept { return predicted_latency_; }
+  bool MeetsSla() const noexcept {
+    return sla_.max_path_latency == 0 ||
+           predicted_latency_ <= sla_.max_path_latency;
+  }
+
+ private:
+  friend class FlexNet;
+  FungibleDatapath(controller::Controller* controller, std::string name,
+                   std::vector<runtime::ManagedDevice*> slice, SlaSpec sla);
+
+  controller::Controller* controller_;
+  std::string name_;
+  std::string uri_;
+  std::vector<runtime::ManagedDevice*> slice_;
+  SlaSpec sla_;
+  flexbpf::ProgramIR program_;
+  SimDuration predicted_latency_ = 0;
+  bool installed_ = false;
+};
+
+class FlexNet {
+ public:
+  explicit FlexNet(compiler::CompileOptions compile_options = {});
+  FlexNet(const FlexNet&) = delete;
+  FlexNet& operator=(const FlexNet&) = delete;
+
+  sim::Simulator& simulator() noexcept { return sim_; }
+  net::Network& network() noexcept { return network_; }
+  controller::Controller& controller() noexcept { return controller_; }
+  controller::TenantManager& tenants() noexcept { return tenants_; }
+  net::TrafficGenerator& traffic() noexcept { return traffic_; }
+
+  // --- Topology ---
+  net::LeafSpineTopology BuildLeafSpine(const net::LeafSpineConfig& config = {}) {
+    return net::BuildLeafSpine(network_, config);
+  }
+  net::LinearTopology BuildLinear(std::size_t switches = 2,
+                                  net::SwitchKind kind = net::SwitchKind::kDrmt) {
+    return net::BuildLinear(network_, switches, kind);
+  }
+
+  // --- Datapaths ---
+  // Creates a fungible datapath over the named devices (empty = all).
+  Result<FungibleDatapath*> CreateDatapath(
+      const std::string& name, const std::vector<DeviceId>& slice = {},
+      SlaSpec sla = {});
+  FungibleDatapath* FindDatapath(const std::string& name) noexcept;
+
+  // Convenience: installs the standard infrastructure program everywhere.
+  Result<controller::DeployOutcome> InstallInfrastructure(
+      const apps::InfraOptions& options = {});
+
+  // Runs the simulation for `duration`.
+  void Run(SimDuration duration) { sim_.RunUntil(sim_.now() + duration); }
+
+ private:
+  sim::Simulator sim_;
+  net::Network network_;
+  controller::Controller controller_;
+  controller::TenantManager tenants_;
+  net::TrafficGenerator traffic_;
+  std::vector<std::unique_ptr<FungibleDatapath>> datapaths_;
+};
+
+}  // namespace flexnet::core

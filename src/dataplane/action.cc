@@ -1,0 +1,25 @@
+#include "dataplane/action.h"
+
+namespace flexnet::dataplane {
+
+Action MakeDropAction(std::string reason) {
+  Action a;
+  a.name = "drop";
+  a.ops.push_back(OpDrop{std::move(reason)});
+  return a;
+}
+
+Action MakeForwardAction(std::uint32_t port) {
+  Action a;
+  a.name = "forward";
+  a.ops.push_back(OpForward{OperandConst{port}});
+  return a;
+}
+
+Action MakeNopAction() {
+  Action a;
+  a.name = "nop";
+  return a;
+}
+
+}  // namespace flexnet::dataplane

@@ -1,0 +1,30 @@
+// Executes Actions against a packet in the context of a device's stateful
+// objects.  Shared by every architecture model: architectures differ in
+// *where* tables live and what that costs, not in action semantics.
+#pragma once
+
+#include "common/types.h"
+#include "dataplane/action.h"
+#include "dataplane/stateful.h"
+#include "packet/packet.h"
+
+namespace flexnet::dataplane {
+
+struct ExecResult {
+  bool dropped = false;
+  std::size_t ops_executed = 0;
+};
+
+class ActionExecutor {
+ public:
+  explicit ActionExecutor(StateObjects* state) : state_(state) {}
+
+  // Applies every op of `action` to `p` at simulated time `now`.
+  ExecResult Execute(const Action& action, packet::Packet& p, SimTime now);
+
+ private:
+  std::uint64_t Resolve(const Operand& operand, const packet::Packet& p) const;
+  StateObjects* state_;  // not owned; may be null for stateless devices
+};
+
+}  // namespace flexnet::dataplane

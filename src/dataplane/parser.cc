@@ -1,0 +1,151 @@
+#include "dataplane/parser.h"
+
+namespace flexnet::dataplane {
+
+ParseGraph::ParseGraph() = default;
+
+Status ParseGraph::AddState(ParseState state) {
+  if (states_.contains(state.name)) {
+    return AlreadyExists("parse state '" + state.name + "'");
+  }
+  if (start_.empty()) start_ = state.name;
+  states_.emplace(state.name, std::move(state));
+  return OkStatus();
+}
+
+Status ParseGraph::RemoveState(const std::string& name) {
+  if (states_.erase(name) == 0) {
+    return NotFound("parse state '" + name + "'");
+  }
+  // Dangling transitions to the removed state become accepts; callers that
+  // need stricter semantics rewire transitions before removal.
+  for (auto& [_, st] : states_) {
+    for (ParseTransition& t : st.transitions) {
+      if (t.next_state == name) t.next_state.clear();
+    }
+  }
+  if (start_ == name) start_.clear();
+  return OkStatus();
+}
+
+bool ParseGraph::HasState(const std::string& name) const noexcept {
+  return states_.contains(name);
+}
+
+Status ParseGraph::SetStart(std::string state_name) {
+  if (!states_.contains(state_name)) {
+    return NotFound("parse state '" + state_name + "'");
+  }
+  start_ = std::move(state_name);
+  return OkStatus();
+}
+
+Status ParseGraph::AddTransition(const std::string& from, std::uint64_t value,
+                                 const std::string& to) {
+  auto it = states_.find(from);
+  if (it == states_.end()) return NotFound("parse state '" + from + "'");
+  if (!to.empty() && !states_.contains(to)) {
+    return NotFound("parse state '" + to + "'");
+  }
+  for (const ParseTransition& t : it->second.transitions) {
+    if (!t.is_default && t.select_value == value) {
+      return AlreadyExists("transition on value " + std::to_string(value));
+    }
+  }
+  it->second.transitions.push_back(ParseTransition{value, to, false});
+  return OkStatus();
+}
+
+Status ParseGraph::RemoveTransition(const std::string& from,
+                                    std::uint64_t value) {
+  auto it = states_.find(from);
+  if (it == states_.end()) return NotFound("parse state '" + from + "'");
+  auto& ts = it->second.transitions;
+  for (auto t = ts.begin(); t != ts.end(); ++t) {
+    if (!t->is_default && t->select_value == value) {
+      ts.erase(t);
+      return OkStatus();
+    }
+  }
+  return NotFound("transition on value " + std::to_string(value));
+}
+
+ParseResult ParseGraph::Parse(const packet::Packet& p) const {
+  ParseResult result;
+  if (start_.empty()) return result;
+  std::string current = start_;
+  // Cycle guard: a packet has finitely many headers; visiting more states
+  // than headers means the graph loops.
+  std::size_t steps = 0;
+  const std::size_t max_steps = p.headers().size() + 1;
+  while (!current.empty() && steps++ < max_steps) {
+    const auto it = states_.find(current);
+    if (it == states_.end()) return result;  // dangling: reject
+    const ParseState& st = it->second;
+    const packet::Header* h = p.FindHeader(st.name);
+    if (h == nullptr) return result;  // expected header absent: reject
+    result.headers_seen.push_back(st.name);
+    if (st.select_field.empty()) break;  // accept
+    const auto sel = h->Get(st.select_field);
+    if (!sel.has_value()) return result;
+    const ParseTransition* chosen = nullptr;
+    const ParseTransition* fallback = nullptr;
+    for (const ParseTransition& t : st.transitions) {
+      if (t.is_default) {
+        fallback = &t;
+      } else if (t.select_value == *sel) {
+        chosen = &t;
+        break;
+      }
+    }
+    if (chosen == nullptr) chosen = fallback;
+    if (chosen == nullptr) return result;  // no transition: reject
+    current = chosen->next_state;
+  }
+  result.accepted = true;
+  return result;
+}
+
+std::vector<std::string> ParseGraph::StateNames() const {
+  std::vector<std::string> names;
+  names.reserve(states_.size());
+  for (const auto& [n, _] : states_) names.push_back(n);
+  return names;
+}
+
+ParseGraph MakeStandardParseGraph() {
+  ParseGraph g;
+  ParseState eth;
+  eth.name = "eth";
+  eth.select_field = "type";
+  (void)g.AddState(eth);
+
+  ParseState vlan;
+  vlan.name = "vlan";
+  vlan.select_field = "id";
+  // VLAN always continues to ipv4 via default transition.
+  vlan.transitions.push_back(ParseTransition{0, "ipv4", true});
+  (void)g.AddState(vlan);
+
+  ParseState ipv4;
+  ipv4.name = "ipv4";
+  ipv4.select_field = "proto";
+  (void)g.AddState(ipv4);
+
+  ParseState tcp;
+  tcp.name = "tcp";  // terminal
+  (void)g.AddState(tcp);
+
+  ParseState udp;
+  udp.name = "udp";  // terminal
+  (void)g.AddState(udp);
+
+  (void)g.SetStart("eth");
+  (void)g.AddTransition("eth", 0x0800, "ipv4");
+  (void)g.AddTransition("eth", 0x8100, "vlan");
+  (void)g.AddTransition("ipv4", 6, "tcp");
+  (void)g.AddTransition("ipv4", 17, "udp");
+  return g;
+}
+
+}  // namespace flexnet::dataplane

@@ -1,0 +1,75 @@
+// Programmable parse graph.
+//
+// Devices are protocol-oblivious: a packet's headers are only *visible* to
+// the match/action pipeline if the device's parse graph accepts them.  The
+// graph is a state machine — each state names a header and transitions on
+// one of its fields — and states can be added/removed at runtime, which is
+// exactly the "add and remove header types and protocols on-the-fly"
+// capability of section 2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "packet/packet.h"
+
+namespace flexnet::dataplane {
+
+struct ParseTransition {
+  std::uint64_t select_value = 0;  // value of the select field
+  std::string next_state;          // "" == accept
+  bool is_default = false;         // taken when no value matches
+};
+
+struct ParseState {
+  std::string name;          // state name == header name it extracts
+  std::string select_field;  // field of this header to branch on ("" = accept)
+  std::vector<ParseTransition> transitions;
+};
+
+struct ParseResult {
+  bool accepted = false;
+  std::vector<std::string> headers_seen;
+};
+
+class ParseGraph {
+ public:
+  ParseGraph();
+
+  // --- Runtime reconfiguration surface ---
+  Status AddState(ParseState state);
+  Status RemoveState(const std::string& name);
+  bool HasState(const std::string& name) const noexcept;
+  Status SetStart(std::string state_name);
+  std::size_t state_count() const noexcept { return states_.size(); }
+
+  // Wire `value` of `from`'s select field to `to`.
+  Status AddTransition(const std::string& from, std::uint64_t value,
+                       const std::string& to);
+  Status RemoveTransition(const std::string& from, std::uint64_t value);
+
+  // --- Execution ---
+  // Walks the graph against the packet's header stack.  Headers not visited
+  // stay invisible to tables (ParseResult::headers_seen is the visible set).
+  // A packet whose outermost headers cannot be parsed is not accepted.
+  ParseResult Parse(const packet::Packet& p) const;
+
+  // Convenience used by devices: true if the graph accepts the packet.
+  bool Accepts(const packet::Packet& p) const { return Parse(p).accepted; }
+
+  std::vector<std::string> StateNames() const;
+
+ private:
+  std::unordered_map<std::string, ParseState> states_;
+  std::string start_;
+};
+
+// Builds the canonical L2/L3/L4 graph: eth -> (vlan ->) ipv4 -> tcp|udp.
+ParseGraph MakeStandardParseGraph();
+
+}  // namespace flexnet::dataplane

@@ -1,0 +1,95 @@
+#include "dataplane/pipeline.h"
+
+#include <algorithm>
+
+namespace flexnet::dataplane {
+
+Result<MatchActionTable*> Pipeline::AddTable(std::string name,
+                                             std::vector<KeySpec> key,
+                                             std::size_t capacity,
+                                             std::size_t position) {
+  if (FindTable(name) != nullptr) {
+    return AlreadyExists("table '" + name + "'");
+  }
+  auto table = std::make_unique<MatchActionTable>(std::move(name),
+                                                  std::move(key), capacity);
+  MatchActionTable* raw = table.get();
+  position = std::min(position, tables_.size());
+  tables_.insert(tables_.begin() + static_cast<std::ptrdiff_t>(position),
+                 std::move(table));
+  return raw;
+}
+
+Status Pipeline::RemoveTable(const std::string& name) {
+  for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+    if ((*it)->name() == name) {
+      tables_.erase(it);
+      return OkStatus();
+    }
+  }
+  return NotFound("table '" + name + "'");
+}
+
+MatchActionTable* Pipeline::FindTable(const std::string& name) noexcept {
+  for (auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+const MatchActionTable* Pipeline::FindTable(const std::string& name) const noexcept {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Pipeline::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) names.push_back(t->name());
+  return names;
+}
+
+std::size_t Pipeline::IndexOf(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i]->name() == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+Status Pipeline::MoveTable(const std::string& name, std::size_t position) {
+  const std::size_t from = IndexOf(name);
+  if (from == static_cast<std::size_t>(-1)) {
+    return NotFound("table '" + name + "'");
+  }
+  auto table = std::move(tables_[from]);
+  tables_.erase(tables_.begin() + static_cast<std::ptrdiff_t>(from));
+  position = std::min(position, tables_.size());
+  tables_.insert(tables_.begin() + static_cast<std::ptrdiff_t>(position),
+                 std::move(table));
+  return OkStatus();
+}
+
+PipelineResult Pipeline::Process(packet::Packet& p, SimTime now) {
+  PipelineResult result;
+  if (!parser_.Accepts(p)) {
+    p.MarkDropped("parse_reject");
+    result.dropped = true;
+    return result;
+  }
+  ActionExecutor executor(&state_);
+  for (auto& table : tables_) {
+    ++result.tables_traversed;
+    const Action& action = table->Lookup(p);
+    const ExecResult exec = executor.Execute(action, p, now);
+    result.ops_executed += exec.ops_executed;
+    if (exec.dropped) {
+      result.dropped = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace flexnet::dataplane

@@ -1,0 +1,61 @@
+// A Pipeline is an ordered sequence of match/action tables executed against
+// an accepted packet.  It owns its tables; the arch layer maps tables onto
+// physical resources and assigns the latency cost of traversal.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "dataplane/executor.h"
+#include "dataplane/parser.h"
+#include "dataplane/stateful.h"
+#include "dataplane/table.h"
+
+namespace flexnet::dataplane {
+
+struct PipelineResult {
+  bool dropped = false;
+  std::size_t tables_traversed = 0;
+  std::size_t ops_executed = 0;
+};
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  // Insert at `position` (clamped to [0, size]).  Returns the new table.
+  Result<MatchActionTable*> AddTable(std::string name, std::vector<KeySpec> key,
+                                     std::size_t capacity,
+                                     std::size_t position = SIZE_MAX);
+  Status RemoveTable(const std::string& name);
+  MatchActionTable* FindTable(const std::string& name) noexcept;
+  const MatchActionTable* FindTable(const std::string& name) const noexcept;
+
+  std::size_t table_count() const noexcept { return tables_.size(); }
+  std::vector<std::string> TableNames() const;
+  // Position of a table in execution order, or npos.
+  std::size_t IndexOf(const std::string& name) const noexcept;
+  Status MoveTable(const std::string& name, std::size_t position);
+
+  StateObjects& state() noexcept { return state_; }
+  const StateObjects& state() const noexcept { return state_; }
+
+  ParseGraph& parser() noexcept { return parser_; }
+  const ParseGraph& parser() const noexcept { return parser_; }
+
+  // Runs parse + every table in order.  Unparseable packets are dropped
+  // ("parse_reject"); a Drop action short-circuits the remaining tables.
+  PipelineResult Process(packet::Packet& p, SimTime now);
+
+ private:
+  std::vector<std::unique_ptr<MatchActionTable>> tables_;
+  StateObjects state_;
+  ParseGraph parser_ = MakeStandardParseGraph();
+};
+
+}  // namespace flexnet::dataplane

@@ -1,0 +1,158 @@
+#include "dataplane/stateful.h"
+
+#include <algorithm>
+
+namespace flexnet::dataplane {
+
+MeterColor Meter::Execute(SimTime now) noexcept {
+  const double elapsed_s = ToSeconds(now - last_update_);
+  last_update_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_pps_);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return MeterColor::kGreen;
+  }
+  return MeterColor::kRed;
+}
+
+bool StatefulFlowTable::Update(const packet::FlowKey& key,
+                               const std::string& cell, std::uint64_t delta,
+                               SimTime now) {
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    if (flows_.size() >= capacity_) return false;
+    it = flows_.emplace(key, FlowState{}).first;
+  }
+  it->second.cells[cell] += delta;
+  it->second.last_seen = now;
+  return true;
+}
+
+std::optional<std::uint64_t> StatefulFlowTable::Read(
+    const packet::FlowKey& key, const std::string& cell) const {
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) return std::nullopt;
+  const auto cit = it->second.cells.find(cell);
+  if (cit == it->second.cells.end()) return std::nullopt;
+  return cit->second;
+}
+
+bool StatefulFlowTable::Remove(const packet::FlowKey& key) {
+  return flows_.erase(key) > 0;
+}
+
+std::size_t StatefulFlowTable::ExpireIdle(SimTime now) {
+  if (idle_timeout_ <= 0) return 0;
+  std::size_t evicted = 0;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second.last_seen > idle_timeout_) {
+      it = flows_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+std::uint64_t FlowInstructionState::Read(const packet::FlowKey& key,
+                                         std::size_t slot) const noexcept {
+  return cells_[IndexOf(key, slot)];
+}
+
+void FlowInstructionState::Write(const packet::FlowKey& key, std::size_t slot,
+                                 std::uint64_t value) noexcept {
+  cells_[IndexOf(key, slot)] = value;
+}
+
+void FlowInstructionState::Add(const packet::FlowKey& key, std::size_t slot,
+                               std::uint64_t delta) noexcept {
+  cells_[IndexOf(key, slot)] += delta;
+}
+
+Result<RegisterArray*> StateObjects::AddRegisterArray(std::string name,
+                                                      std::size_t size) {
+  if (registers_.contains(name)) {
+    return AlreadyExists("register array '" + name + "'");
+  }
+  auto [it, _] = registers_.emplace(name, RegisterArray(name, size));
+  return &it->second;
+}
+
+Result<Counter*> StateObjects::AddCounter(std::string name) {
+  if (counters_.contains(name)) {
+    return AlreadyExists("counter '" + name + "'");
+  }
+  auto [it, _] = counters_.emplace(name, Counter(name));
+  return &it->second;
+}
+
+Result<Meter*> StateObjects::AddMeter(std::string name, double rate_pps,
+                                      double burst) {
+  if (meters_.contains(name)) {
+    return AlreadyExists("meter '" + name + "'");
+  }
+  auto [it, _] = meters_.emplace(name, Meter(name, rate_pps, burst));
+  return &it->second;
+}
+
+Result<StatefulFlowTable*> StateObjects::AddFlowTable(std::string name,
+                                                      std::size_t capacity,
+                                                      SimDuration idle_timeout) {
+  if (flow_tables_.contains(name)) {
+    return AlreadyExists("flow table '" + name + "'");
+  }
+  auto [it, _] =
+      flow_tables_.emplace(name, StatefulFlowTable(name, capacity, idle_timeout));
+  return &it->second;
+}
+
+Result<FlowInstructionState*> StateObjects::AddFlowInstructionState(
+    std::string name, std::size_t flow_slots) {
+  if (flow_instr_.contains(name)) {
+    return AlreadyExists("flow instruction state '" + name + "'");
+  }
+  auto [it, _] =
+      flow_instr_.emplace(name, FlowInstructionState(name, flow_slots));
+  return &it->second;
+}
+
+RegisterArray* StateObjects::FindRegisterArray(const std::string& name) noexcept {
+  const auto it = registers_.find(name);
+  return it == registers_.end() ? nullptr : &it->second;
+}
+Counter* StateObjects::FindCounter(const std::string& name) noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+Meter* StateObjects::FindMeter(const std::string& name) noexcept {
+  const auto it = meters_.find(name);
+  return it == meters_.end() ? nullptr : &it->second;
+}
+StatefulFlowTable* StateObjects::FindFlowTable(const std::string& name) noexcept {
+  const auto it = flow_tables_.find(name);
+  return it == flow_tables_.end() ? nullptr : &it->second;
+}
+FlowInstructionState* StateObjects::FindFlowInstructionState(
+    const std::string& name) noexcept {
+  const auto it = flow_instr_.find(name);
+  return it == flow_instr_.end() ? nullptr : &it->second;
+}
+
+bool StateObjects::Remove(const std::string& name) {
+  return registers_.erase(name) > 0 || counters_.erase(name) > 0 ||
+         meters_.erase(name) > 0 || flow_tables_.erase(name) > 0 ||
+         flow_instr_.erase(name) > 0;
+}
+
+std::vector<std::string> StateObjects::Names() const {
+  std::vector<std::string> names;
+  for (const auto& [n, _] : registers_) names.push_back(n);
+  for (const auto& [n, _] : counters_) names.push_back(n);
+  for (const auto& [n, _] : meters_) names.push_back(n);
+  for (const auto& [n, _] : flow_tables_) names.push_back(n);
+  for (const auto& [n, _] : flow_instr_) names.push_back(n);
+  return names;
+}
+
+}  // namespace flexnet::dataplane

@@ -1,0 +1,204 @@
+// Stateful data-plane objects — the three vendor-specific state encodings
+// the paper contrasts (section 3.1), plus counters/meters:
+//
+//   * RegisterArray   — P4-style "extern" register file, index-addressed.
+//   * StatefulFlowTable — Nvidia/Mellanox-style table indexed by flow key,
+//     with insertions/removals performed in the data plane.
+//   * FlowInstructionState — PoF-style flow-state instruction set: state is
+//     addressed by (flow, slot) and mutated by tiny instructions.
+//
+// The state/ module layers a logical key/value map over any of these; the
+// compiler picks the encoding per target device.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "packet/flow.h"
+
+namespace flexnet::dataplane {
+
+class RegisterArray {
+ public:
+  RegisterArray(std::string name, std::size_t size)
+      : name_(std::move(name)), cells_(size, 0) {}
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return cells_.size(); }
+
+  std::uint64_t Read(std::size_t index) const noexcept {
+    return index < cells_.size() ? cells_[index] : 0;
+  }
+  void Write(std::size_t index, std::uint64_t value) noexcept {
+    if (index < cells_.size()) cells_[index] = value;
+  }
+  void Add(std::size_t index, std::uint64_t delta) noexcept {
+    if (index < cells_.size()) cells_[index] += delta;
+  }
+  void Clear() noexcept { std::fill(cells_.begin(), cells_.end(), 0); }
+
+  const std::vector<std::uint64_t>& cells() const noexcept { return cells_; }
+  void Restore(std::vector<std::uint64_t> cells) { cells_ = std::move(cells); }
+
+ private:
+  std::string name_;
+  std::vector<std::uint64_t> cells_;
+};
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const noexcept { return name_; }
+  void Inc(std::uint64_t bytes = 0) noexcept {
+    ++packets_;
+    bytes_ += bytes;
+  }
+  std::uint64_t packets() const noexcept { return packets_; }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+  void Reset() noexcept { packets_ = bytes_ = 0; }
+
+ private:
+  std::string name_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+enum class MeterColor : std::uint8_t { kGreen = 0, kYellow = 1, kRed = 2 };
+
+// Single-rate two-color token bucket (three-color degenerates to two when
+// peak == committed).  Time comes from the caller so the meter works under
+// simulated time.
+class Meter {
+ public:
+  Meter(std::string name, double rate_pps, double burst_pkts)
+      : name_(std::move(name)),
+        rate_pps_(rate_pps),
+        burst_(burst_pkts),
+        tokens_(burst_pkts) {}
+
+  const std::string& name() const noexcept { return name_; }
+  double rate_pps() const noexcept { return rate_pps_; }
+  void set_rate_pps(double r) noexcept { rate_pps_ = r; }
+
+  MeterColor Execute(SimTime now) noexcept;
+
+ private:
+  std::string name_;
+  double rate_pps_;
+  double burst_;
+  double tokens_;
+  SimTime last_update_ = 0;
+};
+
+// Flow-keyed state table with data-plane insert (learn on first packet) and
+// idle-timeout removal.  Each flow owns a small set of named cells.
+class StatefulFlowTable {
+ public:
+  StatefulFlowTable(std::string name, std::size_t capacity,
+                    SimDuration idle_timeout = 0)
+      : name_(std::move(name)),
+        capacity_(capacity),
+        idle_timeout_(idle_timeout) {}
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return flows_.size(); }
+
+  // Adds delta to the named cell, inserting the flow if absent.
+  // Returns false when the table is full and the flow is new.
+  bool Update(const packet::FlowKey& key, const std::string& cell,
+              std::uint64_t delta, SimTime now);
+
+  std::optional<std::uint64_t> Read(const packet::FlowKey& key,
+                                    const std::string& cell) const;
+  bool Remove(const packet::FlowKey& key);
+  // Evicts flows idle past the timeout; returns evicted count.
+  std::size_t ExpireIdle(SimTime now);
+  void Clear() { flows_.clear(); }
+
+  struct FlowState {
+    std::unordered_map<std::string, std::uint64_t> cells;
+    SimTime last_seen = 0;
+  };
+  const std::unordered_map<packet::FlowKey, FlowState>& flows() const noexcept {
+    return flows_;
+  }
+  void Restore(std::unordered_map<packet::FlowKey, FlowState> flows) {
+    flows_ = std::move(flows);
+  }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  SimDuration idle_timeout_;
+  std::unordered_map<packet::FlowKey, FlowState> flows_;
+};
+
+// PoF-style flow-state instruction encoding: state addressed by (flow hash %
+// size, slot).  A thin veneer over a register file, but with the PoF access
+// discipline (instructions bounded to 8 slots per flow).
+class FlowInstructionState {
+ public:
+  static constexpr std::size_t kSlotsPerFlow = 8;
+
+  FlowInstructionState(std::string name, std::size_t flow_slots)
+      : name_(std::move(name)), cells_(flow_slots * kSlotsPerFlow, 0),
+        flow_slots_(flow_slots) {}
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t flow_slots() const noexcept { return flow_slots_; }
+
+  std::uint64_t Read(const packet::FlowKey& key, std::size_t slot) const noexcept;
+  void Write(const packet::FlowKey& key, std::size_t slot,
+             std::uint64_t value) noexcept;
+  void Add(const packet::FlowKey& key, std::size_t slot,
+           std::uint64_t delta) noexcept;
+
+  const std::vector<std::uint64_t>& cells() const noexcept { return cells_; }
+  void Restore(std::vector<std::uint64_t> cells) { cells_ = std::move(cells); }
+
+ private:
+  std::size_t IndexOf(const packet::FlowKey& key, std::size_t slot) const noexcept {
+    return (key.Hash() % flow_slots_) * kSlotsPerFlow +
+           (slot % kSlotsPerFlow);
+  }
+  std::string name_;
+  std::vector<std::uint64_t> cells_;
+  std::size_t flow_slots_;
+};
+
+// The per-device registry of stateful objects actions refer to by name.
+class StateObjects {
+ public:
+  Result<RegisterArray*> AddRegisterArray(std::string name, std::size_t size);
+  Result<Counter*> AddCounter(std::string name);
+  Result<Meter*> AddMeter(std::string name, double rate_pps, double burst);
+  Result<StatefulFlowTable*> AddFlowTable(std::string name,
+                                          std::size_t capacity,
+                                          SimDuration idle_timeout = 0);
+  Result<FlowInstructionState*> AddFlowInstructionState(std::string name,
+                                                        std::size_t flow_slots);
+
+  RegisterArray* FindRegisterArray(const std::string& name) noexcept;
+  Counter* FindCounter(const std::string& name) noexcept;
+  Meter* FindMeter(const std::string& name) noexcept;
+  StatefulFlowTable* FindFlowTable(const std::string& name) noexcept;
+  FlowInstructionState* FindFlowInstructionState(const std::string& name) noexcept;
+
+  bool Remove(const std::string& name);
+  std::vector<std::string> Names() const;
+
+ private:
+  std::unordered_map<std::string, RegisterArray> registers_;
+  std::unordered_map<std::string, Counter> counters_;
+  std::unordered_map<std::string, Meter> meters_;
+  std::unordered_map<std::string, StatefulFlowTable> flow_tables_;
+  std::unordered_map<std::string, FlowInstructionState> flow_instr_;
+};
+
+}  // namespace flexnet::dataplane

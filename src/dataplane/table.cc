@@ -1,0 +1,172 @@
+#include "dataplane/table.h"
+
+#include <algorithm>
+
+namespace flexnet::dataplane {
+
+const char* ToString(MatchKind kind) noexcept {
+  switch (kind) {
+    case MatchKind::kExact:
+      return "exact";
+    case MatchKind::kLpm:
+      return "lpm";
+    case MatchKind::kTernary:
+      return "ternary";
+    case MatchKind::kRange:
+      return "range";
+  }
+  return "?";
+}
+
+MatchValue MatchValue::Exact(std::uint64_t v) {
+  MatchValue m;
+  m.value = v;
+  return m;
+}
+
+MatchValue MatchValue::Lpm(std::uint64_t v, std::uint32_t prefix_len,
+                           std::uint32_t width_bits) {
+  MatchValue m;
+  m.prefix_len = prefix_len;
+  m.mask = prefix_len == 0
+               ? 0
+               : (~0ULL << (width_bits - std::min(prefix_len, width_bits)));
+  if (width_bits < 64) m.mask &= (1ULL << width_bits) - 1;
+  m.value = v & m.mask;
+  return m;
+}
+
+MatchValue MatchValue::Ternary(std::uint64_t v, std::uint64_t mask) {
+  MatchValue m;
+  m.mask = mask;
+  m.value = v & mask;
+  return m;
+}
+
+MatchValue MatchValue::Range(std::uint64_t lo, std::uint64_t hi) {
+  MatchValue m;
+  m.value = lo;
+  m.range_hi = hi;
+  return m;
+}
+
+MatchValue MatchValue::Wildcard() {
+  MatchValue m;
+  m.mask = 0;
+  m.value = 0;
+  return m;
+}
+
+MatchActionTable::MatchActionTable(std::string name, std::vector<KeySpec> key,
+                                   std::size_t capacity)
+    : name_(std::move(name)), key_(std::move(key)), capacity_(capacity) {}
+
+bool MatchActionTable::NeedsTcam() const noexcept {
+  return std::any_of(key_.begin(), key_.end(), [](const KeySpec& k) {
+    return k.kind == MatchKind::kTernary || k.kind == MatchKind::kRange ||
+           k.kind == MatchKind::kLpm;
+  });
+}
+
+TableResources MatchActionTable::Resources() const noexcept {
+  TableResources r;
+  if (NeedsTcam()) {
+    r.tcam_entries = capacity_;
+  } else {
+    r.sram_entries = capacity_;
+  }
+  r.action_slots = 1;
+  return r;
+}
+
+Status MatchActionTable::AddEntry(TableEntry entry) {
+  if (entry.match.size() != key_.size()) {
+    return InvalidArgument("table '" + name_ + "': entry has " +
+                           std::to_string(entry.match.size()) +
+                           " match columns, key has " +
+                           std::to_string(key_.size()));
+  }
+  if (entries_.size() >= capacity_) {
+    return ResourceExhausted("table '" + name_ + "' is full (capacity " +
+                             std::to_string(capacity_) + ")");
+  }
+  entries_.push_back(std::move(entry));
+  // Keep longest-prefix / highest-priority entries first so the first match
+  // wins.  LPM priority is the prefix length of the first LPM column.
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [this](const TableEntry& a, const TableEntry& b) {
+                     for (std::size_t i = 0; i < key_.size(); ++i) {
+                       if (key_[i].kind == MatchKind::kLpm &&
+                           a.match[i].prefix_len != b.match[i].prefix_len) {
+                         return a.match[i].prefix_len > b.match[i].prefix_len;
+                       }
+                     }
+                     return a.priority > b.priority;
+                   });
+  return OkStatus();
+}
+
+std::size_t MatchActionTable::RemoveEntries(
+    const std::vector<MatchValue>& match) {
+  const auto same = [](const MatchValue& a, const MatchValue& b) {
+    return a.value == b.value && a.mask == b.mask &&
+           a.prefix_len == b.prefix_len && a.range_hi == b.range_hi;
+  };
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool equal = it->match.size() == match.size();
+    for (std::size_t i = 0; equal && i < match.size(); ++i) {
+      equal = same(it->match[i], match[i]);
+    }
+    if (equal) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool MatchActionTable::EntryMatches(const TableEntry& e,
+                                    const packet::Packet& p) const {
+  for (std::size_t i = 0; i < key_.size(); ++i) {
+    const auto field = p.GetField(key_[i].field);
+    if (!field.has_value()) return false;
+    const MatchValue& m = e.match[i];
+    switch (key_[i].kind) {
+      case MatchKind::kExact:
+        if (*field != m.value) return false;
+        break;
+      case MatchKind::kLpm:
+      case MatchKind::kTernary:
+        if ((*field & m.mask) != m.value) return false;
+        break;
+      case MatchKind::kRange:
+        if (*field < m.value || *field > m.range_hi) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+const Action& MatchActionTable::Lookup(const packet::Packet& p) {
+  ++lookups_;
+  for (TableEntry& e : entries_) {
+    if (EntryMatches(e, p)) {
+      ++e.hit_count;
+      ++hits_;
+      return e.action;
+    }
+  }
+  return default_action_;
+}
+
+const Action* MatchActionTable::Match(const packet::Packet& p) const {
+  for (const TableEntry& e : entries_) {
+    if (EntryMatches(e, p)) return &e.action;
+  }
+  return nullptr;
+}
+
+}  // namespace flexnet::dataplane

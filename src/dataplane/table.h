@@ -1,0 +1,111 @@
+// Match/action tables: exact, LPM, ternary, and range matching over the
+// dotted packet fields, with priorities and a default action.
+//
+// Tables are the unit of runtime reconfiguration in FlexNet: the runtime
+// engine adds/removes whole tables hitlessly, and the compiler moves them
+// between devices, so a table carries its own resource descriptor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "dataplane/action.h"
+#include "packet/packet.h"
+
+namespace flexnet::dataplane {
+
+enum class MatchKind : std::uint8_t { kExact, kLpm, kTernary, kRange };
+
+const char* ToString(MatchKind kind) noexcept;
+
+// One column of a table's key.
+struct KeySpec {
+  std::string field;       // dotted, e.g. "ipv4.dst"
+  MatchKind kind = MatchKind::kExact;
+  std::uint32_t width_bits = 32;
+  friend bool operator==(const KeySpec&, const KeySpec&) = default;
+};
+
+// The per-column match criterion of one entry.
+struct MatchValue {
+  std::uint64_t value = 0;
+  std::uint64_t mask = ~0ULL;   // ternary mask / derived from LPM prefix_len
+  std::uint32_t prefix_len = 0; // LPM only
+  std::uint64_t range_hi = 0;   // range only: match if value <= f <= range_hi
+
+  static MatchValue Exact(std::uint64_t v);
+  static MatchValue Lpm(std::uint64_t v, std::uint32_t prefix_len,
+                        std::uint32_t width_bits = 32);
+  static MatchValue Ternary(std::uint64_t v, std::uint64_t mask);
+  static MatchValue Range(std::uint64_t lo, std::uint64_t hi);
+  static MatchValue Wildcard();
+  friend bool operator==(const MatchValue&, const MatchValue&) = default;
+};
+
+struct TableEntry {
+  std::vector<MatchValue> match;  // one per KeySpec column
+  Action action;
+  std::int32_t priority = 0;      // higher wins among ternary/range matches
+  std::uint64_t hit_count = 0;
+};
+
+// Resource shape used by the compiler/arch layers for placement.
+struct TableResources {
+  std::size_t sram_entries = 0;   // exact / LPM capacity in SRAM
+  std::size_t tcam_entries = 0;   // ternary capacity in TCAM
+  std::size_t action_slots = 1;   // action processing units consumed
+  std::size_t state_bytes = 0;    // attached stateful object footprint
+};
+
+class MatchActionTable {
+ public:
+  MatchActionTable(std::string name, std::vector<KeySpec> key,
+                   std::size_t capacity);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<KeySpec>& key() const noexcept { return key_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  bool NeedsTcam() const noexcept;
+
+  // Declared capacity expressed as a resource demand.
+  TableResources Resources() const noexcept;
+
+  // --- Entry management (control-plane API, P4Runtime-ish) ---
+  Status AddEntry(TableEntry entry);
+  // Removes all entries whose match exactly equals `match`; count removed.
+  std::size_t RemoveEntries(const std::vector<MatchValue>& match);
+  void ClearEntries() { entries_.clear(); }
+  const std::vector<TableEntry>& entries() const noexcept { return entries_; }
+
+  void SetDefaultAction(Action action) { default_action_ = std::move(action); }
+  const Action& default_action() const noexcept { return default_action_; }
+
+  // --- Lookup ---
+  // Returns the matched entry's action (recording the hit) or the default.
+  const Action& Lookup(const packet::Packet& p);
+  // Lookup without hit accounting (const contexts).
+  const Action* Match(const packet::Packet& p) const;
+
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+
+ private:
+  bool EntryMatches(const TableEntry& e, const packet::Packet& p) const;
+
+  std::string name_;
+  std::vector<KeySpec> key_;
+  std::size_t capacity_;
+  std::vector<TableEntry> entries_;
+  Action default_action_ = MakeNopAction();
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace flexnet::dataplane

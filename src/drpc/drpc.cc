@@ -1,0 +1,162 @@
+#include "drpc/drpc.h"
+
+#include <algorithm>
+
+namespace flexnet::drpc {
+
+Status Registry::Register(ServiceInfo info, Handler handler) {
+  if (services_.contains(info.name)) {
+    return AlreadyExists("service '" + info.name + "'");
+  }
+  if (!handler) {
+    return InvalidArgument("service '" + info.name + "' has no handler");
+  }
+  const std::string name = info.name;
+  services_.emplace(name, Entry{std::move(info), std::move(handler)});
+  return OkStatus();
+}
+
+Status Registry::Unregister(const std::string& name) {
+  if (services_.erase(name) == 0) return NotFound("service '" + name + "'");
+  return OkStatus();
+}
+
+Result<ServiceInfo> Registry::Lookup(const std::string& name) const {
+  const auto it = services_.find(name);
+  if (it == services_.end()) return NotFound("service '" + name + "'");
+  return it->second.info;
+}
+
+const Handler* Registry::FindHandler(const std::string& name) const {
+  const auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second.handler;
+}
+
+std::vector<std::string> Registry::ServiceNames() const {
+  std::vector<std::string> names;
+  names.reserve(services_.size());
+  for (const auto& [n, _] : services_) names.push_back(n);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<ServiceInfo> Client::Resolve(const std::string& service,
+                                    SimDuration* discovery_latency) {
+  *discovery_latency = 0;
+  const auto it = cache_.find(service);
+  if (it != cache_.end()) return it->second;
+  FLEXNET_ASSIGN_OR_RETURN(const SimDuration to_registry,
+                           network_->EstimatePathLatency(caller_,
+                                                         registry_->host()));
+  FLEXNET_ASSIGN_OR_RETURN(ServiceInfo info, registry_->Lookup(service));
+  *discovery_latency = 2 * to_registry;  // lookup round trip
+  cache_[service] = info;
+  return info;
+}
+
+void Client::Invoke(const std::string& service, Message request, DoneFn done) {
+  InvokeOutcome outcome;
+  SimDuration discovery = 0;
+  const auto info = Resolve(service, &discovery);
+  sim::Simulator* sim = network_->simulator();
+  if (!info.ok()) {
+    outcome.error = info.error().ToText();
+    sim->Schedule(discovery, [outcome, done]() { done(outcome); });
+    return;
+  }
+  const auto path = network_->EstimatePathLatency(caller_, info->host);
+  if (!path.ok()) {
+    outcome.error = path.error().ToText();
+    sim->Schedule(discovery, [outcome, done]() { done(outcome); });
+    return;
+  }
+  const Handler* handler = registry_->FindHandler(service);
+  if (handler == nullptr) {
+    outcome.error = "service vanished after resolution";
+    sim->Schedule(discovery, [outcome, done]() { done(outcome); });
+    return;
+  }
+  const SimDuration total =
+      discovery + 2 * path.value() + info->handler_latency;
+  Handler handler_copy = *handler;
+  sim->Schedule(total, [handler_copy, request = std::move(request), total,
+                        done]() {
+    InvokeOutcome result;
+    result.latency = total;
+    const auto response = handler_copy(request);
+    if (response.ok()) {
+      result.ok = true;
+      result.response = response.value();
+    } else {
+      result.error = response.error().ToText();
+    }
+    done(result);
+  });
+}
+
+void Client::InvokeViaController(const std::string& service, Message request,
+                                 DoneFn done, SimDuration control_rtt,
+                                 SimDuration software_cost) {
+  // caller -> controller (RTT) -> software handling -> controller -> host
+  // device (RTT).  The handler itself still runs wherever it lives.
+  const Handler* handler = registry_->FindHandler(service);
+  sim::Simulator* sim = network_->simulator();
+  if (handler == nullptr) {
+    InvokeOutcome outcome;
+    outcome.error = "service '" + service + "' not registered";
+    sim->Schedule(control_rtt, [outcome, done]() { done(outcome); });
+    return;
+  }
+  const SimDuration total = 2 * control_rtt + software_cost;
+  Handler handler_copy = *handler;
+  sim->Schedule(total, [handler_copy, request = std::move(request), total,
+                        done]() {
+    InvokeOutcome result;
+    result.latency = total;
+    const auto response = handler_copy(request);
+    if (response.ok()) {
+      result.ok = true;
+      result.response = response.value();
+    } else {
+      result.error = response.error().ToText();
+    }
+    done(result);
+  });
+}
+
+Status RegisterStatePullService(Registry& registry, DeviceId host,
+                                state::EncodedMap* map,
+                                const std::string& name) {
+  ServiceInfo info;
+  info.name = name;
+  info.host = host;
+  info.handler_latency = 800;  // snapshot chunking in the data plane
+  return registry.Register(std::move(info), [map](const Message& request)
+                                                -> Result<Message> {
+    const std::uint64_t offset = request.Get("offset");
+    const std::uint64_t limit = request.Get("limit", 256);
+    const state::MapSnapshot full = map->Export();
+    Message response;
+    response.fields["total"] = full.size();
+    for (std::uint64_t i = offset;
+         i < full.size() && i < offset + limit; ++i) {
+      response.snapshot.push_back(full[i]);
+    }
+    response.fields["returned"] = response.snapshot.size();
+    return response;
+  });
+}
+
+Status RegisterEchoService(Registry& registry, DeviceId host,
+                           const std::string& name) {
+  ServiceInfo info;
+  info.name = name;
+  info.host = host;
+  info.handler_latency = 300;
+  return registry.Register(std::move(info),
+                           [](const Message& request) -> Result<Message> {
+                             return Message(request);
+                           });
+}
+
+}  // namespace flexnet::drpc

@@ -1,0 +1,124 @@
+// Data plane RPCs — dRPCs (paper section 3.4).
+//
+// The infrastructure program exposes utility services (state migration,
+// replication, telemetry pulls) that tenant datapaths invoke *in-band*:
+// request and response are packets flowing between devices, so an
+// invocation costs path latency plus nanosecond-scale data-plane handler
+// execution — versus a controller-mediated operation, which costs two
+// software RTTs plus millisecond-scale control software.  Both paths are
+// modeled so E7 can measure the gap.
+//
+// Service discovery: names resolve through an in-network registry hosted
+// on a device; resolution results are cached by the caller, and the
+// registry supports real-time (de)registration as programs come and go.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/network.h"
+#include "state/logical_map.h"
+
+namespace flexnet::drpc {
+
+// Wire payload: small named scalars plus an optional state snapshot (the
+// migration utility moves logical map chunks in responses).
+struct Message {
+  std::unordered_map<std::string, std::uint64_t> fields;
+  state::MapSnapshot snapshot;
+
+  std::uint64_t Get(const std::string& key, std::uint64_t fallback = 0) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? fallback : it->second;
+  }
+};
+
+using Handler = std::function<Result<Message>(const Message& request)>;
+
+struct ServiceInfo {
+  std::string name;      // e.g. "drpc://infra/state.migrate"
+  DeviceId host;
+  SimDuration handler_latency = 500;  // data-plane execution, ns
+};
+
+// The in-network registry.  Hosted at one device; lookups from elsewhere
+// pay the path latency to it (once — callers cache).
+class Registry {
+ public:
+  Registry(net::Network* network, DeviceId host)
+      : network_(network), host_(host) {}
+
+  DeviceId host() const noexcept { return host_; }
+
+  Status Register(ServiceInfo info, Handler handler);
+  Status Unregister(const std::string& name);
+  Result<ServiceInfo> Lookup(const std::string& name) const;
+  const Handler* FindHandler(const std::string& name) const;
+  std::vector<std::string> ServiceNames() const;
+
+ private:
+  net::Network* network_;
+  DeviceId host_;
+  struct Entry {
+    ServiceInfo info;
+    Handler handler;
+  };
+  std::unordered_map<std::string, Entry> services_;
+};
+
+struct InvokeOutcome {
+  bool ok = false;
+  std::string error;
+  Message response;
+  SimDuration latency = 0;  // request->response, modeled
+};
+
+class Client {
+ public:
+  Client(net::Network* network, Registry* registry, DeviceId caller)
+      : network_(network), registry_(registry), caller_(caller) {}
+
+  using DoneFn = std::function<void(const InvokeOutcome&)>;
+
+  // In-band invocation.  First call to a name pays a discovery round trip
+  // to the registry; later calls use the cache.  Completion is delivered
+  // through the simulator after the modeled latency.
+  void Invoke(const std::string& service, Message request, DoneFn done);
+
+  // Baseline: the same operation mediated by controller software — two
+  // control-channel RTTs plus software handling (E7's comparison arm).
+  void InvokeViaController(const std::string& service, Message request,
+                           DoneFn done,
+                           SimDuration control_rtt = 2 * kMillisecond,
+                           SimDuration software_cost = 200 * kMicrosecond);
+
+  std::size_t cache_size() const noexcept { return cache_.size(); }
+
+ private:
+  Result<ServiceInfo> Resolve(const std::string& service,
+                              SimDuration* discovery_latency);
+
+  net::Network* network_;
+  Registry* registry_;
+  DeviceId caller_;
+  std::unordered_map<std::string, ServiceInfo> cache_;
+};
+
+// --- Built-in infrastructure utility services ---
+
+// Registers "drpc://infra/state.pull": responds with a chunk of an
+// EncodedMap's logical snapshot (request fields: "offset", "limit").
+Status RegisterStatePullService(Registry& registry, DeviceId host,
+                                state::EncodedMap* map,
+                                const std::string& name =
+                                    "drpc://infra/state.pull");
+
+// Registers "drpc://infra/echo" (diagnostics; returns the request).
+Status RegisterEchoService(Registry& registry, DeviceId host,
+                           const std::string& name = "drpc://infra/echo");
+
+}  // namespace flexnet::drpc

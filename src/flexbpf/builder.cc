@@ -1,0 +1,149 @@
+#include "flexbpf/builder.h"
+
+namespace flexnet::flexbpf {
+
+FunctionBuilder::FunctionBuilder(std::string name, Domain domain) {
+  fn_.name = std::move(name);
+  fn_.domain = domain;
+}
+
+FunctionBuilder& FunctionBuilder::Const(int dst, std::uint64_t value) {
+  fn_.instrs.push_back(InstrLoadConst{dst, value});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Field(int dst, std::string field) {
+  fn_.instrs.push_back(InstrLoadField{dst, std::move(field)});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::StoreField(std::string field, int src) {
+  fn_.instrs.push_back(InstrStoreField{std::move(field), src});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::FlowKey(int dst) {
+  fn_.instrs.push_back(InstrLoadFlowKey{dst});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Op(BinOpKind op, int dst, int lhs, int rhs) {
+  fn_.instrs.push_back(InstrBinOp{op, dst, lhs, rhs});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::OpImm(BinOpKind op, int dst, int lhs,
+                                        std::uint64_t imm) {
+  fn_.instrs.push_back(InstrBinOpImm{op, dst, lhs, imm});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::MapLoad(int dst, std::string map, int key,
+                                          std::string cell) {
+  fn_.instrs.push_back(InstrMapLoad{dst, std::move(map), key, std::move(cell)});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::MapStore(std::string map, int key,
+                                           std::string cell, int src) {
+  fn_.instrs.push_back(
+      InstrMapStore{std::move(map), key, std::move(cell), src});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::MapAdd(std::string map, int key,
+                                         std::string cell, int src) {
+  fn_.instrs.push_back(InstrMapAdd{std::move(map), key, std::move(cell), src});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::BranchIf(CmpKind cmp, int lhs, int rhs,
+                                           std::string label) {
+  fixups_.push_back(Fixup{fn_.instrs.size(), std::move(label)});
+  fn_.instrs.push_back(InstrBranch{cmp, lhs, rhs, 0});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Jump(std::string label) {
+  fixups_.push_back(Fixup{fn_.instrs.size(), std::move(label)});
+  fn_.instrs.push_back(InstrJump{0});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Label(std::string label) {
+  labels_[std::move(label)] = fn_.instrs.size();
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Drop(std::string reason) {
+  fn_.instrs.push_back(InstrDrop{std::move(reason)});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Forward(int port_reg) {
+  fn_.instrs.push_back(InstrForward{port_reg});
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Return() {
+  fn_.instrs.push_back(InstrReturn{});
+  return *this;
+}
+
+Result<FunctionDecl> FunctionBuilder::Build() {
+  for (const Fixup& fixup : fixups_) {
+    const auto it = labels_.find(fixup.label);
+    if (it == labels_.end()) {
+      return InvalidArgument("function '" + fn_.name + "': unknown label '" +
+                             fixup.label + "'");
+    }
+    if (it->second <= fixup.instr_index) {
+      return InvalidArgument("function '" + fn_.name + "': label '" +
+                             fixup.label +
+                             "' is backward (loops are not allowed)");
+    }
+    Instr& instr = fn_.instrs[fixup.instr_index];
+    if (auto* b = std::get_if<InstrBranch>(&instr)) {
+      b->target = it->second;
+    } else if (auto* j = std::get_if<InstrJump>(&instr)) {
+      j->target = it->second;
+    }
+  }
+  return std::move(fn_);
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  program_.name = std::move(name);
+}
+
+ProgramBuilder& ProgramBuilder::AddMap(std::string name, std::size_t size,
+                                       std::vector<std::string> cells,
+                                       MapEncoding encoding) {
+  MapDecl m;
+  m.name = std::move(name);
+  m.size = size;
+  m.cells = std::move(cells);
+  m.encoding = encoding;
+  program_.maps.push_back(std::move(m));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::AddTable(TableDecl table) {
+  program_.tables.push_back(std::move(table));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::AddFunction(FunctionDecl fn) {
+  program_.functions.push_back(std::move(fn));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::RequireHeader(std::string header,
+                                              std::string after,
+                                              std::uint64_t select_value) {
+  program_.headers.push_back(
+      HeaderRequirement{std::move(header), std::move(after), select_value});
+  return *this;
+}
+
+}  // namespace flexnet::flexbpf

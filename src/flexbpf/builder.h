@@ -1,0 +1,69 @@
+// Fluent builders for FlexBPF programs.
+//
+// FunctionBuilder provides labels so callers never hand-compute branch
+// targets; Build() resolves labels to absolute forward indices (the
+// verifier still independently checks forward-ness).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "flexbpf/ir.h"
+
+namespace flexnet::flexbpf {
+
+class FunctionBuilder {
+ public:
+  explicit FunctionBuilder(std::string name, Domain domain = Domain::kAny);
+
+  FunctionBuilder& Const(int dst, std::uint64_t value);
+  FunctionBuilder& Field(int dst, std::string field);
+  FunctionBuilder& StoreField(std::string field, int src);
+  FunctionBuilder& FlowKey(int dst);
+  FunctionBuilder& Op(BinOpKind op, int dst, int lhs, int rhs);
+  FunctionBuilder& OpImm(BinOpKind op, int dst, int lhs, std::uint64_t imm);
+  FunctionBuilder& MapLoad(int dst, std::string map, int key, std::string cell);
+  FunctionBuilder& MapStore(std::string map, int key, std::string cell, int src);
+  FunctionBuilder& MapAdd(std::string map, int key, std::string cell, int src);
+  // Branch to `label` (declared later via Label()) when cmp holds.
+  FunctionBuilder& BranchIf(CmpKind cmp, int lhs, int rhs, std::string label);
+  FunctionBuilder& Jump(std::string label);
+  FunctionBuilder& Label(std::string label);
+  FunctionBuilder& Drop(std::string reason = "flexbpf");
+  FunctionBuilder& Forward(int port_reg);
+  FunctionBuilder& Return();
+
+  // Resolves labels; fails on unknown or backward labels.
+  Result<FunctionDecl> Build();
+
+ private:
+  FunctionDecl fn_;
+  struct Fixup {
+    std::size_t instr_index;
+    std::string label;
+  };
+  std::vector<Fixup> fixups_;
+  std::unordered_map<std::string, std::size_t> labels_;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  ProgramBuilder& AddMap(std::string name, std::size_t size,
+                         std::vector<std::string> cells,
+                         MapEncoding encoding = MapEncoding::kAuto);
+  ProgramBuilder& AddTable(TableDecl table);
+  ProgramBuilder& AddFunction(FunctionDecl fn);
+  ProgramBuilder& RequireHeader(std::string header, std::string after,
+                                std::uint64_t select_value);
+
+  ProgramIR Build() { return std::move(program_); }
+
+ private:
+  ProgramIR program_;
+};
+
+}  // namespace flexnet::flexbpf

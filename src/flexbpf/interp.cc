@@ -1,0 +1,122 @@
+#include "flexbpf/interp.h"
+
+#include <algorithm>
+
+#include "packet/flow.h"
+
+namespace flexnet::flexbpf {
+
+std::string InMemoryMapBackend::KeyOf(const std::string& map,
+                                      std::uint64_t key,
+                                      const std::string& cell) const {
+  return map + "/" + std::to_string(key) + "/" + cell;
+}
+
+std::uint64_t InMemoryMapBackend::Load(const std::string& map,
+                                       std::uint64_t key,
+                                       const std::string& cell) {
+  const auto it = cells_.find(KeyOf(map, key, cell));
+  return it == cells_.end() ? 0 : it->second;
+}
+
+void InMemoryMapBackend::Store(const std::string& map, std::uint64_t key,
+                               const std::string& cell, std::uint64_t value) {
+  cells_[KeyOf(map, key, cell)] = value;
+}
+
+void InMemoryMapBackend::Add(const std::string& map, std::uint64_t key,
+                             const std::string& cell, std::uint64_t delta) {
+  cells_[KeyOf(map, key, cell)] += delta;
+}
+
+namespace {
+
+std::uint64_t ApplyBinOp(BinOpKind op, std::uint64_t a,
+                         std::uint64_t b) noexcept {
+  switch (op) {
+    case BinOpKind::kAdd: return a + b;
+    case BinOpKind::kSub: return a - b;
+    case BinOpKind::kMul: return a * b;
+    case BinOpKind::kAnd: return a & b;
+    case BinOpKind::kOr: return a | b;
+    case BinOpKind::kXor: return a ^ b;
+    case BinOpKind::kShl: return b >= 64 ? 0 : a << b;
+    case BinOpKind::kShr: return b >= 64 ? 0 : a >> b;
+    case BinOpKind::kMin: return std::min(a, b);
+    case BinOpKind::kMax: return std::max(a, b);
+  }
+  return 0;
+}
+
+bool ApplyCmp(CmpKind cmp, std::uint64_t a, std::uint64_t b) noexcept {
+  switch (cmp) {
+    case CmpKind::kEq: return a == b;
+    case CmpKind::kNe: return a != b;
+    case CmpKind::kLt: return a < b;
+    case CmpKind::kLe: return a <= b;
+    case CmpKind::kGt: return a > b;
+    case CmpKind::kGe: return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+InterpResult Interpreter::Run(const FunctionDecl& fn, packet::Packet& p) {
+  InterpResult result;
+  std::uint64_t regs[kNumRegisters] = {};
+  std::size_t pc = 0;
+  // Forward-only branches bound execution by code length; the extra guard
+  // keeps even unverified programs from spinning.
+  std::size_t fuel = fn.instrs.size() + 1;
+  while (pc < fn.instrs.size() && fuel-- > 0) {
+    const Instr& instr = fn.instrs[pc];
+    ++result.steps;
+    std::size_t next = pc + 1;
+    if (const auto* i = std::get_if<InstrLoadConst>(&instr)) {
+      regs[i->dst] = i->value;
+    } else if (const auto* i = std::get_if<InstrLoadField>(&instr)) {
+      regs[i->dst] = p.GetField(i->field).value_or(0);
+    } else if (const auto* i = std::get_if<InstrStoreField>(&instr)) {
+      p.SetField(i->field, regs[i->src]);
+    } else if (const auto* i = std::get_if<InstrLoadFlowKey>(&instr)) {
+      const auto key = packet::ExtractFlowKey(p);
+      regs[i->dst] = key.has_value() ? key->Hash() : 0;
+    } else if (const auto* i = std::get_if<InstrBinOp>(&instr)) {
+      regs[i->dst] = ApplyBinOp(i->op, regs[i->lhs], regs[i->rhs]);
+    } else if (const auto* i = std::get_if<InstrBinOpImm>(&instr)) {
+      regs[i->dst] = ApplyBinOp(i->op, regs[i->lhs], i->imm);
+    } else if (const auto* i = std::get_if<InstrMapLoad>(&instr)) {
+      regs[i->dst] =
+          maps_ != nullptr ? maps_->Load(i->map, regs[i->key], i->cell) : 0;
+    } else if (const auto* i = std::get_if<InstrMapStore>(&instr)) {
+      if (maps_ != nullptr) {
+        maps_->Store(i->map, regs[i->key], i->cell, regs[i->src]);
+      }
+    } else if (const auto* i = std::get_if<InstrMapAdd>(&instr)) {
+      if (maps_ != nullptr) {
+        maps_->Add(i->map, regs[i->key], i->cell, regs[i->src]);
+      }
+    } else if (const auto* i = std::get_if<InstrBranch>(&instr)) {
+      if (ApplyCmp(i->cmp, regs[i->lhs], regs[i->rhs])) next = i->target;
+    } else if (const auto* i = std::get_if<InstrJump>(&instr)) {
+      next = i->target;
+    } else if (const auto* i = std::get_if<InstrDrop>(&instr)) {
+      p.MarkDropped(i->reason);
+      result.dropped = true;
+      result.drop_reason = i->reason;
+      return result;
+    } else if (const auto* i = std::get_if<InstrForward>(&instr)) {
+      result.forwarded = true;
+      result.egress_port = static_cast<std::uint32_t>(regs[i->port_reg]);
+      p.egress_port = result.egress_port;
+    } else if (std::holds_alternative<InstrReturn>(instr)) {
+      return result;
+    }
+    // Forward-only guarantee from the verifier; clamp defensively anyway.
+    pc = next > pc ? next : pc + 1;
+  }
+  return result;
+}
+
+}  // namespace flexnet::flexbpf

@@ -1,0 +1,66 @@
+// FlexBPF reference interpreter.
+//
+// Executes a verified function against a packet and a MapBackend — the
+// seam through which the logical key/value maps reach their physical
+// encoding.  Devices install an encoding-specific backend (state/ module);
+// tests use the in-memory backend below.  Because the verifier certifies
+// forward-only control flow, Run() touches each instruction at most once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "flexbpf/ir.h"
+#include "packet/packet.h"
+
+namespace flexnet::flexbpf {
+
+class MapBackend {
+ public:
+  virtual ~MapBackend() = default;
+  virtual std::uint64_t Load(const std::string& map, std::uint64_t key,
+                             const std::string& cell) = 0;
+  virtual void Store(const std::string& map, std::uint64_t key,
+                     const std::string& cell, std::uint64_t value) = 0;
+  virtual void Add(const std::string& map, std::uint64_t key,
+                   const std::string& cell, std::uint64_t delta) = 0;
+};
+
+// Hash-map backed implementation for tests and host-side execution.
+class InMemoryMapBackend final : public MapBackend {
+ public:
+  std::uint64_t Load(const std::string& map, std::uint64_t key,
+                     const std::string& cell) override;
+  void Store(const std::string& map, std::uint64_t key,
+             const std::string& cell, std::uint64_t value) override;
+  void Add(const std::string& map, std::uint64_t key, const std::string& cell,
+           std::uint64_t delta) override;
+
+ private:
+  std::string KeyOf(const std::string& map, std::uint64_t key,
+                    const std::string& cell) const;
+  std::unordered_map<std::string, std::uint64_t> cells_;
+};
+
+struct InterpResult {
+  bool dropped = false;
+  std::string drop_reason;
+  bool forwarded = false;
+  std::uint32_t egress_port = 0;
+  std::size_t steps = 0;  // instructions executed (bounded by program size)
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(MapBackend* maps) : maps_(maps) {}
+
+  // Precondition: fn passed verification.  Unverified programs may read
+  // undefined registers (they read as 0) but still terminate.
+  InterpResult Run(const FunctionDecl& fn, packet::Packet& p);
+
+ private:
+  MapBackend* maps_;  // not owned
+};
+
+}  // namespace flexnet::flexbpf

@@ -1,0 +1,122 @@
+#include "flexbpf/ir.h"
+
+#include <algorithm>
+
+namespace flexnet::flexbpf {
+
+const char* ToString(MapEncoding encoding) noexcept {
+  switch (encoding) {
+    case MapEncoding::kAuto:
+      return "auto";
+    case MapEncoding::kRegisterArray:
+      return "register";
+    case MapEncoding::kStatefulTable:
+      return "stateful_table";
+    case MapEncoding::kFlowInstruction:
+      return "flow_instruction";
+  }
+  return "?";
+}
+
+const char* ToString(BinOpKind op) noexcept {
+  switch (op) {
+    case BinOpKind::kAdd: return "add";
+    case BinOpKind::kSub: return "sub";
+    case BinOpKind::kMul: return "mul";
+    case BinOpKind::kAnd: return "and";
+    case BinOpKind::kOr: return "or";
+    case BinOpKind::kXor: return "xor";
+    case BinOpKind::kShl: return "shl";
+    case BinOpKind::kShr: return "shr";
+    case BinOpKind::kMin: return "min";
+    case BinOpKind::kMax: return "max";
+  }
+  return "?";
+}
+
+const char* ToString(CmpKind cmp) noexcept {
+  switch (cmp) {
+    case CmpKind::kEq: return "eq";
+    case CmpKind::kNe: return "ne";
+    case CmpKind::kLt: return "lt";
+    case CmpKind::kLe: return "le";
+    case CmpKind::kGt: return "gt";
+    case CmpKind::kGe: return "ge";
+  }
+  return "?";
+}
+
+const char* ToString(Domain domain) noexcept {
+  switch (domain) {
+    case Domain::kAny: return "any";
+    case Domain::kEndpoint: return "endpoint";
+    case Domain::kHost: return "host";
+  }
+  return "?";
+}
+
+dataplane::TableResources TableDecl::Resources() const noexcept {
+  dataplane::TableResources r;
+  const bool tcam = std::any_of(
+      key.begin(), key.end(), [](const dataplane::KeySpec& k) {
+        return k.kind != dataplane::MatchKind::kExact;
+      });
+  if (tcam) {
+    r.tcam_entries = capacity;
+  } else {
+    r.sram_entries = capacity;
+  }
+  r.action_slots = 1;
+  return r;
+}
+
+const dataplane::Action* TableDecl::FindAction(
+    const std::string& n) const noexcept {
+  for (const auto& a : actions) {
+    if (a.name == n) return &a;
+  }
+  return nullptr;
+}
+
+const MapDecl* ProgramIR::FindMap(const std::string& n) const noexcept {
+  for (const auto& m : maps) {
+    if (m.name == n) return &m;
+  }
+  return nullptr;
+}
+
+const TableDecl* ProgramIR::FindTable(const std::string& n) const noexcept {
+  for (const auto& t : tables) {
+    if (t.name == n) return &t;
+  }
+  return nullptr;
+}
+
+const FunctionDecl* ProgramIR::FindFunction(const std::string& n) const noexcept {
+  for (const auto& f : functions) {
+    if (f.name == n) return &f;
+  }
+  return nullptr;
+}
+
+TableDecl* ProgramIR::MutableTable(const std::string& n) noexcept {
+  for (auto& t : tables) {
+    if (t.name == n) return &t;
+  }
+  return nullptr;
+}
+
+FunctionDecl* ProgramIR::MutableFunction(const std::string& n) noexcept {
+  for (auto& f : functions) {
+    if (f.name == n) return &f;
+  }
+  return nullptr;
+}
+
+std::size_t ProgramIR::TotalStateBytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& m : maps) bytes += m.StateBytes();
+  return bytes;
+}
+
+}  // namespace flexnet::flexbpf

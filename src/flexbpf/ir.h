@@ -1,0 +1,181 @@
+// FlexBPF intermediate representation (paper section 3.1).
+//
+// A FlexBPF program mixes two element kinds:
+//   * match/action *tables* — the P4/NPL-style pipeline surface, and
+//   * *functions* — eBPF-style bounded programs over a 16-register machine,
+// both operating on a *logical* view of network state: named key/value
+// "maps" whose physical encoding (register file, stateful flow table,
+// flow-instruction state) is chosen per target device by the compiler.
+//
+// Functions are loop-free by construction (branch targets must move
+// forward), which is what makes them analyzable for bounded execution and
+// compilable to constrained targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dataplane/action.h"
+#include "dataplane/table.h"
+
+namespace flexnet::flexbpf {
+
+inline constexpr int kNumRegisters = 16;
+inline constexpr std::size_t kMaxInstructions = 512;
+
+// --- Logical maps ---
+
+// How the compiler may physically encode a map on a device.
+enum class MapEncoding : std::uint8_t {
+  kAuto,             // compiler decides per target
+  kRegisterArray,    // P4 "extern" register semantics
+  kStatefulTable,    // Nvidia/Mellanox flow-keyed stateful tables
+  kFlowInstruction,  // PoF flow-state instruction set
+};
+
+const char* ToString(MapEncoding encoding) noexcept;
+
+struct MapDecl {
+  std::string name;
+  std::size_t size = 1024;            // logical slots
+  std::vector<std::string> cells;     // value columns, e.g. {"pkts","bytes"}
+  MapEncoding encoding = MapEncoding::kAuto;
+
+  friend bool operator==(const MapDecl&, const MapDecl&) = default;
+
+  std::size_t StateBytes() const noexcept {
+    return size * cells.size() * sizeof(std::uint64_t);
+  }
+};
+
+// --- Functions: instruction set ---
+
+enum class BinOpKind : std::uint8_t {
+  kAdd, kSub, kMul, kAnd, kOr, kXor, kShl, kShr, kMin, kMax,
+};
+enum class CmpKind : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* ToString(BinOpKind op) noexcept;
+const char* ToString(CmpKind cmp) noexcept;
+
+struct InstrLoadConst { int dst = 0; std::uint64_t value = 0;  friend bool operator==(const InstrLoadConst&, const InstrLoadConst&) = default; };
+struct InstrLoadField { int dst = 0; std::string field;  friend bool operator==(const InstrLoadField&, const InstrLoadField&) = default; };     // dotted
+struct InstrStoreField { std::string field; int src = 0;  friend bool operator==(const InstrStoreField&, const InstrStoreField&) = default; };
+struct InstrLoadFlowKey { int dst = 0;  friend bool operator==(const InstrLoadFlowKey&, const InstrLoadFlowKey&) = default; };  // dst := hash(5-tuple)
+struct InstrBinOp { BinOpKind op{}; int dst = 0, lhs = 0, rhs = 0; friend bool operator==(const InstrBinOp&, const InstrBinOp&) = default; };
+struct InstrBinOpImm { BinOpKind op{}; int dst = 0, lhs = 0; std::uint64_t imm = 0; friend bool operator==(const InstrBinOpImm&, const InstrBinOpImm&) = default; };
+struct InstrMapLoad { int dst = 0; std::string map; int key = 0; std::string cell;  friend bool operator==(const InstrMapLoad&, const InstrMapLoad&) = default; };
+struct InstrMapStore { std::string map; int key = 0; std::string cell; int src = 0;  friend bool operator==(const InstrMapStore&, const InstrMapStore&) = default; };
+struct InstrMapAdd { std::string map; int key = 0; std::string cell; int src = 0;  friend bool operator==(const InstrMapAdd&, const InstrMapAdd&) = default; };
+// Branch if cmp(lhs_reg, rhs_reg) — target is an absolute instruction index
+// strictly greater than the branch's own index (forward-only).
+struct InstrBranch { CmpKind cmp{}; int lhs = 0, rhs = 0; std::size_t target = 0; friend bool operator==(const InstrBranch&, const InstrBranch&) = default; };
+struct InstrJump { std::size_t target = 0;  friend bool operator==(const InstrJump&, const InstrJump&) = default; };
+struct InstrDrop { std::string reason = "flexbpf";  friend bool operator==(const InstrDrop&, const InstrDrop&) = default; };
+struct InstrForward { int port_reg = 0;  friend bool operator==(const InstrForward&, const InstrForward&) = default; };
+struct InstrReturn { friend bool operator==(const InstrReturn&, const InstrReturn&) = default; };
+
+using Instr =
+    std::variant<InstrLoadConst, InstrLoadField, InstrStoreField,
+                 InstrLoadFlowKey, InstrBinOp, InstrBinOpImm, InstrMapLoad,
+                 InstrMapStore, InstrMapAdd, InstrBranch, InstrJump, InstrDrop,
+                 InstrForward, InstrReturn>;
+
+// Vertical placement constraint (paper: CC/transport logic belongs to hosts
+// and NICs; packet-oriented logic can run anywhere).
+enum class Domain : std::uint8_t { kAny, kEndpoint, kHost };
+
+const char* ToString(Domain domain) noexcept;
+
+struct FunctionDecl {
+  std::string name;
+  Domain domain = Domain::kAny;
+  std::vector<Instr> instrs;
+
+  // Maps referenced; filled by Verifier::Annotate (or by hand).
+  std::vector<std::string> maps_used;
+
+  // Structural equality ignores the maps_used annotation.
+  friend bool operator==(const FunctionDecl& a, const FunctionDecl& b) {
+    return a.name == b.name && a.domain == b.domain && a.instrs == b.instrs;
+  }
+};
+
+// --- Tables ---
+
+struct InitialEntry {
+  std::vector<dataplane::MatchValue> match;
+  std::string action_name;
+  std::int32_t priority = 0;
+  friend bool operator==(const InitialEntry&, const InitialEntry&) = default;
+};
+
+// Device-local stateful objects a table's actions reference (meters,
+// counters); installed and removed together with the table.
+struct MeterDecl {
+  std::string name;
+  double rate_pps = 0.0;
+  double burst = 0.0;
+  friend bool operator==(const MeterDecl&, const MeterDecl&) = default;
+};
+
+struct TableDecl {
+  std::string name;
+  std::vector<dataplane::KeySpec> key;
+  std::size_t capacity = 128;
+  std::vector<dataplane::Action> actions;   // allowed named actions
+  dataplane::Action default_action = dataplane::MakeNopAction();
+  std::vector<InitialEntry> entries;
+  std::vector<MeterDecl> meters;
+  std::vector<std::string> counters;
+
+  dataplane::TableResources Resources() const noexcept;
+  const dataplane::Action* FindAction(const std::string& name) const noexcept;
+
+  // Structural equality: same key/capacity/actions/default (entries are
+  // compared separately — entry-only changes are non-structural).
+  bool SameStructure(const TableDecl& other) const noexcept {
+    return name == other.name && key == other.key &&
+           capacity == other.capacity && actions == other.actions &&
+           default_action == other.default_action &&
+           meters == other.meters && counters == other.counters;
+  }
+  friend bool operator==(const TableDecl&, const TableDecl&) = default;
+};
+
+// --- Parser requirements ---
+
+struct HeaderRequirement {
+  std::string header;            // e.g. "int"
+  std::string after;             // parse state to chain from, e.g. "udp"
+  std::uint64_t select_value = 0;  // value of `after`'s select field
+  friend bool operator==(const HeaderRequirement&,
+                         const HeaderRequirement&) = default;
+};
+
+// --- Whole program ---
+
+struct ProgramIR {
+  std::string name;
+  std::vector<MapDecl> maps;
+  std::vector<TableDecl> tables;
+  std::vector<FunctionDecl> functions;
+  std::vector<HeaderRequirement> headers;
+
+  const MapDecl* FindMap(const std::string& n) const noexcept;
+  const TableDecl* FindTable(const std::string& n) const noexcept;
+  const FunctionDecl* FindFunction(const std::string& n) const noexcept;
+  TableDecl* MutableTable(const std::string& n) noexcept;
+  FunctionDecl* MutableFunction(const std::string& n) noexcept;
+
+  // Total logical state footprint in bytes.
+  std::size_t TotalStateBytes() const noexcept;
+  // Count of placeable elements (tables + functions).
+  std::size_t ElementCount() const noexcept {
+    return tables.size() + functions.size();
+  }
+};
+
+}  // namespace flexnet::flexbpf

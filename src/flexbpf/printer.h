@@ -1,0 +1,24 @@
+// FlexBPF pretty-printer: emits a ProgramIR back into the text DSL
+// accepted by ParseProgramText.  Round-tripping (parse . print == id) is
+// property-tested; the printer is also what the controller uses to render
+// program state for operators.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "flexbpf/ir.h"
+
+namespace flexnet::flexbpf {
+
+// Renders the whole program.  Fails only for constructs the text DSL
+// cannot express (none currently — kept as Result for forward motion).
+Result<std::string> PrintProgramText(const ProgramIR& program);
+
+// Single-element renderers (used by the patch DSL docs and diagnostics).
+std::string PrintMap(const MapDecl& map);
+Result<std::string> PrintTable(const TableDecl& table);
+Result<std::string> PrintFunction(const FunctionDecl& fn);
+std::string PrintHeaderRequirement(const HeaderRequirement& req);
+
+}  // namespace flexnet::flexbpf

@@ -1,0 +1,581 @@
+#include "flexbpf/text_parser.h"
+
+#include <charconv>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace flexnet::flexbpf {
+
+namespace {
+
+struct LineCursor {
+  std::vector<std::string> lines;
+  std::size_t index = 0;
+
+  bool Done() const noexcept { return index >= lines.size(); }
+  const std::string& Peek() const { return lines[index]; }
+  std::string Take() { return lines[index++]; }
+  std::size_t LineNo() const noexcept { return index; }  // 0-based internal
+};
+
+Error ParseError(std::size_t line_no, const std::string& detail) {
+  return InvalidArgument("line " + std::to_string(line_no + 1) + ": " + detail);
+}
+
+Result<std::uint64_t> ParseU64(std::string_view token, std::size_t line_no) {
+  std::uint64_t value = 0;
+  int base = 10;
+  std::string_view digits = token;
+  if (StartsWith(token, "0x") || StartsWith(token, "0X")) {
+    base = 16;
+    digits = token.substr(2);
+  }
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value, base);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+    return ParseError(line_no, "expected number, got '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+Result<int> ParseReg(std::string_view token, std::size_t line_no) {
+  if (token.size() < 2 || token[0] != 'r') {
+    return ParseError(line_no, "expected register rN, got '" +
+                                   std::string(token) + "'");
+  }
+  FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t n,
+                           ParseU64(token.substr(1), line_no));
+  if (n >= kNumRegisters) {
+    return ParseError(line_no, "register out of range: " + std::string(token));
+  }
+  return static_cast<int>(n);
+}
+
+Result<dataplane::Operand> ParseOperand(std::string_view token,
+                                        std::size_t line_no) {
+  if (StartsWith(token, "$")) {
+    return dataplane::Operand(
+        dataplane::OperandField{std::string(token.substr(1))});
+  }
+  FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t v, ParseU64(token, line_no));
+  return dataplane::Operand(dataplane::OperandConst{v});
+}
+
+Result<dataplane::KeySpec> ParseKeySpec(std::string_view token,
+                                        std::size_t line_no) {
+  const auto parts = Split(token, ':');
+  if (parts.size() < 2 || parts.size() > 3) {
+    return ParseError(line_no,
+                      "key column must be field:kind[:width], got '" +
+                          std::string(token) + "'");
+  }
+  dataplane::KeySpec spec;
+  spec.field = parts[0];
+  const std::string& kind = parts[1];
+  if (kind == "exact") {
+    spec.kind = dataplane::MatchKind::kExact;
+  } else if (kind == "lpm") {
+    spec.kind = dataplane::MatchKind::kLpm;
+  } else if (kind == "ternary") {
+    spec.kind = dataplane::MatchKind::kTernary;
+  } else if (kind == "range") {
+    spec.kind = dataplane::MatchKind::kRange;
+  } else {
+    return ParseError(line_no, "unknown match kind '" + kind + "'");
+  }
+  if (parts.size() == 3) {
+    FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t w, ParseU64(parts[2], line_no));
+    spec.width_bits = static_cast<std::uint32_t>(w);
+  }
+  return spec;
+}
+
+Result<dataplane::MatchValue> ParseMatchValue(std::string_view token,
+                                              const dataplane::KeySpec& spec,
+                                              std::size_t line_no) {
+  using dataplane::MatchValue;
+  if (token == "*") return MatchValue::Wildcard();
+  switch (spec.kind) {
+    case dataplane::MatchKind::kExact: {
+      FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t v, ParseU64(token, line_no));
+      return MatchValue::Exact(v);
+    }
+    case dataplane::MatchKind::kLpm: {
+      const std::size_t slash = token.find('/');
+      if (slash == std::string_view::npos) {
+        return ParseError(line_no, "lpm match must be value/prefixlen");
+      }
+      FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t v,
+                               ParseU64(token.substr(0, slash), line_no));
+      FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t len,
+                               ParseU64(token.substr(slash + 1), line_no));
+      return MatchValue::Lpm(v, static_cast<std::uint32_t>(len),
+                             spec.width_bits);
+    }
+    case dataplane::MatchKind::kTernary: {
+      const std::size_t amp = token.find('&');
+      if (amp == std::string_view::npos) {
+        return ParseError(line_no, "ternary match must be value&mask or *");
+      }
+      FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t v,
+                               ParseU64(token.substr(0, amp), line_no));
+      FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t m,
+                               ParseU64(token.substr(amp + 1), line_no));
+      return MatchValue::Ternary(v, m);
+    }
+    case dataplane::MatchKind::kRange: {
+      const std::size_t dash = token.find('-');
+      if (dash == std::string_view::npos) {
+        return ParseError(line_no, "range match must be lo-hi");
+      }
+      FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t lo,
+                               ParseU64(token.substr(0, dash), line_no));
+      FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t hi,
+                               ParseU64(token.substr(dash + 1), line_no));
+      return MatchValue::Range(lo, hi);
+    }
+  }
+  return ParseError(line_no, "unhandled match kind");
+}
+
+// One action op, given its whitespace-split tokens.
+Result<dataplane::ActionOp> ParseActionOp(const std::vector<std::string>& t,
+                                          std::size_t line_no) {
+  using namespace dataplane;
+  const auto need = [&](std::size_t n) -> Status {
+    if (t.size() != n) {
+      return ParseError(line_no, "op '" + t[0] + "' expects " +
+                                     std::to_string(n - 1) + " arguments");
+    }
+    return OkStatus();
+  };
+  if (t[0] == "drop") {
+    if (t.size() > 2) return ParseError(line_no, "drop takes at most a reason");
+    return ActionOp(OpDrop{t.size() == 2 ? t[1] : "policy"});
+  }
+  if (t[0] == "forward") {
+    FLEXNET_RETURN_IF_ERROR(need(2));
+    FLEXNET_ASSIGN_OR_RETURN(auto port, ParseOperand(t[1], line_no));
+    return ActionOp(OpForward{std::move(port)});
+  }
+  if (t[0] == "set") {
+    FLEXNET_RETURN_IF_ERROR(need(3));
+    FLEXNET_ASSIGN_OR_RETURN(auto v, ParseOperand(t[2], line_no));
+    return ActionOp(OpSetField{t[1], std::move(v)});
+  }
+  if (t[0] == "add") {
+    FLEXNET_RETURN_IF_ERROR(need(3));
+    FLEXNET_ASSIGN_OR_RETURN(auto v, ParseOperand(t[2], line_no));
+    return ActionOp(OpAddField{t[1], std::move(v)});
+  }
+  if (t[0] == "push") {
+    FLEXNET_RETURN_IF_ERROR(need(2));
+    return ActionOp(OpPushHeader{t[1]});
+  }
+  if (t[0] == "pop") {
+    FLEXNET_RETURN_IF_ERROR(need(2));
+    return ActionOp(OpPopHeader{t[1]});
+  }
+  if (t[0] == "count") {
+    FLEXNET_RETURN_IF_ERROR(need(2));
+    return ActionOp(OpCounterInc{t[1]});
+  }
+  if (t[0] == "meter") {
+    FLEXNET_RETURN_IF_ERROR(need(3));
+    return ActionOp(OpMeterExec{t[1], t[2]});
+  }
+  if (t[0] == "regwrite") {
+    FLEXNET_RETURN_IF_ERROR(need(4));
+    FLEXNET_ASSIGN_OR_RETURN(auto idx, ParseOperand(t[2], line_no));
+    FLEXNET_ASSIGN_OR_RETURN(auto val, ParseOperand(t[3], line_no));
+    return ActionOp(OpRegisterWrite{t[1], std::move(idx), std::move(val)});
+  }
+  if (t[0] == "regadd") {
+    FLEXNET_RETURN_IF_ERROR(need(4));
+    FLEXNET_ASSIGN_OR_RETURN(auto idx, ParseOperand(t[2], line_no));
+    FLEXNET_ASSIGN_OR_RETURN(auto val, ParseOperand(t[3], line_no));
+    return ActionOp(OpRegisterAdd{t[1], std::move(idx), std::move(val)});
+  }
+  if (t[0] == "flowupd") {
+    FLEXNET_RETURN_IF_ERROR(need(4));
+    FLEXNET_ASSIGN_OR_RETURN(auto delta, ParseOperand(t[3], line_no));
+    return ActionOp(OpFlowStateUpdate{t[1], t[2], std::move(delta)});
+  }
+  return ParseError(line_no, "unknown action op '" + t[0] + "'");
+}
+
+Result<dataplane::Action> ParseAction(const std::string& name,
+                                      std::string_view ops_text,
+                                      std::size_t line_no) {
+  dataplane::Action action;
+  action.name = name;
+  for (const std::string& op_text : Split(ops_text, ';')) {
+    const auto tokens = SplitWhitespace(op_text);
+    if (tokens.empty()) continue;
+    FLEXNET_ASSIGN_OR_RETURN(auto op, ParseActionOp(tokens, line_no));
+    action.ops.push_back(std::move(op));
+  }
+  return action;
+}
+
+Result<TableDecl> ParseTable(const std::vector<std::string>& header_tokens,
+                             LineCursor& cursor) {
+  const std::size_t decl_line = cursor.LineNo() - 1;
+  TableDecl table;
+  // table <name> key <...> capacity <n>
+  if (header_tokens.size() != 6 || header_tokens[2] != "key" ||
+      header_tokens[4] != "capacity") {
+    return ParseError(decl_line, "table syntax: table <name> key <k> capacity <n>");
+  }
+  table.name = header_tokens[1];
+  for (const std::string& col : Split(header_tokens[3], ',')) {
+    FLEXNET_ASSIGN_OR_RETURN(auto spec, ParseKeySpec(col, decl_line));
+    table.key.push_back(std::move(spec));
+  }
+  FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t cap,
+                           ParseU64(header_tokens[5], decl_line));
+  table.capacity = static_cast<std::size_t>(cap);
+
+  while (!cursor.Done()) {
+    const std::size_t line_no = cursor.LineNo();
+    const std::string line = cursor.Take();
+    const auto tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "end") return table;
+    if (tokens[0] == "action") {
+      if (tokens.size() < 2) return ParseError(line_no, "action needs a name");
+      const std::string ops_text(
+          Trim(std::string_view(line).substr(line.find(tokens[1]) +
+                                             tokens[1].size())));
+      FLEXNET_ASSIGN_OR_RETURN(auto action,
+                               ParseAction(tokens[1], ops_text, line_no));
+      table.actions.push_back(std::move(action));
+    } else if (tokens[0] == "default") {
+      if (tokens.size() != 2) return ParseError(line_no, "default <action>");
+      if (tokens[1] == "drop") {
+        table.default_action = dataplane::MakeDropAction();
+      } else if (tokens[1] == "nop") {
+        table.default_action = dataplane::MakeNopAction();
+      } else {
+        const dataplane::Action* a = table.FindAction(tokens[1]);
+        if (a == nullptr) {
+          return ParseError(line_no, "default references unknown action '" +
+                                         tokens[1] + "'");
+        }
+        table.default_action = *a;
+      }
+    } else if (tokens[0] == "entry") {
+      // entry <m1,m2,...> -> <action> [priority <p>]
+      if (tokens.size() < 4 || tokens[2] != "->") {
+        return ParseError(line_no, "entry <matches> -> <action> [priority <p>]");
+      }
+      InitialEntry entry;
+      const auto cols = Split(tokens[1], ',');
+      if (cols.size() != table.key.size()) {
+        return ParseError(line_no, "entry has " + std::to_string(cols.size()) +
+                                       " columns, key needs " +
+                                       std::to_string(table.key.size()));
+      }
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        FLEXNET_ASSIGN_OR_RETURN(
+            auto mv, ParseMatchValue(cols[i], table.key[i], line_no));
+        entry.match.push_back(mv);
+      }
+      entry.action_name = tokens[3];
+      if (tokens.size() == 6 && tokens[4] == "priority") {
+        FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t p,
+                                 ParseU64(tokens[5], line_no));
+        entry.priority = static_cast<std::int32_t>(p);
+      } else if (tokens.size() != 4) {
+        return ParseError(line_no, "trailing tokens after entry");
+      }
+      table.entries.push_back(std::move(entry));
+    } else {
+      return ParseError(line_no, "unexpected '" + tokens[0] + "' in table");
+    }
+  }
+  return ParseError(decl_line, "table '" + table.name + "' missing 'end'");
+}
+
+Result<BinOpKind> ParseBinOpName(std::string_view name, bool* is_imm,
+                                 std::size_t line_no) {
+  static const std::unordered_map<std::string_view, BinOpKind> kOps = {
+      {"add", BinOpKind::kAdd}, {"sub", BinOpKind::kSub},
+      {"mul", BinOpKind::kMul}, {"and", BinOpKind::kAnd},
+      {"or", BinOpKind::kOr},   {"xor", BinOpKind::kXor},
+      {"shl", BinOpKind::kShl}, {"shr", BinOpKind::kShr},
+      {"min", BinOpKind::kMin}, {"max", BinOpKind::kMax},
+  };
+  *is_imm = false;
+  std::string_view base = name;
+  if (EndsWith(name, "i") && name != "i") {
+    const auto it = kOps.find(name.substr(0, name.size() - 1));
+    if (it != kOps.end()) {
+      *is_imm = true;
+      return it->second;
+    }
+  }
+  const auto it = kOps.find(base);
+  if (it == kOps.end()) {
+    return ParseError(line_no, "unknown operation '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+Result<CmpKind> ParseCmp(std::string_view op, std::size_t line_no) {
+  if (op == "==") return CmpKind::kEq;
+  if (op == "!=") return CmpKind::kNe;
+  if (op == "<") return CmpKind::kLt;
+  if (op == "<=") return CmpKind::kLe;
+  if (op == ">") return CmpKind::kGt;
+  if (op == ">=") return CmpKind::kGe;
+  return ParseError(line_no, "unknown comparison '" + std::string(op) + "'");
+}
+
+Result<FunctionDecl> ParseFunction(const std::vector<std::string>& header_tokens,
+                                   LineCursor& cursor) {
+  const std::size_t decl_line = cursor.LineNo() - 1;
+  FunctionDecl fn;
+  if (header_tokens.size() < 2) {
+    return ParseError(decl_line, "func needs a name");
+  }
+  fn.name = header_tokens[1];
+  if (header_tokens.size() == 4 && header_tokens[2] == "domain") {
+    if (header_tokens[3] == "any") {
+      fn.domain = Domain::kAny;
+    } else if (header_tokens[3] == "endpoint") {
+      fn.domain = Domain::kEndpoint;
+    } else if (header_tokens[3] == "host") {
+      fn.domain = Domain::kHost;
+    } else {
+      return ParseError(decl_line, "unknown domain '" + header_tokens[3] + "'");
+    }
+  } else if (header_tokens.size() != 2) {
+    return ParseError(decl_line, "func <name> [domain <d>]");
+  }
+
+  struct Fixup {
+    std::size_t instr;
+    std::string label;
+    std::size_t line_no;
+  };
+  std::vector<Fixup> fixups;
+  std::unordered_map<std::string, std::size_t> labels;
+
+  while (!cursor.Done()) {
+    const std::size_t line_no = cursor.LineNo();
+    const std::string line = cursor.Take();
+    const auto t = SplitWhitespace(line);
+    if (t.empty()) continue;
+    if (t[0] == "end") {
+      for (const Fixup& fx : fixups) {
+        const auto it = labels.find(fx.label);
+        if (it == labels.end()) {
+          return ParseError(fx.line_no, "unknown label '" + fx.label + "'");
+        }
+        Instr& instr = fn.instrs[fx.instr];
+        if (auto* b = std::get_if<InstrBranch>(&instr)) {
+          b->target = it->second;
+        } else if (auto* j = std::get_if<InstrJump>(&instr)) {
+          j->target = it->second;
+        }
+      }
+      return fn;
+    }
+    if (t[0] == "label") {
+      if (t.size() != 2) return ParseError(line_no, "label <name>");
+      labels[t[1]] = fn.instrs.size();
+      continue;
+    }
+    if (t[0] == "if") {
+      // if rA <cmp> rB goto <label>
+      if (t.size() != 6 || t[4] != "goto") {
+        return ParseError(line_no, "if r<A> <cmp> r<B> goto <label>");
+      }
+      FLEXNET_ASSIGN_OR_RETURN(const int lhs, ParseReg(t[1], line_no));
+      FLEXNET_ASSIGN_OR_RETURN(const CmpKind cmp, ParseCmp(t[2], line_no));
+      FLEXNET_ASSIGN_OR_RETURN(const int rhs, ParseReg(t[3], line_no));
+      fixups.push_back(Fixup{fn.instrs.size(), t[5], line_no});
+      fn.instrs.push_back(InstrBranch{cmp, lhs, rhs, 0});
+      continue;
+    }
+    if (t[0] == "goto") {
+      if (t.size() != 2) return ParseError(line_no, "goto <label>");
+      fixups.push_back(Fixup{fn.instrs.size(), t[1], line_no});
+      fn.instrs.push_back(InstrJump{0});
+      continue;
+    }
+    if (t[0] == "drop") {
+      fn.instrs.push_back(InstrDrop{t.size() >= 2 ? t[1] : "flexbpf"});
+      continue;
+    }
+    if (t[0] == "forward") {
+      if (t.size() != 2) return ParseError(line_no, "forward r<P>");
+      FLEXNET_ASSIGN_OR_RETURN(const int port, ParseReg(t[1], line_no));
+      fn.instrs.push_back(InstrForward{port});
+      continue;
+    }
+    if (t[0] == "return") {
+      fn.instrs.push_back(InstrReturn{});
+      continue;
+    }
+    if (t[0] == "store") {
+      if (t.size() != 3) return ParseError(line_no, "store <field> r<S>");
+      FLEXNET_ASSIGN_OR_RETURN(const int src, ParseReg(t[2], line_no));
+      fn.instrs.push_back(InstrStoreField{t[1], src});
+      continue;
+    }
+    if (t[0] == "mapstore" || t[0] == "mapadd") {
+      if (t.size() != 5) {
+        return ParseError(line_no, t[0] + " <map> r<K> <cell> r<S>");
+      }
+      FLEXNET_ASSIGN_OR_RETURN(const int key, ParseReg(t[2], line_no));
+      FLEXNET_ASSIGN_OR_RETURN(const int src, ParseReg(t[4], line_no));
+      if (t[0] == "mapstore") {
+        fn.instrs.push_back(InstrMapStore{t[1], key, t[3], src});
+      } else {
+        fn.instrs.push_back(InstrMapAdd{t[1], key, t[3], src});
+      }
+      continue;
+    }
+    // Assignment forms: r<D> = ...
+    if (t.size() >= 3 && t[1] == "=") {
+      FLEXNET_ASSIGN_OR_RETURN(const int dst, ParseReg(t[0], line_no));
+      if (t[2] == "const") {
+        if (t.size() != 4) return ParseError(line_no, "rD = const <v>");
+        FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t v, ParseU64(t[3], line_no));
+        fn.instrs.push_back(InstrLoadConst{dst, v});
+      } else if (t[2] == "field") {
+        if (t.size() != 4) return ParseError(line_no, "rD = field <hdr.field>");
+        fn.instrs.push_back(InstrLoadField{dst, t[3]});
+      } else if (t[2] == "flowkey") {
+        if (t.size() != 3) return ParseError(line_no, "rD = flowkey");
+        fn.instrs.push_back(InstrLoadFlowKey{dst});
+      } else if (t[2] == "mapload") {
+        if (t.size() != 6) {
+          return ParseError(line_no, "rD = mapload <map> r<K> <cell>");
+        }
+        FLEXNET_ASSIGN_OR_RETURN(const int key, ParseReg(t[4], line_no));
+        fn.instrs.push_back(InstrMapLoad{dst, t[3], key, t[5]});
+      } else {
+        bool is_imm = false;
+        FLEXNET_ASSIGN_OR_RETURN(const BinOpKind op,
+                                 ParseBinOpName(t[2], &is_imm, line_no));
+        if (t.size() != 5) {
+          return ParseError(line_no, "rD = <op> r<A> <r<B>|imm>");
+        }
+        FLEXNET_ASSIGN_OR_RETURN(const int lhs, ParseReg(t[3], line_no));
+        if (is_imm || t[4].empty() || t[4][0] != 'r') {
+          FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t imm,
+                                   ParseU64(t[4], line_no));
+          fn.instrs.push_back(InstrBinOpImm{op, dst, lhs, imm});
+        } else {
+          FLEXNET_ASSIGN_OR_RETURN(const int rhs, ParseReg(t[4], line_no));
+          fn.instrs.push_back(InstrBinOp{op, dst, lhs, rhs});
+        }
+      }
+      continue;
+    }
+    return ParseError(line_no, "unrecognized statement '" + t[0] + "'");
+  }
+  return ParseError(decl_line, "function '" + fn.name + "' missing 'end'");
+}
+
+}  // namespace
+
+Result<ProgramIR> ParseProgramText(std::string_view source) {
+  LineCursor cursor;
+  for (std::string& raw : Split(source, '\n')) {
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    cursor.lines.push_back(std::move(raw));
+  }
+
+  ProgramIR program;
+  bool named = false;
+  while (!cursor.Done()) {
+    const std::size_t line_no = cursor.LineNo();
+    const std::string line = cursor.Take();
+    const auto t = SplitWhitespace(line);
+    if (t.empty()) continue;
+    if (t[0] == "program") {
+      if (t.size() != 2) return ParseError(line_no, "program <name>");
+      program.name = t[1];
+      named = true;
+    } else if (t[0] == "map") {
+      // map <name> size <n> cells <c1,c2> [encoding <e>]
+      if (t.size() != 6 && t.size() != 8) {
+        return ParseError(line_no,
+                          "map <name> size <n> cells <c,...> [encoding <e>]");
+      }
+      if (t[2] != "size" || t[4] != "cells") {
+        return ParseError(line_no, "map syntax: size/cells keywords");
+      }
+      MapDecl m;
+      m.name = t[1];
+      FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t size, ParseU64(t[3], line_no));
+      m.size = static_cast<std::size_t>(size);
+      m.cells = Split(t[5], ',');
+      if (t.size() == 8) {
+        if (t[6] != "encoding") {
+          return ParseError(line_no, "expected 'encoding'");
+        }
+        if (t[7] == "register") {
+          m.encoding = MapEncoding::kRegisterArray;
+        } else if (t[7] == "stateful_table") {
+          m.encoding = MapEncoding::kStatefulTable;
+        } else if (t[7] == "flow_instruction") {
+          m.encoding = MapEncoding::kFlowInstruction;
+        } else if (t[7] == "auto") {
+          m.encoding = MapEncoding::kAuto;
+        } else {
+          return ParseError(line_no, "unknown encoding '" + t[7] + "'");
+        }
+      }
+      program.maps.push_back(std::move(m));
+    } else if (t[0] == "header") {
+      // header <name> after <state> value <v>
+      if (t.size() != 6 || t[2] != "after" || t[4] != "value") {
+        return ParseError(line_no, "header <name> after <state> value <v>");
+      }
+      FLEXNET_ASSIGN_OR_RETURN(const std::uint64_t v, ParseU64(t[5], line_no));
+      program.headers.push_back(HeaderRequirement{t[1], t[3], v});
+    } else if (t[0] == "table") {
+      FLEXNET_ASSIGN_OR_RETURN(auto table, ParseTable(t, cursor));
+      program.tables.push_back(std::move(table));
+    } else if (t[0] == "func") {
+      FLEXNET_ASSIGN_OR_RETURN(auto fn, ParseFunction(t, cursor));
+      program.functions.push_back(std::move(fn));
+    } else {
+      return ParseError(line_no, "unrecognized directive '" + t[0] + "'");
+    }
+  }
+  if (!named) {
+    return InvalidArgument("source has no 'program <name>' directive");
+  }
+  return program;
+}
+
+Result<std::vector<dataplane::MatchValue>> ParseEntryMatchText(
+    const std::vector<dataplane::KeySpec>& key, std::string_view text) {
+  const auto cols = Split(text, ',');
+  if (cols.size() != key.size()) {
+    return InvalidArgument("entry has " + std::to_string(cols.size()) +
+                           " columns, key needs " +
+                           std::to_string(key.size()));
+  }
+  std::vector<dataplane::MatchValue> match;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    FLEXNET_ASSIGN_OR_RETURN(auto mv, ParseMatchValue(cols[i], key[i], 0));
+    match.push_back(mv);
+  }
+  return match;
+}
+
+Result<dataplane::Action> ParseActionText(const std::string& name,
+                                          std::string_view ops_text) {
+  return ParseAction(name, ops_text, 0);
+}
+
+}  // namespace flexnet::flexbpf

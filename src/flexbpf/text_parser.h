@@ -1,0 +1,64 @@
+// Textual front-end for FlexBPF.
+//
+// Line-oriented grammar ('#' starts a comment; blank lines ignored):
+//
+//   program <name>
+//   map <name> size <n> cells <c1,c2,...> [encoding <register|stateful_table|flow_instruction>]
+//   header <name> after <parse-state> value <v>
+//
+//   table <name> key <field:kind[:width]>[,...] capacity <n>
+//     action <name> <op> [<op>...]        ; ops joined with ';'
+//     default <action-name>
+//     entry <m1>,<m2>,... -> <action> [priority <p>]
+//   end
+//
+//   func <name> [domain <any|endpoint|host>]
+//     r<D> = const <v>
+//     r<D> = field <hdr.field>
+//     r<D> = flowkey
+//     r<D> = <add|sub|mul|and|or|xor|shl|shr|min|max> r<A> r<B>
+//     r<D> = <op>i r<A> <imm>
+//     r<D> = mapload <map> r<K> <cell>
+//     mapstore <map> r<K> <cell> r<S>
+//     mapadd <map> r<K> <cell> r<S>
+//     store <hdr.field> r<S>
+//     if r<A> <==|!=|<|<=|>|>=> r<B> goto <label>
+//     goto <label>
+//     label <name>
+//     drop [reason] | forward r<P> | return
+//   end
+//
+// Table entry match syntax per key kind:
+//   exact:    <value>
+//   lpm:      <value>/<prefixlen>
+//   ternary:  <value>&<mask>   or  *   (wildcard)
+//   range:    <lo>-<hi>
+//
+// Action op syntax:
+//   drop [reason] ; forward <port> ; set <field> <v|$field> ;
+//   add <field> <v|$field> ; push <hdr> ; pop <hdr> ; count <counter> ;
+//   meter <name> <result_meta> ; regwrite <reg> <idx> <v> ;
+//   regadd <reg> <idx> <v> ; flowupd <table> <cell> <v>
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "flexbpf/ir.h"
+
+namespace flexnet::flexbpf {
+
+// Parses source text into an (unverified) ProgramIR.
+Result<ProgramIR> ParseProgramText(std::string_view source);
+
+// Parses one entry's comma-separated match columns ("10/8,80") against a
+// key.  Shared with the patch DSL, which edits entries of existing tables.
+Result<std::vector<dataplane::MatchValue>> ParseEntryMatchText(
+    const std::vector<dataplane::KeySpec>& key, std::string_view text);
+
+// Parses one action's op list ("set meta.mark 1 ; forward 2").
+Result<dataplane::Action> ParseActionText(const std::string& name,
+                                          std::string_view ops_text);
+
+}  // namespace flexnet::flexbpf

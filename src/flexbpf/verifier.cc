@@ -1,0 +1,233 @@
+#include "flexbpf/verifier.h"
+
+#include <algorithm>
+#include <bitset>
+#include <unordered_set>
+
+namespace flexnet::flexbpf {
+
+namespace {
+
+using RegSet = std::bitset<kNumRegisters>;
+
+Status CheckReg(int reg, const char* role, std::size_t pc) {
+  if (reg < 0 || reg >= kNumRegisters) {
+    return VerificationFailed("instr " + std::to_string(pc) + ": " + role +
+                              " register r" + std::to_string(reg) +
+                              " out of range");
+  }
+  return OkStatus();
+}
+
+const MapDecl* FindMap(const std::vector<MapDecl>& maps,
+                       const std::string& name) {
+  for (const auto& m : maps) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Status CheckMapRef(const std::vector<MapDecl>& maps, const std::string& map,
+                   const std::string& cell, std::size_t pc,
+                   std::vector<std::string>& used) {
+  const MapDecl* decl = FindMap(maps, map);
+  if (decl == nullptr) {
+    return VerificationFailed("instr " + std::to_string(pc) +
+                              ": undeclared map '" + map + "'");
+  }
+  if (std::find(decl->cells.begin(), decl->cells.end(), cell) ==
+      decl->cells.end()) {
+    return VerificationFailed("instr " + std::to_string(pc) + ": map '" + map +
+                              "' has no cell '" + cell + "'");
+  }
+  if (std::find(used.begin(), used.end(), map) == used.end()) {
+    used.push_back(map);
+  }
+  return OkStatus();
+}
+
+bool IsTerminator(const Instr& instr) {
+  return std::holds_alternative<InstrReturn>(instr) ||
+         std::holds_alternative<InstrDrop>(instr) ||
+         std::holds_alternative<InstrJump>(instr);
+}
+
+}  // namespace
+
+Status Verifier::VerifyFunction(FunctionDecl& fn,
+                                const std::vector<MapDecl>& maps) const {
+  const auto& code = fn.instrs;
+  if (code.empty()) {
+    return VerificationFailed("function '" + fn.name + "' is empty");
+  }
+  if (code.size() > kMaxInstructions) {
+    return VerificationFailed("function '" + fn.name + "' exceeds " +
+                              std::to_string(kMaxInstructions) +
+                              " instructions");
+  }
+  fn.maps_used.clear();
+
+  // defined[pc] = registers guaranteed defined when control reaches pc.
+  // Forward-only branches mean one forward pass converges: we meet (AND)
+  // the defined set into every successor.
+  std::vector<RegSet> defined(code.size() + 1);
+  std::vector<bool> reachable(code.size() + 1, false);
+  std::vector<bool> has_pred(code.size() + 1, false);
+  reachable[0] = true;
+
+  const auto flow_into = [&](std::size_t target, const RegSet& defs) {
+    if (!has_pred[target]) {
+      defined[target] = defs;
+      has_pred[target] = true;
+    } else {
+      defined[target] &= defs;  // conservative meet
+    }
+    reachable[target] = true;
+  };
+
+  bool last_reachable_is_terminator = false;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    if (!reachable[pc]) continue;  // dead code is allowed, just skipped
+    RegSet defs = defined[pc];
+    const Instr& instr = code[pc];
+    const std::string where = "function '" + fn.name + "' instr " +
+                              std::to_string(pc);
+
+    const auto require_defined = [&](int reg, const char* role) -> Status {
+      FLEXNET_RETURN_IF_ERROR(CheckReg(reg, role, pc));
+      if (!defs.test(static_cast<std::size_t>(reg))) {
+        return VerificationFailed(where + ": r" + std::to_string(reg) +
+                                  " (" + role + ") used before definition");
+      }
+      return OkStatus();
+    };
+    const auto define = [&](int reg) -> Status {
+      FLEXNET_RETURN_IF_ERROR(CheckReg(reg, "dst", pc));
+      defs.set(static_cast<std::size_t>(reg));
+      return OkStatus();
+    };
+    const auto check_target = [&](std::size_t target) -> Status {
+      if (target <= pc || target > code.size()) {
+        return VerificationFailed(
+            where + ": branch target " + std::to_string(target) +
+            " is not strictly forward (bounded execution violated)");
+      }
+      return OkStatus();
+    };
+
+    bool falls_through = true;
+    if (const auto* i = std::get_if<InstrLoadConst>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(define(i->dst));
+    } else if (const auto* i = std::get_if<InstrLoadField>(&instr)) {
+      if (i->field.find('.') == std::string::npos) {
+        return VerificationFailed(where + ": field '" + i->field +
+                                  "' is not dotted header.field");
+      }
+      FLEXNET_RETURN_IF_ERROR(define(i->dst));
+    } else if (const auto* i = std::get_if<InstrStoreField>(&instr)) {
+      if (i->field.find('.') == std::string::npos) {
+        return VerificationFailed(where + ": field '" + i->field +
+                                  "' is not dotted header.field");
+      }
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->src, "src"));
+    } else if (const auto* i = std::get_if<InstrLoadFlowKey>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(define(i->dst));
+    } else if (const auto* i = std::get_if<InstrBinOp>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->lhs, "lhs"));
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->rhs, "rhs"));
+      FLEXNET_RETURN_IF_ERROR(define(i->dst));
+    } else if (const auto* i = std::get_if<InstrBinOpImm>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->lhs, "lhs"));
+      FLEXNET_RETURN_IF_ERROR(define(i->dst));
+    } else if (const auto* i = std::get_if<InstrMapLoad>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->key, "key"));
+      FLEXNET_RETURN_IF_ERROR(
+          CheckMapRef(maps, i->map, i->cell, pc, fn.maps_used));
+      FLEXNET_RETURN_IF_ERROR(define(i->dst));
+    } else if (const auto* i = std::get_if<InstrMapStore>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->key, "key"));
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->src, "src"));
+      FLEXNET_RETURN_IF_ERROR(
+          CheckMapRef(maps, i->map, i->cell, pc, fn.maps_used));
+    } else if (const auto* i = std::get_if<InstrMapAdd>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->key, "key"));
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->src, "src"));
+      FLEXNET_RETURN_IF_ERROR(
+          CheckMapRef(maps, i->map, i->cell, pc, fn.maps_used));
+    } else if (const auto* i = std::get_if<InstrBranch>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->lhs, "lhs"));
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->rhs, "rhs"));
+      FLEXNET_RETURN_IF_ERROR(check_target(i->target));
+      if (i->target < code.size()) flow_into(i->target, defs);
+    } else if (const auto* i = std::get_if<InstrJump>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(check_target(i->target));
+      if (i->target < code.size()) flow_into(i->target, defs);
+      falls_through = false;
+    } else if (std::holds_alternative<InstrDrop>(instr)) {
+      falls_through = false;
+    } else if (const auto* i = std::get_if<InstrForward>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(require_defined(i->port_reg, "port"));
+    } else if (std::holds_alternative<InstrReturn>(instr)) {
+      falls_through = false;
+    }
+
+    last_reachable_is_terminator = IsTerminator(instr) && !falls_through;
+    if (falls_through) {
+      if (pc + 1 >= code.size()) {
+        return VerificationFailed("function '" + fn.name +
+                                  "' can fall off the end (missing return)");
+      }
+      flow_into(pc + 1, defs);
+    }
+  }
+  (void)last_reachable_is_terminator;
+  return OkStatus();
+}
+
+Result<VerifyStats> Verifier::Verify(ProgramIR& program) const {
+  VerifyStats stats;
+  std::unordered_set<std::string> names;
+  for (const auto& m : program.maps) {
+    if (!names.insert("m:" + m.name).second) {
+      return VerificationFailed("duplicate map '" + m.name + "'");
+    }
+    if (m.cells.empty()) {
+      return VerificationFailed("map '" + m.name + "' declares no cells");
+    }
+    if (m.size == 0) {
+      return VerificationFailed("map '" + m.name + "' has zero size");
+    }
+  }
+  for (const auto& t : program.tables) {
+    if (!names.insert("t:" + t.name).second) {
+      return VerificationFailed("duplicate table '" + t.name + "'");
+    }
+    if (t.key.empty()) {
+      return VerificationFailed("table '" + t.name + "' has empty key");
+    }
+    for (const auto& e : t.entries) {
+      if (e.match.size() != t.key.size()) {
+        return VerificationFailed("table '" + t.name +
+                                  "': entry arity mismatch");
+      }
+      if (t.FindAction(e.action_name) == nullptr) {
+        return VerificationFailed("table '" + t.name +
+                                  "': entry uses undeclared action '" +
+                                  e.action_name + "'");
+      }
+    }
+    ++stats.tables_checked;
+  }
+  for (auto& f : program.functions) {
+    if (!names.insert("f:" + f.name).second) {
+      return VerificationFailed("duplicate function '" + f.name + "'");
+    }
+    FLEXNET_RETURN_IF_ERROR(VerifyFunction(f, program.maps));
+    stats.max_function_length =
+        std::max(stats.max_function_length, f.instrs.size());
+    ++stats.functions_checked;
+  }
+  return stats;
+}
+
+}  // namespace flexnet::flexbpf

@@ -1,0 +1,47 @@
+// FlexBPF verifier: certifies bounded execution and well-behavedness
+// before a program may be admitted into the network (paper section 3.1:
+// "with constrained state, FlexBPF programs are analyzable to certify
+// bounded execution, well-behavedness, and to enable automated compilation
+// to constrained targets").
+//
+// Checks performed per function:
+//   * instruction count within kMaxInstructions
+//   * every branch/jump target is in range and strictly forward
+//     (=> termination; execution length <= instruction count)
+//   * registers are in [0, kNumRegisters)
+//   * registers are defined before use on every path (conservative:
+//     straight-line def tracking with meet over branch joins)
+//   * every referenced map is declared, with a declared cell name
+//   * the function ends with an unconditional terminator
+// Program-level checks:
+//   * unique names across maps/tables/functions
+//   * table entries reference declared actions and have matching arity
+//
+// Verify() also annotates FunctionDecl::maps_used.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flexbpf/ir.h"
+
+namespace flexnet::flexbpf {
+
+struct VerifyStats {
+  std::size_t functions_checked = 0;
+  std::size_t tables_checked = 0;
+  std::size_t max_function_length = 0;
+};
+
+class Verifier {
+ public:
+  // Verifies `program` in place (fills maps_used annotations).
+  Result<VerifyStats> Verify(ProgramIR& program) const;
+
+  // Verify a single function against a set of declared maps.
+  Status VerifyFunction(FunctionDecl& fn,
+                        const std::vector<MapDecl>& maps) const;
+};
+
+}  // namespace flexnet::flexbpf

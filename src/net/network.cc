@@ -1,0 +1,229 @@
+#include "net/network.h"
+
+#include <deque>
+
+namespace flexnet::net {
+
+runtime::ManagedDevice* Network::AddDevice(
+    std::unique_ptr<arch::Device> device) {
+  auto managed = std::make_unique<runtime::ManagedDevice>(std::move(device));
+  runtime::ManagedDevice* raw = managed.get();
+  index_[raw->id()] = devices_.size();
+  devices_.push_back(std::move(managed));
+  links_[raw->id()];  // ensure adjacency entry exists
+  return raw;
+}
+
+runtime::ManagedDevice* Network::Find(DeviceId id) noexcept {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : devices_[it->second].get();
+}
+
+runtime::ManagedDevice* Network::FindByName(const std::string& name) noexcept {
+  for (auto& d : devices_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+Status Network::AddLink(DeviceId a, DeviceId b, SimDuration latency) {
+  if (!index_.contains(a) || !index_.contains(b)) {
+    return NotFound("link endpoint not in network");
+  }
+  for (const LinkEnd& end : links_[a]) {
+    if (end.peer == b) return AlreadyExists("link already present");
+  }
+  links_[a].push_back(LinkEnd{b, latency});
+  links_[b].push_back(LinkEnd{a, latency});
+  return OkStatus();
+}
+
+Status Network::RemoveLink(DeviceId a, DeviceId b) {
+  bool removed = false;
+  const auto drop = [&](DeviceId from, DeviceId to) {
+    auto& ends = links_[from];
+    for (auto it = ends.begin(); it != ends.end(); ++it) {
+      if (it->peer == to) {
+        ends.erase(it);
+        removed = true;
+        return;
+      }
+    }
+  };
+  drop(a, b);
+  drop(b, a);
+  if (!removed) return NotFound("no such link");
+  return OkStatus();
+}
+
+Status Network::AttachAddress(DeviceId device, std::uint64_t address) {
+  if (!index_.contains(device)) return NotFound("device not in network");
+  if (address_home_.contains(address)) {
+    return AlreadyExists("address " + std::to_string(address) +
+                         " already attached");
+  }
+  address_home_[address] = device;
+  return OkStatus();
+}
+
+void Network::RebuildRoutes() {
+  routes_.clear();
+  // One BFS per destination device; all attached addresses of that device
+  // share the result.  Parents at equal depth are all recorded => ECMP.
+  // Offline devices do not relay: they are excluded from interior hops
+  // (but may still be BFS roots — a drained destination simply drops).
+  const auto relays = [this](DeviceId id) {
+    runtime::ManagedDevice* device = Find(id);
+    return device != nullptr && device->device().online();
+  };
+  for (const auto& [address, home] : address_home_) {
+    std::unordered_map<DeviceId, int> depth;
+    std::unordered_map<DeviceId, std::vector<DeviceId>> next_toward;
+    std::deque<DeviceId> queue;
+    depth[home] = 0;
+    queue.push_back(home);
+    while (!queue.empty()) {
+      const DeviceId current = queue.front();
+      queue.pop_front();
+      if (current != home && !relays(current)) continue;  // drained hop
+      for (const LinkEnd& end : links_[current]) {
+        const auto it = depth.find(end.peer);
+        if (it == depth.end()) {
+          depth[end.peer] = depth[current] + 1;
+          next_toward[end.peer].push_back(current);
+          queue.push_back(end.peer);
+        } else if (it->second == depth[current] + 1) {
+          next_toward[end.peer].push_back(current);  // equal-cost sibling
+        }
+      }
+    }
+    for (const auto& [device, hops] : next_toward) {
+      routes_[device][address] = hops;
+    }
+    routes_[home][address] = {};  // local delivery
+  }
+}
+
+DeviceId Network::NextHop(DeviceId at, std::uint64_t dst_addr,
+                          std::uint64_t flow_hash) const {
+  const auto dit = routes_.find(at);
+  if (dit == routes_.end()) return DeviceId();
+  const auto ait = dit->second.find(dst_addr);
+  if (ait == dit->second.end() || ait->second.empty()) return DeviceId();
+  return ait->second[flow_hash % ait->second.size()];
+}
+
+std::vector<DeviceId> Network::PathTo(DeviceId from,
+                                      std::uint64_t dst_addr) const {
+  std::vector<DeviceId> path;
+  DeviceId current = from;
+  const DeviceId home = [&] {
+    const auto it = address_home_.find(dst_addr);
+    return it == address_home_.end() ? DeviceId() : it->second;
+  }();
+  if (!home.valid()) return path;
+  path.push_back(current);
+  while (current != home) {
+    const DeviceId next = NextHop(current, dst_addr, 0);
+    if (!next.valid()) return {};
+    path.push_back(next);
+    current = next;
+  }
+  return path;
+}
+
+Result<SimDuration> Network::EstimatePathLatency(DeviceId from,
+                                                 DeviceId to) const {
+  if (from == to) return SimDuration{0};
+  std::unordered_map<DeviceId, SimDuration> cost;
+  std::deque<DeviceId> queue;
+  cost[from] = 0;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    const DeviceId current = queue.front();
+    queue.pop_front();
+    const auto lit = links_.find(current);
+    if (lit == links_.end()) continue;
+    for (const LinkEnd& end : lit->second) {
+      if (!cost.contains(end.peer)) {
+        cost[end.peer] = cost[current] + end.latency;
+        if (end.peer == to) return cost[end.peer];
+        queue.push_back(end.peer);
+      }
+    }
+  }
+  return Unavailable("no path between devices");
+}
+
+void Network::InjectPacket(DeviceId from, packet::Packet packet) {
+  ++stats_.injected;
+  packet.created_at = sim_->now();
+  HopProcess(from, std::move(packet));
+}
+
+void Network::FinishDrop(packet::Packet&& packet) {
+  ++stats_.dropped;
+  ++stats_.drops_by_reason[packet.drop_reason().empty() ? "unknown"
+                                                        : packet.drop_reason()];
+}
+
+void Network::FinishDeliver(packet::Packet&& packet) {
+  ++stats_.delivered;
+  packet.delivered_at = sim_->now();
+  const auto latency = packet.delivered_at - packet.created_at;
+  stats_.latency_ns.Add(static_cast<double>(latency));
+  if (sink_) {
+    sink_(DeliveryRecord{std::move(packet), latency});
+  }
+}
+
+void Network::HopProcess(DeviceId at, packet::Packet packet) {
+  runtime::ManagedDevice* device = Find(at);
+  if (device == nullptr) {
+    packet.MarkDropped("no_such_device");
+    FinishDrop(std::move(packet));
+    return;
+  }
+  const arch::ProcessOutcome outcome = device->Process(packet, sim_->now());
+  stats_.total_energy_nj += outcome.energy_nj;
+  if (outcome.pipeline.dropped || packet.dropped()) {
+    FinishDrop(std::move(packet));
+    return;
+  }
+  const auto dst = packet.GetField("ipv4.dst");
+  if (!dst.has_value()) {
+    packet.MarkDropped("no_destination");
+    FinishDrop(std::move(packet));
+    return;
+  }
+  const auto home_it = address_home_.find(*dst);
+  if (home_it != address_home_.end() && home_it->second == at) {
+    // Arrived: charge processing latency, then deliver.
+    auto shared = std::make_shared<packet::Packet>(std::move(packet));
+    sim_->Schedule(outcome.latency, [this, shared]() {
+      FinishDeliver(std::move(*shared));
+    });
+    return;
+  }
+  const auto key = packet::ExtractFlowKey(packet);
+  const DeviceId next =
+      NextHop(at, *dst, key.has_value() ? key->Hash() : packet.id());
+  if (!next.valid()) {
+    packet.MarkDropped("unroutable");
+    FinishDrop(std::move(packet));
+    return;
+  }
+  SimDuration link_latency = 1 * kMicrosecond;
+  for (const LinkEnd& end : links_[at]) {
+    if (end.peer == next) {
+      link_latency = end.latency;
+      break;
+    }
+  }
+  auto shared = std::make_shared<packet::Packet>(std::move(packet));
+  sim_->Schedule(outcome.latency + link_latency, [this, next, shared]() {
+    HopProcess(next, std::move(*shared));
+  });
+}
+
+}  // namespace flexnet::net

@@ -1,0 +1,118 @@
+// Network: topology of managed devices, links, routing, and packet
+// transport over the discrete-event simulator.
+//
+// Devices are ManagedDevices (arch device + hosted FlexNet program).
+// Links are full-duplex with fixed propagation latency.  Routing is
+// destination-IP based: the network computes shortest paths (BFS over the
+// device graph) from every device to every attached endpoint address, and
+// moves packets hop by hop, charging per-device processing latency (from
+// the arch model) plus link latency.  A device action that *drops* wins
+// over routing; ECMP splits ties by flow hash.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "packet/flow.h"
+#include "runtime/managed_device.h"
+#include "sim/simulator.h"
+
+namespace flexnet::net {
+
+struct DeliveryRecord {
+  packet::Packet packet;
+  SimDuration latency = 0;
+};
+
+// Aggregated transport statistics, also queryable per time window.
+struct NetworkStats {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::unordered_map<std::string, std::uint64_t> drops_by_reason;
+  RunningStats latency_ns;
+  double total_energy_nj = 0.0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator* sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- Topology construction ---
+  runtime::ManagedDevice* AddDevice(std::unique_ptr<arch::Device> device);
+  runtime::ManagedDevice* Find(DeviceId id) noexcept;
+  runtime::ManagedDevice* FindByName(const std::string& name) noexcept;
+  const std::vector<std::unique_ptr<runtime::ManagedDevice>>& devices()
+      const noexcept {
+    return devices_;
+  }
+
+  // Bidirectional link with symmetric latency.
+  Status AddLink(DeviceId a, DeviceId b, SimDuration latency = 1 * kMicrosecond);
+  // Removes a link (both directions); kNotFound if absent.
+  Status RemoveLink(DeviceId a, DeviceId b);
+  // Declare that `address` (an IPv4-like id) terminates at `device`.
+  Status AttachAddress(DeviceId device, std::uint64_t address);
+  // Recompute shortest-path routing; call after topology changes or when
+  // devices go offline (offline devices are routed around — this is how a
+  // drain avoids blackholing when the topology has path diversity).
+  void RebuildRoutes();
+
+  // --- Transport ---
+  // Injects at `from` at sim->now(); the packet is processed by every
+  // device on the path to its ipv4.dst address.  Delivery/drop lands in
+  // stats and the optional sink.
+  void InjectPacket(DeviceId from, packet::Packet packet);
+
+  using DeliverFn = std::function<void(const DeliveryRecord&)>;
+  void SetDeliverySink(DeliverFn sink) { sink_ = std::move(sink); }
+
+  const NetworkStats& stats() const noexcept { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  // Next hop device for (at, dst_addr); invalid id if unroutable.  ECMP
+  // ties are broken by flow_hash.
+  DeviceId NextHop(DeviceId at, std::uint64_t dst_addr,
+                   std::uint64_t flow_hash) const;
+  // Devices on the unique shortest path (first-ECMP choice) from->dst.
+  std::vector<DeviceId> PathTo(DeviceId from, std::uint64_t dst_addr) const;
+
+  // Total link latency along the shortest device-to-device path (BFS by
+  // hop count).  Error if disconnected.  Used by dRPC to model in-band
+  // service invocation cost.
+  Result<SimDuration> EstimatePathLatency(DeviceId from, DeviceId to) const;
+
+  sim::Simulator* simulator() noexcept { return sim_; }
+
+ private:
+  struct LinkEnd {
+    DeviceId peer;
+    SimDuration latency;
+  };
+  void HopProcess(DeviceId at, packet::Packet packet);
+  void FinishDrop(packet::Packet&& packet);
+  void FinishDeliver(packet::Packet&& packet);
+
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<runtime::ManagedDevice>> devices_;
+  std::unordered_map<DeviceId, std::size_t> index_;
+  std::unordered_map<DeviceId, std::vector<LinkEnd>> links_;
+  std::unordered_map<std::uint64_t, DeviceId> address_home_;
+  // routes_[device] -> (address -> next hop candidates).
+  std::unordered_map<DeviceId,
+                     std::unordered_map<std::uint64_t, std::vector<DeviceId>>>
+      routes_;
+  IdAllocator<DeviceId> ids_;
+  NetworkStats stats_;
+  DeliverFn sink_;
+};
+
+}  // namespace flexnet::net

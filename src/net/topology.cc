@@ -1,0 +1,99 @@
+#include "net/topology.h"
+
+#include "arch/drmt.h"
+#include "arch/endpoint.h"
+#include "arch/rmt.h"
+#include "arch/tile.h"
+
+namespace flexnet::net {
+
+std::unique_ptr<arch::Device> MakeSwitch(SwitchKind kind, DeviceId id,
+                                         std::string name) {
+  switch (kind) {
+    case SwitchKind::kRmt:
+      return std::make_unique<arch::RmtDevice>(id, std::move(name));
+    case SwitchKind::kDrmt:
+      return std::make_unique<arch::DrmtDevice>(id, std::move(name));
+    case SwitchKind::kTile:
+      return std::make_unique<arch::TileDevice>(id, std::move(name));
+  }
+  return nullptr;
+}
+
+namespace {
+
+EndpointIds AddEndpoint(Network& network, const std::string& base_name,
+                        std::uint64_t address, DeviceId attach_to,
+                        SimDuration edge_latency, std::uint64_t host_seq,
+                        std::uint64_t nic_seq) {
+  EndpointIds ids;
+  auto* host = network.AddDevice(std::make_unique<arch::HostDevice>(
+      DeviceId(host_seq), base_name + "-host"));
+  auto* nic = network.AddDevice(std::make_unique<arch::NicDevice>(
+      DeviceId(nic_seq), base_name + "-nic"));
+  ids.host = host->id();
+  ids.nic = nic->id();
+  ids.address = address;
+  (void)network.AddLink(ids.host, ids.nic, 200);  // PCIe-ish
+  (void)network.AddLink(ids.nic, attach_to, edge_latency);
+  (void)network.AttachAddress(ids.host, address);
+  return ids;
+}
+
+}  // namespace
+
+LeafSpineTopology BuildLeafSpine(Network& network,
+                                 const LeafSpineConfig& config) {
+  LeafSpineTopology topo;
+  std::uint64_t seq = 1000;
+  for (std::size_t s = 0; s < config.spines; ++s) {
+    auto* spine = network.AddDevice(MakeSwitch(
+        config.switch_kind, DeviceId(seq++), "spine" + std::to_string(s)));
+    topo.spines.push_back(spine->id());
+  }
+  std::uint64_t address = config.first_address;
+  for (std::size_t l = 0; l < config.leaves; ++l) {
+    auto* leaf = network.AddDevice(MakeSwitch(
+        config.switch_kind, DeviceId(seq++), "leaf" + std::to_string(l)));
+    topo.leaves.push_back(leaf->id());
+    for (const DeviceId spine : topo.spines) {
+      (void)network.AddLink(leaf->id(), spine, config.fabric_link_latency);
+    }
+    for (std::size_t h = 0; h < config.hosts_per_leaf; ++h) {
+      const std::string base =
+          "l" + std::to_string(l) + "h" + std::to_string(h);
+      topo.endpoints.push_back(AddEndpoint(network, base, address++,
+                                           leaf->id(),
+                                           config.edge_link_latency, seq,
+                                           seq + 1));
+      seq += 2;
+    }
+  }
+  network.RebuildRoutes();
+  return topo;
+}
+
+LinearTopology BuildLinear(Network& network, std::size_t switch_count,
+                           SwitchKind kind) {
+  LinearTopology topo;
+  std::uint64_t seq = 1;
+  DeviceId previous;
+  for (std::size_t i = 0; i < switch_count; ++i) {
+    auto* sw = network.AddDevice(
+        MakeSwitch(kind, DeviceId(seq++), "sw" + std::to_string(i)));
+    if (i > 0) (void)network.AddLink(previous, sw->id(), 2 * kMicrosecond);
+    previous = sw->id();
+    topo.switches.push_back(sw->id());
+  }
+  topo.client = AddEndpoint(network, "client", 0x0a000001,
+                            topo.switches.front(), 1 * kMicrosecond, seq,
+                            seq + 1);
+  seq += 2;
+  topo.server = AddEndpoint(network, "server", 0x0a000002,
+                            topo.switches.back(), 1 * kMicrosecond, seq,
+                            seq + 1);
+  network.RebuildRoutes();
+  return topo;
+}
+
+}  // namespace flexnet::net

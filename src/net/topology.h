@@ -1,0 +1,62 @@
+// Canned topology builders used by examples, tests, and benches.
+//
+// The vertical stack the paper draws (host kernel -> SmartNIC -> switches)
+// is materialized literally: every endpoint is a HostDevice chained
+// through a NicDevice into the switching fabric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/device.h"
+#include "net/network.h"
+
+namespace flexnet::net {
+
+enum class SwitchKind { kRmt, kDrmt, kTile };
+
+// Creates a switch of the requested architecture with default config.
+std::unique_ptr<arch::Device> MakeSwitch(SwitchKind kind, DeviceId id,
+                                         std::string name);
+
+struct EndpointIds {
+  DeviceId host;
+  DeviceId nic;
+  std::uint64_t address = 0;
+};
+
+struct LeafSpineTopology {
+  std::vector<DeviceId> spines;
+  std::vector<DeviceId> leaves;
+  std::vector<EndpointIds> endpoints;  // grouped by leaf, hosts_per_leaf each
+
+  const EndpointIds& endpoint(std::size_t i) const { return endpoints.at(i); }
+  std::size_t endpoint_count() const noexcept { return endpoints.size(); }
+};
+
+struct LeafSpineConfig {
+  std::size_t spines = 2;
+  std::size_t leaves = 4;
+  std::size_t hosts_per_leaf = 4;
+  SwitchKind switch_kind = SwitchKind::kDrmt;
+  SimDuration fabric_link_latency = 2 * kMicrosecond;
+  SimDuration edge_link_latency = 1 * kMicrosecond;
+  std::uint64_t first_address = 0x0a000001;  // 10.0.0.1
+};
+
+// Builds hosts->NICs->leaves->spines, attaches addresses, rebuilds routes.
+LeafSpineTopology BuildLeafSpine(Network& network,
+                                 const LeafSpineConfig& config = {});
+
+struct LinearTopology {
+  EndpointIds client;
+  EndpointIds server;
+  std::vector<DeviceId> switches;
+};
+
+// host--nic--sw0--sw1--...--nic--host; addresses attached and routed.
+LinearTopology BuildLinear(Network& network, std::size_t switch_count = 2,
+                           SwitchKind kind = SwitchKind::kDrmt);
+
+}  // namespace flexnet::net

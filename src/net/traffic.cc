@@ -1,0 +1,143 @@
+#include "net/traffic.h"
+
+#include <algorithm>
+
+namespace flexnet::net {
+
+packet::Packet TrafficGenerator::MakePacket(const FlowSpec& flow) {
+  packet::Ipv4Spec ip;
+  ip.src = flow.src_ip;
+  ip.dst = flow.dst_ip;
+  packet::Packet p;
+  if (flow.proto == 17) {
+    packet::UdpSpec udp;
+    udp.sport = flow.src_port;
+    udp.dport = flow.dst_port;
+    p = packet::MakeUdpPacket(next_packet_id_++, ip, udp, flow.packet_bytes);
+  } else {
+    packet::TcpSpec tcp;
+    tcp.sport = flow.src_port;
+    tcp.dport = flow.dst_port;
+    p = packet::MakeTcpPacket(next_packet_id_++, ip, tcp, flow.packet_bytes);
+  }
+  return p;
+}
+
+void TrafficGenerator::StartCbr(const FlowSpec& flow, double pps,
+                                SimDuration duration) {
+  const SimDuration gap = std::max<SimDuration>(
+      1, static_cast<SimDuration>(static_cast<double>(kSecond) / pps));
+  sim::Simulator* sim = network_->simulator();
+  const SimTime stop = sim->now() + duration;
+  struct Tick {
+    TrafficGenerator* gen;
+    FlowSpec flow;
+    SimDuration gap;
+    SimTime stop;
+    void operator()() const {
+      sim::Simulator* sim = gen->network_->simulator();
+      if (sim->now() > stop) return;
+      packet::Packet p = gen->MakePacket(flow);
+      ++gen->emitted_;
+      gen->network_->InjectPacket(flow.from, std::move(p));
+      sim->Schedule(gap, *this);
+    }
+  };
+  sim->Schedule(gap, Tick{this, flow, gap, stop});
+}
+
+void TrafficGenerator::StartPoisson(const FlowSpec& flow, double pps,
+                                    SimDuration duration) {
+  sim::Simulator* sim = network_->simulator();
+  const SimTime stop = sim->now() + duration;
+  struct Tick {
+    TrafficGenerator* gen;
+    FlowSpec flow;
+    double pps;
+    SimTime stop;
+    void operator()() const {
+      sim::Simulator* sim = gen->network_->simulator();
+      if (sim->now() > stop) return;
+      packet::Packet p = gen->MakePacket(flow);
+      ++gen->emitted_;
+      gen->network_->InjectPacket(flow.from, std::move(p));
+      const double gap_s = gen->rng_.NextExponential(pps);
+      sim->Schedule(static_cast<SimDuration>(gap_s *
+                                             static_cast<double>(kSecond)),
+                    *this);
+    }
+  };
+  const double first_gap = rng_.NextExponential(pps);
+  sim->Schedule(
+      static_cast<SimDuration>(first_gap * static_cast<double>(kSecond)),
+      Tick{this, flow, pps, stop});
+}
+
+void TrafficGenerator::StartSynFlood(DeviceId from, std::uint64_t dst_ip,
+                                     double pps, SimDuration duration,
+                                     std::uint64_t spoof_base,
+                                     std::uint64_t spoof_range) {
+  sim::Simulator* sim = network_->simulator();
+  const SimDuration gap = std::max<SimDuration>(
+      1, static_cast<SimDuration>(static_cast<double>(kSecond) / pps));
+  const SimTime stop = sim->now() + duration;
+  struct Tick {
+    TrafficGenerator* gen;
+    DeviceId from;
+    std::uint64_t dst_ip;
+    std::uint64_t spoof_base;
+    std::uint64_t spoof_range;
+    SimDuration gap;
+    SimTime stop;
+    void operator()() const {
+      sim::Simulator* sim = gen->network_->simulator();
+      if (sim->now() > stop) return;
+      packet::Ipv4Spec ip;
+      ip.src = spoof_base + gen->rng_.NextBounded(spoof_range);
+      ip.dst = dst_ip;
+      packet::TcpSpec tcp;
+      tcp.sport = 1024 + gen->rng_.NextBounded(60000);
+      tcp.dport = 80;
+      tcp.flags = packet::kTcpFlagSyn;
+      packet::Packet p =
+          packet::MakeTcpPacket(gen->next_packet_id_++, ip, tcp, 64);
+      p.SetMeta("attack", 1);  // ground-truth label for benign/attack stats
+      ++gen->emitted_;
+      gen->network_->InjectPacket(from, std::move(p));
+      sim->Schedule(gap, *this);
+    }
+  };
+  sim->Schedule(gap,
+                Tick{this, from, dst_ip, spoof_base, spoof_range, gap, stop});
+}
+
+void TrafficGenerator::StartMix(const std::vector<EndpointRef>& endpoints,
+                                const MixConfig& config) {
+  if (endpoints.size() < 2) return;
+  sim::Simulator* sim = network_->simulator();
+  for (std::size_t i = 0; i < config.flows; ++i) {
+    const std::size_t a = rng_.NextBounded(endpoints.size());
+    std::size_t b = rng_.NextBounded(endpoints.size());
+    if (b == a) b = (b + 1) % endpoints.size();
+    const double pkts = rng_.NextParetoBounded(config.pareto_alpha,
+                                               config.min_pkts,
+                                               config.max_pkts);
+    FlowSpec flow;
+    flow.from = endpoints[a].device;
+    flow.src_ip = endpoints[a].address;
+    flow.dst_ip = endpoints[b].address;
+    flow.src_port = 30000 + rng_.NextBounded(30000);
+    flow.dst_port = rng_.NextBool(0.5) ? 80 : 443;
+    const SimDuration start_offset = static_cast<SimDuration>(
+        rng_.NextBounded(static_cast<std::uint64_t>(config.span)));
+    const SimDuration duration = static_cast<SimDuration>(
+        pkts / config.per_flow_pps * static_cast<double>(kSecond));
+    TrafficGenerator* self = this;
+    const double pps = config.per_flow_pps;
+    sim->Schedule(start_offset, [self, flow, pps, duration]() {
+      self->StartCbr(flow, pps, duration);
+    });
+  }
+}
+
+}  // namespace flexnet::net

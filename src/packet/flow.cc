@@ -1,0 +1,49 @@
+#include "packet/flow.h"
+
+#include <sstream>
+
+namespace flexnet::packet {
+
+namespace {
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+}  // namespace
+
+std::uint64_t FlowKey::Hash() const noexcept {
+  std::uint64_t h = 0x51afd7ed558ccd11ULL;
+  h = Mix(h, src_ip);
+  h = Mix(h, dst_ip);
+  h = Mix(h, proto);
+  h = Mix(h, src_port);
+  h = Mix(h, dst_port);
+  return h;
+}
+
+std::string FlowKey::ToText() const {
+  std::ostringstream out;
+  out << src_ip << ":" << src_port << "->" << dst_ip << ":" << dst_port
+      << "/" << proto;
+  return out.str();
+}
+
+std::optional<FlowKey> ExtractFlowKey(const Packet& p) {
+  const Header* ip = p.FindHeader("ipv4");
+  if (ip == nullptr) return std::nullopt;
+  FlowKey key;
+  key.src_ip = ip->Get("src").value_or(0);
+  key.dst_ip = ip->Get("dst").value_or(0);
+  key.proto = ip->Get("proto").value_or(0);
+  if (const Header* tcp = p.FindHeader("tcp")) {
+    key.src_port = tcp->Get("sport").value_or(0);
+    key.dst_port = tcp->Get("dport").value_or(0);
+  } else if (const Header* udp = p.FindHeader("udp")) {
+    key.src_port = udp->Get("sport").value_or(0);
+    key.dst_port = udp->Get("dport").value_or(0);
+  }
+  return key;
+}
+
+}  // namespace flexnet::packet

@@ -1,0 +1,162 @@
+#include "packet/packet.h"
+
+#include <algorithm>
+
+namespace flexnet::packet {
+
+std::optional<std::uint64_t> Header::Get(std::string_view field) const noexcept {
+  for (const Field& f : fields_) {
+    if (f.name == field) return f.value;
+  }
+  return std::nullopt;
+}
+
+void Header::Set(std::string_view field, std::uint64_t value) {
+  for (Field& f : fields_) {
+    if (f.name == field) {
+      f.value = value;
+      return;
+    }
+  }
+  fields_.push_back(Field{std::string(field), value});
+}
+
+bool Header::Has(std::string_view field) const noexcept {
+  return Get(field).has_value();
+}
+
+Header& Packet::PushHeader(std::string name) {
+  headers_.emplace_back(std::move(name));
+  return headers_.back();
+}
+
+bool Packet::PopHeader(std::string_view name) {
+  for (auto it = headers_.begin(); it != headers_.end(); ++it) {
+    if (it->name() == name) {
+      headers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Header* Packet::FindHeader(std::string_view name) noexcept {
+  for (Header& h : headers_) {
+    if (h.name() == name) return &h;
+  }
+  return nullptr;
+}
+
+const Header* Packet::FindHeader(std::string_view name) const noexcept {
+  for (const Header& h : headers_) {
+    if (h.name() == name) return &h;
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> Packet::GetField(std::string_view dotted) const {
+  const std::size_t dot = dotted.find('.');
+  if (dot == std::string_view::npos) return std::nullopt;
+  const std::string_view header = dotted.substr(0, dot);
+  const std::string_view field = dotted.substr(dot + 1);
+  if (header == "meta") return GetMeta(field);
+  const Header* h = FindHeader(header);
+  if (h == nullptr) return std::nullopt;
+  return h->Get(field);
+}
+
+bool Packet::SetField(std::string_view dotted, std::uint64_t value) {
+  const std::size_t dot = dotted.find('.');
+  if (dot == std::string_view::npos) return false;
+  const std::string_view header = dotted.substr(0, dot);
+  const std::string_view field = dotted.substr(dot + 1);
+  if (header == "meta") {
+    SetMeta(field, value);
+    return true;
+  }
+  Header* h = FindHeader(header);
+  if (h == nullptr) return false;
+  h->Set(field, value);
+  return true;
+}
+
+std::optional<std::uint64_t> Packet::GetMeta(std::string_view key) const noexcept {
+  for (const Field& f : meta_) {
+    if (f.name == key) return f.value;
+  }
+  return std::nullopt;
+}
+
+void Packet::SetMeta(std::string_view key, std::uint64_t value) {
+  for (Field& f : meta_) {
+    if (f.name == key) {
+      f.value = value;
+      return;
+    }
+  }
+  meta_.push_back(Field{std::string(key), value});
+}
+
+void Packet::MarkDropped(std::string reason) {
+  dropped_ = true;
+  drop_reason_ = std::move(reason);
+}
+
+void AddEthernet(Packet& p, const EthernetSpec& spec) {
+  Header& h = p.PushHeader("eth");
+  h.Set("src", spec.src);
+  h.Set("dst", spec.dst);
+  h.Set("type", spec.ethertype);
+}
+
+void AddVlan(Packet& p, std::uint64_t vlan_id) {
+  Header& h = p.PushHeader("vlan");
+  h.Set("id", vlan_id);
+}
+
+void AddIpv4(Packet& p, const Ipv4Spec& spec) {
+  Header& h = p.PushHeader("ipv4");
+  h.Set("src", spec.src);
+  h.Set("dst", spec.dst);
+  h.Set("proto", spec.proto);
+  h.Set("ttl", spec.ttl);
+  h.Set("dscp", spec.dscp);
+}
+
+void AddTcp(Packet& p, const TcpSpec& spec) {
+  Header& h = p.PushHeader("tcp");
+  h.Set("sport", spec.sport);
+  h.Set("dport", spec.dport);
+  h.Set("flags", spec.flags);
+  h.Set("seq", spec.seq);
+}
+
+void AddUdp(Packet& p, const UdpSpec& spec) {
+  Header& h = p.PushHeader("udp");
+  h.Set("sport", spec.sport);
+  h.Set("dport", spec.dport);
+}
+
+Packet MakeTcpPacket(std::uint64_t id, const Ipv4Spec& ip, const TcpSpec& tcp,
+                     std::uint32_t size_bytes) {
+  Packet p(id, size_bytes);
+  AddEthernet(p, EthernetSpec{});
+  Ipv4Spec ip_with_proto = ip;
+  ip_with_proto.proto = 6;
+  AddIpv4(p, ip_with_proto);
+  AddTcp(p, tcp);
+  return p;
+}
+
+Packet MakeUdpPacket(std::uint64_t id, const Ipv4Spec& ip, const UdpSpec& udp,
+                     std::uint32_t size_bytes) {
+  Packet p(id, size_bytes);
+  AddEthernet(p, EthernetSpec{});
+  Ipv4Spec ip_with_proto = ip;
+  ip_with_proto.proto = 17;
+  AddIpv4(p, ip_with_proto);
+  AddUdp(p, udp);
+  return p;
+}
+
+}  // namespace flexnet::packet

@@ -1,0 +1,66 @@
+#include "runtime/engine.h"
+
+#include <memory>
+
+namespace flexnet::runtime {
+
+SimTime RuntimeEngine::ApplyRuntime(ManagedDevice& dev, ReconfigPlan plan,
+                                    DoneFn done) {
+  auto report = std::make_shared<ApplyReport>();
+  report->started = sim_->now();
+  SimDuration cumulative = 0;
+  for (const ReconfigStep& plan_step : plan.steps) {
+    const bool is_entry = std::holds_alternative<StepAddEntry>(plan_step) ||
+                          std::holds_alternative<StepRemoveEntry>(plan_step);
+    cumulative += is_entry ? 20 * kMicrosecond
+                           : dev.device().ReconfigCost(OpClassOf(plan_step));
+    ManagedDevice* device = &dev;
+    sim_->Schedule(cumulative, [device, step = plan_step, report]() {
+      const Status status = device->ApplyStep(step);
+      if (status.ok()) {
+        ++report->steps_applied;
+      } else {
+        ++report->steps_failed;
+        report->errors.push_back(ToText(step) + ": " +
+                                 status.error().ToText());
+      }
+    });
+  }
+  const SimTime finish = sim_->now() + cumulative;
+  if (done) {
+    auto report_capture = report;
+    sim_->ScheduleAt(finish, [report_capture, done, finish]() {
+      report_capture->finished = finish;
+      done(*report_capture);
+    });
+  }
+  return finish;
+}
+
+SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
+                                  DoneFn done) {
+  auto report = std::make_shared<ApplyReport>();
+  report->started = sim_->now();
+  dev.device().set_online(false);  // drain: traffic to this device is lost
+  const SimDuration window = dev.device().FullReflashCost();
+  const SimTime finish = sim_->now() + window;
+  ManagedDevice* device = &dev;
+  sim_->ScheduleAt(finish, [device, plan = std::move(plan), report, done,
+                            finish]() {
+    for (const ReconfigStep& step : plan.steps) {
+      const Status status = device->ApplyStep(step);
+      if (status.ok()) {
+        ++report->steps_applied;
+      } else {
+        ++report->steps_failed;
+        report->errors.push_back(ToText(step) + ": " + status.error().ToText());
+      }
+    }
+    device->device().set_online(true);
+    report->finished = finish;
+    if (done) done(*report);
+  });
+  return finish;
+}
+
+}  // namespace flexnet::runtime

@@ -1,0 +1,171 @@
+#include "runtime/managed_device.h"
+
+#include <algorithm>
+
+namespace flexnet::runtime {
+
+ManagedDevice::ManagedDevice(std::unique_ptr<arch::Device> device)
+    : device_(std::move(device)) {}
+
+bool ManagedDevice::HasFunction(const std::string& name) const noexcept {
+  return std::any_of(functions_.begin(), functions_.end(),
+                     [&](const flexbpf::FunctionDecl& f) {
+                       return f.name == name;
+                     });
+}
+
+Status ManagedDevice::AddTable(const StepAddTable& step) {
+  const flexbpf::TableDecl& decl = step.decl;
+  const std::size_t position = std::min(
+      step.position, device_->pipeline().table_count());
+  FLEXNET_ASSIGN_OR_RETURN(
+      const std::string location,
+      device_->ReserveTable(decl.name, decl.Resources(), step.order_hint,
+                            step.order_group));
+  (void)location;
+  auto table_result = device_->pipeline().AddTable(decl.name, decl.key,
+                                                   decl.capacity, position);
+  if (!table_result.ok()) {
+    (void)device_->ReleaseTable(decl.name);
+    return table_result.error();
+  }
+  dataplane::MatchActionTable* table = table_result.value();
+  table->SetDefaultAction(decl.default_action);
+  for (const flexbpf::MeterDecl& meter : decl.meters) {
+    (void)device_->pipeline().state().AddMeter(meter.name, meter.rate_pps,
+                                               meter.burst);
+  }
+  for (const std::string& counter : decl.counters) {
+    (void)device_->pipeline().state().AddCounter(counter);
+  }
+  for (const flexbpf::InitialEntry& e : decl.entries) {
+    const dataplane::Action* action = decl.FindAction(e.action_name);
+    if (action == nullptr) {
+      (void)device_->pipeline().RemoveTable(decl.name);
+      (void)device_->ReleaseTable(decl.name);
+      return InvalidArgument("table '" + decl.name +
+                             "': entry uses unknown action '" + e.action_name +
+                             "'");
+    }
+    dataplane::TableEntry entry;
+    entry.match = e.match;
+    entry.action = *action;
+    entry.priority = e.priority;
+    FLEXNET_RETURN_IF_ERROR(table->AddEntry(std::move(entry)));
+  }
+  return OkStatus();
+}
+
+Status ManagedDevice::RemoveTable(const StepRemoveTable& step) {
+  FLEXNET_RETURN_IF_ERROR(device_->pipeline().RemoveTable(step.name));
+  return device_->ReleaseTable(step.name);
+}
+
+Status ManagedDevice::AddFunction(const StepAddFunction& step) {
+  if (HasFunction(step.fn.name)) {
+    return AlreadyExists("function '" + step.fn.name + "'");
+  }
+  // A function occupies one pipeline-element slot (action processing).
+  dataplane::TableResources demand;
+  demand.action_slots = 1;
+  FLEXNET_ASSIGN_OR_RETURN(
+      const std::string location,
+      device_->ReserveTable("fn:" + step.fn.name, demand, SIZE_MAX));
+  (void)location;
+  functions_.push_back(step.fn);
+  return OkStatus();
+}
+
+Status ManagedDevice::RemoveFunction(const StepRemoveFunction& step) {
+  const auto it =
+      std::find_if(functions_.begin(), functions_.end(),
+                   [&](const flexbpf::FunctionDecl& f) {
+                     return f.name == step.name;
+                   });
+  if (it == functions_.end()) {
+    return NotFound("function '" + step.name + "'");
+  }
+  functions_.erase(it);
+  return device_->ReleaseTable("fn:" + step.name);
+}
+
+Status ManagedDevice::ApplyStep(const ReconfigStep& step) {
+  Status status = OkStatus();
+  if (const auto* s = std::get_if<StepAddTable>(&step)) {
+    status = AddTable(*s);
+  } else if (const auto* s = std::get_if<StepRemoveTable>(&step)) {
+    status = RemoveTable(*s);
+  } else if (const auto* s = std::get_if<StepMoveTable>(&step)) {
+    status = device_->pipeline().MoveTable(s->name, s->position);
+  } else if (const auto* s = std::get_if<StepAddFunction>(&step)) {
+    status = AddFunction(*s);
+  } else if (const auto* s = std::get_if<StepRemoveFunction>(&step)) {
+    status = RemoveFunction(*s);
+  } else if (const auto* s = std::get_if<StepAddMap>(&step)) {
+    dataplane::TableResources demand;
+    demand.state_bytes = s->decl.StateBytes();
+    demand.action_slots = 0;
+    auto reserve = device_->ReserveTable("map:" + s->decl.name, demand, SIZE_MAX);
+    if (!reserve.ok()) {
+      status = reserve.error();
+    } else {
+      status = maps_.Install(s->decl, s->encoding);
+      if (!status.ok()) (void)device_->ReleaseTable("map:" + s->decl.name);
+    }
+  } else if (const auto* s = std::get_if<StepRemoveMap>(&step)) {
+    status = maps_.Remove(s->name);
+    if (status.ok()) (void)device_->ReleaseTable("map:" + s->name);
+  } else if (const auto* s = std::get_if<StepAddParserState>(&step)) {
+    dataplane::ParseGraph& parser = device_->pipeline().parser();
+    status = parser.AddState(s->state);
+    if (status.ok() && !s->from.empty()) {
+      status = parser.AddTransition(s->from, s->select_value, s->state.name);
+      if (!status.ok()) (void)parser.RemoveState(s->state.name);
+    }
+  } else if (const auto* s = std::get_if<StepRemoveParserState>(&step)) {
+    status = device_->pipeline().parser().RemoveState(s->name);
+  } else if (const auto* s = std::get_if<StepAddEntry>(&step)) {
+    dataplane::MatchActionTable* table =
+        device_->pipeline().FindTable(s->table);
+    if (table == nullptr) {
+      status = NotFound("table '" + s->table + "'");
+    } else {
+      status = table->AddEntry(s->entry);
+    }
+  } else if (const auto* s = std::get_if<StepRemoveEntry>(&step)) {
+    dataplane::MatchActionTable* table =
+        device_->pipeline().FindTable(s->table);
+    if (table == nullptr) {
+      status = NotFound("table '" + s->table + "'");
+    } else if (table->RemoveEntries(s->match) == 0) {
+      status = NotFound("no matching entries in '" + s->table + "'");
+    }
+  }
+  if (status.ok()) device_->BumpProgramVersion();
+  return status;
+}
+
+Status ManagedDevice::ApplyAll(const ReconfigPlan& plan) {
+  for (const ReconfigStep& step : plan.steps) {
+    FLEXNET_RETURN_IF_ERROR(ApplyStep(step));
+  }
+  return OkStatus();
+}
+
+arch::ProcessOutcome ManagedDevice::Process(packet::Packet& p, SimTime now) {
+  arch::ProcessOutcome outcome = device_->ProcessPacket(p, now);
+  if (outcome.pipeline.dropped || !device_->online()) return outcome;
+  flexbpf::Interpreter interp(&maps_);
+  for (const flexbpf::FunctionDecl& fn : functions_) {
+    const flexbpf::InterpResult r = interp.Run(fn, p);
+    outcome.latency += device_->MarginalLatency(1);
+    outcome.energy_nj += device_->MarginalEnergyNj(1);
+    if (r.dropped) {
+      outcome.pipeline.dropped = true;
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace flexnet::runtime

@@ -1,0 +1,66 @@
+// ManagedDevice: a physical device plus its hosted FlexNet program state.
+//
+// The arch::Device owns the match/action pipeline and placement; this
+// wrapper adds what a *runtime-programmable* node needs on top:
+//   * the logical map set (state/ encodings chosen by the compiler),
+//   * installed FlexBPF functions executed after the table pipeline,
+//   * the ApplyStep() mutation surface the RuntimeEngine drives.
+//
+// Each ApplyStep is atomic with respect to packets: the simulator fires it
+// as one event, so a packet is processed entirely before or entirely after
+// the step — the per-change consistency the paper's section 2 describes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/device.h"
+#include "flexbpf/interp.h"
+#include "runtime/plan.h"
+#include "state/logical_map.h"
+
+namespace flexnet::runtime {
+
+class ManagedDevice {
+ public:
+  explicit ManagedDevice(std::unique_ptr<arch::Device> device);
+  ManagedDevice(const ManagedDevice&) = delete;
+  ManagedDevice& operator=(const ManagedDevice&) = delete;
+
+  arch::Device& device() noexcept { return *device_; }
+  const arch::Device& device() const noexcept { return *device_; }
+  state::MapSet& maps() noexcept { return maps_; }
+  const state::MapSet& maps() const noexcept { return maps_; }
+
+  DeviceId id() const noexcept { return device_->id(); }
+  const std::string& name() const noexcept { return device_->name(); }
+
+  // --- Program mutation surface (used by RuntimeEngine and the compiler's
+  // full-install path).  Each call is one atomic program change. ---
+  Status ApplyStep(const ReconfigStep& step);
+  Status ApplyAll(const ReconfigPlan& plan);  // immediate, no timing model
+
+  const std::vector<flexbpf::FunctionDecl>& functions() const noexcept {
+    return functions_;
+  }
+  bool HasFunction(const std::string& name) const noexcept;
+  bool HasTable(const std::string& name) const noexcept {
+    return device_->pipeline().FindTable(name) != nullptr;
+  }
+
+  // --- Packet path: parse -> tables -> functions. ---
+  arch::ProcessOutcome Process(packet::Packet& p, SimTime now);
+
+ private:
+  Status AddTable(const StepAddTable& step);
+  Status RemoveTable(const StepRemoveTable& step);
+  Status AddFunction(const StepAddFunction& step);
+  Status RemoveFunction(const StepRemoveFunction& step);
+
+  std::unique_ptr<arch::Device> device_;
+  state::MapSet maps_;
+  std::vector<flexbpf::FunctionDecl> functions_;
+};
+
+}  // namespace flexnet::runtime

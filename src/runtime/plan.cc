@@ -1,0 +1,99 @@
+#include "runtime/plan.h"
+
+namespace flexnet::runtime {
+
+arch::ReconfigOp OpClassOf(const ReconfigStep& step) noexcept {
+  using arch::ReconfigOp;
+  if (std::holds_alternative<StepAddTable>(step)) return ReconfigOp::kAddTable;
+  if (std::holds_alternative<StepRemoveTable>(step)) {
+    return ReconfigOp::kRemoveTable;
+  }
+  if (std::holds_alternative<StepMoveTable>(step)) return ReconfigOp::kMoveTable;
+  if (std::holds_alternative<StepAddFunction>(step)) {
+    return ReconfigOp::kAddTable;  // functions install like a pipeline element
+  }
+  if (std::holds_alternative<StepRemoveFunction>(step)) {
+    return ReconfigOp::kRemoveTable;
+  }
+  if (std::holds_alternative<StepAddMap>(step)) {
+    return ReconfigOp::kAddStateObject;
+  }
+  if (std::holds_alternative<StepRemoveMap>(step)) {
+    return ReconfigOp::kRemoveStateObject;
+  }
+  if (std::holds_alternative<StepAddParserState>(step)) {
+    return ReconfigOp::kAddParserState;
+  }
+  if (std::holds_alternative<StepRemoveParserState>(step)) {
+    return ReconfigOp::kRemoveParserState;
+  }
+  // Entry updates are classed as state-object touches (cheapest class).
+  return arch::ReconfigOp::kAddStateObject;
+}
+
+std::string ToText(const ReconfigStep& step) {
+  if (const auto* s = std::get_if<StepAddTable>(&step)) {
+    return "add_table(" + s->decl.name + ")";
+  }
+  if (const auto* s = std::get_if<StepRemoveTable>(&step)) {
+    return "remove_table(" + s->name + ")";
+  }
+  if (const auto* s = std::get_if<StepMoveTable>(&step)) {
+    return "move_table(" + s->name + ")";
+  }
+  if (const auto* s = std::get_if<StepAddFunction>(&step)) {
+    return "add_function(" + s->fn.name + ")";
+  }
+  if (const auto* s = std::get_if<StepRemoveFunction>(&step)) {
+    return "remove_function(" + s->name + ")";
+  }
+  if (const auto* s = std::get_if<StepAddMap>(&step)) {
+    return "add_map(" + s->decl.name + ")";
+  }
+  if (const auto* s = std::get_if<StepRemoveMap>(&step)) {
+    return "remove_map(" + s->name + ")";
+  }
+  if (const auto* s = std::get_if<StepAddParserState>(&step)) {
+    return "add_parser_state(" + s->state.name + ")";
+  }
+  if (const auto* s = std::get_if<StepRemoveParserState>(&step)) {
+    return "remove_parser_state(" + s->name + ")";
+  }
+  if (const auto* s = std::get_if<StepAddEntry>(&step)) {
+    return "add_entry(" + s->table + ")";
+  }
+  if (const auto* s = std::get_if<StepRemoveEntry>(&step)) {
+    return "remove_entry(" + s->table + ")";
+  }
+  return "unknown_step";
+}
+
+namespace {
+bool IsEntryStep(const ReconfigStep& step) noexcept {
+  return std::holds_alternative<StepAddEntry>(step) ||
+         std::holds_alternative<StepRemoveEntry>(step);
+}
+}  // namespace
+
+SimDuration ReconfigPlan::EstimateDuration(
+    const arch::Device& device) const noexcept {
+  SimDuration total = 0;
+  for (const ReconfigStep& step : steps) {
+    if (IsEntryStep(step)) {
+      total += 20 * kMicrosecond;  // P4Runtime-style table write
+    } else {
+      total += device.ReconfigCost(OpClassOf(step));
+    }
+  }
+  return total;
+}
+
+std::size_t ReconfigPlan::StructuralOpCount() const noexcept {
+  std::size_t count = 0;
+  for (const ReconfigStep& step : steps) {
+    if (!IsEntryStep(step)) ++count;
+  }
+  return count;
+}
+
+}  // namespace flexnet::runtime

@@ -1,0 +1,91 @@
+// Reconfiguration plans: the unit of runtime change.
+//
+// A plan is an ordered list of steps against one device — add/remove
+// tables, parser states, maps, FlexBPF functions, and table entries.  The
+// compiler emits plans (full program installs and incremental diffs); the
+// RuntimeEngine executes them hitlessly or via the drain baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "arch/device.h"
+#include "dataplane/parser.h"
+#include "flexbpf/ir.h"
+
+namespace flexnet::runtime {
+
+struct StepAddTable {
+  flexbpf::TableDecl decl;
+  std::size_t position = SIZE_MAX;  // pipeline index; SIZE_MAX = append
+  // Stage-ordering metadata for staged architectures: the table's index
+  // within its program and the program's identity.  SIZE_MAX = unordered.
+  std::size_t order_hint = SIZE_MAX;
+  std::uint64_t order_group = 0;
+};
+struct StepRemoveTable {
+  std::string name;
+};
+struct StepMoveTable {
+  std::string name;
+  std::size_t position = 0;
+};
+struct StepAddFunction {
+  flexbpf::FunctionDecl fn;
+};
+struct StepRemoveFunction {
+  std::string name;
+};
+struct StepAddMap {
+  flexbpf::MapDecl decl;
+  flexbpf::MapEncoding encoding = flexbpf::MapEncoding::kRegisterArray;
+};
+struct StepRemoveMap {
+  std::string name;
+};
+struct StepAddParserState {
+  dataplane::ParseState state;
+  std::string from;               // chain from this state...
+  std::uint64_t select_value = 0; // ...on this select value ("" from = none)
+};
+struct StepRemoveParserState {
+  std::string name;
+};
+// Entry-level updates are control-plane table writes (P4Runtime level):
+// they ride on an installed table and cost microseconds, not milliseconds.
+// The entry carries a fully resolved action (no name lookup at apply time).
+struct StepAddEntry {
+  std::string table;
+  dataplane::TableEntry entry;
+};
+struct StepRemoveEntry {
+  std::string table;
+  std::vector<dataplane::MatchValue> match;
+};
+
+using ReconfigStep =
+    std::variant<StepAddTable, StepRemoveTable, StepMoveTable, StepAddFunction,
+                 StepRemoveFunction, StepAddMap, StepRemoveMap,
+                 StepAddParserState, StepRemoveParserState, StepAddEntry,
+                 StepRemoveEntry>;
+
+// The device-level op class a step belongs to (drives per-arch cost).
+arch::ReconfigOp OpClassOf(const ReconfigStep& step) noexcept;
+// Human-readable step summary, e.g. "add_table(firewall)".
+std::string ToText(const ReconfigStep& step);
+
+struct ReconfigPlan {
+  std::string description;
+  std::vector<ReconfigStep> steps;
+
+  std::size_t OpCount() const noexcept { return steps.size(); }
+  // Modeled time to apply every step on `device`, serialized.
+  SimDuration EstimateDuration(const arch::Device& device) const noexcept;
+  // Steps that are structural (not entry-level) — the intrusiveness metric
+  // experiment E4 compares between incremental and full recompilation.
+  std::size_t StructuralOpCount() const noexcept;
+};
+
+}  // namespace flexnet::runtime

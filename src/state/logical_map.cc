@@ -1,0 +1,247 @@
+#include "state/logical_map.h"
+
+#include <algorithm>
+
+namespace flexnet::state {
+
+namespace {
+
+// P4 register-extern encoding: one register array per cell column, indexed
+// by key modulo the declared size (keys collide by design, as they would on
+// real register-based sketches/arrays).
+class RegisterEncodedMap final : public EncodedMap {
+ public:
+  explicit RegisterEncodedMap(const flexbpf::MapDecl& decl) : decl_(decl) {
+    for (const std::string& cell : decl.cells) {
+      arrays_.emplace(cell, dataplane::RegisterArray(cell, decl.size));
+    }
+  }
+
+  const std::string& name() const noexcept override { return decl_.name; }
+  flexbpf::MapEncoding encoding() const noexcept override {
+    return flexbpf::MapEncoding::kRegisterArray;
+  }
+  std::size_t size() const noexcept override { return decl_.size; }
+
+  std::uint64_t Load(std::uint64_t key, const std::string& cell) override {
+    const auto it = arrays_.find(cell);
+    return it == arrays_.end() ? 0 : it->second.Read(key % decl_.size);
+  }
+  void Store(std::uint64_t key, const std::string& cell,
+             std::uint64_t value) override {
+    const auto it = arrays_.find(cell);
+    if (it != arrays_.end()) it->second.Write(key % decl_.size, value);
+  }
+  void Add(std::uint64_t key, const std::string& cell,
+           std::uint64_t delta) override {
+    const auto it = arrays_.find(cell);
+    if (it != arrays_.end()) it->second.Add(key % decl_.size, delta);
+  }
+
+  MapSnapshot Export() const override {
+    MapSnapshot snapshot;
+    for (const auto& [cell, array] : arrays_) {
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (array.Read(i) != 0) {
+          snapshot.push_back(MapCellValue{i, cell, array.Read(i)});
+        }
+      }
+    }
+    return snapshot;
+  }
+  void Import(const MapSnapshot& snapshot) override {
+    for (const MapCellValue& v : snapshot) {
+      Store(v.key, v.cell, v.value);
+    }
+  }
+  void Clear() override {
+    for (auto& [_, array] : arrays_) array.Clear();
+  }
+
+ private:
+  flexbpf::MapDecl decl_;
+  std::unordered_map<std::string, dataplane::RegisterArray> arrays_;
+};
+
+// Mellanox-style stateful-table encoding: exact per-key state with
+// data-plane insertion; bounded by declared size, drops new keys when full.
+class StatefulTableEncodedMap final : public EncodedMap {
+ public:
+  explicit StatefulTableEncodedMap(const flexbpf::MapDecl& decl)
+      : decl_(decl), table_(decl.name, decl.size) {}
+
+  const std::string& name() const noexcept override { return decl_.name; }
+  flexbpf::MapEncoding encoding() const noexcept override {
+    return flexbpf::MapEncoding::kStatefulTable;
+  }
+  std::size_t size() const noexcept override { return decl_.size; }
+
+  std::uint64_t Load(std::uint64_t key, const std::string& cell) override {
+    return table_.Read(KeyOf(key), cell).value_or(0);
+  }
+  void Store(std::uint64_t key, const std::string& cell,
+             std::uint64_t value) override {
+    // Stateful tables express writes as read-modify-write in the pipeline.
+    const std::uint64_t current = Load(key, cell);
+    table_.Update(KeyOf(key), cell, value - current, /*now=*/0);
+  }
+  void Add(std::uint64_t key, const std::string& cell,
+           std::uint64_t delta) override {
+    table_.Update(KeyOf(key), cell, delta, /*now=*/0);
+  }
+
+  MapSnapshot Export() const override {
+    MapSnapshot snapshot;
+    for (const auto& [key, flow_state] : table_.flows()) {
+      for (const auto& [cell, value] : flow_state.cells) {
+        if (value != 0) {
+          snapshot.push_back(MapCellValue{key.src_ip, cell, value});
+        }
+      }
+    }
+    return snapshot;
+  }
+  void Import(const MapSnapshot& snapshot) override {
+    for (const MapCellValue& v : snapshot) Add(v.key, v.cell, v.value);
+  }
+  void Clear() override { table_.Clear(); }
+
+ private:
+  static packet::FlowKey KeyOf(std::uint64_t key) noexcept {
+    packet::FlowKey k;
+    k.src_ip = key;  // logical 64-bit key rides in one tuple slot
+    return k;
+  }
+  flexbpf::MapDecl decl_;
+  dataplane::StatefulFlowTable table_;
+};
+
+// PoF flow-instruction encoding: per-flow slot array addressed by key hash;
+// cells map to slot indices in declaration order.
+class FlowInstructionEncodedMap final : public EncodedMap {
+ public:
+  explicit FlowInstructionEncodedMap(const flexbpf::MapDecl& decl)
+      : decl_(decl), cells_(decl.size * decl.cells.size(), 0) {}
+
+  const std::string& name() const noexcept override { return decl_.name; }
+  flexbpf::MapEncoding encoding() const noexcept override {
+    return flexbpf::MapEncoding::kFlowInstruction;
+  }
+  std::size_t size() const noexcept override { return decl_.size; }
+
+  std::uint64_t Load(std::uint64_t key, const std::string& cell) override {
+    const auto slot = SlotOf(cell);
+    return slot < 0 ? 0 : cells_[IndexOf(key, static_cast<std::size_t>(slot))];
+  }
+  void Store(std::uint64_t key, const std::string& cell,
+             std::uint64_t value) override {
+    const auto slot = SlotOf(cell);
+    if (slot >= 0) cells_[IndexOf(key, static_cast<std::size_t>(slot))] = value;
+  }
+  void Add(std::uint64_t key, const std::string& cell,
+           std::uint64_t delta) override {
+    const auto slot = SlotOf(cell);
+    if (slot >= 0) cells_[IndexOf(key, static_cast<std::size_t>(slot))] += delta;
+  }
+
+  MapSnapshot Export() const override {
+    MapSnapshot snapshot;
+    for (std::size_t key = 0; key < decl_.size; ++key) {
+      for (std::size_t s = 0; s < decl_.cells.size(); ++s) {
+        const std::uint64_t v = cells_[key * decl_.cells.size() + s];
+        if (v != 0) {
+          snapshot.push_back(MapCellValue{key, decl_.cells[s], v});
+        }
+      }
+    }
+    return snapshot;
+  }
+  void Import(const MapSnapshot& snapshot) override {
+    for (const MapCellValue& v : snapshot) Store(v.key, v.cell, v.value);
+  }
+  void Clear() override { std::fill(cells_.begin(), cells_.end(), 0); }
+
+ private:
+  int SlotOf(const std::string& cell) const noexcept {
+    for (std::size_t i = 0; i < decl_.cells.size(); ++i) {
+      if (decl_.cells[i] == cell) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  std::size_t IndexOf(std::uint64_t key, std::size_t slot) const noexcept {
+    return (key % decl_.size) * decl_.cells.size() + slot;
+  }
+  flexbpf::MapDecl decl_;
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<EncodedMap>> CreateEncodedMap(
+    const flexbpf::MapDecl& decl, flexbpf::MapEncoding encoding) {
+  switch (encoding) {
+    case flexbpf::MapEncoding::kAuto:
+      return InvalidArgument("map '" + decl.name +
+                             "': kAuto must be resolved before encoding");
+    case flexbpf::MapEncoding::kRegisterArray:
+      return std::unique_ptr<EncodedMap>(
+          std::make_unique<RegisterEncodedMap>(decl));
+    case flexbpf::MapEncoding::kStatefulTable:
+      return std::unique_ptr<EncodedMap>(
+          std::make_unique<StatefulTableEncodedMap>(decl));
+    case flexbpf::MapEncoding::kFlowInstruction:
+      return std::unique_ptr<EncodedMap>(
+          std::make_unique<FlowInstructionEncodedMap>(decl));
+  }
+  return Internal("unknown encoding");
+}
+
+Status MapSet::Install(const flexbpf::MapDecl& decl,
+                       flexbpf::MapEncoding encoding) {
+  if (maps_.contains(decl.name)) {
+    return AlreadyExists("map '" + decl.name + "'");
+  }
+  FLEXNET_ASSIGN_OR_RETURN(auto map, CreateEncodedMap(decl, encoding));
+  maps_.emplace(decl.name, std::move(map));
+  return OkStatus();
+}
+
+Status MapSet::Remove(const std::string& name) {
+  if (maps_.erase(name) == 0) return NotFound("map '" + name + "'");
+  return OkStatus();
+}
+
+EncodedMap* MapSet::Find(const std::string& name) noexcept {
+  const auto it = maps_.find(name);
+  return it == maps_.end() ? nullptr : it->second.get();
+}
+
+const EncodedMap* MapSet::Find(const std::string& name) const noexcept {
+  const auto it = maps_.find(name);
+  return it == maps_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MapSet::Names() const {
+  std::vector<std::string> names;
+  names.reserve(maps_.size());
+  for (const auto& [n, _] : maps_) names.push_back(n);
+  return names;
+}
+
+std::uint64_t MapSet::Load(const std::string& map, std::uint64_t key,
+                           const std::string& cell) {
+  EncodedMap* m = Find(map);
+  return m == nullptr ? 0 : m->Load(key, cell);
+}
+
+void MapSet::Store(const std::string& map, std::uint64_t key,
+                   const std::string& cell, std::uint64_t value) {
+  if (EncodedMap* m = Find(map)) m->Store(key, cell, value);
+}
+
+void MapSet::Add(const std::string& map, std::uint64_t key,
+                 const std::string& cell, std::uint64_t delta) {
+  if (EncodedMap* m = Find(map)) m->Add(key, cell, delta);
+}
+
+}  // namespace flexnet::state

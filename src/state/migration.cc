@@ -1,0 +1,115 @@
+#include "state/migration.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+namespace flexnet::state {
+
+namespace {
+
+struct LiveState {
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  std::uint64_t generated = 0;
+  std::size_t next_chunk_start = 0;  // first key not yet copied
+  bool done = false;
+  Rng rng{1};
+};
+
+}  // namespace
+
+MigrationReport MigrationRunner::Run(bool dataplane) {
+  auto live = std::make_shared<LiveState>();
+  live->rng = Rng(config_.seed);
+  const SimTime start = sim_->now();
+  const SimDuration update_gap = std::max<SimDuration>(
+      1, static_cast<SimDuration>(static_cast<double>(kSecond) /
+                                  config_.update_rate_pps));
+  const SimDuration chunk_latency = dataplane
+                                        ? config_.dataplane_chunk_latency
+                                        : config_.control_chunk_latency;
+  const std::string cell = config_.cell;
+  const std::size_t key_space = config_.key_space;
+  const std::size_t chunk_keys = config_.chunk_keys;
+  sim::Simulator* sim = sim_;
+  EncodedMap* src = src_;
+  EncodedMap* dst = dst_;
+
+  // Live update stream.  The tick reschedules a *copy* of itself, so every
+  // pending event owns its closure — nothing dangles after Run returns.
+  struct UpdateTick {
+    sim::Simulator* sim;
+    EncodedMap* src;
+    EncodedMap* dst;
+    std::shared_ptr<LiveState> live;
+    SimDuration gap;
+    std::size_t key_space;
+    bool dataplane;
+    std::string cell;
+
+    void operator()() const {
+      if (live->done) return;
+      const std::uint64_t key = live->rng.NextBounded(key_space);
+      src->Add(key, cell, 1);
+      live->truth[key] += 1;
+      ++live->generated;
+      if (dataplane && key < live->next_chunk_start) {
+        dst->Add(key, cell, 1);
+      }
+      sim->Schedule(gap, *this);
+    }
+  };
+  sim->Schedule(update_gap, UpdateTick{sim, src, dst, live, update_gap,
+                                       key_space, dataplane, cell});
+
+  // Chunked copy: chunk i transfers keys [i*chunk, (i+1)*chunk) by value
+  // (Store semantics).  Chunks are serialized on the copy channel.
+  struct CopyChunk {
+    sim::Simulator* sim;
+    EncodedMap* src;
+    EncodedMap* dst;
+    std::shared_ptr<LiveState> live;
+    SimDuration latency;
+    std::size_t key_space;
+    std::size_t chunk_keys;
+    std::string cell;
+
+    void operator()() const {
+      const std::size_t begin = live->next_chunk_start;
+      const std::size_t end = std::min(begin + chunk_keys, key_space);
+      for (std::size_t key = begin; key < end; ++key) {
+        dst->Store(key, cell, src->Load(key, cell));
+      }
+      live->next_chunk_start = end;
+      if (end < key_space) {
+        sim->Schedule(latency, *this);
+      } else {
+        live->done = true;  // cutover
+      }
+    }
+  };
+  sim->Schedule(chunk_latency, CopyChunk{sim, src, dst, live, chunk_latency,
+                                         key_space, chunk_keys, cell});
+
+  // Drive the simulation until cutover.
+  while (!live->done && sim->Step()) {
+  }
+
+  MigrationReport report;
+  report.duration = sim->now() - start;
+  report.updates_total = live->generated;
+  std::uint64_t lost = 0;
+  for (const auto& [key, count] : live->truth) {
+    const std::uint64_t have = dst->Load(key, cell);
+    if (have < count) lost += count - have;
+  }
+  report.updates_lost = lost;
+  report.consistent = lost == 0;
+  return report;
+}
+
+MigrationReport MigrationRunner::RunControlPlane() { return Run(false); }
+
+MigrationReport MigrationRunner::RunDataplane() { return Run(true); }
+
+}  // namespace flexnet::state

@@ -1,0 +1,100 @@
+#include "state/replication.h"
+
+#include <algorithm>
+
+namespace flexnet::state {
+
+ReplicationChain::ReplicationChain(sim::Simulator* sim,
+                                   std::vector<EncodedMap*> replicas,
+                                   SimDuration hop_latency)
+    : sim_(sim),
+      replicas_(std::move(replicas)),
+      hop_latency_(hop_latency),
+      applied_seq_(replicas_.size(), 0) {}
+
+void ReplicationChain::Write(std::uint64_t key, const std::string& cell,
+                             std::uint64_t delta) {
+  if (replicas_.empty()) return;
+  const WriteOp op{++accepted_, key, cell, delta};
+  log_.push_back(op);
+  replicas_[0]->Add(key, cell, delta);
+  applied_seq_[0] = op.seq;
+  if (replicas_.size() == 1) {
+    tail_applied_ = op.seq;
+  } else {
+    Propagate(1, op);
+  }
+}
+
+void ReplicationChain::Propagate(std::size_t to_index, WriteOp op) {
+  sim_->Schedule(hop_latency_, [this, to_index, op]() {
+    if (to_index >= replicas_.size()) return;  // chain shrank past us
+    // Sequence check: after a splice the predecessor re-propagates from
+    // its log, so ops may arrive twice — apply only fresh sequence numbers.
+    if (op.seq <= applied_seq_[to_index]) return;
+    replicas_[to_index]->Add(op.key, op.cell, op.delta);
+    applied_seq_[to_index] = op.seq;
+    if (to_index + 1 < replicas_.size()) {
+      Propagate(to_index + 1, op);
+    } else {
+      tail_applied_ = std::max(tail_applied_, op.seq);
+    }
+  });
+}
+
+std::uint64_t ReplicationChain::ReadTail(std::uint64_t key,
+                                         const std::string& cell) {
+  return replicas_.empty() ? 0 : replicas_.back()->Load(key, cell);
+}
+
+std::uint64_t ReplicationChain::ReadHead(std::uint64_t key,
+                                         const std::string& cell) {
+  return replicas_.empty() ? 0 : replicas_.front()->Load(key, cell);
+}
+
+Status ReplicationChain::FailReplica(std::size_t index) {
+  if (index >= replicas_.size()) {
+    return NotFound("replica " + std::to_string(index));
+  }
+  replicas_.erase(replicas_.begin() + static_cast<std::ptrdiff_t>(index));
+  const std::uint64_t failed_seq = applied_seq_[index];
+  applied_seq_.erase(applied_seq_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+  if (replicas_.empty()) return OkStatus();
+  // Splice recovery: the new occupant of `index` may be missing writes the
+  // failed node had seen but not forwarded.  Its predecessor (or the head
+  // log) re-propagates everything past the successor's applied sequence.
+  const std::size_t succ = std::min(index, replicas_.size() - 1);
+  for (const WriteOp& op : log_) {
+    if (op.seq > applied_seq_[succ] && op.seq <= failed_seq) {
+      Propagate(succ, op);
+    }
+  }
+  // Tail may have moved forward (tail failed): recompute tail progress.
+  tail_applied_ = applied_seq_.back();
+  return OkStatus();
+}
+
+bool ReplicationChain::IsConverged() const {
+  if (replicas_.size() <= 1) return true;
+  const MapSnapshot head = replicas_.front()->Export();
+  for (std::size_t i = 1; i < replicas_.size(); ++i) {
+    MapSnapshot other = replicas_[i]->Export();
+    if (other.size() != head.size()) return false;
+    // Export order is encoding-dependent; compare as multisets.
+    auto key_of = [](const MapCellValue& v) {
+      return std::tuple(v.key, v.cell, v.value);
+    };
+    MapSnapshot a = head, b = other;
+    std::sort(a.begin(), a.end(), [&](const auto& x, const auto& y) {
+      return key_of(x) < key_of(y);
+    });
+    std::sort(b.begin(), b.end(), [&](const auto& x, const auto& y) {
+      return key_of(x) < key_of(y);
+    });
+    if (!std::equal(a.begin(), a.end(), b.begin())) return false;
+  }
+  return true;
+}
+
+}  // namespace flexnet::state

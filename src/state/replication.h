@@ -1,0 +1,71 @@
+// Chain replication of logical map state across devices (paper section
+// 3.4, "Fault tolerance and consistency": "the FlexNet controller
+// replicates important network state in a logical datapath across multiple
+// physical devices").
+//
+// Writes enter at the head and propagate down the chain with a per-hop
+// latency; strongly consistent reads are served by the tail.  A replica
+// failure splices the chain; in-flight writes at the failed node are
+// re-propagated from its predecessor (every node retains its applied
+// writes, so splicing cannot lose acknowledged state).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "state/logical_map.h"
+
+namespace flexnet::state {
+
+class ReplicationChain {
+ public:
+  // `replicas` must outlive the chain; index 0 is the head.
+  ReplicationChain(sim::Simulator* sim, std::vector<EncodedMap*> replicas,
+                   SimDuration hop_latency);
+
+  // Applies at the head immediately and propagates asynchronously.
+  void Write(std::uint64_t key, const std::string& cell, std::uint64_t delta);
+
+  // Strongly consistent read (tail).
+  std::uint64_t ReadTail(std::uint64_t key, const std::string& cell);
+  // Fast, possibly stale read (head).
+  std::uint64_t ReadHead(std::uint64_t key, const std::string& cell);
+
+  // Removes a live replica; acknowledged writes survive.
+  Status FailReplica(std::size_t index);
+
+  std::size_t chain_length() const noexcept { return replicas_.size(); }
+  // Writes accepted at the head but not yet applied at the tail.
+  std::uint64_t lag() const noexcept { return accepted_ - tail_applied_; }
+  std::uint64_t writes_accepted() const noexcept { return accepted_; }
+
+  // True when every replica holds identical content (call after the
+  // simulator drained pending propagation).
+  bool IsConverged() const;
+
+ private:
+  struct WriteOp {
+    std::uint64_t seq;
+    std::uint64_t key;
+    std::string cell;
+    std::uint64_t delta;
+  };
+  void Propagate(std::size_t to_index, WriteOp op);
+
+  sim::Simulator* sim_;
+  std::vector<EncodedMap*> replicas_;
+  SimDuration hop_latency_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t tail_applied_ = 0;
+  // Per-replica highest applied sequence number (for splice recovery).
+  std::vector<std::uint64_t> applied_seq_;
+  // All accepted ops, retained for re-propagation after a failure.
+  std::vector<WriteOp> log_;
+};
+
+}  // namespace flexnet::state

@@ -1,0 +1,56 @@
+#include "state/sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace flexnet::state {
+
+CountMinSketch::CountMinSketch(std::size_t depth, std::size_t width)
+    : depth_(depth), width_(width), rows_(depth * width, 0) {
+  assert(depth > 0 && width > 0);
+}
+
+std::uint64_t CountMinSketch::HashRow(std::uint64_t key,
+                                      std::size_t row) const noexcept {
+  std::uint64_t h = key + 0x9e3779b97f4a7c15ULL * (row + 1);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+void CountMinSketch::Update(std::uint64_t key, std::uint64_t delta) noexcept {
+  for (std::size_t row = 0; row < depth_; ++row) {
+    rows_[row * width_ + HashRow(key, row) % width_] += delta;
+  }
+  total_ += delta;
+}
+
+std::uint64_t CountMinSketch::Estimate(std::uint64_t key) const noexcept {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, rows_[row * width_ + HashRow(key, row) % width_]);
+  }
+  return best;
+}
+
+void CountMinSketch::Clear() noexcept {
+  std::fill(rows_.begin(), rows_.end(), 0);
+  total_ = 0;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) noexcept {
+  if (other.depth_ != depth_ || other.width_ != width_) return;
+  for (std::size_t i = 0; i < rows_.size(); ++i) rows_[i] += other.rows_[i];
+  total_ += other.total_;
+}
+
+void CountMinSketch::RestoreCells(std::vector<std::uint64_t> cells,
+                                  std::uint64_t total) {
+  if (cells.size() == rows_.size()) {
+    rows_ = std::move(cells);
+    total_ = total;
+  }
+}
+
+}  // namespace flexnet::state

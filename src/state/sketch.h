@@ -1,0 +1,45 @@
+// Count-min sketch — the paper's running example of per-packet mutable
+// data-plane state that cannot be migrated through control software
+// (section 3.4, "copying state via control plane software is impossible").
+//
+// Built over register semantics (d rows of w counters), so it is exactly
+// the state shape the migration experiments move between devices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flexnet::state {
+
+class CountMinSketch {
+ public:
+  CountMinSketch(std::size_t depth, std::size_t width);
+
+  void Update(std::uint64_t key, std::uint64_t delta = 1) noexcept;
+  std::uint64_t Estimate(std::uint64_t key) const noexcept;
+
+  std::size_t depth() const noexcept { return depth_; }
+  std::size_t width() const noexcept { return width_; }
+  std::uint64_t total_updates() const noexcept { return total_; }
+  std::size_t SizeBytes() const noexcept {
+    return rows_.size() * sizeof(std::uint64_t);
+  }
+
+  void Clear() noexcept;
+
+  // Merges another sketch cell-wise (dimensions must match).
+  void Merge(const CountMinSketch& other) noexcept;
+
+  // Raw cells for migration (row-major).
+  const std::vector<std::uint64_t>& cells() const noexcept { return rows_; }
+  void RestoreCells(std::vector<std::uint64_t> cells, std::uint64_t total);
+
+ private:
+  std::uint64_t HashRow(std::uint64_t key, std::size_t row) const noexcept;
+  std::size_t depth_;
+  std::size_t width_;
+  std::vector<std::uint64_t> rows_;  // depth_ * width_
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace flexnet::state

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "arch/drmt.h"
+#include "arch/endpoint.h"
+#include "arch/rmt.h"
+#include "arch/tile.h"
+
+namespace flexnet::arch {
+namespace {
+
+dataplane::TableResources SramDemand(std::size_t entries) {
+  dataplane::TableResources d;
+  d.sram_entries = entries;
+  d.action_slots = 1;
+  return d;
+}
+
+dataplane::TableResources TcamDemand(std::size_t entries) {
+  dataplane::TableResources d;
+  d.tcam_entries = entries;
+  d.action_slots = 1;
+  return d;
+}
+
+// --- ResourceVector ---
+
+TEST(ResourceVectorTest, ArithmeticAndFits) {
+  ResourceVector a{100, 10, 5, 2, 1000};
+  ResourceVector b{50, 5, 2, 1, 500};
+  ResourceVector sum = a + b;
+  EXPECT_EQ(sum.sram_entries, 150);
+  EXPECT_TRUE(b.FitsWithin(a));
+  EXPECT_FALSE(sum.FitsWithin(a));
+  EXPECT_TRUE((a - a).IsZero());
+}
+
+TEST(ResourceVectorTest, UtilizationIsMaxDimension) {
+  ResourceVector cap{100, 100, 100, 100, 100};
+  ResourceVector used{50, 90, 10, 0, 0};
+  EXPECT_DOUBLE_EQ(ResourceVector::Utilization(used, cap), 0.9);
+  // Zero-capacity dimensions are ignored.
+  ResourceVector cap2{100, 0, 0, 0, 0};
+  ResourceVector used2{25, 7, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(ResourceVector::Utilization(used2, cap2), 0.25);
+}
+
+// --- RMT: stage-bounded fungibility ---
+
+TEST(RmtTest, TablePlacedInSingleStage) {
+  RmtConfig config;
+  config.stages = 2;
+  config.sram_per_stage = 100;
+  RmtDevice dev(DeviceId(1), "rmt", config);
+  auto loc = dev.ReserveTable("t1", SramDemand(80), 0);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value(), "stage0");
+  EXPECT_EQ(dev.StageOf("t1"), 0);
+}
+
+TEST(RmtTest, OversizedTableFailsEvenWithAggregateRoom) {
+  RmtConfig config;
+  config.stages = 4;
+  config.sram_per_stage = 100;  // 400 aggregate
+  RmtDevice dev(DeviceId(1), "rmt", config);
+  // 150 > any single stage although < aggregate.
+  EXPECT_EQ(dev.ReserveTable("big", SramDemand(150), 0).error().code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(RmtTest, PipelineOrderConstrainsStages) {
+  RmtConfig config;
+  config.stages = 3;
+  config.sram_per_stage = 150;
+  RmtDevice dev(DeviceId(1), "rmt", config);
+  ASSERT_TRUE(dev.ReserveTable("t0", SramDemand(100), 0).ok());
+  EXPECT_EQ(dev.StageOf("t0"), 0);
+  // t1 (position 1) does not fit beside t0 in stage0 -> stage1.
+  auto loc = dev.ReserveTable("t1", SramDemand(100), 1);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(dev.StageOf("t1"), 1);
+  // A table earlier in pipeline order (position 0) may not land in a
+  // stage after t1's: allowed range is [0, 1], and stage0 has 50 free.
+  auto before = dev.ReserveTable("pre", SramDemand(50), 0);
+  ASSERT_TRUE(before.ok());
+  EXPECT_LE(dev.StageOf("pre"), 1);
+  // A position-0 table too big for stages [0, 1] fails even though
+  // stage2 has room — ordering forbids it.
+  EXPECT_FALSE(dev.ReserveTable("pre2", SramDemand(100), 0).ok());
+}
+
+TEST(RmtTest, OrderGroupsScopeStageConstraints) {
+  RmtConfig config;
+  config.stages = 2;
+  config.sram_per_stage = 100;
+  RmtDevice dev(DeviceId(1), "rmt", config);
+  // Group 1 occupies stage1 with its second table.
+  ASSERT_TRUE(dev.ReserveTable("g1a", SramDemand(100), 0, 1).ok());
+  ASSERT_TRUE(dev.ReserveTable("g1b", SramDemand(50), 1, 1).ok());
+  EXPECT_EQ(dev.StageOf("g1b"), 1);
+  // A group-2 table with hint 0 may still use stage1's remaining room:
+  // group 1's hints do not constrain it.
+  auto loc = dev.ReserveTable("g2a", SramDemand(50), 0, 2);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(dev.StageOf("g2a"), 1);
+  // But a group-1 hint-0 table may not land after g1b... and stage0 is
+  // full, so it fails outright.
+  EXPECT_FALSE(dev.ReserveTable("g1c", SramDemand(60), 0, 1).ok());
+}
+
+TEST(RmtTest, UnorderedHintOptsOutOfConstraints) {
+  RmtConfig config;
+  config.stages = 2;
+  config.sram_per_stage = 100;
+  RmtDevice dev(DeviceId(1), "rmt", config);
+  ASSERT_TRUE(dev.ReserveTable("a", SramDemand(100), 0, 1).ok());
+  ASSERT_TRUE(dev.ReserveTable("b", SramDemand(100), 1, 1).ok());
+  ASSERT_TRUE(dev.ReleaseTable("a").ok());
+  // Same group, SIZE_MAX hint: free to use stage0 although b sits at 1.
+  auto loc = dev.ReserveTable("c", SramDemand(100), SIZE_MAX, 1);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(dev.StageOf("c"), 0);
+}
+
+TEST(RmtTest, FragmentationBlocksThenDefragRepacks) {
+  RmtConfig config;
+  config.stages = 3;
+  config.sram_per_stage = 100;
+  config.runtime_capable = true;
+  RmtDevice dev(DeviceId(1), "rmt", config);
+  // Fill each stage 60%: three tables in three stages.
+  ASSERT_TRUE(dev.ReserveTable("a", SramDemand(60), 0).ok());
+  ASSERT_TRUE(dev.ReserveTable("b", SramDemand(60), 1).ok());
+  ASSERT_TRUE(dev.ReserveTable("c", SramDemand(60), 2).ok());
+  // Remove the middle one; now stage1 has 100 free but a position-3 table
+  // of 60 must go at stage >= stage(c)=2, which has only 40 free.
+  ASSERT_TRUE(dev.ReleaseTable("b").ok());
+  EXPECT_FALSE(dev.ReserveTable("d", SramDemand(60), 3).ok());
+  // Runtime defrag repacks a,c into earlier stages, freeing the tail.
+  EXPECT_TRUE(dev.Defragment());
+  EXPECT_TRUE(dev.ReserveTable("d", SramDemand(60), 3).ok());
+}
+
+TEST(RmtTest, DefragRequiresRuntimeCapability) {
+  RmtConfig config;
+  config.runtime_capable = false;
+  RmtDevice dev(DeviceId(1), "rmt", config);
+  EXPECT_FALSE(dev.Defragment());
+  EXPECT_FALSE(dev.SupportsRuntimeReconfig());
+}
+
+TEST(RmtTest, TcamSeparateFromSram) {
+  RmtConfig config;
+  config.stages = 1;
+  config.sram_per_stage = 100;
+  config.tcam_per_stage = 10;
+  RmtDevice dev(DeviceId(1), "rmt", config);
+  ASSERT_TRUE(dev.ReserveTable("s", SramDemand(100), 0).ok());
+  // SRAM full but TCAM free: a TCAM table still fits in the stage.
+  EXPECT_TRUE(dev.ReserveTable("t", TcamDemand(10), 1).ok());
+}
+
+TEST(RmtTest, ReleaseRestoresCapacity) {
+  RmtConfig config;
+  config.stages = 1;
+  config.sram_per_stage = 4096;
+  RmtDevice dev(DeviceId(1), "rmt", config);
+  ASSERT_TRUE(dev.ReserveTable("t", SramDemand(4096), 0).ok());
+  EXPECT_FALSE(dev.ReserveTable("t2", SramDemand(4096), 0).ok());
+  ASSERT_TRUE(dev.ReleaseTable("t").ok());
+  EXPECT_TRUE(dev.ReserveTable("t2", SramDemand(4096), 0).ok());
+  EXPECT_FALSE(dev.ReleaseTable("nope").ok());
+}
+
+TEST(RmtTest, LatencyIndependentOfProgramLength) {
+  RmtDevice dev(DeviceId(1), "rmt");
+  EXPECT_EQ(dev.EstimateLatency(1), dev.EstimateLatency(60));
+}
+
+// --- dRMT: pooled fungibility ---
+
+TEST(DrmtTest, AggregateFitIsSufficient) {
+  DrmtConfig config;
+  config.sram_pool = 1000;
+  DrmtDevice dev(DeviceId(2), "drmt", config);
+  // Ten tables of 100 fill the pool exactly, regardless of "position".
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        dev.ReserveTable("t" + std::to_string(i), SramDemand(100), 0).ok())
+        << i;
+  }
+  EXPECT_FALSE(dev.ReserveTable("over", SramDemand(1), 0).ok());
+  ASSERT_TRUE(dev.ReleaseTable("t5").ok());
+  EXPECT_TRUE(dev.ReserveTable("over", SramDemand(100), 0).ok());
+}
+
+TEST(DrmtTest, LatencyGrowsWithTablesTraversed) {
+  DrmtDevice dev(DeviceId(2), "drmt");
+  EXPECT_GT(dev.EstimateLatency(20), dev.EstimateLatency(2));
+}
+
+TEST(DrmtTest, ReconfigCostsSubSecond) {
+  DrmtDevice dev(DeviceId(2), "drmt");
+  // Headline property: a 10-op program change lands well within a second.
+  SimDuration total = 0;
+  for (int i = 0; i < 10; ++i) total += dev.ReconfigCost(ReconfigOp::kAddTable);
+  EXPECT_LT(total, 1 * kSecond);
+  EXPECT_TRUE(dev.SupportsRuntimeReconfig());
+}
+
+TEST(DrmtTest, UtilizationTracksPool) {
+  DrmtConfig config;
+  config.sram_pool = 1000;
+  DrmtDevice dev(DeviceId(2), "drmt", config);
+  ASSERT_TRUE(dev.ReserveTable("t", SramDemand(500), 0).ok());
+  EXPECT_NEAR(dev.Utilization(), 0.5, 0.01);
+}
+
+// --- Tile: type-bounded, quantized fungibility ---
+
+TEST(TileTest, WholeTileGranularity) {
+  TileConfig config;
+  config.hash_tiles = 4;
+  config.entries_per_hash_tile = 1000;
+  TileDevice dev(DeviceId(3), "tile", config);
+  // 1100 entries -> 2 tiles (quantization loss).
+  ASSERT_TRUE(dev.ReserveTable("t", SramDemand(1100), 0).ok());
+  EXPECT_EQ(dev.free_hash_tiles(), 2u);
+  // 2100 entries need 3 tiles; only 2 free.
+  EXPECT_FALSE(dev.ReserveTable("t2", SramDemand(2100), 0).ok());
+  EXPECT_TRUE(dev.ReserveTable("t3", SramDemand(2000), 0).ok());
+  EXPECT_EQ(dev.free_hash_tiles(), 0u);
+}
+
+TEST(TileTest, TcamTilesSeparateType) {
+  TileConfig config;
+  config.hash_tiles = 1;
+  config.entries_per_hash_tile = 100;
+  config.tcam_tiles = 2;
+  config.entries_per_tcam_tile = 100;
+  TileDevice dev(DeviceId(3), "tile", config);
+  ASSERT_TRUE(dev.ReserveTable("h", SramDemand(100), 0).ok());
+  // Hash tiles gone; TCAM demand still placeable (no cross-type borrow).
+  EXPECT_FALSE(dev.ReserveTable("h2", SramDemand(1), 0).ok());
+  EXPECT_TRUE(dev.ReserveTable("t", TcamDemand(150), 0).ok());
+  EXPECT_EQ(dev.free_tcam_tiles(), 0u);
+}
+
+TEST(TileTest, ReleaseReturnsWholeTiles) {
+  TileDevice dev(DeviceId(3), "tile");
+  const std::size_t before = dev.free_hash_tiles();
+  ASSERT_TRUE(dev.ReserveTable("t", SramDemand(3000), 0).ok());
+  ASSERT_TRUE(dev.ReleaseTable("t").ok());
+  EXPECT_EQ(dev.free_hash_tiles(), before);
+}
+
+TEST(TileTest, PemElementsBounded) {
+  TileConfig config;
+  config.pem_elements = 2;
+  TileDevice dev(DeviceId(3), "tile", config);
+  ASSERT_TRUE(dev.ReserveTable("a", SramDemand(10), 0).ok());
+  ASSERT_TRUE(dev.ReserveTable("b", SramDemand(10), 0).ok());
+  EXPECT_FALSE(dev.ReserveTable("c", SramDemand(10), 0).ok());
+}
+
+// --- Endpoints: full fungibility ---
+
+TEST(EndpointTest, BytePoolSharedAcrossKinds) {
+  EndpointConfig config;
+  config.memory_bytes = 10000;
+  config.bytes_per_sram_entry = 10;
+  config.bytes_per_tcam_entry = 100;
+  NicDevice dev(DeviceId(4), "nic", config);
+  // 500 SRAM entries = 5000B; 40 TCAM entries = 4000B; 9000 total.
+  ASSERT_TRUE(dev.ReserveTable("s", SramDemand(500), 0).ok());
+  ASSERT_TRUE(dev.ReserveTable("t", TcamDemand(40), 0).ok());
+  EXPECT_EQ(dev.used_bytes(), 9000);
+  EXPECT_FALSE(dev.ReserveTable("over", SramDemand(200), 0).ok());
+  ASSERT_TRUE(dev.ReleaseTable("t").ok());
+  EXPECT_TRUE(dev.ReserveTable("over", SramDemand(200), 0).ok());
+}
+
+TEST(EndpointTest, HostSlowerThanNicSlowerThanSwitch) {
+  HostDevice host(DeviceId(5), "host");
+  NicDevice nic(DeviceId(6), "nic");
+  DrmtDevice sw(DeviceId(7), "sw");
+  EXPECT_GT(host.EstimateLatency(4), nic.EstimateLatency(4));
+  EXPECT_GT(nic.EstimateLatency(4), sw.EstimateLatency(4));
+  EXPECT_GT(host.EstimateEnergyNj(4), sw.EstimateEnergyNj(4));
+}
+
+TEST(EndpointTest, HostReconfigIsMilliseconds) {
+  HostDevice host(DeviceId(5), "host");
+  EXPECT_LE(host.ReconfigCost(ReconfigOp::kAddTable), 1 * kMillisecond);
+  EXPECT_EQ(host.FullReflashCost(), host.ReconfigCost(ReconfigOp::kAddTable));
+}
+
+// --- Device processing ---
+
+TEST(DeviceTest, ProcessRecordsHopAndVersion) {
+  DrmtDevice dev(DeviceId(9), "sw");
+  packet::Packet p = packet::MakeTcpPacket(1, packet::Ipv4Spec{1, 2},
+                                           packet::TcpSpec{});
+  dev.ProcessPacket(p, 123);
+  ASSERT_EQ(p.trace().size(), 1u);
+  EXPECT_EQ(p.trace()[0].device, DeviceId(9));
+  EXPECT_EQ(p.trace()[0].program_version, 1u);
+  EXPECT_EQ(p.trace()[0].at, 123);
+  dev.BumpProgramVersion();
+  packet::Packet q = packet::MakeTcpPacket(2, packet::Ipv4Spec{1, 2},
+                                           packet::TcpSpec{});
+  dev.ProcessPacket(q, 200);
+  EXPECT_EQ(q.trace()[0].program_version, 2u);
+}
+
+TEST(DeviceTest, OfflineDeviceDropsEverything) {
+  DrmtDevice dev(DeviceId(9), "sw");
+  dev.set_online(false);
+  packet::Packet p = packet::MakeTcpPacket(1, packet::Ipv4Spec{1, 2},
+                                           packet::TcpSpec{});
+  const ProcessOutcome out = dev.ProcessPacket(p, 0);
+  EXPECT_TRUE(out.pipeline.dropped);
+  EXPECT_EQ(p.drop_reason(), "device_offline");
+  EXPECT_EQ(dev.packets_dropped(), 1u);
+}
+
+TEST(ArchKindTest, Names) {
+  EXPECT_STREQ(ToString(ArchKind::kRmt), "rmt");
+  EXPECT_STREQ(ToString(ArchKind::kDrmt), "drmt");
+  EXPECT_STREQ(ToString(ArchKind::kTile), "tile");
+  EXPECT_STREQ(ToString(ArchKind::kNic), "nic");
+  EXPECT_STREQ(ToString(ArchKind::kHost), "host");
+}
+
+}  // namespace
+}  // namespace flexnet::arch

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/types.h"
+
+namespace flexnet {
+namespace {
+
+// --- Result ---
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value_or(9), 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(9), 9);
+}
+
+TEST(ResultTest, ErrorTextIncludesCodeAndMessage) {
+  const Error e = ResourceExhausted("stage 3 full");
+  EXPECT_EQ(e.ToText(), "RESOURCE_EXHAUSTED: stage 3 full");
+}
+
+TEST(ResultTest, StatusDefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+Status FailThrough() {
+  FLEXNET_RETURN_IF_ERROR(Status(NotFound("x")));
+  ADD_FAILURE() << "should not reach";
+  return OkStatus();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  const Status s = FailThrough();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kNotFound);
+}
+
+Result<int> DoubleOrFail(int x) {
+  FLEXNET_ASSIGN_OR_RETURN(const int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  EXPECT_EQ(DoubleOrFail(21).value(), 42);
+  EXPECT_FALSE(DoubleOrFail(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyInverseRate) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(10.0);
+  EXPECT_NEAR(sum / n, 0.1, 0.01);
+}
+
+TEST(RngTest, ParetoBoundedWithinBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextParetoBounded(1.2, 2.0, 1000.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 1000.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkIsIndependentStream) {
+  Rng a(11);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.NextU64(), fork.NextU64());
+}
+
+// --- Stats ---
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.NextDouble() * 50;
+    all.Add(x);
+    (i < 50 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(StatsTest, PercentileTracker) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) t.Add(i);
+  EXPECT_NEAR(t.Median(), 50.5, 0.01);
+  EXPECT_NEAR(t.Percentile(99), 99.01, 0.1);
+  EXPECT_NEAR(t.Percentile(0), 1.0, 0.01);
+  EXPECT_NEAR(t.Percentile(100), 100.0, 0.01);
+}
+
+TEST(StatsTest, PercentileEmptyIsZero) {
+  PercentileTracker t;
+  EXPECT_EQ(t.Median(), 0.0);
+}
+
+TEST(StatsTest, LatencyHistogramQuantiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(100);
+  h.Add(1 << 20);
+  EXPECT_EQ(h.count(), 1001);
+  // p50 bucket must contain 100ns.
+  EXPECT_GE(h.QuantileUpperBound(0.5), 100);
+  EXPECT_LT(h.QuantileUpperBound(0.5), 256);
+  EXPECT_GE(h.QuantileUpperBound(1.0), 1 << 20);
+}
+
+// --- String utils ---
+
+TEST(StringTest, SplitBasic) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringTest, SplitWhitespaceSkipsRuns) {
+  const auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("flexnet://x", "flexnet://"));
+  EXPECT_FALSE(StartsWith("fle", "flexnet"));
+  EXPECT_TRUE(EndsWith("table.acl", ".acl"));
+}
+
+TEST(StringTest, GlobMatch) {
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("fw.*", "fw.acl"));
+  EXPECT_FALSE(GlobMatch("fw.*", "infra.acl"));
+  EXPECT_TRUE(GlobMatch("t?.acl", "t1.acl"));
+  EXPECT_FALSE(GlobMatch("t?.acl", "t12.acl"));
+  EXPECT_TRUE(GlobMatch("*.util*", "infra.util12"));
+  EXPECT_TRUE(GlobMatch("", ""));
+  EXPECT_FALSE(GlobMatch("", "x"));
+  EXPECT_TRUE(GlobMatch("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(GlobMatch("a*b*c", "aXXbYY"));
+}
+
+TEST(StringTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+// --- Ids ---
+
+TEST(IdTest, InvalidByDefault) {
+  DeviceId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(IdTest, AllocatorIsMonotonic) {
+  IdAllocator<DeviceId> alloc;
+  const DeviceId a = alloc.Next();
+  const DeviceId b = alloc.Next();
+  EXPECT_TRUE(a.valid());
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(IdTest, DistinctTagTypesAreDistinctTypes) {
+  static_assert(!std::is_same_v<DeviceId, AppId>);
+  std::set<DeviceId> s;
+  s.insert(DeviceId(1));
+  s.insert(DeviceId(1));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(LoggerTest, LevelGatingAndWarningCount) {
+  Logger& logger = Logger::Instance();
+  const LogLevel previous = logger.min_level();
+  logger.set_min_level(LogLevel::kError);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kInfo));
+  EXPECT_FALSE(logger.Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kError));
+  const int warnings_before = logger.warning_count();
+  FLEXNET_WLOG << "suppressed warning";   // below min level: not counted
+  EXPECT_EQ(logger.warning_count(), warnings_before);
+  logger.set_min_level(previous);
+}
+
+TEST(LoggerTest, StreamFormatting) {
+  Logger& logger = Logger::Instance();
+  const LogLevel previous = logger.min_level();
+  logger.set_min_level(LogLevel::kError);  // keep test output quiet
+  FLEXNET_ILOG << "value=" << 42 << " name=" << std::string("x");
+  logger.set_min_level(previous);
+  SUCCEED();
+}
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(1500 * kMillisecond), 1.5);
+  EXPECT_DOUBLE_EQ(ToMillis(250 * kMicrosecond), 0.25);
+  EXPECT_DOUBLE_EQ(ToMicros(3 * kMicrosecond), 3.0);
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "apps/firewall.h"
+#include "apps/heavy_hitter.h"
+#include "apps/infra.h"
+#include "controller/controller.h"
+#include "controller/tenant.h"
+#include "flexbpf/builder.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace flexnet::controller {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() : network_(&sim_) {
+    topo_ = net::BuildLinear(network_, 2, net::SwitchKind::kDrmt);
+    controller_ = std::make_unique<Controller>(&network_);
+  }
+  sim::Simulator sim_;
+  net::Network network_;
+  net::LinearTopology topo_;
+  std::unique_ptr<Controller> controller_;
+};
+
+TEST_F(ControllerTest, DeployAppInstallsAcrossSlice) {
+  const auto r = controller_->DeployApp("flexnet://infra/fw",
+                                        apps::MakeFirewallProgram());
+  ASSERT_TRUE(r.ok()) << r.error().ToText();
+  EXPECT_GT(r->ready_at, 0);
+  EXPECT_EQ(controller_->running_apps(), 1u);
+  const AppRecord* record = controller_->FindApp("flexnet://infra/fw");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, AppState::kRunning);
+  // Elements actually live on devices.
+  bool table_found = false;
+  for (const auto& device : network_.devices()) {
+    if (device->HasTable("fw.acl")) table_found = true;
+  }
+  EXPECT_TRUE(table_found);
+}
+
+TEST_F(ControllerTest, DuplicateUriRejected) {
+  ASSERT_TRUE(controller_
+                  ->DeployApp("flexnet://x", apps::MakeFirewallProgram())
+                  .ok());
+  EXPECT_FALSE(controller_
+                   ->DeployApp("flexnet://x", apps::MakeFirewallProgram())
+                   .ok());
+}
+
+TEST_F(ControllerTest, DeployIsHitlessUnderTraffic) {
+  // Start CBR traffic, deploy mid-stream, verify zero loss.
+  net::TrafficGenerator gen(&network_, 7);
+  net::FlowSpec flow;
+  flow.from = topo_.client.host;
+  flow.src_ip = topo_.client.address;
+  flow.dst_ip = topo_.server.address;
+  gen.StartCbr(flow, 20000.0, 500 * kMillisecond);
+  sim_.RunUntil(100 * kMillisecond);
+  const auto r = controller_->DeployApp("flexnet://infra/fw",
+                                        apps::MakeFirewallProgram());
+  ASSERT_TRUE(r.ok());
+  sim_.Run();
+  EXPECT_EQ(network_.stats().dropped, 0u);
+  EXPECT_EQ(network_.stats().delivered, gen.packets_emitted());
+}
+
+TEST_F(ControllerTest, RetireReleasesResources) {
+  ASSERT_TRUE(controller_
+                  ->DeployApp("flexnet://x", apps::MakeFirewallProgram())
+                  .ok());
+  const double used = controller_->PeakUtilization();
+  EXPECT_GT(used, 0.0);
+  ASSERT_TRUE(controller_->RetireApp("flexnet://x").ok());
+  EXPECT_EQ(controller_->running_apps(), 0u);
+  EXPECT_FALSE(controller_->RetireApp("flexnet://x").ok());
+  for (const auto& device : network_.devices()) {
+    EXPECT_FALSE(device->HasTable("fw.acl"));
+  }
+}
+
+TEST_F(ControllerTest, UpdateAppAppliesMinimalDelta) {
+  flexbpf::ProgramIR program = apps::MakeFirewallProgram();
+  ASSERT_TRUE(controller_->DeployApp("flexnet://fw", program).ok());
+  // Add one ACL rule: entry-level update only.
+  flexbpf::ProgramIR updated = program;
+  apps::FirewallRule rule;
+  rule.src_prefix = 10;
+  rule.src_prefix_len = 32;
+  rule.allow = false;
+  apps::AddFirewallRule(updated, rule, 50);
+  const auto r = controller_->UpdateApp("flexnet://fw", updated);
+  ASSERT_TRUE(r.ok()) << r.error().ToText();
+  EXPECT_EQ(r->plan_ops, 1u);
+}
+
+TEST_F(ControllerTest, MigrateAppMovesElementsAndState) {
+  ASSERT_TRUE(controller_
+                  ->DeployApp("flexnet://hh", apps::MakeHeavyHitterProgram(),
+                              {network_.Find(topo_.switches[0])})
+                  .ok());
+  runtime::ManagedDevice* src = network_.Find(topo_.switches[0]);
+  runtime::ManagedDevice* dst = network_.Find(topo_.switches[1]);
+  // Put some state in.
+  src->maps().Add("hh.counts", 42, "pkts", 9);
+  ASSERT_TRUE(controller_
+                  ->MigrateApp("flexnet://hh", src->id(), dst->id())
+                  .ok());
+  EXPECT_FALSE(src->HasFunction("hh.count"));
+  EXPECT_TRUE(dst->HasFunction("hh.count"));
+  EXPECT_EQ(src->maps().Find("hh.counts"), nullptr);
+  ASSERT_NE(dst->maps().Find("hh.counts"), nullptr);
+  EXPECT_EQ(dst->maps().Load("hh.counts", 42, "pkts"), 9u);
+}
+
+TEST_F(ControllerTest, MigrateFailsWithoutElements) {
+  ASSERT_TRUE(controller_
+                  ->DeployApp("flexnet://hh", apps::MakeHeavyHitterProgram(),
+                              {network_.Find(topo_.switches[0])})
+                  .ok());
+  EXPECT_FALSE(controller_
+                   ->MigrateApp("flexnet://hh", topo_.switches[1],
+                                topo_.switches[0])
+                   .ok());
+}
+
+TEST_F(ControllerTest, AppUrisSorted) {
+  ASSERT_TRUE(
+      controller_->DeployApp("flexnet://b", apps::MakeHeavyHitterProgram())
+          .ok());
+  ASSERT_TRUE(
+      controller_->DeployApp("flexnet://a", apps::MakeFirewallProgram())
+          .ok());
+  EXPECT_EQ(controller_->AppUris(),
+            (std::vector<std::string>{"flexnet://a", "flexnet://b"}));
+}
+
+// --- Tenant lifecycle ---
+
+flexbpf::ProgramIR TenantExtensionProgram() {
+  flexbpf::ProgramBuilder b("ext");
+  b.AddMap("m", 64, {"v"});
+  auto fn = flexbpf::FunctionBuilder("count")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("m", 0, "v", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+TEST_F(ControllerTest, TenantAdmissionDeploysRewrittenProgram) {
+  TenantManager tenants(controller_.get());
+  const auto r = tenants.AdmitTenant("acme", TenantExtensionProgram());
+  ASSERT_TRUE(r.ok()) << r.error().ToText();
+  EXPECT_EQ(r->vlan, 100u);
+  EXPECT_GT(r->admission_latency, 0);
+  EXPECT_EQ(tenants.active_tenants(), 1u);
+  const AppRecord* app = controller_->FindApp(r->app_uri);
+  ASSERT_NE(app, nullptr);
+  // Rewritten names carry the VLAN prefix.
+  EXPECT_NE(app->program.FindFunction("t100.count"), nullptr);
+}
+
+TEST_F(ControllerTest, TenantDepartureReclaimsResourcesAndVlan) {
+  TenantManager tenants(controller_.get());
+  const auto reserved_bytes = [&] {
+    std::int64_t total = 0;
+    for (const auto& device : network_.devices()) {
+      total += device->device().UsedResources().state_bytes;
+    }
+    return total;
+  };
+  ASSERT_TRUE(tenants.AdmitTenant("acme", TenantExtensionProgram()).ok());
+  const std::int64_t used = reserved_bytes();
+  EXPECT_GT(used, 0);
+  ASSERT_TRUE(tenants.RemoveTenant("acme").ok());
+  EXPECT_EQ(tenants.active_tenants(), 0u);
+  EXPECT_EQ(reserved_bytes(), 0);
+  // The VLAN is recycled for the next arrival.
+  const auto again = tenants.AdmitTenant("globex", TenantExtensionProgram());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->vlan, 100u);
+}
+
+TEST_F(ControllerTest, DuplicateTenantRejected) {
+  TenantManager tenants(controller_.get());
+  ASSERT_TRUE(tenants.AdmitTenant("acme", TenantExtensionProgram()).ok());
+  EXPECT_FALSE(tenants.AdmitTenant("acme", TenantExtensionProgram()).ok());
+  EXPECT_FALSE(tenants.RemoveTenant("nobody").ok());
+}
+
+TEST_F(ControllerTest, MaliciousTenantRejectedAtAdmission) {
+  TenantManager tenants(controller_.get());
+  flexbpf::ProgramBuilder b("evil");
+  auto fn = flexbpf::FunctionBuilder("evil")
+                .Const(0, 1)
+                .StoreField("meta.infra.bypass", 0)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  const auto r = tenants.AdmitTenant("mallory", b.Build());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(tenants.active_tenants(), 0u);
+  EXPECT_EQ(controller_->running_apps(), 0u);
+}
+
+TEST_F(ControllerTest, ManyTenantsIsolatedNames) {
+  TenantManager tenants(controller_.get());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        tenants.AdmitTenant("t" + std::to_string(i), TenantExtensionProgram())
+            .ok())
+        << i;
+  }
+  EXPECT_EQ(tenants.active_tenants(), 5u);
+  EXPECT_EQ(controller_->running_apps(), 5u);
+}
+
+}  // namespace
+}  // namespace flexnet::controller

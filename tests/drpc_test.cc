@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "drpc/drpc.h"
+#include "net/topology.h"
+
+namespace flexnet::drpc {
+namespace {
+
+class DrpcTest : public ::testing::Test {
+ protected:
+  DrpcTest() : network_(&sim_) {
+    topo_ = net::BuildLinear(network_, 2, net::SwitchKind::kDrmt);
+    registry_ = std::make_unique<Registry>(&network_, topo_.switches[0]);
+  }
+  sim::Simulator sim_;
+  net::Network network_;
+  net::LinearTopology topo_;
+  std::unique_ptr<Registry> registry_;
+};
+
+TEST_F(DrpcTest, RegisterLookupUnregister) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[0]).ok());
+  const auto info = registry_->Lookup("drpc://infra/echo");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->host, topo_.switches[0]);
+  EXPECT_EQ(registry_->ServiceNames().size(), 1u);
+  ASSERT_TRUE(registry_->Unregister("drpc://infra/echo").ok());
+  EXPECT_FALSE(registry_->Lookup("drpc://infra/echo").ok());
+  EXPECT_FALSE(registry_->Unregister("drpc://infra/echo").ok());
+}
+
+TEST_F(DrpcTest, DuplicateRegistrationRejected) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[0]).ok());
+  EXPECT_FALSE(RegisterEchoService(*registry_, topo_.switches[1]).ok());
+}
+
+TEST_F(DrpcTest, InvokeEchoReturnsRequest) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[1]).ok());
+  Client client(&network_, registry_.get(), topo_.client.nic);
+  Message request;
+  request.fields["x"] = 42;
+  InvokeOutcome outcome;
+  client.Invoke("drpc://infra/echo", request,
+                [&](const InvokeOutcome& o) { outcome = o; });
+  sim_.Run();
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.response.Get("x"), 42u);
+  EXPECT_GT(outcome.latency, 0);
+}
+
+TEST_F(DrpcTest, UnknownServiceFails) {
+  Client client(&network_, registry_.get(), topo_.client.nic);
+  InvokeOutcome outcome;
+  outcome.ok = true;
+  client.Invoke("drpc://nope", Message{},
+                [&](const InvokeOutcome& o) { outcome = o; });
+  sim_.Run();
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_FALSE(outcome.error.empty());
+}
+
+TEST_F(DrpcTest, DiscoveryCachedAfterFirstCall) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[1]).ok());
+  Client client(&network_, registry_.get(), topo_.client.nic);
+  SimDuration first = 0, second = 0;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { first = o.latency; });
+  sim_.Run();
+  EXPECT_EQ(client.cache_size(), 1u);
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { second = o.latency; });
+  sim_.Run();
+  EXPECT_LT(second, first);  // no discovery round trip the second time
+}
+
+TEST_F(DrpcTest, DataplaneInvokeBeatsControllerMediation) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[1]).ok());
+  Client client(&network_, registry_.get(), topo_.client.nic);
+  SimDuration inband = 0, mediated = 0;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { inband = o.latency; });
+  sim_.Run();
+  client.InvokeViaController("drpc://infra/echo", Message{},
+                             [&](const InvokeOutcome& o) {
+                               mediated = o.latency;
+                             });
+  sim_.Run();
+  EXPECT_GT(mediated, 10 * inband);  // orders-of-magnitude gap (E7)
+}
+
+TEST_F(DrpcTest, StatePullServiceChunks) {
+  auto map = state::CreateEncodedMap(
+      [] {
+        flexbpf::MapDecl d;
+        d.name = "m";
+        d.size = 100;
+        d.cells = {"v"};
+        return d;
+      }(),
+      flexbpf::MapEncoding::kStatefulTable);
+  ASSERT_TRUE(map.ok());
+  for (std::uint64_t k = 0; k < 100; ++k) (*map)->Store(k, "v", k + 1);
+  ASSERT_TRUE(
+      RegisterStatePullService(*registry_, topo_.switches[0], map->get())
+          .ok());
+  Client client(&network_, registry_.get(), topo_.client.nic);
+  Message request;
+  request.fields["offset"] = 0;
+  request.fields["limit"] = 30;
+  InvokeOutcome outcome;
+  client.Invoke("drpc://infra/state.pull", request,
+                [&](const InvokeOutcome& o) { outcome = o; });
+  sim_.Run();
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.response.Get("total"), 100u);
+  EXPECT_EQ(outcome.response.Get("returned"), 30u);
+  EXPECT_EQ(outcome.response.snapshot.size(), 30u);
+}
+
+TEST_F(DrpcTest, StatePullPaginatesToCompletion) {
+  auto map = state::CreateEncodedMap(
+      [] {
+        flexbpf::MapDecl d;
+        d.name = "m";
+        d.size = 64;
+        d.cells = {"v"};
+        return d;
+      }(),
+      flexbpf::MapEncoding::kStatefulTable);
+  for (std::uint64_t k = 0; k < 64; ++k) (*map)->Store(k, "v", 7);
+  ASSERT_TRUE(
+      RegisterStatePullService(*registry_, topo_.switches[0], map->get())
+          .ok());
+  Client client(&network_, registry_.get(), topo_.client.nic);
+  std::size_t received = 0;
+  for (std::uint64_t offset = 0; offset < 64; offset += 16) {
+    Message request;
+    request.fields["offset"] = offset;
+    request.fields["limit"] = 16;
+    client.Invoke("drpc://infra/state.pull", request,
+                  [&](const InvokeOutcome& o) {
+                    ASSERT_TRUE(o.ok);
+                    received += o.response.snapshot.size();
+                  });
+    sim_.Run();
+  }
+  EXPECT_EQ(received, 64u);
+}
+
+}  // namespace
+}  // namespace flexnet::drpc

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "apps/firewall.h"
+#include "arch/drmt.h"
+#include "compiler/incremental.h"
+#include "flexbpf/builder.h"
+
+namespace flexnet::compiler {
+namespace {
+
+flexbpf::TableDecl SmallTable(const std::string& name,
+                              std::size_t capacity = 128) {
+  flexbpf::TableDecl t;
+  t.name = name;
+  t.key = {{"ipv4.src", dataplane::MatchKind::kExact, 32}};
+  t.capacity = capacity;
+  dataplane::Action deny = dataplane::MakeDropAction();
+  deny.name = "deny";
+  t.actions.push_back(deny);
+  return t;
+}
+
+flexbpf::ProgramIR BaseProgram() {
+  flexbpf::ProgramBuilder b("base");
+  b.AddTable(SmallTable("t0"));
+  b.AddTable(SmallTable("t1"));
+  b.AddMap("m0", 64, {"v"});
+  auto fn = flexbpf::FunctionBuilder("f0")
+                .Const(0, 1)
+                .Const(1, 2)
+                .MapAdd("m0", 0, "v", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+// --- DiffPrograms ---
+
+TEST(DiffTest, IdenticalProgramsEmptyDelta) {
+  const auto a = BaseProgram();
+  const auto b = BaseProgram();
+  const ProgramDelta delta = DiffPrograms(a, b);
+  EXPECT_TRUE(delta.Empty());
+  EXPECT_EQ(delta.StructuralChangeCount(), 0u);
+}
+
+TEST(DiffTest, AddedAndRemovedTables) {
+  auto before = BaseProgram();
+  auto after = BaseProgram();
+  after.tables.push_back(SmallTable("t2"));
+  after.tables.erase(after.tables.begin());  // remove t0
+  const ProgramDelta delta = DiffPrograms(before, after);
+  ASSERT_EQ(delta.tables_added.size(), 1u);
+  EXPECT_EQ(delta.tables_added[0].name, "t2");
+  ASSERT_EQ(delta.tables_removed.size(), 1u);
+  EXPECT_EQ(delta.tables_removed[0], "t0");
+}
+
+TEST(DiffTest, CapacityChangeIsRestructure) {
+  auto before = BaseProgram();
+  auto after = BaseProgram();
+  after.MutableTable("t0")->capacity = 999;
+  const ProgramDelta delta = DiffPrograms(before, after);
+  ASSERT_EQ(delta.tables_restructured.size(), 1u);
+  EXPECT_EQ(delta.tables_restructured[0].name, "t0");
+  EXPECT_TRUE(delta.entry_deltas.empty());
+}
+
+TEST(DiffTest, EntryOnlyChangeIsNotStructural) {
+  auto before = BaseProgram();
+  auto after = BaseProgram();
+  flexbpf::InitialEntry e;
+  e.match = {dataplane::MatchValue::Exact(5)};
+  e.action_name = "deny";
+  after.MutableTable("t0")->entries.push_back(e);
+  const ProgramDelta delta = DiffPrograms(before, after);
+  EXPECT_EQ(delta.StructuralChangeCount(), 0u);
+  EXPECT_EQ(delta.EntryChangeCount(), 1u);
+  ASSERT_EQ(delta.entry_deltas.size(), 1u);
+  EXPECT_EQ(delta.entry_deltas[0].added.size(), 1u);
+  EXPECT_TRUE(delta.entry_deltas[0].removed.empty());
+}
+
+TEST(DiffTest, FunctionBodyChangeDetected) {
+  auto before = BaseProgram();
+  auto after = BaseProgram();
+  auto fn = flexbpf::FunctionBuilder("f0")
+                .Const(0, 99)  // different body
+                .Return()
+                .Build();
+  *after.MutableFunction("f0") = std::move(fn).value();
+  const ProgramDelta delta = DiffPrograms(before, after);
+  ASSERT_EQ(delta.functions_changed.size(), 1u);
+  EXPECT_EQ(delta.functions_changed[0].name, "f0");
+}
+
+TEST(DiffTest, MapResizeIsRemoveThenAdd) {
+  auto before = BaseProgram();
+  auto after = BaseProgram();
+  after.maps[0].size = 4096;
+  const ProgramDelta delta = DiffPrograms(before, after);
+  ASSERT_EQ(delta.maps_removed.size(), 1u);
+  ASSERT_EQ(delta.maps_added.size(), 1u);
+}
+
+// --- IncrementalCompiler ---
+
+class IncrementalFixture : public ::testing::Test {
+ protected:
+  IncrementalFixture() {
+    device_ = std::make_unique<runtime::ManagedDevice>(
+        std::make_unique<arch::DrmtDevice>(DeviceId(1), "sw"));
+    slice_ = {device_.get()};
+  }
+  // Compile + apply `program`; returns the placement book.
+  CompiledProgram Install(const flexbpf::ProgramIR& program) {
+    Compiler c;
+    auto r = c.Compile(program, slice_);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().ToText());
+    for (const auto& [id, plan] : r->plans) {
+      EXPECT_TRUE(device_->ApplyAll(plan).ok());
+    }
+    return std::move(r).value();
+  }
+  std::unique_ptr<runtime::ManagedDevice> device_;
+  std::vector<runtime::ManagedDevice*> slice_;
+};
+
+TEST_F(IncrementalFixture, EntryChangeCostsOnlyEntryOps) {
+  auto before = BaseProgram();
+  const CompiledProgram installed = Install(before);
+  auto after = BaseProgram();
+  flexbpf::InitialEntry e;
+  e.match = {dataplane::MatchValue::Exact(5)};
+  e.action_name = "deny";
+  after.MutableTable("t0")->entries.push_back(e);
+
+  IncrementalCompiler inc;
+  const auto r = inc.Recompile(before, after, installed, slice_);
+  ASSERT_TRUE(r.ok()) << r.error().ToText();
+  EXPECT_EQ(r->structural_ops, 0u);
+  EXPECT_EQ(r->entry_ops, 1u);
+  EXPECT_EQ(r->moved_elements, 0u);
+  // Apply and observe the entry live.
+  for (const auto& [id, plan] : r->plans) {
+    ASSERT_TRUE(device_->ApplyAll(plan).ok());
+  }
+  packet::Packet p = packet::MakeTcpPacket(1, packet::Ipv4Spec{5, 9},
+                                           packet::TcpSpec{});
+  device_->Process(p, 0);
+  EXPECT_TRUE(p.dropped());
+}
+
+TEST_F(IncrementalFixture, AddedTablePlacedAdjacent) {
+  auto before = BaseProgram();
+  const CompiledProgram installed = Install(before);
+  auto after = BaseProgram();
+  after.tables.push_back(SmallTable("t2"));
+  IncrementalCompiler inc;
+  const auto r = inc.Recompile(before, after, installed, slice_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->structural_ops, 1u);
+  const ElementPlacement* p = nullptr;
+  for (const auto& placement : r->compiled.placements) {
+    if (placement.name == "t2") p = &placement;
+  }
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->device, device_->id());
+}
+
+TEST_F(IncrementalFixture, RemovalEmitsRemoveSteps) {
+  auto before = BaseProgram();
+  const CompiledProgram installed = Install(before);
+  auto after = BaseProgram();
+  after.tables.erase(after.tables.begin());  // drop t0
+  IncrementalCompiler inc;
+  const auto r = inc.Recompile(before, after, installed, slice_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->structural_ops, 1u);
+  for (const auto& [id, plan] : r->plans) {
+    ASSERT_TRUE(device_->ApplyAll(plan).ok());
+  }
+  EXPECT_FALSE(device_->HasTable("t0"));
+  EXPECT_TRUE(device_->HasTable("t1"));
+}
+
+TEST_F(IncrementalFixture, RestructureStaysOnSameDevice) {
+  auto before = BaseProgram();
+  const CompiledProgram installed = Install(before);
+  auto after = BaseProgram();
+  after.MutableTable("t0")->capacity = 256;
+  IncrementalCompiler inc;
+  const auto r = inc.Recompile(before, after, installed, slice_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->structural_ops, 2u);  // remove + add
+  EXPECT_EQ(r->moved_elements, 0u);
+  for (const auto& [id, plan] : r->plans) {
+    ASSERT_TRUE(device_->ApplyAll(plan).ok());
+  }
+  EXPECT_EQ(device_->device()
+                .pipeline()
+                .FindTable("t0")
+                ->capacity(),
+            256u);
+}
+
+TEST_F(IncrementalFixture, NoChangeMeansNoOps) {
+  auto before = BaseProgram();
+  const CompiledProgram installed = Install(before);
+  IncrementalCompiler inc;
+  const auto r = inc.Recompile(before, BaseProgram(), installed, slice_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->TotalOps(), 0u);
+  EXPECT_TRUE(r->plans.empty());
+}
+
+TEST_F(IncrementalFixture, IncrementalBeatsFullRecompile) {
+  // The E4 headline at unit scale: one entry change vs full teardown.
+  flexbpf::ProgramBuilder big("big");
+  for (int i = 0; i < 16; ++i) {
+    big.AddTable(SmallTable("t" + std::to_string(i), 64));
+  }
+  auto before = big.Build();
+  const CompiledProgram installed = Install(before);
+
+  auto after = before;
+  flexbpf::InitialEntry e;
+  e.match = {dataplane::MatchValue::Exact(1)};
+  e.action_name = "deny";
+  after.MutableTable("t3")->entries.push_back(e);
+
+  IncrementalCompiler inc;
+  const auto incremental = inc.Recompile(before, after, installed, slice_);
+  ASSERT_TRUE(incremental.ok());
+  const auto full =
+      EstimateFullRecompile(before, after, installed, slice_);
+  ASSERT_TRUE(full.ok()) << full.error().ToText();
+  EXPECT_EQ(incremental->TotalOps(), 1u);
+  EXPECT_EQ(full->TotalOps(), 32u);  // 16 removals + 16 installs
+  EXPECT_LT(incremental->TotalOps(), full->TotalOps() / 10);
+}
+
+TEST_F(IncrementalFixture, FullRecompileRestoresReservations) {
+  auto before = BaseProgram();
+  const CompiledProgram installed = Install(before);
+  const arch::ResourceVector used_before = device_->device().UsedResources();
+  auto after = BaseProgram();
+  after.tables.push_back(SmallTable("extra"));
+  ASSERT_TRUE(
+      EstimateFullRecompile(before, after, installed, slice_).ok());
+  EXPECT_EQ(device_->device().UsedResources(), used_before);
+}
+
+TEST_F(IncrementalFixture, ChangedFunctionReplacedInPlace) {
+  auto before = BaseProgram();
+  const CompiledProgram installed = Install(before);
+  auto after = BaseProgram();
+  auto fn = flexbpf::FunctionBuilder("f0")
+                .Const(0, 7)
+                .StoreField("meta.new", 0)
+                .Return()
+                .Build();
+  *after.MutableFunction("f0") = std::move(fn).value();
+  IncrementalCompiler inc;
+  const auto r = inc.Recompile(before, after, installed, slice_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->structural_ops, 2u);
+  for (const auto& [id, plan] : r->plans) {
+    ASSERT_TRUE(device_->ApplyAll(plan).ok());
+  }
+  packet::Packet p = packet::MakeTcpPacket(1, packet::Ipv4Spec{1, 2},
+                                           packet::TcpSpec{});
+  device_->Process(p, 0);
+  EXPECT_EQ(p.GetMeta("new"), 7u);
+}
+
+TEST_F(IncrementalFixture, RejectsUnverifiableNewProgram) {
+  auto before = BaseProgram();
+  const CompiledProgram installed = Install(before);
+  auto after = BaseProgram();
+  flexbpf::FunctionDecl bad;
+  bad.name = "bad";
+  after.functions.push_back(bad);  // empty body
+  IncrementalCompiler inc;
+  EXPECT_FALSE(inc.Recompile(before, after, installed, slice_).ok());
+}
+
+}  // namespace
+}  // namespace flexnet::compiler

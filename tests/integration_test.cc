@@ -1,0 +1,234 @@
+// End-to-end integration tests: the FlexNet facade driving the paper's
+// headline scenarios across the full stack (simulator + network +
+// compiler + runtime + controller).
+#include <gtest/gtest.h>
+
+#include "apps/firewall.h"
+#include "apps/congestion.h"
+#include "apps/synflood.h"
+#include "flexbpf/builder.h"
+#include "apps/telemetry.h"
+#include "core/flexnet.h"
+
+namespace flexnet::core {
+namespace {
+
+TEST(FlexNetTest, InfrastructureInstallsEverywhere) {
+  FlexNet net;
+  net.BuildLinear(2);
+  const auto r = net.InstallInfrastructure();
+  ASSERT_TRUE(r.ok()) << r.error().ToText();
+  EXPECT_EQ(net.controller().running_apps(), 1u);
+}
+
+TEST(FlexNetTest, DatapathSliceRestrictsPlacement) {
+  FlexNet net;
+  const auto topo = net.BuildLinear(2);
+  auto dp = net.CreateDatapath("edge", {topo.switches[0]});
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE((*dp)->Install(apps::MakeFirewallProgram()).ok());
+  EXPECT_TRUE(net.network().Find(topo.switches[0])->HasTable("fw.acl"));
+  EXPECT_FALSE(net.network().Find(topo.switches[1])->HasTable("fw.acl"));
+}
+
+TEST(FlexNetTest, DuplicateDatapathNameRejected) {
+  FlexNet net;
+  net.BuildLinear(1);
+  ASSERT_TRUE(net.CreateDatapath("dp").ok());
+  EXPECT_FALSE(net.CreateDatapath("dp").ok());
+  EXPECT_NE(net.FindDatapath("dp"), nullptr);
+  EXPECT_EQ(net.FindDatapath("other"), nullptr);
+}
+
+TEST(FlexNetTest, SlaBudgetEnforced) {
+  FlexNet net;
+  const auto topo = net.BuildLinear(1);
+  SlaSpec strict;
+  strict.max_path_latency = 1;  // 1ns: nothing can meet this
+  auto dp = net.CreateDatapath("strict", {topo.switches[0]}, strict);
+  ASSERT_TRUE(dp.ok());
+  const auto r = (*dp)->Install(apps::MakeFirewallProgram());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kFailedPrecondition);
+  // Rolled back: nothing left on the device.
+  EXPECT_FALSE(net.network().Find(topo.switches[0])->HasTable("fw.acl"));
+  EXPECT_FALSE((*dp)->installed());
+}
+
+TEST(FlexNetTest, SlaGenerousBudgetAccepted) {
+  FlexNet net;
+  const auto topo = net.BuildLinear(1);
+  SlaSpec sla;
+  sla.max_path_latency = 1 * kMillisecond;
+  auto dp = net.CreateDatapath("ok", {topo.switches[0]}, sla);
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE((*dp)->Install(apps::MakeFirewallProgram()).ok());
+  EXPECT_TRUE((*dp)->MeetsSla());
+  EXPECT_GT((*dp)->predicted_latency(), 0);
+}
+
+TEST(FlexNetTest, LivePatchChangesBehaviorWithoutLoss) {
+  FlexNet net;
+  const auto topo = net.BuildLinear(2);
+  auto dp = net.CreateDatapath("fw");
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE((*dp)->Install(apps::MakeFirewallProgram()).ok());
+
+  // Traffic before the patch: port 23 flows freely.
+  net.traffic().StartCbr(
+      [&] {
+        net::FlowSpec flow;
+        flow.from = topo.client.host;
+        flow.src_ip = topo.client.address;
+        flow.dst_ip = topo.server.address;
+        flow.dst_port = 23;
+        return flow;
+      }(),
+      5000.0, 400 * kMillisecond);
+  net.Run(100 * kMillisecond);
+  const std::uint64_t delivered_before =
+      net.network().stats().delivered;
+  EXPECT_GT(delivered_before, 0u);
+
+  // Live patch: block telnet through the patch DSL.
+  const auto patched = (*dp)->ApplyPatch(R"(
+patch block-telnet
+on table fw.acl entry 0/0,0/0,23-23 -> deny priority 99
+)");
+  ASSERT_TRUE(patched.ok()) << patched.error().ToText();
+  net.simulator().Run();
+
+  const auto& stats = net.network().stats();
+  // After the patch lands, telnet is dropped by policy — but nothing was
+  // lost to the reconfiguration itself.
+  EXPECT_GT(stats.drops_by_reason.at("fw_deny"), 0u);
+  EXPECT_EQ(stats.delivered + stats.drops_by_reason.at("fw_deny"),
+            stats.injected);
+}
+
+TEST(FlexNetTest, TelemetryDeploymentAddsParserEverywhere) {
+  FlexNet net;
+  const auto topo = net.BuildLinear(2);
+  auto dp = net.CreateDatapath("int");
+  ASSERT_TRUE(dp.ok());
+
+  // Before deployment: probes die at the first hop.
+  packet::Packet before = apps::MakeTelemetryProbe(1, topo.client.address,
+                                                   topo.server.address);
+  net.network().InjectPacket(topo.client.host, std::move(before));
+  net.simulator().Run();
+  EXPECT_EQ(net.network().stats().dropped, 1u);
+
+  ASSERT_TRUE((*dp)->Install(apps::MakeTelemetryProgram()).ok());
+  net.network().ResetStats();
+  std::uint64_t hops = 0;
+  net.network().SetDeliverySink([&](const net::DeliveryRecord& rec) {
+    hops = apps::TelemetryHops(rec.packet);
+  });
+  packet::Packet after = apps::MakeTelemetryProbe(2, topo.client.address,
+                                                  topo.server.address);
+  net.network().InjectPacket(topo.client.host, std::move(after));
+  net.simulator().Run();
+  EXPECT_EQ(net.network().stats().delivered, 1u);
+  // int.hop may run on a subset of devices (where the function landed),
+  // but at least one hop must be recorded and at most the path length.
+  EXPECT_GE(hops, 1u);
+  EXPECT_LE(hops, 6u);
+}
+
+TEST(FlexNetTest, ElasticDefenseScalesWithAttack) {
+  FlexNet net;
+  net::LeafSpineConfig topo_config;
+  topo_config.spines = 2;
+  topo_config.leaves = 2;
+  topo_config.hosts_per_leaf = 2;
+  const auto topo = net.BuildLeafSpine(topo_config);
+
+  apps::ElasticDefenseConfig config;
+  config.monitor_device = topo.leaves[0];
+  config.ladder = {topo.leaves[0], topo.spines[0], topo.spines[1]};
+  config.sample_interval = 20 * kMillisecond;
+  config.deploy_threshold_pps = 10000.0;
+  config.escalate_threshold_pps = 200000.0;
+  config.retire_threshold_pps = 1000.0;
+  config.guard_syn_threshold = 64;
+  apps::ElasticDefense defense(&net.controller(), config);
+  ASSERT_TRUE(defense.Start().ok());
+
+  // Benign phase.
+  net.Run(60 * kMillisecond);
+  EXPECT_EQ(defense.replicas(), 0u);
+
+  // Attack arrives at the victim behind leaf 0.
+  const SimTime attack_start = net.simulator().now();
+  net.traffic().StartSynFlood(topo.endpoint(0).host,
+                              topo.endpoint(2).address, 50000.0,
+                              200 * kMillisecond);
+  net.Run(260 * kMillisecond);
+  // The defense was summoned while the attack ran (it may already have
+  // retired by now — that is the elasticity working).
+  const SimTime mitigated = defense.FirstMitigationAfter(attack_start);
+  ASSERT_GT(mitigated, 0);
+  EXPECT_GE(mitigated, attack_start);
+  EXPECT_LT(mitigated - attack_start, 150 * kMillisecond);
+  std::size_t peak_replicas = 0;
+  for (const auto& point : defense.timeline()) {
+    peak_replicas = std::max(peak_replicas, point.replicas);
+  }
+  EXPECT_GE(peak_replicas, 1u);
+
+  // Attack subsides; defense retires.
+  net.Run(500 * kMillisecond);
+  EXPECT_EQ(defense.replicas(), 0u);
+  EXPECT_GE(defense.timeline().size(), 10u);
+}
+
+TEST(FlexNetTest, CcSwapViaIncrementalUpdate) {
+  FlexNet net;
+  const auto topo = net.BuildLinear(1);
+  auto dp = net.CreateDatapath("cc");
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE((*dp)->Install(apps::MakeDctcpStyleProgram()).ok());
+  const std::uint64_t ops_before = net.controller().total_reconfig_ops();
+  // Swap the reaction curve live: only the changed function moves.
+  const auto r = (*dp)->Update(apps::MakeAdditiveStyleProgram());
+  ASSERT_TRUE(r.ok()) << r.error().ToText();
+  EXPECT_EQ(r->plan_ops, 2u);  // remove + add of cc.react
+  EXPECT_EQ(net.controller().total_reconfig_ops(), ops_before + 2);
+}
+
+TEST(FlexNetTest, TenantChurnLeavesNetworkClean) {
+  FlexNet net;
+  net.BuildLinear(2);
+  ASSERT_TRUE(net.InstallInfrastructure().ok());
+  flexbpf::ProgramBuilder ext("ext");
+  ext.AddMap("m", 32, {"v"});
+  auto fn = flexbpf::FunctionBuilder("f")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("m", 0, "v", 1)
+                .Return()
+                .Build();
+  ext.AddFunction(std::move(fn).value());
+  const flexbpf::ProgramIR extension = ext.Build();
+
+  for (int round = 0; round < 3; ++round) {
+    for (int t = 0; t < 4; ++t) {
+      ASSERT_TRUE(
+          net.tenants()
+              .AdmitTenant("tenant" + std::to_string(t), extension)
+              .ok());
+    }
+    EXPECT_EQ(net.tenants().active_tenants(), 4u);
+    for (int t = 0; t < 4; ++t) {
+      ASSERT_TRUE(
+          net.tenants().RemoveTenant("tenant" + std::to_string(t)).ok());
+    }
+    EXPECT_EQ(net.tenants().active_tenants(), 0u);
+  }
+  // Only the infrastructure app remains.
+  EXPECT_EQ(net.controller().running_apps(), 1u);
+}
+
+}  // namespace
+}  // namespace flexnet::core

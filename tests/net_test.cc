@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace flexnet::net {
+namespace {
+
+class LinearNetTest : public ::testing::Test {
+ protected:
+  LinearNetTest() : network_(&sim_) {
+    topo_ = BuildLinear(network_, 2, SwitchKind::kDrmt);
+  }
+  packet::Packet ClientToServer(std::uint64_t id = 1) {
+    return packet::MakeTcpPacket(id,
+                                 packet::Ipv4Spec{topo_.client.address,
+                                                  topo_.server.address},
+                                 packet::TcpSpec{1000, 80});
+  }
+  sim::Simulator sim_;
+  Network network_;
+  LinearTopology topo_;
+};
+
+TEST_F(LinearNetTest, TopologyShape) {
+  // 2 switches + 2x(host+nic) = 6 devices.
+  EXPECT_EQ(network_.devices().size(), 6u);
+  EXPECT_NE(network_.FindByName("sw0"), nullptr);
+  EXPECT_NE(network_.FindByName("client-host"), nullptr);
+  EXPECT_EQ(network_.FindByName("nope"), nullptr);
+}
+
+TEST_F(LinearNetTest, DeliversEndToEnd) {
+  network_.InjectPacket(topo_.client.host, ClientToServer());
+  sim_.Run();
+  EXPECT_EQ(network_.stats().injected, 1u);
+  EXPECT_EQ(network_.stats().delivered, 1u);
+  EXPECT_EQ(network_.stats().dropped, 0u);
+}
+
+TEST_F(LinearNetTest, PathTraversesWholeVerticalStack) {
+  std::vector<std::string> visited;
+  network_.SetDeliverySink([&](const DeliveryRecord& rec) {
+    for (const packet::HopRecord& hop : rec.packet.trace()) {
+      visited.push_back(network_.Find(hop.device)->name());
+    }
+  });
+  network_.InjectPacket(topo_.client.host, ClientToServer());
+  sim_.Run();
+  EXPECT_EQ(visited,
+            (std::vector<std::string>{"client-host", "client-nic", "sw0",
+                                      "sw1", "server-nic", "server-host"}));
+}
+
+TEST_F(LinearNetTest, LatencyIncludesLinksAndDevices) {
+  network_.InjectPacket(topo_.client.host, ClientToServer());
+  sim_.Run();
+  // 6 devices of processing plus 5 links: strictly positive, sane bound.
+  EXPECT_GT(network_.stats().latency_ns.mean(), 5000.0);
+  EXPECT_LT(network_.stats().latency_ns.mean(), 1e8);
+}
+
+TEST_F(LinearNetTest, UnroutableDstDropped) {
+  packet::Packet p = packet::MakeTcpPacket(
+      1, packet::Ipv4Spec{topo_.client.address, 0xdeadbeef},
+      packet::TcpSpec{});
+  network_.InjectPacket(topo_.client.host, std::move(p));
+  sim_.Run();
+  EXPECT_EQ(network_.stats().dropped, 1u);
+  EXPECT_EQ(network_.stats().drops_by_reason.at("unroutable"), 1u);
+}
+
+TEST_F(LinearNetTest, NoIpHeaderDropped) {
+  packet::Packet p(1);
+  packet::AddEthernet(p, packet::EthernetSpec{});
+  network_.InjectPacket(topo_.client.host, std::move(p));
+  sim_.Run();
+  EXPECT_EQ(network_.stats().dropped, 1u);
+}
+
+TEST_F(LinearNetTest, OfflineMidpathDropsTraffic) {
+  network_.Find(topo_.switches[1])->device().set_online(false);
+  network_.InjectPacket(topo_.client.host, ClientToServer());
+  sim_.Run();
+  EXPECT_EQ(network_.stats().dropped, 1u);
+  EXPECT_EQ(network_.stats().drops_by_reason.at("device_offline"), 1u);
+}
+
+TEST_F(LinearNetTest, EstimatePathLatency) {
+  const auto lat = network_.EstimatePathLatency(topo_.client.host,
+                                                topo_.server.host);
+  ASSERT_TRUE(lat.ok());
+  EXPECT_GT(lat.value(), 0);
+  const auto self = network_.EstimatePathLatency(topo_.client.host,
+                                                 topo_.client.host);
+  EXPECT_EQ(self.value(), 0);
+}
+
+TEST(NetworkTest, DuplicateLinkRejected) {
+  sim::Simulator sim;
+  Network network(&sim);
+  auto* a = network.AddDevice(MakeSwitch(SwitchKind::kDrmt, DeviceId(1), "a"));
+  auto* b = network.AddDevice(MakeSwitch(SwitchKind::kDrmt, DeviceId(2), "b"));
+  ASSERT_TRUE(network.AddLink(a->id(), b->id()).ok());
+  EXPECT_FALSE(network.AddLink(a->id(), b->id()).ok());
+  EXPECT_FALSE(network.AddLink(a->id(), DeviceId(99)).ok());
+}
+
+TEST(NetworkTest, DuplicateAddressRejected) {
+  sim::Simulator sim;
+  Network network(&sim);
+  auto* a = network.AddDevice(MakeSwitch(SwitchKind::kDrmt, DeviceId(1), "a"));
+  ASSERT_TRUE(network.AttachAddress(a->id(), 10).ok());
+  EXPECT_FALSE(network.AttachAddress(a->id(), 10).ok());
+}
+
+TEST(NetworkTest, DisconnectedPathUnavailable) {
+  sim::Simulator sim;
+  Network network(&sim);
+  auto* a = network.AddDevice(MakeSwitch(SwitchKind::kDrmt, DeviceId(1), "a"));
+  auto* b = network.AddDevice(MakeSwitch(SwitchKind::kDrmt, DeviceId(2), "b"));
+  EXPECT_FALSE(network.EstimatePathLatency(a->id(), b->id()).ok());
+}
+
+class LeafSpineTest : public ::testing::Test {
+ protected:
+  LeafSpineTest() : network_(&sim_) {
+    LeafSpineConfig config;
+    config.spines = 2;
+    config.leaves = 3;
+    config.hosts_per_leaf = 2;
+    topo_ = BuildLeafSpine(network_, config);
+  }
+  sim::Simulator sim_;
+  Network network_;
+  LeafSpineTopology topo_;
+};
+
+TEST_F(LeafSpineTest, TopologyCounts) {
+  EXPECT_EQ(topo_.spines.size(), 2u);
+  EXPECT_EQ(topo_.leaves.size(), 3u);
+  EXPECT_EQ(topo_.endpoint_count(), 6u);
+  // 2 spines + 3 leaves + 6x(host+nic).
+  EXPECT_EQ(network_.devices().size(), 17u);
+}
+
+TEST_F(LeafSpineTest, CrossLeafDelivery) {
+  const auto& src = topo_.endpoint(0);   // leaf 0
+  const auto& dst = topo_.endpoint(5);   // leaf 2
+  packet::Packet p = packet::MakeTcpPacket(
+      1, packet::Ipv4Spec{src.address, dst.address}, packet::TcpSpec{10, 80});
+  network_.InjectPacket(src.host, std::move(p));
+  sim_.Run();
+  EXPECT_EQ(network_.stats().delivered, 1u);
+}
+
+TEST_F(LeafSpineTest, SameLeafStaysLocal) {
+  std::vector<DeviceId> visited;
+  network_.SetDeliverySink([&](const DeliveryRecord& rec) {
+    for (const packet::HopRecord& hop : rec.packet.trace()) {
+      visited.push_back(hop.device);
+    }
+  });
+  const auto& src = topo_.endpoint(0);
+  const auto& dst = topo_.endpoint(1);  // same leaf
+  packet::Packet p = packet::MakeTcpPacket(
+      1, packet::Ipv4Spec{src.address, dst.address}, packet::TcpSpec{10, 80});
+  network_.InjectPacket(src.host, std::move(p));
+  sim_.Run();
+  for (const DeviceId id : visited) {
+    EXPECT_EQ(std::find(topo_.spines.begin(), topo_.spines.end(), id),
+              topo_.spines.end())
+        << "same-leaf traffic should not touch spines";
+  }
+}
+
+TEST_F(LeafSpineTest, EcmpSpreadsFlowsAcrossSpines) {
+  const auto& src = topo_.endpoint(0);
+  std::set<std::uint64_t> spines_used;
+  network_.SetDeliverySink([&](const DeliveryRecord& rec) {
+    for (const packet::HopRecord& hop : rec.packet.trace()) {
+      if (std::find(topo_.spines.begin(), topo_.spines.end(), hop.device) !=
+          topo_.spines.end()) {
+        spines_used.insert(hop.device.value());
+      }
+    }
+  });
+  // Many flows with different ports -> hash should hit both spines.
+  const auto& dst = topo_.endpoint(4);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    packet::Packet p = packet::MakeTcpPacket(
+        i, packet::Ipv4Spec{src.address, dst.address},
+        packet::TcpSpec{1000 + i, 80});
+    network_.InjectPacket(src.host, std::move(p));
+  }
+  sim_.Run();
+  EXPECT_EQ(spines_used.size(), 2u);
+}
+
+TEST_F(LeafSpineTest, FlowsStickToOneSpine) {
+  const auto& src = topo_.endpoint(0);
+  const auto& dst = topo_.endpoint(4);
+  std::set<std::uint64_t> spines_used;
+  network_.SetDeliverySink([&](const DeliveryRecord& rec) {
+    for (const packet::HopRecord& hop : rec.packet.trace()) {
+      if (std::find(topo_.spines.begin(), topo_.spines.end(), hop.device) !=
+          topo_.spines.end()) {
+        spines_used.insert(hop.device.value());
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    packet::Packet p = packet::MakeTcpPacket(
+        i, packet::Ipv4Spec{src.address, dst.address},
+        packet::TcpSpec{5555, 80});  // same 5-tuple
+    network_.InjectPacket(src.host, std::move(p));
+  }
+  sim_.Run();
+  EXPECT_EQ(spines_used.size(), 1u);
+}
+
+// --- Traffic generators ---
+
+TEST_F(LinearNetTest, CbrEmitsExpectedCount) {
+  TrafficGenerator gen(&network_, 1);
+  FlowSpec flow;
+  flow.from = topo_.client.host;
+  flow.src_ip = topo_.client.address;
+  flow.dst_ip = topo_.server.address;
+  gen.StartCbr(flow, 10000.0, 100 * kMillisecond);
+  sim_.Run();
+  EXPECT_NEAR(static_cast<double>(gen.packets_emitted()), 1000.0, 10.0);
+  EXPECT_EQ(network_.stats().delivered, gen.packets_emitted());
+}
+
+TEST_F(LinearNetTest, PoissonRateRoughlyMatches) {
+  TrafficGenerator gen(&network_, 2);
+  FlowSpec flow;
+  flow.from = topo_.client.host;
+  flow.src_ip = topo_.client.address;
+  flow.dst_ip = topo_.server.address;
+  gen.StartPoisson(flow, 20000.0, 500 * kMillisecond);
+  sim_.Run();
+  EXPECT_NEAR(static_cast<double>(gen.packets_emitted()), 10000.0, 600.0);
+}
+
+TEST_F(LinearNetTest, SynFloodPacketsAreSyns) {
+  TrafficGenerator gen(&network_, 3);
+  std::uint64_t syns = 0;
+  network_.SetDeliverySink([&](const DeliveryRecord& rec) {
+    if ((rec.packet.GetField("tcp.flags").value_or(0) &
+         packet::kTcpFlagSyn) != 0) {
+      ++syns;
+    }
+  });
+  gen.StartSynFlood(topo_.client.host, topo_.server.address, 50000.0,
+                    20 * kMillisecond);
+  sim_.Run();
+  EXPECT_GT(syns, 900u);
+  EXPECT_EQ(syns, network_.stats().delivered);
+}
+
+TEST_F(LinearNetTest, MixGeneratesMultipleFlows) {
+  TrafficGenerator gen(&network_, 4);
+  std::vector<TrafficGenerator::EndpointRef> endpoints = {
+      {topo_.client.host, topo_.client.address},
+      {topo_.server.host, topo_.server.address},
+  };
+  TrafficGenerator::MixConfig config;
+  config.flows = 20;
+  config.span = 10 * kMillisecond;
+  gen.StartMix(endpoints, config);
+  sim_.Run();
+  EXPECT_GT(gen.packets_emitted(), 40u);
+  EXPECT_EQ(network_.stats().delivered + network_.stats().dropped,
+            network_.stats().injected);
+}
+
+}  // namespace
+}  // namespace flexnet::net

@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include "apps/firewall.h"
+#include "apps/infra.h"
+#include "compiler/compose.h"
+#include "compiler/merge.h"
+#include "dataplane/executor.h"
+#include "compiler/patch.h"
+#include "flexbpf/builder.h"
+#include "flexbpf/interp.h"
+#include "flexbpf/verifier.h"
+
+namespace flexnet::compiler {
+namespace {
+
+// --- Patch DSL (section 3.2) ---
+
+TEST(PatchTest, CapacityResizeByGlob) {
+  flexbpf::ProgramIR program = apps::MakeInfrastructureProgram(
+      apps::InfraOptions{.filler_tables = 3});
+  const auto report = ApplyPatch(program, R"(
+patch resize
+on table infra.util* capacity 999
+)");
+  ASSERT_TRUE(report.ok()) << report.error().ToText();
+  EXPECT_EQ(report->tables_modified, 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(program.FindTable("infra.util" + std::to_string(i))->capacity,
+              999u);
+  }
+  EXPECT_NE(program.FindTable("infra.l2")->capacity, 999u);
+}
+
+TEST(PatchTest, SelectorMatchingNothingFails) {
+  flexbpf::ProgramIR program = apps::MakeInfrastructureProgram();
+  EXPECT_FALSE(ApplyPatch(program, R"(
+patch typo
+on table infra.uttl* capacity 9
+)")
+                   .ok());
+}
+
+TEST(PatchTest, AddAndRemoveEntries) {
+  flexbpf::ProgramIR program = apps::MakeFirewallProgram();
+  const auto added = ApplyPatch(program, R"(
+patch block
+on table fw.acl entry 10/8,0/0,0-1023 -> deny priority 9
+)");
+  ASSERT_TRUE(added.ok()) << added.error().ToText();
+  EXPECT_EQ(added->entries_changed, 1u);
+  EXPECT_EQ(program.FindTable("fw.acl")->entries.size(), 1u);
+
+  const auto removed = ApplyPatch(program, R"(
+patch unblock
+on table fw.acl remove-entry 10/8,0/0,0-1023
+)");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(program.FindTable("fw.acl")->entries.empty());
+}
+
+TEST(PatchTest, DefaultActionSwap) {
+  flexbpf::ProgramIR program = apps::MakeFirewallProgram();
+  ASSERT_TRUE(ApplyPatch(program, "patch lockdown\non table fw.acl default drop")
+                  .ok());
+  EXPECT_EQ(program.FindTable("fw.acl")->default_action.name, "drop");
+  ASSERT_TRUE(
+      ApplyPatch(program, "patch open\non table fw.acl default allow").ok());
+  EXPECT_EQ(program.FindTable("fw.acl")->default_action.name, "allow");
+  EXPECT_FALSE(
+      ApplyPatch(program, "patch bad\non table fw.acl default ghost").ok());
+}
+
+TEST(PatchTest, ActionReplacement) {
+  flexbpf::ProgramIR program = apps::MakeFirewallProgram();
+  const auto r = ApplyPatch(program, R"(
+patch remark
+on table fw.acl action allow set meta.fw_allowed 2 ; count allowed
+)");
+  ASSERT_TRUE(r.ok()) << r.error().ToText();
+  const dataplane::Action* allow =
+      program.FindTable("fw.acl")->FindAction("allow");
+  ASSERT_NE(allow, nullptr);
+  EXPECT_EQ(allow->ops.size(), 2u);
+}
+
+TEST(PatchTest, DropElementsByGlob) {
+  flexbpf::ProgramIR program = apps::MakeFirewallProgram();
+  const auto r = ApplyPatch(program, R"(
+patch strip
+drop func fw.*
+drop map fw.conn
+)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->elements_removed, 2u);
+  EXPECT_TRUE(program.functions.empty());
+  EXPECT_TRUE(program.maps.empty());
+  EXPECT_FALSE(program.tables.empty());
+}
+
+TEST(PatchTest, AddBlockParsesFlexBpfText) {
+  flexbpf::ProgramIR program = apps::MakeFirewallProgram();
+  const auto r = ApplyPatch(program, R"(
+patch extend
+add
+  map ratelimit size 256 cells tokens
+  table rl key ipv4.src:exact capacity 64
+    action d drop
+    default nop
+  end
+  func rl.tick
+    r0 = field ipv4.src
+    r1 = const 1
+    mapadd ratelimit r0 tokens r1
+    return
+  end
+end-add
+)");
+  ASSERT_TRUE(r.ok()) << r.error().ToText();
+  EXPECT_EQ(r->elements_added, 3u);
+  EXPECT_NE(program.FindTable("rl"), nullptr);
+  EXPECT_NE(program.FindMap("ratelimit"), nullptr);
+  EXPECT_NE(program.FindFunction("rl.tick"), nullptr);
+  // The patched program still verifies.
+  flexbpf::Verifier v;
+  EXPECT_TRUE(v.Verify(program).ok());
+}
+
+TEST(PatchTest, AddBlockNameCollisionFails) {
+  flexbpf::ProgramIR program = apps::MakeFirewallProgram();
+  EXPECT_FALSE(ApplyPatch(program, R"(
+patch dup
+add
+  map fw.conn size 8 cells v
+end-add
+)")
+                   .ok());
+}
+
+TEST(PatchTest, MissingEndAddFails) {
+  flexbpf::ProgramIR program = apps::MakeFirewallProgram();
+  EXPECT_FALSE(ApplyPatch(program, "patch p\nadd\nmap m size 8 cells v").ok());
+}
+
+TEST(PatchTest, RequiresPatchHeader) {
+  flexbpf::ProgramIR program = apps::MakeFirewallProgram();
+  EXPECT_FALSE(ApplyPatch(program, "on table fw.acl capacity 9").ok());
+}
+
+// --- Table merge (E5) ---
+
+flexbpf::TableDecl AclTable() {
+  flexbpf::TableDecl t;
+  t.name = "acl";
+  t.key = {{"ipv4.src", dataplane::MatchKind::kExact, 32}};
+  t.capacity = 16;
+  dataplane::Action deny = dataplane::MakeDropAction("acl");
+  deny.name = "deny";
+  t.actions.push_back(deny);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    flexbpf::InitialEntry e;
+    e.match = {dataplane::MatchValue::Exact(100 + i)};
+    e.action_name = "deny";
+    t.entries.push_back(e);
+  }
+  return t;
+}
+
+flexbpf::TableDecl QosTable() {
+  flexbpf::TableDecl t;
+  t.name = "qos";
+  t.key = {{"tcp.dport", dataplane::MatchKind::kExact, 16}};
+  t.capacity = 16;
+  dataplane::Action mark;
+  mark.name = "mark";
+  mark.ops.push_back(
+      dataplane::OpSetField{"meta.qos", dataplane::OperandConst{1}});
+  t.actions.push_back(mark);
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    flexbpf::InitialEntry e;
+    e.match = {dataplane::MatchValue::Exact(80 + i)};
+    e.action_name = "mark";
+    t.entries.push_back(e);
+  }
+  return t;
+}
+
+TEST(MergeTest, CrossProductSize) {
+  const auto outcome = MergeTables(AclTable(), QosTable());
+  ASSERT_TRUE(outcome.ok()) << outcome.error().ToText();
+  EXPECT_EQ(outcome->entries_before, 5u);
+  // (3 entries + default) x (2 entries + default) - pure default row.
+  EXPECT_EQ(outcome->entries_after, 11u);
+  EXPECT_GT(outcome->memory_blowup, 2.0);
+  EXPECT_EQ(outcome->lookups_saved, 1u);
+  EXPECT_EQ(outcome->merged.key.size(), 2u);
+}
+
+TEST(MergeTest, SharedKeyColumnRejected) {
+  EXPECT_FALSE(MergeTables(AclTable(), AclTable()).ok());
+}
+
+TEST(MergeTest, MergedTableSemanticallyEquivalent) {
+  // Process packets through split tables and through the merged table;
+  // outcomes must agree.
+  const auto outcome = MergeTables(AclTable(), QosTable());
+  ASSERT_TRUE(outcome.ok());
+  const flexbpf::TableDecl merged = outcome->merged;
+
+  const auto run_split = [&](packet::Packet p) {
+    dataplane::StateObjects state;
+    dataplane::ActionExecutor exec(&state);
+    dataplane::MatchActionTable acl("acl", AclTable().key, 16);
+    for (const auto& e : AclTable().entries) {
+      dataplane::TableEntry te;
+      te.match = e.match;
+      te.action = *AclTable().FindAction(e.action_name);
+      (void)acl.AddEntry(te);
+    }
+    dataplane::MatchActionTable qos("qos", QosTable().key, 16);
+    for (const auto& e : QosTable().entries) {
+      dataplane::TableEntry te;
+      te.match = e.match;
+      te.action = *QosTable().FindAction(e.action_name);
+      (void)qos.AddEntry(te);
+    }
+    auto r1 = exec.Execute(acl.Lookup(p), p, 0);
+    if (!r1.dropped) exec.Execute(qos.Lookup(p), p, 0);
+    return std::pair(p.dropped(), p.GetMeta("qos").value_or(0));
+  };
+  const auto run_merged = [&](packet::Packet p) {
+    dataplane::StateObjects state;
+    dataplane::ActionExecutor exec(&state);
+    dataplane::MatchActionTable table("m", merged.key, merged.capacity);
+    for (const auto& e : merged.entries) {
+      dataplane::TableEntry te;
+      te.match = e.match;
+      te.action = *merged.FindAction(e.action_name);
+      te.priority = e.priority;
+      (void)table.AddEntry(te);
+    }
+    table.SetDefaultAction(merged.default_action);
+    exec.Execute(table.Lookup(p), p, 0);
+    return std::pair(p.dropped(), p.GetMeta("qos").value_or(0));
+  };
+
+  for (const std::uint64_t src : {99u, 100u, 101u, 200u}) {
+    for (const std::uint64_t dport : {79u, 80u, 81u, 443u}) {
+      packet::Packet p = packet::MakeTcpPacket(
+          1, packet::Ipv4Spec{src, 1}, packet::TcpSpec{1000, dport});
+      packet::Packet q = p;
+      EXPECT_EQ(run_split(p), run_merged(q))
+          << "src=" << src << " dport=" << dport;
+    }
+  }
+}
+
+// --- Composition & isolation (section 3.2 / scenario) ---
+
+flexbpf::ProgramIR TenantProgram() {
+  flexbpf::ProgramBuilder b("ext");
+  b.AddMap("counts", 64, {"pkts"});
+  flexbpf::TableDecl t;
+  t.name = "allow";
+  t.key = {{"tcp.dport", dataplane::MatchKind::kExact, 16}};
+  t.capacity = 8;
+  dataplane::Action deny = dataplane::MakeDropAction("tenant");
+  deny.name = "deny";
+  t.actions.push_back(deny);
+  flexbpf::InitialEntry e;
+  e.match = {dataplane::MatchValue::Exact(23)};
+  e.action_name = "deny";
+  t.entries.push_back(e);
+  b.AddTable(std::move(t));
+  auto fn = flexbpf::FunctionBuilder("count")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("counts", 0, "pkts", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+TEST(ComposeTest, RewritePrefixesAndGates) {
+  TenantExtension ext;
+  ext.tenant = TenantId(1);
+  ext.vlan = 100;
+  ext.program = TenantProgram();
+  ComposeReport report;
+  const auto rewritten = RewriteTenantProgram(ext, &report);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().ToText();
+  EXPECT_NE(rewritten->FindMap("t100.counts"), nullptr);
+  EXPECT_NE(rewritten->FindTable("t100.allow"), nullptr);
+  EXPECT_NE(rewritten->FindFunction("t100.count"), nullptr);
+  // Table key gained the VLAN gate column.
+  const flexbpf::TableDecl* table = rewritten->FindTable("t100.allow");
+  EXPECT_EQ(table->key.front().field, "vlan.id");
+  EXPECT_EQ(table->entries.front().match.front().value, 100u);
+  EXPECT_EQ(report.elements_rewritten, 3u);
+}
+
+TEST(ComposeTest, RewrittenProgramVerifies) {
+  TenantExtension ext;
+  ext.tenant = TenantId(1);
+  ext.vlan = 100;
+  ext.program = TenantProgram();
+  auto rewritten = RewriteTenantProgram(ext, nullptr);
+  ASSERT_TRUE(rewritten.ok());
+  flexbpf::Verifier v;
+  EXPECT_TRUE(v.Verify(rewritten.value()).ok())
+      << v.Verify(rewritten.value()).error().ToText();
+}
+
+TEST(ComposeTest, GatedFunctionSkipsForeignVlan) {
+  auto fn = flexbpf::FunctionBuilder("f")
+                .Const(0, 1)
+                .StoreField("meta.touched", 0)
+                .Return()
+                .Build();
+  const flexbpf::FunctionDecl gated = GateFunctionOnVlan(fn.value(), 100);
+  flexbpf::InMemoryMapBackend maps;
+  flexbpf::Interpreter interp(&maps);
+
+  packet::Packet own(1);
+  packet::AddEthernet(own, packet::EthernetSpec{0, 0, 0x8100});
+  packet::AddVlan(own, 100);
+  packet::AddIpv4(own, packet::Ipv4Spec{1, 2});
+  interp.Run(gated, own);
+  EXPECT_EQ(own.GetMeta("touched"), 1u);
+
+  packet::Packet foreign(2);
+  packet::AddEthernet(foreign, packet::EthernetSpec{0, 0, 0x8100});
+  packet::AddVlan(foreign, 200);
+  packet::AddIpv4(foreign, packet::Ipv4Spec{1, 2});
+  interp.Run(gated, foreign);
+  EXPECT_FALSE(foreign.GetMeta("touched").has_value());
+}
+
+TEST(ComposeTest, ProtectedFieldWriteRejected) {
+  TenantExtension ext;
+  ext.tenant = TenantId(1);
+  ext.vlan = 100;
+  flexbpf::ProgramBuilder b("evil");
+  auto fn = flexbpf::FunctionBuilder("evil")
+                .Const(0, 1)
+                .StoreField("meta.infra.bypass", 0)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  ext.program = b.Build();
+  const auto r = RewriteTenantProgram(ext, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(ComposeTest, ForeignMapReferenceRejected) {
+  TenantExtension ext;
+  ext.tenant = TenantId(1);
+  ext.vlan = 100;
+  flexbpf::ProgramBuilder b("evil");
+  auto fn = flexbpf::FunctionBuilder("spy")
+                .Const(0, 1)
+                .MapLoad(1, "infra.stats", 0, "pkts")  // not its own map
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  ext.program = b.Build();
+  const auto r = RewriteTenantProgram(ext, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(ComposeTest, TenantActionWritingProtectedFieldRejected) {
+  TenantExtension ext;
+  ext.tenant = TenantId(1);
+  ext.vlan = 100;
+  flexbpf::ProgramBuilder b("evil");
+  flexbpf::TableDecl t;
+  t.name = "sneaky";
+  t.key = {{"ipv4.src", dataplane::MatchKind::kExact, 32}};
+  dataplane::Action bad;
+  bad.name = "bad";
+  bad.ops.push_back(dataplane::OpSetField{"meta.infra.admitted",
+                                          dataplane::OperandConst{1}});
+  t.actions.push_back(bad);
+  b.AddTable(std::move(t));
+  ext.program = b.Build();
+  EXPECT_FALSE(RewriteTenantProgram(ext, nullptr).ok());
+}
+
+TEST(ComposeTest, NonNopDefaultNeutralized) {
+  TenantExtension ext;
+  ext.tenant = TenantId(1);
+  ext.vlan = 100;
+  flexbpf::ProgramBuilder b("ext");
+  flexbpf::TableDecl t;
+  t.name = "strict";
+  t.key = {{"ipv4.src", dataplane::MatchKind::kExact, 32}};
+  t.default_action = dataplane::MakeDropAction("tenant_default");
+  b.AddTable(std::move(t));
+  ext.program = b.Build();
+  ComposeReport report;
+  const auto r = RewriteTenantProgram(ext, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->FindTable("t100.strict")->default_action.ops.empty());
+  ASSERT_EQ(report.neutralized_defaults.size(), 1u);
+}
+
+TEST(ComposeTest, ComposeStacksTenantsOnInfra) {
+  const flexbpf::ProgramIR infra = apps::MakeInfrastructureProgram();
+  TenantExtension t1;
+  t1.tenant = TenantId(1);
+  t1.vlan = 100;
+  t1.program = TenantProgram();
+  TenantExtension t2;
+  t2.tenant = TenantId(2);
+  t2.vlan = 200;
+  t2.program = TenantProgram();  // identical logic, different tenant
+  ComposeReport report;
+  const auto composed = ComposeDatapath(infra, {t1, t2}, &report);
+  ASSERT_TRUE(composed.ok()) << composed.error().ToText();
+  EXPECT_EQ(report.tenants_composed, 2u);
+  // Infra elements keep their names; tenant elements are prefixed.
+  EXPECT_NE(composed->FindTable("infra.l2"), nullptr);
+  EXPECT_NE(composed->FindTable("t100.allow"), nullptr);
+  EXPECT_NE(composed->FindTable("t200.allow"), nullptr);
+  // Identical tenant functions are flagged as shareable.
+  EXPECT_FALSE(report.shared_function_pairs.empty());
+  flexbpf::Verifier v;
+  EXPECT_TRUE(v.Verify(*const_cast<flexbpf::ProgramIR*>(&composed.value()))
+                  .ok());
+}
+
+}  // namespace
+}  // namespace flexnet::compiler

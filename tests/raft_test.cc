@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "controller/raft.h"
+
+namespace flexnet::controller {
+namespace {
+
+class RaftTest : public ::testing::Test {
+ protected:
+  void Build(std::size_t nodes, std::uint64_t seed = 7) {
+    RaftConfig config;
+    config.nodes = nodes;
+    cluster_ = std::make_unique<RaftCluster>(&sim_, config, seed);
+    cluster_->Start();
+  }
+  // Runs until a leader exists or the deadline passes.
+  bool RunUntilLeader(SimDuration deadline = 5 * kSecond) {
+    const SimTime stop = sim_.now() + deadline;
+    while (sim_.now() < stop) {
+      if (cluster_->leader() >= 0) return true;
+      if (!sim_.Step()) break;
+    }
+    return cluster_->leader() >= 0;
+  }
+  sim::Simulator sim_;
+  std::unique_ptr<RaftCluster> cluster_;
+};
+
+TEST_F(RaftTest, ElectsExactlyOneLeader) {
+  Build(3);
+  ASSERT_TRUE(RunUntilLeader());
+  EXPECT_GE(cluster_->leader(), 0);
+  EXPECT_GE(cluster_->elections_started(), 1u);
+}
+
+TEST_F(RaftTest, FiveNodeClusterElects) {
+  Build(5);
+  ASSERT_TRUE(RunUntilLeader());
+}
+
+TEST_F(RaftTest, ProposeCommitsOnMajority) {
+  Build(3);
+  ASSERT_TRUE(RunUntilLeader());
+  bool committed = false;
+  std::uint64_t index = 0;
+  ASSERT_TRUE(cluster_->Propose("deploy fw", [&](bool ok, std::uint64_t i) {
+    committed = ok;
+    index = i;
+  }));
+  sim_.RunUntil(sim_.now() + 2 * kSecond);
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(index, 1u);
+  // Entry replicated to a majority's committed prefix.
+  int replicas = 0;
+  for (std::size_t i = 0; i < cluster_->size(); ++i) {
+    if (cluster_->commit_index(i) >= 1) ++replicas;
+  }
+  EXPECT_GE(replicas * 2, static_cast<int>(cluster_->size()));
+  EXPECT_TRUE(cluster_->CommittedPrefixesConsistent());
+}
+
+TEST_F(RaftTest, ProposeWithoutLeaderFails) {
+  Build(3);
+  // No simulation steps yet: no leader.
+  EXPECT_FALSE(cluster_->Propose("op"));
+}
+
+TEST_F(RaftTest, SequentialOpsKeepOrder) {
+  Build(3);
+  ASSERT_TRUE(RunUntilLeader());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster_->Propose("op" + std::to_string(i)));
+  }
+  sim_.RunUntil(sim_.now() + 2 * kSecond);
+  const int leader = cluster_->leader();
+  ASSERT_GE(leader, 0);
+  const auto& log = cluster_->log(static_cast<std::size_t>(leader));
+  ASSERT_GE(log.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(log[static_cast<std::size_t>(i)].op, "op" + std::to_string(i));
+  }
+  EXPECT_TRUE(cluster_->CommittedPrefixesConsistent());
+}
+
+TEST_F(RaftTest, LeaderFailureTriggersFailover) {
+  Build(3);
+  ASSERT_TRUE(RunUntilLeader());
+  const int old_leader = cluster_->leader();
+  ASSERT_TRUE(cluster_->Propose("before-failure"));
+  sim_.RunUntil(sim_.now() + 1 * kSecond);
+
+  cluster_->Kill(static_cast<std::size_t>(old_leader));
+  const SimTime failure_at = sim_.now();
+  ASSERT_TRUE(RunUntilLeader(10 * kSecond));
+  const int new_leader = cluster_->leader();
+  EXPECT_NE(new_leader, old_leader);
+  // Failover happens within a few election timeouts.
+  EXPECT_LT(sim_.now() - failure_at, 3 * kSecond);
+  // Committed state survives.
+  const auto& log = cluster_->log(static_cast<std::size_t>(new_leader));
+  ASSERT_GE(log.size(), 1u);
+  EXPECT_EQ(log[0].op, "before-failure");
+}
+
+TEST_F(RaftTest, ClusterServesAfterFailover) {
+  Build(5, 11);
+  ASSERT_TRUE(RunUntilLeader());
+  cluster_->Kill(static_cast<std::size_t>(cluster_->leader()));
+  ASSERT_TRUE(RunUntilLeader(10 * kSecond));
+  bool committed = false;
+  ASSERT_TRUE(cluster_->Propose("after-failover",
+                                [&](bool ok, std::uint64_t) {
+                                  committed = ok;
+                                }));
+  sim_.RunUntil(sim_.now() + 3 * kSecond);
+  EXPECT_TRUE(committed);
+  EXPECT_TRUE(cluster_->CommittedPrefixesConsistent());
+}
+
+TEST_F(RaftTest, MinorityCannotElect) {
+  Build(5, 13);
+  ASSERT_TRUE(RunUntilLeader());
+  // Kill the leader plus two others: the surviving 2 of 5 can never form
+  // a majority, so no new leader emerges and nothing commits.
+  const auto leader = static_cast<std::size_t>(cluster_->leader());
+  std::size_t killed = 0;
+  cluster_->Kill(leader);
+  ++killed;
+  for (std::size_t i = 0; i < 5 && killed < 3; ++i) {
+    if (i != leader) {
+      cluster_->Kill(i);
+      ++killed;
+    }
+  }
+  sim_.RunUntil(sim_.now() + 5 * kSecond);
+  EXPECT_LT(cluster_->leader(), 0);
+  bool committed = false;
+  // Any proposal through a stale claimant must never commit.
+  cluster_->Propose("doomed", [&](bool ok, std::uint64_t) { committed = ok; });
+  sim_.RunUntil(sim_.now() + 5 * kSecond);
+  EXPECT_FALSE(committed);
+}
+
+TEST_F(RaftTest, RevivedNodeCatchesUp) {
+  Build(3, 17);
+  ASSERT_TRUE(RunUntilLeader());
+  const int leader = cluster_->leader();
+  std::size_t follower = leader == 0 ? 1 : 0;
+  cluster_->Kill(follower);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster_->Propose("op" + std::to_string(i)));
+  }
+  sim_.RunUntil(sim_.now() + 1 * kSecond);
+  cluster_->Revive(follower);
+  sim_.RunUntil(sim_.now() + 2 * kSecond);
+  EXPECT_GE(cluster_->commit_index(follower), 5u);
+  EXPECT_TRUE(cluster_->CommittedPrefixesConsistent());
+}
+
+// Property sweep: across seeds, elections converge and never split-brain
+// within one term.
+class RaftSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RaftSeedSweep, ConvergesAndStaysConsistent) {
+  sim::Simulator sim;
+  RaftConfig config;
+  config.nodes = 3;
+  RaftCluster cluster(&sim, config, static_cast<std::uint64_t>(GetParam()));
+  cluster.Start();
+  sim.RunUntil(3 * kSecond);
+  EXPECT_GE(cluster.leader(), 0) << "seed " << GetParam();
+  for (int i = 0; i < 5; ++i) {
+    cluster.Propose("op" + std::to_string(i));
+    sim.RunUntil(sim.now() + 200 * kMillisecond);
+  }
+  sim.RunUntil(sim.now() + 1 * kSecond);
+  EXPECT_TRUE(cluster.CommittedPrefixesConsistent()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaftSeedSweep, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace flexnet::controller

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "state/logical_map.h"
+#include "state/migration.h"
+#include "state/replication.h"
+#include "state/sketch.h"
+
+namespace flexnet::state {
+namespace {
+
+flexbpf::MapDecl Decl(std::size_t size = 64,
+                      std::vector<std::string> cells = {"v"}) {
+  flexbpf::MapDecl d;
+  d.name = "m";
+  d.size = size;
+  d.cells = std::move(cells);
+  return d;
+}
+
+// Every encoding must satisfy the same logical contract.
+class EncodingParamTest
+    : public ::testing::TestWithParam<flexbpf::MapEncoding> {};
+
+TEST_P(EncodingParamTest, LoadStoreAdd) {
+  auto map = CreateEncodedMap(Decl(), GetParam());
+  ASSERT_TRUE(map.ok());
+  EncodedMap& m = **map;
+  EXPECT_EQ(m.Load(5, "v"), 0u);
+  m.Store(5, "v", 10);
+  m.Add(5, "v", 3);
+  EXPECT_EQ(m.Load(5, "v"), 13u);
+  EXPECT_EQ(m.encoding(), GetParam());
+}
+
+TEST_P(EncodingParamTest, MultiCellIndependence) {
+  auto map = CreateEncodedMap(Decl(64, {"a", "b"}), GetParam());
+  ASSERT_TRUE(map.ok());
+  EncodedMap& m = **map;
+  m.Store(1, "a", 100);
+  m.Store(1, "b", 200);
+  EXPECT_EQ(m.Load(1, "a"), 100u);
+  EXPECT_EQ(m.Load(1, "b"), 200u);
+}
+
+TEST_P(EncodingParamTest, ExportImportRoundTrip) {
+  auto src = CreateEncodedMap(Decl(), GetParam());
+  auto dst = CreateEncodedMap(Decl(), GetParam());
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE(dst.ok());
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    (*src)->Store(k, "v", k * 7 + 1);
+  }
+  (*dst)->Import((*src)->Export());
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    EXPECT_EQ((*dst)->Load(k, "v"), k * 7 + 1) << k;
+  }
+}
+
+TEST_P(EncodingParamTest, ClearZeroesEverything) {
+  auto map = CreateEncodedMap(Decl(), GetParam());
+  ASSERT_TRUE(map.ok());
+  (*map)->Store(3, "v", 9);
+  (*map)->Clear();
+  EXPECT_EQ((*map)->Load(3, "v"), 0u);
+  EXPECT_TRUE((*map)->Export().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodings, EncodingParamTest,
+    ::testing::Values(flexbpf::MapEncoding::kRegisterArray,
+                      flexbpf::MapEncoding::kStatefulTable,
+                      flexbpf::MapEncoding::kFlowInstruction),
+    [](const auto& info) { return ToString(info.param); });
+
+// Cross-encoding migration: export from one encoding, import into
+// another — the paper's "logical representation" property.
+TEST(LogicalMapTest, CrossEncodingMigration) {
+  auto reg = CreateEncodedMap(Decl(), flexbpf::MapEncoding::kRegisterArray);
+  auto st = CreateEncodedMap(Decl(), flexbpf::MapEncoding::kStatefulTable);
+  ASSERT_TRUE(reg.ok());
+  ASSERT_TRUE(st.ok());
+  for (std::uint64_t k = 0; k < 64; ++k) (*reg)->Store(k, "v", k + 1);
+  (*st)->Import((*reg)->Export());
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ((*st)->Load(k, "v"), k + 1);
+  }
+}
+
+TEST(LogicalMapTest, AutoEncodingMustBeResolved) {
+  EXPECT_FALSE(CreateEncodedMap(Decl(), flexbpf::MapEncoding::kAuto).ok());
+}
+
+TEST(LogicalMapTest, RegisterEncodingFoldsKeys) {
+  auto map = CreateEncodedMap(Decl(8), flexbpf::MapEncoding::kRegisterArray);
+  ASSERT_TRUE(map.ok());
+  (*map)->Store(1, "v", 5);
+  // Key 9 collides with key 1 mod 8 — register semantics.
+  EXPECT_EQ((*map)->Load(9, "v"), 5u);
+}
+
+TEST(LogicalMapTest, StatefulTableKeepsExactKeys) {
+  auto map = CreateEncodedMap(Decl(8), flexbpf::MapEncoding::kStatefulTable);
+  ASSERT_TRUE(map.ok());
+  (*map)->Store(1, "v", 5);
+  EXPECT_EQ((*map)->Load(9, "v"), 0u);  // no folding
+}
+
+TEST(MapSetTest, InstallFindRemove) {
+  MapSet set;
+  ASSERT_TRUE(
+      set.Install(Decl(), flexbpf::MapEncoding::kRegisterArray).ok());
+  EXPECT_FALSE(
+      set.Install(Decl(), flexbpf::MapEncoding::kRegisterArray).ok());
+  EXPECT_NE(set.Find("m"), nullptr);
+  set.Add("m", 1, "v", 4);
+  EXPECT_EQ(set.Load("m", 1, "v"), 4u);
+  // Unknown maps read as zero, writes are dropped.
+  EXPECT_EQ(set.Load("ghost", 1, "v"), 0u);
+  set.Store("ghost", 1, "v", 9);
+  ASSERT_TRUE(set.Remove("m").ok());
+  EXPECT_FALSE(set.Remove("m").ok());
+}
+
+// --- Count-min sketch ---
+
+TEST(SketchTest, NeverUndercounts) {
+  CountMinSketch sketch(4, 256);
+  Rng rng(5);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t key = rng.NextBounded(500);
+    sketch.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.Estimate(key), count);
+  }
+  EXPECT_EQ(sketch.total_updates(), 10000u);
+}
+
+TEST(SketchTest, HeavyKeysEstimatedTightly) {
+  CountMinSketch sketch(4, 1024);
+  for (int i = 0; i < 5000; ++i) sketch.Update(42);
+  for (int i = 0; i < 100; ++i) sketch.Update(static_cast<std::uint64_t>(i));
+  EXPECT_GE(sketch.Estimate(42), 5000u);
+  EXPECT_LE(sketch.Estimate(42), 5200u);
+}
+
+TEST(SketchTest, MergeAddsCells) {
+  CountMinSketch a(3, 64), b(3, 64);
+  a.Update(1, 10);
+  b.Update(1, 5);
+  a.Merge(b);
+  EXPECT_GE(a.Estimate(1), 15u);
+  EXPECT_EQ(a.total_updates(), 15u);
+}
+
+TEST(SketchTest, RestoreCells) {
+  CountMinSketch a(2, 32);
+  a.Update(7, 9);
+  CountMinSketch b(2, 32);
+  b.RestoreCells(a.cells(), a.total_updates());
+  EXPECT_EQ(b.Estimate(7), a.Estimate(7));
+  // Mismatched dimensions are ignored.
+  CountMinSketch c(4, 32);
+  c.RestoreCells(a.cells(), a.total_updates());
+  EXPECT_EQ(c.total_updates(), 0u);
+}
+
+// --- Migration (E6 semantics at unit scale) ---
+
+TEST(MigrationTest, ControlPlaneLosesUpdatesUnderLoad) {
+  sim::Simulator sim;
+  auto src = CreateEncodedMap(Decl(1024), flexbpf::MapEncoding::kStatefulTable);
+  auto dst = CreateEncodedMap(Decl(1024), flexbpf::MapEncoding::kStatefulTable);
+  MigrationConfig config;
+  config.update_rate_pps = 200000;
+  config.key_space = 1024;
+  config.chunk_keys = 64;
+  config.control_chunk_latency = 2 * kMillisecond;
+  MigrationRunner runner(&sim, src->get(), dst->get(), config);
+  const MigrationReport report = runner.RunControlPlane();
+  EXPECT_GT(report.updates_total, 0u);
+  EXPECT_GT(report.updates_lost, 0u);
+  EXPECT_FALSE(report.consistent);
+}
+
+TEST(MigrationTest, DataplaneMigrationIsLossless) {
+  sim::Simulator sim;
+  auto src = CreateEncodedMap(Decl(1024), flexbpf::MapEncoding::kStatefulTable);
+  auto dst = CreateEncodedMap(Decl(1024), flexbpf::MapEncoding::kStatefulTable);
+  MigrationConfig config;
+  config.update_rate_pps = 200000;
+  config.key_space = 1024;
+  config.chunk_keys = 64;
+  MigrationRunner runner(&sim, src->get(), dst->get(), config);
+  const MigrationReport report = runner.RunDataplane();
+  EXPECT_GT(report.updates_total, 0u);
+  EXPECT_EQ(report.updates_lost, 0u);
+  EXPECT_TRUE(report.consistent);
+}
+
+TEST(MigrationTest, DataplaneFasterThanControlPlane) {
+  MigrationConfig config;
+  config.key_space = 512;
+  config.chunk_keys = 64;
+  sim::Simulator sim_a;
+  auto s1 = CreateEncodedMap(Decl(512), flexbpf::MapEncoding::kStatefulTable);
+  auto d1 = CreateEncodedMap(Decl(512), flexbpf::MapEncoding::kStatefulTable);
+  const auto control =
+      MigrationRunner(&sim_a, s1->get(), d1->get(), config).RunControlPlane();
+  sim::Simulator sim_b;
+  auto s2 = CreateEncodedMap(Decl(512), flexbpf::MapEncoding::kStatefulTable);
+  auto d2 = CreateEncodedMap(Decl(512), flexbpf::MapEncoding::kStatefulTable);
+  const auto dataplane =
+      MigrationRunner(&sim_b, s2->get(), d2->get(), config).RunDataplane();
+  EXPECT_LT(dataplane.duration, control.duration);
+}
+
+TEST(MigrationTest, LossGrowsWithUpdateRate) {
+  std::uint64_t previous_lost = 0;
+  for (const double rate : {20000.0, 200000.0, 2000000.0}) {
+    sim::Simulator sim;
+    auto src =
+        CreateEncodedMap(Decl(2048), flexbpf::MapEncoding::kStatefulTable);
+    auto dst =
+        CreateEncodedMap(Decl(2048), flexbpf::MapEncoding::kStatefulTable);
+    MigrationConfig config;
+    config.update_rate_pps = rate;
+    config.key_space = 2048;
+    config.chunk_keys = 128;
+    const auto report =
+        MigrationRunner(&sim, src->get(), dst->get(), config).RunControlPlane();
+    EXPECT_GE(report.updates_lost, previous_lost);
+    previous_lost = report.updates_lost;
+  }
+  EXPECT_GT(previous_lost, 0u);
+}
+
+// --- Chain replication ---
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void Build(std::size_t replicas) {
+    for (std::size_t i = 0; i < replicas; ++i) {
+      auto map = CreateEncodedMap(Decl(128),
+                                  flexbpf::MapEncoding::kStatefulTable);
+      maps_.push_back(std::move(map).value());
+    }
+    std::vector<EncodedMap*> raw;
+    for (auto& m : maps_) raw.push_back(m.get());
+    chain_ = std::make_unique<ReplicationChain>(&sim_, raw,
+                                                100 * kMicrosecond);
+  }
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<EncodedMap>> maps_;
+  std::unique_ptr<ReplicationChain> chain_;
+};
+
+TEST_F(ReplicationTest, WritePropagatesToTail) {
+  Build(3);
+  chain_->Write(1, "v", 5);
+  EXPECT_EQ(chain_->ReadHead(1, "v"), 5u);   // immediate at head
+  EXPECT_EQ(chain_->ReadTail(1, "v"), 0u);   // not yet at tail
+  EXPECT_GT(chain_->lag(), 0u);
+  sim_.Run();
+  EXPECT_EQ(chain_->ReadTail(1, "v"), 5u);
+  EXPECT_EQ(chain_->lag(), 0u);
+  EXPECT_TRUE(chain_->IsConverged());
+}
+
+TEST_F(ReplicationTest, ManyWritesConverge) {
+  Build(4);
+  for (std::uint64_t i = 0; i < 100; ++i) chain_->Write(i % 16, "v", 1);
+  sim_.Run();
+  EXPECT_TRUE(chain_->IsConverged());
+  EXPECT_EQ(chain_->ReadTail(3, "v"), 100u / 16 + ((3 < 100 % 16) ? 1 : 0));
+}
+
+TEST_F(ReplicationTest, MidChainFailureLosesNothingAcknowledged) {
+  Build(3);
+  for (std::uint64_t i = 0; i < 50; ++i) chain_->Write(i % 8, "v", 1);
+  // Fail the middle node while writes are in flight.
+  ASSERT_TRUE(chain_->FailReplica(1).ok());
+  sim_.Run();
+  EXPECT_EQ(chain_->chain_length(), 2u);
+  EXPECT_TRUE(chain_->IsConverged());
+  std::uint64_t total = 0;
+  for (std::uint64_t k = 0; k < 8; ++k) total += chain_->ReadTail(k, "v");
+  EXPECT_EQ(total, 50u);
+}
+
+TEST_F(ReplicationTest, TailFailurePromotesPredecessor) {
+  Build(3);
+  chain_->Write(1, "v", 7);
+  sim_.Run();
+  ASSERT_TRUE(chain_->FailReplica(2).ok());
+  sim_.Run();
+  EXPECT_EQ(chain_->ReadTail(1, "v"), 7u);
+  EXPECT_TRUE(chain_->IsConverged());
+}
+
+TEST_F(ReplicationTest, SingleReplicaChainDegenerates) {
+  Build(1);
+  chain_->Write(2, "v", 3);
+  EXPECT_EQ(chain_->ReadTail(2, "v"), 3u);
+  EXPECT_EQ(chain_->lag(), 0u);
+}
+
+TEST_F(ReplicationTest, FailInvalidIndexRejected) {
+  Build(2);
+  EXPECT_FALSE(chain_->FailReplica(5).ok());
+}
+
+}  // namespace
+}  // namespace flexnet::state

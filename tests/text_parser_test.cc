@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "flexbpf/interp.h"
+#include "packet/flow.h"
+#include "flexbpf/text_parser.h"
+#include "flexbpf/verifier.h"
+#include "packet/packet.h"
+
+namespace flexnet::flexbpf {
+namespace {
+
+constexpr const char* kFullProgram = R"(
+# A full program exercising every construct.
+program demo
+
+map flow_counts size 1024 cells pkts,bytes encoding stateful_table
+map totals size 1 cells n
+
+header int after ipv4 value 0xFD
+
+table acl key ipv4.src:lpm:32,tcp.dport:range:16 capacity 128
+  action deny drop blocked
+  action mark set meta.mark 1 ; count acl_hits
+  default nop
+  entry 10/8,0-1023 -> deny priority 5
+  entry 0/0,80-80 -> mark
+end
+
+func count domain any
+  r0 = flowkey
+  r1 = const 1
+  mapadd flow_counts r0 pkts r1
+  r2 = field ipv4.dst
+  if r2 == r1 goto done
+  r3 = add r1 41
+  store meta.answer r3
+  label done
+  return
+end
+)";
+
+TEST(TextParserTest, ParsesFullProgram) {
+  auto parsed = ParseProgramText(kFullProgram);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToText();
+  const ProgramIR& p = parsed.value();
+  EXPECT_EQ(p.name, "demo");
+  ASSERT_EQ(p.maps.size(), 2u);
+  EXPECT_EQ(p.maps[0].name, "flow_counts");
+  EXPECT_EQ(p.maps[0].size, 1024u);
+  EXPECT_EQ(p.maps[0].encoding, MapEncoding::kStatefulTable);
+  EXPECT_EQ(p.maps[0].cells, (std::vector<std::string>{"pkts", "bytes"}));
+  EXPECT_EQ(p.maps[1].encoding, MapEncoding::kAuto);
+
+  ASSERT_EQ(p.headers.size(), 1u);
+  EXPECT_EQ(p.headers[0].header, "int");
+  EXPECT_EQ(p.headers[0].select_value, 0xFDu);
+
+  ASSERT_EQ(p.tables.size(), 1u);
+  const TableDecl& acl = p.tables[0];
+  ASSERT_EQ(acl.key.size(), 2u);
+  EXPECT_EQ(acl.key[0].kind, dataplane::MatchKind::kLpm);
+  EXPECT_EQ(acl.key[1].kind, dataplane::MatchKind::kRange);
+  EXPECT_EQ(acl.capacity, 128u);
+  ASSERT_EQ(acl.actions.size(), 2u);
+  EXPECT_EQ(acl.actions[0].name, "deny");
+  ASSERT_EQ(acl.actions[1].ops.size(), 2u);
+  ASSERT_EQ(acl.entries.size(), 2u);
+  EXPECT_EQ(acl.entries[0].priority, 5);
+  EXPECT_EQ(acl.entries[0].match[0].prefix_len, 8u);
+
+  ASSERT_EQ(p.functions.size(), 1u);
+  EXPECT_EQ(p.functions[0].name, "count");
+  EXPECT_GE(p.functions[0].instrs.size(), 8u);
+}
+
+TEST(TextParserTest, ParsedProgramPassesVerifier) {
+  auto parsed = ParseProgramText(kFullProgram);
+  ASSERT_TRUE(parsed.ok());
+  Verifier v;
+  const auto stats = v.Verify(parsed.value());
+  ASSERT_TRUE(stats.ok()) << stats.error().ToText();
+  EXPECT_EQ(stats->functions_checked, 1u);
+}
+
+TEST(TextParserTest, ParsedFunctionExecutes) {
+  auto parsed = ParseProgramText(kFullProgram);
+  ASSERT_TRUE(parsed.ok());
+  InMemoryMapBackend maps;
+  Interpreter interp(&maps);
+  packet::Packet p = packet::MakeTcpPacket(1, packet::Ipv4Spec{5, 6},
+                                           packet::TcpSpec{100, 80});
+  interp.Run(*parsed->FindFunction("count"), p);
+  EXPECT_EQ(p.GetMeta("answer"), 42u);
+  // Flow count landed in the map.
+  const auto key = packet::ExtractFlowKey(p);
+  EXPECT_EQ(maps.Load("flow_counts", key->Hash(), "pkts"), 1u);
+}
+
+TEST(TextParserTest, MissingProgramDirectiveFails) {
+  EXPECT_FALSE(ParseProgramText("map m size 4 cells v").ok());
+}
+
+TEST(TextParserTest, CommentsAndBlanksIgnored) {
+  auto parsed = ParseProgramText(R"(
+# leading comment
+program p   # trailing comment
+
+)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name, "p");
+}
+
+TEST(TextParserTest, TableMissingEndFails) {
+  const auto r = ParseProgramText(
+      "program p\ntable t key a.b:exact capacity 4\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message().find("end"), std::string::npos);
+}
+
+TEST(TextParserTest, EntryArityChecked) {
+  const auto r = ParseProgramText(R"(
+program p
+table t key a.b:exact,c.d:exact capacity 4
+  action x drop
+  entry 1 -> x
+end
+)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TextParserTest, EntryUnknownActionAllowedUntilVerify) {
+  // The parser is syntactic; the verifier catches unknown action names.
+  auto r = ParseProgramText(R"(
+program p
+table t key a.b:exact capacity 4
+  entry 1 -> ghost
+end
+)");
+  ASSERT_TRUE(r.ok());
+  Verifier v;
+  EXPECT_FALSE(v.Verify(r.value()).ok());
+}
+
+TEST(TextParserTest, BadRegisterFails) {
+  const auto r = ParseProgramText(R"(
+program p
+func f
+  r99 = const 1
+  return
+end
+)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TextParserTest, UnknownLabelFails) {
+  const auto r = ParseProgramText(R"(
+program p
+func f
+  goto nowhere
+  return
+end
+)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TextParserTest, HexValuesParse) {
+  auto r = ParseProgramText(R"(
+program p
+func f
+  r0 = const 0xdeadbeef
+  store meta.x r0
+  return
+end
+)");
+  ASSERT_TRUE(r.ok());
+  const auto* c = std::get_if<InstrLoadConst>(&r->functions[0].instrs[0]);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 0xdeadbeefu);
+}
+
+TEST(TextParserTest, TernaryAndWildcardEntries) {
+  auto r = ParseProgramText(R"(
+program p
+table t key ipv4.src:ternary capacity 8
+  action d drop
+  entry 0xff00&0xff00 -> d
+  entry * -> d
+end
+)");
+  ASSERT_TRUE(r.ok()) << r.error().ToText();
+  ASSERT_EQ(r->tables[0].entries.size(), 2u);
+  EXPECT_EQ(r->tables[0].entries[0].match[0].mask, 0xff00u);
+  EXPECT_EQ(r->tables[0].entries[1].match[0].mask, 0u);
+}
+
+TEST(TextParserTest, DomainParsing) {
+  auto r = ParseProgramText(R"(
+program p
+func f domain host
+  return
+end
+)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->functions[0].domain, Domain::kHost);
+  EXPECT_FALSE(ParseProgramText(
+                   "program p\nfunc f domain mars\n return\nend")
+                   .ok());
+}
+
+TEST(TextParserTest, ImmediateVsRegisterOperands) {
+  auto r = ParseProgramText(R"(
+program p
+func f
+  r0 = const 1
+  r1 = add r0 r0
+  r2 = add r0 5
+  r3 = subi r0 1
+  return
+end
+)");
+  ASSERT_TRUE(r.ok()) << r.error().ToText();
+  EXPECT_TRUE(std::holds_alternative<InstrBinOp>(r->functions[0].instrs[1]));
+  EXPECT_TRUE(std::holds_alternative<InstrBinOpImm>(r->functions[0].instrs[2]));
+  EXPECT_TRUE(std::holds_alternative<InstrBinOpImm>(r->functions[0].instrs[3]));
+}
+
+TEST(TextParserTest, ParseEntryMatchTextHelper) {
+  std::vector<dataplane::KeySpec> key = {
+      {"ipv4.src", dataplane::MatchKind::kLpm, 32},
+      {"tcp.dport", dataplane::MatchKind::kRange, 16},
+  };
+  auto m = ParseEntryMatchText(key, "10/8,80-443");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)[0].prefix_len, 8u);
+  EXPECT_EQ((*m)[1].range_hi, 443u);
+  EXPECT_FALSE(ParseEntryMatchText(key, "10/8").ok());
+}
+
+TEST(TextParserTest, ParseActionTextHelper) {
+  auto a = ParseActionText("combo", "set meta.x 1 ; forward 3 ; drop why");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->ops.size(), 3u);
+  EXPECT_FALSE(ParseActionText("bad", "explode everything").ok());
+}
+
+}  // namespace
+}  // namespace flexnet::flexbpf
