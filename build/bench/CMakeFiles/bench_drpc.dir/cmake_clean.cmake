@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drpc.dir/bench_drpc.cc.o"
+  "CMakeFiles/bench_drpc.dir/bench_drpc.cc.o.d"
+  "bench_drpc"
+  "bench_drpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

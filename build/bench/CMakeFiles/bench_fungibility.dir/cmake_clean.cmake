@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fungibility.dir/bench_fungibility.cc.o"
+  "CMakeFiles/bench_fungibility.dir/bench_fungibility.cc.o.d"
+  "bench_fungibility"
+  "bench_fungibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fungibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

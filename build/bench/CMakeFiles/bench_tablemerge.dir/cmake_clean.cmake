@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tablemerge.dir/bench_tablemerge.cc.o"
+  "CMakeFiles/bench_tablemerge.dir/bench_tablemerge.cc.o.d"
+  "bench_tablemerge"
+  "bench_tablemerge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tablemerge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

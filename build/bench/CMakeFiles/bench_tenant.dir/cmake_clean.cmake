@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tenant.dir/bench_tenant.cc.o"
+  "CMakeFiles/bench_tenant.dir/bench_tenant.cc.o.d"
+  "bench_tenant"
+  "bench_tenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexbpf_tour.dir/flexbpf_tour.cpp.o"
+  "CMakeFiles/flexbpf_tour.dir/flexbpf_tour.cpp.o.d"
+  "flexbpf_tour"
+  "flexbpf_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexbpf_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

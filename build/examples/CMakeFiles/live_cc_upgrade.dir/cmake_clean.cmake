@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_cc_upgrade.dir/live_cc_upgrade.cpp.o"
+  "CMakeFiles/live_cc_upgrade.dir/live_cc_upgrade.cpp.o.d"
+  "live_cc_upgrade"
+  "live_cc_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_cc_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenant_onboarding.dir/tenant_onboarding.cpp.o"
+  "CMakeFiles/tenant_onboarding.dir/tenant_onboarding.cpp.o.d"
+  "tenant_onboarding"
+  "tenant_onboarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenant_onboarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

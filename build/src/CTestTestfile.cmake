@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("packet")
+subdirs("dataplane")
+subdirs("arch")
+subdirs("flexbpf")
+subdirs("state")
+subdirs("runtime")
+subdirs("net")
+subdirs("drpc")
+subdirs("compiler")
+subdirs("controller")
+subdirs("apps")
+subdirs("core")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_apps.dir/congestion.cc.o"
+  "CMakeFiles/flexnet_apps.dir/congestion.cc.o.d"
+  "CMakeFiles/flexnet_apps.dir/firewall.cc.o"
+  "CMakeFiles/flexnet_apps.dir/firewall.cc.o.d"
+  "CMakeFiles/flexnet_apps.dir/heavy_hitter.cc.o"
+  "CMakeFiles/flexnet_apps.dir/heavy_hitter.cc.o.d"
+  "CMakeFiles/flexnet_apps.dir/infra.cc.o"
+  "CMakeFiles/flexnet_apps.dir/infra.cc.o.d"
+  "CMakeFiles/flexnet_apps.dir/kvcache.cc.o"
+  "CMakeFiles/flexnet_apps.dir/kvcache.cc.o.d"
+  "CMakeFiles/flexnet_apps.dir/load_balancer.cc.o"
+  "CMakeFiles/flexnet_apps.dir/load_balancer.cc.o.d"
+  "CMakeFiles/flexnet_apps.dir/nat.cc.o"
+  "CMakeFiles/flexnet_apps.dir/nat.cc.o.d"
+  "CMakeFiles/flexnet_apps.dir/synflood.cc.o"
+  "CMakeFiles/flexnet_apps.dir/synflood.cc.o.d"
+  "CMakeFiles/flexnet_apps.dir/telemetry.cc.o"
+  "CMakeFiles/flexnet_apps.dir/telemetry.cc.o.d"
+  "libflexnet_apps.a"
+  "libflexnet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

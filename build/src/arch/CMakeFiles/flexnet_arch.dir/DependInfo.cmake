@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/device.cc" "src/arch/CMakeFiles/flexnet_arch.dir/device.cc.o" "gcc" "src/arch/CMakeFiles/flexnet_arch.dir/device.cc.o.d"
+  "/root/repo/src/arch/drmt.cc" "src/arch/CMakeFiles/flexnet_arch.dir/drmt.cc.o" "gcc" "src/arch/CMakeFiles/flexnet_arch.dir/drmt.cc.o.d"
+  "/root/repo/src/arch/endpoint.cc" "src/arch/CMakeFiles/flexnet_arch.dir/endpoint.cc.o" "gcc" "src/arch/CMakeFiles/flexnet_arch.dir/endpoint.cc.o.d"
+  "/root/repo/src/arch/resources.cc" "src/arch/CMakeFiles/flexnet_arch.dir/resources.cc.o" "gcc" "src/arch/CMakeFiles/flexnet_arch.dir/resources.cc.o.d"
+  "/root/repo/src/arch/rmt.cc" "src/arch/CMakeFiles/flexnet_arch.dir/rmt.cc.o" "gcc" "src/arch/CMakeFiles/flexnet_arch.dir/rmt.cc.o.d"
+  "/root/repo/src/arch/tile.cc" "src/arch/CMakeFiles/flexnet_arch.dir/tile.cc.o" "gcc" "src/arch/CMakeFiles/flexnet_arch.dir/tile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/flexnet_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/flexnet_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_arch.dir/device.cc.o"
+  "CMakeFiles/flexnet_arch.dir/device.cc.o.d"
+  "CMakeFiles/flexnet_arch.dir/drmt.cc.o"
+  "CMakeFiles/flexnet_arch.dir/drmt.cc.o.d"
+  "CMakeFiles/flexnet_arch.dir/endpoint.cc.o"
+  "CMakeFiles/flexnet_arch.dir/endpoint.cc.o.d"
+  "CMakeFiles/flexnet_arch.dir/resources.cc.o"
+  "CMakeFiles/flexnet_arch.dir/resources.cc.o.d"
+  "CMakeFiles/flexnet_arch.dir/rmt.cc.o"
+  "CMakeFiles/flexnet_arch.dir/rmt.cc.o.d"
+  "CMakeFiles/flexnet_arch.dir/tile.cc.o"
+  "CMakeFiles/flexnet_arch.dir/tile.cc.o.d"
+  "libflexnet_arch.a"
+  "libflexnet_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

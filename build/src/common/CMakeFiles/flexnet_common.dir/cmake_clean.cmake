@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_common.dir/logging.cc.o"
+  "CMakeFiles/flexnet_common.dir/logging.cc.o.d"
+  "CMakeFiles/flexnet_common.dir/result.cc.o"
+  "CMakeFiles/flexnet_common.dir/result.cc.o.d"
+  "CMakeFiles/flexnet_common.dir/stats.cc.o"
+  "CMakeFiles/flexnet_common.dir/stats.cc.o.d"
+  "CMakeFiles/flexnet_common.dir/string_util.cc.o"
+  "CMakeFiles/flexnet_common.dir/string_util.cc.o.d"
+  "libflexnet_common.a"
+  "libflexnet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

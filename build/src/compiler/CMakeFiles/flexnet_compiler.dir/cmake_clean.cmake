@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_compiler.dir/compile.cc.o"
+  "CMakeFiles/flexnet_compiler.dir/compile.cc.o.d"
+  "CMakeFiles/flexnet_compiler.dir/compose.cc.o"
+  "CMakeFiles/flexnet_compiler.dir/compose.cc.o.d"
+  "CMakeFiles/flexnet_compiler.dir/incremental.cc.o"
+  "CMakeFiles/flexnet_compiler.dir/incremental.cc.o.d"
+  "CMakeFiles/flexnet_compiler.dir/merge.cc.o"
+  "CMakeFiles/flexnet_compiler.dir/merge.cc.o.d"
+  "CMakeFiles/flexnet_compiler.dir/patch.cc.o"
+  "CMakeFiles/flexnet_compiler.dir/patch.cc.o.d"
+  "libflexnet_compiler.a"
+  "libflexnet_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

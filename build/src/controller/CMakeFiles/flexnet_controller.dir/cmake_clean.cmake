@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_controller.dir/controller.cc.o"
+  "CMakeFiles/flexnet_controller.dir/controller.cc.o.d"
+  "CMakeFiles/flexnet_controller.dir/raft.cc.o"
+  "CMakeFiles/flexnet_controller.dir/raft.cc.o.d"
+  "CMakeFiles/flexnet_controller.dir/tenant.cc.o"
+  "CMakeFiles/flexnet_controller.dir/tenant.cc.o.d"
+  "libflexnet_controller.a"
+  "libflexnet_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flexnet.cc" "src/core/CMakeFiles/flexnet_core.dir/flexnet.cc.o" "gcc" "src/core/CMakeFiles/flexnet_core.dir/flexnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controller/CMakeFiles/flexnet_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/flexnet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/flexnet_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/drpc/CMakeFiles/flexnet_drpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flexnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/flexnet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/flexnet_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/flexnet_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/flexnet_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/flexnet_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

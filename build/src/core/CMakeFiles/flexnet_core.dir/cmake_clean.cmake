@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_core.dir/flexnet.cc.o"
+  "CMakeFiles/flexnet_core.dir/flexnet.cc.o.d"
+  "libflexnet_core.a"
+  "libflexnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

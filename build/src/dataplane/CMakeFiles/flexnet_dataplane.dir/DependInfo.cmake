@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/action.cc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/action.cc.o" "gcc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/action.cc.o.d"
+  "/root/repo/src/dataplane/executor.cc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/executor.cc.o" "gcc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/executor.cc.o.d"
+  "/root/repo/src/dataplane/parser.cc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/parser.cc.o" "gcc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/parser.cc.o.d"
+  "/root/repo/src/dataplane/pipeline.cc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/pipeline.cc.o" "gcc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/pipeline.cc.o.d"
+  "/root/repo/src/dataplane/stateful.cc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/stateful.cc.o" "gcc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/stateful.cc.o.d"
+  "/root/repo/src/dataplane/table.cc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/table.cc.o" "gcc" "src/dataplane/CMakeFiles/flexnet_dataplane.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexnet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/flexnet_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

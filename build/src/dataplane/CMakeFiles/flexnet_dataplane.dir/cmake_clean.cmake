@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_dataplane.dir/action.cc.o"
+  "CMakeFiles/flexnet_dataplane.dir/action.cc.o.d"
+  "CMakeFiles/flexnet_dataplane.dir/executor.cc.o"
+  "CMakeFiles/flexnet_dataplane.dir/executor.cc.o.d"
+  "CMakeFiles/flexnet_dataplane.dir/parser.cc.o"
+  "CMakeFiles/flexnet_dataplane.dir/parser.cc.o.d"
+  "CMakeFiles/flexnet_dataplane.dir/pipeline.cc.o"
+  "CMakeFiles/flexnet_dataplane.dir/pipeline.cc.o.d"
+  "CMakeFiles/flexnet_dataplane.dir/stateful.cc.o"
+  "CMakeFiles/flexnet_dataplane.dir/stateful.cc.o.d"
+  "CMakeFiles/flexnet_dataplane.dir/table.cc.o"
+  "CMakeFiles/flexnet_dataplane.dir/table.cc.o.d"
+  "libflexnet_dataplane.a"
+  "libflexnet_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_drpc.dir/drpc.cc.o"
+  "CMakeFiles/flexnet_drpc.dir/drpc.cc.o.d"
+  "libflexnet_drpc.a"
+  "libflexnet_drpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_drpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flexbpf/builder.cc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/builder.cc.o" "gcc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/builder.cc.o.d"
+  "/root/repo/src/flexbpf/interp.cc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/interp.cc.o" "gcc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/interp.cc.o.d"
+  "/root/repo/src/flexbpf/ir.cc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/ir.cc.o" "gcc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/ir.cc.o.d"
+  "/root/repo/src/flexbpf/printer.cc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/printer.cc.o" "gcc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/printer.cc.o.d"
+  "/root/repo/src/flexbpf/text_parser.cc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/text_parser.cc.o" "gcc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/text_parser.cc.o.d"
+  "/root/repo/src/flexbpf/verifier.cc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/verifier.cc.o" "gcc" "src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/flexnet_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/flexnet_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

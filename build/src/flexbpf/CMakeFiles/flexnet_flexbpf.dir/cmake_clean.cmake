@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_flexbpf.dir/builder.cc.o"
+  "CMakeFiles/flexnet_flexbpf.dir/builder.cc.o.d"
+  "CMakeFiles/flexnet_flexbpf.dir/interp.cc.o"
+  "CMakeFiles/flexnet_flexbpf.dir/interp.cc.o.d"
+  "CMakeFiles/flexnet_flexbpf.dir/ir.cc.o"
+  "CMakeFiles/flexnet_flexbpf.dir/ir.cc.o.d"
+  "CMakeFiles/flexnet_flexbpf.dir/printer.cc.o"
+  "CMakeFiles/flexnet_flexbpf.dir/printer.cc.o.d"
+  "CMakeFiles/flexnet_flexbpf.dir/text_parser.cc.o"
+  "CMakeFiles/flexnet_flexbpf.dir/text_parser.cc.o.d"
+  "CMakeFiles/flexnet_flexbpf.dir/verifier.cc.o"
+  "CMakeFiles/flexnet_flexbpf.dir/verifier.cc.o.d"
+  "libflexnet_flexbpf.a"
+  "libflexnet_flexbpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_flexbpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_net.dir/network.cc.o"
+  "CMakeFiles/flexnet_net.dir/network.cc.o.d"
+  "CMakeFiles/flexnet_net.dir/topology.cc.o"
+  "CMakeFiles/flexnet_net.dir/topology.cc.o.d"
+  "CMakeFiles/flexnet_net.dir/traffic.cc.o"
+  "CMakeFiles/flexnet_net.dir/traffic.cc.o.d"
+  "libflexnet_net.a"
+  "libflexnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_packet.dir/flow.cc.o"
+  "CMakeFiles/flexnet_packet.dir/flow.cc.o.d"
+  "CMakeFiles/flexnet_packet.dir/packet.cc.o"
+  "CMakeFiles/flexnet_packet.dir/packet.cc.o.d"
+  "libflexnet_packet.a"
+  "libflexnet_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_runtime.dir/engine.cc.o"
+  "CMakeFiles/flexnet_runtime.dir/engine.cc.o.d"
+  "CMakeFiles/flexnet_runtime.dir/managed_device.cc.o"
+  "CMakeFiles/flexnet_runtime.dir/managed_device.cc.o.d"
+  "CMakeFiles/flexnet_runtime.dir/plan.cc.o"
+  "CMakeFiles/flexnet_runtime.dir/plan.cc.o.d"
+  "libflexnet_runtime.a"
+  "libflexnet_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_sim.dir/simulator.cc.o"
+  "CMakeFiles/flexnet_sim.dir/simulator.cc.o.d"
+  "libflexnet_sim.a"
+  "libflexnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

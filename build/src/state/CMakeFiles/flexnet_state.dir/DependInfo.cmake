@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/state/logical_map.cc" "src/state/CMakeFiles/flexnet_state.dir/logical_map.cc.o" "gcc" "src/state/CMakeFiles/flexnet_state.dir/logical_map.cc.o.d"
+  "/root/repo/src/state/migration.cc" "src/state/CMakeFiles/flexnet_state.dir/migration.cc.o" "gcc" "src/state/CMakeFiles/flexnet_state.dir/migration.cc.o.d"
+  "/root/repo/src/state/replication.cc" "src/state/CMakeFiles/flexnet_state.dir/replication.cc.o" "gcc" "src/state/CMakeFiles/flexnet_state.dir/replication.cc.o.d"
+  "/root/repo/src/state/sketch.cc" "src/state/CMakeFiles/flexnet_state.dir/sketch.cc.o" "gcc" "src/state/CMakeFiles/flexnet_state.dir/sketch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/flexnet_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/flexnet_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

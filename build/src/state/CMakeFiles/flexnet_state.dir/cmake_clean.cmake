@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnet_state.dir/logical_map.cc.o"
+  "CMakeFiles/flexnet_state.dir/logical_map.cc.o.d"
+  "CMakeFiles/flexnet_state.dir/migration.cc.o"
+  "CMakeFiles/flexnet_state.dir/migration.cc.o.d"
+  "CMakeFiles/flexnet_state.dir/replication.cc.o"
+  "CMakeFiles/flexnet_state.dir/replication.cc.o.d"
+  "CMakeFiles/flexnet_state.dir/sketch.cc.o"
+  "CMakeFiles/flexnet_state.dir/sketch.cc.o.d"
+  "libflexnet_state.a"
+  "libflexnet_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnet_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

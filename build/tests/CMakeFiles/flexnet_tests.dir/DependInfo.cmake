@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/flexnet_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/arch_test.cc" "tests/CMakeFiles/flexnet_tests.dir/arch_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/arch_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/flexnet_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/compiler_test.cc" "tests/CMakeFiles/flexnet_tests.dir/compiler_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/compiler_test.cc.o.d"
+  "/root/repo/tests/controller_test.cc" "tests/CMakeFiles/flexnet_tests.dir/controller_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/controller_test.cc.o.d"
+  "/root/repo/tests/dataplane_test.cc" "tests/CMakeFiles/flexnet_tests.dir/dataplane_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/dataplane_test.cc.o.d"
+  "/root/repo/tests/drpc_test.cc" "tests/CMakeFiles/flexnet_tests.dir/drpc_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/drpc_test.cc.o.d"
+  "/root/repo/tests/failover_test.cc" "tests/CMakeFiles/flexnet_tests.dir/failover_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/failover_test.cc.o.d"
+  "/root/repo/tests/flexbpf_test.cc" "tests/CMakeFiles/flexnet_tests.dir/flexbpf_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/flexbpf_test.cc.o.d"
+  "/root/repo/tests/incremental_test.cc" "tests/CMakeFiles/flexnet_tests.dir/incremental_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/incremental_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/flexnet_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/live_migration_test.cc" "tests/CMakeFiles/flexnet_tests.dir/live_migration_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/live_migration_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/flexnet_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/offload_apps_test.cc" "tests/CMakeFiles/flexnet_tests.dir/offload_apps_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/offload_apps_test.cc.o.d"
+  "/root/repo/tests/packet_test.cc" "tests/CMakeFiles/flexnet_tests.dir/packet_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/packet_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/flexnet_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/patch_merge_compose_test.cc" "tests/CMakeFiles/flexnet_tests.dir/patch_merge_compose_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/patch_merge_compose_test.cc.o.d"
+  "/root/repo/tests/printer_test.cc" "tests/CMakeFiles/flexnet_tests.dir/printer_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/printer_test.cc.o.d"
+  "/root/repo/tests/raft_test.cc" "tests/CMakeFiles/flexnet_tests.dir/raft_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/raft_test.cc.o.d"
+  "/root/repo/tests/runtime_test.cc" "tests/CMakeFiles/flexnet_tests.dir/runtime_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/runtime_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/flexnet_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/state_test.cc" "tests/CMakeFiles/flexnet_tests.dir/state_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/state_test.cc.o.d"
+  "/root/repo/tests/text_parser_test.cc" "tests/CMakeFiles/flexnet_tests.dir/text_parser_test.cc.o" "gcc" "tests/CMakeFiles/flexnet_tests.dir/text_parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flexnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/flexnet_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/flexnet_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/flexnet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/drpc/CMakeFiles/flexnet_drpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flexnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/flexnet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/flexnet_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexbpf/CMakeFiles/flexnet_flexbpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/flexnet_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/flexnet_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/flexnet_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
