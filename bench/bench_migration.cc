@@ -35,6 +35,8 @@ state::MigrationReport Run(bool dataplane, double rate,
 }
 
 void PrintExperiment() {
+  telemetry::MetricsRegistry& metrics = telemetry::Default();
+  metrics.Reset();
   bench::PrintHeader(
       "E6 (bench_migration): lossless in-dataplane migration vs "
       "control-plane copy",
@@ -62,6 +64,9 @@ void PrintExperiment() {
                     ToMillis(report.duration),
                     static_cast<unsigned long long>(report.updates_lost));
   }
+  // The runner recorded migration.{control,dataplane}.* (chunk counts,
+  // update loss, duration percentiles, per-chunk trace events); export.
+  bench::EmitJson(metrics, "migration");
 }
 
 void BM_DataplaneMigration(benchmark::State& state) {

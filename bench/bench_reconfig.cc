@@ -115,6 +115,8 @@ bool ConsistencyHolds() {
 }
 
 void PrintExperiment() {
+  telemetry::MetricsRegistry& metrics = telemetry::Default();
+  metrics.Reset();
   bench::PrintHeader(
       "E1/E2 (bench_reconfig): runtime vs drain reprogramming",
       "table/parser changes land hitlessly within a second; the drain "
@@ -123,6 +125,10 @@ void PrintExperiment() {
                   "window_ms", "pkts_in_window", "pkts_lost");
   for (const int delta : {1, 4, 8, 16, 32}) {
     const ReconfigOutcome runtime_outcome = RunOnce(delta, /*drain=*/false);
+    metrics.Observe("bench.runtime.window_ns",
+                    static_cast<double>(runtime_outcome.window));
+    metrics.Count("bench.runtime.pkts_in_window", runtime_outcome.during);
+    metrics.Count("bench.runtime.pkts_lost", runtime_outcome.lost);
     bench::PrintRow("%-8s %-10d %-12.1f %-14llu %-10llu", "runtime", delta,
                     ToMillis(runtime_outcome.window),
                     static_cast<unsigned long long>(runtime_outcome.during),
@@ -130,14 +136,21 @@ void PrintExperiment() {
   }
   for (const int delta : {1, 16}) {
     const ReconfigOutcome drain_outcome = RunOnce(delta, /*drain=*/true);
+    metrics.Observe("bench.drain.window_ns",
+                    static_cast<double>(drain_outcome.window));
+    metrics.Count("bench.drain.pkts_in_window", drain_outcome.during);
+    metrics.Count("bench.drain.pkts_lost", drain_outcome.lost);
     bench::PrintRow("%-8s %-10d %-12.1f %-14llu %-10llu", "drain", delta,
                     ToMillis(drain_outcome.window),
                     static_cast<unsigned long long>(drain_outcome.during),
                     static_cast<unsigned long long>(drain_outcome.lost));
   }
+  const bool consistent = ConsistencyHolds();
+  metrics.Set("bench.consistency_pass", consistent ? 1.0 : 0.0);
   bench::PrintRow("consistency (every packet saw exactly one program "
                   "version, monotone): %s",
-                  ConsistencyHolds() ? "PASS" : "FAIL");
+                  consistent ? "PASS" : "FAIL");
+  bench::EmitJson(metrics, "reconfig");
 }
 
 void BM_RuntimeApply16Ops(benchmark::State& state) {

@@ -1,13 +1,16 @@
 // Shared helpers for the experiment benches.  Each bench binary prints
 // the series recorded in EXPERIMENTS.md as an aligned text table; benches
 // with a wall-clock dimension additionally register google-benchmark
-// timings.
+// timings, and benches wired into telemetry emit a machine-readable
+// BENCH_<name>.json blob (schema in EXPERIMENTS.md).
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "telemetry/telemetry.h"
 
 namespace flexnet::bench {
 
@@ -25,6 +28,23 @@ inline void PrintRow(const char* format, ...) {
   std::vprintf(format, args);
   va_end(args);
   std::printf("\n");
+}
+
+// Prints the registry's JSON blob and writes it to BENCH_<name>.json in
+// the working directory, so results are machine-readable alongside the
+// human tables.
+inline void EmitJson(const telemetry::MetricsRegistry& registry,
+                     const std::string& bench_name) {
+  const std::string json = telemetry::ExportJson(registry, bench_name);
+  std::printf("\n--- BENCH_%s.json ---\n%s", bench_name.c_str(),
+              json.c_str());
+  const Status written = telemetry::WriteBenchJson(registry, bench_name);
+  if (written.ok()) {
+    std::printf("(written to BENCH_%s.json)\n", bench_name.c_str());
+  } else {
+    std::fprintf(stderr, "telemetry export failed: %s\n",
+                 written.error().ToText().c_str());
+  }
 }
 
 }  // namespace flexnet::bench

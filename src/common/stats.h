@@ -35,7 +35,10 @@ class RunningStats {
 // the sample counts our benches produce (<= millions).
 class PercentileTracker {
  public:
-  void Add(double x) { samples_.push_back(x); }
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;  // a sorted vector with one value appended is not sorted
+  }
   std::size_t count() const noexcept { return samples_.size(); }
 
   // p in [0, 100].  Returns 0 when empty.

@@ -19,10 +19,12 @@ const char* ToString(AppState s) noexcept {
 }
 
 Controller::Controller(net::Network* network,
-                       compiler::CompileOptions compile_options)
+                       compiler::CompileOptions compile_options,
+                       telemetry::MetricsRegistry* metrics)
     : network_(network),
       options_(std::move(compile_options)),
-      engine_(network->simulator()) {}
+      metrics_(metrics ? metrics : &telemetry::Default()),
+      engine_(network->simulator(), metrics_) {}
 
 std::vector<runtime::ManagedDevice*> Controller::AllDevices() const {
   std::vector<runtime::ManagedDevice*> devices;
@@ -104,6 +106,7 @@ Result<DeployOutcome> Controller::DeployApp(
     return AlreadyExists("app '" + uri + "'");
   }
   if (slice.empty()) slice = AllDevices();
+  const SimTime deploy_started = network_->simulator()->now();
   compiler::Compiler compiler(options_);
   FLEXNET_ASSIGN_OR_RETURN(compiler::CompiledProgram compiled,
                            compiler.Compile(program, slice));
@@ -123,6 +126,11 @@ Result<DeployOutcome> Controller::DeployApp(
   outcome.ready_at = ready;
   outcome.plan_ops = compiled.TotalPlanOps();
   outcome.predicted_latency = compiled.predicted_latency;
+  metrics_->Count("controller.deploys");
+  metrics_->Observe("controller.deploy_ns",
+                    static_cast<double>(ready - deploy_started));
+  metrics_->trace().Record(ready, "controller.deploy", uri,
+                           static_cast<double>(outcome.plan_ops));
   FLEXNET_ILOG << "deployed " << uri << " (" << outcome.plan_ops
                << " ops, ready at " << ToMillis(ready) << " ms)";
   return outcome;
@@ -134,6 +142,7 @@ Result<DeployOutcome> Controller::UpdateApp(const std::string& uri,
   if (it == apps_.end() || it->second.state != AppState::kRunning) {
     return NotFound("running app '" + uri + "'");
   }
+  const SimTime update_started = network_->simulator()->now();
   compiler::IncrementalCompiler incremental(options_);
   FLEXNET_ASSIGN_OR_RETURN(
       compiler::IncrementalResult result,
@@ -148,6 +157,9 @@ Result<DeployOutcome> Controller::UpdateApp(const std::string& uri,
   outcome.app = it->second.id;
   outcome.ready_at = ready;
   outcome.plan_ops = result.TotalOps();
+  metrics_->Count("controller.updates");
+  metrics_->Observe("controller.update_ns",
+                    static_cast<double>(ready - update_started));
   return outcome;
 }
 
@@ -165,6 +177,7 @@ Status Controller::RetireApp(const std::string& uri) {
   }());
   it->second.state = AppState::kRetired;
   apps_.erase(it);
+  metrics_->Count("controller.retires");
   FLEXNET_ILOG << "retired " << uri;
   return OkStatus();
 }
@@ -253,6 +266,11 @@ Status Controller::MigrateApp(const std::string& uri, DeviceId from,
     if (!r.ok()) return r.error();
     return OkStatus();
   }());
+  metrics_->Count("controller.migrations");
+  metrics_->Count("controller.migrated_maps", moved_maps.size());
+  metrics_->trace().Record(network_->simulator()->now(),
+                           "controller.migrate", uri,
+                           static_cast<double>(moved_maps.size()));
   return OkStatus();
 }
 

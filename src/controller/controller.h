@@ -24,6 +24,7 @@
 #include "net/network.h"
 #include "runtime/engine.h"
 #include "state/migration.h"
+#include "telemetry/telemetry.h"
 
 namespace flexnet::controller {
 
@@ -50,7 +51,11 @@ struct DeployOutcome {
 
 class Controller {
  public:
-  Controller(net::Network* network, compiler::CompileOptions compile_options = {});
+  // Deploy/update/migrate latencies and op counts are recorded into
+  // `metrics` (the process Default() registry when null); the registry is
+  // shared with the controller's RuntimeEngine.
+  Controller(net::Network* network, compiler::CompileOptions compile_options = {},
+             telemetry::MetricsRegistry* metrics = nullptr);
 
   // --- App-level API (URI-addressed; the paper's management abstraction) ---
 
@@ -84,6 +89,7 @@ class Controller {
 
   net::Network* network() noexcept { return network_; }
   compiler::CompileOptions& compile_options() noexcept { return options_; }
+  telemetry::MetricsRegistry* metrics() noexcept { return metrics_; }
 
  private:
   std::vector<runtime::ManagedDevice*> AllDevices() const;
@@ -94,6 +100,7 @@ class Controller {
 
   net::Network* network_;
   compiler::CompileOptions options_;
+  telemetry::MetricsRegistry* metrics_;
   runtime::RuntimeEngine engine_;
   std::unordered_map<std::string, AppRecord> apps_;
   IdAllocator<AppId> app_ids_;

@@ -20,10 +20,12 @@ Result<TenantRecord> TenantManager::AdmitTenant(
   tenant_ext.vlan = vlan;
   tenant_ext.program = extension;
 
+  telemetry::MetricsRegistry* metrics = controller_->metrics();
   last_report_ = compiler::ComposeReport{};
   auto rewritten = compiler::RewriteTenantProgram(tenant_ext, &last_report_);
   if (!rewritten.ok()) {
     free_vlans_.push_back(vlan);
+    metrics->Count("controller.tenant_rejects");
     return rewritten.error();
   }
 
@@ -32,6 +34,7 @@ Result<TenantRecord> TenantManager::AdmitTenant(
   auto deployed = controller_->DeployApp(uri, std::move(rewritten).value());
   if (!deployed.ok()) {
     free_vlans_.push_back(vlan);
+    metrics->Count("controller.tenant_rejects");
     return deployed.error();
   }
 
@@ -42,6 +45,9 @@ Result<TenantRecord> TenantManager::AdmitTenant(
   record.app_uri = uri;
   record.admitted_at = deployed->ready_at;
   record.admission_latency = deployed->ready_at - started;
+  metrics->Count("controller.tenant_admits");
+  metrics->Observe("controller.tenant_admit_ns",
+                   static_cast<double>(record.admission_latency));
   tenants_.emplace(name, record);
   return record;
 }
@@ -52,6 +58,7 @@ Status TenantManager::RemoveTenant(const std::string& name) {
   FLEXNET_RETURN_IF_ERROR(controller_->RetireApp(it->second.app_uri));
   free_vlans_.push_back(it->second.vlan);
   tenants_.erase(it);
+  controller_->metrics()->Count("controller.tenant_departures");
   return OkStatus();
 }
 

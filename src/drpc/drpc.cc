@@ -55,41 +55,81 @@ Result<ServiceInfo> Client::Resolve(const std::string& service,
 }
 
 void Client::Invoke(const std::string& service, Message request, DoneFn done) {
-  InvokeOutcome outcome;
-  SimDuration discovery = 0;
-  const auto info = Resolve(service, &discovery);
   sim::Simulator* sim = network_->simulator();
-  if (!info.ok()) {
-    outcome.error = info.error().ToText();
+  telemetry::MetricsRegistry* metrics = metrics_;
+  SimDuration discovery = 0;
+  const auto fail = [&](std::string error, const char* cause) {
+    InvokeOutcome outcome;
+    outcome.error = std::move(error);
+    outcome.latency = discovery;
+    metrics->Count("drpc.invokes_failed");
+    metrics->Count(cause);
+    metrics->trace().Record(sim->now(), "drpc.invoke_fail",
+                            service + ": " + outcome.error);
     sim->Schedule(discovery, [outcome, done]() { done(outcome); });
+  };
+
+  const bool was_cached = cache_.contains(service);
+  metrics->Count(was_cached ? "drpc.cache_hits" : "drpc.cache_misses");
+  auto info = Resolve(service, &discovery);
+  if (!info.ok()) {
+    fail(info.error().ToText(), "drpc.resolve_failures");
+    return;
+  }
+  const Handler* handler = registry_->FindHandler(service);
+  if (handler == nullptr && was_cached) {
+    // The cached resolution went stale (unregister, possibly re-register
+    // at a different host).  Drop it and resolve fresh — this is what
+    // keeps long-lived callers from charging a dead host's path latency.
+    cache_.erase(service);
+    metrics->Count("drpc.cache_invalidations");
+    info = Resolve(service, &discovery);
+    if (!info.ok()) {
+      fail(info.error().ToText(), "drpc.resolve_failures");
+      return;
+    }
+    handler = registry_->FindHandler(service);
+  }
+  if (handler == nullptr) {
+    fail("service vanished after resolution", "drpc.resolve_failures");
+    return;
+  }
+  // An in-band RPC executes in the host's packet pipeline; a drained
+  // (offline) device processes no packets, so the invocation cannot land.
+  runtime::ManagedDevice* host = network_->Find(info->host);
+  if (host != nullptr && !host->device().online()) {
+    fail("service host '" + host->name() + "' is drained",
+         "drpc.host_offline_failures");
     return;
   }
   const auto path = network_->EstimatePathLatency(caller_, info->host);
   if (!path.ok()) {
-    outcome.error = path.error().ToText();
-    sim->Schedule(discovery, [outcome, done]() { done(outcome); });
+    fail(path.error().ToText(), "drpc.path_failures");
     return;
   }
-  const Handler* handler = registry_->FindHandler(service);
-  if (handler == nullptr) {
-    outcome.error = "service vanished after resolution";
-    sim->Schedule(discovery, [outcome, done]() { done(outcome); });
-    return;
+  if (discovery > 0) {
+    metrics->Observe("drpc.discovery_ns", static_cast<double>(discovery));
   }
   const SimDuration total =
       discovery + 2 * path.value() + info->handler_latency;
   Handler handler_copy = *handler;
   sim->Schedule(total, [handler_copy, request = std::move(request), total,
-                        done]() {
+                        done, metrics, sim, service]() {
     InvokeOutcome result;
     result.latency = total;
     const auto response = handler_copy(request);
     if (response.ok()) {
       result.ok = true;
       result.response = response.value();
+      metrics->Count("drpc.invokes_ok");
     } else {
       result.error = response.error().ToText();
+      metrics->Count("drpc.invokes_failed");
+      metrics->Count("drpc.handler_failures");
     }
+    metrics->Observe("drpc.invoke_ns", static_cast<double>(total));
+    metrics->trace().Record(sim->now(), "drpc.invoke", service,
+                            static_cast<double>(total));
     done(result);
   });
 }
@@ -109,8 +149,9 @@ void Client::InvokeViaController(const std::string& service, Message request,
   }
   const SimDuration total = 2 * control_rtt + software_cost;
   Handler handler_copy = *handler;
+  telemetry::MetricsRegistry* metrics = metrics_;
   sim->Schedule(total, [handler_copy, request = std::move(request), total,
-                        done]() {
+                        done, metrics, sim, service]() {
     InvokeOutcome result;
     result.latency = total;
     const auto response = handler_copy(request);
@@ -120,6 +161,10 @@ void Client::InvokeViaController(const std::string& service, Message request,
     } else {
       result.error = response.error().ToText();
     }
+    metrics->Count("drpc.controller_invokes");
+    metrics->Observe("drpc.controller_invoke_ns", static_cast<double>(total));
+    metrics->trace().Record(sim->now(), "drpc.controller_invoke", service,
+                            static_cast<double>(total));
     done(result);
   });
 }

@@ -22,6 +22,7 @@
 #include "common/result.h"
 #include "net/network.h"
 #include "state/logical_map.h"
+#include "telemetry/telemetry.h"
 
 namespace flexnet::drpc {
 
@@ -79,14 +80,27 @@ struct InvokeOutcome {
 
 class Client {
  public:
-  Client(net::Network* network, Registry* registry, DeviceId caller)
-      : network_(network), registry_(registry), caller_(caller) {}
+  // Discovery/invoke latencies, cache hit/miss counts, and failure causes
+  // are recorded into `metrics` (the process Default() registry when null).
+  Client(net::Network* network, Registry* registry, DeviceId caller,
+         telemetry::MetricsRegistry* metrics = nullptr)
+      : network_(network),
+        registry_(registry),
+        caller_(caller),
+        metrics_(metrics ? metrics : &telemetry::Default()) {}
 
   using DoneFn = std::function<void(const InvokeOutcome&)>;
 
   // In-band invocation.  First call to a name pays a discovery round trip
   // to the registry; later calls use the cache.  Completion is delivered
   // through the simulator after the modeled latency.
+  //
+  // A stale cache entry (service unregistered, possibly re-registered at a
+  // different host) is detected by handler-lookup failure: the entry is
+  // invalidated and resolution retried once, paying a fresh discovery
+  // round trip.  An invocation whose host device is drained (offline)
+  // fails — an in-band RPC cannot execute on a device that is not
+  // processing packets.
   void Invoke(const std::string& service, Message request, DoneFn done);
 
   // Baseline: the same operation mediated by controller software — two
@@ -105,6 +119,7 @@ class Client {
   net::Network* network_;
   Registry* registry_;
   DeviceId caller_;
+  telemetry::MetricsRegistry* metrics_;
   std::unordered_map<std::string, ServiceInfo> cache_;
 };
 

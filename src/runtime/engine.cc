@@ -9,31 +9,45 @@ SimTime RuntimeEngine::ApplyRuntime(ManagedDevice& dev, ReconfigPlan plan,
   auto report = std::make_shared<ApplyReport>();
   report->started = sim_->now();
   SimDuration cumulative = 0;
+  telemetry::MetricsRegistry* metrics = metrics_;
   for (const ReconfigStep& plan_step : plan.steps) {
     const bool is_entry = std::holds_alternative<StepAddEntry>(plan_step) ||
                           std::holds_alternative<StepRemoveEntry>(plan_step);
-    cumulative += is_entry ? 20 * kMicrosecond
-                           : dev.device().ReconfigCost(OpClassOf(plan_step));
+    const SimDuration step_cost =
+        is_entry ? 20 * kMicrosecond
+                 : dev.device().ReconfigCost(OpClassOf(plan_step));
+    cumulative += step_cost;
     ManagedDevice* device = &dev;
-    sim_->Schedule(cumulative, [device, step = plan_step, report]() {
+    sim::Simulator* sim = sim_;
+    sim_->Schedule(cumulative, [device, step = plan_step, report, metrics,
+                                sim, step_cost]() {
       const Status status = device->ApplyStep(step);
+      metrics->Observe("runtime.step_apply_ns",
+                       static_cast<double>(step_cost));
+      metrics->trace().Record(sim->now(), "reconfig.step",
+                              device->name() + ": " + ToText(step),
+                              static_cast<double>(step_cost));
       if (status.ok()) {
         ++report->steps_applied;
+        metrics->Count("runtime.steps_applied");
       } else {
         ++report->steps_failed;
+        metrics->Count("runtime.steps_failed");
         report->errors.push_back(ToText(step) + ": " +
                                  status.error().ToText());
       }
     });
   }
   const SimTime finish = sim_->now() + cumulative;
-  if (done) {
-    auto report_capture = report;
-    sim_->ScheduleAt(finish, [report_capture, done, finish]() {
-      report_capture->finished = finish;
-      done(*report_capture);
-    });
-  }
+  auto report_capture = report;
+  sim_->ScheduleAt(finish, [report_capture, done, finish, metrics,
+                            cumulative]() {
+    report_capture->finished = finish;
+    metrics->Count("runtime.plans_applied");
+    metrics->Observe("runtime.plan_apply_ns",
+                     static_cast<double>(cumulative));
+    if (done) done(*report_capture);
+  });
   return finish;
 }
 
@@ -44,19 +58,28 @@ SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
   dev.device().set_online(false);  // drain: traffic to this device is lost
   const SimDuration window = dev.device().FullReflashCost();
   const SimTime finish = sim_->now() + window;
+  telemetry::MetricsRegistry* metrics = metrics_;
+  metrics->Count("runtime.drains");
+  metrics->Observe("runtime.drain_window_ns", static_cast<double>(window));
+  metrics->trace().Record(sim_->now(), "reconfig.drain_begin", dev.name(),
+                          static_cast<double>(window));
   ManagedDevice* device = &dev;
   sim_->ScheduleAt(finish, [device, plan = std::move(plan), report, done,
-                            finish]() {
+                            finish, metrics]() {
     for (const ReconfigStep& step : plan.steps) {
       const Status status = device->ApplyStep(step);
       if (status.ok()) {
         ++report->steps_applied;
+        metrics->Count("runtime.steps_applied");
       } else {
         ++report->steps_failed;
+        metrics->Count("runtime.steps_failed");
         report->errors.push_back(ToText(step) + ": " + status.error().ToText());
       }
     }
     device->device().set_online(true);
+    metrics->trace().Record(finish, "reconfig.drain_end", device->name(),
+                            static_cast<double>(report->steps_applied));
     report->finished = finish;
     if (done) done(*report);
   });

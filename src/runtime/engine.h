@@ -22,6 +22,7 @@
 
 #include "runtime/managed_device.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace flexnet::runtime {
 
@@ -37,7 +38,11 @@ struct ApplyReport {
 
 class RuntimeEngine {
  public:
-  explicit RuntimeEngine(sim::Simulator* sim) : sim_(sim) {}
+  // Records per-step apply latency, failed steps, and drain windows into
+  // `metrics` (the process Default() registry when null).
+  explicit RuntimeEngine(sim::Simulator* sim,
+                         telemetry::MetricsRegistry* metrics = nullptr)
+      : sim_(sim), metrics_(metrics ? metrics : &telemetry::Default()) {}
 
   using DoneFn = std::function<void(const ApplyReport&)>;
 
@@ -54,6 +59,7 @@ class RuntimeEngine {
 
  private:
   sim::Simulator* sim_;
+  telemetry::MetricsRegistry* metrics_;
 };
 
 }  // namespace flexnet::runtime

@@ -34,6 +34,9 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
   sim::Simulator* sim = sim_;
   EncodedMap* src = src_;
   EncodedMap* dst = dst_;
+  telemetry::MetricsRegistry* metrics = metrics_;
+  const std::string prefix =
+      dataplane ? "migration.dataplane" : "migration.control";
 
   // Live update stream.  The tick reschedules a *copy* of itself, so every
   // pending event owns its closure — nothing dangles after Run returns.
@@ -73,6 +76,8 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
     std::size_t key_space;
     std::size_t chunk_keys;
     std::string cell;
+    telemetry::MetricsRegistry* metrics;
+    std::string prefix;
 
     void operator()() const {
       const std::size_t begin = live->next_chunk_start;
@@ -81,6 +86,11 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
         dst->Store(key, cell, src->Load(key, cell));
       }
       live->next_chunk_start = end;
+      metrics->Count(prefix + ".chunks_copied");
+      metrics->trace().Record(sim->now(), "migrate.chunk",
+                              prefix + " keys [" + std::to_string(begin) +
+                                  "," + std::to_string(end) + ")",
+                              static_cast<double>(end - begin));
       if (end < key_space) {
         sim->Schedule(latency, *this);
       } else {
@@ -89,7 +99,8 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
     }
   };
   sim->Schedule(chunk_latency, CopyChunk{sim, src, dst, live, chunk_latency,
-                                         key_space, chunk_keys, cell});
+                                         key_space, chunk_keys, cell,
+                                         metrics, prefix});
 
   // Drive the simulation until cutover.
   while (!live->done && sim->Step()) {
@@ -105,6 +116,12 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
   }
   report.updates_lost = lost;
   report.consistent = lost == 0;
+  metrics->Count(prefix + ".runs");
+  metrics->Count(prefix + ".updates_generated", report.updates_total);
+  metrics->Count(prefix + ".updates_lost", report.updates_lost);
+  metrics->Observe(prefix + ".duration_ns",
+                   static_cast<double>(report.duration));
+  metrics->Set(prefix + ".last_loss_fraction", report.loss_fraction());
   return report;
 }
 

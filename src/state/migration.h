@@ -26,6 +26,7 @@
 #include "common/types.h"
 #include "sim/simulator.h"
 #include "state/logical_map.h"
+#include "telemetry/telemetry.h"
 
 namespace flexnet::state {
 
@@ -54,9 +55,17 @@ struct MigrationReport {
 
 class MigrationRunner {
  public:
+  // Chunk copies, update loss, and migration duration are recorded into
+  // `metrics` (the process Default() registry when null) under
+  // "migration.dataplane.*" / "migration.control.*".
   MigrationRunner(sim::Simulator* sim, EncodedMap* source,
-                  EncodedMap* destination, MigrationConfig config)
-      : sim_(sim), src_(source), dst_(destination), config_(config) {}
+                  EncodedMap* destination, MigrationConfig config,
+                  telemetry::MetricsRegistry* metrics = nullptr)
+      : sim_(sim),
+        src_(source),
+        dst_(destination),
+        config_(config),
+        metrics_(metrics ? metrics : &telemetry::Default()) {}
 
   // Each run starts the update stream and the copy protocol at sim->now()
   // and returns after cutover.  The destination should be empty.
@@ -70,6 +79,7 @@ class MigrationRunner {
   EncodedMap* src_;
   EncodedMap* dst_;
   MigrationConfig config_;
+  telemetry::MetricsRegistry* metrics_;
 };
 
 }  // namespace flexnet::state

@@ -1,0 +1,196 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace flexnet::telemetry {
+
+EventTrace::EventTrace(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void EventTrace::Record(SimTime at, std::string kind, std::string detail,
+                        double value) {
+  TraceEvent event{at, std::move(kind), std::move(detail), value};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[total_ % capacity_] = std::move(event);
+  }
+  ++total_;
+}
+
+std::size_t EventTrace::size() const noexcept { return ring_.size(); }
+
+std::vector<TraceEvent> EventTrace::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out = ring_;
+    return out;
+  }
+  const std::size_t oldest = total_ % capacity_;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    out.push_back(ring_[(oldest + i) % capacity_]);
+  }
+  return out;
+}
+
+void EventTrace::Clear() {
+  ring_.clear();
+  total_ = 0;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  trace_.Clear();
+}
+
+MetricsRegistry& Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// JSON has no NaN/Inf; clamp to 0 (empty histograms report min=max=0).
+void AppendNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) value = 0.0;
+  std::ostringstream s;
+  s.precision(12);
+  s << value;
+  out += s.str();
+}
+
+}  // namespace
+
+std::string ExportJson(const MetricsRegistry& registry,
+                       const std::string& bench_name) {
+  std::string out;
+  out += "{\n  \"bench\": ";
+  AppendEscaped(out, bench_name);
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(out, name);
+    out += ": " + std::to_string(counter.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(out, name);
+    out += ": ";
+    AppendNumber(out, gauge.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(out, name);
+    out += ": {\"count\": " + std::to_string(hist.count());
+    out += ", \"mean\": ";
+    AppendNumber(out, hist.mean());
+    out += ", \"min\": ";
+    AppendNumber(out, hist.min());
+    out += ", \"max\": ";
+    AppendNumber(out, hist.max());
+    out += ", \"p50\": ";
+    AppendNumber(out, hist.Percentile(50.0));
+    out += ", \"p90\": ";
+    AppendNumber(out, hist.Percentile(90.0));
+    out += ", \"p99\": ";
+    AppendNumber(out, hist.Percentile(99.0));
+    out += "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"events\": [";
+  first = true;
+  for (const TraceEvent& event : registry.trace().Events()) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"at_ns\": " + std::to_string(event.at) + ", \"kind\": ";
+    AppendEscaped(out, event.kind);
+    out += ", \"detail\": ";
+    AppendEscaped(out, event.detail);
+    out += ", \"value\": ";
+    AppendNumber(out, event.value);
+    out += "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"events_dropped\": " +
+         std::to_string(registry.trace().dropped()) + "\n}\n";
+  return out;
+}
+
+Status WriteBenchJson(const MetricsRegistry& registry,
+                      const std::string& bench_name, const std::string& dir) {
+  const std::string path = dir + "/BENCH_" + bench_name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Internal("cannot open '" + path + "' for writing");
+  out << ExportJson(registry, bench_name);
+  out.flush();
+  if (!out) return Internal("short write to '" + path + "'");
+  return OkStatus();
+}
+
+}  // namespace flexnet::telemetry

@@ -1,0 +1,175 @@
+// Telemetry: the measurement spine under EXPERIMENTS.md.
+//
+// The paper's claims (hitless sub-second reconfiguration, the dRPC vs
+// controller-path latency gap, zero-loss state migration) are only
+// reproducible if the harness observes them precisely.  This module gives
+// every subsystem one place to record what happened:
+//
+//  * MetricsRegistry — named counters, gauges, and latency histograms
+//    (built on common/stats.h).  Hot paths (RuntimeEngine, drpc::Client,
+//    MigrationRunner, the controller) record into a registry; by default
+//    the process-wide Default() registry, overridable per component so
+//    tests and benches can isolate their measurements.
+//
+//  * EventTrace — a bounded ring of timestamped events (reconfig steps,
+//    dRPC invocations, drain windows, migration chunks).  Old events are
+//    overwritten, never reallocated, so tracing is safe on hot paths.
+//
+//  * ExportJson — serializes a registry (and its trace) to JSON so bench
+//    binaries emit machine-readable BENCH_*.json blobs instead of only
+//    printf tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace flexnet::telemetry {
+
+// Monotonically increasing count of discrete occurrences.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Last-write-wins instantaneous value (utilization, loss fraction, ...).
+class Gauge {
+ public:
+  void Set(double value) noexcept { value_ = value; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Latency distribution: exact percentiles plus streaming moments.  Values
+// are nanoseconds by convention (Record(SimDuration) is the common call),
+// but any unit works as long as one histogram sticks to one unit.
+class Histogram {
+ public:
+  void Record(double value) {
+    stats_.Add(value);
+    percentiles_.Add(value);
+  }
+
+  std::int64_t count() const noexcept { return stats_.count(); }
+  double mean() const noexcept { return stats_.mean(); }
+  double min() const noexcept { return stats_.min(); }
+  double max() const noexcept { return stats_.max(); }
+  double Percentile(double p) const { return percentiles_.Percentile(p); }
+
+ private:
+  RunningStats stats_;
+  PercentileTracker percentiles_;
+};
+
+struct TraceEvent {
+  SimTime at = 0;        // sim timestamp (ns)
+  std::string kind;      // e.g. "reconfig.step", "drpc.invoke"
+  std::string detail;    // free-form label (device, service, chunk range)
+  double value = 0.0;    // event-specific magnitude (latency ns, keys, ...)
+};
+
+// Fixed-capacity ring: recording past capacity overwrites the oldest
+// event.  Events() returns the survivors oldest-first.
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t capacity = 4096);
+
+  void Record(SimTime at, std::string kind, std::string detail = "",
+              double value = 0.0);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept;
+  // Total Record() calls, including overwritten ones.
+  std::uint64_t total_recorded() const noexcept { return total_; }
+  std::uint64_t dropped() const noexcept { return total_ - size(); }
+
+  std::vector<TraceEvent> Events() const;
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;  // ring_[total_ % capacity_] is the next slot
+};
+
+// Named metric namespace.  References returned by the accessors stay valid
+// for the registry's lifetime (std::map nodes never move).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& CounterNamed(const std::string& name) { return counters_[name]; }
+  Gauge& GaugeNamed(const std::string& name) { return gauges_[name]; }
+  Histogram& HistogramNamed(const std::string& name) {
+    return histograms_[name];
+  }
+  EventTrace& trace() noexcept { return trace_; }
+  const EventTrace& trace() const noexcept { return trace_; }
+
+  // Lookup without creating; nullptr when absent.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Convenience for hot paths.
+  void Count(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name].Increment(delta);
+  }
+  void Set(const std::string& name, double value) {
+    gauges_[name].Set(value);
+  }
+  void Observe(const std::string& name, double value) {
+    histograms_[name].Record(value);
+  }
+
+  const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  void Reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  EventTrace trace_;
+};
+
+// Process-wide registry.  Components record here unless given their own;
+// benches that want isolation call Reset() up front or inject a local
+// registry.  The simulator is single-threaded, so no locking.
+MetricsRegistry& Default();
+
+// Serializes the registry to a JSON object (schema in EXPERIMENTS.md):
+// {"bench": name, "counters": {...}, "gauges": {...},
+//  "histograms": {name: {count, mean, min, max, p50, p90, p99}},
+//  "events": [{at_ns, kind, detail, value}, ...],
+//  "events_dropped": N}
+std::string ExportJson(const MetricsRegistry& registry,
+                       const std::string& bench_name);
+
+// Writes ExportJson() to <dir>/BENCH_<bench_name>.json.
+Status WriteBenchJson(const MetricsRegistry& registry,
+                      const std::string& bench_name,
+                      const std::string& dir = ".");
+
+}  // namespace flexnet::telemetry

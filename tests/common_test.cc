@@ -185,6 +185,23 @@ TEST(StatsTest, PercentileEmptyIsZero) {
   EXPECT_EQ(t.Median(), 0.0);
 }
 
+// Regression: Add() after a Percentile() query must invalidate the sorted
+// flag, or later queries interpolate over a partially sorted vector.
+TEST(StatsTest, PercentileExactWhenAddAndQueryInterleave) {
+  PercentileTracker t;
+  // Descending inserts so a stale sort is guaranteed to be wrong.
+  for (int i = 100; i > 50; --i) t.Add(i);
+  EXPECT_NEAR(t.Median(), 75.5, 1e-9);  // sorts, sets the sorted flag
+  for (int i = 50; i >= 1; --i) t.Add(i);
+  // Full population is 1..100; every query must see a freshly sorted view.
+  EXPECT_NEAR(t.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(t.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(t.Percentile(100), 100.0, 1e-9);
+  t.Add(1000.0);  // interleave again after the second query round
+  EXPECT_NEAR(t.Percentile(100), 1000.0, 1e-9);
+  EXPECT_NEAR(t.Median(), 51.0, 1e-9);  // 101 samples: median is 51
+}
+
 TEST(StatsTest, LatencyHistogramQuantiles) {
   LatencyHistogram h;
   for (int i = 0; i < 1000; ++i) h.Add(100);

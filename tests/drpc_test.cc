@@ -2,6 +2,8 @@
 
 #include "drpc/drpc.h"
 #include "net/topology.h"
+#include "runtime/engine.h"
+#include "telemetry/telemetry.h"
 
 namespace flexnet::drpc {
 namespace {
@@ -86,6 +88,110 @@ TEST_F(DrpcTest, DataplaneInvokeBeatsControllerMediation) {
                              });
   sim_.Run();
   EXPECT_GT(mediated, 10 * inband);  // orders-of-magnitude gap (E7)
+}
+
+TEST_F(DrpcTest, InvokeFailsWhileHostDrained) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[1]).ok());
+  telemetry::MetricsRegistry metrics;
+  Client client(&network_, registry_.get(), topo_.client.nic, &metrics);
+
+  // Warm the cache first so the drained check runs on the cached path too.
+  InvokeOutcome warm;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { warm = o; });
+  sim_.Run();
+  ASSERT_TRUE(warm.ok);
+
+  // Drain the host the way the runtime does: ApplyDrain takes it offline
+  // for the reflash window.
+  runtime::ManagedDevice* host = network_.Find(topo_.switches[1]);
+  runtime::RuntimeEngine engine(&sim_, &metrics);
+  engine.ApplyDrain(*host, runtime::ReconfigPlan{});
+  ASSERT_FALSE(host->device().online());
+
+  InvokeOutcome during_drain;
+  during_drain.ok = true;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { during_drain = o; });
+  sim_.Run();  // also completes the reflash and brings the device back
+  EXPECT_FALSE(during_drain.ok);
+  EXPECT_NE(during_drain.error.find("drained"), std::string::npos);
+  ASSERT_NE(metrics.FindCounter("drpc.host_offline_failures"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("drpc.host_offline_failures")->value(), 1u);
+
+  // After the drain window the device is back online and invocations land.
+  ASSERT_TRUE(host->device().online());
+  InvokeOutcome after;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { after = o; });
+  sim_.Run();
+  EXPECT_TRUE(after.ok);
+}
+
+TEST_F(DrpcTest, StaleCacheInvalidatedOnReRegistrationAtNewHost) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[0]).ok());
+  telemetry::MetricsRegistry metrics;
+  Client client(&network_, registry_.get(), topo_.client.nic, &metrics);
+
+  InvokeOutcome first;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { first = o; });
+  sim_.Run();
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(client.cache_size(), 1u);
+
+  // The service moves: unregister, then re-register at a different host.
+  ASSERT_TRUE(registry_->Unregister("drpc://infra/echo").ok());
+  InvokeOutcome gone;
+  gone.ok = true;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { gone = o; });
+  sim_.Run();
+  EXPECT_FALSE(gone.ok);  // handler lookup failed -> cache entry dropped
+  EXPECT_EQ(client.cache_size(), 0u);
+  ASSERT_NE(metrics.FindCounter("drpc.cache_invalidations"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("drpc.cache_invalidations")->value(), 1u);
+
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[1]).ok());
+  InvokeOutcome moved;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { moved = o; });
+  sim_.Run();
+  ASSERT_TRUE(moved.ok);
+
+  // The stale caller now pays exactly what a fresh caller pays against the
+  // new host — discovery plus the *new* host's path — not the old host's
+  // cached path latency.
+  Client fresh(&network_, registry_.get(), topo_.client.nic, &metrics);
+  InvokeOutcome reference;
+  fresh.Invoke("drpc://infra/echo", Message{},
+               [&](const InvokeOutcome& o) { reference = o; });
+  sim_.Run();
+  ASSERT_TRUE(reference.ok);
+  EXPECT_EQ(moved.latency, reference.latency);
+  EXPECT_NE(moved.latency, first.latency);  // switches[1] is farther away
+}
+
+TEST_F(DrpcTest, InvokeRecordsMetrics) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[1]).ok());
+  telemetry::MetricsRegistry metrics;
+  Client client(&network_, registry_.get(), topo_.client.nic, &metrics);
+  for (int i = 0; i < 3; ++i) {
+    client.Invoke("drpc://infra/echo", Message{},
+                  [](const InvokeOutcome&) {});
+    sim_.Run();
+  }
+  ASSERT_NE(metrics.FindCounter("drpc.cache_misses"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("drpc.cache_misses")->value(), 1u);
+  ASSERT_NE(metrics.FindCounter("drpc.cache_hits"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("drpc.cache_hits")->value(), 2u);
+  ASSERT_NE(metrics.FindCounter("drpc.invokes_ok"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("drpc.invokes_ok")->value(), 3u);
+  ASSERT_NE(metrics.FindHistogram("drpc.invoke_ns"), nullptr);
+  EXPECT_EQ(metrics.FindHistogram("drpc.invoke_ns")->count(), 3);
+  ASSERT_NE(metrics.FindHistogram("drpc.discovery_ns"), nullptr);
+  EXPECT_EQ(metrics.FindHistogram("drpc.discovery_ns")->count(), 1);
+  EXPECT_GE(metrics.trace().size(), 3u);
 }
 
 TEST_F(DrpcTest, StatePullServiceChunks) {

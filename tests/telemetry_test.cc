@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace flexnet::telemetry {
+namespace {
+
+TEST(MetricsRegistryTest, CounterGaugeHistogramLookup) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("x"), nullptr);
+  EXPECT_EQ(registry.FindGauge("x"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("x"), nullptr);
+
+  registry.Count("reconfig.steps", 3);
+  registry.Count("reconfig.steps");
+  registry.Set("utilization", 0.75);
+  registry.Observe("latency_ns", 100.0);
+  registry.Observe("latency_ns", 300.0);
+
+  ASSERT_NE(registry.FindCounter("reconfig.steps"), nullptr);
+  EXPECT_EQ(registry.FindCounter("reconfig.steps")->value(), 4u);
+  ASSERT_NE(registry.FindGauge("utilization"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.FindGauge("utilization")->value(), 0.75);
+  ASSERT_NE(registry.FindHistogram("latency_ns"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("latency_ns")->count(), 2);
+  EXPECT_DOUBLE_EQ(registry.FindHistogram("latency_ns")->mean(), 200.0);
+}
+
+TEST(MetricsRegistryTest, NamedReferencesAreStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.CounterNamed("a");
+  for (int i = 0; i < 100; ++i) {
+    registry.CounterNamed("c" + std::to_string(i));
+  }
+  a.Increment(7);
+  EXPECT_EQ(registry.FindCounter("a")->value(), 7u);
+}
+
+TEST(MetricsRegistryTest, ResetClearsEverything) {
+  MetricsRegistry registry;
+  registry.Count("c");
+  registry.Set("g", 1.0);
+  registry.Observe("h", 2.0);
+  registry.trace().Record(10, "k");
+  registry.Reset();
+  EXPECT_EQ(registry.FindCounter("c"), nullptr);
+  EXPECT_EQ(registry.FindGauge("g"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("h"), nullptr);
+  EXPECT_EQ(registry.trace().size(), 0u);
+  EXPECT_EQ(registry.trace().total_recorded(), 0u);
+}
+
+TEST(HistogramTest, ExactQuantiles) {
+  Histogram hist;
+  for (int i = 1; i <= 100; ++i) hist.Record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 100);
+  EXPECT_NEAR(hist.Percentile(50.0), 50.5, 0.01);
+  EXPECT_NEAR(hist.Percentile(99.0), 99.01, 0.1);
+  EXPECT_DOUBLE_EQ(hist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 100.0);
+  // Quantiles stay exact when recording continues after a query — the
+  // regression the PercentileTracker fix guarantees.
+  for (int i = 101; i <= 200; ++i) hist.Record(static_cast<double>(i));
+  EXPECT_NEAR(hist.Percentile(50.0), 100.5, 0.01);
+  EXPECT_DOUBLE_EQ(hist.max(), 200.0);
+}
+
+TEST(EventTraceTest, RecordsInOrder) {
+  EventTrace trace(8);
+  trace.Record(100, "a", "first", 1.0);
+  trace.Record(200, "b", "second", 2.0);
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at, 100);
+  EXPECT_EQ(events[0].kind, "a");
+  EXPECT_EQ(events[0].detail, "first");
+  EXPECT_EQ(events[1].at, 200);
+  EXPECT_DOUBLE_EQ(events[1].value, 2.0);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(EventTraceTest, RingWrapsAroundKeepingNewest) {
+  EventTrace trace(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.Record(i, "e", std::to_string(i));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first among the survivors: 6, 7, 8, 9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].at, 6 + i);
+    EXPECT_EQ(events[i].detail, std::to_string(6 + i));
+  }
+}
+
+TEST(EventTraceTest, WrapBoundaryExactCapacity) {
+  EventTrace trace(3);
+  trace.Record(1, "a");
+  trace.Record(2, "b");
+  trace.Record(3, "c");
+  EXPECT_EQ(trace.dropped(), 0u);
+  const auto full = trace.Events();
+  EXPECT_EQ(full.front().at, 1);
+  EXPECT_EQ(full.back().at, 3);
+  trace.Record(4, "d");  // evicts the oldest
+  const auto wrapped = trace.Events();
+  ASSERT_EQ(wrapped.size(), 3u);
+  EXPECT_EQ(wrapped.front().at, 2);
+  EXPECT_EQ(wrapped.back().at, 4);
+}
+
+TEST(ExportJsonTest, ShapeContainsAllSections) {
+  MetricsRegistry registry;
+  registry.Count("ops", 42);
+  registry.Set("loss_fraction", 0.5);
+  registry.Observe("lat_ns", 10.0);
+  registry.Observe("lat_ns", 20.0);
+  registry.trace().Record(123, "reconfig.step", "sw0: add table", 50.0);
+
+  const std::string json = ExportJson(registry, "unit");
+  EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ops\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"loss_fraction\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": 15"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"at_ns\": 123"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"reconfig.step\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_dropped\": 0"), std::string::npos);
+}
+
+TEST(ExportJsonTest, EscapesSpecialCharacters) {
+  MetricsRegistry registry;
+  registry.trace().Record(0, "k", "quote \" backslash \\ newline \n end");
+  const std::string json = ExportJson(registry, "esc");
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n end"),
+            std::string::npos);
+}
+
+TEST(ExportJsonTest, BalancedBracesAndValidNumbers) {
+  MetricsRegistry registry;
+  registry.Count("c", 1);
+  registry.Observe("h", 1.5);
+  const std::string json = ExportJson(registry, "balance");
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  // Empty histograms must not leak inf/nan into the JSON.
+  MetricsRegistry empty;
+  empty.HistogramNamed("never_recorded");
+  const std::string json2 = ExportJson(empty, "empty");
+  EXPECT_EQ(json2.find("inf"), std::string::npos);
+  EXPECT_EQ(json2.find("nan"), std::string::npos);
+}
+
+TEST(DefaultRegistryTest, IsSingletonAndResettable) {
+  Default().Reset();
+  Default().Count("x");
+  EXPECT_EQ(Default().FindCounter("x")->value(), 1u);
+  Default().Reset();
+  EXPECT_EQ(Default().FindCounter("x"), nullptr);
+}
+
+}  // namespace
+}  // namespace flexnet::telemetry
