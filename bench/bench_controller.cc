@@ -72,6 +72,8 @@ ClusterMetrics Measure(std::size_t nodes) {
 }
 
 void PrintExperiment() {
+  bench::BenchRun run("controller");
+  telemetry::MetricsRegistry& registry = run.metrics();
   bench::PrintHeader(
       "E10 (bench_controller): replicated controller consensus & "
       "availability",
@@ -81,11 +83,17 @@ void PrintExperiment() {
                   "commit_ms", "failover_ms", "consistent");
   for (const std::size_t nodes : {3u, 5u, 7u}) {
     const ClusterMetrics metrics = Measure(nodes);
+    const std::string prefix = "bench.n" + std::to_string(nodes);
+    registry.Set(prefix + ".election_ms_mean", metrics.election_ms.mean());
+    registry.Set(prefix + ".commit_ms_mean", metrics.commit_ms.mean());
+    registry.Set(prefix + ".failover_ms_mean", metrics.failover_ms.mean());
+    registry.Set(prefix + ".consistent", metrics.consistent ? 1.0 : 0.0);
     bench::PrintRow("%-8zu %-14.0f %-14.1f %-14.0f %-12s", nodes,
                     metrics.election_ms.mean(), metrics.commit_ms.mean(),
                     metrics.failover_ms.mean(),
                     metrics.consistent ? "yes" : "NO");
   }
+  run.Finish();
 }
 
 void BM_RaftElection3(benchmark::State& state) {

@@ -36,8 +36,8 @@ struct Setup {
 };
 
 void PrintExperiment() {
-  telemetry::MetricsRegistry& metrics = telemetry::Default();
-  metrics.Reset();
+  bench::BenchRun run("drpc");
+  telemetry::MetricsRegistry& metrics = run.metrics();
   bench::PrintHeader(
       "E7 (bench_drpc): in-band dRPC vs controller-mediated operations",
       "tenant datapaths reuse infrastructure utilities via data-plane RPC "
@@ -98,7 +98,7 @@ void PrintExperiment() {
   metrics.Set("bench.mediated_invoke_mean_ns", mediated.mean());
   metrics.Set("bench.inband_speedup", mediated.mean() / warm.mean());
   metrics.Count("bench.pipelined_completed", completed);
-  bench::EmitJson(metrics, "drpc");
+  run.Finish();
 }
 
 void BM_DrpcInvoke(benchmark::State& state) {

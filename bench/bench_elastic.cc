@@ -111,6 +111,8 @@ Outcome RunScenario(Posture posture, double attack_pps) {
 }
 
 void PrintExperiment() {
+  bench::BenchRun run("elastic");
+  telemetry::MetricsRegistry& metrics = run.metrics();
   bench::PrintHeader(
       "E8 (bench_elastic): defense elasticity vs attack intensity",
       "runtime-summoned defenses mitigate within ~100ms and release their "
@@ -126,6 +128,13 @@ void PrintExperiment() {
                              ? "none"
                              : (posture == Posture::kStatic ? "static"
                                                             : "elastic");
+      const std::string prefix = std::string("bench.") + name;
+      metrics.Count(prefix + ".attack_stopped", o.attack_stopped);
+      metrics.Count(prefix + ".benign_lost", o.benign_lost);
+      metrics.Observe(prefix + ".replica_ms", o.replica_ms);
+      if (o.mitigation_ms >= 0) {
+        metrics.Observe(prefix + ".mitigation_ms", o.mitigation_ms);
+      }
       bench::PrintRow("%-10s %-12.0f %-16llu %-12llu %-16.0f %-14.0f", name,
                       pps,
                       static_cast<unsigned long long>(o.attack_stopped),
@@ -133,6 +142,7 @@ void PrintExperiment() {
                       o.mitigation_ms, o.replica_ms);
     }
   }
+  run.Finish();
 }
 
 void BM_ElasticScenario(benchmark::State& state) {

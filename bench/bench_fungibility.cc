@@ -129,6 +129,8 @@ ChurnOutcome RunChurn(const std::string& kind, std::uint64_t seed) {
 }
 
 void PrintExperiment() {
+  bench::BenchRun run("fungibility");
+  telemetry::MetricsRegistry& metrics = run.metrics();
   bench::PrintHeader(
       "E3 (bench_fungibility): achievable utilization under churn per "
       "architecture",
@@ -144,9 +146,14 @@ void PrintExperiment() {
       util.Add(outcome.utilization_at_failure);
       defrags.Add(outcome.defrags);
     }
+    const std::string prefix = "bench." + kind;
+    metrics.Set(prefix + ".programs_placed_mean", placed.mean());
+    metrics.Set(prefix + ".utilization_at_fail_mean", util.mean());
+    metrics.Set(prefix + ".defrags_mean", defrags.mean());
     bench::PrintRow("%-12s %-16.1f %-22.2f %-8.1f", kind.c_str(),
                     placed.mean(), util.mean(), defrags.mean());
   }
+  run.Finish();
 }
 
 void BM_ChurnDrmt(benchmark::State& state) {

@@ -105,6 +105,8 @@ struct Fixture {
 };
 
 void PrintExperiment() {
+  bench::BenchRun run("incremental");
+  telemetry::MetricsRegistry& metrics = run.metrics();
   bench::PrintHeader(
       "E4 (bench_incremental): incremental vs full recompilation",
       "a small change compiles to a few adjacent ops, not a rebuild of "
@@ -133,6 +135,15 @@ void PrintExperiment() {
           arch::ReconfigOp::kAddTable);
       const SimDuration full_time =
           static_cast<SimDuration>(full->TotalOps()) * op_cost;
+      const std::string prefix = std::string("bench.") + Name(change);
+      metrics.Observe(prefix + ".inc_ops",
+                      static_cast<double>(inc->TotalOps()));
+      metrics.Observe(prefix + ".full_ops",
+                      static_cast<double>(full->TotalOps()));
+      metrics.Observe(prefix + ".inc_apply_ns",
+                      static_cast<double>(inc_time));
+      metrics.Observe(prefix + ".full_apply_ns",
+                      static_cast<double>(full_time));
       bench::PrintRow(
           "%-8d %-13s %-10zu %-12.2f %-10zu %-12.1f %-8.1fx", tables,
           Name(change), inc->TotalOps(), ToMillis(inc_time),
@@ -143,6 +154,7 @@ void PrintExperiment() {
                     static_cast<double>(inc->TotalOps()));
     }
   }
+  run.Finish();
 }
 
 void BM_IncrementalCompile(benchmark::State& state) {

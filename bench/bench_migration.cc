@@ -35,8 +35,7 @@ state::MigrationReport Run(bool dataplane, double rate,
 }
 
 void PrintExperiment() {
-  telemetry::MetricsRegistry& metrics = telemetry::Default();
-  metrics.Reset();
+  bench::BenchRun run("migration");
   bench::PrintHeader(
       "E6 (bench_migration): lossless in-dataplane migration vs "
       "control-plane copy",
@@ -65,8 +64,9 @@ void PrintExperiment() {
                     static_cast<unsigned long long>(report.updates_lost));
   }
   // The runner recorded migration.{control,dataplane}.* (chunk counts,
-  // update loss, duration percentiles, per-chunk trace events); export.
-  bench::EmitJson(metrics, "migration");
+  // update loss, duration percentiles, per-chunk trace events) plus the
+  // state.migration/state.chunk span tree; export both.
+  run.Finish();
 }
 
 void BM_DataplaneMigration(benchmark::State& state) {

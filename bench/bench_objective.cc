@@ -69,6 +69,8 @@ struct Slice {
 };
 
 void PrintExperiment() {
+  bench::BenchRun run("objective");
+  telemetry::MetricsRegistry& metrics = run.metrics();
   bench::PrintHeader(
       "E11 (bench_objective): compiler objectives beyond bin-packing",
       "fungible resources let the compiler optimize placement for "
@@ -91,6 +93,11 @@ void PrintExperiment() {
       if (name == "nic") ++nic;
       if (name == "switch") ++sw;
     }
+    const std::string prefix =
+        std::string("bench.") + compiler::ToString(objective);
+    metrics.Set(prefix + ".predicted_latency_ns",
+                static_cast<double>(r->predicted_latency));
+    metrics.Set(prefix + ".predicted_energy_nj", r->predicted_energy_nj);
     bench::PrintRow("%-12s %-14.2f %-14.1f %d/%d/%d",
                     compiler::ToString(objective),
                     ToMicros(r->predicted_latency), r->predicted_energy_nj,
@@ -100,6 +107,7 @@ void PrintExperiment() {
       "\nmin_latency packs the ASIC; min_energy avoids the host's "
       "nJ-per-packet cost; balanced spreads for headroom.  The reshuffle "
       "between objectives is itself a runtime reconfiguration (E1 costs).");
+  run.Finish();
 }
 
 void BM_CompileUnderObjective(benchmark::State& state) {

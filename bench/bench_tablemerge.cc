@@ -40,6 +40,8 @@ flexbpf::TableDecl TableWithEntries(const std::string& name,
 }
 
 void PrintExperiment() {
+  bench::BenchRun run("tablemerge");
+  telemetry::MetricsRegistry& metrics = run.metrics();
   bench::PrintHeader(
       "E5 (bench_tablemerge): cross-product memory vs lookup latency",
       "merging tables multiplies entries (memory) but removes one lookup "
@@ -60,6 +62,11 @@ void PrintExperiment() {
       const auto saved = [](const arch::Device& device) {
         return device.EstimateLatency(2) - device.EstimateLatency(1);
       };
+      metrics.Observe("bench.merged_rows",
+                      static_cast<double>(outcome->entries_after));
+      metrics.Observe("bench.memory_blowup", outcome->memory_blowup);
+      metrics.Observe("bench.drmt_saved_ns",
+                      static_cast<double>(saved(drmt)));
       bench::PrintRow("%-8zu %-8zu %-14zu %-10.1f %-14lld %-14lld %-14lld",
                       a, b, outcome->entries_after, outcome->memory_blowup,
                       static_cast<long long>(saved(drmt)),
@@ -71,6 +78,7 @@ void PrintExperiment() {
       "\nnote: RMT latency is stage-count-fixed, so merging buys RMT "
       "memory *stages*, not nanoseconds — the compiler only merges there "
       "when stages are the binding constraint.");
+  run.Finish();
 }
 
 void BM_Merge256x64(benchmark::State& state) {

@@ -126,6 +126,8 @@ ChurnReport RunChurn(double arrival_rate_hz, SimDuration horizon) {
 }
 
 void PrintExperiment() {
+  bench::BenchRun run("tenant");
+  telemetry::MetricsRegistry& metrics = run.metrics();
   bench::PrintHeader(
       "E9 (bench_tenant): tenant churn — arrivals, departures, isolation",
       "extensions deploy in milliseconds, cross-traffic loses nothing, "
@@ -135,6 +137,12 @@ void PrintExperiment() {
                   "deploy_p99ms", "peak_util", "end_util", "lost");
   for (const double rate : {5.0, 20.0, 50.0}) {
     const ChurnReport report = RunChurn(rate, 2 * kSecond);
+    metrics.Count("bench.admissions",
+                  static_cast<std::uint64_t>(report.admissions));
+    metrics.Count("bench.departures",
+                  static_cast<std::uint64_t>(report.departures));
+    metrics.Count("bench.packets_lost", report.packets_lost);
+    metrics.Observe("bench.peak_utilization", report.peak_utilization);
     bench::PrintRow("%-12.0f %-8d %-8d %-12.1f %-12.1f %-10.2f %-10.2f %-8llu",
                     rate, report.admissions, report.departures,
                     report.deploy_ms.Percentile(50),
@@ -144,6 +152,7 @@ void PrintExperiment() {
   }
   bench::PrintRow("\n(deploy latency is dominated by per-op reconfig cost "
                   "of the target architecture; loss must be 0)");
+  run.Finish();
 }
 
 void BM_TenantChurn(benchmark::State& state) {

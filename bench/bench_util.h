@@ -1,12 +1,17 @@
 // Shared helpers for the experiment benches.  Each bench binary prints
 // the series recorded in EXPERIMENTS.md as an aligned text table; benches
 // with a wall-clock dimension additionally register google-benchmark
-// timings, and benches wired into telemetry emit a machine-readable
-// BENCH_<name>.json blob (schema in EXPERIMENTS.md).
+// timings.  All benches share one record/export path: a BenchRun resets
+// the process registry up front, the bench Observe()/Count()/Set()s its
+// series into it, and Finish() emits the machine-readable BENCH_<name>.json
+// blob plus — when causal spans were recorded — the Chrome-trace
+// TRACE_<name>.json flight-recorder dump and a per-phase latency table
+// (schema in EXPERIMENTS.md, span taxonomy in docs/TRACING.md).
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -30,6 +35,13 @@ inline void PrintRow(const char* format, ...) {
   std::printf("\n");
 }
 
+// True when FLEXNET_BENCH_SMOKE is set: benches shrink their sweeps to one
+// cheap data point so CI can validate the output plumbing in seconds.
+inline bool SmokeMode() {
+  const char* smoke = std::getenv("FLEXNET_BENCH_SMOKE");
+  return smoke != nullptr && smoke[0] != '\0' && smoke[0] != '0';
+}
+
 // Prints the registry's JSON blob and writes it to BENCH_<name>.json in
 // the working directory, so results are machine-readable alongside the
 // human tables.
@@ -46,5 +58,57 @@ inline void EmitJson(const telemetry::MetricsRegistry& registry,
                  written.error().ToText().c_str());
   }
 }
+
+// Phase-attribution table: per-span-name p50/p99/total over the tracer's
+// flight recorder, plus how much of the root reconfig spans' time the
+// child spans account for (the >= 90% attribution target).
+inline void PrintSpanRollup(const telemetry::MetricsRegistry& registry) {
+  const auto rollups = telemetry::RollupSpans(registry.tracer());
+  if (rollups.empty()) return;
+  std::printf("\n--- phase attribution (sim-time spans) ---\n");
+  PrintRow("%-26s %-8s %-12s %-12s %-12s", "span", "count", "p50_ms",
+           "p99_ms", "total_ms");
+  for (const telemetry::SpanRollup& r : rollups) {
+    PrintRow("%-26s %-8lld %-12.3f %-12.3f %-12.3f", r.name.c_str(),
+             static_cast<long long>(r.count), r.p50_ns / 1e6, r.p99_ns / 1e6,
+             r.total_ns / 1e6);
+  }
+  PrintRow("root-span child coverage: %.1f%%",
+           100.0 * telemetry::ChildCoverage(registry.tracer()));
+}
+
+// One bench's registry lifecycle.  Construction resets the process-wide
+// registry (per-bench isolation); Finish() prints the phase table and
+// emits BENCH_<name>.json (+ TRACE_<name>.json when spans exist).
+class BenchRun {
+ public:
+  explicit BenchRun(std::string name) : name_(std::move(name)) {
+    telemetry::Default().Reset();
+  }
+
+  telemetry::MetricsRegistry& metrics() { return telemetry::Default(); }
+  const std::string& name() const { return name_; }
+
+  void Finish() {
+    telemetry::MetricsRegistry& registry = metrics();
+    PrintSpanRollup(registry);
+    EmitJson(registry, name_);
+    if (registry.tracer().total_started() > 0) {
+      const Status written = telemetry::WriteChromeTrace(registry.tracer(),
+                                                         name_);
+      if (written.ok()) {
+        std::printf("(trace written to TRACE_%s.json — load in "
+                    "chrome://tracing or Perfetto)\n",
+                    name_.c_str());
+      } else {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     written.error().ToText().c_str());
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+};
 
 }  // namespace flexnet::bench

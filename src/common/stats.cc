@@ -39,6 +39,25 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+PercentileTracker::PercentileTracker(std::size_t max_samples)
+    : max_samples_(std::max<std::size_t>(1, max_samples)) {}
+
+void PercentileTracker::Add(double x) {
+  ++total_;
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(x);
+    sorted_ = false;  // a sorted vector with one value appended is not sorted
+    return;
+  }
+  // Reservoir step (Algorithm R): keep the new sample with probability
+  // cap/total, replacing a uniformly random resident.
+  const std::uint64_t slot = rng_.NextBounded(total_);
+  if (slot < max_samples_) {
+    samples_[static_cast<std::size_t>(slot)] = x;
+    sorted_ = false;
+  }
+}
+
 double PercentileTracker::Percentile(double p) const {
   if (samples_.empty()) return 0.0;
   if (!sorted_) {

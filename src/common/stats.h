@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+
 namespace flexnet {
 
 // Welford-style running mean/variance plus min/max.
@@ -31,21 +33,33 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-// Exact-percentile accumulator: stores samples, sorts on demand.  Fine for
-// the sample counts our benches produce (<= millions).
+// Percentile accumulator with bounded memory.  Exact (sample-stored,
+// interpolated) up to `max_samples`; past the cap it switches to uniform
+// reservoir sampling (Vitter's Algorithm R), so a long-running bench holds
+// a fixed-size unbiased sample instead of growing without bound.  The
+// reservoir index stream is deterministic (fixed-seed splitmix64) so runs
+// stay reproducible.
 class PercentileTracker {
  public:
-  void Add(double x) {
-    samples_.push_back(x);
-    sorted_ = false;  // a sorted vector with one value appended is not sorted
-  }
+  static constexpr std::size_t kDefaultMaxSamples = 1 << 16;
+
+  explicit PercentileTracker(std::size_t max_samples = kDefaultMaxSamples);
+
+  void Add(double x);
+  // Samples held (<= max cap); total() is every Add() ever seen.
   std::size_t count() const noexcept { return samples_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t max_samples() const noexcept { return max_samples_; }
+  bool exact() const noexcept { return total_ <= max_samples_; }
 
   // p in [0, 100].  Returns 0 when empty.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
 
  private:
+  std::size_t max_samples_;
+  std::uint64_t total_ = 0;
+  Rng rng_;  // fixed seed: reservoir choices are reproducible
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
 };

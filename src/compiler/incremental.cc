@@ -121,16 +121,30 @@ Result<IncrementalResult> IncrementalCompiler::Recompile(
     const flexbpf::ProgramIR& before, const flexbpf::ProgramIR& after,
     const CompiledProgram& existing,
     const std::vector<runtime::ManagedDevice*>& slice) {
+  telemetry::Tracer& tracer = metrics_->tracer();
+  telemetry::ScopedSpan recompile_span(&tracer, "compiler.incremental",
+                                       after.name);
+
   // Verify the *new* program before computing anything.
   flexbpf::ProgramIR verified = after;
-  flexbpf::Verifier verifier;
-  FLEXNET_RETURN_IF_ERROR([&]() -> Status {
-    auto r = verifier.Verify(verified);
-    if (!r.ok()) return r.error();
-    return OkStatus();
-  }());
+  {
+    telemetry::ScopedSpan verify_span(&tracer, "compiler.verify", after.name);
+    flexbpf::Verifier verifier;
+    FLEXNET_RETURN_IF_ERROR([&]() -> Status {
+      auto r = verifier.Verify(verified);
+      if (!r.ok()) return r.error();
+      return OkStatus();
+    }());
+  }
 
+  telemetry::ScopedSpan diff_span(&tracer, "compiler.diff", after.name);
   const ProgramDelta delta = DiffPrograms(before, verified);
+  diff_span.Annotate("structural",
+                     std::to_string(delta.StructuralChangeCount()));
+  diff_span.Annotate("entries", std::to_string(delta.EntryChangeCount()));
+  diff_span.End();
+
+  telemetry::ScopedSpan plan_span(&tracer, "compiler.plan", after.name);
 
   IncrementalResult result;
   result.compiled.program_name = verified.name;
@@ -378,6 +392,11 @@ Result<IncrementalResult> IncrementalCompiler::Recompile(
       ++result.entry_ops;
     }
   }
+
+  plan_span.Annotate("structural_ops", std::to_string(result.structural_ops));
+  plan_span.Annotate("entry_ops", std::to_string(result.entry_ops));
+  plan_span.Annotate("moved_elements", std::to_string(result.moved_elements));
+  plan_span.End();
 
   result.compiled.placements = std::move(placements);
   result.compiled.plans = result.plans;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "compiler/compile.h"
+#include "telemetry/telemetry.h"
 
 namespace flexnet::compiler {
 
@@ -62,8 +63,13 @@ struct IncrementalResult {
 
 class IncrementalCompiler {
  public:
-  explicit IncrementalCompiler(CompileOptions options = {})
-      : options_(options) {}
+  // Recompile() records causal spans (compiler.incremental with
+  // verify/diff/plan children) into `metrics`'s tracer (the process
+  // Default() registry when null).
+  explicit IncrementalCompiler(CompileOptions options = {},
+                               telemetry::MetricsRegistry* metrics = nullptr)
+      : options_(options),
+        metrics_(metrics ? metrics : &telemetry::Default()) {}
 
   // `existing` is the placement book from the previous (applied) compile of
   // `before`.  Devices in `slice` hold the old program's resources.
@@ -74,6 +80,7 @@ class IncrementalCompiler {
 
  private:
   CompileOptions options_;
+  telemetry::MetricsRegistry* metrics_;
 };
 
 // Baseline: removal plans for the old program plus a fresh compile of the

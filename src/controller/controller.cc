@@ -35,6 +35,12 @@ std::vector<runtime::ManagedDevice*> Controller::AllDevices() const {
 Result<SimTime> Controller::ApplyPlansConsistently(
     const std::unordered_map<DeviceId, runtime::ReconfigPlan>& plans) {
   if (plans.empty()) return network_->simulator()->now();
+  // Scoped span covering both phases; engine plan spans (including the
+  // edge-phase ones scheduled below, which fire inside RunUntil while this
+  // scope is still open) nest under it.
+  telemetry::ScopedSpan apply_span(&metrics_->tracer(),
+                                   "controller.apply_plans");
+  apply_span.Annotate("devices", std::to_string(plans.size()));
   // Two-phase ordering: devices with more links (interior/fabric) update
   // first; edge devices (hosts/NICs, where traffic enters) flip last.
   // Within our latency model plans run concurrently per device, so we
@@ -107,11 +113,19 @@ Result<DeployOutcome> Controller::DeployApp(
   }
   if (slice.empty()) slice = AllDevices();
   const SimTime deploy_started = network_->simulator()->now();
+  telemetry::ScopedSpan deploy_span(&metrics_->tracer(), deploy_started,
+                                    "controller.deploy", uri);
   compiler::Compiler compiler(options_);
+  telemetry::ScopedSpan compile_span(&metrics_->tracer(), "compiler.compile",
+                                     uri);
   FLEXNET_ASSIGN_OR_RETURN(compiler::CompiledProgram compiled,
                            compiler.Compile(program, slice));
+  compile_span.Annotate("plan_ops", std::to_string(compiled.TotalPlanOps()));
+  compile_span.End();
   FLEXNET_ASSIGN_OR_RETURN(const SimTime ready,
                            ApplyPlansConsistently(compiled.plans));
+  deploy_span.Annotate("devices", std::to_string(slice.size()));
+  deploy_span.EndAt(ready);
   AppRecord record;
   record.id = app_ids_.Next();
   record.uri = uri;
@@ -143,13 +157,19 @@ Result<DeployOutcome> Controller::UpdateApp(const std::string& uri,
     return NotFound("running app '" + uri + "'");
   }
   const SimTime update_started = network_->simulator()->now();
-  compiler::IncrementalCompiler incremental(options_);
+  telemetry::ScopedSpan update_span(&metrics_->tracer(), update_started,
+                                    "controller.update", uri);
+  compiler::IncrementalCompiler incremental(options_, metrics_);
   FLEXNET_ASSIGN_OR_RETURN(
       compiler::IncrementalResult result,
       incremental.Recompile(it->second.program, new_program,
                             it->second.compiled, AllDevices()));
   FLEXNET_ASSIGN_OR_RETURN(const SimTime ready,
                            ApplyPlansConsistently(result.plans));
+  update_span.Annotate("structural_ops",
+                       std::to_string(result.structural_ops));
+  update_span.Annotate("entry_ops", std::to_string(result.entry_ops));
+  update_span.EndAt(ready);
   it->second.program = std::move(new_program);
   it->second.compiled = std::move(result.compiled);
 
@@ -168,6 +188,8 @@ Status Controller::RetireApp(const std::string& uri) {
   if (it == apps_.end() || it->second.state != AppState::kRunning) {
     return NotFound("running app '" + uri + "'");
   }
+  telemetry::ScopedSpan retire_span(&metrics_->tracer(), "controller.retire",
+                                    uri);
   const auto plans =
       compiler::MakeRemovalPlans(it->second.program, it->second.compiled);
   FLEXNET_RETURN_IF_ERROR([&]() -> Status {
@@ -175,6 +197,7 @@ Status Controller::RetireApp(const std::string& uri) {
     if (!r.ok()) return r.error();
     return OkStatus();
   }());
+  retire_span.End();
   it->second.state = AppState::kRetired;
   apps_.erase(it);
   metrics_->Count("controller.retires");
@@ -194,6 +217,10 @@ Status Controller::MigrateApp(const std::string& uri, DeviceId from,
     return NotFound("migration endpoint device");
   }
   AppRecord& record = it->second;
+  telemetry::ScopedSpan migrate_span(&metrics_->tracer(),
+                                     "controller.migrate", uri);
+  migrate_span.Annotate("from", src->name());
+  migrate_span.Annotate("to", dst->name());
 
   // Build the per-element move: install on `to`, migrate state, remove
   // from `from`.  Installation first so the destination can dual-apply.
@@ -251,13 +278,18 @@ Status Controller::MigrateApp(const std::string& uri, DeviceId from,
     return OkStatus();
   }());
   // Data-plane state migration per map (lossless; E6's protocol).
-  for (const std::string& map_name : moved_maps) {
-    state::EncodedMap* source = src->maps().Find(map_name);
-    state::EncodedMap* destination = dst->maps().Find(map_name);
-    if (source == nullptr || destination == nullptr) {
-      return Internal("migrated map '" + map_name + "' missing an endpoint");
+  {
+    telemetry::ScopedSpan copy_span(&metrics_->tracer(), "state.copy_maps",
+                                    uri);
+    copy_span.Annotate("maps", std::to_string(moved_maps.size()));
+    for (const std::string& map_name : moved_maps) {
+      state::EncodedMap* source = src->maps().Find(map_name);
+      state::EncodedMap* destination = dst->maps().Find(map_name);
+      if (source == nullptr || destination == nullptr) {
+        return Internal("migrated map '" + map_name + "' missing an endpoint");
+      }
+      destination->Import(source->Export());
     }
-    destination->Import(source->Export());
   }
   std::unordered_map<DeviceId, runtime::ReconfigPlan> remove_plans;
   remove_plans.emplace(from, std::move(remove));

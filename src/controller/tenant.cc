@@ -21,11 +21,17 @@ Result<TenantRecord> TenantManager::AdmitTenant(
   tenant_ext.program = extension;
 
   telemetry::MetricsRegistry* metrics = controller_->metrics();
+  telemetry::ScopedSpan admit_span(&metrics->tracer(), "tenant.admit", name);
+  admit_span.Annotate("vlan", std::to_string(vlan));
   last_report_ = compiler::ComposeReport{};
+  telemetry::ScopedSpan rewrite_span(&metrics->tracer(), "compiler.compose",
+                                     name);
   auto rewritten = compiler::RewriteTenantProgram(tenant_ext, &last_report_);
+  rewrite_span.End();
   if (!rewritten.ok()) {
     free_vlans_.push_back(vlan);
     metrics->Count("controller.tenant_rejects");
+    admit_span.Annotate("rejected", rewritten.error().ToText());
     return rewritten.error();
   }
 
@@ -35,6 +41,7 @@ Result<TenantRecord> TenantManager::AdmitTenant(
   if (!deployed.ok()) {
     free_vlans_.push_back(vlan);
     metrics->Count("controller.tenant_rejects");
+    admit_span.Annotate("rejected", deployed.error().ToText());
     return deployed.error();
   }
 
@@ -55,6 +62,8 @@ Result<TenantRecord> TenantManager::AdmitTenant(
 Status TenantManager::RemoveTenant(const std::string& name) {
   const auto it = tenants_.find(name);
   if (it == tenants_.end()) return NotFound("tenant '" + name + "'");
+  telemetry::ScopedSpan remove_span(&controller_->metrics()->tracer(),
+                                    "tenant.remove", name);
   FLEXNET_RETURN_IF_ERROR(controller_->RetireApp(it->second.app_uri));
   free_vlans_.push_back(it->second.vlan);
   tenants_.erase(it);

@@ -58,6 +58,12 @@ void Client::Invoke(const std::string& service, Message request, DoneFn done) {
   sim::Simulator* sim = network_->simulator();
   telemetry::MetricsRegistry* metrics = metrics_;
   SimDuration discovery = 0;
+  // Link the invoke span to the operation that issued it (the caller's
+  // open scope *now* — by completion time the scope stack belongs to
+  // someone else).
+  const SimTime issued = sim->now();
+  const telemetry::SpanId invoke_span = metrics->tracer().StartSpan(
+      issued, "drpc.invoke", service, metrics->tracer().current());
   const auto fail = [&](std::string error, const char* cause) {
     InvokeOutcome outcome;
     outcome.error = std::move(error);
@@ -66,6 +72,8 @@ void Client::Invoke(const std::string& service, Message request, DoneFn done) {
     metrics->Count(cause);
     metrics->trace().Record(sim->now(), "drpc.invoke_fail",
                             service + ": " + outcome.error);
+    metrics->tracer().Annotate(invoke_span, "error", outcome.error);
+    metrics->tracer().EndSpan(invoke_span, sim->now() + discovery);
     sim->Schedule(discovery, [outcome, done]() { done(outcome); });
   };
 
@@ -109,12 +117,14 @@ void Client::Invoke(const std::string& service, Message request, DoneFn done) {
   }
   if (discovery > 0) {
     metrics->Observe("drpc.discovery_ns", static_cast<double>(discovery));
+    metrics->tracer().RecordSpan(issued, issued + discovery,
+                                 "drpc.discovery", service, invoke_span);
   }
   const SimDuration total =
       discovery + 2 * path.value() + info->handler_latency;
   Handler handler_copy = *handler;
   sim->Schedule(total, [handler_copy, request = std::move(request), total,
-                        done, metrics, sim, service]() {
+                        done, metrics, sim, service, invoke_span]() {
     InvokeOutcome result;
     result.latency = total;
     const auto response = handler_copy(request);
@@ -130,6 +140,10 @@ void Client::Invoke(const std::string& service, Message request, DoneFn done) {
     metrics->Observe("drpc.invoke_ns", static_cast<double>(total));
     metrics->trace().Record(sim->now(), "drpc.invoke", service,
                             static_cast<double>(total));
+    if (!result.ok) {
+      metrics->tracer().Annotate(invoke_span, "error", result.error);
+    }
+    metrics->tracer().EndSpan(invoke_span, sim->now());
     done(result);
   });
 }
@@ -150,8 +164,11 @@ void Client::InvokeViaController(const std::string& service, Message request,
   const SimDuration total = 2 * control_rtt + software_cost;
   Handler handler_copy = *handler;
   telemetry::MetricsRegistry* metrics = metrics_;
+  const telemetry::SpanId invoke_span = metrics->tracer().StartSpan(
+      sim->now(), "drpc.controller_invoke", service,
+      metrics->tracer().current());
   sim->Schedule(total, [handler_copy, request = std::move(request), total,
-                        done, metrics, sim, service]() {
+                        done, metrics, sim, service, invoke_span]() {
     InvokeOutcome result;
     result.latency = total;
     const auto response = handler_copy(request);
@@ -165,6 +182,7 @@ void Client::InvokeViaController(const std::string& service, Message request,
     metrics->Observe("drpc.controller_invoke_ns", static_cast<double>(total));
     metrics->trace().Record(sim->now(), "drpc.controller_invoke", service,
                             static_cast<double>(total));
+    metrics->tracer().EndSpan(invoke_span, sim->now());
     done(result);
   });
 }

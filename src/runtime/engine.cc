@@ -10,29 +10,43 @@ SimTime RuntimeEngine::ApplyRuntime(ManagedDevice& dev, ReconfigPlan plan,
   report->started = sim_->now();
   SimDuration cumulative = 0;
   telemetry::MetricsRegistry* metrics = metrics_;
+  // One span per plan (parented under the caller's open scope, e.g.
+  // controller.apply_plans), one child span per step: the step's span is
+  // the [previous step done, this step done] interval the plan's total
+  // decomposes into.
+  const telemetry::SpanId plan_span = metrics->tracer().StartSpan(
+      report->started, "runtime.apply_plan", dev.name());
+  metrics->tracer().Annotate(plan_span, "steps",
+                             std::to_string(plan.steps.size()));
   for (const ReconfigStep& plan_step : plan.steps) {
     const bool is_entry = std::holds_alternative<StepAddEntry>(plan_step) ||
                           std::holds_alternative<StepRemoveEntry>(plan_step);
     const SimDuration step_cost =
         is_entry ? 20 * kMicrosecond
                  : dev.device().ReconfigCost(OpClassOf(plan_step));
+    const SimTime step_begin = report->started + cumulative;
     cumulative += step_cost;
     ManagedDevice* device = &dev;
     sim::Simulator* sim = sim_;
     sim_->Schedule(cumulative, [device, step = plan_step, report, metrics,
-                                sim, step_cost]() {
+                                sim, step_cost, step_begin, plan_span]() {
       const Status status = device->ApplyStep(step);
       metrics->Observe("runtime.step_apply_ns",
                        static_cast<double>(step_cost));
       metrics->trace().Record(sim->now(), "reconfig.step",
                               device->name() + ": " + ToText(step),
                               static_cast<double>(step_cost));
+      const telemetry::SpanId step_span = metrics->tracer().RecordSpan(
+          step_begin, sim->now(), "runtime.step",
+          device->name() + ": " + ToText(step), plan_span);
       if (status.ok()) {
         ++report->steps_applied;
         metrics->Count("runtime.steps_applied");
       } else {
         ++report->steps_failed;
         metrics->Count("runtime.steps_failed");
+        metrics->tracer().Annotate(step_span, "error",
+                                   status.error().ToText());
         report->errors.push_back(ToText(step) + ": " +
                                  status.error().ToText());
       }
@@ -41,11 +55,12 @@ SimTime RuntimeEngine::ApplyRuntime(ManagedDevice& dev, ReconfigPlan plan,
   const SimTime finish = sim_->now() + cumulative;
   auto report_capture = report;
   sim_->ScheduleAt(finish, [report_capture, done, finish, metrics,
-                            cumulative]() {
+                            cumulative, plan_span]() {
     report_capture->finished = finish;
     metrics->Count("runtime.plans_applied");
     metrics->Observe("runtime.plan_apply_ns",
                      static_cast<double>(cumulative));
+    metrics->tracer().EndSpan(plan_span, finish);
     if (done) done(*report_capture);
   });
   return finish;
@@ -63,9 +78,17 @@ SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
   metrics->Observe("runtime.drain_window_ns", static_cast<double>(window));
   metrics->trace().Record(sim_->now(), "reconfig.drain_begin", dev.name(),
                           static_cast<double>(window));
+  const telemetry::SpanId drain_span = metrics->tracer().StartSpan(
+      sim_->now(), "runtime.drain", dev.name());
+  metrics->tracer().Annotate(drain_span, "steps",
+                             std::to_string(plan.steps.size()));
+  // The drain window is one opaque reflash: offline, rewrite the full
+  // pipeline image, reboot.  Known up front, so record it immediately.
+  metrics->tracer().RecordSpan(report->started, finish, "runtime.reflash",
+                               dev.name(), drain_span);
   ManagedDevice* device = &dev;
   sim_->ScheduleAt(finish, [device, plan = std::move(plan), report, done,
-                            finish, metrics]() {
+                            finish, metrics, drain_span]() {
     for (const ReconfigStep& step : plan.steps) {
       const Status status = device->ApplyStep(step);
       if (status.ok()) {
@@ -80,6 +103,7 @@ SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
     device->device().set_online(true);
     metrics->trace().Record(finish, "reconfig.drain_end", device->name(),
                             static_cast<double>(report->steps_applied));
+    metrics->tracer().EndSpan(drain_span, finish);
     report->finished = finish;
     if (done) done(*report);
   });

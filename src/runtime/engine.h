@@ -39,10 +39,14 @@ struct ApplyReport {
 class RuntimeEngine {
  public:
   // Records per-step apply latency, failed steps, and drain windows into
-  // `metrics` (the process Default() registry when null).
+  // `metrics` (the process Default() registry when null), and causal spans
+  // (runtime.apply_plan > runtime.step, runtime.drain) into its tracer,
+  // whose clock is pointed at `sim` so scoped spans read sim time.
   explicit RuntimeEngine(sim::Simulator* sim,
                          telemetry::MetricsRegistry* metrics = nullptr)
-      : sim_(sim), metrics_(metrics ? metrics : &telemetry::Default()) {}
+      : sim_(sim), metrics_(metrics ? metrics : &telemetry::Default()) {
+    metrics_->tracer().set_clock([sim] { return sim->now(); });
+  }
 
   using DoneFn = std::function<void(const ApplyReport&)>;
 

@@ -37,6 +37,15 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
   telemetry::MetricsRegistry* metrics = metrics_;
   const std::string prefix =
       dataplane ? "migration.dataplane" : "migration.control";
+  // Root span for the whole migration (nests under controller.migrate when
+  // a controller drives it); each chunk copy is a child covering its
+  // channel-latency window.
+  const telemetry::SpanId migration_span = metrics->tracer().StartSpan(
+      start, "state.migration", prefix);
+  metrics->tracer().Annotate(migration_span, "keys",
+                             std::to_string(key_space));
+  metrics->tracer().Annotate(migration_span, "chunk_keys",
+                             std::to_string(chunk_keys));
 
   // Live update stream.  The tick reschedules a *copy* of itself, so every
   // pending event owns its closure — nothing dangles after Run returns.
@@ -78,6 +87,7 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
     std::string cell;
     telemetry::MetricsRegistry* metrics;
     std::string prefix;
+    telemetry::SpanId migration_span;
 
     void operator()() const {
       const std::size_t begin = live->next_chunk_start;
@@ -91,6 +101,13 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
                               prefix + " keys [" + std::to_string(begin) +
                                   "," + std::to_string(end) + ")",
                               static_cast<double>(end - begin));
+      // The chunk's span is its channel window: scheduled `latency` ago,
+      // landing now.
+      metrics->tracer().RecordSpan(sim->now() - latency, sim->now(),
+                                   "state.chunk",
+                                   "keys [" + std::to_string(begin) + "," +
+                                       std::to_string(end) + ")",
+                                   migration_span);
       if (end < key_space) {
         sim->Schedule(latency, *this);
       } else {
@@ -100,7 +117,7 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
   };
   sim->Schedule(chunk_latency, CopyChunk{sim, src, dst, live, chunk_latency,
                                          key_space, chunk_keys, cell,
-                                         metrics, prefix});
+                                         metrics, prefix, migration_span});
 
   // Drive the simulation until cutover.
   while (!live->done && sim->Step()) {
@@ -116,6 +133,11 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
   }
   report.updates_lost = lost;
   report.consistent = lost == 0;
+  metrics->tracer().Annotate(migration_span, "updates_total",
+                             std::to_string(report.updates_total));
+  metrics->tracer().Annotate(migration_span, "updates_lost",
+                             std::to_string(report.updates_lost));
+  metrics->tracer().EndSpan(migration_span, sim_->now());
   metrics->Count(prefix + ".runs");
   metrics->Count(prefix + ".updates_generated", report.updates_total);
   metrics->Count(prefix + ".updates_lost", report.updates_lost);

@@ -65,6 +65,7 @@ void MetricsRegistry::Reset() {
   gauges_.clear();
   histograms_.clear();
   trace_.Clear();
+  tracer_.Clear();
 }
 
 MetricsRegistry& Default() {
@@ -177,8 +178,32 @@ std::string ExportJson(const MetricsRegistry& registry,
     out += "}";
   }
   out += first ? "],\n" : "\n  ],\n";
+  out += "  \"events_total_recorded\": " +
+         std::to_string(registry.trace().total_recorded()) + ",\n";
   out += "  \"events_dropped\": " +
-         std::to_string(registry.trace().dropped()) + "\n}\n";
+         std::to_string(registry.trace().dropped()) + ",\n";
+  out += "  \"spans\": {";
+  first = true;
+  for (const SpanRollup& rollup : RollupSpans(registry.tracer())) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(out, rollup.name);
+    out += ": {\"count\": " + std::to_string(rollup.count);
+    out += ", \"total_ns\": ";
+    AppendNumber(out, rollup.total_ns);
+    out += ", \"p50_ns\": ";
+    AppendNumber(out, rollup.p50_ns);
+    out += ", \"p99_ns\": ";
+    AppendNumber(out, rollup.p99_ns);
+    out += ", \"max_ns\": ";
+    AppendNumber(out, rollup.max_ns);
+    out += "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"spans_total_started\": " +
+         std::to_string(registry.tracer().total_started()) + ",\n";
+  out += "  \"spans_dropped\": " +
+         std::to_string(registry.tracer().dropped()) + "\n}\n";
   return out;
 }
 

@@ -28,6 +28,7 @@
 #include "common/result.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "telemetry/trace.h"
 
 namespace flexnet::telemetry {
 
@@ -118,6 +119,8 @@ class MetricsRegistry {
   }
   EventTrace& trace() noexcept { return trace_; }
   const EventTrace& trace() const noexcept { return trace_; }
+  Tracer& tracer() noexcept { return tracer_; }
+  const Tracer& tracer() const noexcept { return tracer_; }
 
   // Lookup without creating; nullptr when absent.
   const Counter* FindCounter(const std::string& name) const;
@@ -152,6 +155,7 @@ class MetricsRegistry {
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
   EventTrace trace_;
+  Tracer tracer_;
 };
 
 // Process-wide registry.  Components record here unless given their own;
@@ -163,7 +167,11 @@ MetricsRegistry& Default();
 // {"bench": name, "counters": {...}, "gauges": {...},
 //  "histograms": {name: {count, mean, min, max, p50, p90, p99}},
 //  "events": [{at_ns, kind, detail, value}, ...],
-//  "events_dropped": N}
+//  "events_total_recorded": N, "events_dropped": N,
+//  "spans": {name: {count, total_ns, p50_ns, p99_ns, max_ns}},
+//  "spans_total_started": N, "spans_dropped": N}
+// The "spans" section is the per-phase latency rollup over the registry's
+// Tracer (sub-second reconfig as a per-phase budget, not one number).
 std::string ExportJson(const MetricsRegistry& registry,
                        const std::string& bench_name);
 

@@ -1,0 +1,270 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace flexnet::telemetry {
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+Span* Tracer::Slot(SpanId id) noexcept {
+  if (id == kNoSpan || id >= next_id_) return nullptr;
+  const std::size_t slot = static_cast<std::size_t>((id - 1) % capacity_);
+  if (slot >= ring_.size()) return nullptr;
+  Span& span = ring_[slot];
+  return span.id == id ? &span : nullptr;  // overwritten spans are gone
+}
+
+SpanId Tracer::StartSpan(SimTime at, std::string name, std::string detail) {
+  return StartSpan(at, std::move(name), std::move(detail), current());
+}
+
+SpanId Tracer::StartSpan(SimTime at, std::string name, std::string detail,
+                         SpanId parent) {
+  const SpanId id = next_id_++;
+  Span span;
+  span.id = id;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.detail = std::move(detail);
+  span.begin = at;
+  span.end = at;
+  span.open = true;
+  const std::size_t slot = static_cast<std::size_t>((id - 1) % capacity_);
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(span);
+  } else {
+    ring_.push_back(std::move(span));
+  }
+  return id;
+}
+
+void Tracer::EndSpan(SpanId id, SimTime at) {
+  Span* span = Slot(id);
+  if (span == nullptr || !span->open) return;
+  span->end = std::max(at, span->begin);
+  span->open = false;
+}
+
+void Tracer::Annotate(SpanId id, std::string key, std::string value) {
+  Span* span = Slot(id);
+  if (span == nullptr) return;
+  span->annotations.push_back({std::move(key), std::move(value)});
+}
+
+SpanId Tracer::RecordSpan(SimTime begin, SimTime end, std::string name,
+                          std::string detail, SpanId parent) {
+  const SpanId id =
+      StartSpan(begin, std::move(name), std::move(detail), parent);
+  EndSpan(id, end);
+  return id;
+}
+
+std::vector<Span> Tracer::Spans() const {
+  std::vector<Span> out(ring_.begin(), ring_.end());
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.id < b.id; });
+  return out;
+}
+
+const Span* Tracer::Find(SpanId id) const noexcept {
+  return const_cast<Tracer*>(this)->Slot(id);
+}
+
+void Tracer::Clear() {
+  ring_.clear();
+  next_id_ = 1;
+  stack_.clear();
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string name, std::string detail)
+    : ScopedSpan(tracer, tracer != nullptr ? tracer->now() : 0,
+                 std::move(name), std::move(detail)) {}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, SimTime at, std::string name,
+                       std::string detail)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) {
+    ended_ = true;
+    return;
+  }
+  id_ = tracer_->StartSpan(at, std::move(name), std::move(detail));
+  tracer_->stack_.push_back(id_);
+}
+
+ScopedSpan::~ScopedSpan() { End(); }
+
+void ScopedSpan::Annotate(std::string key, std::string value) {
+  if (tracer_ != nullptr && !ended_) {
+    tracer_->Annotate(id_, std::move(key), std::move(value));
+  }
+}
+
+void ScopedSpan::End() {
+  if (tracer_ != nullptr && !ended_) EndAt(tracer_->now());
+}
+
+void ScopedSpan::EndAt(SimTime at) {
+  if (tracer_ == nullptr || ended_) return;
+  ended_ = true;
+  tracer_->EndSpan(id_, at);
+  // Pop this span (normally the top; a mid-stack erase only happens when
+  // scopes are ended out of construction order, which RAII prevents).
+  auto& stack = tracer_->stack_;
+  const auto it = std::find(stack.rbegin(), stack.rend(), id_);
+  if (it != stack.rend()) stack.erase(std::next(it).base());
+}
+
+std::vector<SpanRollup> RollupSpans(const Tracer& tracer) {
+  std::map<std::string, std::vector<double>> by_name;
+  for (const Span& span : tracer.Spans()) {
+    if (span.open) continue;
+    by_name[span.name].push_back(static_cast<double>(span.duration()));
+  }
+  std::vector<SpanRollup> rollups;
+  rollups.reserve(by_name.size());
+  for (auto& [name, durations] : by_name) {
+    std::sort(durations.begin(), durations.end());
+    const auto pct = [&](double p) {
+      const double rank =
+          p / 100.0 * static_cast<double>(durations.size() - 1);
+      const std::size_t lo = static_cast<std::size_t>(rank);
+      const std::size_t hi = std::min(lo + 1, durations.size() - 1);
+      const double frac = rank - static_cast<double>(lo);
+      return durations[lo] * (1.0 - frac) + durations[hi] * frac;
+    };
+    SpanRollup rollup;
+    rollup.name = name;
+    rollup.count = static_cast<std::int64_t>(durations.size());
+    for (const double d : durations) rollup.total_ns += d;
+    rollup.p50_ns = pct(50.0);
+    rollup.p99_ns = pct(99.0);
+    rollup.max_ns = durations.back();
+    rollups.push_back(std::move(rollup));
+  }
+  return rollups;
+}
+
+double ChildCoverage(const Tracer& tracer) {
+  const std::vector<Span> spans = tracer.Spans();
+  std::map<SpanId, double> child_time;
+  for (const Span& span : spans) {
+    if (!span.open && span.parent != kNoSpan) {
+      child_time[span.parent] += static_cast<double>(span.duration());
+    }
+  }
+  double root_total = 0.0;
+  double covered = 0.0;
+  for (const Span& span : spans) {
+    if (span.open || span.parent != kNoSpan) continue;
+    const double duration = static_cast<double>(span.duration());
+    root_total += duration;
+    const auto it = child_time.find(span.id);
+    if (it != child_time.end()) covered += std::min(duration, it->second);
+  }
+  return root_total > 0.0 ? covered / root_total : 1.0;
+}
+
+namespace {
+
+// Chrome trace-event strings: escape like ExportJson does.
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendMicros(std::string& out, SimTime ns) {
+  // Trace-event ts/dur are microseconds; keep ns precision as fractions.
+  std::ostringstream s;
+  s.precision(15);
+  s << static_cast<double>(ns) / 1000.0;
+  out += s.str();
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const Tracer& tracer,
+                              const std::string& process_name) {
+  std::string out;
+  out += "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+  out += "    {\"ph\": \"M\", \"pid\": 1, \"tid\": 1, \"name\": "
+         "\"process_name\", \"args\": {\"name\": ";
+  AppendEscaped(out, process_name);
+  out += "}}";
+  std::uint64_t skipped_open = 0;
+  for (const Span& span : tracer.Spans()) {
+    if (span.open) {
+      ++skipped_open;
+      continue;
+    }
+    out += ",\n    {\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"name\": ";
+    AppendEscaped(out, span.name);
+    out += ", \"cat\": \"flexnet\", \"ts\": ";
+    AppendMicros(out, span.begin);
+    out += ", \"dur\": ";
+    AppendMicros(out, span.duration());
+    out += ", \"args\": {\"span\": " + std::to_string(span.id) +
+           ", \"parent\": " + std::to_string(span.parent);
+    if (!span.detail.empty()) {
+      out += ", \"detail\": ";
+      AppendEscaped(out, span.detail);
+    }
+    for (const SpanAnnotation& a : span.annotations) {
+      out += ", ";
+      AppendEscaped(out, a.key);
+      out += ": ";
+      AppendEscaped(out, a.value);
+    }
+    out += "}}";
+  }
+  out += "\n  ],\n  \"otherData\": {\"spans_dropped\": " +
+         std::to_string(tracer.dropped()) +
+         ", \"spans_open\": " + std::to_string(skipped_open) + "}\n}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& name,
+                        const std::string& dir) {
+  const std::string path = dir + "/TRACE_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Internal("cannot open '" + path + "' for writing");
+  out << ExportChromeTrace(tracer, name);
+  out.flush();
+  if (!out) return Internal("short write to '" + path + "'");
+  return OkStatus();
+}
+
+}  // namespace flexnet::telemetry

@@ -180,6 +180,35 @@ TEST(StatsTest, PercentileTracker) {
   EXPECT_NEAR(t.Percentile(100), 100.0, 0.01);
 }
 
+// The tracker's memory is bounded: past max_samples it switches to
+// reservoir sampling.  A uniform ramp fed through a tiny cap must still
+// report percentiles near the true population values, and the sample
+// buffer must never exceed the cap.
+TEST(StatsTest, PercentileReservoirBoundedAndAccurate) {
+  constexpr std::size_t kCap = 512;
+  PercentileTracker t(kCap);
+  constexpr int kTotal = 100000;
+  for (int i = 1; i <= kTotal; ++i) t.Add(i);
+  EXPECT_EQ(t.total(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(t.count(), kCap);
+  EXPECT_EQ(t.max_samples(), kCap);
+  EXPECT_FALSE(t.exact());
+  // Uniform 1..100000: p50 ~ 50000, p99 ~ 99000.  A 512-sample reservoir
+  // has percentile standard error ~ p(1-p)/sqrt(n); allow ~5 points of
+  // slack at the median and a little more in the tail.
+  EXPECT_NEAR(t.Median() / kTotal, 0.50, 0.07);
+  EXPECT_NEAR(t.Percentile(99) / kTotal, 0.99, 0.03);
+  EXPECT_GE(t.Percentile(100), t.Percentile(0));
+}
+
+TEST(StatsTest, PercentileExactBelowCap) {
+  PercentileTracker t(1000);
+  for (int i = 1; i <= 100; ++i) t.Add(i);
+  EXPECT_TRUE(t.exact());
+  EXPECT_EQ(t.total(), 100u);
+  EXPECT_NEAR(t.Median(), 50.5, 0.01);
+}
+
 TEST(StatsTest, PercentileEmptyIsZero) {
   PercentileTracker t;
   EXPECT_EQ(t.Median(), 0.0);

@@ -1,0 +1,284 @@
+// Tests for the causal span tracer (telemetry/trace.h): nesting via the
+// scope stack, the ring-arena drop discipline, exception safety, the
+// per-name rollup, child coverage, and Chrome-trace export shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "apps/infra.h"
+#include "core/flexnet.h"
+#include "telemetry/telemetry.h"
+
+namespace flexnet::telemetry {
+namespace {
+
+TEST(TracerTest, StartEndRecordsInterval) {
+  Tracer tracer;
+  const SpanId id = tracer.StartSpan(100, "phase", "detail");
+  EXPECT_NE(id, kNoSpan);
+  tracer.Annotate(id, "k", "v");
+  tracer.EndSpan(id, 350);
+  const Span* span = tracer.Find(id);
+  ASSERT_NE(span, nullptr);
+  EXPECT_FALSE(span->open);
+  EXPECT_EQ(span->begin, 100);
+  EXPECT_EQ(span->end, 350);
+  EXPECT_EQ(span->duration(), 250);
+  EXPECT_EQ(span->parent, kNoSpan);
+  ASSERT_EQ(span->annotations.size(), 1u);
+  EXPECT_EQ(span->annotations[0].key, "k");
+  EXPECT_EQ(span->annotations[0].value, "v");
+}
+
+TEST(TracerTest, ScopedSpansNestAndOrder) {
+  Tracer tracer;
+  SpanId outer_id, mid_id, inner_id;
+  {
+    ScopedSpan outer(&tracer, SimTime{0}, "outer");
+    outer_id = outer.id();
+    EXPECT_EQ(tracer.current(), outer_id);
+    {
+      ScopedSpan mid(&tracer, SimTime{10}, "mid");
+      mid_id = mid.id();
+      EXPECT_EQ(tracer.current(), mid_id);
+      {
+        ScopedSpan inner(&tracer, SimTime{20}, "inner");
+        inner_id = inner.id();
+        EXPECT_EQ(tracer.current(), inner_id);
+      }
+      EXPECT_EQ(tracer.current(), mid_id);
+    }
+    EXPECT_EQ(tracer.current(), outer_id);
+  }
+  EXPECT_EQ(tracer.current(), kNoSpan);
+  EXPECT_EQ(tracer.Find(mid_id)->parent, outer_id);
+  EXPECT_EQ(tracer.Find(inner_id)->parent, mid_id);
+  EXPECT_EQ(tracer.Find(outer_id)->parent, kNoSpan);
+  // Spans() returns id order: outer before mid before inner.
+  const auto spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "mid");
+  EXPECT_EQ(spans[2].name, "inner");
+  for (const Span& s : spans) EXPECT_FALSE(s.open);
+}
+
+TEST(TracerTest, ExplicitParentLinksAsyncWork) {
+  Tracer tracer;
+  const SpanId op = tracer.StartSpan(0, "operation");
+  // Async completion recorded later, linked by the id captured at issue.
+  const SpanId child = tracer.RecordSpan(5, 25, "async", "", op);
+  tracer.EndSpan(op, 30);
+  EXPECT_EQ(tracer.Find(child)->parent, op);
+  EXPECT_EQ(tracer.Find(child)->duration(), 20);
+}
+
+TEST(TracerTest, ScopedSpanClosesThroughException) {
+  Tracer tracer;
+  SpanId id = kNoSpan;
+  try {
+    ScopedSpan span(&tracer, SimTime{7}, "doomed");
+    id = span.id();
+    throw std::runtime_error("phase failed");
+  } catch (const std::runtime_error&) {
+  }
+  const Span* span = tracer.Find(id);
+  ASSERT_NE(span, nullptr);
+  EXPECT_FALSE(span->open);       // destructor closed it while unwinding
+  EXPECT_EQ(tracer.current(), kNoSpan);  // and popped the scope stack
+  // The tracer is still usable and parents correctly afterwards.
+  ScopedSpan next(&tracer, SimTime{9}, "next");
+  EXPECT_EQ(tracer.Find(next.id())->parent, kNoSpan);
+}
+
+TEST(TracerTest, EndIsIdempotent) {
+  Tracer tracer;
+  ScopedSpan span(&tracer, SimTime{0}, "once");
+  span.EndAt(40);
+  span.EndAt(99);  // ignored
+  span.End();      // ignored
+  EXPECT_EQ(tracer.Find(span.id())->end, 40);
+}
+
+TEST(TracerTest, RingDropsOldestAndIgnoresStaleHandles) {
+  Tracer tracer(4);
+  const SpanId first = tracer.StartSpan(0, "first");
+  tracer.EndSpan(first, 1);
+  for (int i = 0; i < 4; ++i) {
+    const SpanId id = tracer.StartSpan(10 + i, "filler");
+    tracer.EndSpan(id, 20 + i);
+  }
+  EXPECT_EQ(tracer.total_started(), 5u);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  EXPECT_EQ(tracer.Find(first), nullptr);  // overwritten
+  // Stale operations on the evicted id must not corrupt the new tenant.
+  tracer.EndSpan(first, 999);
+  tracer.Annotate(first, "stale", "write");
+  for (const Span& s : tracer.Spans()) {
+    EXPECT_EQ(s.name, "filler");
+    EXPECT_TRUE(s.annotations.empty());
+    EXPECT_LT(s.end, 999);
+  }
+}
+
+TEST(TracerTest, RollupComputesPerNamePercentiles) {
+  Tracer tracer;
+  for (int i = 1; i <= 100; ++i) {
+    tracer.RecordSpan(0, i, "step");
+  }
+  tracer.RecordSpan(0, 1000, "other");
+  const auto rollups = RollupSpans(tracer);
+  ASSERT_EQ(rollups.size(), 2u);
+  const auto step = std::find_if(rollups.begin(), rollups.end(),
+                                 [](const SpanRollup& r) {
+                                   return r.name == "step";
+                                 });
+  ASSERT_NE(step, rollups.end());
+  EXPECT_EQ(step->count, 100);
+  EXPECT_NEAR(step->p50_ns, 50.5, 1.0);
+  EXPECT_NEAR(step->p99_ns, 99.0, 1.0);
+  EXPECT_EQ(step->max_ns, 100.0);
+  EXPECT_EQ(step->total_ns, 5050.0);
+}
+
+TEST(TracerTest, ChildCoverageMeasuresAttribution) {
+  Tracer tracer;
+  const SpanId root = tracer.StartSpan(0, "root");
+  tracer.RecordSpan(0, 60, "child", "", root);
+  tracer.RecordSpan(60, 95, "child", "", root);
+  tracer.EndSpan(root, 100);
+  EXPECT_NEAR(ChildCoverage(tracer), 0.95, 1e-9);
+  // A second root with no children halves the aggregate.
+  const SpanId bare = tracer.StartSpan(100, "root");
+  tracer.EndSpan(bare, 200);
+  EXPECT_NEAR(ChildCoverage(tracer), (95.0 + 0.0) / 200.0, 1e-9);
+}
+
+TEST(TracerTest, ChildCoverageClampsConcurrentChildren) {
+  Tracer tracer;
+  const SpanId root = tracer.StartSpan(0, "root");
+  // Two fully overlapping children: 2x the root's wall time.
+  tracer.RecordSpan(0, 100, "child", "", root);
+  tracer.RecordSpan(0, 100, "child", "", root);
+  tracer.EndSpan(root, 100);
+  EXPECT_DOUBLE_EQ(ChildCoverage(tracer), 1.0);
+}
+
+// Minimal structural validation of the Chrome trace JSON without a JSON
+// library: balanced braces/brackets outside strings, the traceEvents
+// array, one "X" event per finished span, and escaped payloads.
+TEST(TracerTest, ChromeTraceExportIsWellFormed) {
+  Tracer tracer;
+  {
+    ScopedSpan root(&tracer, SimTime{0}, "root", "uri \"quoted\"\n");
+    tracer.RecordSpan(10, 500, "child", "dev\\1", root.id());
+    root.EndAt(1000);
+  }
+  const SpanId open_span = tracer.StartSpan(0, "never.ends");
+  (void)open_span;
+  const std::string json = ExportChromeTrace(tracer, "tracer_test");
+
+  int depth = 0;
+  int max_depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      // A raw newline inside a string literal is invalid JSON.
+      EXPECT_NE(c, '\n');
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') depth = std::max(depth, 0) + 1;
+    if (c == '}' || c == ']') --depth;
+    max_depth = std::max(max_depth, depth);
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_GE(max_depth, 3);  // object -> traceEvents array -> event objects
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  // Two finished spans -> two complete events; the open one is skipped.
+  std::size_t x_events = 0;
+  for (std::size_t pos = json.find("\"ph\": \"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\": \"X\"", pos + 1)) {
+    ++x_events;
+  }
+  EXPECT_EQ(x_events, 2u);
+  EXPECT_EQ(json.find("never.ends"), std::string::npos);
+  EXPECT_NE(json.find("\"spans_open\": 1"), std::string::npos);
+  // The quote and backslash in the details were escaped.
+  EXPECT_NE(json.find("uri \\\"quoted\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("dev\\\\1"), std::string::npos);
+}
+
+TEST(TracerTest, RegistryResetClearsSpans) {
+  MetricsRegistry registry;
+  registry.tracer().RecordSpan(0, 10, "leftover");
+  registry.Reset();
+  EXPECT_EQ(registry.tracer().size(), 0u);
+  EXPECT_EQ(registry.tracer().total_started(), 0u);
+  EXPECT_EQ(registry.tracer().current(), kNoSpan);
+}
+
+TEST(TracerTest, ExportJsonCarriesSpanRollup) {
+  MetricsRegistry registry;
+  registry.tracer().RecordSpan(0, 100, "phase.a");
+  registry.tracer().RecordSpan(0, 300, "phase.a");
+  const SpanId open_span = registry.tracer().StartSpan(0, "phase.open");
+  (void)open_span;
+  const std::string json = ExportJson(registry, "tracer_test");
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase.a\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans_total_started\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"spans_dropped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"events_total_recorded\""), std::string::npos);
+}
+
+// End-to-end attribution: a controller deploy must produce the documented
+// span tree (controller.deploy -> compiler.compile + controller.apply_plans
+// -> runtime.apply_plan -> runtime.step) with >= 90% of root time covered
+// by children — the budget that makes "where did the reconfig go" readable.
+TEST(TracerTest, DeploySpanTreeCoversRootTime) {
+  Default().Reset();
+  core::FlexNet net;
+  const net::LinearTopology topo = net.BuildLinear(2);
+  apps::InfraOptions infra;
+  infra.filler_tables = 8;
+  auto deployed = net.controller().DeployApp(
+      "flexnet://test/infra", apps::MakeInfrastructureProgram(infra),
+      {net.network().Find(topo.switches[0])});
+  ASSERT_TRUE(deployed.ok());
+
+  const Tracer& tracer = Default().tracer();
+  bool saw_deploy = false, saw_compile = false, saw_plan = false,
+       saw_step = false;
+  for (const Span& span : tracer.Spans()) {
+    EXPECT_FALSE(span.open) << span.name << " left open";
+    if (span.name == "controller.deploy") saw_deploy = true;
+    if (span.name == "compiler.compile") saw_compile = true;
+    if (span.name == "runtime.apply_plan") saw_plan = true;
+    if (span.name == "runtime.step") saw_step = true;
+  }
+  EXPECT_TRUE(saw_deploy);
+  EXPECT_TRUE(saw_compile);
+  EXPECT_TRUE(saw_plan);
+  EXPECT_TRUE(saw_step);
+  EXPECT_GE(ChildCoverage(tracer), 0.9);
+  Default().Reset();
+}
+
+}  // namespace
+}  // namespace flexnet::telemetry
