@@ -23,7 +23,7 @@ Status RewriteFunctionBody(flexbpf::FunctionDecl& fn, std::uint64_t vlan,
     if (auto* store = std::get_if<flexbpf::InstrStoreField>(&instr)) {
       if (WritesProtectedField(store->field)) {
         return PermissionDenied("function '" + fn.name +
-                                "' writes protected field '" + store->field +
+                                "' writes protected field '" + store->field.text() +
                                 "'");
       }
     } else if (auto* load = std::get_if<flexbpf::InstrMapLoad>(&instr)) {
@@ -57,13 +57,13 @@ Status CheckActionOps(const dataplane::Action& action,
       if (WritesProtectedField(set->field)) {
         return PermissionDenied("table '" + table_name + "' action '" +
                                 action.name + "' writes protected field '" +
-                                set->field + "'");
+                                set->field.text() + "'");
       }
     } else if (const auto* add = std::get_if<dataplane::OpAddField>(&op)) {
       if (WritesProtectedField(add->field)) {
         return PermissionDenied("table '" + table_name + "' action '" +
                                 action.name + "' writes protected field '" +
-                                add->field + "'");
+                                add->field.text() + "'");
       }
     }
   }

@@ -11,26 +11,30 @@
 #include <variant>
 #include <vector>
 
+#include "packet/intern.h"
+
 namespace flexnet::dataplane {
 
-// Where an op's operand value comes from.
+// Where an op's operand value comes from.  Field paths are packet::FieldPath
+// so the (header, field) pair is resolved once at action-build time and the
+// executor never re-parses dotted strings per packet.
 struct OperandConst {
   std::uint64_t value = 0;
   friend bool operator==(const OperandConst&, const OperandConst&) = default;
 };
 struct OperandField {  // read another packet field, e.g. "ipv4.src"
-  std::string field;
+  packet::FieldPath field;
   friend bool operator==(const OperandField&, const OperandField&) = default;
 };
 using Operand = std::variant<OperandConst, OperandField>;
 
-struct OpSetField {   // field := operand
-  std::string field;  // dotted, e.g. "ipv4.ttl" or "meta.mark"
+struct OpSetField {          // field := operand
+  packet::FieldPath field;   // dotted, e.g. "ipv4.ttl" or "meta.mark"
   Operand value;
   friend bool operator==(const OpSetField&, const OpSetField&) = default;
 };
 struct OpAddField {   // field := field + operand (wrapping)
-  std::string field;
+  packet::FieldPath field;
   Operand delta;
   friend bool operator==(const OpAddField&, const OpAddField&) = default;
 };

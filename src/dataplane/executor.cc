@@ -8,7 +8,7 @@ std::uint64_t ActionExecutor::Resolve(const Operand& operand,
                                       const packet::Packet& p) const {
   if (const auto* c = std::get_if<OperandConst>(&operand)) return c->value;
   const auto& f = std::get<OperandField>(operand);
-  return p.GetField(f.field).value_or(0);
+  return p.GetField(f.field.ref()).value_or(0);
 }
 
 ExecResult ActionExecutor::Execute(const Action& action, packet::Packet& p,
@@ -17,10 +17,10 @@ ExecResult ActionExecutor::Execute(const Action& action, packet::Packet& p,
   for (const ActionOp& op : action.ops) {
     ++result.ops_executed;
     if (const auto* set = std::get_if<OpSetField>(&op)) {
-      p.SetField(set->field, Resolve(set->value, p));
+      p.SetField(set->field.ref(), Resolve(set->value, p));
     } else if (const auto* add = std::get_if<OpAddField>(&op)) {
-      const auto current = p.GetField(add->field).value_or(0);
-      p.SetField(add->field, current + Resolve(add->delta, p));
+      const auto current = p.GetField(add->field.ref()).value_or(0);
+      p.SetField(add->field.ref(), current + Resolve(add->delta, p));
     } else if (const auto* push = std::get_if<OpPushHeader>(&op)) {
       p.PushHeader(push->header);
     } else if (const auto* pop = std::get_if<OpPopHeader>(&op)) {

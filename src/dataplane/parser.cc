@@ -4,12 +4,25 @@ namespace flexnet::dataplane {
 
 ParseGraph::ParseGraph() = default;
 
+ParseGraph::ParseGraph(const ParseGraph& other)
+    : states_(other.states_), start_(other.start_) {}
+
+ParseGraph& ParseGraph::operator=(const ParseGraph& other) {
+  if (this != &other) {
+    states_ = other.states_;
+    start_ = other.start_;
+    Bump();  // the graph's content changed under any memoized verdicts
+  }
+  return *this;
+}
+
 Status ParseGraph::AddState(ParseState state) {
   if (states_.contains(state.name)) {
     return AlreadyExists("parse state '" + state.name + "'");
   }
   if (start_.empty()) start_ = state.name;
   states_.emplace(state.name, std::move(state));
+  Bump();
   return OkStatus();
 }
 
@@ -17,6 +30,7 @@ Status ParseGraph::RemoveState(const std::string& name) {
   if (states_.erase(name) == 0) {
     return NotFound("parse state '" + name + "'");
   }
+  Bump();
   // Dangling transitions to the removed state become accepts; callers that
   // need stricter semantics rewire transitions before removal.
   for (auto& [_, st] : states_) {
@@ -37,6 +51,7 @@ Status ParseGraph::SetStart(std::string state_name) {
     return NotFound("parse state '" + state_name + "'");
   }
   start_ = std::move(state_name);
+  Bump();
   return OkStatus();
 }
 
@@ -53,6 +68,7 @@ Status ParseGraph::AddTransition(const std::string& from, std::uint64_t value,
     }
   }
   it->second.transitions.push_back(ParseTransition{value, to, false});
+  Bump();
   return OkStatus();
 }
 
@@ -64,6 +80,7 @@ Status ParseGraph::RemoveTransition(const std::string& from,
   for (auto t = ts.begin(); t != ts.end(); ++t) {
     if (!t->is_default && t->select_value == value) {
       ts.erase(t);
+      Bump();
       return OkStatus();
     }
   }

@@ -40,6 +40,11 @@ struct ParseResult {
 class ParseGraph {
  public:
   ParseGraph();
+  // Copying transfers the graph's content but NOT its invalidation binding:
+  // the destination keeps (and bumps) its own cell, so installing a new
+  // graph into a Pipeline invalidates that pipeline's microflow cache.
+  ParseGraph(const ParseGraph& other);
+  ParseGraph& operator=(const ParseGraph& other);
 
   // --- Runtime reconfiguration surface ---
   Status AddState(ParseState state);
@@ -64,9 +69,20 @@ class ParseGraph {
 
   std::vector<std::string> StateNames() const;
 
+  // The owning Pipeline points this at its epoch counter so parser
+  // mutations invalidate memoized parse verdicts in the microflow cache.
+  void BindInvalidation(std::uint64_t* epoch_cell) noexcept {
+    epoch_cell_ = epoch_cell;
+  }
+
  private:
+  void Bump() noexcept {
+    if (epoch_cell_ != nullptr) ++*epoch_cell_;
+  }
+
   std::unordered_map<std::string, ParseState> states_;
   std::string start_;
+  std::uint64_t* epoch_cell_ = nullptr;  // not owned; null when unbound
 };
 
 // Builds the canonical L2/L3/L4 graph: eth -> (vlan ->) ipv4 -> tcp|udp.

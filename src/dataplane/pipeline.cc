@@ -1,8 +1,28 @@
 #include "dataplane/pipeline.h"
 
 #include <algorithm>
+#include <variant>
+
+#include "telemetry/telemetry.h"
 
 namespace flexnet::dataplane {
+
+namespace {
+
+// An action whose effect on *packet content* depends on mutable device
+// state cannot be memoized: replaying the matched entries could diverge if
+// a later table matches on the state-derived field.  OpMeterExec is the
+// only such op (it writes the meter color into packet meta); everything
+// else either reads only packet content/constants or writes device state
+// that no match key can observe.
+bool ActionIsCacheable(const Action& action) {
+  return std::none_of(action.ops.begin(), action.ops.end(),
+                      [](const ActionOp& op) {
+                        return std::holds_alternative<OpMeterExec>(op);
+                      });
+}
+
+}  // namespace
 
 Result<MatchActionTable*> Pipeline::AddTable(std::string name,
                                              std::vector<KeySpec> key,
@@ -14,9 +34,11 @@ Result<MatchActionTable*> Pipeline::AddTable(std::string name,
   auto table = std::make_unique<MatchActionTable>(std::move(name),
                                                   std::move(key), capacity);
   MatchActionTable* raw = table.get();
+  raw->BindInvalidation(&epoch_);
   position = std::min(position, tables_.size());
   tables_.insert(tables_.begin() + static_cast<std::ptrdiff_t>(position),
                  std::move(table));
+  BumpEpoch();
   return raw;
 }
 
@@ -24,6 +46,7 @@ Status Pipeline::RemoveTable(const std::string& name) {
   for (auto it = tables_.begin(); it != tables_.end(); ++it) {
     if ((*it)->name() == name) {
       tables_.erase(it);
+      BumpEpoch();
       return OkStatus();
     }
   }
@@ -68,20 +91,39 @@ Status Pipeline::MoveTable(const std::string& name, std::size_t position) {
   position = std::min(position, tables_.size());
   tables_.insert(tables_.begin() + static_cast<std::ptrdiff_t>(position),
                  std::move(table));
+  BumpEpoch();
   return OkStatus();
 }
 
-PipelineResult Pipeline::Process(packet::Packet& p, SimTime now) {
+void Pipeline::ForceReferenceScan(bool force) noexcept {
+  for (auto& t : tables_) t->set_force_reference_scan(force);
+  BumpEpoch();  // cached steps memoized the other path's accounting
+}
+
+void Pipeline::CacheInsert(std::uint64_t signature, CachedFlow flow) {
+  if (flow_cache_.size() >= kFlowCacheCap) flow_cache_.clear();
+  flow_cache_[signature] = std::move(flow);
+}
+
+PipelineResult Pipeline::ReplayCached(const CachedFlow& flow,
+                                      packet::Packet& p, SimTime now) {
   PipelineResult result;
-  if (!parser_.Accepts(p)) {
+  result.flow_cache_hit = true;
+  if (flow.parse_reject) {
     p.MarkDropped("parse_reject");
     result.dropped = true;
     return result;
   }
+  // Actions are re-executed (state updates and counters stay live); only
+  // parse + match are skipped.  RecordCachedHit keeps per-table lookup/hit
+  // accounting identical to the uncached path.
   ActionExecutor executor(&state_);
-  for (auto& table : tables_) {
+  for (const CachedStep& step : flow.steps) {
     ++result.tables_traversed;
-    const Action& action = table->Lookup(p);
+    step.table->RecordCachedHit(step.entry);
+    const Action& action = step.entry != nullptr
+                               ? step.entry->action
+                               : step.table->default_action();
     const ExecResult exec = executor.Execute(action, p, now);
     result.ops_executed += exec.ops_executed;
     if (exec.dropped) {
@@ -90,6 +132,83 @@ PipelineResult Pipeline::Process(packet::Packet& p, SimTime now) {
     }
   }
   return result;
+}
+
+PipelineResult Pipeline::Process(packet::Packet& p, SimTime now) {
+  if (!flow_cache_enabled_) {
+    PipelineResult result;
+    if (!parser_.Accepts(p)) {
+      p.MarkDropped("parse_reject");
+      result.dropped = true;
+      return result;
+    }
+    ActionExecutor executor(&state_);
+    for (auto& table : tables_) {
+      ++result.tables_traversed;
+      const Action& action = table->Lookup(p);
+      const ExecResult exec = executor.Execute(action, p, now);
+      result.ops_executed += exec.ops_executed;
+      if (exec.dropped) {
+        result.dropped = true;
+        return result;
+      }
+    }
+    return result;
+  }
+
+  const std::uint64_t signature = p.ContentSignature();
+  const auto it = flow_cache_.find(signature);
+  if (it != flow_cache_.end() && it->second.epoch == epoch_) {
+    ++cache_hits_;
+    return ReplayCached(it->second, p, now);
+  }
+  ++cache_misses_;
+
+  PipelineResult result;
+  CachedFlow flow;
+  flow.epoch = epoch_;
+  if (!parser_.Accepts(p)) {
+    p.MarkDropped("parse_reject");
+    result.dropped = true;
+    flow.parse_reject = true;
+    CacheInsert(signature, std::move(flow));
+    return result;
+  }
+  flow.steps.reserve(tables_.size());
+  bool cacheable = true;
+  ActionExecutor executor(&state_);
+  for (auto& table : tables_) {
+    ++result.tables_traversed;
+    TableEntry* entry = table->LookupEntry(p);
+    const Action& action =
+        entry != nullptr ? entry->action : table->default_action();
+    if (!ActionIsCacheable(action)) cacheable = false;
+    flow.steps.push_back(CachedStep{table.get(), entry});
+    const ExecResult exec = executor.Execute(action, p, now);
+    result.ops_executed += exec.ops_executed;
+    if (exec.dropped) {
+      result.dropped = true;
+      break;
+    }
+  }
+  // A mutation inside an action could in principle bump the epoch while we
+  // resolve; the stamp taken up front makes such a flow immediately stale.
+  if (cacheable) CacheInsert(signature, std::move(flow));
+  return result;
+}
+
+void Pipeline::PublishMetrics(telemetry::MetricsRegistry& registry) const {
+  registry.Count("dataplane_flowcache_hits", cache_hits_);
+  registry.Count("dataplane_flowcache_misses", cache_misses_);
+  registry.Count("dataplane_flowcache_invalidations", epoch_);
+  std::uint64_t indexed = 0;
+  std::uint64_t scanned = 0;
+  for (const auto& t : tables_) {
+    indexed += t->lookups_indexed();
+    scanned += t->lookups_scanned();
+  }
+  registry.Count("table_lookup_indexed", indexed);
+  registry.Count("table_lookup_scanned", scanned);
 }
 
 }  // namespace flexnet::dataplane

@@ -1,10 +1,21 @@
 // A Pipeline is an ordered sequence of match/action tables executed against
 // an accepted packet.  It owns its tables; the arch layer maps tables onto
 // physical resources and assigns the latency cost of traversal.
+//
+// The pipeline carries an OVS-style microflow cache (docs/DATAPLANE_PERF.md):
+// the first packet of a flow resolves parse + every table lookup and the
+// result — the per-table (table, entry) step sequence — is memoized under
+// the packet's content signature.  Subsequent identical packets replay the
+// steps without re-matching.  Soundness comes from a pipeline-wide epoch
+// counter: every mutation anywhere (entry churn, default actions, table
+// add/remove/move, parser edits, runtime reflash) bumps it, and cached flows
+// stamped with an older epoch are treated as misses.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -14,17 +25,22 @@
 #include "dataplane/stateful.h"
 #include "dataplane/table.h"
 
+namespace flexnet::telemetry {
+class MetricsRegistry;
+}  // namespace flexnet::telemetry
+
 namespace flexnet::dataplane {
 
 struct PipelineResult {
   bool dropped = false;
   std::size_t tables_traversed = 0;
   std::size_t ops_executed = 0;
+  bool flow_cache_hit = false;  // answered by the microflow cache
 };
 
 class Pipeline {
  public:
-  Pipeline() = default;
+  Pipeline() { parser_.BindInvalidation(&epoch_); }
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
 
@@ -52,10 +68,63 @@ class Pipeline {
   // ("parse_reject"); a Drop action short-circuits the remaining tables.
   PipelineResult Process(packet::Packet& p, SimTime now);
 
+  // --- Microflow cache controls / observability ---
+  void set_flow_cache_enabled(bool enabled) noexcept {
+    flow_cache_enabled_ = enabled;
+    if (!enabled) flow_cache_.clear();
+  }
+  bool flow_cache_enabled() const noexcept { return flow_cache_enabled_; }
+  // Invalidate every memoized flow.  Callers whose mutations bypass the
+  // Pipeline API (e.g. the runtime engine reflashing device programs)
+  // invoke this to keep cached steps from outliving what they memoized.
+  void BumpEpoch() noexcept { ++epoch_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  std::uint64_t flow_cache_hits() const noexcept { return cache_hits_; }
+  std::uint64_t flow_cache_misses() const noexcept { return cache_misses_; }
+  // Every epoch bump is a whole-cache invalidation.
+  std::uint64_t flow_cache_invalidations() const noexcept { return epoch_; }
+  std::size_t flow_cache_size() const noexcept { return flow_cache_.size(); }
+
+  // Bench/test knob: route every table through its reference linear scan.
+  void ForceReferenceScan(bool force) noexcept;
+
+  // Snapshot the fast-path counters into `registry` (one-shot: callers
+  // Reset() the registry first; values are current totals, not deltas):
+  //   dataplane_flowcache_{hits,misses,invalidations},
+  //   table_lookup_{indexed,scanned} (summed over current tables).
+  void PublishMetrics(telemetry::MetricsRegistry& registry) const;
+
  private:
+  // One memoized pipeline step: the entry that matched (null = default
+  // action applied).  Raw pointers are safe because any mutation that could
+  // move or free them bumps epoch_ first, orphaning this step.
+  struct CachedStep {
+    MatchActionTable* table = nullptr;
+    TableEntry* entry = nullptr;
+  };
+  struct CachedFlow {
+    std::uint64_t epoch = 0;    // stale when != pipeline epoch
+    bool parse_reject = false;  // memoized parser verdict
+    std::vector<CachedStep> steps;
+  };
+  // Bound on distinct memoized flows; overflowing clears the whole cache
+  // (microflow caches favor cheap wholesale eviction over LRU bookkeeping).
+  static constexpr std::size_t kFlowCacheCap = 65536;
+
+  void CacheInsert(std::uint64_t signature, CachedFlow flow);
+  PipelineResult ReplayCached(const CachedFlow& flow, packet::Packet& p,
+                              SimTime now);
+
   std::vector<std::unique_ptr<MatchActionTable>> tables_;
   StateObjects state_;
   ParseGraph parser_ = MakeStandardParseGraph();
+
+  std::uint64_t epoch_ = 0;  // bumped by tables_/parser_/structure mutations
+  bool flow_cache_enabled_ = true;
+  std::unordered_map<std::uint64_t, CachedFlow> flow_cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
 };
 
 }  // namespace flexnet::dataplane

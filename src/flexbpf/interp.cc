@@ -6,10 +6,19 @@
 
 namespace flexnet::flexbpf {
 
-std::string InMemoryMapBackend::KeyOf(const std::string& map,
-                                      std::uint64_t key,
-                                      const std::string& cell) const {
-  return map + "/" + std::to_string(key) + "/" + cell;
+std::size_t InMemoryMapBackend::CellKeyHash::operator()(
+    const CellKey& k) const noexcept {
+  std::uint64_t h = k.map;
+  h = (h ^ (k.key + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2))) *
+      0xff51afd7ed558ccdULL;
+  h ^= k.cell + (h << 6) + (h >> 2);
+  return static_cast<std::size_t>(h ^ (h >> 33));
+}
+
+InMemoryMapBackend::CellKey InMemoryMapBackend::KeyOf(const std::string& map,
+                                                      std::uint64_t key,
+                                                      const std::string& cell) {
+  return CellKey{packet::Intern(map), key, packet::Intern(cell)};
 }
 
 std::uint64_t InMemoryMapBackend::Load(const std::string& map,
@@ -76,9 +85,9 @@ InterpResult Interpreter::Run(const FunctionDecl& fn, packet::Packet& p) {
     if (const auto* i = std::get_if<InstrLoadConst>(&instr)) {
       regs[i->dst] = i->value;
     } else if (const auto* i = std::get_if<InstrLoadField>(&instr)) {
-      regs[i->dst] = p.GetField(i->field).value_or(0);
+      regs[i->dst] = p.GetField(i->field.ref()).value_or(0);
     } else if (const auto* i = std::get_if<InstrStoreField>(&instr)) {
-      p.SetField(i->field, regs[i->src]);
+      p.SetField(i->field.ref(), regs[i->src]);
     } else if (const auto* i = std::get_if<InstrLoadFlowKey>(&instr)) {
       const auto key = packet::ExtractFlowKey(p);
       regs[i->dst] = key.has_value() ? key->Hash() : 0;

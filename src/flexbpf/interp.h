@@ -27,7 +27,9 @@ class MapBackend {
                    const std::string& cell, std::uint64_t delta) = 0;
 };
 
-// Hash-map backed implementation for tests and host-side execution.
+// Hash-map backed implementation for tests and host-side execution.  Cells
+// are addressed by a hashed composite of (interned map symbol, key, interned
+// cell symbol) — no per-access string concatenation or allocation.
 class InMemoryMapBackend final : public MapBackend {
  public:
   std::uint64_t Load(const std::string& map, std::uint64_t key,
@@ -38,9 +40,18 @@ class InMemoryMapBackend final : public MapBackend {
            std::uint64_t delta) override;
 
  private:
-  std::string KeyOf(const std::string& map, std::uint64_t key,
-                    const std::string& cell) const;
-  std::unordered_map<std::string, std::uint64_t> cells_;
+  struct CellKey {
+    packet::Symbol map = packet::kInvalidSymbol;
+    std::uint64_t key = 0;
+    packet::Symbol cell = packet::kInvalidSymbol;
+    friend bool operator==(const CellKey&, const CellKey&) = default;
+  };
+  struct CellKeyHash {
+    std::size_t operator()(const CellKey& k) const noexcept;
+  };
+  static CellKey KeyOf(const std::string& map, std::uint64_t key,
+                       const std::string& cell);
+  std::unordered_map<CellKey, std::uint64_t, CellKeyHash> cells_;
 };
 
 struct InterpResult {

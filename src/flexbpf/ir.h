@@ -61,8 +61,8 @@ const char* ToString(BinOpKind op) noexcept;
 const char* ToString(CmpKind cmp) noexcept;
 
 struct InstrLoadConst { int dst = 0; std::uint64_t value = 0;  friend bool operator==(const InstrLoadConst&, const InstrLoadConst&) = default; };
-struct InstrLoadField { int dst = 0; std::string field;  friend bool operator==(const InstrLoadField&, const InstrLoadField&) = default; };     // dotted
-struct InstrStoreField { std::string field; int src = 0;  friend bool operator==(const InstrStoreField&, const InstrStoreField&) = default; };
+struct InstrLoadField { int dst = 0; packet::FieldPath field;  friend bool operator==(const InstrLoadField&, const InstrLoadField&) = default; };     // dotted
+struct InstrStoreField { packet::FieldPath field; int src = 0;  friend bool operator==(const InstrStoreField&, const InstrStoreField&) = default; };
 struct InstrLoadFlowKey { int dst = 0;  friend bool operator==(const InstrLoadFlowKey&, const InstrLoadFlowKey&) = default; };  // dst := hash(5-tuple)
 struct InstrBinOp { BinOpKind op{}; int dst = 0, lhs = 0, rhs = 0; friend bool operator==(const InstrBinOp&, const InstrBinOp&) = default; };
 struct InstrBinOpImm { BinOpKind op{}; int dst = 0, lhs = 0; std::uint64_t imm = 0; friend bool operator==(const InstrBinOpImm&, const InstrBinOpImm&) = default; };

@@ -18,7 +18,7 @@ Result<std::string> PrintOperand(const dataplane::Operand& operand) {
     return std::to_string(c->value);
   }
   const auto& f = std::get<dataplane::OperandField>(operand);
-  return "$" + f.field;
+  return "$" + f.field.text();
 }
 
 Result<std::string> PrintActionOp(const dataplane::ActionOp& op) {
@@ -32,11 +32,11 @@ Result<std::string> PrintActionOp(const dataplane::ActionOp& op) {
   }
   if (const auto* s = std::get_if<OpSetField>(&op)) {
     FLEXNET_ASSIGN_OR_RETURN(const std::string v, PrintOperand(s->value));
-    return "set " + s->field + " " + v;
+    return "set " + s->field.text() + " " + v;
   }
   if (const auto* a = std::get_if<OpAddField>(&op)) {
     FLEXNET_ASSIGN_OR_RETURN(const std::string v, PrintOperand(a->delta));
-    return "add " + a->field + " " + v;
+    return "add " + a->field.text() + " " + v;
   }
   if (const auto* p = std::get_if<OpPushHeader>(&op)) {
     return "push " + p->header;
@@ -174,9 +174,9 @@ Result<std::string> PrintFunction(const FunctionDecl& fn) {
     if (const auto* i = std::get_if<InstrLoadConst>(&instr)) {
       out << reg(i->dst) << " = const " << i->value;
     } else if (const auto* i = std::get_if<InstrLoadField>(&instr)) {
-      out << reg(i->dst) << " = field " << i->field;
+      out << reg(i->dst) << " = field " << i->field.text();
     } else if (const auto* i = std::get_if<InstrStoreField>(&instr)) {
-      out << "store " << i->field << ' ' << reg(i->src);
+      out << "store " << i->field.text() << ' ' << reg(i->src);
     } else if (const auto* i = std::get_if<InstrLoadFlowKey>(&instr)) {
       out << reg(i->dst) << " = flowkey";
     } else if (const auto* i = std::get_if<InstrBinOp>(&instr)) {

@@ -119,14 +119,14 @@ Status Verifier::VerifyFunction(FunctionDecl& fn,
     if (const auto* i = std::get_if<InstrLoadConst>(&instr)) {
       FLEXNET_RETURN_IF_ERROR(define(i->dst));
     } else if (const auto* i = std::get_if<InstrLoadField>(&instr)) {
-      if (i->field.find('.') == std::string::npos) {
-        return VerificationFailed(where + ": field '" + i->field +
+      if (i->field.text().find('.') == std::string::npos) {
+        return VerificationFailed(where + ": field '" + i->field.text() +
                                   "' is not dotted header.field");
       }
       FLEXNET_RETURN_IF_ERROR(define(i->dst));
     } else if (const auto* i = std::get_if<InstrStoreField>(&instr)) {
-      if (i->field.find('.') == std::string::npos) {
-        return VerificationFailed(where + ": field '" + i->field +
+      if (i->field.text().find('.') == std::string::npos) {
+        return VerificationFailed(where + ": field '" + i->field.text() +
                                   "' is not dotted header.field");
       }
       FLEXNET_RETURN_IF_ERROR(require_defined(i->src, "src"));

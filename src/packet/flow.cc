@@ -30,18 +30,27 @@ std::string FlowKey::ToText() const {
 }
 
 std::optional<FlowKey> ExtractFlowKey(const Packet& p) {
-  const Header* ip = p.FindHeader("ipv4");
+  // Interned once; per-packet extraction is symbol compares only.
+  static const Symbol kIpv4 = Intern("ipv4");
+  static const Symbol kTcp = Intern("tcp");
+  static const Symbol kUdp = Intern("udp");
+  static const Symbol kSrc = Intern("src");
+  static const Symbol kDst = Intern("dst");
+  static const Symbol kProto = Intern("proto");
+  static const Symbol kSport = Intern("sport");
+  static const Symbol kDport = Intern("dport");
+  const Header* ip = p.FindHeader(kIpv4);
   if (ip == nullptr) return std::nullopt;
   FlowKey key;
-  key.src_ip = ip->Get("src").value_or(0);
-  key.dst_ip = ip->Get("dst").value_or(0);
-  key.proto = ip->Get("proto").value_or(0);
-  if (const Header* tcp = p.FindHeader("tcp")) {
-    key.src_port = tcp->Get("sport").value_or(0);
-    key.dst_port = tcp->Get("dport").value_or(0);
-  } else if (const Header* udp = p.FindHeader("udp")) {
-    key.src_port = udp->Get("sport").value_or(0);
-    key.dst_port = udp->Get("dport").value_or(0);
+  key.src_ip = ip->Get(kSrc).value_or(0);
+  key.dst_ip = ip->Get(kDst).value_or(0);
+  key.proto = ip->Get(kProto).value_or(0);
+  if (const Header* tcp = p.FindHeader(kTcp)) {
+    key.src_port = tcp->Get(kSport).value_or(0);
+    key.dst_port = tcp->Get(kDport).value_or(0);
+  } else if (const Header* udp = p.FindHeader(kUdp)) {
+    key.src_port = udp->Get(kSport).value_or(0);
+    key.dst_port = udp->Get(kDport).value_or(0);
   }
   return key;
 }

@@ -1,0 +1,68 @@
+#include "packet/intern.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace flexnet::packet {
+
+namespace {
+
+struct StringViewHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct StringViewEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+struct Interner {
+  // deque keeps SymbolName() references stable as the table grows.
+  std::deque<std::string> names;
+  std::unordered_map<std::string, Symbol, StringViewHash, StringViewEq> table;
+};
+
+Interner& Global() {
+  static Interner interner;
+  return interner;
+}
+
+}  // namespace
+
+Symbol Intern(std::string_view name) {
+  Interner& in = Global();
+  const auto it = in.table.find(name);
+  if (it != in.table.end()) return it->second;
+  const Symbol sym = static_cast<Symbol>(in.names.size());
+  in.names.emplace_back(name);
+  in.table.emplace(in.names.back(), sym);
+  return sym;
+}
+
+Symbol FindSymbol(std::string_view name) noexcept {
+  const Interner& in = Global();
+  const auto it = in.table.find(name);
+  return it == in.table.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& SymbolName(Symbol sym) { return Global().names[sym]; }
+
+Symbol MetaSymbol() noexcept {
+  static const Symbol meta = Intern("meta");
+  return meta;
+}
+
+FieldRef InternFieldPath(std::string_view dotted) {
+  FieldRef ref;
+  const std::size_t dot = dotted.find('.');
+  if (dot == std::string_view::npos) return ref;
+  ref.header = Intern(dotted.substr(0, dot));
+  ref.field = Intern(dotted.substr(dot + 1));
+  return ref;
+}
+
+}  // namespace flexnet::packet

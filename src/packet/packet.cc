@@ -4,9 +4,24 @@
 
 namespace flexnet::packet {
 
+namespace {
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+}  // namespace
+
 std::optional<std::uint64_t> Header::Get(std::string_view field) const noexcept {
   for (const Field& f : fields_) {
     if (f.name == field) return f.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> Header::Get(Symbol field) const noexcept {
+  for (const Field& f : fields_) {
+    if (f.sym == field) return f.value;
   }
   return std::nullopt;
 }
@@ -18,7 +33,17 @@ void Header::Set(std::string_view field, std::uint64_t value) {
       return;
     }
   }
-  fields_.push_back(Field{std::string(field), value});
+  fields_.push_back(Field{std::string(field), Intern(field), value});
+}
+
+void Header::Set(Symbol field, std::uint64_t value) {
+  for (Field& f : fields_) {
+    if (f.sym == field) {
+      f.value = value;
+      return;
+    }
+  }
+  fields_.push_back(Field{SymbolName(field), field, value});
 }
 
 bool Header::Has(std::string_view field) const noexcept {
@@ -54,6 +79,20 @@ const Header* Packet::FindHeader(std::string_view name) const noexcept {
   return nullptr;
 }
 
+Header* Packet::FindHeader(Symbol name) noexcept {
+  for (Header& h : headers_) {
+    if (h.name_sym() == name) return &h;
+  }
+  return nullptr;
+}
+
+const Header* Packet::FindHeader(Symbol name) const noexcept {
+  for (const Header& h : headers_) {
+    if (h.name_sym() == name) return &h;
+  }
+  return nullptr;
+}
+
 std::optional<std::uint64_t> Packet::GetField(std::string_view dotted) const {
   const std::size_t dot = dotted.find('.');
   if (dot == std::string_view::npos) return std::nullopt;
@@ -80,9 +119,36 @@ bool Packet::SetField(std::string_view dotted, std::uint64_t value) {
   return true;
 }
 
+std::optional<std::uint64_t> Packet::GetField(const FieldRef& ref) const noexcept {
+  if (!ref.valid()) return std::nullopt;
+  if (ref.is_meta()) return GetMeta(ref.field);
+  const Header* h = FindHeader(ref.header);
+  if (h == nullptr) return std::nullopt;
+  return h->Get(ref.field);
+}
+
+bool Packet::SetField(const FieldRef& ref, std::uint64_t value) {
+  if (!ref.valid()) return false;
+  if (ref.is_meta()) {
+    SetMeta(ref.field, value);
+    return true;
+  }
+  Header* h = FindHeader(ref.header);
+  if (h == nullptr) return false;
+  h->Set(ref.field, value);
+  return true;
+}
+
 std::optional<std::uint64_t> Packet::GetMeta(std::string_view key) const noexcept {
   for (const Field& f : meta_) {
     if (f.name == key) return f.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> Packet::GetMeta(Symbol key) const noexcept {
+  for (const Field& f : meta_) {
+    if (f.sym == key) return f.value;
   }
   return std::nullopt;
 }
@@ -94,7 +160,34 @@ void Packet::SetMeta(std::string_view key, std::uint64_t value) {
       return;
     }
   }
-  meta_.push_back(Field{std::string(key), value});
+  meta_.push_back(Field{std::string(key), Intern(key), value});
+}
+
+void Packet::SetMeta(Symbol key, std::uint64_t value) {
+  for (Field& f : meta_) {
+    if (f.sym == key) {
+      f.value = value;
+      return;
+    }
+  }
+  meta_.push_back(Field{SymbolName(key), key, value});
+}
+
+std::uint64_t Packet::ContentSignature() const noexcept {
+  std::uint64_t h = 0xc6a4a7935bd1e995ULL;
+  for (const Header& hd : headers_) {
+    h = Mix(h, static_cast<std::uint64_t>(hd.name_sym()) + 1);
+    for (const Field& f : hd.fields()) {
+      h = Mix(h, static_cast<std::uint64_t>(f.sym) + 1);
+      h = Mix(h, f.value);
+    }
+  }
+  h = Mix(h, 0x5bd1e9955bd1e995ULL);  // header/meta boundary marker
+  for (const Field& f : meta_) {
+    h = Mix(h, static_cast<std::uint64_t>(f.sym) + 1);
+    h = Mix(h, f.value);
+  }
+  return h;
 }
 
 void Packet::MarkDropped(std::string reason) {

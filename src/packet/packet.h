@@ -18,30 +18,37 @@
 #include <vector>
 
 #include "common/types.h"
+#include "packet/intern.h"
 
 namespace flexnet::packet {
 
 struct Field {
   std::string name;
+  Symbol sym = kInvalidSymbol;  // interned `name`
   std::uint64_t value = 0;
 };
 
 class Header {
  public:
   Header() = default;
-  explicit Header(std::string name) : name_(std::move(name)) {}
+  explicit Header(std::string name)
+      : name_(std::move(name)), name_sym_(Intern(name_)) {}
 
   const std::string& name() const noexcept { return name_; }
+  Symbol name_sym() const noexcept { return name_sym_; }
 
   std::optional<std::uint64_t> Get(std::string_view field) const noexcept;
+  std::optional<std::uint64_t> Get(Symbol field) const noexcept;
   // Sets (adds if absent) a field.
   void Set(std::string_view field, std::uint64_t value);
+  void Set(Symbol field, std::uint64_t value);
   bool Has(std::string_view field) const noexcept;
 
   const std::vector<Field>& fields() const noexcept { return fields_; }
 
  private:
   std::string name_;
+  Symbol name_sym_ = kInvalidSymbol;
   std::vector<Field> fields_;
 };
 
@@ -70,6 +77,8 @@ class Packet {
   bool PopHeader(std::string_view name);
   Header* FindHeader(std::string_view name) noexcept;
   const Header* FindHeader(std::string_view name) const noexcept;
+  Header* FindHeader(Symbol name) noexcept;
+  const Header* FindHeader(Symbol name) const noexcept;
   bool HasHeader(std::string_view name) const noexcept {
     return FindHeader(name) != nullptr;
   }
@@ -78,11 +87,23 @@ class Packet {
   // "ipv4.dst" style dotted access used by match keys and FlexBPF.
   std::optional<std::uint64_t> GetField(std::string_view dotted) const;
   bool SetField(std::string_view dotted, std::uint64_t value);
+  // Pre-resolved fast path: no string split, symbol compares only.  Invalid
+  // refs (non-dotted source strings) behave like the string overloads.
+  std::optional<std::uint64_t> GetField(const FieldRef& ref) const noexcept;
+  bool SetField(const FieldRef& ref, std::uint64_t value);
 
   // --- Per-packet metadata (scratch space, reset at each device) ---
   std::optional<std::uint64_t> GetMeta(std::string_view key) const noexcept;
+  std::optional<std::uint64_t> GetMeta(Symbol key) const noexcept;
   void SetMeta(std::string_view key, std::uint64_t value);
+  void SetMeta(Symbol key, std::uint64_t value);
   void ClearMeta() { meta_.clear(); }
+
+  // Order-sensitive hash of everything the pipeline can match on — the
+  // header stack (names, fields, values) plus metadata.  Two packets with
+  // equal signatures traverse a fixed pipeline identically, which is what
+  // the microflow cache keys on.
+  std::uint64_t ContentSignature() const noexcept;
 
   // --- Fate & trace ---
   bool dropped() const noexcept { return dropped_; }

@@ -100,6 +100,9 @@ SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
         report->errors.push_back(ToText(step) + ": " + status.error().ToText());
       }
     }
+    // A reflash rewrote the whole pipeline image; whatever the microflow
+    // cache memoized before the drain window is void.
+    device->device().pipeline().BumpEpoch();
     device->device().set_online(true);
     metrics->trace().Record(finish, "reconfig.drain_end", device->name(),
                             static_cast<double>(report->steps_applied));
