@@ -1,0 +1,105 @@
+// E13: chaos engineering for runtime reconfiguration.  Randomized fault
+// schedules (dropped/duplicated/reordered dRPCs, agent crashes and stalls
+// mid-plan, lost/re-delivered migration chunks, controller crashes and
+// partitions) run against live traffic on every device archetype while
+// the invariant checker asserts the paper's hitlessness contract: no
+// blackholed packets, no loops, no packet matched by neither the old nor
+// the new config, migrated state equal to the shadow oracle, bounded
+// reconfiguration latency, and a consistent replicated control log.
+//
+// Full mode sweeps 40 seeds per architecture (200 schedules); smoke mode
+// (FLEXNET_BENCH_SMOKE) runs one fixed seed per architecture so CI can
+// validate the plumbing in seconds.  Any violation prints the failing
+// report, the shrunk minimal reproducer, and the replay command, and the
+// binary exits nonzero.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "fault/chaos.h"
+
+using namespace flexnet;
+
+namespace {
+
+int RunExperiment() {
+  bench::BenchRun run("chaos");
+  bench::PrintHeader(
+      "E13 (bench_chaos): invariant-checked fault injection across "
+      "device architectures",
+      "hitless reconfiguration survives randomized fault schedules — no "
+      "blackholes, no loops, no stale state, bounded recovery");
+  const std::uint64_t seeds = bench::SmokeMode() ? 1 : 40;
+  bench::PrintRow("%-6s %-10s %-8s %-11s %-13s %-9s %-8s %-8s", "arch",
+                  "schedules", "faults", "violations", "pkts_checked",
+                  "drpc_ok", "chunks", "commits");
+  int failing_schedules = 0;
+  for (const arch::ArchKind arch : fault::AllArchKinds()) {
+    std::uint64_t faults = 0, violations = 0, packets = 0;
+    std::uint64_t drpc = 0, chunks = 0, commits = 0;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      fault::ChaosConfig config;
+      config.arch = arch;
+      config.seed = seed;
+      config.metrics = &run.metrics();
+      const fault::ChaosReport report = fault::RunChaosSchedule(config);
+      faults += report.faults_injected;
+      packets += report.packets_checked;
+      drpc += report.drpc_invokes;
+      chunks += report.migration_chunks;
+      commits += report.raft_commits;
+      if (!report.ok()) {
+        ++failing_schedules;
+        violations += report.violations.size();
+        const fault::FaultPlan shrunk =
+            fault::ShrinkFailingPlan(config, report.plan);
+        std::printf("\nVIOLATION (%s, seed %llu):\n%s\n"
+                    "shrunk reproducer:\n%s\nreplay: %s\n",
+                    fault::ArchFlag(arch),
+                    static_cast<unsigned long long>(seed),
+                    fault::ToText(report).c_str(),
+                    fault::ToText(shrunk).c_str(),
+                    fault::ReproCommand(config).c_str());
+      }
+    }
+    bench::PrintRow("%-6s %-10llu %-8llu %-11llu %-13llu %-9llu %-8llu "
+                    "%-8llu",
+                    fault::ArchFlag(arch),
+                    static_cast<unsigned long long>(seeds),
+                    static_cast<unsigned long long>(faults),
+                    static_cast<unsigned long long>(violations),
+                    static_cast<unsigned long long>(packets),
+                    static_cast<unsigned long long>(drpc),
+                    static_cast<unsigned long long>(chunks),
+                    static_cast<unsigned long long>(commits));
+  }
+  if (failing_schedules == 0) {
+    bench::PrintRow("\nall %llu schedules held every invariant",
+                    static_cast<unsigned long long>(
+                        seeds * fault::AllArchKinds().size()));
+  }
+  run.Finish();
+  return failing_schedules;
+}
+
+void BM_ChaosSchedule(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    fault::ChaosConfig config;
+    config.arch = arch::ArchKind::kDrmt;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(fault::RunChaosSchedule(config).ok());
+  }
+}
+BENCHMARK(BM_ChaosSchedule)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int failing = RunExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return failing == 0 ? 0 : 1;
+}

@@ -19,8 +19,21 @@ SimDuration RaftCluster::RandomElectionTimeout() {
          static_cast<SimDuration>(rng_.NextBounded(span + 1));
 }
 
-void RaftCluster::Send(std::size_t to, std::function<void()> fn) {
-  const SimDuration latency = config_.message_rtt / 2;
+void RaftCluster::Send(std::size_t from, std::size_t to,
+                       std::function<void()> fn) {
+  SimDuration latency = config_.message_rtt / 2;
+  if (injector_ != nullptr) {
+    // Directional point first (partitions arm per-edge drops), then the
+    // aggregate point for schedule-wide message faults.
+    auto f = injector_->Decide("raft.send." + std::to_string(from) + "->" +
+                               std::to_string(to));
+    if (!f) f = injector_->Decide("raft.send");
+    if (f.action == fault::FaultAction::kDrop) return;
+    if (f.action == fault::FaultAction::kDelay ||
+        f.action == fault::FaultAction::kReorder) {
+      latency += f.delay;
+    }
+  }
   sim_->Schedule(latency, [this, to, fn = std::move(fn)]() {
     if (nodes_[to].alive) fn();
   });
@@ -54,7 +67,7 @@ void RaftCluster::StartElection(std::size_t node) {
   const std::uint64_t term = n.term;
   for (std::size_t peer = 0; peer < nodes_.size(); ++peer) {
     if (peer == node) continue;
-    Send(peer, [this, peer, node, term, last_index, last_term]() {
+    Send(node, peer, [this, peer, node, term, last_index, last_term]() {
       HandleVoteRequest(peer, node, term, last_index, last_term);
     });
   }
@@ -85,7 +98,7 @@ void RaftCluster::HandleVoteRequest(std::size_t node, std::size_t from,
     }
   }
   const std::uint64_t reply_term = n.term;
-  Send(from, [this, from, reply_term, granted]() {
+  Send(node, from, [this, from, reply_term, granted]() {
     HandleVoteReply(from, reply_term, granted);
   });
 }
@@ -130,8 +143,8 @@ void RaftCluster::SendHeartbeats(std::size_t leader_node) {
                                       static_cast<std::ptrdiff_t>(prev),
                                   n.log.end());
     const std::uint64_t commit = n.commit_index;
-    Send(peer, [this, peer, leader_node, term, prev, prev_term,
-                entries = std::move(entries), commit]() {
+    Send(leader_node, peer, [this, peer, leader_node, term, prev, prev_term,
+                             entries = std::move(entries), commit]() {
       HandleAppend(peer, leader_node, term, prev, prev_term, entries, commit);
     });
   }
@@ -148,7 +161,7 @@ void RaftCluster::HandleAppend(std::size_t node, std::size_t from,
   Node& n = nodes_[node];
   if (term < n.term) {
     const std::uint64_t reply_term = n.term;
-    Send(from, [this, from, node, reply_term]() {
+    Send(node, from, [this, from, node, reply_term]() {
       HandleAppendReply(from, node, reply_term, false, 0);
     });
     return;
@@ -160,7 +173,7 @@ void RaftCluster::HandleAppend(std::size_t node, std::size_t from,
   if (prev_index > n.log.size() ||
       (prev_index > 0 && n.log[prev_index - 1].term != prev_term)) {
     const std::uint64_t reply_term = n.term;
-    Send(from, [this, from, node, reply_term]() {
+    Send(node, from, [this, from, node, reply_term]() {
       HandleAppendReply(from, node, reply_term, false, 0);
     });
     return;
@@ -174,7 +187,7 @@ void RaftCluster::HandleAppend(std::size_t node, std::size_t from,
   }
   const std::uint64_t match = n.log.size();
   const std::uint64_t reply_term = n.term;
-  Send(from, [this, from, node, reply_term, match]() {
+  Send(node, from, [this, from, node, reply_term, match]() {
     HandleAppendReply(from, node, reply_term, true, match);
   });
 }
@@ -265,6 +278,15 @@ bool RaftCluster::Propose(std::string op, CommitFn done) {
   n.log.push_back(LogEntry{n.term, std::move(op)});
   n.match_index[static_cast<std::size_t>(l)] = n.log.size();
   pending_.push_back(Pending{n.log.size(), n.term, std::move(done)});
+  if (injector_ != nullptr &&
+      injector_->Decide("raft.propose").action ==
+          fault::FaultAction::kCrash) {
+    // Leader crash-stops right after the local append: the entry sits
+    // unreplicated in a dead log and its callback never fires — the
+    // successor's log wins and may truncate it.
+    Kill(static_cast<std::size_t>(l));
+    return false;
+  }
   return true;
 }
 
@@ -285,6 +307,38 @@ bool RaftCluster::CommittedPrefixesConsistent() const {
     }
   }
   return true;
+}
+
+namespace {
+
+std::string EdgePoint(std::size_t from, std::size_t to) {
+  return "raft.send." + std::to_string(from) + "->" + std::to_string(to);
+}
+
+}  // namespace
+
+void ArmPartition(fault::FaultInjector& injector,
+                  const std::vector<std::size_t>& a,
+                  const std::vector<std::size_t>& b) {
+  for (const std::size_t i : a) {
+    for (const std::size_t j : b) {
+      injector.Arm({EdgePoint(i, j), fault::FaultAction::kDrop, 0,
+                    fault::FaultRule::kForever, 0});
+      injector.Arm({EdgePoint(j, i), fault::FaultAction::kDrop, 0,
+                    fault::FaultRule::kForever, 0});
+    }
+  }
+}
+
+void HealPartition(fault::FaultInjector& injector,
+                   const std::vector<std::size_t>& a,
+                   const std::vector<std::size_t>& b) {
+  for (const std::size_t i : a) {
+    for (const std::size_t j : b) {
+      injector.Disarm(EdgePoint(i, j));
+      injector.Disarm(EdgePoint(j, i));
+    }
+  }
 }
 
 }  // namespace flexnet::controller

@@ -20,6 +20,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/fault.h"
 #include "sim/simulator.h"
 
 namespace flexnet::controller {
@@ -70,6 +71,17 @@ class RaftCluster {
   // True when every live node's committed prefix is identical.
   bool CommittedPrefixesConsistent() const;
 
+  // Injection points (see docs/FAULTS.md): every message consults the
+  // directional point "raft.send.<from>-><to>" first (partitions arm
+  // forever-drop rules here), then the aggregate "raft.send" (drop =
+  // message loss, delay/reorder = delayed commit); "raft.propose" kCrash
+  // crash-stops the leader right after its local append — the entry is
+  // unreplicated, the classic leader-crash-during-deploy.  Null disables
+  // injection.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
  private:
   enum class Role : std::uint8_t { kFollower, kCandidate, kLeader };
 
@@ -111,7 +123,7 @@ class RaftCluster {
                          std::uint64_t match);
   void AdvanceCommit(std::size_t leader_node);
   void ApplyCommits(std::size_t node);
-  void Send(std::size_t to, std::function<void()> fn);
+  void Send(std::size_t from, std::size_t to, std::function<void()> fn);
   SimDuration RandomElectionTimeout();
 
   sim::Simulator* sim_;
@@ -120,6 +132,17 @@ class RaftCluster {
   std::vector<Node> nodes_;
   std::vector<Pending> pending_;
   std::uint64_t elections_ = 0;
+  fault::FaultInjector* injector_ = nullptr;
 };
+
+// Arms a bidirectional network partition between node sets `a` and `b`:
+// forever-drop rules on every directional "raft.send.<i>-><j>" point
+// across the cut.  Heal with HealPartition (removes exactly those rules).
+void ArmPartition(fault::FaultInjector& injector,
+                  const std::vector<std::size_t>& a,
+                  const std::vector<std::size_t>& b);
+void HealPartition(fault::FaultInjector& injector,
+                   const std::vector<std::size_t>& a,
+                   const std::vector<std::size_t>& b);
 
 }  // namespace flexnet::controller

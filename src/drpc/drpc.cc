@@ -104,8 +104,14 @@ void Client::Invoke(const std::string& service, Message request, DoneFn done) {
   }
   // An in-band RPC executes in the host's packet pipeline; a drained
   // (offline) device processes no packets, so the invocation cannot land.
+  // The cached resolution is useless while the host is offline — drop it
+  // so the next attempt re-resolves (the service may have re-registered
+  // elsewhere).  Keeping the entry would pin every retry to the dead host
+  // with no further invalidation.
   runtime::ManagedDevice* host = network_->Find(info->host);
   if (host != nullptr && !host->device().online()) {
+    cache_.erase(service);
+    metrics->Count("drpc.cache_invalidations");
     fail("service host '" + host->name() + "' is drained",
          "drpc.host_offline_failures");
     return;
@@ -120,11 +126,42 @@ void Client::Invoke(const std::string& service, Message request, DoneFn done) {
     metrics->tracer().RecordSpan(issued, issued + discovery,
                                  "drpc.discovery", service, invoke_span);
   }
-  const SimDuration total =
-      discovery + 2 * path.value() + info->handler_latency;
+  SimDuration total = discovery + 2 * path.value() + info->handler_latency;
+  SimDuration duplicate_gap = 0;  // 0 = no duplicate in flight
+  if (injector_ != nullptr) {
+    if (const auto f = injector_->Decide("drpc.invoke")) {
+      switch (f.action) {
+        case fault::FaultAction::kDrop:
+          fail("fault: request dropped in flight", "drpc.fault_dropped");
+          return;
+        case fault::FaultAction::kDelay:
+        case fault::FaultAction::kReorder:
+          // Reorder is delay from one invocation's perspective: it is held
+          // back while later invocations overtake it.
+          total += f.delay;
+          metrics->Count("drpc.fault_delayed");
+          break;
+        case fault::FaultAction::kDuplicate:
+          duplicate_gap = f.delay > 0 ? f.delay : total;
+          metrics->Count("drpc.fault_duplicated");
+          break;
+        default:
+          break;
+      }
+    }
+  }
   Handler handler_copy = *handler;
-  sim->Schedule(total, [handler_copy, request = std::move(request), total,
-                        done, metrics, sim, service, invoke_span]() {
+  // Exactly-once completion: a duplicated request executes its handler
+  // twice on the wire, but the caller's continuation must fire once.  The
+  // shared flag absorbs the second arrival.
+  auto completed = std::make_shared<bool>(false);
+  auto complete = [handler_copy, request = std::move(request), total, done,
+                   metrics, sim, service, invoke_span, completed]() {
+    if (*completed) {
+      metrics->Count("drpc.fault_duplicates_suppressed");
+      return;
+    }
+    *completed = true;
     InvokeOutcome result;
     result.latency = total;
     const auto response = handler_copy(request);
@@ -145,7 +182,11 @@ void Client::Invoke(const std::string& service, Message request, DoneFn done) {
     }
     metrics->tracer().EndSpan(invoke_span, sim->now());
     done(result);
-  });
+  };
+  sim->Schedule(total, complete);
+  if (duplicate_gap > 0) {
+    sim->Schedule(total + duplicate_gap, complete);
+  }
 }
 
 void Client::InvokeViaController(const std::string& service, Message request,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "fault/fault.h"
 #include "net/network.h"
 #include "state/logical_map.h"
 #include "telemetry/telemetry.h"
@@ -112,6 +113,12 @@ class Client {
 
   std::size_t cache_size() const noexcept { return cache_.size(); }
 
+  // Injection point "drpc.invoke" (see docs/FAULTS.md): drop, delay,
+  // reorder, or duplicate in-flight invocations.  Null disables injection.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
  private:
   Result<ServiceInfo> Resolve(const std::string& service,
                               SimDuration* discovery_latency);
@@ -120,6 +127,7 @@ class Client {
   Registry* registry_;
   DeviceId caller_;
   telemetry::MetricsRegistry* metrics_;
+  fault::FaultInjector* injector_ = nullptr;
   std::unordered_map<std::string, ServiceInfo> cache_;
 };
 

@@ -1,0 +1,93 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+namespace flexnet::fault {
+
+const char* ToString(FaultAction action) noexcept {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kDrop:
+      return "drop";
+    case FaultAction::kDelay:
+      return "delay";
+    case FaultAction::kDuplicate:
+      return "duplicate";
+    case FaultAction::kReorder:
+      return "reorder";
+    case FaultAction::kCrash:
+      return "crash";
+    case FaultAction::kStall:
+      return "stall";
+    case FaultAction::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+std::string ToText(const FaultRule& rule) {
+  std::string text = rule.point + ":" + ToString(rule.action);
+  text += "@" + std::to_string(rule.after + 1);
+  if (rule.count == FaultRule::kForever) {
+    text += "xforever";
+  } else if (rule.count != 1) {
+    text += "x" + std::to_string(rule.count);
+  }
+  if (rule.delay != 0) {
+    text += "+" + std::to_string(rule.delay) + "ns";
+  }
+  return text;
+}
+
+std::string ToText(const FaultPlan& plan) {
+  std::string text = "seed=" + std::to_string(plan.seed) + " [";
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    if (i != 0) text += ", ";
+    text += ToText(plan.rules[i]);
+  }
+  return text + "]";
+}
+
+FaultInjector::Decision FaultInjector::Decide(const std::string& point) {
+  const std::uint64_t hit = ++hits_[point];
+  for (RuleState& state : rules_) {
+    const FaultRule& rule = state.rule;
+    if (rule.point != point) continue;
+    if (hit <= rule.after) continue;
+    if (rule.count != FaultRule::kForever && hit > rule.after + rule.count) {
+      continue;
+    }
+    ++state.fired;
+    log_.push_back(Injection{point, rule.action,
+                             sim_ != nullptr ? sim_->now() : 0, hit});
+    return Decision{rule.action, rule.delay};
+  }
+  return Decision{};
+}
+
+void FaultInjector::Arm(FaultRule rule) {
+  // Armed rules trigger relative to arrivals seen so far, so a rule with
+  // after == 0 fires on the very next arrival at its point.
+  rule.after += hits_[rule.point];
+  rules_.push_back({std::move(rule), 0});
+}
+
+std::size_t FaultInjector::Disarm(const std::string& point) {
+  const auto removed = static_cast<std::size_t>(std::count_if(
+      rules_.begin(), rules_.end(),
+      [&](const RuleState& s) { return s.rule.point == point; }));
+  rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
+                              [&](const RuleState& s) {
+                                return s.rule.point == point;
+                              }),
+               rules_.end());
+  return removed;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& point) const noexcept {
+  const auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+}  // namespace flexnet::fault

@@ -1,0 +1,121 @@
+// Deterministic fault injection (the adversity behind the paper's
+// hitlessness claim).
+//
+// The reconfiguration pipeline promises that live traffic never sees
+// loss, loops, or stale state while programs deploy, update, retire, and
+// migrate.  Proving that on the happy path proves nothing: the guarantee
+// has to survive dropped dRPCs, reconfig agents crashing mid-plan,
+// migration chunks lost or delivered twice, and controller replicas
+// failing.  This header is the seam those components share.
+//
+// A FaultPlan is a list of rules keyed by *named injection points*
+// (catalogued in docs/FAULTS.md): code that can fail calls
+// FaultInjector::Decide("point") at each occurrence, and the injector —
+// counting arrivals deterministically — answers with the action to take.
+// Everything is seeded and replayable: the same plan against the same
+// simulation produces the same injections, which is what lets the chaos
+// driver shrink a failing schedule to a minimal reproducer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace flexnet::fault {
+
+// What an armed rule does to the arrival it triggers on.  Not every
+// action is meaningful at every point; docs/FAULTS.md lists the valid
+// combinations and their semantics per point.
+enum class FaultAction : std::uint8_t {
+  kNone,       // no fault (the default Decision)
+  kDrop,       // message/chunk lost in flight
+  kDelay,      // delivery delayed by `delay`
+  kDuplicate,  // delivered again later (stale re-delivery)
+  kReorder,    // held back by `delay` so a later message overtakes it
+  kCrash,      // the executing agent crash-stops
+  kStall,      // the executing agent freezes for `delay`, then resumes
+  kAbort,      // an in-progress transfer aborts and restarts
+};
+
+const char* ToString(FaultAction action) noexcept;
+
+struct FaultRule {
+  static constexpr std::uint64_t kForever = ~0ULL;
+
+  std::string point;                     // injection point name, exact match
+  FaultAction action = FaultAction::kDrop;
+  std::uint64_t after = 0;               // arrivals skipped before triggering
+  std::uint64_t count = 1;               // consecutive arrivals then faulted
+  SimDuration delay = 0;                 // kDelay/kReorder/kStall magnitude
+
+  friend bool operator==(const FaultRule&, const FaultRule&) = default;
+};
+
+std::string ToText(const FaultRule& rule);
+
+struct FaultPlan {
+  std::uint64_t seed = 0;  // provenance: the schedule this plan was drawn from
+  std::vector<FaultRule> rules;
+};
+
+std::string ToText(const FaultPlan& plan);
+
+// One fault that actually fired, for reports and reproducers.
+struct Injection {
+  std::string point;
+  FaultAction action = FaultAction::kNone;
+  SimTime at = 0;        // sim time of the arrival (0 without a simulator)
+  std::uint64_t hit = 0; // 1-based arrival index at the point
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan, sim::Simulator* sim = nullptr)
+      : sim_(sim), plan_(std::move(plan)) {
+    for (const FaultRule& rule : plan_.rules) rules_.push_back({rule, 0});
+  }
+
+  struct Decision {
+    FaultAction action = FaultAction::kNone;
+    SimDuration delay = 0;
+    explicit operator bool() const noexcept {
+      return action != FaultAction::kNone;
+    }
+  };
+
+  // Registers one arrival at `point` and returns the triggered action, if
+  // any.  Arrivals are counted 1-based per point; a rule triggers on
+  // arrivals (after, after + count].  The first matching rule wins.
+  // Deterministic: depends only on the plan and the arrival sequence.
+  Decision Decide(const std::string& point);
+
+  // Dynamic rules (e.g. arming/healing a controller partition mid-run).
+  void Arm(FaultRule rule);
+  // Removes every rule at `point` (armed or from the plan); returns the
+  // number removed.
+  std::size_t Disarm(const std::string& point);
+
+  std::uint64_t hits(const std::string& point) const noexcept;
+  std::uint64_t injected() const noexcept { return log_.size(); }
+  const std::vector<Injection>& log() const noexcept { return log_; }
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::uint64_t fired = 0;
+  };
+
+  sim::Simulator* sim_ = nullptr;
+  FaultPlan plan_;
+  std::vector<RuleState> rules_;
+  std::unordered_map<std::string, std::uint64_t> hits_;
+  std::vector<Injection> log_;
+};
+
+}  // namespace flexnet::fault

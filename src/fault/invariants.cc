@@ -1,0 +1,139 @@
+#include "fault/invariants.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace flexnet::fault {
+
+void InvariantChecker::Begin() {
+  const net::NetworkStats& stats = network_->stats();
+  base_injected_ = stats.injected;
+  base_delivered_ = stats.delivered;
+  base_dropped_ = stats.dropped;
+  base_drops_by_reason_ = stats.drops_by_reason;
+  version_low_.clear();
+  for (const auto& dev : network_->devices()) {
+    version_low_[dev->id()] = dev->device().program_version();
+  }
+  network_->SetDeliverySink(
+      [this](const net::DeliveryRecord& record) { OnDelivery(record); });
+}
+
+void InvariantChecker::OnDelivery(const net::DeliveryRecord& record) {
+  ++packets_checked_;
+  const auto& trace = record.packet.trace();
+
+  // no_loop: a forwarding loop revisits a device.
+  std::unordered_set<DeviceId> seen;
+  for (const packet::HopRecord& hop : trace) {
+    if (!seen.insert(hop.device).second) {
+      AddViolation("no_loop",
+                   "packet " + std::to_string(record.packet.id()) +
+                       " visited device " +
+                       std::to_string(hop.device.value()) + " twice (" +
+                       std::to_string(trace.size()) + " hops)");
+      break;
+    }
+  }
+
+  // version_consistency: every hop must have seen a program version in
+  // that device's [version at Begin, current version] window — i.e. the
+  // old config, the new config, or a committed intermediate step.  A
+  // version outside the window means the packet was matched by a config
+  // that was neither the old nor the new program.
+  for (const packet::HopRecord& hop : trace) {
+    const auto low = version_low_.find(hop.device);
+    if (low == version_low_.end()) continue;  // device added mid-window
+    runtime::ManagedDevice* dev = network_->Find(hop.device);
+    if (dev == nullptr) continue;
+    const std::uint64_t high = dev->device().program_version();
+    if (hop.program_version < low->second || hop.program_version > high) {
+      AddViolation(
+          "version_consistency",
+          "packet " + std::to_string(record.packet.id()) + " saw version " +
+              std::to_string(hop.program_version) + " at device " +
+              std::to_string(hop.device.value()) + ", outside [" +
+              std::to_string(low->second) + ", " + std::to_string(high) + "]");
+    }
+  }
+}
+
+void InvariantChecker::Finish() {
+  const net::NetworkStats& stats = network_->stats();
+
+  // no_blackhole: every drop inside the window is a hitlessness failure —
+  // the reconfiguration pipeline promises live traffic never blackholes.
+  if (stats.dropped != base_dropped_) {
+    std::string reasons;
+    for (const auto& [reason, count] : stats.drops_by_reason) {
+      const auto base = base_drops_by_reason_.find(reason);
+      const std::uint64_t delta =
+          count - (base == base_drops_by_reason_.end() ? 0 : base->second);
+      if (delta == 0) continue;
+      if (!reasons.empty()) reasons += ", ";
+      reasons += reason + "=" + std::to_string(delta);
+    }
+    AddViolation("no_blackhole",
+                 std::to_string(stats.dropped - base_dropped_) +
+                     " packet(s) dropped during the window [" + reasons + "]");
+  }
+
+  // conservation: with the simulator drained, every injected packet has a
+  // fate.  A miss means a packet vanished inside the transport.
+  const std::uint64_t injected = stats.injected - base_injected_;
+  const std::uint64_t delivered = stats.delivered - base_delivered_;
+  const std::uint64_t dropped = stats.dropped - base_dropped_;
+  if (injected != delivered + dropped) {
+    AddViolation("conservation",
+                 "injected=" + std::to_string(injected) +
+                     " != delivered=" + std::to_string(delivered) +
+                     " + dropped=" + std::to_string(dropped));
+  }
+}
+
+void InvariantChecker::CheckMigration(const state::MigrationReport& report,
+                                      const std::string& context) {
+  if (report.consistent && report.updates_lost == 0) return;
+  AddViolation("migration_oracle",
+               context + ": destination diverged from shadow ground truth (" +
+                   std::to_string(report.updates_lost) + "/" +
+                   std::to_string(report.updates_total) +
+                   " updates lost, consistent=" +
+                   (report.consistent ? "true" : "false") + ")");
+}
+
+void InvariantChecker::CheckReconfigLatency(
+    const telemetry::MetricsRegistry& metrics, SimDuration bound) {
+  for (const telemetry::SpanRollup& rollup :
+       telemetry::RollupSpans(metrics.tracer())) {
+    if (rollup.name != "runtime.apply_plan" &&
+        rollup.name != "state.migration") {
+      continue;
+    }
+    if (rollup.max_ns > static_cast<double>(bound)) {
+      AddViolation("bounded_reconfig",
+                   rollup.name + " max " +
+                       std::to_string(static_cast<std::uint64_t>(
+                           rollup.max_ns)) +
+                       "ns exceeds bound " + std::to_string(bound) + "ns");
+    }
+  }
+}
+
+void InvariantChecker::CheckRaft(const controller::RaftCluster& cluster,
+                                 bool expect_leader) {
+  if (!cluster.CommittedPrefixesConsistent()) {
+    AddViolation("raft_log_consistency",
+                 "live nodes disagree on the committed log prefix");
+  }
+  if (expect_leader && cluster.leader() < 0) {
+    AddViolation("raft_availability",
+                 "no leader after faults cleared and timers ran");
+  }
+}
+
+std::string ToText(const Violation& violation) {
+  return violation.invariant + ": " + violation.detail;
+}
+
+}  // namespace flexnet::fault

@@ -1,0 +1,97 @@
+// Machine-checked hitlessness invariants.
+//
+// The paper's guarantee — runtime reconfiguration is invisible to live
+// traffic — is asserted here as predicates over the network, the packet
+// hop traces, the migration shadow oracle, and the telemetry span tree.
+// The chaos driver runs continuous traffic through net::Network during
+// every reconfiguration and feeds deliveries into an InvariantChecker;
+// a violation names the broken predicate so a failing fault schedule is
+// diagnosable, not just red.
+//
+// Predicates (names appear verbatim in Violation::invariant):
+//   no_blackhole         no packet dropped between Begin() and Finish()
+//   conservation         injected == delivered + dropped once the sim drains
+//   no_loop              no packet visits the same device twice
+//   version_consistency  every hop saw a program version within that
+//                        device's [old, new] window — never a config that
+//                        is neither the old nor the new program
+//   migration_oracle     migrated state equals the shadow ground truth
+//   bounded_reconfig     hitless-path spans (runtime.apply_plan /
+//                        state.migration) complete within the configured
+//                        latency bound; the drain baseline is exempt — it
+//                        is the deliberately slow comparison point
+//   raft_log_consistency replicated controller committed prefixes agree
+//   raft_availability    a leader exists once faults have cleared
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/raft.h"
+#include "net/network.h"
+#include "state/migration.h"
+#include "telemetry/telemetry.h"
+
+namespace flexnet::fault {
+
+struct Violation {
+  std::string invariant;  // predicate name (see the catalogue above)
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(net::Network* network) : network_(network) {}
+
+  // Snapshots the "old config" baseline (per-device program versions,
+  // network drop counters) and installs the delivery sink that runs the
+  // per-packet predicates.  Call before starting traffic/reconfigs.
+  void Begin();
+
+  // Finish-time predicates over the whole window: no_blackhole and
+  // conservation.  Run the simulator dry first so nothing is in flight.
+  void Finish();
+
+  // migration_oracle: the destination matched the shadow ground truth at
+  // cutover (MigrationRunner computes the comparison; this names it).
+  void CheckMigration(const state::MigrationReport& report,
+                      const std::string& context);
+
+  // bounded_reconfig: every finished runtime.apply_plan / state.migration
+  // span fits within `bound` (runtime.drain is exempt by design).
+  void CheckReconfigLatency(const telemetry::MetricsRegistry& metrics,
+                            SimDuration bound);
+
+  // raft_log_consistency + raft_availability.
+  void CheckRaft(const controller::RaftCluster& cluster,
+                 bool expect_leader = true);
+
+  void AddViolation(std::string invariant, std::string detail) {
+    violations_.push_back({std::move(invariant), std::move(detail)});
+  }
+
+  const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  bool ok() const noexcept { return violations_.empty(); }
+  std::uint64_t packets_checked() const noexcept { return packets_checked_; }
+
+ private:
+  void OnDelivery(const net::DeliveryRecord& record);
+
+  net::Network* network_;
+  std::vector<Violation> violations_;
+  std::uint64_t packets_checked_ = 0;
+  // Baseline at Begin().
+  std::uint64_t base_injected_ = 0;
+  std::uint64_t base_delivered_ = 0;
+  std::uint64_t base_dropped_ = 0;
+  std::unordered_map<std::string, std::uint64_t> base_drops_by_reason_;
+  std::unordered_map<DeviceId, std::uint64_t> version_low_;
+};
+
+std::string ToText(const Violation& violation);
+
+}  // namespace flexnet::fault

@@ -4,66 +4,137 @@
 
 namespace flexnet::runtime {
 
+namespace {
+
+// Entry writes are control-plane table updates (microseconds); structural
+// steps pay the arch-specific reconfig cost.
+SimDuration StepCost(const ManagedDevice& dev, const ReconfigStep& step) {
+  const bool is_entry = std::holds_alternative<StepAddEntry>(step) ||
+                        std::holds_alternative<StepRemoveEntry>(step);
+  return is_entry ? 20 * kMicrosecond
+                  : dev.device().ReconfigCost(OpClassOf(step));
+}
+
+// Execution state for one ApplyRuntime call.  Steps are *chained*: step k
+// schedules step k+1 when it lands, so a fault (crash, stall) at step k
+// affects exactly the remaining suffix — nothing is pre-committed to the
+// event queue.  Fault-free, the chain reproduces the pre-scheduled timing
+// exactly: each step lands at the cumulative sum of step costs.
+struct ApplyChain {
+  ManagedDevice* device;
+  sim::Simulator* sim;
+  telemetry::MetricsRegistry* metrics;
+  fault::FaultInjector* injector;
+  ReconfigPlan plan;
+  std::size_t next = 0;
+  std::shared_ptr<ApplyReport> report;
+  telemetry::SpanId plan_span;
+  RuntimeEngine::DoneFn done;
+
+  void Finish(SimTime at) {
+    report->finished = at;
+    metrics->Count("runtime.plans_applied");
+    metrics->Observe("runtime.plan_apply_ns",
+                     static_cast<double>(at - report->started));
+    metrics->tracer().EndSpan(plan_span, at);
+    if (done) done(*report);
+  }
+
+  // Schedules step `next` (or the finish when the plan is exhausted).
+  // Self = shared_ptr to this chain, kept alive by the scheduled closures.
+  void ScheduleNext(std::shared_ptr<ApplyChain> self) {
+    if (next >= plan.steps.size()) {
+      sim->ScheduleAt(sim->now(), [self]() { self->Finish(self->sim->now()); });
+      return;
+    }
+    SimDuration cost = StepCost(*device, plan.steps[next]);
+    if (injector != nullptr) {
+      if (const auto f = injector->Decide("runtime.step")) {
+        if (f.action == fault::FaultAction::kCrash) {
+          Crash(std::move(self));
+          return;
+        }
+        if (f.action == fault::FaultAction::kStall ||
+            f.action == fault::FaultAction::kDelay) {
+          cost += f.delay;
+          metrics->Count("runtime.fault_stalls");
+        }
+      }
+    }
+    const SimTime step_begin = sim->now();
+    sim->Schedule(cost, [self, cost, step_begin]() {
+      self->ApplyStep(cost, step_begin);
+      self->ScheduleNext(self);
+    });
+  }
+
+  void ApplyStep(SimDuration cost, SimTime step_begin) {
+    const ReconfigStep& step = plan.steps[next];
+    const Status status = device->ApplyStep(step);
+    metrics->Observe("runtime.step_apply_ns", static_cast<double>(cost));
+    metrics->trace().Record(sim->now(), "reconfig.step",
+                            device->name() + ": " + ToText(step),
+                            static_cast<double>(cost));
+    const telemetry::SpanId step_span = metrics->tracer().RecordSpan(
+        step_begin, sim->now(), "runtime.step",
+        device->name() + ": " + ToText(step), plan_span);
+    if (status.ok()) {
+      ++report->steps_applied;
+      metrics->Count("runtime.steps_applied");
+    } else {
+      ++report->steps_failed;
+      metrics->Count("runtime.steps_failed");
+      metrics->tracer().Annotate(step_span, "error", status.error().ToText());
+      report->errors.push_back(ToText(step) + ": " + status.error().ToText());
+    }
+    ++next;
+  }
+
+  // The reconfig agent crash-stops: every unapplied step fails, the report
+  // lands immediately, and the device keeps serving its current program
+  // (steps are atomic, so a crash between steps leaves no torn state).
+  void Crash(std::shared_ptr<ApplyChain> self) {
+    metrics->Count("runtime.fault_crashes");
+    metrics->trace().Record(sim->now(), "reconfig.crash",
+                            device->name() + ": agent crashed at step " +
+                                std::to_string(next));
+    metrics->tracer().Annotate(plan_span, "crash_at_step",
+                               std::to_string(next));
+    for (std::size_t i = next; i < plan.steps.size(); ++i) {
+      ++report->steps_failed;
+      metrics->Count("runtime.steps_failed");
+      report->errors.push_back(ToText(plan.steps[i]) +
+                               ": fault: reconfig agent crashed");
+    }
+    next = plan.steps.size();
+    sim->ScheduleAt(sim->now(), [self]() { self->Finish(self->sim->now()); });
+  }
+};
+
+}  // namespace
+
 SimTime RuntimeEngine::ApplyRuntime(ManagedDevice& dev, ReconfigPlan plan,
                                     DoneFn done) {
   auto report = std::make_shared<ApplyReport>();
   report->started = sim_->now();
-  SimDuration cumulative = 0;
-  telemetry::MetricsRegistry* metrics = metrics_;
   // One span per plan (parented under the caller's open scope, e.g.
   // controller.apply_plans), one child span per step: the step's span is
   // the [previous step done, this step done] interval the plan's total
   // decomposes into.
-  const telemetry::SpanId plan_span = metrics->tracer().StartSpan(
+  const telemetry::SpanId plan_span = metrics_->tracer().StartSpan(
       report->started, "runtime.apply_plan", dev.name());
-  metrics->tracer().Annotate(plan_span, "steps",
-                             std::to_string(plan.steps.size()));
-  for (const ReconfigStep& plan_step : plan.steps) {
-    const bool is_entry = std::holds_alternative<StepAddEntry>(plan_step) ||
-                          std::holds_alternative<StepRemoveEntry>(plan_step);
-    const SimDuration step_cost =
-        is_entry ? 20 * kMicrosecond
-                 : dev.device().ReconfigCost(OpClassOf(plan_step));
-    const SimTime step_begin = report->started + cumulative;
-    cumulative += step_cost;
-    ManagedDevice* device = &dev;
-    sim::Simulator* sim = sim_;
-    sim_->Schedule(cumulative, [device, step = plan_step, report, metrics,
-                                sim, step_cost, step_begin, plan_span]() {
-      const Status status = device->ApplyStep(step);
-      metrics->Observe("runtime.step_apply_ns",
-                       static_cast<double>(step_cost));
-      metrics->trace().Record(sim->now(), "reconfig.step",
-                              device->name() + ": " + ToText(step),
-                              static_cast<double>(step_cost));
-      const telemetry::SpanId step_span = metrics->tracer().RecordSpan(
-          step_begin, sim->now(), "runtime.step",
-          device->name() + ": " + ToText(step), plan_span);
-      if (status.ok()) {
-        ++report->steps_applied;
-        metrics->Count("runtime.steps_applied");
-      } else {
-        ++report->steps_failed;
-        metrics->Count("runtime.steps_failed");
-        metrics->tracer().Annotate(step_span, "error",
-                                   status.error().ToText());
-        report->errors.push_back(ToText(step) + ": " +
-                                 status.error().ToText());
-      }
-    });
-  }
-  const SimTime finish = sim_->now() + cumulative;
-  auto report_capture = report;
-  sim_->ScheduleAt(finish, [report_capture, done, finish, metrics,
-                            cumulative, plan_span]() {
-    report_capture->finished = finish;
-    metrics->Count("runtime.plans_applied");
-    metrics->Observe("runtime.plan_apply_ns",
-                     static_cast<double>(cumulative));
-    metrics->tracer().EndSpan(plan_span, finish);
-    if (done) done(*report_capture);
-  });
-  return finish;
+  metrics_->tracer().Annotate(plan_span, "steps",
+                              std::to_string(plan.steps.size()));
+  // Predicted completion assumes no faults; callers treat it as the ETA
+  // and learn the truth from the report.
+  SimDuration predicted = 0;
+  for (const ReconfigStep& step : plan.steps) predicted += StepCost(dev, step);
+
+  auto chain = std::make_shared<ApplyChain>(
+      ApplyChain{&dev, sim_, metrics_, injector_, std::move(plan), 0, report,
+                 plan_span, std::move(done)});
+  chain->ScheduleNext(chain);
+  return report->started + predicted;
 }
 
 SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
@@ -71,9 +142,24 @@ SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
   auto report = std::make_shared<ApplyReport>();
   report->started = sim_->now();
   dev.device().set_online(false);  // drain: traffic to this device is lost
-  const SimDuration window = dev.device().FullReflashCost();
-  const SimTime finish = sim_->now() + window;
+  SimDuration window = dev.device().FullReflashCost();
+  const SimTime predicted = sim_->now() + window;
   telemetry::MetricsRegistry* metrics = metrics_;
+  if (injector_ != nullptr) {
+    if (const auto f = injector_->Decide("runtime.reflash")) {
+      if (f.action == fault::FaultAction::kStall ||
+          f.action == fault::FaultAction::kDelay) {
+        window += f.delay;
+        metrics->Count("runtime.fault_stalls");
+      } else if (f.action == fault::FaultAction::kCrash) {
+        // The reflash fails partway and is retried from scratch; the
+        // device stays drained for a second full window.
+        window *= 2;
+        metrics->Count("runtime.fault_crashes");
+      }
+    }
+  }
+  const SimTime finish = sim_->now() + window;
   metrics->Count("runtime.drains");
   metrics->Observe("runtime.drain_window_ns", static_cast<double>(window));
   metrics->trace().Record(sim_->now(), "reconfig.drain_begin", dev.name(),
@@ -110,7 +196,7 @@ SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
     report->finished = finish;
     if (done) done(*report);
   });
-  return finish;
+  return predicted;
 }
 
 }  // namespace flexnet::runtime

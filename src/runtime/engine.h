@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "runtime/managed_device.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
@@ -61,9 +62,20 @@ class RuntimeEngine {
   SimTime ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
                      DoneFn done = nullptr);
 
+  // Injection points (see docs/FAULTS.md): "runtime.step" — the reconfig
+  // agent crashes (remaining steps fail) or stalls before a step lands;
+  // "runtime.reflash" — a drain's reflash stalls or fails and is retried
+  // (window doubles).  Null disables injection.  The SimTime returned by
+  // ApplyRuntime/ApplyDrain stays the fault-free prediction; faults
+  // surface in the ApplyReport.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
  private:
   sim::Simulator* sim_;
   telemetry::MetricsRegistry* metrics_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace flexnet::runtime

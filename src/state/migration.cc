@@ -3,17 +3,179 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 namespace flexnet::state {
 
 namespace {
 
+// One chunk in flight: the payload is captured when the chunk is *sent*
+// (the sender buffers what it shipped, so a retransmission resends the
+// same data), tagged with the transfer epoch and a per-epoch sequence
+// number.  The dual-apply cursor advances at send time to match: updates
+// after the send are dual-applied, updates before it ride in the payload —
+// every update is captured exactly once.
+struct ChunkPayload {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  SimTime sent_at = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> kv;  // key -> value
+};
+
 struct LiveState {
   std::unordered_map<std::uint64_t, std::uint64_t> truth;
   std::uint64_t generated = 0;
-  std::size_t next_chunk_start = 0;  // first key not yet copied
+  std::size_t next_chunk_start = 0;  // dual-apply cursor; advances at send
+  std::uint64_t epoch = 0;           // bumped by an abort/restart
+  std::uint64_t next_seq = 0;        // next expected delivery (idempotent)
+  std::uint64_t seq_counter = 0;     // next seq to assign at send
   bool done = false;
+  std::uint64_t chunks_copied = 0;
+  std::uint64_t chunks_ignored = 0;
+  std::uint64_t chunks_retransmitted = 0;
+  std::uint64_t aborts = 0;
   Rng rng{1};
+};
+
+// The copy protocol as a bundle of closures over shared live state.  Sends
+// capture payloads, deliveries apply them; the fault injector intercepts
+// deliveries (drop / delay / duplicate / abort).
+struct CopyProtocol : std::enable_shared_from_this<CopyProtocol> {
+  sim::Simulator* sim = nullptr;
+  EncodedMap* src = nullptr;
+  EncodedMap* dst = nullptr;
+  std::shared_ptr<LiveState> live;
+  fault::FaultInjector* injector = nullptr;
+  SimDuration latency = 0;
+  std::size_t key_space = 0;
+  std::size_t chunk_keys = 0;
+  std::string cell;
+  bool idempotent = true;
+  telemetry::MetricsRegistry* metrics = nullptr;
+  std::string prefix;
+  telemetry::SpanId migration_span = telemetry::kNoSpan;
+
+  void SendNext() {
+    const std::size_t begin = live->next_chunk_start;
+    const std::size_t end = std::min(begin + chunk_keys, key_space);
+    ChunkPayload payload;
+    payload.epoch = live->epoch;
+    payload.seq = live->seq_counter++;
+    payload.begin = begin;
+    payload.end = end;
+    payload.sent_at = sim->now();
+    payload.kv.reserve(end - begin);
+    for (std::size_t key = begin; key < end; ++key) {
+      payload.kv.emplace_back(key, src->Load(key, cell));
+    }
+    live->next_chunk_start = end;  // dual-apply window opens at send
+    ScheduleDelivery(std::move(payload), latency);
+  }
+
+  void ScheduleDelivery(ChunkPayload payload, SimDuration after) {
+    auto self = shared_from_this();
+    sim->Schedule(after, [self, payload = std::move(payload)]() mutable {
+      self->Deliver(std::move(payload));
+    });
+  }
+
+  void Deliver(ChunkPayload payload) {
+    if (live->done) return;  // stale delivery after cutover
+    if (injector != nullptr) {
+      if (const auto f = injector->Decide("migration.chunk")) {
+        switch (f.action) {
+          case fault::FaultAction::kDrop:
+            // Lost in flight; the sender times out and resends the
+            // buffered payload.
+            ++live->chunks_retransmitted;
+            metrics->Count(prefix + ".chunks_retransmitted");
+            ScheduleDelivery(std::move(payload), latency);
+            return;
+          case fault::FaultAction::kDelay:
+          case fault::FaultAction::kReorder:
+            ScheduleDelivery(std::move(payload),
+                             f.delay > 0 ? f.delay : latency);
+            return;
+          case fault::FaultAction::kAbort: {
+            // The transfer aborts: partial destination state is discarded
+            // and the copy restarts under a fresh epoch.  In-flight chunks
+            // of the old epoch (this one included) are now stale.
+            ++live->aborts;
+            metrics->Count(prefix + ".aborts");
+            ++live->epoch;
+            live->next_seq = 0;
+            live->seq_counter = 0;
+            live->next_chunk_start = 0;
+            dst->Clear();
+            auto self = shared_from_this();
+            sim->Schedule(latency, [self]() {
+              if (!self->live->done) self->SendNext();
+            });
+            return;
+          }
+          case fault::FaultAction::kDuplicate: {
+            // Process normally now, and deliver the same payload again
+            // later — the stale re-delivery the sequencing must absorb.
+            ChunkPayload copy = payload;
+            ScheduleDelivery(std::move(copy),
+                             f.delay > 0 ? f.delay : 2 * latency);
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+    if (idempotent) {
+      // Exact-next-transfer check: anything else — an old epoch's chunk, a
+      // duplicate of an applied chunk — is discarded, not progress.
+      if (payload.epoch != live->epoch || payload.seq != live->next_seq) {
+        ++live->chunks_ignored;
+        metrics->Count(prefix + ".chunks_ignored");
+        return;
+      }
+      ++live->next_seq;
+    }
+    Apply(payload);
+    if (!idempotent) {
+      // Historical behavior (idempotent_chunks = false): any delivery is
+      // treated as fresh progress — the cursor snaps to the chunk's end
+      // and the chain continues from there, so a stale re-delivery yanks
+      // the dual-apply window and forks the copy chain.
+      live->next_chunk_start = payload.end;
+    }
+    if (payload.end >= key_space) {
+      live->done = true;  // cutover
+    } else {
+      SendNext();
+    }
+  }
+
+  void Apply(const ChunkPayload& payload) {
+    // Additive application: the destination already holds the dual-applied
+    // deltas that landed after the send; the payload contributes the value
+    // mass from before it.  (The destination starts empty, so Add on a
+    // first delivery is plain installation.)
+    for (const auto& [key, value] : payload.kv) {
+      if (value != 0) dst->Add(key, cell, value);
+    }
+    ++live->chunks_copied;
+    metrics->Count(prefix + ".chunks_copied");
+    metrics->trace().Record(sim->now(), "migrate.chunk",
+                            prefix + " keys [" + std::to_string(payload.begin) +
+                                "," + std::to_string(payload.end) + ") e" +
+                                std::to_string(payload.epoch) + "#" +
+                                std::to_string(payload.seq),
+                            static_cast<double>(payload.end - payload.begin));
+    // The chunk's span is its in-flight window: sent then, landing now.
+    metrics->tracer().RecordSpan(payload.sent_at, sim->now(), "state.chunk",
+                                 "keys [" + std::to_string(payload.begin) +
+                                     "," + std::to_string(payload.end) + ")",
+                                 migration_span);
+  }
 };
 
 }  // namespace
@@ -30,13 +192,19 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
                                         : config_.control_chunk_latency;
   const std::string cell = config_.cell;
   const std::size_t key_space = config_.key_space;
-  const std::size_t chunk_keys = config_.chunk_keys;
   sim::Simulator* sim = sim_;
   EncodedMap* src = src_;
   EncodedMap* dst = dst_;
   telemetry::MetricsRegistry* metrics = metrics_;
   const std::string prefix =
       dataplane ? "migration.dataplane" : "migration.control";
+  // Shadow oracle baseline: whatever the source already held before the
+  // migration must arrive too, so the final comparison is against
+  // pre-existing value + generated updates per key.
+  std::vector<std::uint64_t> base(key_space, 0);
+  for (std::size_t key = 0; key < key_space; ++key) {
+    base[key] = src->Load(key, cell);
+  }
   // Root span for the whole migration (nests under controller.migrate when
   // a controller drives it); each chunk copy is a child covering its
   // channel-latency window.
@@ -45,7 +213,7 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
   metrics->tracer().Annotate(migration_span, "keys",
                              std::to_string(key_space));
   metrics->tracer().Annotate(migration_span, "chunk_keys",
-                             std::to_string(chunk_keys));
+                             std::to_string(config_.chunk_keys));
 
   // Live update stream.  The tick reschedules a *copy* of itself, so every
   // pending event owns its closure — nothing dangles after Run returns.
@@ -74,50 +242,24 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
   sim->Schedule(update_gap, UpdateTick{sim, src, dst, live, update_gap,
                                        key_space, dataplane, cell});
 
-  // Chunked copy: chunk i transfers keys [i*chunk, (i+1)*chunk) by value
-  // (Store semantics).  Chunks are serialized on the copy channel.
-  struct CopyChunk {
-    sim::Simulator* sim;
-    EncodedMap* src;
-    EncodedMap* dst;
-    std::shared_ptr<LiveState> live;
-    SimDuration latency;
-    std::size_t key_space;
-    std::size_t chunk_keys;
-    std::string cell;
-    telemetry::MetricsRegistry* metrics;
-    std::string prefix;
-    telemetry::SpanId migration_span;
-
-    void operator()() const {
-      const std::size_t begin = live->next_chunk_start;
-      const std::size_t end = std::min(begin + chunk_keys, key_space);
-      for (std::size_t key = begin; key < end; ++key) {
-        dst->Store(key, cell, src->Load(key, cell));
-      }
-      live->next_chunk_start = end;
-      metrics->Count(prefix + ".chunks_copied");
-      metrics->trace().Record(sim->now(), "migrate.chunk",
-                              prefix + " keys [" + std::to_string(begin) +
-                                  "," + std::to_string(end) + ")",
-                              static_cast<double>(end - begin));
-      // The chunk's span is its channel window: scheduled `latency` ago,
-      // landing now.
-      metrics->tracer().RecordSpan(sim->now() - latency, sim->now(),
-                                   "state.chunk",
-                                   "keys [" + std::to_string(begin) + "," +
-                                       std::to_string(end) + ")",
-                                   migration_span);
-      if (end < key_space) {
-        sim->Schedule(latency, *this);
-      } else {
-        live->done = true;  // cutover
-      }
-    }
-  };
-  sim->Schedule(chunk_latency, CopyChunk{sim, src, dst, live, chunk_latency,
-                                         key_space, chunk_keys, cell,
-                                         metrics, prefix, migration_span});
+  // Chunked copy: serialized on the copy channel — chunk k+1 is sent when
+  // chunk k's delivery is applied.  The first send goes out now; payloads
+  // are captured at send and the dual-apply cursor advances with them.
+  auto protocol = std::make_shared<CopyProtocol>();
+  protocol->sim = sim;
+  protocol->src = src;
+  protocol->dst = dst;
+  protocol->live = live;
+  protocol->injector = injector_;
+  protocol->latency = chunk_latency;
+  protocol->key_space = key_space;
+  protocol->chunk_keys = config_.chunk_keys;
+  protocol->cell = cell;
+  protocol->idempotent = config_.idempotent_chunks;
+  protocol->metrics = metrics;
+  protocol->prefix = prefix;
+  protocol->migration_span = migration_span;
+  protocol->SendNext();
 
   // Drive the simulation until cutover.
   while (!live->done && sim->Step()) {
@@ -126,13 +268,26 @@ MigrationReport MigrationRunner::Run(bool dataplane) {
   MigrationReport report;
   report.duration = sim->now() - start;
   report.updates_total = live->generated;
+  report.chunks_copied = live->chunks_copied;
+  report.chunks_ignored = live->chunks_ignored;
+  report.chunks_retransmitted = live->chunks_retransmitted;
+  report.aborts = live->aborts;
   std::uint64_t lost = 0;
-  for (const auto& [key, count] : live->truth) {
+  std::uint64_t excess = 0;
+  for (std::size_t key = 0; key < key_space; ++key) {
+    const auto it = live->truth.find(key);
+    const std::uint64_t expected =
+        base[key] + (it == live->truth.end() ? 0 : it->second);
     const std::uint64_t have = dst->Load(key, cell);
-    if (have < count) lost += count - have;
+    if (have < expected) {
+      lost += expected - have;
+    } else {
+      excess += have - expected;
+    }
   }
   report.updates_lost = lost;
-  report.consistent = lost == 0;
+  report.updates_excess = excess;
+  report.consistent = lost == 0 && excess == 0;
   metrics->tracer().Annotate(migration_span, "updates_total",
                              std::to_string(report.updates_total));
   metrics->tracer().Annotate(migration_span, "updates_lost",

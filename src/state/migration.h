@@ -24,6 +24,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/fault.h"
 #include "sim/simulator.h"
 #include "state/logical_map.h"
 #include "telemetry/telemetry.h"
@@ -38,13 +39,25 @@ struct MigrationConfig {
   SimDuration dataplane_chunk_latency = 10 * kMicrosecond;  // in-band copy
   std::uint64_t seed = 1;
   std::string cell = "v";
+  // Idempotent chunk sequencing: each chunk carries an (epoch, seq) tag;
+  // the receiver applies a chunk only when it is the exact next expected
+  // transfer, so a chunk re-delivered late — in particular after an abort
+  // restarted the transfer under a new epoch — is discarded instead of
+  // being treated as fresh progress.  `false` reproduces the historical
+  // double-apply bug (regression-tested in state_test.cc); leave it on.
+  bool idempotent_chunks = true;
 };
 
 struct MigrationReport {
   SimDuration duration = 0;            // start -> cutover
   std::uint64_t updates_total = 0;     // generated during migration
   std::uint64_t updates_lost = 0;      // value mass missing at destination
+  std::uint64_t updates_excess = 0;    // value mass overcounted (double-apply)
   bool consistent = false;             // dst == ground truth at cutover
+  std::uint64_t chunks_copied = 0;     // chunk deliveries applied
+  std::uint64_t chunks_ignored = 0;    // stale/duplicate deliveries discarded
+  std::uint64_t chunks_retransmitted = 0;  // resends after a chunk loss
+  std::uint64_t aborts = 0;            // transfer restarts (fresh epoch)
   double loss_fraction() const noexcept {
     return updates_total == 0
                ? 0.0
@@ -72,6 +85,14 @@ class MigrationRunner {
   MigrationReport RunControlPlane();
   MigrationReport RunDataplane();
 
+  // Injection point "migration.chunk" (decided per chunk delivery; see
+  // docs/FAULTS.md): drop (chunk lost, retransmitted after a timeout),
+  // delay (held in flight), duplicate (stale re-delivery later), abort
+  // (transfer restarts under a fresh epoch).  Null disables injection.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
  private:
   MigrationReport Run(bool dataplane);
 
@@ -80,6 +101,7 @@ class MigrationRunner {
   EncodedMap* dst_;
   MigrationConfig config_;
   telemetry::MetricsRegistry* metrics_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace flexnet::state

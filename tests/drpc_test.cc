@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "drpc/drpc.h"
+#include "fault/fault.h"
 #include "net/topology.h"
 #include "runtime/engine.h"
 #include "telemetry/telemetry.h"
@@ -126,6 +127,118 @@ TEST_F(DrpcTest, InvokeFailsWhileHostDrained) {
                 [&](const InvokeOutcome& o) { after = o; });
   sim_.Run();
   EXPECT_TRUE(after.ok);
+}
+
+// Regression: every drained-host failure must re-arm resolution-cache
+// invalidation.  Before the fix, the retry after a first drained-host
+// failure re-resolved but then kept the fresh entry pinned when the *new*
+// host was also offline, so every later retry charged the dead host and
+// never re-resolved.  Two consecutive offline hosts expose it: each
+// failure must drop the cache and bump drpc.cache_invalidations.
+TEST_F(DrpcTest, ConsecutiveDrainedHostsEachInvalidateTheCache) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[1]).ok());
+  telemetry::MetricsRegistry metrics;
+  Client client(&network_, registry_.get(), topo_.client.nic, &metrics);
+
+  InvokeOutcome warm;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { warm = o; });
+  sim_.Run();
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(client.cache_size(), 1u);
+
+  // The service moves to switches[0] while the cached resolution still
+  // points at switches[1] — and both hosts enter a drain window.
+  ASSERT_TRUE(registry_->Unregister("drpc://infra/echo").ok());
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[0]).ok());
+  runtime::RuntimeEngine engine(&sim_, &metrics);
+  engine.ApplyDrain(*network_.Find(topo_.switches[0]),
+                    runtime::ReconfigPlan{});
+  engine.ApplyDrain(*network_.Find(topo_.switches[1]),
+                    runtime::ReconfigPlan{});
+  ASSERT_FALSE(network_.Find(topo_.switches[0])->device().online());
+  ASSERT_FALSE(network_.Find(topo_.switches[1])->device().online());
+
+  // Attempt 1 lands on the stale cached host (drained).  Attempt 2 — the
+  // retry — must re-resolve to the new host, find it drained too, and
+  // invalidate *again*.  Both checks happen at Invoke() time, so the pair
+  // is issued inside the same drain window before running the simulator.
+  InvokeOutcome first, second;
+  first.ok = second.ok = true;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { first = o; });
+  EXPECT_EQ(client.cache_size(), 0u);
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { second = o; });
+  EXPECT_EQ(client.cache_size(), 0u);
+  sim_.Run();  // fires both callbacks and completes both drain windows
+  EXPECT_FALSE(first.ok);
+  EXPECT_FALSE(second.ok);
+  EXPECT_NE(first.error.find("drained"), std::string::npos);
+  EXPECT_NE(second.error.find("drained"), std::string::npos);
+  ASSERT_NE(metrics.FindCounter("drpc.cache_invalidations"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("drpc.cache_invalidations")->value(), 2u);
+  EXPECT_EQ(metrics.FindCounter("drpc.host_offline_failures")->value(), 2u);
+
+  // With the drains over, the next retry resolves fresh and lands on the
+  // service's new home.
+  InvokeOutcome after;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { after = o; });
+  sim_.Run();
+  EXPECT_TRUE(after.ok);
+  EXPECT_EQ(client.cache_size(), 1u);
+}
+
+TEST_F(DrpcTest, InjectedDuplicateCompletesExactlyOnce) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[1]).ok());
+  telemetry::MetricsRegistry metrics;
+  Client client(&network_, registry_.get(), topo_.client.nic, &metrics);
+  fault::FaultPlan plan;
+  plan.rules.push_back({"drpc.invoke", fault::FaultAction::kDuplicate, 0, 1,
+                        50 * kMicrosecond});
+  fault::FaultInjector injector(plan);
+  client.set_fault_injector(&injector);
+
+  int completions = 0;
+  client.Invoke("drpc://infra/echo", Message{}, [&](const InvokeOutcome& o) {
+    ++completions;
+    EXPECT_TRUE(o.ok);
+  });
+  sim_.Run();
+  EXPECT_EQ(completions, 1);  // second arrival absorbed
+  ASSERT_NE(metrics.FindCounter("drpc.fault_duplicated"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("drpc.fault_duplicated")->value(), 1u);
+  ASSERT_NE(metrics.FindCounter("drpc.fault_duplicates_suppressed"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("drpc.fault_duplicates_suppressed")->value(),
+            1u);
+}
+
+TEST_F(DrpcTest, InjectedDropFailsOnceThenRecovers) {
+  ASSERT_TRUE(RegisterEchoService(*registry_, topo_.switches[1]).ok());
+  telemetry::MetricsRegistry metrics;
+  Client client(&network_, registry_.get(), topo_.client.nic, &metrics);
+  fault::FaultPlan plan;
+  plan.rules.push_back({"drpc.invoke", fault::FaultAction::kDrop, 0, 1, 0});
+  fault::FaultInjector injector(plan);
+  client.set_fault_injector(&injector);
+
+  InvokeOutcome dropped;
+  dropped.ok = true;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { dropped = o; });
+  sim_.Run();
+  EXPECT_FALSE(dropped.ok);
+  EXPECT_NE(dropped.error.find("dropped"), std::string::npos);
+  EXPECT_EQ(metrics.FindCounter("drpc.fault_dropped")->value(), 1u);
+
+  // The rule's budget is exhausted; the retry goes through untouched.
+  InvokeOutcome retry;
+  client.Invoke("drpc://infra/echo", Message{},
+                [&](const InvokeOutcome& o) { retry = o; });
+  sim_.Run();
+  EXPECT_TRUE(retry.ok);
+  EXPECT_EQ(injector.injected(), 1u);
 }
 
 TEST_F(DrpcTest, StaleCacheInvalidatedOnReRegistrationAtNewHost) {

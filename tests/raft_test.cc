@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "controller/raft.h"
+#include "fault/fault.h"
 
 namespace flexnet::controller {
 namespace {
@@ -155,6 +158,101 @@ TEST_F(RaftTest, RevivedNodeCatchesUp) {
   sim_.RunUntil(sim_.now() + 2 * kSecond);
   EXPECT_GE(cluster_->commit_index(follower), 5u);
   EXPECT_TRUE(cluster_->CommittedPrefixesConsistent());
+}
+
+// --- Injected faults (the chaos injection points, driven directly) ---
+
+// Leader crash mid-deploy: the "raft.propose" kCrash point kills the
+// leader right after the local append, so the entry sits unreplicated in
+// a dead log.  The cluster elects a successor, the deploy is retried and
+// commits, and reviving the crashed leader truncates its orphaned entry.
+TEST_F(RaftTest, InjectedLeaderCrashDuringDeployRecoversOnRetry) {
+  Build(3, 23);
+  ASSERT_TRUE(RunUntilLeader());
+  fault::FaultInjector injector;
+  cluster_->set_fault_injector(&injector);
+  injector.Arm({"raft.propose", fault::FaultAction::kCrash, 0, 1, 0});
+
+  const int old_leader = cluster_->leader();
+  bool orphan_ok = true;  // the callback must never report a commit
+  EXPECT_FALSE(cluster_->Propose(
+      "deploy fw", [&](bool ok, std::uint64_t) { orphan_ok = ok; }));
+  EXPECT_FALSE(cluster_->alive(static_cast<std::size_t>(old_leader)));
+  EXPECT_EQ(injector.injected(), 1u);
+
+  ASSERT_TRUE(RunUntilLeader(10 * kSecond));
+  const int new_leader = cluster_->leader();
+  EXPECT_NE(new_leader, old_leader);
+
+  // The retry goes through the successor (the crash rule is spent).
+  bool committed = false;
+  ASSERT_TRUE(cluster_->Propose("deploy fw",
+                                [&](bool ok, std::uint64_t) {
+                                  committed = ok;
+                                }));
+  sim_.RunUntil(sim_.now() + 2 * kSecond);
+  EXPECT_TRUE(committed);
+  // The orphaned proposal is reported superseded (the successor's entry
+  // won index 1), never committed.
+  EXPECT_FALSE(orphan_ok);
+
+  // The revived crasher rejoins, loses its orphaned entry to the
+  // successor's log, and converges on the committed prefix.
+  cluster_->Revive(static_cast<std::size_t>(old_leader));
+  sim_.RunUntil(sim_.now() + 3 * kSecond);
+  EXPECT_TRUE(cluster_->CommittedPrefixesConsistent());
+  EXPECT_GE(cluster_->commit_index(static_cast<std::size_t>(old_leader)), 1u);
+}
+
+// Partition: nothing commits across the cut — a stale minority leader
+// keeps accepting proposals that can never reach a majority — and healing
+// converges every node onto the majority's committed prefix.
+TEST_F(RaftTest, PartitionBlocksCommitsUntilHealed) {
+  Build(5, 19);
+  ASSERT_TRUE(RunUntilLeader());
+  fault::FaultInjector injector;
+  cluster_->set_fault_injector(&injector);
+
+  // Cut the leader plus one follower away from the other three.
+  const auto stale = static_cast<std::size_t>(cluster_->leader());
+  std::vector<std::size_t> minority = {stale};
+  std::vector<std::size_t> majority;
+  for (std::size_t i = 0; i < cluster_->size(); ++i) {
+    if (i == stale) continue;
+    (minority.size() < 2 ? minority : majority).push_back(i);
+  }
+  ArmPartition(injector, minority, majority);
+
+  // The stale leader still accepts the proposal — but across the cut it
+  // can never replicate to a majority, so the commit must not happen.
+  bool stale_committed = false;
+  ASSERT_TRUE(cluster_->Propose(
+      "across-the-cut",
+      [&](bool ok, std::uint64_t) { stale_committed = ok; }));
+  sim_.RunUntil(sim_.now() + 3 * kSecond);
+  EXPECT_FALSE(stale_committed);
+  EXPECT_GT(injector.injected(), 0u);  // the cut actually dropped traffic
+  for (const std::size_t i : majority) {
+    EXPECT_EQ(cluster_->commit_index(i), 0u) << "node " << i;
+  }
+  // The majority side elected its own (higher-term) leader meanwhile.
+  const int new_leader = cluster_->leader();
+  ASSERT_GE(new_leader, 0);
+  EXPECT_NE(static_cast<std::size_t>(new_leader), stale);
+
+  // Heal: the stale leader steps down, its orphan is truncated, and new
+  // proposals commit cluster-wide.
+  HealPartition(injector, minority, majority);
+  bool healed_committed = false;
+  ASSERT_TRUE(cluster_->Propose(
+      "after-heal", [&](bool ok, std::uint64_t) { healed_committed = ok; }));
+  sim_.RunUntil(sim_.now() + 3 * kSecond);
+  EXPECT_TRUE(healed_committed);
+  EXPECT_FALSE(stale_committed);  // the orphaned entry never commits
+  EXPECT_TRUE(cluster_->CommittedPrefixesConsistent());
+  for (std::size_t i = 0; i < cluster_->size(); ++i) {
+    EXPECT_GE(cluster_->commit_index(i), 1u) << "node " << i;
+  }
 }
 
 // Property sweep: across seeds, elections converge and never split-brain

@@ -237,6 +237,93 @@ TEST(MigrationTest, LossGrowsWithUpdateRate) {
   EXPECT_GT(previous_lost, 0u);
 }
 
+// --- Migration under injected faults (idempotent chunk sequencing) ---
+
+namespace {
+// An adversarial chunk schedule: the second chunk is duplicated with a
+// 40us redelivery lag (so the copy lands after later progress), and the
+// fourth arrival aborts the transfer — bumping the epoch and restarting —
+// so the duplicate arrives as a stale pre-abort chunk.
+fault::FaultPlan AbortThenStaleRedeliveryPlan() {
+  fault::FaultPlan plan;
+  plan.rules.push_back({"migration.chunk", fault::FaultAction::kDuplicate, 1,
+                        1, 40 * kMicrosecond});
+  plan.rules.push_back(
+      {"migration.chunk", fault::FaultAction::kAbort, 3, 1, 0});
+  return plan;
+}
+}  // namespace
+
+// Regression: a chunk re-delivered after an abort restarted the transfer
+// must be discarded, not treated as fresh progress.  With (epoch, seq)
+// sequencing the stale redelivery is ignored and the migration stays
+// lossless and consistent despite the restart.
+TEST(MigrationFaultTest, IdempotentSequencingAbsorbsPostAbortRedelivery) {
+  sim::Simulator sim;
+  auto src = CreateEncodedMap(Decl(512), flexbpf::MapEncoding::kStatefulTable);
+  auto dst = CreateEncodedMap(Decl(512), flexbpf::MapEncoding::kStatefulTable);
+  // Pre-existing state gives every chunk real value mass, so a
+  // double-applied chunk would visibly overcount.
+  for (std::uint64_t k = 0; k < 512; ++k) (*src)->Store(k, "v", 1 + (k & 3));
+  MigrationConfig config;
+  config.update_rate_pps = 200000;
+  config.key_space = 512;
+  config.chunk_keys = 64;
+  fault::FaultInjector injector(AbortThenStaleRedeliveryPlan(), &sim);
+  MigrationRunner runner(&sim, src->get(), dst->get(), config);
+  runner.set_fault_injector(&injector);
+  const MigrationReport report = runner.RunDataplane();
+  EXPECT_EQ(report.aborts, 1u);
+  EXPECT_GE(report.chunks_ignored, 1u);  // the stale redelivery, discarded
+  EXPECT_EQ(report.updates_lost, 0u);
+  EXPECT_EQ(report.updates_excess, 0u);
+  EXPECT_TRUE(report.consistent);
+  EXPECT_EQ(injector.injected(), 2u);
+}
+
+// The historical bug, kept reproducible behind the config switch: without
+// sequencing the same schedule double-applies the redelivered chunk and
+// the shadow oracle catches the divergence.
+TEST(MigrationFaultTest, LegacySequencingDoubleAppliesRedeliveredChunk) {
+  sim::Simulator sim;
+  auto src = CreateEncodedMap(Decl(512), flexbpf::MapEncoding::kStatefulTable);
+  auto dst = CreateEncodedMap(Decl(512), flexbpf::MapEncoding::kStatefulTable);
+  for (std::uint64_t k = 0; k < 512; ++k) (*src)->Store(k, "v", 1 + (k & 3));
+  MigrationConfig config;
+  config.update_rate_pps = 200000;
+  config.key_space = 512;
+  config.chunk_keys = 64;
+  config.idempotent_chunks = false;
+  fault::FaultInjector injector(AbortThenStaleRedeliveryPlan(), &sim);
+  MigrationRunner runner(&sim, src->get(), dst->get(), config);
+  runner.set_fault_injector(&injector);
+  const MigrationReport report = runner.RunDataplane();
+  EXPECT_FALSE(report.consistent);
+  EXPECT_GT(report.updates_excess, 0u);  // stale chunk counted twice
+}
+
+// A dropped chunk is retransmitted and the transfer still completes
+// losslessly — chunk loss degrades latency, not correctness.
+TEST(MigrationFaultTest, DroppedChunkIsRetransmittedLosslessly) {
+  sim::Simulator sim;
+  auto src = CreateEncodedMap(Decl(512), flexbpf::MapEncoding::kStatefulTable);
+  auto dst = CreateEncodedMap(Decl(512), flexbpf::MapEncoding::kStatefulTable);
+  for (std::uint64_t k = 0; k < 512; ++k) (*src)->Store(k, "v", 2);
+  MigrationConfig config;
+  config.update_rate_pps = 200000;
+  config.key_space = 512;
+  config.chunk_keys = 64;
+  fault::FaultPlan plan;
+  plan.rules.push_back({"migration.chunk", fault::FaultAction::kDrop, 2, 2, 0});
+  fault::FaultInjector injector(plan, &sim);
+  MigrationRunner runner(&sim, src->get(), dst->get(), config);
+  runner.set_fault_injector(&injector);
+  const MigrationReport report = runner.RunDataplane();
+  EXPECT_EQ(report.chunks_retransmitted, 2u);
+  EXPECT_EQ(report.updates_lost, 0u);
+  EXPECT_TRUE(report.consistent);
+}
+
 // --- Chain replication ---
 
 class ReplicationTest : public ::testing::Test {
