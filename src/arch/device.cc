@@ -56,4 +56,32 @@ ProcessOutcome Device::ProcessPacket(packet::Packet& p, SimTime now) {
   return out;
 }
 
+void Device::ProcessPacketBatch(std::span<packet::Packet> pkts, SimTime now,
+                                std::span<ProcessOutcome> outcomes) {
+  packets_ += pkts.size();
+  if (!online_) {
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      pkts[i].MarkDropped("device_offline");
+      outcomes[i] = ProcessOutcome{};
+      outcomes[i].pipeline.dropped = true;
+      ++drops_;
+    }
+    return;
+  }
+  // Hop records carry one (device, version, time) per member; within one
+  // simulator event the version cannot change, so recording them up front
+  // is indistinguishable from the scalar interleaving.
+  for (packet::Packet& p : pkts) p.RecordHop(id_, program_version_, now);
+  batch_results_.assign(pkts.size(), dataplane::PipelineResult{});
+  pipeline_.ProcessBatch(pkts, now, batch_results_);
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    ProcessOutcome& out = outcomes[i];
+    out = ProcessOutcome{};
+    out.pipeline = batch_results_[i];
+    if (out.pipeline.dropped) ++drops_;
+    out.latency = LatencyModel(out.pipeline.tables_traversed);
+    out.energy_nj = EnergyModelNj(out.pipeline.tables_traversed);
+  }
+}
+
 }  // namespace flexnet::arch

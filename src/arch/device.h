@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -100,6 +101,13 @@ class Device {
   // version) on the packet, and returns modeled latency/energy.
   ProcessOutcome ProcessPacket(packet::Packet& p, SimTime now);
 
+  // Burst overload: per-member bookkeeping, pipeline semantics, and
+  // modeled latency/energy identical to calling ProcessPacket on each
+  // member in order (the pipeline runs member-major); the burst amortizes
+  // per-packet setup.  `outcomes` must have at least pkts.size() slots.
+  void ProcessPacketBatch(std::span<packet::Packet> pkts, SimTime now,
+                          std::span<ProcessOutcome> outcomes);
+
   std::uint64_t program_version() const noexcept { return program_version_; }
   void BumpProgramVersion() noexcept { ++program_version_; }
 
@@ -146,6 +154,8 @@ class Device {
   bool online_ = true;
   std::uint64_t packets_ = 0;
   std::uint64_t drops_ = 0;
+  // Scratch for ProcessPacketBatch: reused so a burst costs no allocation.
+  std::vector<dataplane::PipelineResult> batch_results_;
 };
 
 }  // namespace flexnet::arch

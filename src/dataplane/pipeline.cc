@@ -100,13 +100,30 @@ void Pipeline::ForceReferenceScan(bool force) noexcept {
   BumpEpoch();  // cached steps memoized the other path's accounting
 }
 
-void Pipeline::CacheInsert(std::uint64_t signature, CachedFlow flow) {
-  if (flow_cache_.size() >= kFlowCacheCap) flow_cache_.clear();
-  flow_cache_[signature] = std::move(flow);
+const Pipeline::CachedFlow* Pipeline::CacheInsert(std::uint64_t signature,
+                                                  CachedFlow flow) {
+  if (flow_cache_.size() >= kFlowCacheCap) {
+    flow_cache_.clear();
+    ++cache_generation_;  // orphan any batch-memo pointers into the cache
+  }
+  CachedFlow& slot = flow_cache_[signature];
+  slot = std::move(flow);
+  return &slot;
+}
+
+void Pipeline::MemoNote(BatchMemo* memo, std::uint64_t signature,
+                        const CachedFlow* flow) {
+  if (memo == nullptr) return;
+  if (memo->generation != cache_generation_) {
+    memo->entries.clear();
+    memo->generation = cache_generation_;
+  }
+  memo->entries[signature] = flow;
 }
 
 PipelineResult Pipeline::ReplayCached(const CachedFlow& flow,
-                                      packet::Packet& p, SimTime now) {
+                                      packet::Packet& p, SimTime now,
+                                      ActionExecutor& executor) {
   PipelineResult result;
   result.flow_cache_hit = true;
   if (flow.parse_reject) {
@@ -117,7 +134,6 @@ PipelineResult Pipeline::ReplayCached(const CachedFlow& flow,
   // Actions are re-executed (state updates and counters stay live); only
   // parse + match are skipped.  RecordCachedHit keeps per-table lookup/hit
   // accounting identical to the uncached path.
-  ActionExecutor executor(&state_);
   for (const CachedStep& step : flow.steps) {
     ++result.tables_traversed;
     step.table->RecordCachedHit(step.entry);
@@ -134,36 +150,10 @@ PipelineResult Pipeline::ReplayCached(const CachedFlow& flow,
   return result;
 }
 
-PipelineResult Pipeline::Process(packet::Packet& p, SimTime now) {
-  if (!flow_cache_enabled_) {
-    PipelineResult result;
-    if (!parser_.Accepts(p)) {
-      p.MarkDropped("parse_reject");
-      result.dropped = true;
-      return result;
-    }
-    ActionExecutor executor(&state_);
-    for (auto& table : tables_) {
-      ++result.tables_traversed;
-      const Action& action = table->Lookup(p);
-      const ExecResult exec = executor.Execute(action, p, now);
-      result.ops_executed += exec.ops_executed;
-      if (exec.dropped) {
-        result.dropped = true;
-        return result;
-      }
-    }
-    return result;
-  }
-
-  const std::uint64_t signature = p.ContentSignature();
-  const auto it = flow_cache_.find(signature);
-  if (it != flow_cache_.end() && it->second.epoch == epoch_) {
-    ++cache_hits_;
-    return ReplayCached(it->second, p, now);
-  }
-  ++cache_misses_;
-
+PipelineResult Pipeline::ResolveAndCache(packet::Packet& p, SimTime now,
+                                         ActionExecutor& executor,
+                                         std::uint64_t signature,
+                                         BatchMemo* memo) {
   PipelineResult result;
   CachedFlow flow;
   flow.epoch = epoch_;
@@ -171,12 +161,11 @@ PipelineResult Pipeline::Process(packet::Packet& p, SimTime now) {
     p.MarkDropped("parse_reject");
     result.dropped = true;
     flow.parse_reject = true;
-    CacheInsert(signature, std::move(flow));
+    MemoNote(memo, signature, CacheInsert(signature, std::move(flow)));
     return result;
   }
   flow.steps.reserve(tables_.size());
   bool cacheable = true;
-  ActionExecutor executor(&state_);
   for (auto& table : tables_) {
     ++result.tables_traversed;
     TableEntry* entry = table->LookupEntry(p);
@@ -193,8 +182,84 @@ PipelineResult Pipeline::Process(packet::Packet& p, SimTime now) {
   }
   // A mutation inside an action could in principle bump the epoch while we
   // resolve; the stamp taken up front makes such a flow immediately stale.
-  if (cacheable) CacheInsert(signature, std::move(flow));
+  if (cacheable) {
+    MemoNote(memo, signature, CacheInsert(signature, std::move(flow)));
+  } else {
+    MemoNote(memo, signature, nullptr);
+  }
   return result;
+}
+
+PipelineResult Pipeline::ProcessOne(packet::Packet& p, SimTime now,
+                                    ActionExecutor& executor,
+                                    BatchMemo* memo) {
+  // An empty pipeline has nothing worth memoizing — the signature hash
+  // would cost more than the parse it skips — so table-less devices
+  // (hosts, NICs) bypass the cache entirely.
+  if (!flow_cache_enabled_ || tables_.empty()) {
+    PipelineResult result;
+    if (!parser_.Accepts(p)) {
+      p.MarkDropped("parse_reject");
+      result.dropped = true;
+      return result;
+    }
+    for (auto& table : tables_) {
+      ++result.tables_traversed;
+      const Action& action = table->Lookup(p);
+      const ExecResult exec = executor.Execute(action, p, now);
+      result.ops_executed += exec.ops_executed;
+      if (exec.dropped) {
+        result.dropped = true;
+        return result;
+      }
+    }
+    return result;
+  }
+
+  const std::uint64_t signature = p.ContentSignature();
+  if (memo != nullptr && memo->generation == cache_generation_) {
+    const auto mit = memo->entries.find(signature);
+    if (mit != memo->entries.end()) {
+      const CachedFlow* flow = mit->second;
+      if (flow != nullptr && flow->epoch == epoch_) {
+        // A duplicate signature inside this burst: the scalar oracle would
+        // re-probe the global cache and hit the same flow.
+        ++cache_hits_;
+        return ReplayCached(*flow, p, now, executor);
+      }
+      // First occurrence resolved uncacheably (or went stale): the scalar
+      // path re-probes, misses, and resolves again — do the same without
+      // the redundant probe.
+      ++cache_misses_;
+      return ResolveAndCache(p, now, executor, signature, memo);
+    }
+  }
+  const auto it = flow_cache_.find(signature);
+  if (it != flow_cache_.end() && it->second.epoch == epoch_) {
+    ++cache_hits_;
+    MemoNote(memo, signature, &it->second);
+    return ReplayCached(it->second, p, now, executor);
+  }
+  ++cache_misses_;
+  return ResolveAndCache(p, now, executor, signature, memo);
+}
+
+PipelineResult Pipeline::Process(packet::Packet& p, SimTime now) {
+  ActionExecutor executor(&state_);
+  return ProcessOne(p, now, executor, nullptr);
+}
+
+void Pipeline::ProcessBatch(std::span<packet::Packet> pkts, SimTime now,
+                            std::span<PipelineResult> results) {
+  ++batches_;
+  batch_sizes_.Add(static_cast<double>(pkts.size()));
+  ActionExecutor executor(&state_);
+  batch_memo_.entries.clear();
+  batch_memo_.generation = cache_generation_;
+  BatchMemo* memo = flow_cache_enabled_ ? &batch_memo_ : nullptr;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    results[i] = ProcessOne(pkts[i], now, executor, memo);
+  }
 }
 
 void Pipeline::PublishMetrics(telemetry::MetricsRegistry& registry) const {
@@ -209,6 +274,9 @@ void Pipeline::PublishMetrics(telemetry::MetricsRegistry& registry) const {
   }
   registry.Count("table_lookup_indexed", indexed);
   registry.Count("table_lookup_scanned", scanned);
+  registry.Count("dataplane_batch_count", batches_);
+  registry.Set("dataplane_batch_size_p50", batch_sizes_.Percentile(50.0));
+  registry.Set("dataplane_batch_size_p99", batch_sizes_.Percentile(99.0));
 }
 
 }  // namespace flexnet::dataplane

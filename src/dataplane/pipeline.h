@@ -14,11 +14,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/stats.h"
 #include "common/types.h"
 #include "dataplane/executor.h"
 #include "dataplane/parser.h"
@@ -66,12 +68,28 @@ class Pipeline {
 
   // Runs parse + every table in order.  Unparseable packets are dropped
   // ("parse_reject"); a Drop action short-circuits the remaining tables.
+  // This scalar path is the semantic oracle for ProcessBatch.
   PipelineResult Process(packet::Packet& p, SimTime now);
+
+  // Burst overload: processes `pkts` member-major (each packet runs its
+  // full parse -> lookup -> action sequence before the next starts, so
+  // stateful ops — meters, counters, registers — observe exactly the
+  // scalar order) while amortizing per-burst costs: one ActionExecutor,
+  // and a batch-local signature memo so one microflow-cache probe serves
+  // every duplicate signature in the burst.  Outcomes, packet contents,
+  // per-table hit accounting, and flow-cache hit/miss counters are
+  // identical to calling Process() on each member in order.
+  // `results` must have at least pkts.size() slots.
+  void ProcessBatch(std::span<packet::Packet> pkts, SimTime now,
+                    std::span<PipelineResult> results);
 
   // --- Microflow cache controls / observability ---
   void set_flow_cache_enabled(bool enabled) noexcept {
     flow_cache_enabled_ = enabled;
-    if (!enabled) flow_cache_.clear();
+    if (!enabled) {
+      flow_cache_.clear();
+      ++cache_generation_;
+    }
   }
   bool flow_cache_enabled() const noexcept { return flow_cache_enabled_; }
   // Invalidate every memoized flow.  Callers whose mutations bypass the
@@ -86,13 +104,20 @@ class Pipeline {
   std::uint64_t flow_cache_invalidations() const noexcept { return epoch_; }
   std::size_t flow_cache_size() const noexcept { return flow_cache_.size(); }
 
+  // --- Burst observability ---
+  std::uint64_t batches_processed() const noexcept { return batches_; }
+  double BatchSizePercentile(double p) const {
+    return batch_sizes_.Percentile(p);
+  }
+
   // Bench/test knob: route every table through its reference linear scan.
   void ForceReferenceScan(bool force) noexcept;
 
   // Snapshot the fast-path counters into `registry` (one-shot: callers
   // Reset() the registry first; values are current totals, not deltas):
   //   dataplane_flowcache_{hits,misses,invalidations},
-  //   table_lookup_{indexed,scanned} (summed over current tables).
+  //   table_lookup_{indexed,scanned} (summed over current tables),
+  //   dataplane_batch_count and dataplane_batch_size_{p50,p99} gauges.
   void PublishMetrics(telemetry::MetricsRegistry& registry) const;
 
  private:
@@ -112,9 +137,29 @@ class Pipeline {
   // (microflow caches favor cheap wholesale eviction over LRU bookkeeping).
   static constexpr std::size_t kFlowCacheCap = 65536;
 
-  void CacheInsert(std::uint64_t signature, CachedFlow flow);
+  // Batch-local memo: signature -> resolved global-cache flow (null when
+  // the first occurrence resolved uncacheably), so duplicate signatures
+  // inside one burst skip the global probe.  Pointers into flow_cache_
+  // are orphaned by any wholesale clear; `generation` detects that.
+  struct BatchMemo {
+    std::uint64_t generation = 0;
+    std::unordered_map<std::uint64_t, const CachedFlow*> entries;
+  };
+
+  // Inserts (possibly evicting everything first) and returns the cache
+  // slot's stable address.
+  const CachedFlow* CacheInsert(std::uint64_t signature, CachedFlow flow);
+  void MemoNote(BatchMemo* memo, std::uint64_t signature,
+                const CachedFlow* flow);
   PipelineResult ReplayCached(const CachedFlow& flow, packet::Packet& p,
-                              SimTime now);
+                              SimTime now, ActionExecutor& executor);
+  // Single implementation under both Process (scalar oracle) and
+  // ProcessBatch (memo != nullptr).
+  PipelineResult ProcessOne(packet::Packet& p, SimTime now,
+                            ActionExecutor& executor, BatchMemo* memo);
+  PipelineResult ResolveAndCache(packet::Packet& p, SimTime now,
+                                 ActionExecutor& executor,
+                                 std::uint64_t signature, BatchMemo* memo);
 
   std::vector<std::unique_ptr<MatchActionTable>> tables_;
   StateObjects state_;
@@ -125,6 +170,13 @@ class Pipeline {
   std::unordered_map<std::uint64_t, CachedFlow> flow_cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  // Bumped on every wholesale flow_cache_ clear (cap overflow / disable):
+  // outstanding BatchMemo pointers become invalid exactly then.
+  std::uint64_t cache_generation_ = 0;
+  BatchMemo batch_memo_;  // reused across bursts to keep buckets warm
+
+  std::uint64_t batches_ = 0;
+  PercentileTracker batch_sizes_;
 };
 
 }  // namespace flexnet::dataplane

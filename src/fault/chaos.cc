@@ -190,7 +190,17 @@ ChaosReport RunChaosSchedule(const ChaosConfig& config, FaultPlan plan) {
   flow.from = topo.client.host;
   flow.src_ip = topo.client.address;
   flow.dst_ip = topo.server.address;
-  traffic.StartCbr(flow, config.traffic_pps, config.traffic_window);
+  // Traffic runs in two phases: scalar-shaped bursts of 1 for the first
+  // half of the window, then batched injection (bursts ride one simulator
+  // event per hop) for the second half — chaos faults land on both
+  // transport shapes under the same seed.
+  const SimDuration half_window = config.traffic_window / 2;
+  traffic.StartCbr(flow, config.traffic_pps, half_window);
+  sim.Schedule(half_window, [&traffic, &config, flow, half_window]() {
+    traffic.set_burst(config.traffic_burst);
+    traffic.StartCbr(flow, config.traffic_pps,
+                     config.traffic_window - half_window);
+  });
 
   InvariantChecker checker(&network);
   checker.Begin();

@@ -36,6 +36,11 @@ struct ChaosConfig {
   std::size_t rules = 3;              // rules drawn into the random plan
   double traffic_pps = 200000.0;      // continuous CBR through the fabric
   SimDuration traffic_window = 60 * kMillisecond;
+  // Burst for the batched-injection phase: the first half of the traffic
+  // window runs per-packet-shaped bursts of 1, the second half re-emits
+  // at the same rate in bursts of `traffic_burst` via InjectBatch, so
+  // every schedule exercises batched transport under the same faults.
+  std::size_t traffic_burst = 16;
   // The paper's sub-second bound applies to the hitless path
   // (runtime.apply_plan) and in-band migration, not the drain baseline.
   SimDuration reconfig_latency_bound = 2 * kSecond;

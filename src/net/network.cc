@@ -1,8 +1,22 @@
 #include "net/network.h"
 
 #include <deque>
+#include <utility>
+
+#include "telemetry/telemetry.h"
 
 namespace flexnet::net {
+
+namespace {
+
+// Interned once: hop classification reads the destination through the
+// symbol fast path instead of splitting "ipv4.dst" per packet per hop.
+const packet::FieldRef& DstFieldRef() {
+  static const packet::FieldRef ref = packet::InternFieldPath("ipv4.dst");
+  return ref;
+}
+
+}  // namespace
 
 runtime::ManagedDevice* Network::AddDevice(
     std::unique_ptr<arch::Device> device) {
@@ -161,6 +175,23 @@ void Network::InjectPacket(DeviceId from, packet::Packet packet) {
   HopProcess(from, std::move(packet));
 }
 
+void Network::InjectBatch(DeviceId from, packet::PacketBatch batch) {
+  stats_.injected += batch.size();
+  ++stats_.batches_injected;
+  const SimTime now = sim_->now();
+  for (packet::Packet& p : batch) p.created_at = now;
+  if (!batching_enabled_) {
+    // Scalar-transport oracle: unbundle onto the per-packet path at the
+    // same instant, preserving member order.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      HopProcess(from, batch.Take(i));
+    }
+    arena_.Recycle(std::move(batch));
+    return;
+  }
+  HopProcessBatch(from, std::move(batch));
+}
+
 void Network::FinishDrop(packet::Packet&& packet) {
   ++stats_.dropped;
   ++stats_.drops_by_reason[packet.drop_reason().empty() ? "unknown"
@@ -177,41 +208,48 @@ void Network::FinishDeliver(packet::Packet&& packet) {
   }
 }
 
-void Network::HopProcess(DeviceId at, packet::Packet packet) {
-  runtime::ManagedDevice* device = Find(at);
-  if (device == nullptr) {
-    packet.MarkDropped("no_such_device");
-    FinishDrop(std::move(packet));
-    return;
-  }
-  const arch::ProcessOutcome outcome = device->Process(packet, sim_->now());
+Network::HopDecision Network::SettleHop(DeviceId at, packet::Packet& packet,
+                                        const arch::ProcessOutcome& outcome) {
   stats_.total_energy_nj += outcome.energy_nj;
+  HopDecision decision;
   if (outcome.pipeline.dropped || packet.dropped()) {
-    FinishDrop(std::move(packet));
-    return;
+    decision.kind = HopDecision::kDrop;
+    return decision;
   }
-  const auto dst = packet.GetField("ipv4.dst");
+  const auto dst = packet.GetField(DstFieldRef());
   if (!dst.has_value()) {
     packet.MarkDropped("no_destination");
-    FinishDrop(std::move(packet));
-    return;
+    decision.kind = HopDecision::kDrop;
+    return decision;
   }
   const auto home_it = address_home_.find(*dst);
   if (home_it != address_home_.end() && home_it->second == at) {
     // Arrived: charge processing latency, then deliver.
-    auto shared = std::make_shared<packet::Packet>(std::move(packet));
-    sim_->Schedule(outcome.latency, [this, shared]() {
-      FinishDeliver(std::move(*shared));
-    });
-    return;
+    decision.kind = HopDecision::kDeliver;
+    decision.delay = outcome.latency;
+    return decision;
   }
-  const auto key = packet::ExtractFlowKey(packet);
-  const DeviceId next =
-      NextHop(at, *dst, key.has_value() ? key->Hash() : packet.id());
-  if (!next.valid()) {
+  const std::vector<DeviceId>* candidates = nullptr;
+  const auto rit = routes_.find(at);
+  if (rit != routes_.end()) {
+    const auto ait = rit->second.find(*dst);
+    if (ait != rit->second.end() && !ait->second.empty()) {
+      candidates = &ait->second;
+    }
+  }
+  if (candidates == nullptr) {
     packet.MarkDropped("unroutable");
-    FinishDrop(std::move(packet));
-    return;
+    decision.kind = HopDecision::kDrop;
+    return decision;
+  }
+  DeviceId next;
+  if (candidates->size() == 1) {
+    // No ECMP choice to make: skip the flow-key extraction + hash.
+    next = candidates->front();
+  } else {
+    const auto key = packet::ExtractFlowKey(packet);
+    next = (*candidates)[(key.has_value() ? key->Hash() : packet.id()) %
+                         candidates->size()];
   }
   SimDuration link_latency = 1 * kMicrosecond;
   for (const LinkEnd& end : links_[at]) {
@@ -220,10 +258,144 @@ void Network::HopProcess(DeviceId at, packet::Packet packet) {
       break;
     }
   }
-  auto shared = std::make_shared<packet::Packet>(std::move(packet));
-  sim_->Schedule(outcome.latency + link_latency, [this, next, shared]() {
-    HopProcess(next, std::move(*shared));
-  });
+  decision.kind = HopDecision::kForward;
+  decision.next = next;
+  decision.delay = outcome.latency + link_latency;
+  return decision;
+}
+
+void Network::HopProcess(DeviceId at, packet::Packet packet) {
+  runtime::ManagedDevice* device = Find(at);
+  if (device == nullptr) {
+    packet.MarkDropped("no_such_device");
+    FinishDrop(std::move(packet));
+    return;
+  }
+  const arch::ProcessOutcome outcome = device->Process(packet, sim_->now());
+  const HopDecision decision = SettleHop(at, packet, outcome);
+  switch (decision.kind) {
+    case HopDecision::kDrop:
+      FinishDrop(std::move(packet));
+      return;
+    case HopDecision::kDeliver:
+      // The packet is moved through the event — no shared_ptr control
+      // block, no copy of the header stack on the terminal hop.
+      sim_->Schedule(decision.delay, [this, p = std::move(packet)]() mutable {
+        FinishDeliver(std::move(p));
+      });
+      return;
+    case HopDecision::kForward:
+      sim_->Schedule(decision.delay, [this, next = decision.next,
+                                      p = std::move(packet)]() mutable {
+        HopProcess(next, std::move(p));
+      });
+      return;
+  }
+}
+
+void Network::HopProcessBatch(DeviceId at, packet::PacketBatch batch) {
+  runtime::ManagedDevice* device = Find(at);
+  if (device == nullptr) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      packet::Packet p = batch.Take(i);
+      p.MarkDropped("no_such_device");
+      FinishDrop(std::move(p));
+    }
+    arena_.Recycle(std::move(batch));
+    return;
+  }
+  outcome_scratch_.assign(batch.size(), arch::ProcessOutcome{});
+  device->ProcessBatch(batch.span(), sim_->now(), outcome_scratch_);
+
+  // Settle every member, checking whether the whole batch agrees on one
+  // non-drop decision (the common case on any non-branching stretch of
+  // the path): if so the batch is rescheduled whole — no per-member
+  // moves, no arena churn.
+  decision_scratch_.resize(batch.size());
+  bool uniform = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const HopDecision decision =
+        SettleHop(at, batch[i], outcome_scratch_[i]);
+    decision_scratch_[i] = decision;
+    if (decision.kind == HopDecision::kDrop ||
+        decision.kind != decision_scratch_[0].kind ||
+        decision.next != decision_scratch_[0].next ||
+        decision.delay != decision_scratch_[0].delay) {
+      uniform = false;
+    }
+  }
+  if (uniform && !batch.empty()) {
+    ScheduleGroup(decision_scratch_[0], std::move(batch));
+    return;
+  }
+
+  // Mixed fates: partition members into per-(kind, next, delay) groups in
+  // first-occurrence order — the batch splits only where the path or the
+  // modeled latency actually diverges, and each group still rides ONE
+  // simulator event where the scalar path would schedule one per member.
+  struct Group {
+    HopDecision decision;
+    packet::PacketBatch members;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    packet::Packet p = batch.Take(i);
+    const HopDecision& decision = decision_scratch_[i];
+    if (decision.kind == HopDecision::kDrop) {
+      FinishDrop(std::move(p));
+      continue;
+    }
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (g.decision.kind == decision.kind &&
+          g.decision.next == decision.next &&
+          g.decision.delay == decision.delay) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(Group{decision, arena_.Acquire()});
+      group = &groups.back();
+    }
+    group->members.Push(std::move(p));
+  }
+  arena_.Recycle(std::move(batch));
+  for (Group& g : groups) {
+    ScheduleGroup(g.decision, std::move(g.members));
+  }
+}
+
+void Network::ScheduleGroup(const HopDecision& decision,
+                            packet::PacketBatch members) {
+  ++stats_.batch_events;
+  stats_.events_saved += members.size() - 1;
+  // EventFn is copyable (std::function), so the move-only batch rides
+  // behind one shared_ptr — one allocation per *group*, not per packet.
+  auto shared = std::make_shared<packet::PacketBatch>(std::move(members));
+  if (decision.kind == HopDecision::kDeliver) {
+    sim_->Schedule(decision.delay, [this, shared]() {
+      for (std::size_t i = 0; i < shared->size(); ++i) {
+        FinishDeliver(shared->Take(i));
+      }
+      arena_.Recycle(std::move(*shared));
+    });
+  } else {
+    sim_->Schedule(decision.delay,
+                   [this, next = decision.next, shared]() {
+      HopProcessBatch(next, std::move(*shared));
+    });
+  }
+}
+
+void Network::PublishMetrics(telemetry::MetricsRegistry& registry) const {
+  registry.Count("net_injected", stats_.injected);
+  registry.Count("net_delivered", stats_.delivered);
+  registry.Count("net_dropped", stats_.dropped);
+  registry.Count("net_batches_injected", stats_.batches_injected);
+  registry.Count("net_batch_events", stats_.batch_events);
+  registry.Count("net_events_saved", stats_.events_saved);
+  registry.Set("net_energy_nj", stats_.total_energy_nj);
 }
 
 }  // namespace flexnet::net

@@ -19,6 +19,7 @@
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "packet/batch.h"
 #include "packet/flow.h"
 #include "runtime/managed_device.h"
 #include "sim/simulator.h"
@@ -38,6 +39,12 @@ struct NetworkStats {
   std::unordered_map<std::string, std::uint64_t> drops_by_reason;
   RunningStats latency_ns;
   double total_energy_nj = 0.0;
+  // Burst transport accounting: batches entering the network, hop/delivery
+  // events actually scheduled for batch groups, and how many per-packet
+  // events batching avoided (a group of k members is 1 event, not k).
+  std::uint64_t batches_injected = 0;
+  std::uint64_t batch_events = 0;
+  std::uint64_t events_saved = 0;
 };
 
 class Network {
@@ -69,14 +76,41 @@ class Network {
   // --- Transport ---
   // Injects at `from` at sim->now(); the packet is processed by every
   // device on the path to its ipv4.dst address.  Delivery/drop lands in
-  // stats and the optional sink.
+  // stats and the optional sink.  This per-packet path (one simulator
+  // event per packet per hop) is the oracle the batch path is checked
+  // against.
   void InjectPacket(DeviceId from, packet::Packet packet);
+
+  // Burst transport: the whole batch rides one simulator event per hop,
+  // splitting only where members diverge (different next hop or modeled
+  // latency).  Per-packet outcomes, delivery records, and the delivery
+  // sink stream are identical to injecting each member with InjectPacket
+  // at the same instant; only event/allocation mechanics differ.  With
+  // batching disabled the members are unbundled onto the scalar path —
+  // same traffic shape, per-packet transport (the differential oracle).
+  void InjectBatch(DeviceId from, packet::PacketBatch batch);
+
+  // Batched transport is the default; the scalar fallback exists for
+  // differential tests and the bench baseline.
+  void set_batching_enabled(bool enabled) noexcept {
+    batching_enabled_ = enabled;
+  }
+  bool batching_enabled() const noexcept { return batching_enabled_; }
+
+  // Borrow/return burst storage from the network's arena so callers that
+  // build batches in a loop (traffic generators, benches) reuse buffers.
+  packet::PacketBatch AcquireBatch() { return arena_.Acquire(); }
 
   using DeliverFn = std::function<void(const DeliveryRecord&)>;
   void SetDeliverySink(DeliverFn sink) { sink_ = std::move(sink); }
 
   const NetworkStats& stats() const noexcept { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
+
+  // Snapshot transport counters (net_injected/delivered/dropped,
+  // net_batches_injected, net_batch_events, net_events_saved, energy) —
+  // the single publication site for both transport paths.
+  void PublishMetrics(telemetry::MetricsRegistry& registry) const;
 
   // Next hop device for (at, dst_addr); invalid id if unroutable.  ECMP
   // ties are broken by flow_hash.
@@ -97,7 +131,21 @@ class Network {
     DeviceId peer;
     SimDuration latency;
   };
+  // What one device visit decided for one packet.  SettleHop() is the
+  // single per-packet accounting + classification site shared by the
+  // scalar and batch paths (outcome energy, drop marking, routing).
+  struct HopDecision {
+    enum Kind : std::uint8_t { kDrop, kDeliver, kForward };
+    Kind kind = kDrop;
+    DeviceId next;           // kForward only
+    SimDuration delay = 0;   // processing (+ link) latency to charge
+  };
+  HopDecision SettleHop(DeviceId at, packet::Packet& packet,
+                        const arch::ProcessOutcome& outcome);
   void HopProcess(DeviceId at, packet::Packet packet);
+  void HopProcessBatch(DeviceId at, packet::PacketBatch batch);
+  // Schedules one group (batch members sharing a decision) as one event.
+  void ScheduleGroup(const HopDecision& decision, packet::PacketBatch members);
   void FinishDrop(packet::Packet&& packet);
   void FinishDeliver(packet::Packet&& packet);
 
@@ -113,6 +161,10 @@ class Network {
   IdAllocator<DeviceId> ids_;
   NetworkStats stats_;
   DeliverFn sink_;
+  bool batching_enabled_ = true;
+  packet::BatchArena arena_;
+  std::vector<arch::ProcessOutcome> outcome_scratch_;
+  std::vector<HopDecision> decision_scratch_;
 };
 
 }  // namespace flexnet::net

@@ -1,6 +1,7 @@
 #include "net/traffic.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace flexnet::net {
 
@@ -29,39 +30,55 @@ void TrafficGenerator::StartCbr(const FlowSpec& flow, double pps,
       1, static_cast<SimDuration>(static_cast<double>(kSecond) / pps));
   sim::Simulator* sim = network_->simulator();
   const SimTime stop = sim->now() + duration;
+  // One tick = one burst = one InjectBatch; the gap scales with the burst
+  // so the stream's mean rate is burst-invariant.
   struct Tick {
     TrafficGenerator* gen;
     FlowSpec flow;
     SimDuration gap;
     SimTime stop;
+    std::size_t burst;
     void operator()() const {
       sim::Simulator* sim = gen->network_->simulator();
       if (sim->now() > stop) return;
-      packet::Packet p = gen->MakePacket(flow);
-      ++gen->emitted_;
-      gen->network_->InjectPacket(flow.from, std::move(p));
-      sim->Schedule(gap, *this);
+      packet::PacketBatch batch = gen->network_->AcquireBatch();
+      for (std::size_t i = 0; i < burst; ++i) {
+        batch.Push(gen->MakePacket(flow));
+        ++gen->emitted_;
+      }
+      gen->network_->InjectBatch(flow.from, std::move(batch));
+      sim->Schedule(gap * static_cast<SimDuration>(burst), *this);
     }
   };
-  sim->Schedule(gap, Tick{this, flow, gap, stop});
+  sim->Schedule(gap, Tick{this, flow, gap, stop, burst_});
 }
 
 void TrafficGenerator::StartPoisson(const FlowSpec& flow, double pps,
                                     SimDuration duration) {
   sim::Simulator* sim = network_->simulator();
   const SimTime stop = sim->now() + duration;
+  // A burst of k coalesces k Poisson arrivals into one batch; the next
+  // tick fires after the *sum* of k exponential gaps, preserving the mean
+  // rate and the seeded draw sequence.
   struct Tick {
     TrafficGenerator* gen;
     FlowSpec flow;
     double pps;
     SimTime stop;
+    std::size_t burst;
     void operator()() const {
       sim::Simulator* sim = gen->network_->simulator();
       if (sim->now() > stop) return;
-      packet::Packet p = gen->MakePacket(flow);
-      ++gen->emitted_;
-      gen->network_->InjectPacket(flow.from, std::move(p));
-      const double gap_s = gen->rng_.NextExponential(pps);
+      packet::PacketBatch batch = gen->network_->AcquireBatch();
+      for (std::size_t i = 0; i < burst; ++i) {
+        batch.Push(gen->MakePacket(flow));
+        ++gen->emitted_;
+      }
+      gen->network_->InjectBatch(flow.from, std::move(batch));
+      double gap_s = 0.0;
+      for (std::size_t i = 0; i < burst; ++i) {
+        gap_s += gen->rng_.NextExponential(pps);
+      }
       sim->Schedule(static_cast<SimDuration>(gap_s *
                                              static_cast<double>(kSecond)),
                     *this);
@@ -70,7 +87,7 @@ void TrafficGenerator::StartPoisson(const FlowSpec& flow, double pps,
   const double first_gap = rng_.NextExponential(pps);
   sim->Schedule(
       static_cast<SimDuration>(first_gap * static_cast<double>(kSecond)),
-      Tick{this, flow, pps, stop});
+      Tick{this, flow, pps, stop, burst_});
 }
 
 void TrafficGenerator::StartSynFlood(DeviceId from, std::uint64_t dst_ip,
@@ -89,26 +106,31 @@ void TrafficGenerator::StartSynFlood(DeviceId from, std::uint64_t dst_ip,
     std::uint64_t spoof_range;
     SimDuration gap;
     SimTime stop;
+    std::size_t burst;
     void operator()() const {
       sim::Simulator* sim = gen->network_->simulator();
       if (sim->now() > stop) return;
-      packet::Ipv4Spec ip;
-      ip.src = spoof_base + gen->rng_.NextBounded(spoof_range);
-      ip.dst = dst_ip;
-      packet::TcpSpec tcp;
-      tcp.sport = 1024 + gen->rng_.NextBounded(60000);
-      tcp.dport = 80;
-      tcp.flags = packet::kTcpFlagSyn;
-      packet::Packet p =
-          packet::MakeTcpPacket(gen->next_packet_id_++, ip, tcp, 64);
-      p.SetMeta("attack", 1);  // ground-truth label for benign/attack stats
-      ++gen->emitted_;
-      gen->network_->InjectPacket(from, std::move(p));
-      sim->Schedule(gap, *this);
+      packet::PacketBatch batch = gen->network_->AcquireBatch();
+      for (std::size_t i = 0; i < burst; ++i) {
+        packet::Ipv4Spec ip;
+        ip.src = spoof_base + gen->rng_.NextBounded(spoof_range);
+        ip.dst = dst_ip;
+        packet::TcpSpec tcp;
+        tcp.sport = 1024 + gen->rng_.NextBounded(60000);
+        tcp.dport = 80;
+        tcp.flags = packet::kTcpFlagSyn;
+        packet::Packet p =
+            packet::MakeTcpPacket(gen->next_packet_id_++, ip, tcp, 64);
+        p.SetMeta("attack", 1);  // ground-truth label for benign/attack stats
+        ++gen->emitted_;
+        batch.Push(std::move(p));
+      }
+      gen->network_->InjectBatch(from, std::move(batch));
+      sim->Schedule(gap * static_cast<SimDuration>(burst), *this);
     }
   };
-  sim->Schedule(gap,
-                Tick{this, from, dst_ip, spoof_base, spoof_range, gap, stop});
+  sim->Schedule(gap, Tick{this, from, dst_ip, spoof_base, spoof_range, gap,
+                          stop, burst_});
 }
 
 void TrafficGenerator::StartMix(const std::vector<EndpointRef>& endpoints,

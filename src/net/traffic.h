@@ -6,6 +6,7 @@
 // traffic with spoofed sources for the real-time security experiments.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -60,6 +61,17 @@ class TrafficGenerator {
   void StartMix(const std::vector<EndpointRef>& endpoints,
                 const MixConfig& config);
 
+  // Packets emitted per tick (clamped to the batch cap).  Each tick hands
+  // the network one PacketBatch via InjectBatch and the inter-tick gap is
+  // scaled by the burst so the mean rate is unchanged.  The default burst
+  // of 1 is event-for-event identical to the old per-packet emission.
+  // Streams capture the burst when Start* is called.
+  void set_burst(std::size_t burst) noexcept {
+    burst_ = std::min<std::size_t>(std::max<std::size_t>(burst, 1),
+                                   packet::PacketBatch::kDefaultBurstCap);
+  }
+  std::size_t burst() const noexcept { return burst_; }
+
   std::uint64_t packets_emitted() const noexcept { return emitted_; }
 
  private:
@@ -69,6 +81,7 @@ class TrafficGenerator {
   Rng rng_;
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t emitted_ = 0;
+  std::size_t burst_ = 1;
 };
 
 }  // namespace flexnet::net

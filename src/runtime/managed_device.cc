@@ -152,10 +152,9 @@ Status ManagedDevice::ApplyAll(const ReconfigPlan& plan) {
   return OkStatus();
 }
 
-arch::ProcessOutcome ManagedDevice::Process(packet::Packet& p, SimTime now) {
-  arch::ProcessOutcome outcome = device_->ProcessPacket(p, now);
-  if (outcome.pipeline.dropped || !device_->online()) return outcome;
-  flexbpf::Interpreter interp(&maps_);
+void ManagedDevice::RunFunctions(flexbpf::Interpreter& interp,
+                                 packet::Packet& p,
+                                 arch::ProcessOutcome& outcome) {
   for (const flexbpf::FunctionDecl& fn : functions_) {
     const flexbpf::InterpResult r = interp.Run(fn, p);
     outcome.latency += device_->MarginalLatency(1);
@@ -165,7 +164,25 @@ arch::ProcessOutcome ManagedDevice::Process(packet::Packet& p, SimTime now) {
       break;
     }
   }
+}
+
+arch::ProcessOutcome ManagedDevice::Process(packet::Packet& p, SimTime now) {
+  arch::ProcessOutcome outcome = device_->ProcessPacket(p, now);
+  if (outcome.pipeline.dropped || !device_->online()) return outcome;
+  flexbpf::Interpreter interp(&maps_);
+  RunFunctions(interp, p, outcome);
   return outcome;
+}
+
+void ManagedDevice::ProcessBatch(std::span<packet::Packet> pkts, SimTime now,
+                                 std::span<arch::ProcessOutcome> outcomes) {
+  device_->ProcessPacketBatch(pkts, now, outcomes);
+  if (!device_->online() || functions_.empty()) return;
+  flexbpf::Interpreter interp(&maps_);
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    if (outcomes[i].pipeline.dropped) continue;
+    RunFunctions(interp, pkts[i], outcomes[i]);
+  }
 }
 
 }  // namespace flexnet::runtime

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,7 +53,22 @@ class ManagedDevice {
   // --- Packet path: parse -> tables -> functions. ---
   arch::ProcessOutcome Process(packet::Packet& p, SimTime now);
 
+  // Burst overload: per-member outcomes identical to Process called in
+  // order.  The table pipeline and the FlexBPF stage each run member-major
+  // (pipeline state and the map set are disjoint, so the stage split is
+  // unobservable), amortizing interpreter setup across the burst.
+  // Reconfiguration interacts correctly with in-flight bursts because each
+  // burst is one simulator event: an ApplyStep/reflash lands entirely
+  // before or entirely after it, exactly as with scalar packets.
+  void ProcessBatch(std::span<packet::Packet> pkts, SimTime now,
+                    std::span<arch::ProcessOutcome> outcomes);
+
  private:
+  // Runs every installed FlexBPF function against one packet, folding the
+  // modeled marginal cost into `outcome` — the single cost-accounting site
+  // shared by the scalar and batch paths.
+  void RunFunctions(flexbpf::Interpreter& interp, packet::Packet& p,
+                    arch::ProcessOutcome& outcome);
   Status AddTable(const StepAddTable& step);
   Status RemoveTable(const StepRemoveTable& step);
   Status AddFunction(const StepAddFunction& step);

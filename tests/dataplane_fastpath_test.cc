@@ -267,7 +267,11 @@ TEST(FlowCacheTest, DefaultActionChangeInvalidates) {
 }
 
 TEST(FlowCacheTest, ParserMutationInvalidatesMemoizedVerdicts) {
+  // Needs at least one table: table-less pipelines bypass the cache (the
+  // signature hash would cost more than the parse it memoizes).
   Pipeline pl;
+  ASSERT_TRUE(pl.AddTable("fwd", {{"ipv4.src", MatchKind::kExact, 32}}, 16)
+                  .ok());
   packet::Packet warm = TcpPkt(7);
   EXPECT_FALSE(pl.Process(warm, 0).dropped);
   packet::Packet hit = TcpPkt(7);
@@ -288,6 +292,10 @@ TEST(FlowCacheTest, RuntimeReflashInvalidates) {
   runtime::ManagedDevice dev(
       std::make_unique<arch::DrmtDevice>(DeviceId(1), "sw"));
   Pipeline& pl = dev.device().pipeline();
+  // A resident table so the cache engages pre-reflash (table-less
+  // pipelines bypass it).
+  ASSERT_TRUE(pl.AddTable("resident", {{"ipv4.src", MatchKind::kExact, 32}},
+                          16).ok());
 
   packet::Packet warm = TcpPkt(8);
   dev.Process(warm, sim.now());
