@@ -17,10 +17,15 @@
 // sweep over a linear fabric (burst 32 through InjectBatch vs the same
 // bursts unbundled onto the per-packet path), on a cache-miss workload
 // (every packet a fresh flow) and a cache-hit workload (one hot flow).
+// E15 rides here too: the heavy-tailed (CAIDA-like) megaflow scenario —
+// 1M+ concurrent flows through an LPM route + exact service pipeline,
+// where the 65536-entry exact-match microflow tier alone thrashes and the
+// wildcard megaflow tier (one entry per /22 x dport) absorbs the tail.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -28,6 +33,7 @@
 #include "dataplane/pipeline.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "net/traffic.h"
 #include "packet/batch.h"
 #include "packet/packet.h"
 
@@ -286,6 +292,126 @@ void PrintBatchExperiment(telemetry::MetricsRegistry& metrics) {
   metrics.Set("bench.batch_burst", static_cast<double>(burst));
 }
 
+// --- E15: megaflow tier under heavy-tailed traffic -----------------------
+
+// Route + service pipeline the megaflow tier can compress: an LPM table of
+// /22 prefixes tiling the traffic's dst span plus an exact-match service
+// table keyed on dport.  One megaflow mask (dst/22 + dport + parser reads)
+// covers 1024 destination addresses, so a few thousand megaflow entries
+// absorb a population of millions of exact-match flows.
+void BuildMegaflowTables(dataplane::Pipeline& pl,
+                         const net::TrafficGenerator::HeavyTailConfig& cfg) {
+  using dataplane::MatchKind;
+  using dataplane::MatchValue;
+  using dataplane::TableEntry;
+  const std::size_t prefixes = (cfg.dst_span + 1023) / 1024;
+  auto* route = pl.AddTable("route_lpm", {{"ipv4.dst", MatchKind::kLpm, 32}},
+                            prefixes).value();
+  for (std::size_t i = 0; i < prefixes; ++i) {
+    TableEntry e;
+    e.match = {MatchValue::Lpm(cfg.dst_base + (i << 10), 22, 32)};
+    e.action = dataplane::MakeForwardAction(static_cast<std::uint32_t>(i % 64));
+    (void)route->AddEntry(std::move(e));
+  }
+  auto* svc = pl.AddTable("service", {{"tcp.dport", MatchKind::kExact, 16}},
+                          4).value();
+  for (const std::uint64_t port : {80ULL, 443ULL}) {
+    TableEntry e;
+    e.match = {MatchValue::Exact(port)};
+    e.action = dataplane::MakeForwardAction(port == 80 ? 1 : 2);
+    (void)svc->AddEntry(std::move(e));
+  }
+}
+
+struct HeavyTailResult {
+  double pps = 0.0;
+  double micro_hit_rate = 0.0;      // micro hits / packets
+  double combined_hit_rate = 0.0;   // (micro + mega hits) / packets
+  std::uint64_t distinct_flows = 0;
+};
+
+// Replays `packets` draws of the seeded heavy-tailed stream through a
+// fresh pipeline.  The identical seed in both phases means both caches see
+// the exact same packet sequence.
+HeavyTailResult RunHeavyTail(const net::TrafficGenerator::HeavyTailConfig& cfg,
+                             std::size_t packets, bool megaflow_on,
+                             telemetry::MetricsRegistry* publish_to) {
+  dataplane::Pipeline pl;
+  BuildMegaflowTables(pl, cfg);
+  pl.set_megaflow_enabled(megaflow_on);
+  Rng rng(0x4ea7a11);
+  std::unordered_set<std::uint64_t> distinct;
+  distinct.reserve(std::min<std::size_t>(packets, cfg.flows) * 2);
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < packets; ++i) {
+    const net::FlowSpec flow =
+        net::TrafficGenerator::HeavyTailFlow(cfg, rng);
+    distinct.insert(flow.src_ip);  // src_ip is unique per flow index
+    packet::Packet p = packet::MakeTcpPacket(
+        i + 1, packet::Ipv4Spec{flow.src_ip, flow.dst_ip},
+        packet::TcpSpec{flow.src_port, flow.dst_port}, flow.packet_bytes);
+    (void)pl.Process(p, 0);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - begin)
+          .count();
+  if (publish_to != nullptr) pl.PublishMetrics(*publish_to);
+  HeavyTailResult r;
+  r.pps = seconds > 0 ? static_cast<double>(packets) / seconds : 0.0;
+  const double n = static_cast<double>(packets);
+  r.micro_hit_rate = static_cast<double>(pl.flow_cache_hits()) / n;
+  r.combined_hit_rate =
+      static_cast<double>(pl.flow_cache_hits() + pl.megaflow_hits()) / n;
+  r.distinct_flows = distinct.size();
+  if (publish_to != nullptr) {
+    publish_to->Set("bench.heavytail_megaflow_entries",
+                    static_cast<double>(pl.megaflow_size()));
+    publish_to->Set("bench.heavytail_megaflow_masks",
+                    static_cast<double>(pl.megaflow_mask_count()));
+  }
+  return r;
+}
+
+void PrintMegaflowExperiment(telemetry::MetricsRegistry& metrics) {
+  const bool smoke = bench::SmokeMode();
+  net::TrafficGenerator::HeavyTailConfig cfg;
+  cfg.flows = smoke ? (1 << 15) : 1310720;        // 1.25M flow population
+  cfg.elephants = smoke ? 1024 : 4096;
+  cfg.dst_span = smoke ? (1 << 16) : (1 << 20);
+  const std::size_t packets = smoke ? 20000 : 3000000;
+
+  bench::PrintHeader(
+      "E15 (bench_dataplane): megaflow tier vs microflow thrash",
+      "on a heavy-tailed stream over >= 1M concurrent flows the exact-match "
+      "microflow tier alone thrashes (hit rate < 50%) while micro+megaflow "
+      "together sustain >= 90% cache hits");
+
+  const HeavyTailResult micro_only =
+      RunHeavyTail(cfg, packets, false, nullptr);
+  const HeavyTailResult combined = RunHeavyTail(cfg, packets, true, &metrics);
+
+  bench::PrintRow("%-22s %-14s %-14s %-14s", "tier_config", "pkts_per_sec",
+                  "hit_rate", "distinct_flows");
+  bench::PrintRow("%-22s %-14.0f %-14.3f %-14llu", "micro_only",
+                  micro_only.pps, micro_only.combined_hit_rate,
+                  static_cast<unsigned long long>(micro_only.distinct_flows));
+  bench::PrintRow("%-22s %-14.0f %-14.3f %-14llu", "micro+megaflow",
+                  combined.pps, combined.combined_hit_rate,
+                  static_cast<unsigned long long>(combined.distinct_flows));
+
+  metrics.Set("bench.heavytail_flows", static_cast<double>(cfg.flows));
+  metrics.Set("bench.heavytail_packets", static_cast<double>(packets));
+  metrics.Set("bench.heavytail_distinct_flows",
+              static_cast<double>(combined.distinct_flows));
+  metrics.Set("bench.heavytail_pps_micro_only", micro_only.pps);
+  metrics.Set("bench.heavytail_pps_combined", combined.pps);
+  metrics.Set("bench.heavytail_hit_rate_micro_only",
+              micro_only.combined_hit_rate);
+  metrics.Set("bench.heavytail_hit_rate_combined",
+              combined.combined_hit_rate);
+}
+
 void PrintExperiment() {
   bench::BenchRun run("dataplane");
   telemetry::MetricsRegistry& metrics = run.metrics();
@@ -349,6 +475,7 @@ void PrintExperiment() {
   metrics.Set("bench.entries_per_table", static_cast<double>(entries));
   w.pipeline.PublishMetrics(metrics);
   PrintBatchExperiment(metrics);
+  PrintMegaflowExperiment(metrics);
   run.Finish();
 }
 

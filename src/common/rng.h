@@ -47,6 +47,25 @@ class Rng {
     return -std::log(u) / rate;
   }
 
+  // Zipf-distributed rank in [0, n): P(rank k) ~ 1/(k+1)^s, via the
+  // continuous inverse-CDF approximation — exact enough for modeling
+  // traffic popularity skew (rank 0 is the hottest).
+  std::uint64_t NextZipf(std::uint64_t n, double s) noexcept {
+    if (n <= 1) return 0;
+    const double nd = static_cast<double>(n);
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-18;
+    double x;
+    if (s > 0.999 && s < 1.001) {
+      x = std::pow(nd, u);  // s == 1: CDF ~ ln(x) / ln(n)
+    } else {
+      x = std::pow(1.0 + u * (std::pow(nd, 1.0 - s) - 1.0), 1.0 / (1.0 - s));
+    }
+    if (x < 1.0) x = 1.0;
+    auto rank = static_cast<std::uint64_t>(x - 1.0);
+    return rank >= n ? n - 1 : rank;
+  }
+
   // Bounded Pareto (heavy tail) used for flow-size mixes.
   double NextParetoBounded(double alpha, double lo, double hi) noexcept {
     const double u = NextDouble();

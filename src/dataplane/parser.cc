@@ -87,7 +87,9 @@ Status ParseGraph::RemoveTransition(const std::string& from,
   return NotFound("transition on value " + std::to_string(value));
 }
 
-ParseResult ParseGraph::Parse(const packet::Packet& p) const {
+ParseResult ParseGraph::Parse(
+    const packet::Packet& p,
+    std::vector<packet::FieldRef>* consulted) const {
   ParseResult result;
   if (start_.empty()) return result;
   std::string current = start_;
@@ -103,6 +105,10 @@ ParseResult ParseGraph::Parse(const packet::Packet& p) const {
     if (h == nullptr) return result;  // expected header absent: reject
     result.headers_seen.push_back(st.name);
     if (st.select_field.empty()) break;  // accept
+    if (consulted != nullptr) {
+      consulted->push_back(
+          packet::FieldRef{h->name_sym(), packet::Intern(st.select_field)});
+    }
     const auto sel = h->Get(st.select_field);
     if (!sel.has_value()) return result;
     const ParseTransition* chosen = nullptr;

@@ -62,7 +62,12 @@ class ParseGraph {
   // Walks the graph against the packet's header stack.  Headers not visited
   // stay invisible to tables (ParseResult::headers_seen is the visible set).
   // A packet whose outermost headers cannot be parsed is not accepted.
-  ParseResult Parse(const packet::Packet& p) const;
+  // When `consulted` is non-null, every select field the walk read (or
+  // tried to read) is appended — the megaflow tier's parser key component;
+  // header *presence* is covered by Packet::StructureSignature.
+  ParseResult Parse(const packet::Packet& p,
+                    std::vector<packet::FieldRef>* consulted) const;
+  ParseResult Parse(const packet::Packet& p) const { return Parse(p, nullptr); }
 
   // Convenience used by devices: true if the graph accepts the packet.
   bool Accepts(const packet::Packet& p) const { return Parse(p).accepted; }

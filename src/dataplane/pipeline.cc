@@ -22,6 +22,36 @@ bool ActionIsCacheable(const Action& action) {
                       });
 }
 
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+
+// Appends (full-mask) the packet fields an action *reads while writing
+// packet content*.  Replay re-executes actions against the live packet, so
+// reads that feed packet writes must be part of the megaflow key: two
+// packets agreeing on them produce identical writes, hence identical
+// downstream matches.  Reads that feed only egress selection or device
+// state (OpForward ports, register indexes, counter/meter/flow-state
+// operands) are re-resolved per packet at replay time and need no key bits.
+void AppendActionReads(const Action& action,
+                       std::vector<ConsultedField>& out) {
+  const auto add_operand = [&out](const Operand& operand) {
+    if (const auto* f = std::get_if<OperandField>(&operand)) {
+      out.push_back(ConsultedField{f->field.ref(), ~0ULL});
+    }
+  };
+  for (const ActionOp& op : action.ops) {
+    if (const auto* set = std::get_if<OpSetField>(&op)) {
+      add_operand(set->value);
+    } else if (const auto* add = std::get_if<OpAddField>(&op)) {
+      out.push_back(ConsultedField{add->field.ref(), ~0ULL});  // read-mod-write
+      add_operand(add->delta);
+    }
+  }
+}
+
 }  // namespace
 
 Result<MatchActionTable*> Pipeline::AddTable(std::string name,
@@ -100,32 +130,265 @@ void Pipeline::ForceReferenceScan(bool force) noexcept {
   BumpEpoch();  // cached steps memoized the other path's accounting
 }
 
-const Pipeline::CachedFlow* Pipeline::CacheInsert(std::uint64_t signature,
-                                                  CachedFlow flow) {
-  if (flow_cache_.size() >= kFlowCacheCap) {
-    flow_cache_.clear();
-    ++cache_generation_;  // orphan any batch-memo pointers into the cache
-  }
-  CachedFlow& slot = flow_cache_[signature];
-  slot = std::move(flow);
-  return &slot;
+// --- Tier plumbing --------------------------------------------------------
+
+template <typename Map, typename OnErase>
+typename Map::iterator Pipeline::TierErase(CacheTier& tier, Map& map,
+                                           typename Map::iterator it,
+                                           OnErase&& on_erase) {
+  tier.free_slots.push_back(it->second.slot);
+  on_erase(it->second);
+  ++cache_generation_;  // orphan any batch-memo pointer at this entry
+  return map.erase(it);
 }
 
+template <typename Map, typename OnErase>
+void Pipeline::TierEvictOne(CacheTier& tier, Map& map, OnErase&& on_erase) {
+  const std::size_t ring = tier.slot_keys.size();
+  for (std::size_t step = 0; step <= 2 * ring; ++step) {
+    if (tier.hand >= ring) tier.hand = 0;
+    const std::size_t slot = tier.hand++;
+    const auto it = map.find(tier.slot_keys[slot]);
+    if (it == map.end() || it->second.slot != slot) continue;  // freed slot
+    // Second chance for recently hit, current-epoch entries; the bound on
+    // `step` guarantees the walk terminates with a victim.
+    if (it->second.epoch == epoch_ && it->second.referenced &&
+        step < 2 * ring) {
+      it->second.referenced = false;
+      continue;
+    }
+    ++tier.evictions;
+    TierErase(tier, map, it, on_erase);
+    return;
+  }
+}
+
+template <typename Map, typename OnErase>
+typename Map::mapped_type* Pipeline::TierInsert(
+    CacheTier& tier, Map& map, std::uint64_t key,
+    typename Map::mapped_type&& entry, OnErase&& on_erase) {
+  if (const auto it = map.find(key); it != map.end()) {
+    // Replacing (a rare hash collision): erase-then-insert keeps the ring
+    // and mask bookkeeping uniform.
+    TierErase(tier, map, it, on_erase);
+  }
+  // Under capacity pressure, reclaim dead-epoch entries before evicting
+  // live ones — at most one full sweep per epoch, so a reconfig never
+  // triggers a miss storm on refill.
+  if (map.size() >= tier.cap && tier.last_sweep_epoch != epoch_) {
+    tier.last_sweep_epoch = epoch_;
+    for (auto it = map.begin(); it != map.end();) {
+      if (it->second.epoch != epoch_) {
+        ++tier.stale_reclaimed;
+        it = TierErase(tier, map, it, on_erase);
+      } else {
+        ++it;
+      }
+    }
+  }
+  while (map.size() >= tier.cap && !map.empty()) {
+    TierEvictOne(tier, map, on_erase);
+  }
+  std::uint32_t slot;
+  if (!tier.free_slots.empty()) {
+    slot = tier.free_slots.back();
+    tier.free_slots.pop_back();
+    tier.slot_keys[slot] = key;
+  } else {
+    slot = static_cast<std::uint32_t>(tier.slot_keys.size());
+    tier.slot_keys.push_back(key);
+  }
+  entry.slot = slot;
+  entry.referenced = true;
+  const auto [it, inserted] = map.emplace(key, std::move(entry));
+  return &it->second;
+}
+
+template <typename Map>
+void Pipeline::TierClear(CacheTier& tier, Map& map, bool count_as_evictions) {
+  if (count_as_evictions) {
+    tier.evictions += static_cast<std::uint64_t>(map.size());
+  }
+  if (!map.empty()) ++cache_generation_;
+  map.clear();
+  tier.slot_keys.clear();
+  tier.free_slots.clear();
+  tier.hand = 0;
+}
+
+void Pipeline::ClearMicro(bool count_as_evictions) {
+  TierClear(micro_, flow_cache_, count_as_evictions);
+}
+
+void Pipeline::ClearMega(bool count_as_evictions) {
+  TierClear(mega_, megaflow_cache_, count_as_evictions);
+  mega_masks_.clear();
+}
+
+void Pipeline::set_flow_cache_enabled(bool enabled) {
+  flow_cache_enabled_ = enabled;
+  if (!enabled) {
+    ClearMicro(/*count_as_evictions=*/true);
+    ClearMega(/*count_as_evictions=*/true);
+  }
+}
+
+void Pipeline::set_microflow_enabled(bool enabled) {
+  microflow_enabled_ = enabled;
+  if (!enabled) ClearMicro(/*count_as_evictions=*/true);
+}
+
+void Pipeline::set_megaflow_enabled(bool enabled) {
+  megaflow_enabled_ = enabled;
+  if (!enabled) ClearMega(/*count_as_evictions=*/true);
+}
+
+void Pipeline::set_flow_cache_cap(std::size_t cap) {
+  micro_.cap = std::max<std::size_t>(1, cap);
+  while (flow_cache_.size() > micro_.cap) {
+    TierEvictOne(micro_, flow_cache_, [](const CachedFlow&) {});
+  }
+}
+
+void Pipeline::set_megaflow_cap(std::size_t cap) {
+  mega_.cap = std::max<std::size_t>(1, cap);
+  while (megaflow_cache_.size() > mega_.cap) {
+    TierEvictOne(mega_, megaflow_cache_, [this](const MegaflowEntry& dead) {
+      --mega_masks_[dead.mask_index].live;
+    });
+  }
+}
+
+// --- Microflow tier -------------------------------------------------------
+
+Pipeline::CachedFlow* Pipeline::MicroInsert(std::uint64_t signature,
+                                            CachedFlow flow) {
+  return TierInsert(micro_, flow_cache_, signature, std::move(flow),
+                    [](const CachedFlow&) {});
+}
+
+// --- Megaflow tier --------------------------------------------------------
+
+namespace {
+std::uint64_t MegaKey(std::uint32_t mask_index, std::uint64_t structure_sig,
+                      const auto& values) {
+  std::uint64_t h = Mix(0xa5b35705f4a7c159ULL, mask_index + 1);
+  h = Mix(h, structure_sig);
+  for (const auto& v : values) {
+    h = Mix(h, v.present ? 1 : 2);
+    h = Mix(h, v.value);
+  }
+  return h;
+}
+}  // namespace
+
+Pipeline::MegaflowEntry* Pipeline::MegaProbe(const packet::Packet& p,
+                                             std::uint64_t structure_sig) {
+  const auto on_erase = [this](const MegaflowEntry& dead) {
+    --mega_masks_[dead.mask_index].live;
+  };
+  for (std::uint32_t mi = 0;
+       mi < static_cast<std::uint32_t>(mega_masks_.size()); ++mi) {
+    const MegaMask& m = mega_masks_[mi];
+    if (m.live == 0) continue;
+    probe_scratch_.clear();
+    for (const ConsultedField& c : m.fields) {
+      const auto v = p.GetField(c.ref);
+      probe_scratch_.push_back(
+          MaskedValue{v.has_value(), v.has_value() ? (*v & c.mask) : 0});
+    }
+    const std::uint64_t key = MegaKey(mi, structure_sig, probe_scratch_);
+    const auto it = megaflow_cache_.find(key);
+    if (it == megaflow_cache_.end()) continue;
+    MegaflowEntry& e = it->second;
+    if (e.epoch != epoch_) {
+      ++mega_.stale_reclaimed;
+      TierErase(mega_, megaflow_cache_, it, on_erase);
+      continue;
+    }
+    // Hash collisions are rejected by full verification.
+    if (e.mask_index != mi || e.structure_sig != structure_sig) continue;
+    if (e.values != probe_scratch_) continue;
+    return &e;
+  }
+  return nullptr;
+}
+
+Pipeline::MegaflowEntry* Pipeline::MegaInsert(const packet::Packet& pristine,
+                                              std::uint64_t structure_sig,
+                                              const CachedFlow& flow) {
+  // Canonicalize the consulted set: merge duplicate fields by OR-ing their
+  // masks, preserving first-seen order so the shape is deterministic.
+  mask_build_scratch_.clear();
+  for (const ConsultedField& c : consulted_scratch_) {
+    bool merged = false;
+    for (ConsultedField& have : mask_build_scratch_) {
+      if (have.ref == c.ref) {
+        have.mask |= c.mask;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) mask_build_scratch_.push_back(c);
+  }
+
+  // Find or create the wildcard shape (few shapes, linear search is fine —
+  // this is the slow path).
+  std::uint32_t mask_index = static_cast<std::uint32_t>(mega_masks_.size());
+  for (std::uint32_t i = 0;
+       i < static_cast<std::uint32_t>(mega_masks_.size()); ++i) {
+    if (mega_masks_[i].fields == mask_build_scratch_) {
+      mask_index = i;
+      break;
+    }
+  }
+  if (mask_index == mega_masks_.size()) {
+    if (mega_masks_.size() >= kMaxMegaflowMasks) {
+      // Pathological shape churn: restart the tier rather than scan an
+      // unbounded mask list on every probe.
+      ClearMega(/*count_as_evictions=*/true);
+      mask_index = 0;
+    }
+    mega_masks_.push_back(MegaMask{mask_build_scratch_, 0});
+  }
+
+  MegaflowEntry e;
+  static_cast<CachedFlow&>(e) = flow;
+  e.mask_index = mask_index;
+  e.structure_sig = structure_sig;
+  const MegaMask& shape = mega_masks_[mask_index];
+  e.values.reserve(shape.fields.size());
+  for (const ConsultedField& c : shape.fields) {
+    const auto v = pristine.GetField(c.ref);
+    e.values.push_back(
+        MaskedValue{v.has_value(), v.has_value() ? (*v & c.mask) : 0});
+  }
+  const std::uint64_t key = MegaKey(mask_index, structure_sig, e.values);
+  MegaflowEntry* inserted =
+      TierInsert(mega_, megaflow_cache_, key, std::move(e),
+                 [this](const MegaflowEntry& dead) {
+                   --mega_masks_[dead.mask_index].live;
+                 });
+  ++mega_masks_[mask_index].live;
+  return inserted;
+}
+
+// --- Lookup path ----------------------------------------------------------
+
 void Pipeline::MemoNote(BatchMemo* memo, std::uint64_t signature,
-                        const CachedFlow* flow) {
+                        CachedFlow* flow, MemoTier tier) {
   if (memo == nullptr) return;
   if (memo->generation != cache_generation_) {
     memo->entries.clear();
     memo->generation = cache_generation_;
   }
-  memo->entries[signature] = flow;
+  memo->entries[signature] = MemoEntry{flow, tier};
 }
 
 PipelineResult Pipeline::ReplayCached(const CachedFlow& flow,
                                       packet::Packet& p, SimTime now,
                                       ActionExecutor& executor) {
   PipelineResult result;
-  result.flow_cache_hit = true;
   if (flow.parse_reject) {
     p.MarkDropped("parse_reject");
     result.dropped = true;
@@ -154,24 +417,62 @@ PipelineResult Pipeline::ResolveAndCache(packet::Packet& p, SimTime now,
                                          ActionExecutor& executor,
                                          std::uint64_t signature,
                                          BatchMemo* memo) {
+  const bool micro_on = MicroOn();
+  const bool mega_on = MegaOn();
   PipelineResult result;
   CachedFlow flow;
   flow.epoch = epoch_;
-  if (!parser_.Accepts(p)) {
+
+  // The megaflow recorder: everything this resolution consults (parser
+  // selects, table key columns with their masks, action operand reads),
+  // plus a pristine copy of the packet — key values must be read *before*
+  // actions mutate fields mid-pipeline.
+  consulted_scratch_.clear();
+  parser_reads_scratch_.clear();
+  packet::Packet pristine;
+  std::uint64_t structure_sig = 0;
+  if (mega_on) {
+    pristine = p;
+    structure_sig = p.StructureSignature();
+  }
+
+  const ParseResult parsed =
+      parser_.Parse(p, mega_on ? &parser_reads_scratch_ : nullptr);
+  for (const packet::FieldRef& ref : parser_reads_scratch_) {
+    consulted_scratch_.push_back(ConsultedField{ref, ~0ULL});
+  }
+
+  const auto install_and_note = [&](const CachedFlow& resolved) {
+    CachedFlow* micro_entry =
+        micro_on ? MicroInsert(signature, resolved) : nullptr;
+    MegaflowEntry* mega_entry =
+        mega_on ? MegaInsert(pristine, structure_sig, resolved) : nullptr;
+    if (micro_entry != nullptr) {
+      MemoNote(memo, signature, micro_entry, MemoTier::kMicro);
+    } else if (mega_entry != nullptr) {
+      MemoNote(memo, signature, mega_entry, MemoTier::kMega);
+    } else {
+      MemoNote(memo, signature, nullptr, MemoTier::kUncacheable);
+    }
+  };
+
+  if (!parsed.accepted) {
     p.MarkDropped("parse_reject");
     result.dropped = true;
     flow.parse_reject = true;
-    MemoNote(memo, signature, CacheInsert(signature, std::move(flow)));
+    install_and_note(flow);
     return result;
   }
   flow.steps.reserve(tables_.size());
   bool cacheable = true;
   for (auto& table : tables_) {
     ++result.tables_traversed;
+    if (mega_on) table->AppendConsultedFields(consulted_scratch_);
     TableEntry* entry = table->LookupEntry(p);
     const Action& action =
         entry != nullptr ? entry->action : table->default_action();
     if (!ActionIsCacheable(action)) cacheable = false;
+    if (mega_on) AppendActionReads(action, consulted_scratch_);
     flow.steps.push_back(CachedStep{table.get(), entry});
     const ExecResult exec = executor.Execute(action, p, now);
     result.ops_executed += exec.ops_executed;
@@ -183,9 +484,9 @@ PipelineResult Pipeline::ResolveAndCache(packet::Packet& p, SimTime now,
   // A mutation inside an action could in principle bump the epoch while we
   // resolve; the stamp taken up front makes such a flow immediately stale.
   if (cacheable) {
-    MemoNote(memo, signature, CacheInsert(signature, std::move(flow)));
+    install_and_note(flow);
   } else {
-    MemoNote(memo, signature, nullptr);
+    MemoNote(memo, signature, nullptr, MemoTier::kUncacheable);
   }
   return result;
 }
@@ -193,10 +494,12 @@ PipelineResult Pipeline::ResolveAndCache(packet::Packet& p, SimTime now,
 PipelineResult Pipeline::ProcessOne(packet::Packet& p, SimTime now,
                                     ActionExecutor& executor,
                                     BatchMemo* memo) {
+  const bool micro_on = MicroOn();
+  const bool mega_on = MegaOn();
   // An empty pipeline has nothing worth memoizing — the signature hash
   // would cost more than the parse it skips — so table-less devices
   // (hosts, NICs) bypass the cache entirely.
-  if (!flow_cache_enabled_ || tables_.empty()) {
+  if ((!micro_on && !mega_on) || tables_.empty()) {
     PipelineResult result;
     if (!parser_.Accepts(p)) {
       p.MarkDropped("parse_reject");
@@ -220,27 +523,67 @@ PipelineResult Pipeline::ProcessOne(packet::Packet& p, SimTime now,
   if (memo != nullptr && memo->generation == cache_generation_) {
     const auto mit = memo->entries.find(signature);
     if (mit != memo->entries.end()) {
-      const CachedFlow* flow = mit->second;
-      if (flow != nullptr && flow->epoch == epoch_) {
+      const MemoEntry me = mit->second;
+      if (me.tier == MemoTier::kMicro && me.flow->epoch == epoch_) {
         // A duplicate signature inside this burst: the scalar oracle would
-        // re-probe the global cache and hit the same flow.
-        ++cache_hits_;
-        return ReplayCached(*flow, p, now, executor);
+        // re-probe the microflow tier and hit the same entry.
+        ++micro_.hits;
+        me.flow->referenced = true;
+        PipelineResult result = ReplayCached(*me.flow, p, now, executor);
+        result.flow_cache_hit = true;
+        return result;
       }
-      // First occurrence resolved uncacheably (or went stale): the scalar
-      // path re-probes, misses, and resolves again — do the same without
-      // the redundant probe.
-      ++cache_misses_;
-      return ResolveAndCache(p, now, executor, signature, memo);
+      if (me.tier == MemoTier::kMega && me.flow->epoch == epoch_) {
+        // The scalar oracle re-probes: a microflow miss, then a mega hit.
+        if (micro_on) ++micro_.misses;
+        ++mega_.hits;
+        me.flow->referenced = true;
+        PipelineResult result = ReplayCached(*me.flow, p, now, executor);
+        result.megaflow_hit = true;
+        return result;
+      }
+      if (me.tier == MemoTier::kUncacheable) {
+        // First occurrence resolved uncacheably: the scalar path re-probes
+        // both tiers, misses both, and resolves again — bill the same.
+        if (micro_on) ++micro_.misses;
+        if (mega_on) ++mega_.misses;
+        return ResolveAndCache(p, now, executor, signature, memo);
+      }
+      // Stale memo (epoch moved since it was noted): fall through to the
+      // global probes, which reclaim and re-resolve exactly like scalar.
     }
   }
-  const auto it = flow_cache_.find(signature);
-  if (it != flow_cache_.end() && it->second.epoch == epoch_) {
-    ++cache_hits_;
-    MemoNote(memo, signature, &it->second);
-    return ReplayCached(it->second, p, now, executor);
+
+  if (micro_on) {
+    const auto it = flow_cache_.find(signature);
+    if (it != flow_cache_.end()) {
+      if (it->second.epoch == epoch_) {
+        ++micro_.hits;
+        it->second.referenced = true;
+        MemoNote(memo, signature, &it->second, MemoTier::kMicro);
+        PipelineResult result = ReplayCached(it->second, p, now, executor);
+        result.flow_cache_hit = true;
+        return result;
+      }
+      // Dead entry from an older epoch: reclaim it on the spot so it stops
+      // occupying capacity live flows could use.
+      ++micro_.stale_reclaimed;
+      TierErase(micro_, flow_cache_, it, [](const CachedFlow&) {});
+    }
+    ++micro_.misses;
   }
-  ++cache_misses_;
+  if (mega_on) {
+    const std::uint64_t structure_sig = p.StructureSignature();
+    if (MegaflowEntry* e = MegaProbe(p, structure_sig)) {
+      ++mega_.hits;
+      e->referenced = true;
+      MemoNote(memo, signature, e, MemoTier::kMega);
+      PipelineResult result = ReplayCached(*e, p, now, executor);
+      result.megaflow_hit = true;
+      return result;
+    }
+    ++mega_.misses;
+  }
   return ResolveAndCache(p, now, executor, signature, memo);
 }
 
@@ -256,16 +599,30 @@ void Pipeline::ProcessBatch(std::span<packet::Packet> pkts, SimTime now,
   ActionExecutor executor(&state_);
   batch_memo_.entries.clear();
   batch_memo_.generation = cache_generation_;
-  BatchMemo* memo = flow_cache_enabled_ ? &batch_memo_ : nullptr;
+  BatchMemo* memo = (MicroOn() || MegaOn()) ? &batch_memo_ : nullptr;
   for (std::size_t i = 0; i < pkts.size(); ++i) {
     results[i] = ProcessOne(pkts[i], now, executor, memo);
   }
 }
 
 void Pipeline::PublishMetrics(telemetry::MetricsRegistry& registry) const {
-  registry.Count("dataplane_flowcache_hits", cache_hits_);
-  registry.Count("dataplane_flowcache_misses", cache_misses_);
+  registry.Count("dataplane_flowcache_hits", micro_.hits);
+  registry.Count("dataplane_flowcache_misses", micro_.misses);
+  // Epoch bumps: whole-cache invalidations, one per pipeline mutation.
+  // Per-entry removals are the two counters below, so eviction storms are
+  // visible instead of hiding behind the epoch counter.
   registry.Count("dataplane_flowcache_invalidations", epoch_);
+  registry.Count("dataplane_flowcache_evictions", micro_.evictions);
+  registry.Count("dataplane_flowcache_stale_reclaimed",
+                 micro_.stale_reclaimed);
+  registry.Count("dataplane_megaflow_hits", mega_.hits);
+  registry.Count("dataplane_megaflow_misses", mega_.misses);
+  registry.Count("dataplane_megaflow_evictions", mega_.evictions);
+  registry.Count("dataplane_megaflow_stale_reclaimed", mega_.stale_reclaimed);
+  registry.Set("dataplane_megaflow_size",
+               static_cast<double>(megaflow_cache_.size()));
+  registry.Set("dataplane_megaflow_masks",
+               static_cast<double>(mega_masks_.size()));
   std::uint64_t indexed = 0;
   std::uint64_t scanned = 0;
   for (const auto& t : tables_) {

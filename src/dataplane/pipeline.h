@@ -2,11 +2,21 @@
 // an accepted packet.  It owns its tables; the arch layer maps tables onto
 // physical resources and assigns the latency cost of traversal.
 //
-// The pipeline carries an OVS-style microflow cache (docs/DATAPLANE_PERF.md):
-// the first packet of a flow resolves parse + every table lookup and the
-// result — the per-table (table, entry) step sequence — is memoized under
-// the packet's content signature.  Subsequent identical packets replay the
-// steps without re-matching.  Soundness comes from a pipeline-wide epoch
+// The pipeline carries an OVS-style staged flow cache (docs/DATAPLANE_PERF.md):
+//
+//   * Microflow tier — exact-match.  The first packet of a flow resolves
+//     parse + every table lookup and the result (the per-table (table, entry)
+//     step sequence) is memoized under the packet's content signature.
+//   * Megaflow tier — wildcard.  The same resolution records which fields it
+//     actually consulted (parser selects, table key columns with their
+//     LPM/ternary bit-masks, action operand reads); the union becomes a
+//     wildcard mask, so one megaflow entry covers every packet that agrees
+//     on just those masked bits — a whole prefix or tenant, not one 5-tuple.
+//
+// Lookup probes micro first, then mega, then resolves.  Both tiers evict
+// with a CLOCK (second-chance) policy instead of wholesale clears, and
+// reclaim stale-epoch entries lazily (on probe, plus a once-per-epoch sweep
+// under capacity pressure).  Soundness comes from a pipeline-wide epoch
 // counter: every mutation anywhere (entry churn, default actions, table
 // add/remove/move, parser edits, runtime reflash) bumps it, and cached flows
 // stamped with an older epoch are treated as misses.
@@ -37,7 +47,8 @@ struct PipelineResult {
   bool dropped = false;
   std::size_t tables_traversed = 0;
   std::size_t ops_executed = 0;
-  bool flow_cache_hit = false;  // answered by the microflow cache
+  bool flow_cache_hit = false;  // answered by the exact-match microflow tier
+  bool megaflow_hit = false;    // answered by the wildcard megaflow tier
 };
 
 class Pipeline {
@@ -75,34 +86,65 @@ class Pipeline {
   // full parse -> lookup -> action sequence before the next starts, so
   // stateful ops — meters, counters, registers — observe exactly the
   // scalar order) while amortizing per-burst costs: one ActionExecutor,
-  // and a batch-local signature memo so one microflow-cache probe serves
+  // and a batch-local signature memo so one flow-cache probe serves
   // every duplicate signature in the burst.  Outcomes, packet contents,
-  // per-table hit accounting, and flow-cache hit/miss counters are
+  // per-table hit accounting, and per-tier hit/miss counters are
   // identical to calling Process() on each member in order.
   // `results` must have at least pkts.size() slots.
   void ProcessBatch(std::span<packet::Packet> pkts, SimTime now,
                     std::span<PipelineResult> results);
 
-  // --- Microflow cache controls / observability ---
-  void set_flow_cache_enabled(bool enabled) noexcept {
-    flow_cache_enabled_ = enabled;
-    if (!enabled) {
-      flow_cache_.clear();
-      ++cache_generation_;
-    }
-  }
+  // --- Flow cache controls / observability ---
+  // Master switch: disabling clears BOTH tiers (counted as evictions) and
+  // turns all caching off — the oracle configuration differential tests
+  // rely on.  The per-tier switches below gate each tier individually.
+  void set_flow_cache_enabled(bool enabled);
   bool flow_cache_enabled() const noexcept { return flow_cache_enabled_; }
+  void set_microflow_enabled(bool enabled);
+  bool microflow_enabled() const noexcept { return microflow_enabled_; }
+  void set_megaflow_enabled(bool enabled);
+  bool megaflow_enabled() const noexcept { return megaflow_enabled_; }
+
+  // Per-tier capacity (entries; default 65536).  Shrinking below the
+  // current population evicts down through the CLOCK policy.
+  void set_flow_cache_cap(std::size_t cap);
+  std::size_t flow_cache_cap() const noexcept { return micro_.cap; }
+  void set_megaflow_cap(std::size_t cap);
+  std::size_t megaflow_cap() const noexcept { return mega_.cap; }
+
   // Invalidate every memoized flow.  Callers whose mutations bypass the
   // Pipeline API (e.g. the runtime engine reflashing device programs)
   // invoke this to keep cached steps from outliving what they memoized.
   void BumpEpoch() noexcept { ++epoch_; }
   std::uint64_t epoch() const noexcept { return epoch_; }
 
-  std::uint64_t flow_cache_hits() const noexcept { return cache_hits_; }
-  std::uint64_t flow_cache_misses() const noexcept { return cache_misses_; }
-  // Every epoch bump is a whole-cache invalidation.
+  // --- Microflow tier counters ---
+  std::uint64_t flow_cache_hits() const noexcept { return micro_.hits; }
+  std::uint64_t flow_cache_misses() const noexcept { return micro_.misses; }
+  // Whole-cache *epoch* invalidations: one per pipeline mutation.  Entries
+  // removed individually are counted separately — flow_cache_evictions()
+  // for capacity pressure (including wholesale clears on tier disable),
+  // flow_cache_stale_reclaimed() for dead-epoch cleanup.
   std::uint64_t flow_cache_invalidations() const noexcept { return epoch_; }
+  std::uint64_t flow_cache_evictions() const noexcept {
+    return micro_.evictions;
+  }
+  std::uint64_t flow_cache_stale_reclaimed() const noexcept {
+    return micro_.stale_reclaimed;
+  }
   std::size_t flow_cache_size() const noexcept { return flow_cache_.size(); }
+
+  // --- Megaflow tier counters ---
+  std::uint64_t megaflow_hits() const noexcept { return mega_.hits; }
+  std::uint64_t megaflow_misses() const noexcept { return mega_.misses; }
+  std::uint64_t megaflow_evictions() const noexcept { return mega_.evictions; }
+  std::uint64_t megaflow_stale_reclaimed() const noexcept {
+    return mega_.stale_reclaimed;
+  }
+  std::size_t megaflow_size() const noexcept { return megaflow_cache_.size(); }
+  std::size_t megaflow_mask_count() const noexcept {
+    return mega_masks_.size();
+  }
 
   // --- Burst observability ---
   std::uint64_t batches_processed() const noexcept { return batches_; }
@@ -115,7 +157,10 @@ class Pipeline {
 
   // Snapshot the fast-path counters into `registry` (one-shot: callers
   // Reset() the registry first; values are current totals, not deltas):
-  //   dataplane_flowcache_{hits,misses,invalidations},
+  //   dataplane_flowcache_{hits,misses,invalidations,evictions,
+  //                        stale_reclaimed},
+  //   dataplane_megaflow_{hits,misses,evictions,stale_reclaimed} plus
+  //   dataplane_megaflow_{size,masks} gauges,
   //   table_lookup_{indexed,scanned} (summed over current tables),
   //   dataplane_batch_count and dataplane_batch_size_{p50,p99} gauges.
   void PublishMetrics(telemetry::MetricsRegistry& registry) const;
@@ -128,29 +173,105 @@ class Pipeline {
     MatchActionTable* table = nullptr;
     TableEntry* entry = nullptr;
   };
+  // Base of both tiers' entries: the memoized step sequence plus the CLOCK
+  // eviction state (recency bit + ring slot).
   struct CachedFlow {
     std::uint64_t epoch = 0;    // stale when != pipeline epoch
     bool parse_reject = false;  // memoized parser verdict
+    bool referenced = true;     // CLOCK second-chance bit, set on every hit
+    std::uint32_t slot = 0;     // position in the owning tier's clock ring
     std::vector<CachedStep> steps;
   };
-  // Bound on distinct memoized flows; overflowing clears the whole cache
-  // (microflow caches favor cheap wholesale eviction over LRU bookkeeping).
-  static constexpr std::size_t kFlowCacheCap = 65536;
-
-  // Batch-local memo: signature -> resolved global-cache flow (null when
-  // the first occurrence resolved uncacheably), so duplicate signatures
-  // inside one burst skip the global probe.  Pointers into flow_cache_
-  // are orphaned by any wholesale clear; `generation` detects that.
-  struct BatchMemo {
-    std::uint64_t generation = 0;
-    std::unordered_map<std::uint64_t, const CachedFlow*> entries;
+  // One consulted field of a megaflow key: the pristine (pre-action) packet
+  // value under the consult mask, or "absent" — field presence decides
+  // matches (and parse verdicts) just as much as values do.
+  struct MaskedValue {
+    bool present = false;
+    std::uint64_t value = 0;
+    friend bool operator==(const MaskedValue&, const MaskedValue&) = default;
+  };
+  struct MegaflowEntry : CachedFlow {
+    std::uint32_t mask_index = 0;     // which mega_masks_ shape keyed this
+    std::uint64_t structure_sig = 0;  // header-stack shape guard
+    std::vector<MaskedValue> values;  // one per mask field; verified on probe
+  };
+  // A distinct wildcard shape: the deduped union of fields (with bit masks)
+  // one slow-path resolution consulted.  Probes walk shapes in creation
+  // order, so scalar and batched execution stay event-for-event identical.
+  struct MegaMask {
+    std::vector<ConsultedField> fields;
+    std::uint32_t live = 0;  // entries currently keyed by this shape
   };
 
-  // Inserts (possibly evicting everything first) and returns the cache
-  // slot's stable address.
-  const CachedFlow* CacheInsert(std::uint64_t signature, CachedFlow flow);
-  void MemoNote(BatchMemo* memo, std::uint64_t signature,
-                const CachedFlow* flow);
+  static constexpr std::size_t kFlowCacheDefaultCap = 65536;
+  // Bound on distinct wildcard shapes; overflowing (pathological table
+  // churn) clears the megaflow tier, counted as evictions.
+  static constexpr std::size_t kMaxMegaflowMasks = 32;
+
+  // Per-tier CLOCK ring and counters.  The entry maps stay separate members
+  // because the tiers store different entry types.
+  struct CacheTier {
+    std::size_t cap = kFlowCacheDefaultCap;
+    std::vector<std::uint64_t> slot_keys;  // ring: slot -> map key
+    std::vector<std::uint32_t> free_slots;
+    std::size_t hand = 0;
+    std::uint64_t last_sweep_epoch = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;        // capacity-pressure removals
+    std::uint64_t stale_reclaimed = 0;  // dead-epoch removals
+  };
+
+  // Batch-local memo: signature -> the tier entry the first occurrence
+  // resolved to, so duplicate signatures inside one burst skip the global
+  // probe while billing the exact counters the scalar oracle would.
+  // Pointers into the tier maps are orphaned by any erase; `generation`
+  // detects that.
+  enum class MemoTier : std::uint8_t { kUncacheable, kMicro, kMega };
+  struct MemoEntry {
+    CachedFlow* flow = nullptr;  // lives in the tier named by `tier`
+    MemoTier tier = MemoTier::kUncacheable;
+  };
+  struct BatchMemo {
+    std::uint64_t generation = 0;
+    std::unordered_map<std::uint64_t, MemoEntry> entries;
+  };
+
+  bool MicroOn() const noexcept {
+    return flow_cache_enabled_ && microflow_enabled_;
+  }
+  bool MegaOn() const noexcept {
+    return flow_cache_enabled_ && megaflow_enabled_;
+  }
+
+  // Tier plumbing shared by both maps (definitions in pipeline.cc; every
+  // instantiation lives in that translation unit).
+  template <typename Map, typename OnErase>
+  typename Map::iterator TierErase(CacheTier& tier, Map& map,
+                                   typename Map::iterator it,
+                                   OnErase&& on_erase);
+  template <typename Map, typename OnErase>
+  void TierEvictOne(CacheTier& tier, Map& map, OnErase&& on_erase);
+  template <typename Map, typename OnErase>
+  typename Map::mapped_type* TierInsert(CacheTier& tier, Map& map,
+                                        std::uint64_t key,
+                                        typename Map::mapped_type&& entry,
+                                        OnErase&& on_erase);
+  template <typename Map>
+  void TierClear(CacheTier& tier, Map& map, bool count_as_evictions);
+
+  void ClearMicro(bool count_as_evictions);
+  void ClearMega(bool count_as_evictions);
+
+  CachedFlow* MicroInsert(std::uint64_t signature, CachedFlow flow);
+  MegaflowEntry* MegaProbe(const packet::Packet& p,
+                           std::uint64_t structure_sig);
+  MegaflowEntry* MegaInsert(const packet::Packet& pristine,
+                            std::uint64_t structure_sig,
+                            const CachedFlow& flow);
+
+  void MemoNote(BatchMemo* memo, std::uint64_t signature, CachedFlow* flow,
+                MemoTier tier);
   PipelineResult ReplayCached(const CachedFlow& flow, packet::Packet& p,
                               SimTime now, ActionExecutor& executor);
   // Single implementation under both Process (scalar oracle) and
@@ -167,13 +288,26 @@ class Pipeline {
 
   std::uint64_t epoch_ = 0;  // bumped by tables_/parser_/structure mutations
   bool flow_cache_enabled_ = true;
-  std::unordered_map<std::uint64_t, CachedFlow> flow_cache_;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
-  // Bumped on every wholesale flow_cache_ clear (cap overflow / disable):
-  // outstanding BatchMemo pointers become invalid exactly then.
+  bool microflow_enabled_ = true;
+  bool megaflow_enabled_ = true;
+
+  std::unordered_map<std::uint64_t, CachedFlow> flow_cache_;  // micro tier
+  CacheTier micro_;
+  std::unordered_map<std::uint64_t, MegaflowEntry> megaflow_cache_;
+  CacheTier mega_;
+  std::vector<MegaMask> mega_masks_;
+
+  // Bumped on every entry erase in either tier (evictions, stale
+  // reclamation, wholesale clears): outstanding BatchMemo pointers become
+  // invalid exactly then.
   std::uint64_t cache_generation_ = 0;
   BatchMemo batch_memo_;  // reused across bursts to keep buckets warm
+
+  // Scratch reused across slow-path resolutions and megaflow probes.
+  std::vector<ConsultedField> consulted_scratch_;
+  std::vector<ConsultedField> mask_build_scratch_;
+  std::vector<packet::FieldRef> parser_reads_scratch_;
+  std::vector<MaskedValue> probe_scratch_;
 
   std::uint64_t batches_ = 0;
   PercentileTracker batch_sizes_;

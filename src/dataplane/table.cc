@@ -436,6 +436,35 @@ const Action& MatchActionTable::Lookup(const packet::Packet& p) {
   return e == nullptr ? default_action_ : e->action;
 }
 
+void MatchActionTable::AppendConsultedFields(
+    std::vector<ConsultedField>& out) const {
+  if (entries_.empty()) return;
+  if (consult_dirty_) {
+    consult_masks_.assign(key_.size(), 0);
+    for (std::size_t i = 0; i < key_.size(); ++i) {
+      switch (key_[i].kind) {
+        case MatchKind::kExact:
+        case MatchKind::kRange:
+          // Exact compares the full 64-bit value; ranges bound it — every
+          // bit is load-bearing.
+          consult_masks_[i] = ~0ULL;
+          break;
+        case MatchKind::kLpm:
+        case MatchKind::kTernary: {
+          std::uint64_t mask = 0;
+          for (const TableEntry& e : entries_) mask |= e.match[i].mask;
+          consult_masks_[i] = mask;
+          break;
+        }
+      }
+    }
+    consult_dirty_ = false;
+  }
+  for (std::size_t i = 0; i < key_.size(); ++i) {
+    out.push_back(ConsultedField{key_refs_[i], consult_masks_[i]});
+  }
+}
+
 void MatchActionTable::RecordCachedHit(TableEntry* entry) {
   ++lookups_;
   if (entry != nullptr) {

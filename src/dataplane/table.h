@@ -77,6 +77,19 @@ struct TableResources {
 // Which structure answers this table's lookups, fixed by the key shape.
 enum class IndexMode : std::uint8_t { kExact, kLpm, kScan };
 
+// One key column a lookup over the current entry set may consult, with the
+// union of bits any live entry can test: exact and range columns consult
+// the full value, LPM/ternary columns the OR of live entry masks.  A mask
+// of zero still matters — field *presence* decides whether any entry can
+// match at all.  The Pipeline's megaflow tier unions these across tables
+// into a wildcard key.
+struct ConsultedField {
+  packet::FieldRef ref;
+  std::uint64_t mask = ~0ULL;
+  friend bool operator==(const ConsultedField&,
+                         const ConsultedField&) = default;
+};
+
 class MatchActionTable {
  public:
   MatchActionTable(std::string name, std::vector<KeySpec> key,
@@ -119,9 +132,15 @@ class MatchActionTable {
   // randomized differential test and the bench's linear-scan baseline.
   const TableEntry* MatchEntryReference(const packet::Packet& p) const;
 
-  // Replays a memoized microflow-cache step: same hit accounting as
+  // Replays a memoized flow-cache step: same hit accounting as
   // LookupEntry without re-matching.  `entry` null means default action.
   void RecordCachedHit(TableEntry* entry);
+
+  // Appends the key columns (with consulted-bit masks) that lookups on the
+  // current entry set depend on.  An empty table consults nothing: every
+  // packet takes the default action regardless of content.  Masks are
+  // recomputed lazily after mutations and cached.
+  void AppendConsultedFields(std::vector<ConsultedField>& out) const;
 
   // Bench/test knob: route Lookup/Match through the reference linear scan.
   void set_force_reference_scan(bool force) noexcept {
@@ -155,6 +174,7 @@ class MatchActionTable {
 
   void Bump() noexcept {
     if (epoch_cell_ != nullptr) ++*epoch_cell_;
+    consult_dirty_ = true;
   }
   bool EntryMatches(const TableEntry& e, const packet::Packet& p) const;
   bool EntryMatchesVals(const TableEntry& e, const std::uint64_t* vals) const;
@@ -191,6 +211,9 @@ class MatchActionTable {
 
   Action default_action_ = MakeNopAction();
   std::uint64_t* epoch_cell_ = nullptr;  // not owned; null when unbound
+  // Per-column consulted-bit masks, recomputed lazily after mutations.
+  mutable std::vector<std::uint64_t> consult_masks_;
+  mutable bool consult_dirty_ = true;
   bool force_reference_ = false;
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;

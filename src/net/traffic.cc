@@ -133,6 +133,60 @@ void TrafficGenerator::StartSynFlood(DeviceId from, std::uint64_t dst_ip,
                           stop, burst_});
 }
 
+FlowSpec TrafficGenerator::HeavyTailFlow(const HeavyTailConfig& config,
+                                         Rng& rng) {
+  // Flow index space: [0, elephants) are the Zipf-hot elephants, the rest
+  // of [0, flows) the uniform mice.  Every per-flow attribute derives from
+  // the index, so a repeated index is a repeated flow.
+  const std::size_t elephants = std::min(config.elephants, config.flows);
+  std::uint64_t idx;
+  if (elephants < config.flows && rng.NextBool(config.mice_fraction)) {
+    idx = elephants + rng.NextBounded(config.flows - elephants);
+  } else {
+    idx = rng.NextZipf(elephants == 0 ? 1 : elephants, config.zipf_s);
+  }
+  FlowSpec flow;
+  flow.src_ip = config.src_base + idx;
+  flow.dst_ip =
+      config.dst_base + (config.dst_span == 0 ? 0 : idx % config.dst_span);
+  flow.proto = 6;
+  flow.src_port = 1024 + idx % 50000;
+  flow.dst_port = (idx & 1) != 0 ? 443 : 80;
+  flow.packet_bytes = config.packet_bytes;
+  return flow;
+}
+
+void TrafficGenerator::StartHeavyTailed(DeviceId from,
+                                        const HeavyTailConfig& config,
+                                        double pps, SimDuration duration) {
+  sim::Simulator* sim = network_->simulator();
+  const SimDuration gap = std::max<SimDuration>(
+      1, static_cast<SimDuration>(static_cast<double>(kSecond) / pps));
+  const SimTime stop = sim->now() + duration;
+  struct Tick {
+    TrafficGenerator* gen;
+    DeviceId from;
+    HeavyTailConfig config;
+    SimDuration gap;
+    SimTime stop;
+    std::size_t burst;
+    void operator()() const {
+      sim::Simulator* sim = gen->network_->simulator();
+      if (sim->now() > stop) return;
+      packet::PacketBatch batch = gen->network_->AcquireBatch();
+      for (std::size_t i = 0; i < burst; ++i) {
+        FlowSpec flow = HeavyTailFlow(config, gen->rng_);
+        flow.from = from;
+        batch.Push(gen->MakePacket(flow));
+        ++gen->emitted_;
+      }
+      gen->network_->InjectBatch(from, std::move(batch));
+      sim->Schedule(gap * static_cast<SimDuration>(burst), *this);
+    }
+  };
+  sim->Schedule(gap, Tick{this, from, config, gap, stop, burst_});
+}
+
 void TrafficGenerator::StartMix(const std::vector<EndpointRef>& endpoints,
                                 const MixConfig& config) {
   if (endpoints.size() < 2) return;

@@ -61,6 +61,30 @@ class TrafficGenerator {
   void StartMix(const std::vector<EndpointRef>& endpoints,
                 const MixConfig& config);
 
+  // Heavy-tailed (CAIDA-like) per-packet flow popularity: a small elephant
+  // set carries a Zipf-skewed share of packets while the remaining mass is
+  // spread uniformly over a huge mice population — millions of concurrent
+  // flows, most seen once or twice.  This is the workload that thrashes an
+  // exact-match flow cache and that a wildcard megaflow tier absorbs.
+  struct HeavyTailConfig {
+    std::size_t flows = 1 << 20;    // total flow population (incl. elephants)
+    std::size_t elephants = 4096;   // hot subset, drawn Zipf by rank
+    double mice_fraction = 0.7;     // P(packet belongs to a uniform mouse)
+    double zipf_s = 1.1;            // elephant popularity skew
+    std::uint64_t src_base = 0x0b000000;
+    std::uint64_t dst_base = 0x0a000000;
+    std::size_t dst_span = 1 << 20;  // distinct dst addresses (route domain)
+    std::uint32_t packet_bytes = 512;
+  };
+  // Draws one packet's flow from the heavy-tailed popularity model.  Free
+  // of generator state so benches can replay the identical seeded stream
+  // straight into a Pipeline.  `from` is left unset.
+  static FlowSpec HeavyTailFlow(const HeavyTailConfig& config, Rng& rng);
+
+  // CBR stream whose per-packet flow is drawn from the heavy-tailed model.
+  void StartHeavyTailed(DeviceId from, const HeavyTailConfig& config,
+                        double pps, SimDuration duration);
+
   // Packets emitted per tick (clamped to the batch cap).  Each tick hands
   // the network one PacketBatch via InjectBatch and the inter-tick gap is
   // scaled by the burst so the mean rate is unchanged.  The default burst

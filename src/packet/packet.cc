@@ -190,6 +190,14 @@ std::uint64_t Packet::ContentSignature() const noexcept {
   return h;
 }
 
+std::uint64_t Packet::StructureSignature() const noexcept {
+  std::uint64_t h = 0x9ddfea08eb382d69ULL;
+  for (const Header& hd : headers_) {
+    h = Mix(h, static_cast<std::uint64_t>(hd.name_sym()) + 1);
+  }
+  return h;
+}
+
 void Packet::MarkDropped(std::string reason) {
   dropped_ = true;
   drop_reason_ = std::move(reason);

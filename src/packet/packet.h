@@ -105,6 +105,13 @@ class Packet {
   // the microflow cache keys on.
   std::uint64_t ContentSignature() const noexcept;
 
+  // Order-sensitive hash of the header stack's *shape* alone — header
+  // names, no fields or values.  Parse-graph walks and header lookups
+  // branch only on which headers exist and in what order, so the megaflow
+  // cache keys on this plus the masked values of the fields a resolution
+  // actually consulted.
+  std::uint64_t StructureSignature() const noexcept;
+
   // --- Fate & trace ---
   bool dropped() const noexcept { return dropped_; }
   void MarkDropped(std::string reason);

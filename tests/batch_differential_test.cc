@@ -77,6 +77,15 @@ void ExpectSameCounters(const Pipeline& batch, const Pipeline& scalar) {
   EXPECT_EQ(batch.flow_cache_hits(), scalar.flow_cache_hits());
   EXPECT_EQ(batch.flow_cache_misses(), scalar.flow_cache_misses());
   EXPECT_EQ(batch.flow_cache_size(), scalar.flow_cache_size());
+  EXPECT_EQ(batch.flow_cache_evictions(), scalar.flow_cache_evictions());
+  EXPECT_EQ(batch.flow_cache_stale_reclaimed(),
+            scalar.flow_cache_stale_reclaimed());
+  EXPECT_EQ(batch.megaflow_hits(), scalar.megaflow_hits());
+  EXPECT_EQ(batch.megaflow_misses(), scalar.megaflow_misses());
+  EXPECT_EQ(batch.megaflow_size(), scalar.megaflow_size());
+  EXPECT_EQ(batch.megaflow_evictions(), scalar.megaflow_evictions());
+  EXPECT_EQ(batch.megaflow_stale_reclaimed(),
+            scalar.megaflow_stale_reclaimed());
   for (const std::string& name : {std::string("acl"), std::string("route")}) {
     const auto* bt = batch.FindTable(name);
     const auto* st = scalar.FindTable(name);
@@ -126,6 +135,7 @@ TEST(BatchDifferentialTest, PipelineBatchMatchesScalarUnderChurnAndEpochBumps) {
         EXPECT_EQ(got.tables_traversed, want.tables_traversed);
         EXPECT_EQ(got.ops_executed, want.ops_executed);
         EXPECT_EQ(got.flow_cache_hit, want.flow_cache_hit);
+        EXPECT_EQ(got.megaflow_hit, want.megaflow_hit);
         EXPECT_EQ(batch_pkts[i].ContentSignature(),
                   scalar_pkts[i].ContentSignature());
         EXPECT_EQ(batch_pkts[i].dropped(), scalar_pkts[i].dropped());
@@ -165,6 +175,19 @@ TEST(BatchDifferentialTest, PipelineBatchMatchesScalarUnderChurnAndEpochBumps) {
           const bool enable = churn_rng.NextBool(0.5);
           batch_pipe.set_flow_cache_enabled(enable);
           scalar_pipe.set_flow_cache_enabled(enable);
+          break;
+        }
+        case 4: {
+          // Tier toggles mid-run: the memo's tier tag must fall back to
+          // the surviving tier exactly like the scalar probe order does.
+          const bool enable = churn_rng.NextBool(0.5);
+          if (churn_rng.NextBool(0.5)) {
+            batch_pipe.set_megaflow_enabled(enable);
+            scalar_pipe.set_megaflow_enabled(enable);
+          } else {
+            batch_pipe.set_microflow_enabled(enable);
+            scalar_pipe.set_microflow_enabled(enable);
+          }
           break;
         }
         default:

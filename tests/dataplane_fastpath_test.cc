@@ -394,7 +394,11 @@ TEST(FastPathMetricsTest, PublishMetricsExportsAllCounters) {
   const std::string json = telemetry::ExportJson(registry, "fastpath");
   for (const char* name :
        {"dataplane_flowcache_hits", "dataplane_flowcache_misses",
-        "dataplane_flowcache_invalidations", "table_lookup_indexed",
+        "dataplane_flowcache_invalidations", "dataplane_flowcache_evictions",
+        "dataplane_flowcache_stale_reclaimed", "dataplane_megaflow_hits",
+        "dataplane_megaflow_misses", "dataplane_megaflow_evictions",
+        "dataplane_megaflow_stale_reclaimed", "dataplane_megaflow_size",
+        "dataplane_megaflow_masks", "table_lookup_indexed",
         "table_lookup_scanned"}) {
     EXPECT_NE(json.find(name), std::string::npos) << name;
   }

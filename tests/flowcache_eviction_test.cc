@@ -1,0 +1,334 @@
+// Flow-cache eviction + megaflow tier regression coverage.
+//
+// The bugs pinned here: the old cache handled overflow by silently
+// clearing the whole microflow map (hot flows paid a re-resolve storm and
+// telemetry showed nothing), and dead-epoch entries were never reclaimed
+// (live flows paid eviction pressure for corpses).  Now overflow runs
+// CLOCK per tier, clears count as evictions, stale entries are reclaimed
+// on probe and by a once-per-epoch sweep, and a wildcard megaflow tier
+// covers whole prefixes with one entry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dataplane/pipeline.h"
+#include "packet/packet.h"
+#include "telemetry/telemetry.h"
+
+namespace flexnet::dataplane {
+namespace {
+
+packet::Packet FlowPkt(std::uint64_t src, std::uint64_t dst = 2,
+                       std::uint64_t sport = 4000,
+                       std::uint64_t dport = 80) {
+  return packet::MakeTcpPacket(1, packet::Ipv4Spec{src, dst},
+                               packet::TcpSpec{sport, dport});
+}
+
+MatchActionTable* AddExactSrcTable(Pipeline& pl, std::uint32_t port = 7) {
+  auto* t = pl.AddTable("fwd", {{"ipv4.src", MatchKind::kExact, 32}}, 64)
+                .value();
+  TableEntry e;
+  e.match = {MatchValue::Exact(1)};
+  e.action = MakeForwardAction(port);
+  EXPECT_TRUE(t->AddEntry(e).ok());
+  return t;
+}
+
+// --- CLOCK eviction: hot flows survive capacity pressure ---
+
+TEST(FlowCacheEvictionTest, HotFlowsSurviveMousePressure) {
+  Pipeline pl;
+  pl.set_megaflow_enabled(false);  // isolate the microflow tier
+  pl.set_flow_cache_cap(64);
+  AddExactSrcTable(pl);
+
+  constexpr std::uint64_t kHotBase = 1000;
+  constexpr std::uint64_t kMiceBase = 100000;
+  constexpr int kHot = 8;
+  for (int h = 0; h < kHot; ++h) {
+    packet::Packet p = FlowPkt(kHotBase + h);
+    (void)pl.Process(p, 0);
+  }
+  // 1000 one-shot mice stream past while the hot set is re-referenced
+  // round-robin: CLOCK must evict the mice, not the hot flows.  The old
+  // clear-on-overflow behavior dropped the hot set with every overflow.
+  int hot_hits = 0;
+  int hot_refs = 0;
+  for (int m = 0; m < 1000; ++m) {
+    packet::Packet mouse = FlowPkt(kMiceBase + m);
+    (void)pl.Process(mouse, 0);
+    packet::Packet hot = FlowPkt(kHotBase + (m % kHot));
+    if (m >= 500) {  // past the warm-up transient
+      ++hot_refs;
+      if (pl.Process(hot, 0).flow_cache_hit) ++hot_hits;
+    } else {
+      (void)pl.Process(hot, 0);
+    }
+  }
+  EXPECT_GT(pl.flow_cache_evictions(), 500u);  // mice churned through
+  EXPECT_GE(hot_hits, hot_refs * 9 / 10) << hot_hits << "/" << hot_refs;
+  // Steady state: every hot flow is still resident.
+  for (int h = 0; h < kHot; ++h) {
+    packet::Packet p = FlowPkt(kHotBase + h);
+    EXPECT_TRUE(pl.Process(p, 0).flow_cache_hit) << "hot flow " << h;
+  }
+  EXPECT_EQ(pl.flow_cache_size(), 64u);
+}
+
+// --- Eviction accounting: every removal shows up in the counters ---
+
+TEST(FlowCacheEvictionTest, EvictionCountersMatchObservedRemovals) {
+  Pipeline pl;
+  pl.set_megaflow_enabled(false);
+  pl.set_flow_cache_cap(32);
+  AddExactSrcTable(pl);
+
+  for (int i = 0; i < 100; ++i) {
+    packet::Packet p = FlowPkt(5000 + i);
+    (void)pl.Process(p, 0);
+  }
+  EXPECT_EQ(pl.flow_cache_size(), 32u);
+  EXPECT_EQ(pl.flow_cache_evictions(), 68u);  // 100 installs - 32 resident
+
+  // Disabling the tier is a wholesale clear; the regression was that such
+  // clears were invisible in telemetry.  They count as evictions now.
+  pl.set_flow_cache_enabled(false);
+  EXPECT_EQ(pl.flow_cache_size(), 0u);
+  EXPECT_EQ(pl.flow_cache_evictions(), 100u);
+
+  telemetry::MetricsRegistry registry;
+  pl.PublishMetrics(registry);
+  EXPECT_EQ(registry.CounterNamed("dataplane_flowcache_evictions").value(),
+            pl.flow_cache_evictions());
+  EXPECT_EQ(
+      registry.CounterNamed("dataplane_flowcache_invalidations").value(),
+      pl.flow_cache_invalidations());
+}
+
+TEST(FlowCacheEvictionTest, CapShrinkEvictsDownAndCounts) {
+  Pipeline pl;
+  pl.set_megaflow_enabled(false);
+  AddExactSrcTable(pl);
+  for (int i = 0; i < 20; ++i) {
+    packet::Packet p = FlowPkt(6000 + i);
+    (void)pl.Process(p, 0);
+  }
+  EXPECT_EQ(pl.flow_cache_size(), 20u);
+  pl.set_flow_cache_cap(4);
+  EXPECT_EQ(pl.flow_cache_size(), 4u);
+  EXPECT_EQ(pl.flow_cache_evictions(), 16u);
+}
+
+// --- Stale-epoch reclamation: live flows never pay for dead ones ---
+
+TEST(FlowCacheEvictionTest, StaleEpochEntriesReclaimedNotEvicted) {
+  Pipeline pl;
+  pl.set_megaflow_enabled(false);
+  pl.set_flow_cache_cap(16);
+  auto* t = AddExactSrcTable(pl);
+  for (int i = 0; i < 16; ++i) {
+    packet::Packet p = FlowPkt(7000 + i);
+    (void)pl.Process(p, 0);
+  }
+  EXPECT_EQ(pl.flow_cache_size(), 16u);
+
+  // Epoch bump: every resident entry is now a dead-epoch corpse.
+  TableEntry e;
+  e.match = {MatchValue::Exact(999)};
+  e.action = MakeForwardAction(9);
+  ASSERT_TRUE(t->AddEntry(e).ok());
+
+  // Probing a dead entry reclaims it on the spot.
+  packet::Packet repeat = FlowPkt(7000);
+  EXPECT_FALSE(pl.Process(repeat, 0).flow_cache_hit);
+  EXPECT_EQ(pl.flow_cache_stale_reclaimed(), 1u);
+
+  // Refill with fresh flows: the at-cap insert sweeps the remaining
+  // corpses instead of CLOCK-evicting live flows.  The regression was
+  // that stale entries sat in the map forever, so a refill after reconfig
+  // evicted the flows that had just been installed.
+  for (int i = 16; i < 31; ++i) {
+    packet::Packet p = FlowPkt(7000 + i);
+    (void)pl.Process(p, 0);
+  }
+  EXPECT_EQ(pl.flow_cache_stale_reclaimed(), 16u);
+  EXPECT_EQ(pl.flow_cache_evictions(), 0u);
+  EXPECT_EQ(pl.flow_cache_size(), 16u);
+  // Every fresh flow survived the refill.
+  packet::Packet again = FlowPkt(7000);
+  EXPECT_TRUE(pl.Process(again, 0).flow_cache_hit);
+  for (int i = 16; i < 31; ++i) {
+    packet::Packet p = FlowPkt(7000 + i);
+    EXPECT_TRUE(pl.Process(p, 0).flow_cache_hit) << "fresh flow " << i;
+  }
+}
+
+// --- Megaflow tier: one wildcard entry covers a whole prefix ---
+
+TEST(MegaflowTest, WildcardEntryCoversUnseenFlowsInPrefix) {
+  Pipeline pl;
+  pl.set_microflow_enabled(false);  // isolate the megaflow tier
+  auto* route = pl.AddTable("route", {{"ipv4.dst", MatchKind::kLpm, 32}}, 8)
+                    .value();
+  TableEntry e;
+  e.match = {MatchValue::Lpm(0x0a000000, 24, 32)};
+  e.action = MakeForwardAction(3);
+  ASSERT_TRUE(route->AddEntry(e).ok());
+
+  packet::Packet first = FlowPkt(111, 0x0a000001, 1111, 80);
+  const PipelineResult r1 = pl.Process(first, 0);
+  EXPECT_FALSE(r1.megaflow_hit);
+  EXPECT_EQ(first.egress_port, 3u);
+
+  // A flow never seen before — different src, sport, and dst — but inside
+  // the consulted /24: the single wildcard entry answers it.
+  packet::Packet second = FlowPkt(222, 0x0a000055, 2222, 80);
+  const PipelineResult r2 = pl.Process(second, 0);
+  EXPECT_TRUE(r2.megaflow_hit);
+  EXPECT_FALSE(r2.flow_cache_hit);
+  EXPECT_EQ(second.egress_port, 3u);
+  EXPECT_EQ(pl.megaflow_hits(), 1u);
+  EXPECT_EQ(pl.flow_cache_hits(), 0u);
+  EXPECT_EQ(pl.megaflow_size(), 1u);
+
+  // The miss region is cacheable too: dsts outside the /24 share their
+  // own wildcard entry (default action).
+  packet::Packet miss1 = FlowPkt(333, 0x0a000101);
+  EXPECT_FALSE(pl.Process(miss1, 0).megaflow_hit);
+  EXPECT_EQ(miss1.egress_port, 0u);
+  packet::Packet miss2 = FlowPkt(444, 0x0a000102);
+  EXPECT_TRUE(pl.Process(miss2, 0).megaflow_hit);
+  EXPECT_EQ(miss2.egress_port, 0u);
+}
+
+TEST(MegaflowTest, TableMutationInvalidatesMegaflows) {
+  Pipeline pl;
+  pl.set_microflow_enabled(false);
+  auto* route = pl.AddTable("route", {{"ipv4.dst", MatchKind::kLpm, 32}}, 8)
+                    .value();
+  TableEntry wide;
+  wide.match = {MatchValue::Lpm(0x0a000000, 24, 32)};
+  wide.action = MakeForwardAction(3);
+  ASSERT_TRUE(route->AddEntry(wide).ok());
+  packet::Packet warm = FlowPkt(1, 0x0a000001);
+  (void)pl.Process(warm, 0);
+  packet::Packet hit = FlowPkt(2, 0x0a000002);
+  ASSERT_TRUE(pl.Process(hit, 0).megaflow_hit);
+
+  // A more-specific route lands: the memoized wildcard must not answer
+  // for the refined region.
+  TableEntry narrow;
+  narrow.match = {MatchValue::Lpm(0x0a000000, 28, 32)};
+  narrow.action = MakeForwardAction(5);
+  ASSERT_TRUE(route->AddEntry(narrow).ok());
+
+  packet::Packet refined = FlowPkt(3, 0x0a000002);
+  const PipelineResult r = pl.Process(refined, 0);
+  EXPECT_FALSE(r.megaflow_hit);
+  EXPECT_EQ(refined.egress_port, 5u);
+  EXPECT_GE(pl.megaflow_stale_reclaimed(), 1u);  // probe reclaimed a corpse
+  packet::Packet settled = FlowPkt(4, 0x0a000003);
+  EXPECT_TRUE(pl.Process(settled, 0).megaflow_hit);
+  EXPECT_EQ(settled.egress_port, 5u);
+}
+
+TEST(MegaflowTest, ParseRejectIsCachedAsWildcard) {
+  Pipeline pl;
+  pl.set_microflow_enabled(false);
+  ASSERT_TRUE(pl.AddTable("fwd", {{"ipv4.src", MatchKind::kExact, 32}}, 16)
+                  .ok());
+  // Unwire eth -> ipv4: every TCP packet now fails to parse.  The reject
+  // verdict keys only on the consulted eth.type, so one wildcard entry
+  // covers every flow.
+  ASSERT_TRUE(pl.parser().RemoveTransition("eth", 0x0800).ok());
+  packet::Packet p1 = FlowPkt(1);
+  const PipelineResult r1 = pl.Process(p1, 0);
+  EXPECT_TRUE(r1.dropped);
+  EXPECT_FALSE(r1.megaflow_hit);
+  packet::Packet p2 = FlowPkt(2, 9, 1234, 4321);  // entirely different flow
+  const PipelineResult r2 = pl.Process(p2, 0);
+  EXPECT_TRUE(r2.dropped);
+  EXPECT_TRUE(r2.megaflow_hit);
+  EXPECT_TRUE(p2.dropped());
+}
+
+TEST(MegaflowTest, MeterFlowsUncacheableInBothTiers) {
+  Pipeline pl;
+  auto* t = pl.AddTable("meter", {{"ipv4.src", MatchKind::kExact, 32}}, 16)
+                .value();
+  TableEntry e;
+  e.match = {MatchValue::Exact(9)};
+  e.action.name = "police";
+  e.action.ops.push_back(OpMeterExec{"m", "meta.color"});
+  ASSERT_TRUE(t->AddEntry(e).ok());
+  for (int i = 0; i < 2; ++i) {
+    packet::Packet p = FlowPkt(9);
+    const PipelineResult r = pl.Process(p, 0);
+    EXPECT_FALSE(r.flow_cache_hit);
+    EXPECT_FALSE(r.megaflow_hit);
+  }
+  EXPECT_EQ(pl.flow_cache_misses(), 2u);
+  EXPECT_EQ(pl.megaflow_misses(), 2u);
+  EXPECT_EQ(pl.megaflow_size(), 0u);
+}
+
+TEST(MegaflowTest, MegaflowCapEvictsAndPublishes) {
+  Pipeline pl;
+  pl.set_microflow_enabled(false);
+  pl.set_megaflow_cap(8);
+  // Exact dst key: the consulted mask is full-width, so every distinct
+  // dst is its own megaflow — capacity pressure on the mega tier.
+  auto* t = pl.AddTable("svc", {{"ipv4.dst", MatchKind::kExact, 32}}, 64)
+                .value();
+  TableEntry e;
+  e.match = {MatchValue::Exact(0x0a000001)};
+  e.action = MakeForwardAction(2);
+  ASSERT_TRUE(t->AddEntry(e).ok());
+  for (int i = 0; i < 20; ++i) {
+    packet::Packet p = FlowPkt(1, 0x0b000000 + i);
+    (void)pl.Process(p, 0);
+  }
+  EXPECT_EQ(pl.megaflow_size(), 8u);
+  EXPECT_EQ(pl.megaflow_evictions(), 12u);
+
+  telemetry::MetricsRegistry registry;
+  pl.PublishMetrics(registry);
+  EXPECT_EQ(registry.CounterNamed("dataplane_megaflow_evictions").value(),
+            pl.megaflow_evictions());
+  EXPECT_EQ(registry.CounterNamed("dataplane_megaflow_misses").value(),
+            pl.megaflow_misses());
+}
+
+TEST(MegaflowTest, MasterSwitchClearsAndDisablesBothTiers) {
+  Pipeline pl;
+  AddExactSrcTable(pl);
+  for (int i = 0; i < 4; ++i) {
+    packet::Packet p = FlowPkt(100 + i);
+    (void)pl.Process(p, 0);
+  }
+  EXPECT_GT(pl.flow_cache_size(), 0u);
+  EXPECT_GT(pl.megaflow_size(), 0u);
+  const std::uint64_t micro_resident = pl.flow_cache_size();
+  const std::uint64_t mega_resident = pl.megaflow_size();
+
+  pl.set_flow_cache_enabled(false);
+  EXPECT_EQ(pl.flow_cache_size(), 0u);
+  EXPECT_EQ(pl.megaflow_size(), 0u);
+  EXPECT_EQ(pl.flow_cache_evictions(), micro_resident);
+  EXPECT_EQ(pl.megaflow_evictions(), mega_resident);
+  packet::Packet p = FlowPkt(100);
+  const PipelineResult r = pl.Process(p, 0);
+  EXPECT_FALSE(r.flow_cache_hit);
+  EXPECT_FALSE(r.megaflow_hit);
+  EXPECT_EQ(pl.flow_cache_size(), 0u);
+
+  pl.set_flow_cache_enabled(true);
+  packet::Packet w = FlowPkt(100);
+  (void)pl.Process(w, 0);
+  packet::Packet h = FlowPkt(100);
+  EXPECT_TRUE(pl.Process(h, 0).flow_cache_hit);
+}
+
+}  // namespace
+}  // namespace flexnet::dataplane

@@ -2,13 +2,18 @@
 //
 // Two structurally identical pipelines process the same seeded, random
 // interleaving of mutations (entry churn, default-action changes, table
-// moves) and lookups (flow-repeating packets, so the microflow cache is
-// hot when a mutation lands).  The subject pipeline runs with the cache
-// and the lookup indexes enabled; the oracle runs with the cache disabled
-// and every table forced through the retained MatchEntryReference linear
-// scan.  Any divergence in packet outcome means a memoized step survived
-// an epoch bump — exactly the staleness bug class the cache's
-// invalidation protocol must exclude.
+// moves) and lookups (flow-repeating packets, so the flow caches are hot
+// when a mutation lands).  The subject pipeline runs with the caches and
+// the lookup indexes enabled; the oracle runs with both cache tiers
+// disabled and every table forced through the retained
+// MatchEntryReference linear scan.  Any divergence in packet outcome
+// means a memoized step survived an epoch bump — exactly the staleness
+// bug class the cache's invalidation protocol must exclude.
+//
+// The property runs once per tier configuration — microflow+megaflow,
+// microflow only, megaflow only — because each tier has its own keying
+// discipline (exact content signature vs. consulted-field wildcard) and
+// each must independently respect invalidation.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -31,7 +36,9 @@ struct PipelinePair {
   Pipeline cached;
   Pipeline oracle;
 
-  void Build() {
+  void Build(bool micro_on, bool mega_on) {
+    cached.set_microflow_enabled(micro_on);
+    cached.set_megaflow_enabled(mega_on);
     oracle.set_flow_cache_enabled(false);
     for (Pipeline* pl : {&cached, &oracle}) {
       ASSERT_TRUE(pl->AddTable("acl",
@@ -72,9 +79,9 @@ MatchValue RandomAclSrc(Rng& rng) {
   }
 }
 
-TEST(FlowCachePropertyTest, CachedPipelineMatchesReferenceOracleUnderChurn) {
+void RunChurnProperty(bool micro_on, bool mega_on) {
   PipelinePair pair;
-  pair.Build();
+  pair.Build(micro_on, mega_on);
   if (::testing::Test::HasFatalFailure()) return;
 
   Rng rng(0xcac4e5eedULL);
@@ -150,8 +157,8 @@ TEST(FlowCachePropertyTest, CachedPipelineMatchesReferenceOracleUnderChurn) {
     }
 
     // Each flow is probed twice back-to-back: the first Process memoizes,
-    // the second replays from the microflow cache — so a stale memo would
-    // be *used*, not just stored, and divergence surfaces immediately.
+    // the second replays from a cache tier — so a stale memo would be
+    // *used*, not just stored, and divergence surfaces immediately.
     for (int probe = 0; probe < 3; ++probe) {
       const std::uint64_t src = rng.NextBounded(8);
       const std::uint64_t dst = rng.NextBounded(8);
@@ -165,10 +172,12 @@ TEST(FlowCachePropertyTest, CachedPipelineMatchesReferenceOracleUnderChurn) {
         EXPECT_EQ(a.dropped(), b.dropped()) << "round " << round;
         EXPECT_EQ(ra.dropped, rb.dropped) << "round " << round;
         EXPECT_FALSE(rb.flow_cache_hit);  // the oracle never caches
-        if (HasFailure()) {
+        EXPECT_FALSE(rb.megaflow_hit);
+        if (::testing::Test::HasFailure()) {
           FAIL() << "cached pipeline diverged from reference oracle at "
                     "round "
-                 << round << " (seed 0xcac4e5eed)";
+                 << round << " (seed 0xcac4e5eed, micro=" << micro_on
+                 << " mega=" << mega_on << ")";
         }
       }
     }
@@ -176,7 +185,20 @@ TEST(FlowCachePropertyTest, CachedPipelineMatchesReferenceOracleUnderChurn) {
 
   // The run must have exercised the machinery it claims to test.
   EXPECT_GT(mutations, 50u);
-  EXPECT_GT(pair.cached.flow_cache_hits(), 100u);
+  if (micro_on) {
+    EXPECT_GT(pair.cached.flow_cache_hits(), 100u);
+  } else {
+    EXPECT_EQ(pair.cached.flow_cache_hits(), 0u);
+  }
+  if (mega_on && !micro_on) {
+    // With the exact-match tier out of the way, every back-to-back repeat
+    // must be answered by the wildcard tier.
+    EXPECT_GT(pair.cached.megaflow_hits(), 100u);
+  }
+  if (!mega_on) {
+    EXPECT_EQ(pair.cached.megaflow_hits(), 0u);
+    EXPECT_EQ(pair.cached.megaflow_size(), 0u);
+  }
   EXPECT_GE(pair.cached.flow_cache_invalidations(), mutations);
 
   // Hit accounting parity: memoized replays must bill lookups and hits
@@ -187,6 +209,18 @@ TEST(FlowCachePropertyTest, CachedPipelineMatchesReferenceOracleUnderChurn) {
     EXPECT_EQ(ct->lookups(), ot->lookups()) << table;
     EXPECT_EQ(ct->hits(), ot->hits()) << table;
   }
+}
+
+TEST(FlowCachePropertyTest, BothTiersMatchReferenceOracleUnderChurn) {
+  RunChurnProperty(/*micro_on=*/true, /*mega_on=*/true);
+}
+
+TEST(FlowCachePropertyTest, MicroflowOnlyMatchesReferenceOracleUnderChurn) {
+  RunChurnProperty(/*micro_on=*/true, /*mega_on=*/false);
+}
+
+TEST(FlowCachePropertyTest, MegaflowOnlyMatchesReferenceOracleUnderChurn) {
+  RunChurnProperty(/*micro_on=*/false, /*mega_on=*/true);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "net/network.h"
 #include "net/topology.h"
 #include "net/traffic.h"
@@ -259,6 +261,65 @@ TEST_F(LinearNetTest, SynFloodPacketsAreSyns) {
   sim_.Run();
   EXPECT_GT(syns, 900u);
   EXPECT_EQ(syns, network_.stats().delivered);
+}
+
+TEST(HeavyTailFlowTest, DeterministicSkewedAndWellFormed) {
+  TrafficGenerator::HeavyTailConfig cfg;
+  cfg.flows = 4096;
+  cfg.elephants = 64;
+  cfg.dst_span = 4096;
+  Rng a(7);
+  Rng b(7);
+  std::unordered_set<std::uint64_t> distinct;
+  std::size_t elephant_pkts = 0;
+  std::size_t rank0_pkts = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const FlowSpec fa = TrafficGenerator::HeavyTailFlow(cfg, a);
+    const FlowSpec fb = TrafficGenerator::HeavyTailFlow(cfg, b);
+    // Same seed, same stream: benches rely on exact replay.
+    ASSERT_EQ(fa.src_ip, fb.src_ip) << "draw " << i;
+    ASSERT_EQ(fa.dst_ip, fb.dst_ip) << "draw " << i;
+    ASSERT_EQ(fa.dst_port, fb.dst_port) << "draw " << i;
+    const std::uint64_t idx = fa.src_ip - cfg.src_base;
+    ASSERT_LT(idx, cfg.flows);
+    ASSERT_GE(fa.dst_ip, cfg.dst_base);
+    ASSERT_LT(fa.dst_ip, cfg.dst_base + cfg.dst_span);
+    ASSERT_TRUE(fa.dst_port == 80 || fa.dst_port == 443);
+    ASSERT_EQ(fa.proto, 6u);
+    distinct.insert(fa.src_ip);
+    if (idx < cfg.elephants) ++elephant_pkts;
+    if (idx == 0) ++rank0_pkts;
+  }
+  // 1 - mice_fraction of the packets land on 64/4096 of the flows.
+  EXPECT_NEAR(static_cast<double>(elephant_pkts) / kDraws, 0.30, 0.03);
+  // The mice population is broadly touched: most flows seen at least once.
+  EXPECT_GT(distinct.size(), 3000u);
+  // Zipf head: the hottest elephant alone carries a big share of the
+  // elephant packets.
+  EXPECT_GT(rank0_pkts, elephant_pkts / 10);
+}
+
+TEST_F(LinearNetTest, HeavyTailedStreamDeliversManyDistinctFlows) {
+  TrafficGenerator gen(&network_, 5);
+  TrafficGenerator::HeavyTailConfig cfg;
+  cfg.flows = 8192;
+  cfg.elephants = 128;
+  // Collapse the dst span onto the server so every flow is routable and
+  // delivery is total; flows still differ by src and ports.
+  cfg.dst_base = topo_.server.address;
+  cfg.dst_span = 1;
+  std::unordered_set<std::uint64_t> srcs;
+  network_.SetDeliverySink([&](const DeliveryRecord& rec) {
+    srcs.insert(rec.packet.GetField("ipv4.src").value_or(0));
+  });
+  gen.StartHeavyTailed(topo_.client.host, cfg, 50000.0, 20 * kMillisecond);
+  sim_.Run();
+  EXPECT_NEAR(static_cast<double>(gen.packets_emitted()), 1000.0, 10.0);
+  EXPECT_EQ(network_.stats().delivered, gen.packets_emitted());
+  // ~70% of 1000 packets are one-shot mice: the stream must span far more
+  // flows than any single-flow archetype.
+  EXPECT_GT(srcs.size(), 500u);
 }
 
 TEST_F(LinearNetTest, MixGeneratesMultipleFlows) {
