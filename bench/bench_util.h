@@ -93,9 +93,10 @@ class BenchRun {
     telemetry::MetricsRegistry& registry = metrics();
     PrintSpanRollup(registry);
     EmitJson(registry, name_);
-    if (registry.tracer().total_started() > 0) {
-      const Status written = telemetry::WriteChromeTrace(registry.tracer(),
-                                                         name_);
+    if (registry.tracer().total_started() > 0 ||
+        registry.postcards().recorded() > 0) {
+      const Status written = telemetry::WriteChromeTrace(
+          registry.tracer(), name_, ".", &registry.postcards());
       if (written.ok()) {
         std::printf("(trace written to TRACE_%s.json — load in "
                     "chrome://tracing or Perfetto)\n",

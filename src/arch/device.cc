@@ -1,5 +1,7 @@
 #include "arch/device.h"
 
+#include <utility>
+
 namespace flexnet::arch {
 
 const char* ToString(ArchKind kind) noexcept {
@@ -77,7 +79,7 @@ void Device::ProcessPacketBatch(std::span<packet::Packet> pkts, SimTime now,
   for (std::size_t i = 0; i < pkts.size(); ++i) {
     ProcessOutcome& out = outcomes[i];
     out = ProcessOutcome{};
-    out.pipeline = batch_results_[i];
+    out.pipeline = std::move(batch_results_[i]);
     if (out.pipeline.dropped) ++drops_;
     out.latency = LatencyModel(out.pipeline.tables_traversed);
     out.energy_nj = EnergyModelNj(out.pipeline.tables_traversed);

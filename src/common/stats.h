@@ -43,7 +43,8 @@ class PercentileTracker {
  public:
   static constexpr std::size_t kDefaultMaxSamples = 1 << 16;
 
-  explicit PercentileTracker(std::size_t max_samples = kDefaultMaxSamples);
+  PercentileTracker() : PercentileTracker(kDefaultMaxSamples) {}
+  explicit PercentileTracker(std::size_t max_samples);
 
   void Add(double x);
   // Samples held (<= max cap); total() is every Add() ever seen.

@@ -397,8 +397,10 @@ PipelineResult Pipeline::ReplayCached(const CachedFlow& flow,
   // Actions are re-executed (state updates and counters stay live); only
   // parse + match are skipped.  RecordCachedHit keeps per-table lookup/hit
   // accounting identical to the uncached path.
+  const bool sampled = p.postcard_sampled();
   for (const CachedStep& step : flow.steps) {
     ++result.tables_traversed;
+    if (sampled) result.consulted_tables.push_back(step.table->name());
     step.table->RecordCachedHit(step.entry);
     const Action& action = step.entry != nullptr
                                ? step.entry->action
@@ -465,8 +467,10 @@ PipelineResult Pipeline::ResolveAndCache(packet::Packet& p, SimTime now,
   }
   flow.steps.reserve(tables_.size());
   bool cacheable = true;
+  const bool sampled = p.postcard_sampled();
   for (auto& table : tables_) {
     ++result.tables_traversed;
+    if (sampled) result.consulted_tables.push_back(table->name());
     if (mega_on) table->AppendConsultedFields(consulted_scratch_);
     TableEntry* entry = table->LookupEntry(p);
     const Action& action =
@@ -508,6 +512,9 @@ PipelineResult Pipeline::ProcessOne(packet::Packet& p, SimTime now,
     }
     for (auto& table : tables_) {
       ++result.tables_traversed;
+      if (p.postcard_sampled()) {
+        result.consulted_tables.push_back(table->name());
+      }
       const Action& action = table->Lookup(p);
       const ExecResult exec = executor.Execute(action, p, now);
       result.ops_executed += exec.ops_executed;

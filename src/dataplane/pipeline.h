@@ -49,6 +49,11 @@ struct PipelineResult {
   std::size_t ops_executed = 0;
   bool flow_cache_hit = false;  // answered by the exact-match microflow tier
   bool megaflow_hit = false;    // answered by the wildcard megaflow tier
+  // Names of the tables consulted, in execution order.  Filled ONLY for
+  // postcard-sampled packets (p.postcard_sampled()); empty otherwise, so
+  // the unsampled fast path never allocates here.  Cached replays report
+  // the memoized step tables — the same set the scalar resolve consulted.
+  std::vector<std::string> consulted_tables;
 };
 
 class Pipeline {

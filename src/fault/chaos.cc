@@ -202,7 +202,17 @@ ChaosReport RunChaosSchedule(const ChaosConfig& config, FaultPlan plan) {
                      config.traffic_window - half_window);
   });
 
+  // Postcards give the checker per-packet evidence alongside the aggregate
+  // counters.  Chaos traffic is a single CBR flow, so flow-level 1-in-N
+  // sampling would be all-or-nothing; sample every flow for dense coverage.
+  telemetry::PostcardRecorder recorder(
+      telemetry::PostcardRecorder::Config{/*sample_every_n=*/1,
+                                          /*capacity=*/16384,
+                                          /*seed=*/config.seed});
+  network.set_postcard_recorder(&recorder);
+
   InvariantChecker checker(&network);
+  checker.AttachPostcards(&recorder);
   checker.Begin();
 
   // --- Phase A: hitless reconfiguration under fire ---
@@ -431,6 +441,7 @@ ChaosReport RunChaosSchedule(const ChaosConfig& config, FaultPlan plan) {
   report.packets_delivered = stats.delivered;
   report.packets_dropped = stats.dropped;
   report.packets_checked = checker.packets_checked();
+  report.postcards_checked = checker.postcards_checked();
   report.faults_injected = injector.injected();
   report.violations = checker.violations();
 
@@ -442,6 +453,7 @@ ChaosReport RunChaosSchedule(const ChaosConfig& config, FaultPlan plan) {
     agg.Count("chaos.faults_injected", report.faults_injected);
     agg.Count("chaos.invariant_violations", report.violations.size());
     agg.Count("chaos.packets_checked", report.packets_checked);
+    agg.Count("chaos.postcards_checked", report.postcards_checked);
     agg.Count("chaos.drpc_invokes_ok", report.drpc_invokes);
     agg.Count("chaos.migration_chunks", report.migration_chunks);
     agg.Count("chaos.raft_commits", report.raft_commits);

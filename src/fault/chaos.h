@@ -59,6 +59,7 @@ struct ChaosReport {
   std::uint64_t packets_delivered = 0;
   std::uint64_t packets_dropped = 0;
   std::uint64_t packets_checked = 0;
+  std::uint64_t postcards_checked = 0;  // sampled per-packet evidence cards
   std::uint64_t drpc_invokes = 0;
   std::uint64_t migration_chunks = 0;
   std::uint64_t raft_commits = 0;

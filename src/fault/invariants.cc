@@ -15,6 +15,8 @@ void InvariantChecker::Begin() {
   for (const auto& dev : network_->devices()) {
     version_low_[dev->id()] = dev->device().program_version();
   }
+  postcards_base_ = postcards_ != nullptr ? postcards_->recorded() : 0;
+  postcards_checked_ = 0;
   network_->SetDeliverySink(
       [this](const net::DeliveryRecord& record) { OnDelivery(record); });
 }
@@ -56,6 +58,94 @@ void InvariantChecker::OnDelivery(const net::DeliveryRecord& record) {
               std::to_string(low->second) + ", " + std::to_string(high) + "]");
     }
   }
+
+  // postcard_parity: a delivered sampled packet's card must agree with its
+  // hop trace hop for hop — the telemetry layer observed the same journey
+  // the packet actually made.
+  if (postcards_ != nullptr && record.packet.postcard_id != 0) {
+    const telemetry::Postcard* card =
+        postcards_->Find(record.packet.postcard_id);
+    if (card == nullptr) {
+      AddViolation("postcard_parity",
+                   "packet " + std::to_string(record.packet.id()) +
+                       " carries postcard id " +
+                       std::to_string(record.packet.postcard_id) +
+                       " but the recorder has no such card");
+    } else if (card->hops.size() != trace.size()) {
+      AddViolation("postcard_parity",
+                   "packet " + std::to_string(record.packet.id()) +
+                       ": postcard has " + std::to_string(card->hops.size()) +
+                       " hops, trace has " + std::to_string(trace.size()));
+    } else {
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (card->hops[i].device != trace[i].device.value() ||
+            card->hops[i].program_version != trace[i].program_version) {
+          AddViolation(
+              "postcard_parity",
+              "packet " + std::to_string(record.packet.id()) + " hop " +
+                  std::to_string(i) + ": postcard (device " +
+                  std::to_string(card->hops[i].device) + ", v" +
+                  std::to_string(card->hops[i].program_version) +
+                  ") != trace (device " +
+                  std::to_string(trace[i].device.value()) + ", v" +
+                  std::to_string(trace[i].program_version) + ")");
+          break;
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckPostcards() {
+  if (postcards_ == nullptr) return;
+  const auto& cards = postcards_->cards();
+  for (std::size_t i = postcards_base_; i < cards.size(); ++i) {
+    const telemetry::Postcard& card = cards[i];
+    ++postcards_checked_;
+
+    // version_consistency, from per-packet evidence: every hop's stamped
+    // version inside that device's [old, current] window.
+    for (const telemetry::PostcardHop& hop : card.hops) {
+      const DeviceId device(hop.device);
+      const auto low = version_low_.find(device);
+      if (low == version_low_.end()) continue;  // device added mid-window
+      runtime::ManagedDevice* dev = network_->Find(device);
+      if (dev == nullptr) continue;
+      const std::uint64_t high = dev->device().program_version();
+      if (hop.program_version < low->second || hop.program_version > high) {
+        AddViolation("version_consistency",
+                     "postcard " + std::to_string(card.id) + " (packet " +
+                         std::to_string(card.packet_id) + ") saw version " +
+                         std::to_string(hop.program_version) + " at device " +
+                         std::to_string(hop.device) + ", outside [" +
+                         std::to_string(low->second) + ", " +
+                         std::to_string(high) + "]");
+      }
+    }
+
+    // Hop times must be non-decreasing along the journey.
+    for (std::size_t h = 1; h < card.hops.size(); ++h) {
+      if (card.hops[h].at < card.hops[h - 1].at) {
+        AddViolation("postcard_parity",
+                     "postcard " + std::to_string(card.id) +
+                         " hop times regress at hop " + std::to_string(h));
+        break;
+      }
+    }
+
+    // no_blackhole / conservation, per sampled packet.
+    if (card.fate == telemetry::Postcard::Fate::kDropped) {
+      AddViolation("no_blackhole",
+                   "postcard " + std::to_string(card.id) + " (packet " +
+                       std::to_string(card.packet_id) + ") dropped: " +
+                       card.drop_reason);
+    } else if (card.fate == telemetry::Postcard::Fate::kInFlight) {
+      AddViolation("conservation",
+                   "postcard " + std::to_string(card.id) + " (packet " +
+                       std::to_string(card.packet_id) +
+                       ") still in flight after the drain");
+    }
+  }
 }
 
 void InvariantChecker::Finish() {
@@ -89,6 +179,8 @@ void InvariantChecker::Finish() {
                      " != delivered=" + std::to_string(delivered) +
                      " + dropped=" + std::to_string(dropped));
   }
+
+  CheckPostcards();
 }
 
 void InvariantChecker::CheckMigration(const state::MigrationReport& report,

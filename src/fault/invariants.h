@@ -22,6 +22,15 @@
 //                        is the deliberately slow comparison point
 //   raft_log_consistency replicated controller committed prefixes agree
 //   raft_availability    a leader exists once faults have cleared
+//   postcard_parity      a sampled packet's postcard agrees with its hop
+//                        trace (same devices, same versions, monotone hop
+//                        times) — the telemetry layer may not invent or
+//                        lose evidence
+//
+// When a PostcardRecorder is attached (AttachPostcards), Finish() re-checks
+// version_consistency, no_blackhole, and conservation *per sampled packet*
+// from postcard evidence — the aggregate predicates above say the window
+// was clean; the postcard pass shows it packet by packet.
 #pragma once
 
 #include <cstdint>
@@ -52,7 +61,22 @@ class InvariantChecker {
 
   // Finish-time predicates over the whole window: no_blackhole and
   // conservation.  Run the simulator dry first so nothing is in flight.
+  // With postcards attached, also re-validates the per-packet evidence
+  // (see CheckPostcards).
   void Finish();
+
+  // Attaches sampled per-packet evidence.  Cards already recorded when
+  // Begin() runs are outside the window and skipped.  nullptr detaches.
+  void AttachPostcards(const telemetry::PostcardRecorder* recorder) noexcept {
+    postcards_ = recorder;
+  }
+
+  // Re-checks the window's postcards: per hop version_consistency against
+  // the device's [old, new] window, no_blackhole for dropped fates,
+  // conservation for cards still in flight after the drain, and hop-time
+  // monotonicity (postcard_parity).  Called by Finish(); public so tests
+  // can run it standalone.
+  void CheckPostcards();
 
   // migration_oracle: the destination matched the shadow ground truth at
   // cutover (MigrationRunner computes the comparison; this names it).
@@ -77,6 +101,9 @@ class InvariantChecker {
   }
   bool ok() const noexcept { return violations_.empty(); }
   std::uint64_t packets_checked() const noexcept { return packets_checked_; }
+  std::uint64_t postcards_checked() const noexcept {
+    return postcards_checked_;
+  }
 
  private:
   void OnDelivery(const net::DeliveryRecord& record);
@@ -90,6 +117,9 @@ class InvariantChecker {
   std::uint64_t base_dropped_ = 0;
   std::unordered_map<std::string, std::uint64_t> base_drops_by_reason_;
   std::unordered_map<DeviceId, std::uint64_t> version_low_;
+  const telemetry::PostcardRecorder* postcards_ = nullptr;  // not owned
+  std::size_t postcards_base_ = 0;  // cards recorded before Begin()
+  std::uint64_t postcards_checked_ = 0;
 };
 
 std::string ToText(const Violation& violation);

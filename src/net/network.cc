@@ -3,6 +3,7 @@
 #include <deque>
 #include <utility>
 
+#include "telemetry/postcard.h"
 #include "telemetry/telemetry.h"
 
 namespace flexnet::net {
@@ -169,9 +170,43 @@ Result<SimDuration> Network::EstimatePathLatency(DeviceId from,
   return Unavailable("no path between devices");
 }
 
+void Network::MaybeOpenPostcard(packet::Packet& packet) {
+  if (recorder_ == nullptr || !recorder_->sampling_enabled()) return;
+  // Sampling is keyed on the flow, not the packet: every packet of a
+  // sampled flow carries a card, so parity tests can compare complete
+  // per-flow journeys and the sampled set is stable across runs/bursts.
+  const auto key = packet::ExtractFlowKey(packet);
+  if (!key.has_value()) return;  // non-5-tuple traffic is never sampled
+  const std::uint64_t flow_hash = key->Hash();
+  if (!recorder_->ShouldSample(flow_hash)) return;
+  packet.postcard_id = recorder_->Open(packet.id(), flow_hash, sim_->now());
+}
+
+void Network::RecordPostcardHop(packet::Packet& packet,
+                                runtime::ManagedDevice& device,
+                                arch::ProcessOutcome& outcome,
+                                std::uint32_t batch_size) {
+  if (recorder_ == nullptr || packet.postcard_id == 0) return;
+  telemetry::PostcardHop hop;
+  hop.device = device.id().value();
+  hop.program_version = device.program_version();
+  hop.at = sim_->now();
+  hop.latency_ns = outcome.latency;
+  hop.tier = outcome.pipeline.flow_cache_hit ? telemetry::CacheTier::kMicro
+             : outcome.pipeline.megaflow_hit ? telemetry::CacheTier::kMega
+                                             : telemetry::CacheTier::kSlowPath;
+  hop.tables_consulted =
+      static_cast<std::uint32_t>(outcome.pipeline.tables_traversed);
+  hop.batch_size = batch_size;
+  hop.dropped = outcome.pipeline.dropped || packet.dropped();
+  hop.tables = std::move(outcome.pipeline.consulted_tables);
+  recorder_->RecordHop(packet.postcard_id, std::move(hop));
+}
+
 void Network::InjectPacket(DeviceId from, packet::Packet packet) {
   ++stats_.injected;
   packet.created_at = sim_->now();
+  MaybeOpenPostcard(packet);
   HopProcess(from, std::move(packet));
 }
 
@@ -179,7 +214,10 @@ void Network::InjectBatch(DeviceId from, packet::PacketBatch batch) {
   stats_.injected += batch.size();
   ++stats_.batches_injected;
   const SimTime now = sim_->now();
-  for (packet::Packet& p : batch) p.created_at = now;
+  for (packet::Packet& p : batch) {
+    p.created_at = now;
+    MaybeOpenPostcard(p);
+  }
   if (!batching_enabled_) {
     // Scalar-transport oracle: unbundle onto the per-packet path at the
     // same instant, preserving member order.
@@ -194,8 +232,13 @@ void Network::InjectBatch(DeviceId from, packet::PacketBatch batch) {
 
 void Network::FinishDrop(packet::Packet&& packet) {
   ++stats_.dropped;
-  ++stats_.drops_by_reason[packet.drop_reason().empty() ? "unknown"
-                                                        : packet.drop_reason()];
+  const std::string reason =
+      packet.drop_reason().empty() ? "unknown" : packet.drop_reason();
+  ++stats_.drops_by_reason[reason];
+  if (recorder_ != nullptr && packet.postcard_id != 0) {
+    recorder_->Finish(packet.postcard_id, telemetry::Postcard::Fate::kDropped,
+                      reason, sim_->now());
+  }
 }
 
 void Network::FinishDeliver(packet::Packet&& packet) {
@@ -203,6 +246,11 @@ void Network::FinishDeliver(packet::Packet&& packet) {
   packet.delivered_at = sim_->now();
   const auto latency = packet.delivered_at - packet.created_at;
   stats_.latency_ns.Add(static_cast<double>(latency));
+  stats_.latency_percentiles.Add(static_cast<double>(latency));
+  if (recorder_ != nullptr && packet.postcard_id != 0) {
+    recorder_->Finish(packet.postcard_id,
+                      telemetry::Postcard::Fate::kDelivered, "", sim_->now());
+  }
   if (sink_) {
     sink_(DeliveryRecord{std::move(packet), latency});
   }
@@ -271,7 +319,8 @@ void Network::HopProcess(DeviceId at, packet::Packet packet) {
     FinishDrop(std::move(packet));
     return;
   }
-  const arch::ProcessOutcome outcome = device->Process(packet, sim_->now());
+  arch::ProcessOutcome outcome = device->Process(packet, sim_->now());
+  RecordPostcardHop(packet, *device, outcome, 1);
   const HopDecision decision = SettleHop(at, packet, outcome);
   switch (decision.kind) {
     case HopDecision::kDrop:
@@ -306,6 +355,14 @@ void Network::HopProcessBatch(DeviceId at, packet::PacketBatch batch) {
   }
   outcome_scratch_.assign(batch.size(), arch::ProcessOutcome{});
   device->ProcessBatch(batch.span(), sim_->now(), outcome_scratch_);
+  if (recorder_ != nullptr) {
+    // Sampled members append their hop in member order — the same order
+    // the scalar oracle would visit them.
+    const auto batch_size = static_cast<std::uint32_t>(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      RecordPostcardHop(batch[i], *device, outcome_scratch_[i], batch_size);
+    }
+  }
 
   // Settle every member, checking whether the whole batch agrees on one
   // non-drop decision (the common case on any non-branching stretch of
@@ -396,6 +453,17 @@ void Network::PublishMetrics(telemetry::MetricsRegistry& registry) const {
   registry.Count("net_batch_events", stats_.batch_events);
   registry.Count("net_events_saved", stats_.events_saved);
   registry.Set("net_energy_nj", stats_.total_energy_nj);
+  registry.Set("net_latency_mean_ns", stats_.latency_ns.mean());
+  registry.Set("net_latency_p50_ns", stats_.latency_percentiles.Percentile(50.0));
+  registry.Set("net_latency_p99_ns", stats_.latency_percentiles.Percentile(99.0));
+  registry.Set("net_latency_p999_ns",
+               stats_.latency_percentiles.Percentile(99.9));
+  for (const auto& [reason, count] : stats_.drops_by_reason) {
+    registry.Count("net_drop_reason_" + reason, count);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->PublishMetrics(registry);
+  }
 }
 
 }  // namespace flexnet::net

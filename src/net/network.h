@@ -24,6 +24,10 @@
 #include "runtime/managed_device.h"
 #include "sim/simulator.h"
 
+namespace flexnet::telemetry {
+class PostcardRecorder;
+}  // namespace flexnet::telemetry
+
 namespace flexnet::net {
 
 struct DeliveryRecord {
@@ -38,6 +42,10 @@ struct NetworkStats {
   std::uint64_t dropped = 0;
   std::unordered_map<std::string, std::uint64_t> drops_by_reason;
   RunningStats latency_ns;
+  // Delivery-latency reservoir: RunningStats only exposes moments, but
+  // tail latency is the number the paper's hitless claim hinges on —
+  // PublishMetrics exports p50/p99/p999 from here.
+  PercentileTracker latency_percentiles;
   double total_energy_nj = 0.0;
   // Burst transport accounting: batches entering the network, hop/delivery
   // events actually scheduled for batch groups, and how many per-packet
@@ -107,9 +115,22 @@ class Network {
   const NetworkStats& stats() const noexcept { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
 
+  // Attaches a postcard recorder (nullptr detaches).  When attached with
+  // sampling enabled, injection opens a card for 1-in-N flows and every
+  // hop/fate below appends to it; detached or sampling-off costs one
+  // branch per packet per hop.
+  void set_postcard_recorder(telemetry::PostcardRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  telemetry::PostcardRecorder* postcard_recorder() const noexcept {
+    return recorder_;
+  }
+
   // Snapshot transport counters (net_injected/delivered/dropped,
-  // net_batches_injected, net_batch_events, net_events_saved, energy) —
-  // the single publication site for both transport paths.
+  // net_batches_injected, net_batch_events, net_events_saved, energy,
+  // net_latency_{mean,p50,p99,p999}_ns gauges, and one
+  // net_drop_reason_<reason> counter per observed reason) — the single
+  // publication site for both transport paths.
   void PublishMetrics(telemetry::MetricsRegistry& registry) const;
 
   // Next hop device for (at, dst_addr); invalid id if unroutable.  ECMP
@@ -142,6 +163,14 @@ class Network {
   };
   HopDecision SettleHop(DeviceId at, packet::Packet& packet,
                         const arch::ProcessOutcome& outcome);
+  // Postcard plumbing: flow-sampled card open at injection, one hop append
+  // per device visit (shared by scalar and batch paths — batch_size is the
+  // only field that differs), fate seal at drop/delivery.
+  void MaybeOpenPostcard(packet::Packet& packet);
+  void RecordPostcardHop(packet::Packet& packet,
+                         runtime::ManagedDevice& device,
+                         arch::ProcessOutcome& outcome,
+                         std::uint32_t batch_size);
   void HopProcess(DeviceId at, packet::Packet packet);
   void HopProcessBatch(DeviceId at, packet::PacketBatch batch);
   // Schedules one group (batch members sharing a decision) as one event.
@@ -161,6 +190,7 @@ class Network {
   IdAllocator<DeviceId> ids_;
   NetworkStats stats_;
   DeliverFn sink_;
+  telemetry::PostcardRecorder* recorder_ = nullptr;  // not owned
   bool batching_enabled_ = true;
   packet::BatchArena arena_;
   std::vector<arch::ProcessOutcome> outcome_scratch_;

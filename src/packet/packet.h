@@ -127,6 +127,14 @@ class Packet {
   std::uint32_t ingress_port = 0;
   std::uint32_t egress_port = 0;
 
+  // Telemetry postcard id assigned at injection for sampled flows; 0 means
+  // unsampled (the common case — the data path checks this one field and
+  // does no other postcard work).  Travels with the packet across hops and
+  // batches like the timing fields above.
+  std::uint64_t postcard_id = 0;
+
+  bool postcard_sampled() const noexcept { return postcard_id != 0; }
+
  private:
   std::uint64_t id_ = 0;
   std::uint32_t size_bytes_ = 1000;

@@ -36,6 +36,11 @@ class ManagedDevice {
 
   DeviceId id() const noexcept { return device_->id(); }
   const std::string& name() const noexcept { return device_->name(); }
+  // Version stamp postcards record per hop: the program/config generation
+  // the underlying device is currently running.
+  std::uint64_t program_version() const noexcept {
+    return device_->program_version();
+  }
 
   // --- Program mutation surface (used by RuntimeEngine and the compiler's
   // full-install path).  Each call is one atomic program change. ---

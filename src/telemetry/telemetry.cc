@@ -66,6 +66,7 @@ void MetricsRegistry::Reset() {
   histograms_.clear();
   trace_.Clear();
   tracer_.Clear();
+  postcards_.Clear();
 }
 
 MetricsRegistry& Default() {
@@ -203,7 +204,10 @@ std::string ExportJson(const MetricsRegistry& registry,
   out += "  \"spans_total_started\": " +
          std::to_string(registry.tracer().total_started()) + ",\n";
   out += "  \"spans_dropped\": " +
-         std::to_string(registry.tracer().dropped()) + "\n}\n";
+         std::to_string(registry.tracer().dropped()) + ",\n";
+  out += "  \"postcards\": ";
+  registry.postcards().AppendJson(out);
+  out += "\n}\n";
   return out;
 }
 

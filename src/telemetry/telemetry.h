@@ -28,6 +28,7 @@
 #include "common/result.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "telemetry/postcard.h"
 #include "telemetry/trace.h"
 
 namespace flexnet::telemetry {
@@ -121,6 +122,8 @@ class MetricsRegistry {
   const EventTrace& trace() const noexcept { return trace_; }
   Tracer& tracer() noexcept { return tracer_; }
   const Tracer& tracer() const noexcept { return tracer_; }
+  PostcardRecorder& postcards() noexcept { return postcards_; }
+  const PostcardRecorder& postcards() const noexcept { return postcards_; }
 
   // Lookup without creating; nullptr when absent.
   const Counter* FindCounter(const std::string& name) const;
@@ -156,6 +159,7 @@ class MetricsRegistry {
   std::map<std::string, Histogram> histograms_;
   EventTrace trace_;
   Tracer tracer_;
+  PostcardRecorder postcards_;
 };
 
 // Process-wide registry.  Components record here unless given their own;
@@ -169,7 +173,9 @@ MetricsRegistry& Default();
 //  "events": [{at_ns, kind, detail, value}, ...],
 //  "events_total_recorded": N, "events_dropped": N,
 //  "spans": {name: {count, total_ns, p50_ns, p99_ns, max_ns}},
-//  "spans_total_started": N, "spans_dropped": N}
+//  "spans_total_started": N, "spans_dropped": N,
+//  "postcards": {sample_every_n, capacity, seed, opened, recorded, dropped,
+//                hops, cards_emitted, cards: [...]}}
 // The "spans" section is the per-phase latency rollup over the registry's
 // Tracer (sub-second reconfig as a per-phase budget, not one number).
 std::string ExportJson(const MetricsRegistry& registry,

@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "telemetry/postcard.h"
+
 namespace flexnet::telemetry {
 
 Tracer::Tracer(std::size_t capacity)
@@ -217,7 +219,8 @@ void AppendMicros(std::string& out, SimTime ns) {
 }  // namespace
 
 std::string ExportChromeTrace(const Tracer& tracer,
-                              const std::string& process_name) {
+                              const std::string& process_name,
+                              const PostcardRecorder* postcards) {
   std::string out;
   out += "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
   out += "    {\"ph\": \"M\", \"pid\": 1, \"tid\": 1, \"name\": "
@@ -250,18 +253,47 @@ std::string ExportChromeTrace(const Tracer& tracer,
     }
     out += "}}";
   }
+  std::uint64_t postcards_emitted = 0;
+  if (postcards != nullptr && !postcards->cards().empty()) {
+    out += ",\n    {\"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"name\": "
+           "\"process_name\", \"args\": {\"name\": \"postcards\"}}";
+    for (const Postcard& card : postcards->cards()) {
+      for (const PostcardHop& hop : card.hops) {
+        out += ",\n    {\"ph\": \"X\", \"pid\": 2, \"tid\": " +
+               std::to_string(card.id) + ", \"name\": ";
+        AppendEscaped(out, std::string("hop.dev") +
+                               std::to_string(hop.device) + "." +
+                               ToString(hop.tier));
+        out += ", \"cat\": \"postcard\", \"ts\": ";
+        AppendMicros(out, hop.at);
+        out += ", \"dur\": ";
+        AppendMicros(out, hop.latency_ns);
+        out += ", \"args\": {\"packet\": " + std::to_string(card.packet_id) +
+               ", \"version\": " + std::to_string(hop.program_version) +
+               ", \"tables\": " + std::to_string(hop.tables_consulted) +
+               ", \"batch\": " + std::to_string(hop.batch_size) +
+               ", \"fate\": ";
+        AppendEscaped(out, ToString(card.fate));
+        out += "}}";
+        ++postcards_emitted;
+      }
+    }
+  }
   out += "\n  ],\n  \"otherData\": {\"spans_dropped\": " +
          std::to_string(tracer.dropped()) +
-         ", \"spans_open\": " + std::to_string(skipped_open) + "}\n}\n";
+         ", \"spans_open\": " + std::to_string(skipped_open) +
+         ", \"postcard_hops\": " + std::to_string(postcards_emitted) +
+         "}\n}\n";
   return out;
 }
 
 Status WriteChromeTrace(const Tracer& tracer, const std::string& name,
-                        const std::string& dir) {
+                        const std::string& dir,
+                        const PostcardRecorder* postcards) {
   const std::string path = dir + "/TRACE_" + name + ".json";
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Internal("cannot open '" + path + "' for writing");
-  out << ExportChromeTrace(tracer, name);
+  out << ExportChromeTrace(tracer, name, postcards);
   out.flush();
   if (!out) return Internal("short write to '" + path + "'");
   return OkStatus();

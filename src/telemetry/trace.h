@@ -160,16 +160,23 @@ std::vector<SpanRollup> RollupSpans(const Tracer& tracer);
 // The reconfig pipeline targets >= 0.9 (see EXPERIMENTS.md).
 double ChildCoverage(const Tracer& tracer);
 
+class PostcardRecorder;
+
 // Chrome trace-event JSON: {"traceEvents": [...], "displayTimeUnit": "ns"}.
 // Finished spans become "X" (complete) events with microsecond ts/dur and
 // span/parent ids in args; open spans are skipped (counted in metadata).
+// When `postcards` is given, each sampled packet's hops are emitted as "X"
+// events too, in a second process (pid 2, one tid per postcard), so packet
+// journeys line up beside the control-plane spans on the same timeline.
 // Loadable in chrome://tracing and Perfetto.
 std::string ExportChromeTrace(const Tracer& tracer,
-                              const std::string& process_name);
+                              const std::string& process_name,
+                              const PostcardRecorder* postcards = nullptr);
 
 // Writes ExportChromeTrace() to <dir>/TRACE_<name>.json (the BENCH_*.json
 // sibling convention).
 Status WriteChromeTrace(const Tracer& tracer, const std::string& name,
-                        const std::string& dir = ".");
+                        const std::string& dir = ".",
+                        const PostcardRecorder* postcards = nullptr);
 
 }  // namespace flexnet::telemetry
