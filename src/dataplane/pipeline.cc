@@ -54,6 +54,98 @@ void AppendActionReads(const Action& action,
 
 }  // namespace
 
+Pipeline::Pipeline() {
+  parser_.BindInvalidation(&epoch_);
+  parts_.push_back(MakePartition());
+}
+
+std::unique_ptr<Pipeline::CachePartition> Pipeline::MakePartition() const {
+  auto part = std::make_unique<CachePartition>();
+  part->micro.cap = micro_cap_;
+  part->mega.cap = mega_cap_;
+  return part;
+}
+
+void Pipeline::set_cache_partitions(std::size_t n) {
+  n = std::max<std::size_t>(1, n);
+  // Fold the outgoing partitions' counters into the retired accumulator so
+  // published totals are monotone across rebuilds; live entries discarded
+  // here are honest evictions (the flows must re-resolve).
+  for (const auto& part : parts_) {
+    retired_micro_.hits += part->micro.hits;
+    retired_micro_.misses += part->micro.misses;
+    retired_micro_.evictions +=
+        part->micro.evictions + part->flow_cache.size();
+    retired_micro_.stale_reclaimed += part->micro.stale_reclaimed;
+    retired_mega_.hits += part->mega.hits;
+    retired_mega_.misses += part->mega.misses;
+    retired_mega_.evictions +=
+        part->mega.evictions + part->megaflow_cache.size();
+    retired_mega_.stale_reclaimed += part->mega.stale_reclaimed;
+  }
+  parts_.clear();
+  parts_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) parts_.push_back(MakePartition());
+}
+
+// --- Summed counter getters ----------------------------------------------
+
+std::uint64_t Pipeline::flow_cache_hits() const noexcept {
+  std::uint64_t v = retired_micro_.hits;
+  for (const auto& p : parts_) v += p->micro.hits;
+  return v;
+}
+std::uint64_t Pipeline::flow_cache_misses() const noexcept {
+  std::uint64_t v = retired_micro_.misses;
+  for (const auto& p : parts_) v += p->micro.misses;
+  return v;
+}
+std::uint64_t Pipeline::flow_cache_evictions() const noexcept {
+  std::uint64_t v = retired_micro_.evictions;
+  for (const auto& p : parts_) v += p->micro.evictions;
+  return v;
+}
+std::uint64_t Pipeline::flow_cache_stale_reclaimed() const noexcept {
+  std::uint64_t v = retired_micro_.stale_reclaimed;
+  for (const auto& p : parts_) v += p->micro.stale_reclaimed;
+  return v;
+}
+std::size_t Pipeline::flow_cache_size() const noexcept {
+  std::size_t v = 0;
+  for (const auto& p : parts_) v += p->flow_cache.size();
+  return v;
+}
+std::uint64_t Pipeline::megaflow_hits() const noexcept {
+  std::uint64_t v = retired_mega_.hits;
+  for (const auto& p : parts_) v += p->mega.hits;
+  return v;
+}
+std::uint64_t Pipeline::megaflow_misses() const noexcept {
+  std::uint64_t v = retired_mega_.misses;
+  for (const auto& p : parts_) v += p->mega.misses;
+  return v;
+}
+std::uint64_t Pipeline::megaflow_evictions() const noexcept {
+  std::uint64_t v = retired_mega_.evictions;
+  for (const auto& p : parts_) v += p->mega.evictions;
+  return v;
+}
+std::uint64_t Pipeline::megaflow_stale_reclaimed() const noexcept {
+  std::uint64_t v = retired_mega_.stale_reclaimed;
+  for (const auto& p : parts_) v += p->mega.stale_reclaimed;
+  return v;
+}
+std::size_t Pipeline::megaflow_size() const noexcept {
+  std::size_t v = 0;
+  for (const auto& p : parts_) v += p->megaflow_cache.size();
+  return v;
+}
+std::size_t Pipeline::megaflow_mask_count() const noexcept {
+  std::size_t v = 0;
+  for (const auto& p : parts_) v += p->mega_masks.size();
+  return v;
+}
+
 Result<MatchActionTable*> Pipeline::AddTable(std::string name,
                                              std::vector<KeySpec> key,
                                              std::size_t capacity,
@@ -133,17 +225,19 @@ void Pipeline::ForceReferenceScan(bool force) noexcept {
 // --- Tier plumbing --------------------------------------------------------
 
 template <typename Map, typename OnErase>
-typename Map::iterator Pipeline::TierErase(CacheTier& tier, Map& map,
+typename Map::iterator Pipeline::TierErase(CachePartition& part,
+                                           CacheTier& tier, Map& map,
                                            typename Map::iterator it,
                                            OnErase&& on_erase) {
   tier.free_slots.push_back(it->second.slot);
   on_erase(it->second);
-  ++cache_generation_;  // orphan any batch-memo pointer at this entry
+  ++part.cache_generation;  // orphan any batch-memo pointer at this entry
   return map.erase(it);
 }
 
 template <typename Map, typename OnErase>
-void Pipeline::TierEvictOne(CacheTier& tier, Map& map, OnErase&& on_erase) {
+void Pipeline::TierEvictOne(CachePartition& part, CacheTier& tier, Map& map,
+                            OnErase&& on_erase) {
   const std::size_t ring = tier.slot_keys.size();
   for (std::size_t step = 0; step <= 2 * ring; ++step) {
     if (tier.hand >= ring) tier.hand = 0;
@@ -158,19 +252,19 @@ void Pipeline::TierEvictOne(CacheTier& tier, Map& map, OnErase&& on_erase) {
       continue;
     }
     ++tier.evictions;
-    TierErase(tier, map, it, on_erase);
+    TierErase(part, tier, map, it, on_erase);
     return;
   }
 }
 
 template <typename Map, typename OnErase>
 typename Map::mapped_type* Pipeline::TierInsert(
-    CacheTier& tier, Map& map, std::uint64_t key,
+    CachePartition& part, CacheTier& tier, Map& map, std::uint64_t key,
     typename Map::mapped_type&& entry, OnErase&& on_erase) {
   if (const auto it = map.find(key); it != map.end()) {
     // Replacing (a rare hash collision): erase-then-insert keeps the ring
     // and mask bookkeeping uniform.
-    TierErase(tier, map, it, on_erase);
+    TierErase(part, tier, map, it, on_erase);
   }
   // Under capacity pressure, reclaim dead-epoch entries before evicting
   // live ones — at most one full sweep per epoch, so a reconfig never
@@ -180,14 +274,14 @@ typename Map::mapped_type* Pipeline::TierInsert(
     for (auto it = map.begin(); it != map.end();) {
       if (it->second.epoch != epoch_) {
         ++tier.stale_reclaimed;
-        it = TierErase(tier, map, it, on_erase);
+        it = TierErase(part, tier, map, it, on_erase);
       } else {
         ++it;
       }
     }
   }
   while (map.size() >= tier.cap && !map.empty()) {
-    TierEvictOne(tier, map, on_erase);
+    TierEvictOne(part, tier, map, on_erase);
   }
   std::uint32_t slot;
   if (!tier.free_slots.empty()) {
@@ -205,66 +299,83 @@ typename Map::mapped_type* Pipeline::TierInsert(
 }
 
 template <typename Map>
-void Pipeline::TierClear(CacheTier& tier, Map& map, bool count_as_evictions) {
+void Pipeline::TierClear(CachePartition& part, CacheTier& tier, Map& map,
+                         bool count_as_evictions) {
   if (count_as_evictions) {
     tier.evictions += static_cast<std::uint64_t>(map.size());
   }
-  if (!map.empty()) ++cache_generation_;
+  if (!map.empty()) ++part.cache_generation;
   map.clear();
   tier.slot_keys.clear();
   tier.free_slots.clear();
   tier.hand = 0;
 }
 
-void Pipeline::ClearMicro(bool count_as_evictions) {
-  TierClear(micro_, flow_cache_, count_as_evictions);
+void Pipeline::ClearMicro(CachePartition& part, bool count_as_evictions) {
+  TierClear(part, part.micro, part.flow_cache, count_as_evictions);
 }
 
-void Pipeline::ClearMega(bool count_as_evictions) {
-  TierClear(mega_, megaflow_cache_, count_as_evictions);
-  mega_masks_.clear();
+void Pipeline::ClearMega(CachePartition& part, bool count_as_evictions) {
+  TierClear(part, part.mega, part.megaflow_cache, count_as_evictions);
+  part.mega_masks.clear();
 }
 
 void Pipeline::set_flow_cache_enabled(bool enabled) {
   flow_cache_enabled_ = enabled;
   if (!enabled) {
-    ClearMicro(/*count_as_evictions=*/true);
-    ClearMega(/*count_as_evictions=*/true);
+    for (auto& part : parts_) {
+      ClearMicro(*part, /*count_as_evictions=*/true);
+      ClearMega(*part, /*count_as_evictions=*/true);
+    }
   }
 }
 
 void Pipeline::set_microflow_enabled(bool enabled) {
   microflow_enabled_ = enabled;
-  if (!enabled) ClearMicro(/*count_as_evictions=*/true);
+  if (!enabled) {
+    for (auto& part : parts_) ClearMicro(*part, /*count_as_evictions=*/true);
+  }
 }
 
 void Pipeline::set_megaflow_enabled(bool enabled) {
   megaflow_enabled_ = enabled;
-  if (!enabled) ClearMega(/*count_as_evictions=*/true);
+  if (!enabled) {
+    for (auto& part : parts_) ClearMega(*part, /*count_as_evictions=*/true);
+  }
 }
 
 void Pipeline::set_flow_cache_cap(std::size_t cap) {
-  micro_.cap = std::max<std::size_t>(1, cap);
-  while (flow_cache_.size() > micro_.cap) {
-    TierEvictOne(micro_, flow_cache_, [](const CachedFlow&) {});
+  micro_cap_ = std::max<std::size_t>(1, cap);
+  for (auto& part : parts_) {
+    part->micro.cap = micro_cap_;
+    while (part->flow_cache.size() > part->micro.cap) {
+      TierEvictOne(*part, part->micro, part->flow_cache,
+                   [](const CachedFlow&) {});
+    }
   }
 }
 
 void Pipeline::set_megaflow_cap(std::size_t cap) {
-  mega_.cap = std::max<std::size_t>(1, cap);
-  while (megaflow_cache_.size() > mega_.cap) {
-    TierEvictOne(mega_, megaflow_cache_, [this](const MegaflowEntry& dead) {
-      --mega_masks_[dead.mask_index].live;
-    });
+  mega_cap_ = std::max<std::size_t>(1, cap);
+  for (auto& pp : parts_) {
+    CachePartition& part = *pp;
+    part.mega.cap = mega_cap_;
+    while (part.megaflow_cache.size() > part.mega.cap) {
+      TierEvictOne(part, part.mega, part.megaflow_cache,
+                   [&part](const MegaflowEntry& dead) {
+                     --part.mega_masks[dead.mask_index].live;
+                   });
+    }
   }
 }
 
 // --- Microflow tier -------------------------------------------------------
 
-Pipeline::CachedFlow* Pipeline::MicroInsert(std::uint64_t signature,
+Pipeline::CachedFlow* Pipeline::MicroInsert(CachePartition& part,
+                                            std::uint64_t signature,
                                             CachedFlow flow) {
-  return TierInsert(micro_, flow_cache_, signature, std::move(flow),
-                    [](const CachedFlow&) {});
+  return TierInsert(part, part.micro, part.flow_cache, signature,
+                    std::move(flow), [](const CachedFlow&) {});
 }
 
 // --- Megaflow tier --------------------------------------------------------
@@ -282,14 +393,15 @@ std::uint64_t MegaKey(std::uint32_t mask_index, std::uint64_t structure_sig,
 }
 }  // namespace
 
-Pipeline::MegaflowEntry* Pipeline::MegaProbe(const packet::Packet& p,
+Pipeline::MegaflowEntry* Pipeline::MegaProbe(CachePartition& part,
+                                             const packet::Packet& p,
                                              std::uint64_t structure_sig) {
-  const auto on_erase = [this](const MegaflowEntry& dead) {
-    --mega_masks_[dead.mask_index].live;
+  const auto on_erase = [&part](const MegaflowEntry& dead) {
+    --part.mega_masks[dead.mask_index].live;
   };
   for (std::uint32_t mi = 0;
-       mi < static_cast<std::uint32_t>(mega_masks_.size()); ++mi) {
-    const MegaMask& m = mega_masks_[mi];
+       mi < static_cast<std::uint32_t>(part.mega_masks.size()); ++mi) {
+    const MegaMask& m = part.mega_masks[mi];
     if (m.live == 0) continue;
     probe_scratch_.clear();
     for (const ConsultedField& c : m.fields) {
@@ -298,12 +410,12 @@ Pipeline::MegaflowEntry* Pipeline::MegaProbe(const packet::Packet& p,
           MaskedValue{v.has_value(), v.has_value() ? (*v & c.mask) : 0});
     }
     const std::uint64_t key = MegaKey(mi, structure_sig, probe_scratch_);
-    const auto it = megaflow_cache_.find(key);
-    if (it == megaflow_cache_.end()) continue;
+    const auto it = part.megaflow_cache.find(key);
+    if (it == part.megaflow_cache.end()) continue;
     MegaflowEntry& e = it->second;
     if (e.epoch != epoch_) {
-      ++mega_.stale_reclaimed;
-      TierErase(mega_, megaflow_cache_, it, on_erase);
+      ++part.mega.stale_reclaimed;
+      TierErase(part, part.mega, part.megaflow_cache, it, on_erase);
       continue;
     }
     // Hash collisions are rejected by full verification.
@@ -314,7 +426,8 @@ Pipeline::MegaflowEntry* Pipeline::MegaProbe(const packet::Packet& p,
   return nullptr;
 }
 
-Pipeline::MegaflowEntry* Pipeline::MegaInsert(const packet::Packet& pristine,
+Pipeline::MegaflowEntry* Pipeline::MegaInsert(CachePartition& part,
+                                              const packet::Packet& pristine,
                                               std::uint64_t structure_sig,
                                               const CachedFlow& flow) {
   // Canonicalize the consulted set: merge duplicate fields by OR-ing their
@@ -334,29 +447,29 @@ Pipeline::MegaflowEntry* Pipeline::MegaInsert(const packet::Packet& pristine,
 
   // Find or create the wildcard shape (few shapes, linear search is fine —
   // this is the slow path).
-  std::uint32_t mask_index = static_cast<std::uint32_t>(mega_masks_.size());
+  std::uint32_t mask_index = static_cast<std::uint32_t>(part.mega_masks.size());
   for (std::uint32_t i = 0;
-       i < static_cast<std::uint32_t>(mega_masks_.size()); ++i) {
-    if (mega_masks_[i].fields == mask_build_scratch_) {
+       i < static_cast<std::uint32_t>(part.mega_masks.size()); ++i) {
+    if (part.mega_masks[i].fields == mask_build_scratch_) {
       mask_index = i;
       break;
     }
   }
-  if (mask_index == mega_masks_.size()) {
-    if (mega_masks_.size() >= kMaxMegaflowMasks) {
+  if (mask_index == part.mega_masks.size()) {
+    if (part.mega_masks.size() >= kMaxMegaflowMasks) {
       // Pathological shape churn: restart the tier rather than scan an
       // unbounded mask list on every probe.
-      ClearMega(/*count_as_evictions=*/true);
+      ClearMega(part, /*count_as_evictions=*/true);
       mask_index = 0;
     }
-    mega_masks_.push_back(MegaMask{mask_build_scratch_, 0});
+    part.mega_masks.push_back(MegaMask{mask_build_scratch_, 0});
   }
 
   MegaflowEntry e;
   static_cast<CachedFlow&>(e) = flow;
   e.mask_index = mask_index;
   e.structure_sig = structure_sig;
-  const MegaMask& shape = mega_masks_[mask_index];
+  const MegaMask& shape = part.mega_masks[mask_index];
   e.values.reserve(shape.fields.size());
   for (const ConsultedField& c : shape.fields) {
     const auto v = pristine.GetField(c.ref);
@@ -365,22 +478,23 @@ Pipeline::MegaflowEntry* Pipeline::MegaInsert(const packet::Packet& pristine,
   }
   const std::uint64_t key = MegaKey(mask_index, structure_sig, e.values);
   MegaflowEntry* inserted =
-      TierInsert(mega_, megaflow_cache_, key, std::move(e),
-                 [this](const MegaflowEntry& dead) {
-                   --mega_masks_[dead.mask_index].live;
+      TierInsert(part, part.mega, part.megaflow_cache, key, std::move(e),
+                 [&part](const MegaflowEntry& dead) {
+                   --part.mega_masks[dead.mask_index].live;
                  });
-  ++mega_masks_[mask_index].live;
+  ++part.mega_masks[mask_index].live;
   return inserted;
 }
 
 // --- Lookup path ----------------------------------------------------------
 
-void Pipeline::MemoNote(BatchMemo* memo, std::uint64_t signature,
-                        CachedFlow* flow, MemoTier tier) {
+void Pipeline::MemoNote(CachePartition& part, BatchMemo* memo,
+                        std::uint64_t signature, CachedFlow* flow,
+                        MemoTier tier) {
   if (memo == nullptr) return;
-  if (memo->generation != cache_generation_) {
+  if (memo->generation != part.cache_generation) {
     memo->entries.clear();
-    memo->generation = cache_generation_;
+    memo->generation = part.cache_generation;
   }
   memo->entries[signature] = MemoEntry{flow, tier};
 }
@@ -415,7 +529,8 @@ PipelineResult Pipeline::ReplayCached(const CachedFlow& flow,
   return result;
 }
 
-PipelineResult Pipeline::ResolveAndCache(packet::Packet& p, SimTime now,
+PipelineResult Pipeline::ResolveAndCache(CachePartition& part,
+                                         packet::Packet& p, SimTime now,
                                          ActionExecutor& executor,
                                          std::uint64_t signature,
                                          BatchMemo* memo) {
@@ -446,15 +561,16 @@ PipelineResult Pipeline::ResolveAndCache(packet::Packet& p, SimTime now,
 
   const auto install_and_note = [&](const CachedFlow& resolved) {
     CachedFlow* micro_entry =
-        micro_on ? MicroInsert(signature, resolved) : nullptr;
+        micro_on ? MicroInsert(part, signature, resolved) : nullptr;
     MegaflowEntry* mega_entry =
-        mega_on ? MegaInsert(pristine, structure_sig, resolved) : nullptr;
+        mega_on ? MegaInsert(part, pristine, structure_sig, resolved)
+                : nullptr;
     if (micro_entry != nullptr) {
-      MemoNote(memo, signature, micro_entry, MemoTier::kMicro);
+      MemoNote(part, memo, signature, micro_entry, MemoTier::kMicro);
     } else if (mega_entry != nullptr) {
-      MemoNote(memo, signature, mega_entry, MemoTier::kMega);
+      MemoNote(part, memo, signature, mega_entry, MemoTier::kMega);
     } else {
-      MemoNote(memo, signature, nullptr, MemoTier::kUncacheable);
+      MemoNote(part, memo, signature, nullptr, MemoTier::kUncacheable);
     }
   };
 
@@ -490,13 +606,13 @@ PipelineResult Pipeline::ResolveAndCache(packet::Packet& p, SimTime now,
   if (cacheable) {
     install_and_note(flow);
   } else {
-    MemoNote(memo, signature, nullptr, MemoTier::kUncacheable);
+    MemoNote(part, memo, signature, nullptr, MemoTier::kUncacheable);
   }
   return result;
 }
 
-PipelineResult Pipeline::ProcessOne(packet::Packet& p, SimTime now,
-                                    ActionExecutor& executor,
+PipelineResult Pipeline::ProcessOne(CachePartition& part, packet::Packet& p,
+                                    SimTime now, ActionExecutor& executor,
                                     BatchMemo* memo) {
   const bool micro_on = MicroOn();
   const bool mega_on = MegaOn();
@@ -527,14 +643,14 @@ PipelineResult Pipeline::ProcessOne(packet::Packet& p, SimTime now,
   }
 
   const std::uint64_t signature = p.ContentSignature();
-  if (memo != nullptr && memo->generation == cache_generation_) {
+  if (memo != nullptr && memo->generation == part.cache_generation) {
     const auto mit = memo->entries.find(signature);
     if (mit != memo->entries.end()) {
       const MemoEntry me = mit->second;
       if (me.tier == MemoTier::kMicro && me.flow->epoch == epoch_) {
         // A duplicate signature inside this burst: the scalar oracle would
         // re-probe the microflow tier and hit the same entry.
-        ++micro_.hits;
+        ++part.micro.hits;
         me.flow->referenced = true;
         PipelineResult result = ReplayCached(*me.flow, p, now, executor);
         result.flow_cache_hit = true;
@@ -542,8 +658,8 @@ PipelineResult Pipeline::ProcessOne(packet::Packet& p, SimTime now,
       }
       if (me.tier == MemoTier::kMega && me.flow->epoch == epoch_) {
         // The scalar oracle re-probes: a microflow miss, then a mega hit.
-        if (micro_on) ++micro_.misses;
-        ++mega_.hits;
+        if (micro_on) ++part.micro.misses;
+        ++part.mega.hits;
         me.flow->referenced = true;
         PipelineResult result = ReplayCached(*me.flow, p, now, executor);
         result.megaflow_hit = true;
@@ -552,9 +668,9 @@ PipelineResult Pipeline::ProcessOne(packet::Packet& p, SimTime now,
       if (me.tier == MemoTier::kUncacheable) {
         // First occurrence resolved uncacheably: the scalar path re-probes
         // both tiers, misses both, and resolves again — bill the same.
-        if (micro_on) ++micro_.misses;
-        if (mega_on) ++mega_.misses;
-        return ResolveAndCache(p, now, executor, signature, memo);
+        if (micro_on) ++part.micro.misses;
+        if (mega_on) ++part.mega.misses;
+        return ResolveAndCache(part, p, now, executor, signature, memo);
       }
       // Stale memo (epoch moved since it was noted): fall through to the
       // global probes, which reclaim and re-resolve exactly like scalar.
@@ -562,74 +678,79 @@ PipelineResult Pipeline::ProcessOne(packet::Packet& p, SimTime now,
   }
 
   if (micro_on) {
-    const auto it = flow_cache_.find(signature);
-    if (it != flow_cache_.end()) {
+    const auto it = part.flow_cache.find(signature);
+    if (it != part.flow_cache.end()) {
       if (it->second.epoch == epoch_) {
-        ++micro_.hits;
+        ++part.micro.hits;
         it->second.referenced = true;
-        MemoNote(memo, signature, &it->second, MemoTier::kMicro);
+        MemoNote(part, memo, signature, &it->second, MemoTier::kMicro);
         PipelineResult result = ReplayCached(it->second, p, now, executor);
         result.flow_cache_hit = true;
         return result;
       }
       // Dead entry from an older epoch: reclaim it on the spot so it stops
       // occupying capacity live flows could use.
-      ++micro_.stale_reclaimed;
-      TierErase(micro_, flow_cache_, it, [](const CachedFlow&) {});
+      ++part.micro.stale_reclaimed;
+      TierErase(part, part.micro, part.flow_cache, it,
+                [](const CachedFlow&) {});
     }
-    ++micro_.misses;
+    ++part.micro.misses;
   }
   if (mega_on) {
     const std::uint64_t structure_sig = p.StructureSignature();
-    if (MegaflowEntry* e = MegaProbe(p, structure_sig)) {
-      ++mega_.hits;
+    if (MegaflowEntry* e = MegaProbe(part, p, structure_sig)) {
+      ++part.mega.hits;
       e->referenced = true;
-      MemoNote(memo, signature, e, MemoTier::kMega);
+      MemoNote(part, memo, signature, e, MemoTier::kMega);
       PipelineResult result = ReplayCached(*e, p, now, executor);
       result.megaflow_hit = true;
       return result;
     }
-    ++mega_.misses;
+    ++part.mega.misses;
   }
-  return ResolveAndCache(p, now, executor, signature, memo);
+  return ResolveAndCache(part, p, now, executor, signature, memo);
 }
 
-PipelineResult Pipeline::Process(packet::Packet& p, SimTime now) {
+PipelineResult Pipeline::Process(packet::Packet& p, SimTime now,
+                                 std::size_t shard) {
   ActionExecutor executor(&state_);
-  return ProcessOne(p, now, executor, nullptr);
+  return ProcessOne(Part(shard), p, now, executor, nullptr);
 }
 
 void Pipeline::ProcessBatch(std::span<packet::Packet> pkts, SimTime now,
-                            std::span<PipelineResult> results) {
+                            std::span<PipelineResult> results,
+                            std::size_t shard) {
+  CachePartition& part = Part(shard);
   ++batches_;
   batch_sizes_.Add(static_cast<double>(pkts.size()));
   ActionExecutor executor(&state_);
-  batch_memo_.entries.clear();
-  batch_memo_.generation = cache_generation_;
-  BatchMemo* memo = (MicroOn() || MegaOn()) ? &batch_memo_ : nullptr;
+  part.batch_memo.entries.clear();
+  part.batch_memo.generation = part.cache_generation;
+  BatchMemo* memo = (MicroOn() || MegaOn()) ? &part.batch_memo : nullptr;
   for (std::size_t i = 0; i < pkts.size(); ++i) {
-    results[i] = ProcessOne(pkts[i], now, executor, memo);
+    results[i] = ProcessOne(part, pkts[i], now, executor, memo);
   }
 }
 
 void Pipeline::PublishMetrics(telemetry::MetricsRegistry& registry) const {
-  registry.Count("dataplane_flowcache_hits", micro_.hits);
-  registry.Count("dataplane_flowcache_misses", micro_.misses);
+  registry.Count("dataplane_flowcache_hits", flow_cache_hits());
+  registry.Count("dataplane_flowcache_misses", flow_cache_misses());
   // Epoch bumps: whole-cache invalidations, one per pipeline mutation.
   // Per-entry removals are the two counters below, so eviction storms are
   // visible instead of hiding behind the epoch counter.
   registry.Count("dataplane_flowcache_invalidations", epoch_);
-  registry.Count("dataplane_flowcache_evictions", micro_.evictions);
+  registry.Count("dataplane_flowcache_evictions", flow_cache_evictions());
   registry.Count("dataplane_flowcache_stale_reclaimed",
-                 micro_.stale_reclaimed);
-  registry.Count("dataplane_megaflow_hits", mega_.hits);
-  registry.Count("dataplane_megaflow_misses", mega_.misses);
-  registry.Count("dataplane_megaflow_evictions", mega_.evictions);
-  registry.Count("dataplane_megaflow_stale_reclaimed", mega_.stale_reclaimed);
+                 flow_cache_stale_reclaimed());
+  registry.Count("dataplane_megaflow_hits", megaflow_hits());
+  registry.Count("dataplane_megaflow_misses", megaflow_misses());
+  registry.Count("dataplane_megaflow_evictions", megaflow_evictions());
+  registry.Count("dataplane_megaflow_stale_reclaimed",
+                 megaflow_stale_reclaimed());
   registry.Set("dataplane_megaflow_size",
-               static_cast<double>(megaflow_cache_.size()));
+               static_cast<double>(megaflow_size()));
   registry.Set("dataplane_megaflow_masks",
-               static_cast<double>(mega_masks_.size()));
+               static_cast<double>(megaflow_mask_count()));
   std::uint64_t indexed = 0;
   std::uint64_t scanned = 0;
   for (const auto& t : tables_) {

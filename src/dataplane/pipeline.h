@@ -20,6 +20,16 @@
 // counter: every mutation anywhere (entry churn, default actions, table
 // add/remove/move, parser edits, runtime reflash) bumps it, and cached flows
 // stamped with an older epoch are treated as misses.
+//
+// Cache state is *partitioned*: the sharded data plane gives each worker its
+// own CachePartition (both tiers, masks, batch memo), selected by the shard
+// index passed to Process/ProcessBatch.  Flow-affine steering means a flow
+// only ever touches one partition, so per-partition hit/miss sequences are
+// deterministic regardless of worker interleaving, and no cache bucket is
+// ever shared between workers.  The epoch counter stays pipeline-global:
+// one BumpEpoch invalidates every partition at once (the reconfig fan-out).
+// Counter getters sum across partitions (plus a retired accumulator that
+// survives partition rebuilds), so observability is partition-transparent.
 #pragma once
 
 #include <cstdint>
@@ -58,7 +68,7 @@ struct PipelineResult {
 
 class Pipeline {
  public:
-  Pipeline() { parser_.BindInvalidation(&epoch_); }
+  Pipeline();
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
 
@@ -84,8 +94,9 @@ class Pipeline {
 
   // Runs parse + every table in order.  Unparseable packets are dropped
   // ("parse_reject"); a Drop action short-circuits the remaining tables.
-  // This scalar path is the semantic oracle for ProcessBatch.
-  PipelineResult Process(packet::Packet& p, SimTime now);
+  // This scalar path is the semantic oracle for ProcessBatch.  `shard`
+  // selects the cache partition (0 = the single default partition).
+  PipelineResult Process(packet::Packet& p, SimTime now, std::size_t shard = 0);
 
   // Burst overload: processes `pkts` member-major (each packet runs its
   // full parse -> lookup -> action sequence before the next starts, so
@@ -95,9 +106,19 @@ class Pipeline {
   // every duplicate signature in the burst.  Outcomes, packet contents,
   // per-table hit accounting, and per-tier hit/miss counters are
   // identical to calling Process() on each member in order.
-  // `results` must have at least pkts.size() slots.
+  // `results` must have at least pkts.size() slots.  `shard` selects the
+  // cache partition the burst probes and fills.
   void ProcessBatch(std::span<packet::Packet> pkts, SimTime now,
-                    std::span<PipelineResult> results);
+                    std::span<PipelineResult> results, std::size_t shard = 0);
+
+  // --- Cache partitioning (sharded data plane) ---
+  // Rebuilds the cache as `n` independent partitions (>= 1).  Existing
+  // cached flows are discarded (counted as evictions) and tier counters
+  // fold into a retired accumulator so published totals never move
+  // backwards.  One partition per worker keeps probe/evict sequences
+  // deterministic under any worker interleaving.
+  void set_cache_partitions(std::size_t n);
+  std::size_t cache_partitions() const noexcept { return parts_.size(); }
 
   // --- Flow cache controls / observability ---
   // Master switch: disabling clears BOTH tiers (counted as evictions) and
@@ -110,46 +131,39 @@ class Pipeline {
   void set_megaflow_enabled(bool enabled);
   bool megaflow_enabled() const noexcept { return megaflow_enabled_; }
 
-  // Per-tier capacity (entries; default 65536).  Shrinking below the
-  // current population evicts down through the CLOCK policy.
+  // Per-tier capacity (entries *per partition*; default 65536).  Shrinking
+  // below the current population evicts down through the CLOCK policy.
   void set_flow_cache_cap(std::size_t cap);
-  std::size_t flow_cache_cap() const noexcept { return micro_.cap; }
+  std::size_t flow_cache_cap() const noexcept { return micro_cap_; }
   void set_megaflow_cap(std::size_t cap);
-  std::size_t megaflow_cap() const noexcept { return mega_.cap; }
+  std::size_t megaflow_cap() const noexcept { return mega_cap_; }
 
-  // Invalidate every memoized flow.  Callers whose mutations bypass the
-  // Pipeline API (e.g. the runtime engine reflashing device programs)
-  // invoke this to keep cached steps from outliving what they memoized.
+  // Invalidate every memoized flow in every partition.  Callers whose
+  // mutations bypass the Pipeline API (e.g. the runtime engine reflashing
+  // device programs) invoke this to keep cached steps from outliving what
+  // they memoized.
   void BumpEpoch() noexcept { ++epoch_; }
   std::uint64_t epoch() const noexcept { return epoch_; }
 
-  // --- Microflow tier counters ---
-  std::uint64_t flow_cache_hits() const noexcept { return micro_.hits; }
-  std::uint64_t flow_cache_misses() const noexcept { return micro_.misses; }
+  // --- Microflow tier counters (summed across partitions + retired) ---
+  std::uint64_t flow_cache_hits() const noexcept;
+  std::uint64_t flow_cache_misses() const noexcept;
   // Whole-cache *epoch* invalidations: one per pipeline mutation.  Entries
   // removed individually are counted separately — flow_cache_evictions()
   // for capacity pressure (including wholesale clears on tier disable),
   // flow_cache_stale_reclaimed() for dead-epoch cleanup.
   std::uint64_t flow_cache_invalidations() const noexcept { return epoch_; }
-  std::uint64_t flow_cache_evictions() const noexcept {
-    return micro_.evictions;
-  }
-  std::uint64_t flow_cache_stale_reclaimed() const noexcept {
-    return micro_.stale_reclaimed;
-  }
-  std::size_t flow_cache_size() const noexcept { return flow_cache_.size(); }
+  std::uint64_t flow_cache_evictions() const noexcept;
+  std::uint64_t flow_cache_stale_reclaimed() const noexcept;
+  std::size_t flow_cache_size() const noexcept;
 
-  // --- Megaflow tier counters ---
-  std::uint64_t megaflow_hits() const noexcept { return mega_.hits; }
-  std::uint64_t megaflow_misses() const noexcept { return mega_.misses; }
-  std::uint64_t megaflow_evictions() const noexcept { return mega_.evictions; }
-  std::uint64_t megaflow_stale_reclaimed() const noexcept {
-    return mega_.stale_reclaimed;
-  }
-  std::size_t megaflow_size() const noexcept { return megaflow_cache_.size(); }
-  std::size_t megaflow_mask_count() const noexcept {
-    return mega_masks_.size();
-  }
+  // --- Megaflow tier counters (summed across partitions + retired) ---
+  std::uint64_t megaflow_hits() const noexcept;
+  std::uint64_t megaflow_misses() const noexcept;
+  std::uint64_t megaflow_evictions() const noexcept;
+  std::uint64_t megaflow_stale_reclaimed() const noexcept;
+  std::size_t megaflow_size() const noexcept;
+  std::size_t megaflow_mask_count() const noexcept;
 
   // --- Burst observability ---
   std::uint64_t batches_processed() const noexcept { return batches_; }
@@ -196,7 +210,7 @@ class Pipeline {
     friend bool operator==(const MaskedValue&, const MaskedValue&) = default;
   };
   struct MegaflowEntry : CachedFlow {
-    std::uint32_t mask_index = 0;     // which mega_masks_ shape keyed this
+    std::uint32_t mask_index = 0;     // which partition mask shape keyed this
     std::uint64_t structure_sig = 0;  // header-stack shape guard
     std::vector<MaskedValue> values;  // one per mask field; verified on probe
   };
@@ -242,6 +256,22 @@ class Pipeline {
     std::unordered_map<std::uint64_t, MemoEntry> entries;
   };
 
+  // Everything one worker's cache touches, bundled so shards never share a
+  // mutable cache bucket: both tier maps and CLOCK rings, the wildcard
+  // shapes, the erase generation, and the per-burst memo.
+  struct CachePartition {
+    std::unordered_map<std::uint64_t, CachedFlow> flow_cache;  // micro tier
+    CacheTier micro;
+    std::unordered_map<std::uint64_t, MegaflowEntry> megaflow_cache;
+    CacheTier mega;
+    std::vector<MegaMask> mega_masks;
+    // Bumped on every entry erase in either tier (evictions, stale
+    // reclamation, wholesale clears): outstanding BatchMemo pointers become
+    // invalid exactly then.
+    std::uint64_t cache_generation = 0;
+    BatchMemo batch_memo;  // reused across bursts to keep buckets warm
+  };
+
   bool MicroOn() const noexcept {
     return flow_cache_enabled_ && microflow_enabled_;
   }
@@ -252,40 +282,50 @@ class Pipeline {
   // Tier plumbing shared by both maps (definitions in pipeline.cc; every
   // instantiation lives in that translation unit).
   template <typename Map, typename OnErase>
-  typename Map::iterator TierErase(CacheTier& tier, Map& map,
-                                   typename Map::iterator it,
+  typename Map::iterator TierErase(CachePartition& part, CacheTier& tier,
+                                   Map& map, typename Map::iterator it,
                                    OnErase&& on_erase);
   template <typename Map, typename OnErase>
-  void TierEvictOne(CacheTier& tier, Map& map, OnErase&& on_erase);
+  void TierEvictOne(CachePartition& part, CacheTier& tier, Map& map,
+                    OnErase&& on_erase);
   template <typename Map, typename OnErase>
-  typename Map::mapped_type* TierInsert(CacheTier& tier, Map& map,
-                                        std::uint64_t key,
+  typename Map::mapped_type* TierInsert(CachePartition& part, CacheTier& tier,
+                                        Map& map, std::uint64_t key,
                                         typename Map::mapped_type&& entry,
                                         OnErase&& on_erase);
   template <typename Map>
-  void TierClear(CacheTier& tier, Map& map, bool count_as_evictions);
+  void TierClear(CachePartition& part, CacheTier& tier, Map& map,
+                 bool count_as_evictions);
 
-  void ClearMicro(bool count_as_evictions);
-  void ClearMega(bool count_as_evictions);
+  void ClearMicro(CachePartition& part, bool count_as_evictions);
+  void ClearMega(CachePartition& part, bool count_as_evictions);
 
-  CachedFlow* MicroInsert(std::uint64_t signature, CachedFlow flow);
-  MegaflowEntry* MegaProbe(const packet::Packet& p,
+  CachedFlow* MicroInsert(CachePartition& part, std::uint64_t signature,
+                          CachedFlow flow);
+  MegaflowEntry* MegaProbe(CachePartition& part, const packet::Packet& p,
                            std::uint64_t structure_sig);
-  MegaflowEntry* MegaInsert(const packet::Packet& pristine,
+  MegaflowEntry* MegaInsert(CachePartition& part,
+                            const packet::Packet& pristine,
                             std::uint64_t structure_sig,
                             const CachedFlow& flow);
 
-  void MemoNote(BatchMemo* memo, std::uint64_t signature, CachedFlow* flow,
-                MemoTier tier);
+  void MemoNote(CachePartition& part, BatchMemo* memo, std::uint64_t signature,
+                CachedFlow* flow, MemoTier tier);
   PipelineResult ReplayCached(const CachedFlow& flow, packet::Packet& p,
                               SimTime now, ActionExecutor& executor);
   // Single implementation under both Process (scalar oracle) and
   // ProcessBatch (memo != nullptr).
-  PipelineResult ProcessOne(packet::Packet& p, SimTime now,
-                            ActionExecutor& executor, BatchMemo* memo);
-  PipelineResult ResolveAndCache(packet::Packet& p, SimTime now,
-                                 ActionExecutor& executor,
+  PipelineResult ProcessOne(CachePartition& part, packet::Packet& p,
+                            SimTime now, ActionExecutor& executor,
+                            BatchMemo* memo);
+  PipelineResult ResolveAndCache(CachePartition& part, packet::Packet& p,
+                                 SimTime now, ActionExecutor& executor,
                                  std::uint64_t signature, BatchMemo* memo);
+
+  CachePartition& Part(std::size_t shard) noexcept {
+    return *parts_[shard < parts_.size() ? shard : 0];
+  }
+  std::unique_ptr<CachePartition> MakePartition() const;
 
   std::vector<std::unique_ptr<MatchActionTable>> tables_;
   StateObjects state_;
@@ -296,19 +336,17 @@ class Pipeline {
   bool microflow_enabled_ = true;
   bool megaflow_enabled_ = true;
 
-  std::unordered_map<std::uint64_t, CachedFlow> flow_cache_;  // micro tier
-  CacheTier micro_;
-  std::unordered_map<std::uint64_t, MegaflowEntry> megaflow_cache_;
-  CacheTier mega_;
-  std::vector<MegaMask> mega_masks_;
-
-  // Bumped on every entry erase in either tier (evictions, stale
-  // reclamation, wholesale clears): outstanding BatchMemo pointers become
-  // invalid exactly then.
-  std::uint64_t cache_generation_ = 0;
-  BatchMemo batch_memo_;  // reused across bursts to keep buckets warm
+  std::size_t micro_cap_ = kFlowCacheDefaultCap;
+  std::size_t mega_cap_ = kFlowCacheDefaultCap;
+  std::vector<std::unique_ptr<CachePartition>> parts_;  // never empty
+  // Counter residue of partitions discarded by set_cache_partitions();
+  // only the four counters are meaningful.
+  CacheTier retired_micro_;
+  CacheTier retired_mega_;
 
   // Scratch reused across slow-path resolutions and megaflow probes.
+  // Workers serialize per device (hop mutex), so pipeline-level scratch is
+  // never touched concurrently even in threaded sharding.
   std::vector<ConsultedField> consulted_scratch_;
   std::vector<ConsultedField> mask_build_scratch_;
   std::vector<packet::FieldRef> parser_reads_scratch_;

@@ -1,0 +1,164 @@
+// ShardedDataPlane: RSS-style flow-sharded workers over SPSC rings.
+//
+// The batched transport in Network processes every hop on the simulator
+// thread.  This plane splits that work across N run-to-completion workers,
+// ndn-dpdk fwdp-style: injection steers each packet by its memoized flow
+// hash (FlowHashOf — same flow, same worker, every run), hands the shard
+// a work item over a bounded SPSC ring, and the worker walks the packet's
+// whole journey — hop, settle, forward — using *virtual* time (created_at
+// plus the modeled per-hop delays), its own BatchArena, its own
+// NetworkStats, and its own pipeline cache partition on every device.
+//
+// Two execution substrates share that worker body:
+//
+//   * inline (default): Enqueue() runs the item to completion synchronously
+//     on the simulator thread.  Because processing is analytic — virtual
+//     time, deterministic caches, no wall clock — results are identical to
+//     the threaded substrate, and postcards/chaos hooks work unchanged.
+//     Ring occupancy is *modeled* from a per-worker busy_until horizon.
+//   * threaded: one std::thread per worker draining a real SpscRing.  The
+//     substrate TSan exercises.  Postcard sampling is disabled here (the
+//     recorder is single-threaded); everything else is bit-identical to
+//     inline mode for workloads without cross-flow shared state.
+//
+// Determinism contract: per-worker stats/deliveries depend only on that
+// worker's flow subset and its deterministic frontier order, so totals are
+// interleaving-independent.  Flush() quiesces, merges worker stats in
+// worker-id order (deterministic FP accumulation), and emits buffered
+// deliveries sorted by (delivered_at, created_at, id) — the canonical
+// order differential tests pin against the scalar oracle.
+//
+// Reconfig barrier: ManagedDevice::Fence() (installed by the Network when
+// sharding is configured) calls Quiesce() before any program mutation, so
+// a worker never observes a half-applied program.  Run-to-completion means
+// packets in flight at fence time finish under the old program — snapshot
+// consistency, which satisfies the version-window invariant.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "net/network.h"
+#include "net/spsc_ring.h"
+#include "packet/batch.h"
+
+namespace flexnet::telemetry {
+class MetricsRegistry;
+}  // namespace flexnet::telemetry
+
+namespace flexnet::net {
+
+struct ShardingConfig {
+  std::size_t workers = 4;
+  std::size_t ring_capacity = 1024;
+  // false: inline substrate (deterministic, postcard-capable, the default).
+  // true: real worker threads over the SPSC rings.
+  bool threaded = false;
+};
+
+class ShardedDataPlane {
+ public:
+  ShardedDataPlane(Network* net, const ShardingConfig& config);
+  ~ShardedDataPlane();
+  ShardedDataPlane(const ShardedDataPlane&) = delete;
+  ShardedDataPlane& operator=(const ShardedDataPlane&) = delete;
+
+  std::size_t workers() const noexcept { return workers_.size(); }
+  const ShardingConfig& config() const noexcept { return config_; }
+
+  // RSS steering: flow hash -> worker.  Pure function of the hash and the
+  // worker count, so a flow lands on the same worker across runs and burst
+  // sizes.
+  std::size_t ShardOf(std::uint64_t flow_hash) const noexcept {
+    return static_cast<std::size_t>(flow_hash % workers_.size());
+  }
+
+  // Hands one work item (an injection-time burst slice, all of whose
+  // members hash to `shard`) to its worker.  `at` is the injection sim
+  // time; the worker runs the journey in virtual time from there.
+  void Enqueue(std::size_t shard, DeviceId from, SimTime at,
+               packet::PacketBatch batch);
+
+  // Blocks until every enqueued item has fully completed (threaded mode);
+  // no-op inline, where Enqueue() returns only after completion.  This is
+  // the reconfig fence body.
+  void Quiesce();
+
+  // Quiesce, fold per-worker stats into the network's aggregate (worker-id
+  // order), and emit buffered deliveries to the network sink in canonical
+  // (delivered_at, created_at, id) order.  Call before reading
+  // network.stats() or comparing sink output.
+  void Flush();
+
+  // dataplane_shard_* counters/gauges: items/packets per plane, ring
+  // stalls, occupancy high-water mark, modeled busy time (total and
+  // per-worker max), and the derived scaling efficiency.
+  void PublishMetrics(telemetry::MetricsRegistry& registry) const;
+
+  // --- Modeled-capacity observability (bench E17) ---
+  // Total modeled service time worker `i` executed (sum of per-member
+  // per-hop latencies).  The plane's makespan is the max across workers;
+  // modeled pps at N workers = delivered / max_busy_ns.
+  std::uint64_t WorkerBusyNs(std::size_t i) const noexcept;
+  std::uint64_t WorkerPackets(std::size_t i) const noexcept;
+  std::uint64_t MaxBusyNs() const noexcept;
+  std::uint64_t TotalBusyNs() const noexcept;
+  std::uint64_t TotalRingStalls() const noexcept;
+  std::uint64_t MaxRingOccupancyHwm() const noexcept;
+
+ private:
+  struct WorkItem {
+    DeviceId from;
+    SimTime at = 0;
+    packet::PacketBatch batch;
+  };
+
+  struct Worker {
+    std::size_t index = 0;
+    std::unique_ptr<SpscRing<WorkItem>> ring;
+    std::thread thread;
+    // Producer-side / consumer-side completion accounting for Quiesce().
+    std::uint64_t enqueued = 0;
+    std::atomic<std::uint64_t> completed{0};
+
+    // Worker-local result state, merged at Flush() in worker-id order.
+    NetworkStats stats;
+    std::vector<DeliveryRecord> deliveries;
+    packet::BatchArena arena;
+    std::vector<arch::ProcessOutcome> outcome_scratch;
+
+    // Modeled run-to-completion capacity: busy_ns accumulates executed
+    // service time; busy_until / completions model when items would leave
+    // a real ring, giving occupancy + stall telemetry on the inline
+    // substrate.
+    std::uint64_t busy_ns = 0;
+    SimTime busy_until = 0;
+    std::deque<SimTime> completions;
+    std::uint64_t ring_stalls = 0;
+    std::uint64_t occupancy_hwm = 0;
+    std::uint64_t items = 0;
+    std::uint64_t packets = 0;
+  };
+
+  void WorkerLoop(Worker& w);
+  // Runs one item's packets to completion in virtual time: per-hop device
+  // processing (serialized by the device hop mutex, cache partition =
+  // worker index), settle, and forwarding-group fan-out in
+  // first-occurrence order — the same grouping the scalar batch path uses.
+  void ProcessItem(Worker& w, WorkItem& item);
+  void FinishDropLocal(Worker& w, packet::Packet&& p, SimTime when);
+  void FinishDeliverLocal(Worker& w, packet::Packet&& p, SimTime when);
+  std::uint64_t OccupancyHwmOf(const Worker& w) const noexcept;
+
+  Network* net_;
+  ShardingConfig config_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace flexnet::net

@@ -1,0 +1,94 @@
+// Bounded lock-free single-producer / single-consumer ring.
+//
+// The handoff primitive of the sharded data plane: the injection side (one
+// producer — the simulator thread) pushes work items into one ring per
+// worker, and each worker (one consumer) drains its own ring, ndn-dpdk
+// `rxloop` -> `fwdp` style.  Exactly one thread may call TryPush and
+// exactly one may call TryPop; under that contract the ring is wait-free.
+//
+// Layout follows the classic Lamport queue hardened for modern memory
+// models: head (consumer cursor) and tail (producer cursor) are monotonic
+// uint64 counters on separate cache lines, capacity is a power of two so
+// slot indexing is a mask, and cross-thread visibility of slot contents is
+// ordered by release stores / acquire loads on the cursors alone.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace flexnet::net {
+
+template <typename T>
+class SpscRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit SpscRing(std::size_t capacity = kDefaultCapacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // Producer side.  Returns false (and counts a stall) when full.
+  bool TryPush(T&& item) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t occupied = tail - head;
+    if (occupied >= capacity()) {
+      ++stalls_;
+      return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    ++pushes_;
+    if (occupied + 1 > occupancy_hwm_) occupancy_hwm_ = occupied + 1;
+    return true;
+  }
+
+  // Consumer side.  Returns false when empty.
+  bool TryPop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Snapshot occupancy; exact from either owning thread, approximate (but
+  // never torn) from elsewhere.
+  std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  // Producer-side telemetry (read after quiesce, or from the producer).
+  std::uint64_t pushes() const noexcept { return pushes_; }
+  std::uint64_t stalls() const noexcept { return stalls_; }
+  std::uint64_t occupancy_hwm() const noexcept { return occupancy_hwm_; }
+
+ private:
+  // Cursors on separate cache lines so producer and consumer do not
+  // false-share; 64 covers every mainstream destructive-interference size.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+  alignas(64) std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer-owned counters (mutated only under TryPush).
+  std::uint64_t pushes_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t occupancy_hwm_ = 0;
+};
+
+}  // namespace flexnet::net

@@ -135,6 +135,16 @@ class Packet {
 
   bool postcard_sampled() const noexcept { return postcard_id != 0; }
 
+  // Memoized steering hash, stamped once at injection by FlowHashOf():
+  // the 5-tuple flow hash when the packet has one (kFiveTuple), a
+  // packet-id fallback otherwise (kFallback).  RSS shard steering and
+  // postcard flow sampling both read this instead of re-extracting the
+  // flow key per consumer.  Depends only on packet contents/id, so it is
+  // identical across runs and burst sizes.
+  enum class FlowHashState : std::uint8_t { kUnset, kFiveTuple, kFallback };
+  std::uint64_t flow_hash = 0;
+  FlowHashState flow_hash_state = FlowHashState::kUnset;
+
  private:
   std::uint64_t id_ = 0;
   std::uint32_t size_bytes_ = 1000;

@@ -141,6 +141,7 @@ SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
                                   DoneFn done) {
   auto report = std::make_shared<ApplyReport>();
   report->started = sim_->now();
+  dev.Fence();  // sharded workers must not be mid-hop when the drain starts
   dev.device().set_online(false);  // drain: traffic to this device is lost
   SimDuration window = dev.device().FullReflashCost();
   const SimTime predicted = sim_->now() + window;
@@ -175,6 +176,7 @@ SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
   ManagedDevice* device = &dev;
   sim_->ScheduleAt(finish, [device, plan = std::move(plan), report, done,
                             finish, metrics, drain_span]() {
+    device->Fence();  // reflash lands as one atomic image swap
     for (const ReconfigStep& step : plan.steps) {
       const Status status = device->ApplyStep(step);
       if (status.ok()) {

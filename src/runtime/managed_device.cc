@@ -90,6 +90,7 @@ Status ManagedDevice::RemoveFunction(const StepRemoveFunction& step) {
 }
 
 Status ManagedDevice::ApplyStep(const ReconfigStep& step) {
+  Fence();  // no sharded worker may be mid-hop while the program mutates
   Status status = OkStatus();
   if (const auto* s = std::get_if<StepAddTable>(&step)) {
     status = AddTable(*s);
@@ -175,8 +176,9 @@ arch::ProcessOutcome ManagedDevice::Process(packet::Packet& p, SimTime now) {
 }
 
 void ManagedDevice::ProcessBatch(std::span<packet::Packet> pkts, SimTime now,
-                                 std::span<arch::ProcessOutcome> outcomes) {
-  device_->ProcessPacketBatch(pkts, now, outcomes);
+                                 std::span<arch::ProcessOutcome> outcomes,
+                                 std::size_t shard) {
+  device_->ProcessPacketBatch(pkts, now, outcomes, shard);
   if (!device_->online() || functions_.empty()) return;
   flexbpf::Interpreter interp(&maps_);
   for (std::size_t i = 0; i < pkts.size(); ++i) {

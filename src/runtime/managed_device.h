@@ -11,7 +11,9 @@
 // the step — the per-change consistency the paper's section 2 describes.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,9 +45,28 @@ class ManagedDevice {
   }
 
   // --- Program mutation surface (used by RuntimeEngine and the compiler's
-  // full-install path).  Each call is one atomic program change. ---
+  // full-install path).  Each call is one atomic program change.
+  // ApplyStep first runs Fence(): with a sharded data plane attached the
+  // fence quiesces the workers (drains rings, waits for in-flight hops), so
+  // no worker ever observes a half-applied program — the reconfig barrier
+  // of the sharded design. ---
   Status ApplyStep(const ReconfigStep& step);
   Status ApplyAll(const ReconfigPlan& plan);  // immediate, no timing model
+
+  // Installed by the sharded data plane; empty means no-op (scalar mode).
+  void set_reconfig_fence(std::function<void()> fence) {
+    fence_ = std::move(fence);
+  }
+  // Quiesce sharded workers before a program mutation touches this device.
+  void Fence() {
+    if (fence_) fence_();
+  }
+
+  // Serializes sharded workers executing a hop on this device.  Covers the
+  // device's batch scratch, table counters, stateful objects, and FlexBPF
+  // maps; cache partitions keep the fast path mostly uncontended, so this
+  // mutex is only hot when two workers land on the same device at once.
+  std::mutex& hop_mutex() noexcept { return hop_mutex_; }
 
   const std::vector<flexbpf::FunctionDecl>& functions() const noexcept {
     return functions_;
@@ -65,8 +86,10 @@ class ManagedDevice {
   // Reconfiguration interacts correctly with in-flight bursts because each
   // burst is one simulator event: an ApplyStep/reflash lands entirely
   // before or entirely after it, exactly as with scalar packets.
+  // `shard` selects the pipeline cache partition (sharded data plane).
   void ProcessBatch(std::span<packet::Packet> pkts, SimTime now,
-                    std::span<arch::ProcessOutcome> outcomes);
+                    std::span<arch::ProcessOutcome> outcomes,
+                    std::size_t shard = 0);
 
  private:
   // Runs every installed FlexBPF function against one packet, folding the
@@ -82,6 +105,8 @@ class ManagedDevice {
   std::unique_ptr<arch::Device> device_;
   state::MapSet maps_;
   std::vector<flexbpf::FunctionDecl> functions_;
+  std::function<void()> fence_;
+  std::mutex hop_mutex_;
 };
 
 }  // namespace flexnet::runtime
