@@ -44,6 +44,8 @@ class RegisterArray {
 
   const std::vector<std::uint64_t>& cells() const noexcept { return cells_; }
   void Restore(std::vector<std::uint64_t> cells) { cells_ = std::move(cells); }
+  // Raw storage for direct (bound) access; stable until Restore().
+  std::uint64_t* data() noexcept { return cells_.data(); }
 
  private:
   std::string name_;

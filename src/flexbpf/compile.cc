@@ -1,0 +1,404 @@
+#include "flexbpf/compile.h"
+
+#include <limits>
+
+#include "flexbpf/ops_eval.h"
+#include "packet/flow.h"
+
+namespace flexnet::flexbpf {
+
+const char* ToString(OpCode code) noexcept {
+  switch (code) {
+    case OpCode::kLoadConst: return "loadconst";
+    case OpCode::kLoadField: return "loadfield";
+    case OpCode::kStoreField: return "storefield";
+    case OpCode::kLoadFlowKey: return "loadflowkey";
+    case OpCode::kBinOp: return "binop";
+    case OpCode::kBinOpImm: return "binopimm";
+    case OpCode::kMapLoad: return "mapload";
+    case OpCode::kMapStore: return "mapstore";
+    case OpCode::kMapAdd: return "mapadd";
+    case OpCode::kBranch: return "branch";
+    case OpCode::kJump: return "jump";
+    case OpCode::kDrop: return "drop";
+    case OpCode::kForward: return "forward";
+    case OpCode::kReturn: return "return";
+    case OpCode::kFieldOpImm: return "field+opimm";
+    case OpCode::kConstStoreField: return "const+storefield";
+    case OpCode::kOpImmOpImm: return "opimm+opimm";
+    case OpCode::kMapRmw: return "map-rmw";
+  }
+  return "?";
+}
+
+namespace {
+
+Status CheckCompiledReg(int reg, const char* role, std::size_t pc) {
+  if (reg < 0 || reg >= kNumRegisters) {
+    return VerificationFailed("compile: instr " + std::to_string(pc) + ": " +
+                              role + " register r" + std::to_string(reg) +
+                              " out of range");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<CompiledFunction> CompiledFunction::Compile(const FunctionDecl& fn) {
+  const auto& code = fn.instrs;
+  CompiledFunction out;
+  out.name_ = fn.name;
+  out.source_instrs_ = code.size();
+  out.ops_.reserve(code.size());
+
+  const auto reason_index = [&out](const std::string& reason) -> std::uint16_t {
+    for (std::size_t i = 0; i < out.reasons_.size(); ++i) {
+      if (out.reasons_[i] == reason) return static_cast<std::uint16_t>(i);
+    }
+    out.reasons_.push_back(reason);
+    return static_cast<std::uint16_t>(out.reasons_.size() - 1);
+  };
+
+  // Branch targets (source indices).  A fused pair may not swallow a
+  // target: control must still be able to land on the second instruction.
+  std::vector<bool> is_target(code.size() + 1, false);
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    std::size_t target = SIZE_MAX;
+    if (const auto* b = std::get_if<InstrBranch>(&code[pc])) target = b->target;
+    if (const auto* j = std::get_if<InstrJump>(&code[pc])) target = j->target;
+    if (target == SIZE_MAX) continue;
+    if (target <= pc || target > code.size()) {
+      return VerificationFailed("compile: instr " + std::to_string(pc) +
+                                ": branch target " + std::to_string(target) +
+                                " is not strictly forward");
+    }
+    is_target[target] = true;
+  }
+
+  // start[src_pc] = compiled index of the op beginning at src_pc.  Branch
+  // targets are remapped through it in the fixup pass below; fused pairs
+  // leave their second slot unset, which is safe because fusion is
+  // forbidden across a target.
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> start(code.size() + 1, kUnset);
+
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    start[pc] = static_cast<std::uint32_t>(out.ops_.size());
+    CompiledOp op;
+
+    // --- map read-modify-write: MapLoad ; BinOp dst,dst,rhs ; MapStore of
+    // the same cell from dst.  Excluded when the key register IS the load
+    // dst: the interpreter's store would then re-read the key after the
+    // load clobbered it and hit a different cell. ---
+    if (pc + 2 < code.size() && !is_target[pc + 1] && !is_target[pc + 2]) {
+      const auto* ld = std::get_if<InstrMapLoad>(&code[pc]);
+      const auto* bo = std::get_if<InstrBinOp>(&code[pc + 1]);
+      const auto* st = std::get_if<InstrMapStore>(&code[pc + 2]);
+      if (ld != nullptr && bo != nullptr && st != nullptr &&
+          bo->dst == ld->dst && bo->lhs == ld->dst && st->src == ld->dst &&
+          st->key == ld->key && ld->key != ld->dst && st->map == ld->map &&
+          st->cell == ld->cell) {
+        FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(ld->dst, "dst", pc));
+        FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(ld->key, "key", pc));
+        FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(bo->rhs, "rhs", pc + 1));
+        op.code = OpCode::kMapRmw;
+        op.len = 3;
+        op.dst = static_cast<std::uint8_t>(ld->dst);
+        op.a = static_cast<std::uint8_t>(ld->key);
+        op.alu = bo->op;
+        op.imm = static_cast<std::uint64_t>(bo->rhs);  // rhs register index
+        op.map = packet::Intern(ld->map);
+        op.cell = packet::Intern(ld->cell);
+        out.ops_.push_back(op);
+        out.fused_ += 1;
+        pc += 2;
+        continue;
+      }
+    }
+
+    // --- superinstruction fusion: peek at (pc, pc+1) ---
+    const bool next_fusable = pc + 1 < code.size() && !is_target[pc + 1];
+    if (next_fusable) {
+      const Instr& a = code[pc];
+      const Instr& b = code[pc + 1];
+      const auto* lf = std::get_if<InstrLoadField>(&a);
+      const auto* lc = std::get_if<InstrLoadConst>(&a);
+      const auto* oi = std::get_if<InstrBinOpImm>(&a);
+      if (const auto* boi = std::get_if<InstrBinOpImm>(&b);
+          lf != nullptr && boi != nullptr && boi->lhs == lf->dst &&
+          boi->dst == lf->dst) {
+        FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(lf->dst, "dst", pc));
+        op.code = OpCode::kFieldOpImm;
+        op.len = 2;
+        op.dst = static_cast<std::uint8_t>(lf->dst);
+        op.field = lf->field.ref();
+        op.alu = boi->op;
+        op.imm = boi->imm;
+        out.ops_.push_back(op);
+        out.fused_ += 1;
+        ++pc;
+        continue;
+      }
+      if (const auto* sf = std::get_if<InstrStoreField>(&b);
+          lc != nullptr && sf != nullptr && sf->src == lc->dst) {
+        FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(lc->dst, "dst", pc));
+        op.code = OpCode::kConstStoreField;
+        op.len = 2;
+        op.dst = static_cast<std::uint8_t>(lc->dst);
+        op.imm = lc->value;
+        op.field = sf->field.ref();
+        out.ops_.push_back(op);
+        out.fused_ += 1;
+        ++pc;
+        continue;
+      }
+      if (const auto* boi = std::get_if<InstrBinOpImm>(&b);
+          oi != nullptr && boi != nullptr && boi->lhs == oi->dst &&
+          boi->dst == oi->dst) {
+        FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(oi->dst, "dst", pc));
+        FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(oi->lhs, "lhs", pc));
+        op.code = OpCode::kOpImmOpImm;
+        op.len = 2;
+        op.dst = static_cast<std::uint8_t>(oi->dst);
+        op.a = static_cast<std::uint8_t>(oi->lhs);
+        op.alu = oi->op;
+        op.imm = oi->imm;
+        op.alu2 = boi->op;
+        op.imm2 = boi->imm;
+        out.ops_.push_back(op);
+        out.fused_ += 1;
+        ++pc;
+        continue;
+      }
+    }
+
+    // --- plain one-for-one decode ---
+    const Instr& instr = code[pc];
+    if (const auto* i = std::get_if<InstrLoadConst>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->dst, "dst", pc));
+      op.code = OpCode::kLoadConst;
+      op.dst = static_cast<std::uint8_t>(i->dst);
+      op.imm = i->value;
+    } else if (const auto* i = std::get_if<InstrLoadField>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->dst, "dst", pc));
+      op.code = OpCode::kLoadField;
+      op.dst = static_cast<std::uint8_t>(i->dst);
+      op.field = i->field.ref();
+    } else if (const auto* i = std::get_if<InstrStoreField>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->src, "src", pc));
+      op.code = OpCode::kStoreField;
+      op.a = static_cast<std::uint8_t>(i->src);
+      op.field = i->field.ref();
+    } else if (const auto* i = std::get_if<InstrLoadFlowKey>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->dst, "dst", pc));
+      op.code = OpCode::kLoadFlowKey;
+      op.dst = static_cast<std::uint8_t>(i->dst);
+    } else if (const auto* i = std::get_if<InstrBinOp>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->dst, "dst", pc));
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->lhs, "lhs", pc));
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->rhs, "rhs", pc));
+      op.code = OpCode::kBinOp;
+      op.alu = i->op;
+      op.dst = static_cast<std::uint8_t>(i->dst);
+      op.a = static_cast<std::uint8_t>(i->lhs);
+      op.imm = static_cast<std::uint64_t>(i->rhs);  // rhs register index
+    } else if (const auto* i = std::get_if<InstrBinOpImm>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->dst, "dst", pc));
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->lhs, "lhs", pc));
+      op.code = OpCode::kBinOpImm;
+      op.alu = i->op;
+      op.dst = static_cast<std::uint8_t>(i->dst);
+      op.a = static_cast<std::uint8_t>(i->lhs);
+      op.imm = i->imm;
+    } else if (const auto* i = std::get_if<InstrMapLoad>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->dst, "dst", pc));
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->key, "key", pc));
+      op.code = OpCode::kMapLoad;
+      op.dst = static_cast<std::uint8_t>(i->dst);
+      op.a = static_cast<std::uint8_t>(i->key);
+      op.map = packet::Intern(i->map);
+      op.cell = packet::Intern(i->cell);
+    } else if (const auto* i = std::get_if<InstrMapStore>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->key, "key", pc));
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->src, "src", pc));
+      op.code = OpCode::kMapStore;
+      op.a = static_cast<std::uint8_t>(i->key);
+      op.dst = static_cast<std::uint8_t>(i->src);  // src rides in dst slot
+      op.map = packet::Intern(i->map);
+      op.cell = packet::Intern(i->cell);
+    } else if (const auto* i = std::get_if<InstrMapAdd>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->key, "key", pc));
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->src, "src", pc));
+      op.code = OpCode::kMapAdd;
+      op.a = static_cast<std::uint8_t>(i->key);
+      op.dst = static_cast<std::uint8_t>(i->src);
+      op.map = packet::Intern(i->map);
+      op.cell = packet::Intern(i->cell);
+    } else if (const auto* i = std::get_if<InstrBranch>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->lhs, "lhs", pc));
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->rhs, "rhs", pc));
+      op.code = OpCode::kBranch;
+      op.cmp = i->cmp;
+      op.a = static_cast<std::uint8_t>(i->lhs);
+      op.dst = static_cast<std::uint8_t>(i->rhs);  // rhs rides in dst slot
+      op.target = static_cast<std::uint32_t>(i->target);  // source idx, fixed up
+    } else if (const auto* i = std::get_if<InstrJump>(&instr)) {
+      op.code = OpCode::kJump;
+      op.target = static_cast<std::uint32_t>(i->target);  // source idx, fixed up
+    } else if (const auto* i = std::get_if<InstrDrop>(&instr)) {
+      op.code = OpCode::kDrop;
+      op.str = reason_index(i->reason);
+    } else if (const auto* i = std::get_if<InstrForward>(&instr)) {
+      FLEXNET_RETURN_IF_ERROR(CheckCompiledReg(i->port_reg, "port", pc));
+      op.code = OpCode::kForward;
+      op.a = static_cast<std::uint8_t>(i->port_reg);
+    } else {
+      op.code = OpCode::kReturn;
+    }
+    out.ops_.push_back(op);
+  }
+  start[code.size()] = static_cast<std::uint32_t>(out.ops_.size());
+
+  // Fix up branch targets: source index -> compiled index.
+  for (CompiledOp& op : out.ops_) {
+    if (op.code != OpCode::kBranch && op.code != OpCode::kJump) continue;
+    const std::uint32_t mapped = start[op.target];
+    if (mapped == std::numeric_limits<std::uint32_t>::max()) {
+      return Internal("compile: branch target " + std::to_string(op.target) +
+                      " landed inside a fused pair");
+    }
+    op.target = mapped;
+  }
+  return out;
+}
+
+void CompiledFunction::Bind(MapBackend* maps) {
+  bound_.clear();
+  for (CompiledOp& op : ops_) {
+    if (op.code != OpCode::kMapLoad && op.code != OpCode::kMapStore &&
+        op.code != OpCode::kMapAdd && op.code != OpCode::kMapRmw) {
+      continue;
+    }
+    op.bind = CompiledOp::kNoBind;
+    if (maps == nullptr || bound_.size() >= CompiledOp::kNoBind) continue;
+    const DirectCells cells = maps->Resolve(op.map, op.cell);
+    if (!cells.bound()) continue;
+    op.bind = static_cast<std::uint16_t>(bound_.size());
+    bound_.push_back(cells);
+  }
+}
+
+InterpResult CompiledFunction::Run(packet::Packet& p, MapBackend* maps) const {
+  InterpResult result;
+  std::uint64_t regs[kNumRegisters] = {};
+  const CompiledOp* ops = ops_.data();
+  const std::size_t n = ops_.size();
+  std::size_t pc = 0;
+  // No fuel counter and no forward-only clamp: targets were validated at
+  // compile time, so the loop is bounded by construction.
+  while (pc < n) {
+    const CompiledOp& op = ops[pc];
+    result.steps += op.len;
+    ++pc;
+    switch (op.code) {
+      case OpCode::kLoadConst:
+        regs[op.dst] = op.imm;
+        break;
+      case OpCode::kLoadField:
+        regs[op.dst] = p.GetField(op.field).value_or(0);
+        break;
+      case OpCode::kStoreField:
+        p.SetField(op.field, regs[op.a]);
+        break;
+      case OpCode::kLoadFlowKey: {
+        const auto key = packet::ExtractFlowKey(p);
+        regs[op.dst] = key.has_value() ? key->Hash() : 0;
+        break;
+      }
+      case OpCode::kBinOp:
+        regs[op.dst] = ApplyBinOp(op.alu, regs[op.a],
+                                  regs[static_cast<std::size_t>(op.imm)]);
+        break;
+      case OpCode::kBinOpImm:
+        regs[op.dst] = ApplyBinOp(op.alu, regs[op.a], op.imm);
+        break;
+      case OpCode::kMapLoad:
+        if (op.bind != CompiledOp::kNoBind) {
+          regs[op.dst] = bound_[op.bind].at(regs[op.a]);
+        } else {
+          regs[op.dst] =
+              maps != nullptr ? maps->Load(op.map, regs[op.a], op.cell) : 0;
+        }
+        break;
+      case OpCode::kMapStore:
+        if (op.bind != CompiledOp::kNoBind) {
+          bound_[op.bind].at(regs[op.a]) = regs[op.dst];
+        } else if (maps != nullptr) {
+          maps->Store(op.map, regs[op.a], op.cell, regs[op.dst]);
+        }
+        break;
+      case OpCode::kMapAdd:
+        if (op.bind != CompiledOp::kNoBind) {
+          bound_[op.bind].at(regs[op.a]) += regs[op.dst];
+        } else if (maps != nullptr) {
+          maps->Add(op.map, regs[op.a], op.cell, regs[op.dst]);
+        }
+        break;
+      case OpCode::kBranch:
+        if (ApplyCmp(op.cmp, regs[op.a], regs[op.dst])) pc = op.target;
+        break;
+      case OpCode::kJump:
+        pc = op.target;
+        break;
+      case OpCode::kDrop: {
+        const std::string& reason = reasons_[op.str];
+        p.MarkDropped(reason);
+        result.dropped = true;
+        result.drop_reason = reason;
+        return result;
+      }
+      case OpCode::kForward:
+        result.forwarded = true;
+        result.egress_port = static_cast<std::uint32_t>(regs[op.a]);
+        p.egress_port = result.egress_port;
+        break;
+      case OpCode::kReturn:
+        return result;
+      case OpCode::kFieldOpImm:
+        regs[op.dst] =
+            ApplyBinOp(op.alu, p.GetField(op.field).value_or(0), op.imm);
+        break;
+      case OpCode::kConstStoreField:
+        regs[op.dst] = op.imm;
+        p.SetField(op.field, op.imm);
+        break;
+      case OpCode::kOpImmOpImm:
+        regs[op.dst] =
+            ApplyBinOp(op.alu2, ApplyBinOp(op.alu, regs[op.a], op.imm),
+                       op.imm2);
+        break;
+      case OpCode::kMapRmw: {
+        // Mirrors the source order exactly — load into dst, then ALU (rhs
+        // may alias dst and must see the loaded value), then store dst.
+        const std::size_t rhs = static_cast<std::size_t>(op.imm);
+        if (op.bind != CompiledOp::kNoBind) {
+          std::uint64_t& cell = bound_[op.bind].at(regs[op.a]);
+          regs[op.dst] = cell;
+          regs[op.dst] = ApplyBinOp(op.alu, regs[op.dst], regs[rhs]);
+          cell = regs[op.dst];
+        } else {
+          regs[op.dst] =
+              maps != nullptr ? maps->Load(op.map, regs[op.a], op.cell) : 0;
+          regs[op.dst] = ApplyBinOp(op.alu, regs[op.dst], regs[rhs]);
+          if (maps != nullptr) {
+            maps->Store(op.map, regs[op.a], op.cell, regs[op.dst]);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace flexnet::flexbpf

@@ -1,0 +1,151 @@
+// FlexBPF threaded-code compilation (the "fast execution" half of the
+// paper's FlexBPF story; design in docs/FLEXBPF_EXEC.md).
+//
+// The reference interpreter dispatches on a std::variant per instruction
+// and re-interns map/cell name strings on every map access.  Verification
+// makes all of that hoistable: a verified function has in-range registers,
+// strictly-forward branch targets, and declared map/cell references, so a
+// CompiledFunction built once at (re)load can
+//
+//   * pre-decode every instruction into a flat CompiledOp array — one
+//     enum tag + packed operands, switch dispatch, no variant probing,
+//   * pre-resolve FieldRefs and pre-intern map/cell names to Symbols
+//     (MapBackend's symbol-addressed overloads keep std::string off the
+//     hot path entirely),
+//   * pre-validate branch targets so the run loop needs neither the fuel
+//     counter nor the forward-only clamp the interpreter carries, and
+//   * fuse short linear runs of ALU/load ops into superinstructions
+//     (field+aluimm, const+storefield, aluimm+aluimm), skipping dispatch
+//     for the second op.  A pair is only fused when its second
+//     instruction is not a branch target.
+//
+// This is what real eBPF JITs and P4 compiler backends do with verified
+// programs; here the "machine code" is pre-decoded threaded ops, which
+// keeps execution deterministic and portable while removing the
+// interpreter's per-instruction taxes.
+//
+// Contract: Run() is observably identical to Interpreter::Run on the same
+// verified function — same InterpResult (including steps, which count
+// *source* instructions so fused ops add 2), same packet field mutations,
+// same map backend state.  The interpreter stays on as the differential
+// oracle; tests/flexbpf_differential_test.cc fuzzes the two against each
+// other over thousands of seeded (program, packet) cases.
+//
+// Precondition: the FunctionDecl passed verification.  Compile() refuses
+// (returns an error) on out-of-range registers or non-forward branch
+// targets rather than baking them in, but performs no other verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flexbpf/interp.h"
+#include "flexbpf/ir.h"
+#include "packet/intern.h"
+#include "packet/packet.h"
+
+namespace flexnet::flexbpf {
+
+// Pre-decoded opcode.  The first 14 mirror the IR instruction kinds; the
+// tail entries are fused superinstructions covering two source
+// instructions each.
+enum class OpCode : std::uint8_t {
+  kLoadConst,
+  kLoadField,
+  kStoreField,
+  kLoadFlowKey,
+  kBinOp,
+  kBinOpImm,
+  kMapLoad,
+  kMapStore,
+  kMapAdd,
+  kBranch,
+  kJump,
+  kDrop,
+  kForward,
+  kReturn,
+  // --- superinstructions (two or three source instructions each) ---
+  kFieldOpImm,       // LoadField dst,f ; BinOpImm op dst,dst,imm
+  kConstStoreField,  // LoadConst dst,v ; StoreField f,dst
+  kOpImmOpImm,       // BinOpImm op1 dst,a,imm ; BinOpImm op2 dst,dst,imm2
+  kMapRmw,           // MapLoad dst,m[k].c ; BinOp op dst,dst,rhs ;
+                     // MapStore m[k].c,dst — the counter read-modify-write
+                     // idiom; one cell address computation instead of two
+};
+
+const char* ToString(OpCode code) noexcept;
+
+// One pre-decoded op.  Operand fields are packed: registers fit in a byte
+// (kNumRegisters == 16), branch targets are compiled-op indices validated
+// at compile time, map/cell names are interned Symbols, field paths are
+// resolved FieldRefs.  `len` is the number of source instructions the op
+// covers (1, or 2 for superinstructions) — InterpResult::steps accounting
+// must match the interpreter's per-source-instruction count.
+struct CompiledOp {
+  // Sentinel for `bind`: this map op is not directly bound — go through
+  // the backend's virtual symbol API.
+  static constexpr std::uint16_t kNoBind = 0xffff;
+
+  OpCode code = OpCode::kReturn;
+  std::uint8_t len = 1;
+  std::uint8_t dst = 0;
+  std::uint8_t a = 0;          // lhs / src / key / port register
+  BinOpKind alu{};             // kBinOp/kBinOpImm and fused first op
+  BinOpKind alu2{};            // fused second ALU op
+  CmpKind cmp{};
+  std::uint32_t target = 0;    // branch/jump target (compiled index)
+  std::uint16_t str = 0;       // drop-reason pool index
+  std::uint16_t bind = kNoBind;  // index into bound DirectCells, or kNoBind
+  std::uint64_t imm = 0;
+  std::uint64_t imm2 = 0;      // fused second immediate
+  packet::FieldRef field;
+  packet::Symbol map = packet::kInvalidSymbol;
+  packet::Symbol cell = packet::kInvalidSymbol;
+};
+
+// A verified function compiled to threaded code.  Cheap to move; one is
+// built per installed function at (re)load time and reused across every
+// packet until the function is removed or replaced.
+class CompiledFunction {
+ public:
+  CompiledFunction() = default;
+
+  // Compiles `fn`.  Precondition: `fn` passed Verifier::VerifyFunction
+  // (Compile re-checks register ranges and branch-target forwardness as a
+  // cheap belt-and-braces guard and fails rather than compiling them in).
+  static Result<CompiledFunction> Compile(const FunctionDecl& fn);
+
+  // Executes against a packet and map backend.  Observably identical to
+  // Interpreter::Run on the source function.
+  InterpResult Run(packet::Packet& p, MapBackend* maps) const;
+
+  // Resolves direct cell bindings against `maps` (see MapBackend::Resolve):
+  // map ops whose cells the backend exposes as stable dense storage are
+  // rewritten to raw array accesses; the rest keep the virtual call.
+  // Bind(nullptr) clears all bindings.  Precondition for Run after a
+  // successful Bind: the same backend (bindings alias its storage), and a
+  // re-Bind after every map install/remove.  An unbound CompiledFunction
+  // may run against any backend.
+  void Bind(MapBackend* maps);
+
+  const std::string& name() const noexcept { return name_; }
+  // Compiled ops (after fusion) vs source instructions.
+  std::size_t op_count() const noexcept { return ops_.size(); }
+  std::size_t source_instr_count() const noexcept { return source_instrs_; }
+  // Number of superinstructions emitted.
+  std::size_t fused_count() const noexcept { return fused_; }
+  // Map ops currently bound to direct cell storage.
+  std::size_t bound_count() const noexcept { return bound_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<CompiledOp> ops_;
+  std::vector<std::string> reasons_;  // drop-reason pool
+  std::vector<DirectCells> bound_;    // targets of CompiledOp::bind
+  std::size_t source_instrs_ = 0;
+  std::size_t fused_ = 0;
+};
+
+}  // namespace flexnet::flexbpf

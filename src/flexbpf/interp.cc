@@ -1,10 +1,24 @@
 #include "flexbpf/interp.h"
 
-#include <algorithm>
-
+#include "flexbpf/ops_eval.h"
 #include "packet/flow.h"
 
 namespace flexnet::flexbpf {
+
+std::uint64_t MapBackend::Load(packet::Symbol map, std::uint64_t key,
+                               packet::Symbol cell) {
+  return Load(packet::SymbolName(map), key, packet::SymbolName(cell));
+}
+
+void MapBackend::Store(packet::Symbol map, std::uint64_t key,
+                       packet::Symbol cell, std::uint64_t value) {
+  Store(packet::SymbolName(map), key, packet::SymbolName(cell), value);
+}
+
+void MapBackend::Add(packet::Symbol map, std::uint64_t key,
+                     packet::Symbol cell, std::uint64_t delta) {
+  Add(packet::SymbolName(map), key, packet::SymbolName(cell), delta);
+}
 
 std::size_t InMemoryMapBackend::CellKeyHash::operator()(
     const CellKey& k) const noexcept {
@@ -38,42 +52,36 @@ void InMemoryMapBackend::Add(const std::string& map, std::uint64_t key,
   cells_[KeyOf(map, key, cell)] += delta;
 }
 
-namespace {
-
-std::uint64_t ApplyBinOp(BinOpKind op, std::uint64_t a,
-                         std::uint64_t b) noexcept {
-  switch (op) {
-    case BinOpKind::kAdd: return a + b;
-    case BinOpKind::kSub: return a - b;
-    case BinOpKind::kMul: return a * b;
-    case BinOpKind::kAnd: return a & b;
-    case BinOpKind::kOr: return a | b;
-    case BinOpKind::kXor: return a ^ b;
-    case BinOpKind::kShl: return b >= 64 ? 0 : a << b;
-    case BinOpKind::kShr: return b >= 64 ? 0 : a >> b;
-    case BinOpKind::kMin: return std::min(a, b);
-    case BinOpKind::kMax: return std::max(a, b);
-  }
-  return 0;
+std::uint64_t InMemoryMapBackend::Load(packet::Symbol map, std::uint64_t key,
+                                       packet::Symbol cell) {
+  const auto it = cells_.find(CellKey{map, key, cell});
+  return it == cells_.end() ? 0 : it->second;
 }
 
-bool ApplyCmp(CmpKind cmp, std::uint64_t a, std::uint64_t b) noexcept {
-  switch (cmp) {
-    case CmpKind::kEq: return a == b;
-    case CmpKind::kNe: return a != b;
-    case CmpKind::kLt: return a < b;
-    case CmpKind::kLe: return a <= b;
-    case CmpKind::kGt: return a > b;
-    case CmpKind::kGe: return a >= b;
-  }
-  return false;
+void InMemoryMapBackend::Store(packet::Symbol map, std::uint64_t key,
+                               packet::Symbol cell, std::uint64_t value) {
+  cells_[CellKey{map, key, cell}] = value;
 }
 
-}  // namespace
+void InMemoryMapBackend::Add(packet::Symbol map, std::uint64_t key,
+                             packet::Symbol cell, std::uint64_t delta) {
+  cells_[CellKey{map, key, cell}] += delta;
+}
 
 InterpResult Interpreter::Run(const FunctionDecl& fn, packet::Packet& p) {
   InterpResult result;
   std::uint64_t regs[kNumRegisters] = {};
+  // Unverified programs can carry register indices outside
+  // [0, kNumRegisters); clamp every access so they read 0 / write nowhere
+  // instead of smashing the frame (the "still terminate" contract above
+  // promises safety, not just boundedness).  The unsigned cast folds the
+  // negative case into the same compare.
+  const auto reg = [&regs](int r) noexcept -> std::uint64_t {
+    return static_cast<unsigned>(r) < kNumRegisters ? regs[r] : 0;
+  };
+  const auto set_reg = [&regs](int r, std::uint64_t v) noexcept {
+    if (static_cast<unsigned>(r) < kNumRegisters) regs[r] = v;
+  };
   std::size_t pc = 0;
   // Forward-only branches bound execution by code length; the extra guard
   // keeps even unverified programs from spinning.
@@ -83,31 +91,31 @@ InterpResult Interpreter::Run(const FunctionDecl& fn, packet::Packet& p) {
     ++result.steps;
     std::size_t next = pc + 1;
     if (const auto* i = std::get_if<InstrLoadConst>(&instr)) {
-      regs[i->dst] = i->value;
+      set_reg(i->dst, i->value);
     } else if (const auto* i = std::get_if<InstrLoadField>(&instr)) {
-      regs[i->dst] = p.GetField(i->field.ref()).value_or(0);
+      set_reg(i->dst, p.GetField(i->field.ref()).value_or(0));
     } else if (const auto* i = std::get_if<InstrStoreField>(&instr)) {
-      p.SetField(i->field.ref(), regs[i->src]);
+      p.SetField(i->field.ref(), reg(i->src));
     } else if (const auto* i = std::get_if<InstrLoadFlowKey>(&instr)) {
       const auto key = packet::ExtractFlowKey(p);
-      regs[i->dst] = key.has_value() ? key->Hash() : 0;
+      set_reg(i->dst, key.has_value() ? key->Hash() : 0);
     } else if (const auto* i = std::get_if<InstrBinOp>(&instr)) {
-      regs[i->dst] = ApplyBinOp(i->op, regs[i->lhs], regs[i->rhs]);
+      set_reg(i->dst, ApplyBinOp(i->op, reg(i->lhs), reg(i->rhs)));
     } else if (const auto* i = std::get_if<InstrBinOpImm>(&instr)) {
-      regs[i->dst] = ApplyBinOp(i->op, regs[i->lhs], i->imm);
+      set_reg(i->dst, ApplyBinOp(i->op, reg(i->lhs), i->imm));
     } else if (const auto* i = std::get_if<InstrMapLoad>(&instr)) {
-      regs[i->dst] =
-          maps_ != nullptr ? maps_->Load(i->map, regs[i->key], i->cell) : 0;
+      set_reg(i->dst,
+              maps_ != nullptr ? maps_->Load(i->map, reg(i->key), i->cell) : 0);
     } else if (const auto* i = std::get_if<InstrMapStore>(&instr)) {
       if (maps_ != nullptr) {
-        maps_->Store(i->map, regs[i->key], i->cell, regs[i->src]);
+        maps_->Store(i->map, reg(i->key), i->cell, reg(i->src));
       }
     } else if (const auto* i = std::get_if<InstrMapAdd>(&instr)) {
       if (maps_ != nullptr) {
-        maps_->Add(i->map, regs[i->key], i->cell, regs[i->src]);
+        maps_->Add(i->map, reg(i->key), i->cell, reg(i->src));
       }
     } else if (const auto* i = std::get_if<InstrBranch>(&instr)) {
-      if (ApplyCmp(i->cmp, regs[i->lhs], regs[i->rhs])) next = i->target;
+      if (ApplyCmp(i->cmp, reg(i->lhs), reg(i->rhs))) next = i->target;
     } else if (const auto* i = std::get_if<InstrJump>(&instr)) {
       next = i->target;
     } else if (const auto* i = std::get_if<InstrDrop>(&instr)) {
@@ -117,7 +125,7 @@ InterpResult Interpreter::Run(const FunctionDecl& fn, packet::Packet& p) {
       return result;
     } else if (const auto* i = std::get_if<InstrForward>(&instr)) {
       result.forwarded = true;
-      result.egress_port = static_cast<std::uint32_t>(regs[i->port_reg]);
+      result.egress_port = static_cast<std::uint32_t>(reg(i->port_reg));
       p.egress_port = result.egress_port;
     } else if (std::holds_alternative<InstrReturn>(instr)) {
       return result;

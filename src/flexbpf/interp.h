@@ -16,6 +16,33 @@
 
 namespace flexnet::flexbpf {
 
+// A dense uint64 cell column a backend may expose for direct addressing.
+// Element index for logical key k is (k % modulus) * stride + offset; the
+// storage spans modulus * stride elements and must stay stable for the
+// lifetime of the binding.  data == nullptr means "not bindable — use the
+// virtual Load/Store/Add API".
+struct DirectCells {
+  std::uint64_t* data = nullptr;
+  std::uint64_t modulus = 1;
+  std::uint64_t mask = 0;  // modulus - 1 when modulus is a power of two
+  std::uint32_t stride = 1;
+  std::uint32_t offset = 0;
+
+  static DirectCells Of(std::uint64_t* data, std::uint64_t modulus,
+                        std::uint32_t stride, std::uint32_t offset) noexcept {
+    const bool pow2 = modulus != 0 && (modulus & (modulus - 1)) == 0;
+    return DirectCells{data, modulus, pow2 ? modulus - 1 : 0, stride, offset};
+  }
+
+  bool bound() const noexcept { return data != nullptr; }
+  std::uint64_t& at(std::uint64_t key) const noexcept {
+    // Binding time knows the modulus, so the common power-of-two case
+    // folds the index div into a mask.
+    const std::uint64_t slot = mask != 0 ? (key & mask) : (key % modulus);
+    return data[slot * stride + offset];
+  }
+};
+
 class MapBackend {
  public:
   virtual ~MapBackend() = default;
@@ -25,6 +52,31 @@ class MapBackend {
                      const std::string& cell, std::uint64_t value) = 0;
   virtual void Add(const std::string& map, std::uint64_t key,
                    const std::string& cell, std::uint64_t delta) = 0;
+
+  // Symbol-addressed overloads: the compiled executor pre-interns map and
+  // cell names at (re)load, so its hot path never touches std::string.
+  // Defaults delegate to the string API via SymbolName(); backends that
+  // sit on hot paths (InMemoryMapBackend, state::MapSet) override with
+  // native symbol lookups.
+  virtual std::uint64_t Load(packet::Symbol map, std::uint64_t key,
+                             packet::Symbol cell);
+  virtual void Store(packet::Symbol map, std::uint64_t key,
+                     packet::Symbol cell, std::uint64_t value);
+  virtual void Add(packet::Symbol map, std::uint64_t key, packet::Symbol cell,
+                   std::uint64_t delta);
+
+  // Direct binding: backends whose (map, cell) column lives in stable dense
+  // storage — and for which raw element access is observably identical to
+  // Load/Store/Add — may return a bound DirectCells.  The default (and any
+  // backend with side effects, non-dense storage, or unstable addresses)
+  // returns unbound.  Bindings are invalidated by map install/remove; the
+  // holder (CompiledFunction::Bind caller) re-resolves after every
+  // reconfiguration step.
+  virtual DirectCells Resolve(packet::Symbol map, packet::Symbol cell) {
+    (void)map;
+    (void)cell;
+    return {};
+  }
 };
 
 // Hash-map backed implementation for tests and host-side execution.  Cells
@@ -38,6 +90,20 @@ class InMemoryMapBackend final : public MapBackend {
              const std::string& cell, std::uint64_t value) override;
   void Add(const std::string& map, std::uint64_t key, const std::string& cell,
            std::uint64_t delta) override;
+
+  std::uint64_t Load(packet::Symbol map, std::uint64_t key,
+                     packet::Symbol cell) override;
+  void Store(packet::Symbol map, std::uint64_t key, packet::Symbol cell,
+             std::uint64_t value) override;
+  void Add(packet::Symbol map, std::uint64_t key, packet::Symbol cell,
+           std::uint64_t delta) override;
+
+  // Exact state equality — the differential fuzzer pins compiled-vs-
+  // interpreted map side effects against each other with this.
+  friend bool operator==(const InMemoryMapBackend& a,
+                         const InMemoryMapBackend& b) {
+    return a.cells_ == b.cells_;
+  }
 
  private:
   struct CellKey {
@@ -67,7 +133,11 @@ class Interpreter {
   explicit Interpreter(MapBackend* maps) : maps_(maps) {}
 
   // Precondition: fn passed verification.  Unverified programs may read
-  // undefined registers (they read as 0) but still terminate.
+  // undefined registers (they read as 0) but still terminate; out-of-range
+  // register indices read as 0 and writes to them are dropped, so even a
+  // hand-built hostile program cannot corrupt the interpreter's frame.
+  // (The compiled executor — compile.h — is allowed to assume verification
+  // instead; it refuses to compile out-of-range registers.)
   InterpResult Run(const FunctionDecl& fn, packet::Packet& p);
 
  private:

@@ -1,0 +1,46 @@
+// Shared ALU/comparison semantics for the two FlexBPF executors.
+//
+// The reference interpreter (interp.cc) and the compiled threaded-code
+// executor (compile.cc) must agree bit-for-bit on every operation — the
+// compiled-vs-interpreted differential fuzzer pins them against each other
+// instruction-for-instruction — so the evaluation functions live in one
+// header both include instead of being duplicated.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "flexbpf/ir.h"
+
+namespace flexnet::flexbpf {
+
+inline std::uint64_t ApplyBinOp(BinOpKind op, std::uint64_t a,
+                                std::uint64_t b) noexcept {
+  switch (op) {
+    case BinOpKind::kAdd: return a + b;
+    case BinOpKind::kSub: return a - b;
+    case BinOpKind::kMul: return a * b;
+    case BinOpKind::kAnd: return a & b;
+    case BinOpKind::kOr: return a | b;
+    case BinOpKind::kXor: return a ^ b;
+    case BinOpKind::kShl: return b >= 64 ? 0 : a << b;
+    case BinOpKind::kShr: return b >= 64 ? 0 : a >> b;
+    case BinOpKind::kMin: return std::min(a, b);
+    case BinOpKind::kMax: return std::max(a, b);
+  }
+  return 0;
+}
+
+inline bool ApplyCmp(CmpKind cmp, std::uint64_t a, std::uint64_t b) noexcept {
+  switch (cmp) {
+    case CmpKind::kEq: return a == b;
+    case CmpKind::kNe: return a != b;
+    case CmpKind::kLt: return a < b;
+    case CmpKind::kLe: return a <= b;
+    case CmpKind::kGt: return a > b;
+    case CmpKind::kGe: return a >= b;
+  }
+  return false;
+}
+
+}  // namespace flexnet::flexbpf

@@ -1,0 +1,240 @@
+#include "flexbpf/random_program.h"
+
+#include <string>
+
+namespace flexnet::flexbpf {
+
+namespace {
+
+// "vlan.id" is deliberately included: most generated packets carry no VLAN
+// header, so loads read 0 and stores are dropped — the missing-header path
+// both executors must agree on.
+const char* const kFields[] = {
+    "ipv4.src", "ipv4.dst",  "ipv4.ttl",  "ipv4.proto",   "tcp.sport",
+    "tcp.dport", "tcp.flags", "vlan.id",  "meta.scratch",
+};
+constexpr std::size_t kNumFields = sizeof(kFields) / sizeof(kFields[0]);
+
+const char* const kDropReasons[] = {"flexbpf", "acl-deny", "rate"};
+
+struct MapCellRef {
+  const char* map;
+  const char* cell;
+};
+// Every (map, cell) pair declared by RandomVerifiedProgram's two maps.
+const MapCellRef kMapCells[] = {
+    {"m0", "pkts"}, {"m0", "bytes"}, {"m0", "v"}, {"m1", "v"}, {"m1", "idx"},
+};
+constexpr std::size_t kNumMapCells = sizeof(kMapCells) / sizeof(kMapCells[0]);
+
+BinOpKind RandomBinOp(Rng& rng) {
+  return static_cast<BinOpKind>(rng.NextBounded(10));
+}
+
+CmpKind RandomCmp(Rng& rng) {
+  return static_cast<CmpKind>(rng.NextBounded(6));
+}
+
+std::uint64_t RandomImm(Rng& rng) {
+  // Mix small immediates (interesting for shifts and comparisons) with
+  // full-width ones (wraparound, sign-bit patterns).
+  switch (rng.NextBounded(4)) {
+    case 0: return rng.NextBounded(8);        // shift-friendly
+    case 1: return rng.NextBounded(256);
+    case 2: return rng.NextBounded(70);       // includes shifts >= 64
+    default: return rng.NextU64();
+  }
+}
+
+const char* RandomField(Rng& rng) { return kFields[rng.NextBounded(kNumFields)]; }
+
+}  // namespace
+
+RandomProgram RandomVerifiedProgram(Rng& rng,
+                                    const RandomProgramOptions& opts) {
+  RandomProgram out;
+  out.maps.push_back(MapDecl{
+      "m0", 4 + rng.NextBounded(61), {"pkts", "bytes", "v"}, MapEncoding::kAuto});
+  out.maps.push_back(
+      MapDecl{"m1", 4 + rng.NextBounded(61), {"v", "idx"}, MapEncoding::kAuto});
+  out.fn.name = "fuzz_fn";
+  out.fn.domain = Domain::kAny;
+
+  // --- Register pool, defined in a straight-line prelude. ---
+  const int pool = static_cast<int>(4 + rng.NextBounded(7));  // r0..r(pool-1)
+  auto pool_reg = [&rng, pool] { return static_cast<int>(rng.NextBounded(pool)); };
+  std::vector<Instr> prelude;
+  for (int r = 0; r < pool; ++r) {
+    switch (r == 0 ? 0 : rng.NextBounded(4)) {
+      case 0:
+        prelude.push_back(InstrLoadConst{r, RandomImm(rng)});
+        break;
+      case 1:
+        prelude.push_back(InstrLoadField{r, RandomField(rng)});
+        break;
+      case 2:
+        prelude.push_back(InstrLoadFlowKey{r});
+        break;
+      default: {
+        const MapCellRef& mc = kMapCells[rng.NextBounded(kNumMapCells)];
+        prelude.push_back(InstrMapLoad{
+            r, mc.map, static_cast<int>(rng.NextBounded(r)), mc.cell});
+        break;
+      }
+    }
+  }
+
+  // --- Block bodies. ---
+  const std::size_t nblocks =
+      opts.min_blocks +
+      rng.NextBounded(opts.max_blocks - opts.min_blocks + 1);
+  std::vector<std::vector<Instr>> bodies(nblocks);
+  for (auto& body : bodies) {
+    const std::size_t slots = 1 + rng.NextBounded(opts.max_block_body);
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (rng.NextBool(opts.fused_pair_prob)) {
+        const int dst = pool_reg();
+        switch (rng.NextBounded(4)) {
+          case 0:  // LoadField + BinOpImm on the same register
+            body.push_back(InstrLoadField{dst, RandomField(rng)});
+            body.push_back(
+                InstrBinOpImm{RandomBinOp(rng), dst, dst, RandomImm(rng)});
+            break;
+          case 1:  // LoadConst + StoreField of that register
+            body.push_back(InstrLoadConst{dst, RandomImm(rng)});
+            body.push_back(InstrStoreField{RandomField(rng), dst});
+            break;
+          case 2: {  // map read-modify-write triple (kMapRmw fodder); the
+                     // key sometimes aliases dst, which must block fusion
+            const MapCellRef& mc = kMapCells[rng.NextBounded(kNumMapCells)];
+            const int key = rng.NextBool(0.15) ? dst : pool_reg();
+            body.push_back(InstrMapLoad{dst, mc.map, key, mc.cell});
+            body.push_back(InstrBinOp{RandomBinOp(rng), dst, dst, pool_reg()});
+            body.push_back(InstrMapStore{mc.map, key, mc.cell, dst});
+            break;
+          }
+          default:  // chained BinOpImm
+            body.push_back(
+                InstrBinOpImm{RandomBinOp(rng), dst, pool_reg(), RandomImm(rng)});
+            body.push_back(
+                InstrBinOpImm{RandomBinOp(rng), dst, dst, RandomImm(rng)});
+            break;
+        }
+        continue;
+      }
+      switch (rng.NextBounded(9)) {
+        case 0:
+          body.push_back(InstrLoadConst{pool_reg(), RandomImm(rng)});
+          break;
+        case 1:
+          body.push_back(InstrLoadField{pool_reg(), RandomField(rng)});
+          break;
+        case 2:
+          body.push_back(InstrStoreField{RandomField(rng), pool_reg()});
+          break;
+        case 3:
+          body.push_back(InstrLoadFlowKey{pool_reg()});
+          break;
+        case 4:
+          body.push_back(InstrBinOp{RandomBinOp(rng), pool_reg(), pool_reg(),
+                                    pool_reg()});
+          break;
+        case 5:
+          body.push_back(
+              InstrBinOpImm{RandomBinOp(rng), pool_reg(), pool_reg(),
+                            RandomImm(rng)});
+          break;
+        case 6: {
+          const MapCellRef& mc = kMapCells[rng.NextBounded(kNumMapCells)];
+          body.push_back(InstrMapLoad{pool_reg(), mc.map, pool_reg(), mc.cell});
+          break;
+        }
+        case 7: {
+          const MapCellRef& mc = kMapCells[rng.NextBounded(kNumMapCells)];
+          if (rng.NextBool(0.5)) {
+            body.push_back(
+                InstrMapStore{mc.map, pool_reg(), mc.cell, pool_reg()});
+          } else {
+            body.push_back(
+                InstrMapAdd{mc.map, pool_reg(), mc.cell, pool_reg()});
+          }
+          break;
+        }
+        default:
+          body.push_back(InstrForward{pool_reg()});
+          break;
+      }
+    }
+  }
+
+  // --- Enders, chosen before offsets are known (each is one instruction,
+  // or none for plain fall-through).  The final block always terminates. ---
+  enum class Ender { kNone, kBranch, kJump, kReturn, kDrop };
+  std::vector<Ender> enders(nblocks, Ender::kNone);
+  for (std::size_t b = 0; b + 1 < nblocks; ++b) {
+    if (rng.NextBool(opts.branch_prob)) {
+      enders[b] = rng.NextBool(0.8) ? Ender::kBranch : Ender::kJump;
+    }
+  }
+  enders[nblocks - 1] = rng.NextBool(0.8) ? Ender::kReturn : Ender::kDrop;
+
+  // Absolute start index of each block (prelude first), plus the
+  // end-of-function index — the target lattice.
+  std::vector<std::size_t> starts(nblocks + 1);
+  std::size_t at = prelude.size();
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    starts[b] = at;
+    at += bodies[b].size() + (enders[b] == Ender::kNone ? 0 : 1);
+  }
+  starts[nblocks] = at;  // == code.size(); a branch here is an exit
+
+  const auto random_target = [&](std::size_t from_block) -> std::size_t {
+    // A strictly-later block start, the function end, or (sometimes) an
+    // interior body index — the latter exercises fusion-blocking, since a
+    // target landing on the second instruction of a fusable pair must keep
+    // the pair unfused.
+    const std::size_t j =
+        from_block + 1 + rng.NextBounded(nblocks - from_block);
+    if (j < nblocks && !bodies[j].empty() &&
+        rng.NextBool(opts.interior_target_prob)) {
+      return starts[j] + rng.NextBounded(bodies[j].size());
+    }
+    return starts[j];
+  };
+
+  // --- Materialize. ---
+  auto& code = out.fn.instrs;
+  code = std::move(prelude);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (auto& instr : bodies[b]) code.push_back(std::move(instr));
+    switch (enders[b]) {
+      case Ender::kNone:
+        break;
+      case Ender::kBranch:
+        code.push_back(InstrBranch{RandomCmp(rng), pool_reg(), pool_reg(),
+                                   random_target(b)});
+        break;
+      case Ender::kJump:
+        code.push_back(InstrJump{random_target(b)});
+        break;
+      case Ender::kReturn:
+        code.push_back(InstrReturn{});
+        break;
+      case Ender::kDrop:
+        code.push_back(InstrDrop{kDropReasons[rng.NextBounded(3)]});
+        break;
+    }
+  }
+  return out;
+}
+
+ProgramIR RandomVerifiedProgramIR(Rng& rng, const RandomProgramOptions& opts) {
+  RandomProgram rp = RandomVerifiedProgram(rng, opts);
+  ProgramIR ir;
+  ir.name = "fuzz";
+  ir.maps = std::move(rp.maps);
+  ir.functions.push_back(std::move(rp.fn));
+  return ir;
+}
+
+}  // namespace flexnet::flexbpf

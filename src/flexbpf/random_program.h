@@ -1,0 +1,59 @@
+// Seeded random FlexBPF program generator for differential and property
+// testing (tests/flexbpf_differential_test.cc, printer round-trip, and the
+// verifier rejection fuzz).
+//
+// RandomVerifiedProgram() emits programs that pass Verifier::VerifyFunction
+// *by construction*:
+//
+//   * a straight-line prelude defines a register pool (LoadConst /
+//     LoadField / LoadFlowKey / MapLoad), so every later use is defined on
+//     every path regardless of how branches meet,
+//   * block bodies draw from all fourteen instruction kinds, including
+//     deliberately fusable idioms (field+aluimm, const+storefield,
+//     aluimm+aluimm) so the compiled executor's superinstructions get
+//     exercised, not just its one-for-one decode,
+//   * control flow is a forward-only lattice: branches/jumps target the
+//     start (or interior) of strictly-later blocks or the end-of-function
+//     index, and the final block ends in Return or Drop,
+//   * registers r14/r15 are never written — rejection-fuzz mutations use
+//     them as guaranteed-undefined reads.
+//
+// Determinism: output depends only on the Rng state and options, so a
+// failing (seed, case) pair reproduces exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "flexbpf/ir.h"
+
+namespace flexnet::flexbpf {
+
+struct RandomProgramOptions {
+  std::size_t min_blocks = 2;
+  std::size_t max_blocks = 5;
+  std::size_t max_block_body = 6;   // body instructions per block
+  double fused_pair_prob = 0.35;    // chance a body slot emits a fusable pair
+  double branch_prob = 0.7;         // chance a non-final block ends in a branch
+  double interior_target_prob = 0.3;  // branch into a block body, not its start
+};
+
+struct RandomProgram {
+  std::vector<MapDecl> maps;  // m0{pkts,bytes,v}, m1{v,idx}; encoding kAuto
+  FunctionDecl fn;
+};
+
+// Registers the generator never writes; mutations that need a
+// guaranteed-undefined register read use these.
+inline constexpr int kReservedUndefinedReg = 14;
+
+RandomProgram RandomVerifiedProgram(Rng& rng,
+                                    const RandomProgramOptions& opts = {});
+
+// Same program wrapped as a ProgramIR (for Verifier::Verify and the text
+// printer/parser round-trip).
+ProgramIR RandomVerifiedProgramIR(Rng& rng,
+                                  const RandomProgramOptions& opts = {});
+
+}  // namespace flexnet::flexbpf

@@ -1,6 +1,7 @@
 #include "runtime/managed_device.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace flexnet::runtime {
 
@@ -72,7 +73,22 @@ Status ManagedDevice::AddFunction(const StepAddFunction& step) {
       const std::string location,
       device_->ReserveTable("fn:" + step.fn.name, demand, SIZE_MAX));
   (void)location;
+  // Compile while still inside the reconfig fence: workers resume against a
+  // (decl, compiled) pair that already agrees.  A compile refusal (only
+  // possible for programs that bypassed the verifier) is not an install
+  // error — that entry just runs on the reference interpreter.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto compiled = flexbpf::CompiledFunction::Compile(step.fn);
+  compile_ns_total_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
   functions_.push_back(step.fn);
+  if (compiled.ok()) {
+    compiled_.push_back(std::move(compiled.value()));
+  } else {
+    compiled_.push_back(std::nullopt);
+  }
   return OkStatus();
 }
 
@@ -85,8 +101,40 @@ Status ManagedDevice::RemoveFunction(const StepRemoveFunction& step) {
   if (it == functions_.end()) {
     return NotFound("function '" + step.name + "'");
   }
+  compiled_.erase(compiled_.begin() + (it - functions_.begin()));
   functions_.erase(it);
   return device_->ReleaseTable("fn:" + step.name);
+}
+
+std::size_t ManagedDevice::compiled_function_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(compiled_.begin(), compiled_.end(),
+                    [](const auto& c) { return c.has_value(); }));
+}
+
+void ManagedDevice::PublishMetrics(telemetry::MetricsRegistry& registry) const {
+  registry.Count("flexbpf_exec_compiled_runs", compiled_runs());
+  registry.Count("flexbpf_exec_interp_runs", interp_runs());
+  registry.Set("flexbpf_compile_ns_total",
+               static_cast<double>(compile_ns_total_));
+  registry.Set("flexbpf_compiled_functions",
+               static_cast<double>(compiled_function_count()));
+  std::size_t fused = 0;
+  std::size_t bound = 0;
+  std::size_t ops = 0;
+  std::size_t src = 0;
+  for (const auto& c : compiled_) {
+    if (c.has_value()) {
+      fused += c->fused_count();
+      bound += c->bound_count();
+      ops += c->op_count();
+      src += c->source_instr_count();
+    }
+  }
+  registry.Set("flexbpf_superinstructions", static_cast<double>(fused));
+  registry.Set("flexbpf_bound_map_ops", static_cast<double>(bound));
+  registry.Set("flexbpf_compiled_ops", static_cast<double>(ops));
+  registry.Set("flexbpf_source_instrs", static_cast<double>(src));
 }
 
 Status ManagedDevice::ApplyStep(const ReconfigStep& step) {
@@ -142,7 +190,14 @@ Status ManagedDevice::ApplyStep(const ReconfigStep& step) {
       status = NotFound("no matching entries in '" + s->table + "'");
     }
   }
-  if (status.ok()) device_->BumpProgramVersion();
+  if (status.ok()) {
+    // Map storage may have moved (install/remove); re-resolve every
+    // compiled function's direct cell bindings before workers resume.
+    for (auto& c : compiled_) {
+      if (c.has_value()) c->Bind(&maps_);
+    }
+    device_->BumpProgramVersion();
+  }
   return status;
 }
 
@@ -156,8 +211,15 @@ Status ManagedDevice::ApplyAll(const ReconfigPlan& plan) {
 void ManagedDevice::RunFunctions(flexbpf::Interpreter& interp,
                                  packet::Packet& p,
                                  arch::ProcessOutcome& outcome) {
-  for (const flexbpf::FunctionDecl& fn : functions_) {
-    const flexbpf::InterpResult r = interp.Run(fn, p);
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    const bool use_compiled =
+        compiled_exec_enabled_ && i < compiled_.size() &&
+        compiled_[i].has_value();
+    const flexbpf::InterpResult r = use_compiled
+                                        ? compiled_[i]->Run(p, &maps_)
+                                        : interp.Run(functions_[i], p);
+    (use_compiled ? compiled_runs_ : interp_runs_)
+        .fetch_add(1, std::memory_order_relaxed);
     outcome.latency += device_->MarginalLatency(1);
     outcome.energy_nj += device_->MarginalEnergyNj(1);
     if (r.dropped) {

@@ -11,17 +11,22 @@
 // the step — the per-change consistency the paper's section 2 describes.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "arch/device.h"
+#include "flexbpf/compile.h"
 #include "flexbpf/interp.h"
 #include "runtime/plan.h"
 #include "state/logical_map.h"
+#include "telemetry/telemetry.h"
 
 namespace flexnet::runtime {
 
@@ -72,6 +77,32 @@ class ManagedDevice {
     return functions_;
   }
   bool HasFunction(const std::string& name) const noexcept;
+
+  // --- Compiled FlexBPF execution (flexbpf/compile.h).  Functions are
+  // compiled once inside AddFunction — under the same reconfig fence as
+  // the install itself, so packets only ever see a (decl, compiled) pair
+  // that agrees.  Disabling falls back to the reference interpreter; the
+  // differential fuzzer uses exactly this switch to pin the two executors
+  // against each other. ---
+  void set_compiled_exec_enabled(bool on) noexcept {
+    compiled_exec_enabled_ = on;
+  }
+  bool compiled_exec_enabled() const noexcept { return compiled_exec_enabled_; }
+
+  // How many installed functions have a compiled form (== functions_.size()
+  // for any program the verifier admitted; compile failures fall back to
+  // the interpreter per-function rather than failing the install).
+  std::size_t compiled_function_count() const noexcept;
+  std::uint64_t compiled_runs() const noexcept {
+    return compiled_runs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t interp_runs() const noexcept {
+    return interp_runs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t compile_ns_total() const noexcept { return compile_ns_total_; }
+
+  // flexbpf_exec_* counters and flexbpf_compile_* gauges (EXPERIMENTS E18).
+  void PublishMetrics(telemetry::MetricsRegistry& registry) const;
   bool HasTable(const std::string& name) const noexcept {
     return device_->pipeline().FindTable(name) != nullptr;
   }
@@ -105,6 +136,15 @@ class ManagedDevice {
   std::unique_ptr<arch::Device> device_;
   state::MapSet maps_;
   std::vector<flexbpf::FunctionDecl> functions_;
+  // Parallel to functions_: the pre-decoded form RunFunctions dispatches
+  // on.  nullopt = compile refused (interpreter fallback for that entry).
+  std::vector<std::optional<flexbpf::CompiledFunction>> compiled_;
+  bool compiled_exec_enabled_ = true;
+  // Relaxed atomics: sharded workers bump these inside their hop, and the
+  // chaos/TSan jobs run RunFunctions concurrently across devices.
+  std::atomic<std::uint64_t> compiled_runs_{0};
+  std::atomic<std::uint64_t> interp_runs_{0};
+  std::uint64_t compile_ns_total_ = 0;  // wall ns, mutated under ApplyStep
   std::function<void()> fence_;
   std::mutex hop_mutex_;
 };

@@ -13,7 +13,10 @@ class RegisterEncodedMap final : public EncodedMap {
  public:
   explicit RegisterEncodedMap(const flexbpf::MapDecl& decl) : decl_(decl) {
     for (const std::string& cell : decl.cells) {
-      arrays_.emplace(cell, dataplane::RegisterArray(cell, decl.size));
+      auto [it, _] = arrays_.emplace(cell,
+                                     dataplane::RegisterArray(cell, decl.size));
+      // Node-based container: the RegisterArray address is stable.
+      by_sym_.emplace_back(packet::Intern(cell), &it->second);
     }
   }
 
@@ -38,6 +41,32 @@ class RegisterEncodedMap final : public EncodedMap {
     if (it != arrays_.end()) it->second.Add(key % decl_.size, delta);
   }
 
+  std::uint64_t Load(std::uint64_t key, packet::Symbol cell) override {
+    dataplane::RegisterArray* a = ArrayOf(cell);
+    return a == nullptr ? 0 : a->Read(key % decl_.size);
+  }
+
+  // One register array per cell: direct access is exactly
+  // cells[key % size], and the array never reallocates after Install.
+  flexbpf::DirectCells ResolveCell(packet::Symbol cell) override {
+    dataplane::RegisterArray* a = ArrayOf(cell);
+    if (a == nullptr || decl_.size == 0) return {};
+    return flexbpf::DirectCells::Of(a->data(), decl_.size, 1, 0);
+  }
+
+  void Store(std::uint64_t key, packet::Symbol cell,
+             std::uint64_t value) override {
+    if (dataplane::RegisterArray* a = ArrayOf(cell)) {
+      a->Write(key % decl_.size, value);
+    }
+  }
+  void Add(std::uint64_t key, packet::Symbol cell,
+           std::uint64_t delta) override {
+    if (dataplane::RegisterArray* a = ArrayOf(cell)) {
+      a->Add(key % decl_.size, delta);
+    }
+  }
+
   MapSnapshot Export() const override {
     MapSnapshot snapshot;
     for (const auto& [cell, array] : arrays_) {
@@ -59,8 +88,18 @@ class RegisterEncodedMap final : public EncodedMap {
   }
 
  private:
+  dataplane::RegisterArray* ArrayOf(packet::Symbol cell) const noexcept {
+    for (const auto& [sym, array] : by_sym_) {
+      if (sym == cell) return array;
+    }
+    return nullptr;
+  }
+
   flexbpf::MapDecl decl_;
   std::unordered_map<std::string, dataplane::RegisterArray> arrays_;
+  // (interned cell, array) pairs in declaration order — cells number a
+  // handful, so a linear symbol scan beats hashing the cell string.
+  std::vector<std::pair<packet::Symbol, dataplane::RegisterArray*>> by_sym_;
 };
 
 // Mellanox-style stateful-table encoding: exact per-key state with
@@ -121,7 +160,12 @@ class StatefulTableEncodedMap final : public EncodedMap {
 class FlowInstructionEncodedMap final : public EncodedMap {
  public:
   explicit FlowInstructionEncodedMap(const flexbpf::MapDecl& decl)
-      : decl_(decl), cells_(decl.size * decl.cells.size(), 0) {}
+      : decl_(decl), cells_(decl.size * decl.cells.size(), 0) {
+    cell_syms_.reserve(decl.cells.size());
+    for (const std::string& cell : decl.cells) {
+      cell_syms_.push_back(packet::Intern(cell));
+    }
+  }
 
   const std::string& name() const noexcept override { return decl_.name; }
   flexbpf::MapEncoding encoding() const noexcept override {
@@ -141,6 +185,33 @@ class FlowInstructionEncodedMap final : public EncodedMap {
   void Add(std::uint64_t key, const std::string& cell,
            std::uint64_t delta) override {
     const auto slot = SlotOf(cell);
+    if (slot >= 0) cells_[IndexOf(key, static_cast<std::size_t>(slot))] += delta;
+  }
+
+  std::uint64_t Load(std::uint64_t key, packet::Symbol cell) override {
+    const auto slot = SlotOfSym(cell);
+    return slot < 0 ? 0 : cells_[IndexOf(key, static_cast<std::size_t>(slot))];
+  }
+
+  // Slot array: direct access is cells[(key % size) * ncells + slot], and
+  // the vector is sized once at construction.
+  flexbpf::DirectCells ResolveCell(packet::Symbol cell) override {
+    const int slot = SlotOfSym(cell);
+    if (slot < 0 || decl_.size == 0) return {};
+    return flexbpf::DirectCells::Of(
+        cells_.data(), decl_.size,
+        static_cast<std::uint32_t>(decl_.cells.size()),
+        static_cast<std::uint32_t>(slot));
+  }
+
+  void Store(std::uint64_t key, packet::Symbol cell,
+             std::uint64_t value) override {
+    const auto slot = SlotOfSym(cell);
+    if (slot >= 0) cells_[IndexOf(key, static_cast<std::size_t>(slot))] = value;
+  }
+  void Add(std::uint64_t key, packet::Symbol cell,
+           std::uint64_t delta) override {
+    const auto slot = SlotOfSym(cell);
     if (slot >= 0) cells_[IndexOf(key, static_cast<std::size_t>(slot))] += delta;
   }
 
@@ -168,11 +239,18 @@ class FlowInstructionEncodedMap final : public EncodedMap {
     }
     return -1;
   }
+  int SlotOfSym(packet::Symbol cell) const noexcept {
+    for (std::size_t i = 0; i < cell_syms_.size(); ++i) {
+      if (cell_syms_[i] == cell) return static_cast<int>(i);
+    }
+    return -1;
+  }
   std::size_t IndexOf(std::uint64_t key, std::size_t slot) const noexcept {
     return (key % decl_.size) * decl_.cells.size() + slot;
   }
   flexbpf::MapDecl decl_;
   std::vector<std::uint64_t> cells_;
+  std::vector<packet::Symbol> cell_syms_;  // declaration order, == slots
 };
 
 }  // namespace
@@ -202,12 +280,15 @@ Status MapSet::Install(const flexbpf::MapDecl& decl,
     return AlreadyExists("map '" + decl.name + "'");
   }
   FLEXNET_ASSIGN_OR_RETURN(auto map, CreateEncodedMap(decl, encoding));
+  EncodedMap* raw = map.get();
   maps_.emplace(decl.name, std::move(map));
+  by_symbol_[packet::Intern(decl.name)] = raw;
   return OkStatus();
 }
 
 Status MapSet::Remove(const std::string& name) {
   if (maps_.erase(name) == 0) return NotFound("map '" + name + "'");
+  by_symbol_.erase(packet::Intern(name));
   return OkStatus();
 }
 
@@ -242,6 +323,27 @@ void MapSet::Store(const std::string& map, std::uint64_t key,
 void MapSet::Add(const std::string& map, std::uint64_t key,
                  const std::string& cell, std::uint64_t delta) {
   if (EncodedMap* m = Find(map)) m->Add(key, cell, delta);
+}
+
+std::uint64_t MapSet::Load(packet::Symbol map, std::uint64_t key,
+                           packet::Symbol cell) {
+  EncodedMap* m = FindSym(map);
+  return m == nullptr ? 0 : m->Load(key, cell);
+}
+
+void MapSet::Store(packet::Symbol map, std::uint64_t key, packet::Symbol cell,
+                   std::uint64_t value) {
+  if (EncodedMap* m = FindSym(map)) m->Store(key, cell, value);
+}
+
+void MapSet::Add(packet::Symbol map, std::uint64_t key, packet::Symbol cell,
+                 std::uint64_t delta) {
+  if (EncodedMap* m = FindSym(map)) m->Add(key, cell, delta);
+}
+
+flexbpf::DirectCells MapSet::Resolve(packet::Symbol map, packet::Symbol cell) {
+  EncodedMap* m = FindSym(map);
+  return m == nullptr ? flexbpf::DirectCells{} : m->ResolveCell(cell);
 }
 
 }  // namespace flexnet::state

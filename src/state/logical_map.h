@@ -50,6 +50,30 @@ class EncodedMap {
   virtual void Add(std::uint64_t key, const std::string& cell,
                    std::uint64_t delta) = 0;
 
+  // Symbol-addressed cell access for the compiled FlexBPF executor.
+  // Defaults delegate to the string API; the register and flow-instruction
+  // encodings override with pre-resolved cell slots so the per-packet path
+  // does no string hashing or comparison.
+  virtual std::uint64_t Load(std::uint64_t key, packet::Symbol cell) {
+    return Load(key, packet::SymbolName(cell));
+  }
+  virtual void Store(std::uint64_t key, packet::Symbol cell,
+                     std::uint64_t value) {
+    Store(key, packet::SymbolName(cell), value);
+  }
+  virtual void Add(std::uint64_t key, packet::Symbol cell,
+                   std::uint64_t delta) {
+    Add(key, packet::SymbolName(cell), delta);
+  }
+
+  // Direct binding (see flexbpf::MapBackend::Resolve): encodings whose
+  // cell columns are dense, side-effect-free uint64 arrays with stable
+  // addresses override this; the default says "not bindable".
+  virtual flexbpf::DirectCells ResolveCell(packet::Symbol cell) {
+    (void)cell;
+    return {};
+  }
+
   // Logical snapshot: every (key, cell) with a nonzero value.  Encodings
   // that fold keys (register arrays) export the folded key space.
   virtual MapSnapshot Export() const = 0;
@@ -83,8 +107,28 @@ class MapSet final : public flexbpf::MapBackend {
   void Add(const std::string& map, std::uint64_t key, const std::string& cell,
            std::uint64_t delta) override;
 
+  // Symbol-addressed MapBackend used by compiled execution: map lookup is
+  // one integer-keyed hash probe, cell lookup is a pre-resolved slot.
+  std::uint64_t Load(packet::Symbol map, std::uint64_t key,
+                     packet::Symbol cell) override;
+  void Store(packet::Symbol map, std::uint64_t key, packet::Symbol cell,
+             std::uint64_t value) override;
+  void Add(packet::Symbol map, std::uint64_t key, packet::Symbol cell,
+           std::uint64_t delta) override;
+
+  // Direct binding for compiled execution: delegates to the encoding.
+  flexbpf::DirectCells Resolve(packet::Symbol map,
+                               packet::Symbol cell) override;
+
  private:
+  EncodedMap* FindSym(packet::Symbol map) const noexcept {
+    const auto it = by_symbol_.find(map);
+    return it == by_symbol_.end() ? nullptr : it->second;
+  }
+
   std::unordered_map<std::string, std::unique_ptr<EncodedMap>> maps_;
+  // Interned-name index over maps_ (owned above), kept in Install/Remove.
+  std::unordered_map<packet::Symbol, EncodedMap*> by_symbol_;
 };
 
 }  // namespace flexnet::state

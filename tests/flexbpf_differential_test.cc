@@ -1,0 +1,693 @@
+// Compiled-vs-interpreted FlexBPF differential fuzzing.
+//
+// The compiled executor (flexbpf/compile.h) promises to be observably
+// identical to the reference interpreter on every verified program: same
+// InterpResult (including steps), same packet mutations, same map backend
+// state.  This file enforces that promise over thousands of seeded
+// (program, packet) cases from the RandomVerifiedProgram generator, across
+//   * the in-memory backend (exact state equality),
+//   * every MapSet encoding (logical Export() snapshots),
+//   * ManagedDevice's scalar and batch paths with mid-run function adds,
+// plus targeted superinstruction cases and the verifier rejection fuzz
+// (mutated programs must be rejected with a located error while the
+// interpreter still terminates on them).
+//
+// Case counts scale with FLEXNET_FUZZ_SEEDS (number of generated programs
+// for the main differential; other suites derive from it).  The default
+// yields >= 10,000 differential cases; CI's sanitizer job raises it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/drmt.h"
+#include "common/rng.h"
+#include "flexbpf/compile.h"
+#include "flexbpf/interp.h"
+#include "flexbpf/ir.h"
+#include "flexbpf/random_program.h"
+#include "flexbpf/verifier.h"
+#include "packet/packet.h"
+#include "runtime/managed_device.h"
+#include "state/logical_map.h"
+
+namespace flexnet::flexbpf {
+namespace {
+
+std::size_t FuzzPrograms() {
+  const char* env = std::getenv("FLEXNET_FUZZ_SEEDS");
+  if (env == nullptr || *env == '\0') return 500;
+  return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+}
+
+// Packet variety: TCP / UDP / VLAN-tagged / L2-only (no flow key, no ipv4
+// or tcp headers -> field loads read 0), some with metadata scratch set.
+packet::Packet RandomPacket(Rng& rng, std::uint64_t id) {
+  packet::Packet p(id, 64 + static_cast<std::uint32_t>(rng.NextBounded(1400)));
+  const std::uint64_t shape = rng.NextBounded(8);
+  if (shape == 0) {
+    packet::AddEthernet(p, packet::EthernetSpec{rng.NextU64(), rng.NextU64()});
+    return p;  // L2-only
+  }
+  packet::AddEthernet(p, packet::EthernetSpec{1, 2});
+  if (shape == 1) packet::AddVlan(p, rng.NextBounded(4096));
+  packet::AddIpv4(p, packet::Ipv4Spec{rng.NextBounded(1 << 16),
+                                      rng.NextBounded(1 << 16),
+                                      rng.NextBool(0.5) ? 6ULL : 17ULL,
+                                      1 + rng.NextBounded(255)});
+  if (rng.NextBool(0.5)) {
+    packet::AddTcp(p, packet::TcpSpec{rng.NextBounded(65536),
+                                      rng.NextBounded(65536),
+                                      rng.NextBounded(256)});
+  } else {
+    packet::AddUdp(p, packet::UdpSpec{rng.NextBounded(65536),
+                                      rng.NextBounded(65536)});
+  }
+  if (rng.NextBool(0.3)) p.SetMeta("scratch", rng.NextU64());
+  return p;
+}
+
+void SeedBackend(Rng& rng, const std::vector<MapDecl>& maps, MapBackend& a,
+                 MapBackend& b) {
+  for (const MapDecl& m : maps) {
+    const std::size_t n = rng.NextBounded(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = rng.NextBounded(m.size * 2);  // incl. folding
+      const std::string& cell = m.cells[rng.NextBounded(m.cells.size())];
+      const std::uint64_t value = rng.NextU64();
+      a.Store(m.name, key, cell, value);
+      b.Store(m.name, key, cell, value);
+    }
+  }
+}
+
+void ExpectSameResult(const InterpResult& ir, const InterpResult& cr,
+                      const packet::Packet& pi, const packet::Packet& pc,
+                      std::uint64_t seed, std::size_t case_idx) {
+  const std::string where =
+      "seed " + std::to_string(seed) + " case " + std::to_string(case_idx);
+  EXPECT_EQ(ir.dropped, cr.dropped) << where;
+  EXPECT_EQ(ir.drop_reason, cr.drop_reason) << where;
+  EXPECT_EQ(ir.forwarded, cr.forwarded) << where;
+  EXPECT_EQ(ir.egress_port, cr.egress_port) << where;
+  EXPECT_EQ(ir.steps, cr.steps) << where;
+  EXPECT_EQ(pi.ContentSignature(), pc.ContentSignature()) << where;
+  EXPECT_EQ(pi.dropped(), pc.dropped()) << where;
+  EXPECT_EQ(pi.drop_reason(), pc.drop_reason()) << where;
+  EXPECT_EQ(pi.egress_port, pc.egress_port) << where;
+}
+
+// --- The main oracle: >= 10,000 cases against the in-memory backend. ------
+
+TEST(FlexbpfDifferential, CompiledMatchesInterpreterOnInMemoryBackend) {
+  const std::size_t programs = FuzzPrograms();
+  constexpr std::size_t kPacketsPerProgram = 24;
+  std::size_t cases = 0;
+  std::size_t fused_total = 0;
+  Verifier verifier;
+
+  for (std::size_t s = 0; s < programs; ++s) {
+    const std::uint64_t seed = 0xd1ff0000 + s;
+    Rng rng(seed);
+    ProgramIR ir = RandomVerifiedProgramIR(rng);
+    ASSERT_TRUE(verifier.Verify(ir).ok())
+        << "generator emitted unverifiable program, seed " << seed;
+    const FunctionDecl& fn = ir.functions[0];
+
+    auto compiled = CompiledFunction::Compile(fn);
+    ASSERT_TRUE(compiled.ok()) << compiled.error().message();
+    fused_total += compiled->fused_count();
+
+    InMemoryMapBackend interp_maps;
+    InMemoryMapBackend compiled_maps;
+    SeedBackend(rng, ir.maps, interp_maps, compiled_maps);
+    Interpreter interp(&interp_maps);
+
+    for (std::size_t k = 0; k < kPacketsPerProgram; ++k) {
+      Rng pkt_rng(seed ^ (0x9e37 + k));
+      packet::Packet pi = RandomPacket(pkt_rng, k);
+      packet::Packet pc = pi;
+      const InterpResult ri = interp.Run(fn, pi);
+      const InterpResult rc = compiled->Run(pc, &compiled_maps);
+      ExpectSameResult(ri, rc, pi, pc, seed, k);
+      EXPECT_TRUE(interp_maps == compiled_maps)
+          << "map state diverged, seed " << seed << " case " << k;
+      ++cases;
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "first divergence at seed " << seed << " case " << k;
+      }
+    }
+  }
+  EXPECT_GE(cases, programs * kPacketsPerProgram);
+  if (programs >= 500) EXPECT_GE(cases, 10000u);
+  // The generator must actually exercise superinstructions, not just the
+  // one-for-one decode.
+  EXPECT_GT(fused_total, programs);
+}
+
+// --- Same oracle through every MapSet encoding. ----------------------------
+
+TEST(FlexbpfDifferential, CompiledMatchesInterpreterOnEveryMapEncoding) {
+  const std::size_t programs = std::max<std::size_t>(FuzzPrograms() / 8, 20);
+  Verifier verifier;
+  for (const MapEncoding encoding :
+       {MapEncoding::kRegisterArray, MapEncoding::kStatefulTable,
+        MapEncoding::kFlowInstruction}) {
+    for (std::size_t s = 0; s < programs; ++s) {
+      const std::uint64_t seed = 0xe2c0d000 + s;
+      Rng rng(seed);
+      ProgramIR ir = RandomVerifiedProgramIR(rng);
+      ASSERT_TRUE(verifier.Verify(ir).ok());
+      const FunctionDecl& fn = ir.functions[0];
+      auto compiled = CompiledFunction::Compile(fn);
+      ASSERT_TRUE(compiled.ok());
+
+      state::MapSet interp_maps;
+      state::MapSet compiled_maps;
+      for (const MapDecl& m : ir.maps) {
+        ASSERT_TRUE(interp_maps.Install(m, encoding).ok());
+        ASSERT_TRUE(compiled_maps.Install(m, encoding).ok());
+      }
+      // Bind direct cells where the encoding offers them (register-array
+      // and flow-instruction do; stateful-table stays on the virtual path)
+      // so the encoding sweep also fuzzes the bound fast path.
+      compiled->Bind(&compiled_maps);
+      SeedBackend(rng, ir.maps, interp_maps, compiled_maps);
+      Interpreter interp(&interp_maps);
+
+      for (std::size_t k = 0; k < 8; ++k) {
+        Rng pkt_rng(seed ^ (0xabcd + k));
+        packet::Packet pi = RandomPacket(pkt_rng, k);
+        packet::Packet pc = pi;
+        const InterpResult ri = interp.Run(fn, pi);
+        const InterpResult rc = compiled->Run(pc, &compiled_maps);
+        ExpectSameResult(ri, rc, pi, pc, seed, k);
+        for (const MapDecl& m : ir.maps) {
+          EXPECT_EQ(interp_maps.Find(m.name)->Export(),
+                    compiled_maps.Find(m.name)->Export())
+              << "encoding " << ToString(encoding) << " map " << m.name
+              << " seed " << seed << " case " << k;
+        }
+        if (::testing::Test::HasFailure()) {
+          FAIL() << "divergence: encoding " << ToString(encoding) << " seed "
+                 << seed << " case " << k;
+        }
+      }
+    }
+  }
+}
+
+// --- Through ManagedDevice: scalar + batch paths, mid-run reloads. ---------
+
+runtime::ReconfigStep AddMapStep(const MapDecl& m) {
+  runtime::StepAddMap step;
+  step.decl = m;
+  step.encoding = MapEncoding::kRegisterArray;
+  return step;
+}
+
+TEST(FlexbpfDifferential, ManagedDeviceCompiledMatchesInterpreterScalarAndBatch) {
+  const std::size_t rounds = std::max<std::size_t>(FuzzPrograms() / 25, 8);
+  Verifier verifier;
+  for (std::size_t s = 0; s < rounds; ++s) {
+    const std::uint64_t seed = 0xde70 + s * 7919;
+    Rng rng(seed);
+    ProgramIR ir = RandomVerifiedProgramIR(rng);
+    ASSERT_TRUE(verifier.Verify(ir).ok());
+
+    runtime::ManagedDevice dev_compiled(
+        std::make_unique<arch::DrmtDevice>(DeviceId(1), "sw-c"));
+    runtime::ManagedDevice dev_interp(
+        std::make_unique<arch::DrmtDevice>(DeviceId(2), "sw-i"));
+    dev_interp.set_compiled_exec_enabled(false);
+    for (const MapDecl& m : ir.maps) {
+      ASSERT_TRUE(dev_compiled.ApplyStep(AddMapStep(m)).ok());
+      ASSERT_TRUE(dev_interp.ApplyStep(AddMapStep(m)).ok());
+    }
+    ASSERT_TRUE(
+        dev_compiled.ApplyStep(runtime::StepAddFunction{ir.functions[0]}).ok());
+    ASSERT_TRUE(
+        dev_interp.ApplyStep(runtime::StepAddFunction{ir.functions[0]}).ok());
+    ASSERT_EQ(dev_compiled.compiled_function_count(), 1u);
+
+    std::uint64_t id = 1;
+    const auto run_scalar = [&](std::size_t count) {
+      for (std::size_t k = 0; k < count; ++k) {
+        Rng pkt_rng(seed ^ (0x517 + id));
+        packet::Packet pc = RandomPacket(pkt_rng, id);
+        packet::Packet pi = pc;
+        ++id;
+        const auto oc = dev_compiled.Process(pc, /*now=*/0);
+        const auto oi = dev_interp.Process(pi, /*now=*/0);
+        EXPECT_EQ(oc.pipeline.dropped, oi.pipeline.dropped) << "seed " << seed;
+        EXPECT_EQ(pc.ContentSignature(), pi.ContentSignature())
+            << "seed " << seed;
+        EXPECT_EQ(pc.egress_port, pi.egress_port) << "seed " << seed;
+      }
+    };
+    const auto run_batch = [&](std::size_t bursts) {
+      for (std::size_t b = 0; b < bursts; ++b) {
+        std::vector<packet::Packet> pc;
+        for (std::size_t k = 0; k < 8; ++k) {
+          Rng pkt_rng(seed ^ (0xb417 + id));
+          pc.push_back(RandomPacket(pkt_rng, id));
+          ++id;
+        }
+        std::vector<packet::Packet> pi = pc;
+        std::vector<arch::ProcessOutcome> oc(pc.size());
+        std::vector<arch::ProcessOutcome> oi(pi.size());
+        dev_compiled.ProcessBatch(pc, /*now=*/0, oc);
+        dev_interp.ProcessBatch(pi, /*now=*/0, oi);
+        for (std::size_t k = 0; k < pc.size(); ++k) {
+          EXPECT_EQ(oc[k].pipeline.dropped, oi[k].pipeline.dropped)
+              << "seed " << seed << " member " << k;
+          EXPECT_EQ(pc[k].ContentSignature(), pi[k].ContentSignature())
+              << "seed " << seed << " member " << k;
+          EXPECT_EQ(pc[k].egress_port, pi[k].egress_port)
+              << "seed " << seed << " member " << k;
+        }
+      }
+    };
+
+    run_scalar(8);
+    run_batch(3);
+
+    // Mid-run reload: install a second generated function (fresh compile)
+    // and keep differencing — an ApplyStep must leave both executors
+    // agreeing on the new program too.
+    Rng rng2(seed ^ 0xf00d);
+    ProgramIR ir2 = RandomVerifiedProgramIR(rng2);
+    ASSERT_TRUE(verifier.Verify(ir2).ok());
+    ir2.functions[0].name = "fuzz_fn2";
+    ASSERT_TRUE(
+        dev_compiled.ApplyStep(runtime::StepAddFunction{ir2.functions[0]}).ok());
+    ASSERT_TRUE(
+        dev_interp.ApplyStep(runtime::StepAddFunction{ir2.functions[0]}).ok());
+    ASSERT_EQ(dev_compiled.compiled_function_count(), 2u);
+    run_scalar(8);
+    run_batch(3);
+
+    // Map state must agree exactly after the whole run.
+    for (const MapDecl& m : ir.maps) {
+      EXPECT_EQ(dev_compiled.maps().Find(m.name)->Export(),
+                dev_interp.maps().Find(m.name)->Export())
+          << "seed " << seed << " map " << m.name;
+    }
+    EXPECT_GT(dev_compiled.compiled_runs(), 0u);
+    EXPECT_EQ(dev_compiled.interp_runs(), 0u);
+    EXPECT_GT(dev_interp.interp_runs(), 0u);
+    EXPECT_EQ(dev_interp.compiled_runs(), 0u);
+
+    telemetry::MetricsRegistry reg;
+    dev_compiled.PublishMetrics(reg);
+    ASSERT_NE(reg.FindCounter("flexbpf_exec_compiled_runs"), nullptr);
+    EXPECT_EQ(reg.FindCounter("flexbpf_exec_compiled_runs")->value(),
+              dev_compiled.compiled_runs());
+    ASSERT_NE(reg.FindGauge("flexbpf_compiled_functions"), nullptr);
+    EXPECT_EQ(reg.FindGauge("flexbpf_compiled_functions")->value(), 2.0);
+    ASSERT_NE(reg.FindGauge("flexbpf_compile_ns_total"), nullptr);
+    // ApplyStep rebinds every compiled function against the device's maps
+    // (register-array encoding here, which always exposes direct cells).
+    ASSERT_NE(reg.FindGauge("flexbpf_bound_map_ops"), nullptr);
+  }
+}
+
+// --- Targeted superinstruction coverage. -----------------------------------
+
+InterpResult RunBoth(const FunctionDecl& fn, packet::Packet templ,
+                     std::size_t expect_fused) {
+  auto compiled = CompiledFunction::Compile(fn);
+  if (!compiled.ok()) {
+    ADD_FAILURE() << compiled.error().message();
+    return {};
+  }
+  EXPECT_EQ(compiled->fused_count(), expect_fused);
+  InMemoryMapBackend mi;
+  InMemoryMapBackend mc;
+  Interpreter interp(&mi);
+  packet::Packet pi = templ;
+  packet::Packet pc = std::move(templ);
+  const InterpResult ri = interp.Run(fn, pi);
+  const InterpResult rc = compiled->Run(pc, &mc);
+  EXPECT_EQ(ri.steps, rc.steps);
+  EXPECT_EQ(ri.dropped, rc.dropped);
+  EXPECT_EQ(ri.egress_port, rc.egress_port);
+  EXPECT_EQ(pi.ContentSignature(), pc.ContentSignature());
+  EXPECT_TRUE(mi == mc);
+  return rc;
+}
+
+packet::Packet TtlPacket(std::uint64_t ttl) {
+  packet::Packet p(1);
+  packet::AddEthernet(p, {});
+  packet::AddIpv4(p, packet::Ipv4Spec{1, 2, 6, ttl});
+  return p;
+}
+
+TEST(FlexbpfSuperinstruction, FieldOpImmFusesAndMatches) {
+  FunctionDecl fn;
+  fn.name = "f";
+  fn.instrs = {InstrLoadField{0, "ipv4.ttl"},
+               InstrBinOpImm{BinOpKind::kAdd, 0, 0, 1},
+               InstrStoreField{"meta.out", 0}, InstrReturn{}};
+  packet::Packet p = TtlPacket(63);
+  auto compiled = CompiledFunction::Compile(fn);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->fused_count(), 1u);
+  EXPECT_EQ(compiled->op_count(), 3u);  // pair fused into one op
+  RunBoth(fn, p, 1);
+  InMemoryMapBackend maps;
+  const InterpResult r = compiled->Run(p, &maps);
+  EXPECT_EQ(r.steps, 4u);  // steps count *source* instructions
+  EXPECT_EQ(p.GetMeta("out").value_or(0), 64u);
+}
+
+TEST(FlexbpfSuperinstruction, ConstStoreFieldFusesAndMatches) {
+  FunctionDecl fn;
+  fn.name = "f";
+  fn.instrs = {InstrLoadConst{1, 9}, InstrStoreField{"ipv4.ttl", 1},
+               InstrForward{1}, InstrReturn{}};
+  packet::Packet p = TtlPacket(63);
+  const InterpResult r = RunBoth(fn, p, 1);
+  EXPECT_EQ(r.egress_port, 9u);
+}
+
+TEST(FlexbpfSuperinstruction, ChainedOpImmFusesAndMatches) {
+  FunctionDecl fn;
+  fn.name = "f";
+  fn.instrs = {InstrLoadConst{0, 5},
+               InstrBinOpImm{BinOpKind::kMul, 1, 0, 3},
+               InstrBinOpImm{BinOpKind::kAdd, 1, 1, 2},
+               InstrStoreField{"meta.out", 1}, InstrReturn{}};
+  packet::Packet p = TtlPacket(1);
+  RunBoth(fn, p, 1);
+  InMemoryMapBackend maps;
+  auto compiled = CompiledFunction::Compile(fn);
+  ASSERT_TRUE(compiled.ok());
+  (void)compiled->Run(p, &maps);
+  EXPECT_EQ(p.GetMeta("out").value_or(0), 17u);
+}
+
+TEST(FlexbpfSuperinstruction, BranchTargetOnSecondOfPairBlocksFusion) {
+  // Instr 4 would be the second half of a (LoadField, BinOpImm) pair, but
+  // it is also a branch target: fusing would leave the branch nowhere to
+  // land.  The compiler must keep the pair unfused and both executors must
+  // still agree on the branchy path.
+  FunctionDecl fn;
+  fn.name = "f";
+  fn.instrs = {InstrLoadConst{0, 10},
+               InstrLoadConst{2, 0},
+               InstrBranch{CmpKind::kEq, 0, 0, 4},
+               InstrLoadField{2, "ipv4.ttl"},   // skipped by the branch
+               InstrBinOpImm{BinOpKind::kAdd, 2, 2, 1},  // branch target
+               InstrStoreField{"meta.out", 2},
+               InstrReturn{}};
+  Verifier v;
+  ProgramIR ir;
+  ir.name = "p";
+  ir.functions.push_back(fn);
+  ASSERT_TRUE(v.Verify(ir).ok());
+  packet::Packet p = TtlPacket(63);
+  RunBoth(fn, p, 0);
+  auto compiled = CompiledFunction::Compile(fn);
+  ASSERT_TRUE(compiled.ok());
+  InMemoryMapBackend maps;
+  const InterpResult r = compiled->Run(p, &maps);
+  EXPECT_EQ(r.steps, 6u);  // 0,1,2 then 4,5,6 — instr 3 skipped
+  EXPECT_EQ(p.GetMeta("out").value_or(99), 1u);  // r2 = 0 + 1, not ttl + 1
+}
+
+TEST(FlexbpfSuperinstruction, MapRmwFusesAndMatches) {
+  FunctionDecl fn;
+  fn.name = "f";
+  fn.instrs = {InstrLoadConst{1, 7},               // key
+               InstrLoadConst{2, 5},               // rhs
+               InstrMapLoad{0, "m", 1, "v"},       // RMW triple -> kMapRmw
+               InstrBinOp{BinOpKind::kAdd, 0, 0, 2},
+               InstrMapStore{"m", 1, "v", 0},
+               InstrStoreField{"meta.out", 0},
+               InstrReturn{}};
+  auto compiled = CompiledFunction::Compile(fn);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->fused_count(), 1u);
+  EXPECT_EQ(compiled->op_count(), 5u);  // triple folded into one op
+  packet::Packet p = TtlPacket(63);
+  RunBoth(fn, p, 1);
+  InMemoryMapBackend maps;
+  maps.Store("m", 7, "v", 100);
+  const InterpResult r = compiled->Run(p, &maps);
+  EXPECT_EQ(r.steps, 7u);  // steps count *source* instructions
+  EXPECT_EQ(maps.Load("m", 7, "v"), 105u);
+  EXPECT_EQ(p.GetMeta("out").value_or(0), 105u);
+}
+
+TEST(FlexbpfSuperinstruction, MapRmwRhsAliasesDstStillMatches) {
+  // BinOp rhs == dst: the fused op must ALU on the freshly loaded value,
+  // exactly as the interpreter's separate BinOp does after its MapLoad.
+  FunctionDecl fn;
+  fn.name = "f";
+  fn.instrs = {InstrLoadConst{1, 3},
+               InstrMapLoad{0, "m", 1, "v"},
+               InstrBinOp{BinOpKind::kAdd, 0, 0, 0},  // doubles the load
+               InstrMapStore{"m", 1, "v", 0},
+               InstrReturn{}};
+  auto compiled = CompiledFunction::Compile(fn);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->fused_count(), 1u);
+  InMemoryMapBackend mi;
+  InMemoryMapBackend mc;
+  mi.Store("m", 3, "v", 21);
+  mc.Store("m", 3, "v", 21);
+  Interpreter interp(&mi);
+  packet::Packet pi = TtlPacket(1);
+  packet::Packet pc = pi;
+  const InterpResult ri = interp.Run(fn, pi);
+  const InterpResult rc = compiled->Run(pc, &mc);
+  EXPECT_EQ(ri.steps, rc.steps);
+  EXPECT_EQ(mc.Load("m", 3, "v"), 42u);
+  EXPECT_TRUE(mi == mc);
+}
+
+TEST(FlexbpfSuperinstruction, MapRmwKeyAliasingDstBlocksFusion) {
+  // The load clobbers the key register, so the interpreter's MapStore
+  // re-reads the *new* value as its key and writes a different slot.
+  // Fusing would reuse the original cell address; the compiler must keep
+  // the triple unfused, and both executors must still agree.
+  FunctionDecl fn;
+  fn.name = "f";
+  fn.instrs = {InstrLoadConst{0, 3},
+               InstrMapLoad{0, "m", 0, "v"},  // dst == key
+               InstrBinOp{BinOpKind::kAdd, 0, 0, 0},
+               InstrMapStore{"m", 0, "v", 0},
+               InstrReturn{}};
+  auto compiled = CompiledFunction::Compile(fn);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->fused_count(), 0u);
+  InMemoryMapBackend mi;
+  InMemoryMapBackend mc;
+  mi.Store("m", 3, "v", 10);
+  mc.Store("m", 3, "v", 10);
+  Interpreter interp(&mi);
+  packet::Packet pi = TtlPacket(1);
+  packet::Packet pc = pi;
+  const InterpResult ri = interp.Run(fn, pi);
+  const InterpResult rc = compiled->Run(pc, &mc);
+  EXPECT_EQ(ri.steps, rc.steps);
+  EXPECT_TRUE(mi == mc);
+  EXPECT_EQ(mc.Load("m", 20, "v"), 20u);  // stored at key 20, not 3
+}
+
+TEST(FlexbpfSuperinstruction, GeneratorProgramsCompileWithFusion) {
+  Rng rng(4242);
+  std::size_t fused = 0;
+  for (int i = 0; i < 50; ++i) {
+    RandomProgram rp = RandomVerifiedProgram(rng);
+    auto compiled = CompiledFunction::Compile(rp.fn);
+    ASSERT_TRUE(compiled.ok());
+    fused += compiled->fused_count();
+    EXPECT_LE(compiled->op_count(), compiled->source_instr_count());
+  }
+  EXPECT_GT(fused, 0u);
+}
+
+// --- Direct cell binding (Bind) coverage. ----------------------------------
+
+TEST(FlexbpfBind, BindCountsResolvableOpsAndClears) {
+  FunctionDecl fn;
+  fn.name = "f";
+  fn.instrs = {InstrLoadConst{1, 2},
+               InstrLoadConst{2, 9},
+               InstrMapLoad{0, "m", 1, "v"},
+               InstrMapAdd{"m", 1, "v", 2},     // not an RMW triple
+               InstrMapStore{"m", 1, "v", 0},
+               InstrReturn{}};
+  auto compiled = CompiledFunction::Compile(fn);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->bound_count(), 0u);  // unbound until Bind
+
+  const MapDecl decl{"m", 8, {"v"}, MapEncoding::kAuto};
+  state::MapSet reg_maps;
+  ASSERT_TRUE(reg_maps.Install(decl, MapEncoding::kRegisterArray).ok());
+  compiled->Bind(&reg_maps);
+  EXPECT_EQ(compiled->bound_count(), 3u);  // every map op resolved
+
+  // Stateful-table cells are not dense uint64 columns; nothing binds.
+  state::MapSet table_maps;
+  ASSERT_TRUE(table_maps.Install(decl, MapEncoding::kStatefulTable).ok());
+  compiled->Bind(&table_maps);
+  EXPECT_EQ(compiled->bound_count(), 0u);
+
+  compiled->Bind(&reg_maps);
+  EXPECT_EQ(compiled->bound_count(), 3u);
+  compiled->Bind(nullptr);
+  EXPECT_EQ(compiled->bound_count(), 0u);
+}
+
+TEST(FlexbpfBind, BoundExecutionMatchesUnboundAndInterpreter) {
+  const std::size_t programs = std::max<std::size_t>(FuzzPrograms() / 8, 20);
+  Verifier verifier;
+  std::size_t total_bound = 0;
+  for (std::size_t s = 0; s < programs; ++s) {
+    const std::uint64_t seed = 0xb1ad0000 + s;
+    Rng rng(seed);
+    ProgramIR ir = RandomVerifiedProgramIR(rng);
+    ASSERT_TRUE(verifier.Verify(ir).ok());
+    const FunctionDecl& fn = ir.functions[0];
+    auto unbound = CompiledFunction::Compile(fn);
+    auto bound = CompiledFunction::Compile(fn);
+    ASSERT_TRUE(unbound.ok());
+    ASSERT_TRUE(bound.ok());
+
+    state::MapSet mi;
+    state::MapSet mu;
+    state::MapSet mb;
+    for (const MapDecl& m : ir.maps) {
+      ASSERT_TRUE(mi.Install(m, MapEncoding::kRegisterArray).ok());
+      ASSERT_TRUE(mu.Install(m, MapEncoding::kRegisterArray).ok());
+      ASSERT_TRUE(mb.Install(m, MapEncoding::kRegisterArray).ok());
+    }
+    bound->Bind(&mb);
+    total_bound += bound->bound_count();
+    Rng seed_rng(seed ^ 0x5eed);
+    for (const MapDecl& m : ir.maps) {
+      for (std::size_t i = 0; i < 6; ++i) {
+        const std::uint64_t key = seed_rng.NextBounded(m.size * 2);
+        const std::string& cell =
+            m.cells[seed_rng.NextBounded(m.cells.size())];
+        const std::uint64_t value = seed_rng.NextU64();
+        mi.Store(m.name, key, cell, value);
+        mu.Store(m.name, key, cell, value);
+        mb.Store(m.name, key, cell, value);
+      }
+    }
+    Interpreter interp(&mi);
+    for (std::size_t k = 0; k < 8; ++k) {
+      Rng pkt_rng(seed ^ (0xbead + k));
+      packet::Packet pi = RandomPacket(pkt_rng, k);
+      packet::Packet pu = pi;
+      packet::Packet pb = pi;
+      const InterpResult ri = interp.Run(fn, pi);
+      const InterpResult ru = unbound->Run(pu, &mu);
+      const InterpResult rb = bound->Run(pb, &mb);
+      ExpectSameResult(ri, ru, pi, pu, seed, k);
+      ExpectSameResult(ri, rb, pi, pb, seed, k);
+      for (const MapDecl& m : ir.maps) {
+        EXPECT_EQ(mi.Find(m.name)->Export(), mu.Find(m.name)->Export())
+            << "unbound map " << m.name << " seed " << seed << " case " << k;
+        EXPECT_EQ(mi.Find(m.name)->Export(), mb.Find(m.name)->Export())
+            << "bound map " << m.name << " seed " << seed << " case " << k;
+      }
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "bind divergence at seed " << seed << " case " << k;
+      }
+    }
+  }
+  // Generated programs are map-heavy; the register-array encoding must
+  // actually have put map ops on the direct path.
+  EXPECT_GT(total_bound, 0u);
+}
+
+// --- Compile refusals (belt-and-braces guards). ----------------------------
+
+TEST(FlexbpfCompile, RefusesBackwardBranch) {
+  FunctionDecl fn;
+  fn.name = "f";
+  fn.instrs = {InstrLoadConst{0, 1}, InstrJump{0}, InstrReturn{}};
+  EXPECT_FALSE(CompiledFunction::Compile(fn).ok());
+}
+
+TEST(FlexbpfCompile, RefusesOutOfRangeRegister) {
+  FunctionDecl fn;
+  fn.name = "f";
+  fn.instrs = {InstrLoadConst{20, 1}, InstrReturn{}};
+  EXPECT_FALSE(CompiledFunction::Compile(fn).ok());
+}
+
+// --- Verifier rejection fuzz (satellite: hostile programs). ----------------
+
+// Mutates a generated-verifiable program into one the verifier must
+// reject, cycling five mutation kinds.  Returns a description for
+// diagnostics.
+std::string MutateToInvalid(Rng& rng, ProgramIR& ir, std::size_t kind) {
+  FunctionDecl& fn = ir.functions[0];
+  auto& code = fn.instrs;
+  switch (kind % 5) {
+    case 0:  // backward branch at instr 1 — always reachable (instr 0 is
+             // the straight-line prelude's first definition)
+      code[1] = InstrJump{0};
+      return "backward-branch";
+    case 1:  // out-of-range register write at instr 0
+      code.insert(code.begin(),
+                  InstrLoadConst{static_cast<int>(16 + rng.NextBounded(100)),
+                                 1});
+      return "out-of-range-register";
+    case 2:  // read of a register no path defines
+      code.insert(code.begin(),
+                  InstrStoreField{"meta.u", kReservedUndefinedReg});
+      return "undefined-register-read";
+    case 3:  // reference to an undeclared map
+      code.insert(code.begin(), InstrLoadConst{0, 1});
+      code.insert(code.begin() + 1, InstrMapLoad{1, "nosuchmap", 0, "v"});
+      return "unknown-map";
+    default:  // declared map, undeclared cell
+      code.insert(code.begin(), InstrLoadConst{0, 1});
+      code.insert(code.begin() + 1, InstrMapLoad{1, "m0", 0, "nosuchcell"});
+      return "unknown-cell";
+  }
+}
+
+TEST(VerifierRejectionFuzz, MutatedProgramsAreRejectedAndStillTerminate) {
+  const std::size_t cases = std::max<std::size_t>(FuzzPrograms() / 2, 100);
+  Verifier verifier;
+  for (std::size_t s = 0; s < cases; ++s) {
+    const std::uint64_t seed = 0xbad5eed0 + s;
+    Rng rng(seed);
+    ProgramIR ir = RandomVerifiedProgramIR(rng);
+    const std::string kind = MutateToInvalid(rng, ir, s);
+
+    auto verdict = verifier.Verify(ir);
+    ASSERT_FALSE(verdict.ok())
+        << "verifier accepted " << kind << " mutation, seed " << seed;
+    // The rejection must locate the offending instruction, not just shrug.
+    EXPECT_NE(verdict.error().message().find("instr"), std::string::npos)
+        << kind << ": " << verdict.error().message();
+
+    // Hostile programs still terminate safely on the interpreter: mutation
+    // shifted branch targets arbitrarily (including backward), so this
+    // leans on the fuel bound and the register clamps.
+    InMemoryMapBackend maps;
+    Interpreter interp(&maps);
+    Rng pkt_rng(seed ^ 0x7e57);
+    packet::Packet p = RandomPacket(pkt_rng, s);
+    const InterpResult r = interp.Run(ir.functions[0], p);
+    EXPECT_LE(r.steps, ir.functions[0].instrs.size() + 1)
+        << kind << " seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace flexnet::flexbpf

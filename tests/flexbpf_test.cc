@@ -370,6 +370,41 @@ TEST(InterpTest, OversizedShiftsAreZero) {
   EXPECT_EQ(p.GetMeta("r"), 0u);
 }
 
+// Regression: a hand-built (unverified) program with register indices
+// outside [0, kNumRegisters) — including negative ones — must not touch
+// memory outside the register file.  Out-of-range reads yield 0, writes
+// are dropped; under ASan this test also proves no stack smash.
+TEST(InterpTest, OutOfRangeRegistersReadZeroAndDropWrites) {
+  InMemoryMapBackend maps;
+  Interpreter interp(&maps);
+  FunctionDecl fn;
+  fn.name = "hostile";
+  fn.instrs = {
+      InstrLoadConst{20, 7},                       // write past the file
+      InstrLoadConst{-1, 9},                       // negative index
+      InstrLoadConst{0, 5},                        // in range
+      InstrBinOp{BinOpKind::kAdd, 3, 20, -1},      // r3 = 0 + 0
+      InstrStoreField{"meta.sum", 3},
+      InstrStoreField{"meta.big", 20},             // reads 0
+      InstrBinOpImm{BinOpKind::kAdd, 100, 0, 1},   // dropped write
+      InstrMapAdd{"m", 16, "v", 0},                // out-of-range key reg
+      InstrBranch{CmpKind::kEq, 50, -3, 10},       // 0 == 0: taken
+      InstrDrop{"unreached"},
+      InstrForward{99},                            // port reads 0
+      InstrReturn{},
+  };
+  packet::Packet p = TcpPkt();
+  const InterpResult r = interp.Run(fn, p);
+  EXPECT_FALSE(r.dropped);
+  EXPECT_TRUE(r.forwarded);
+  EXPECT_EQ(r.egress_port, 0u);
+  EXPECT_EQ(p.GetMeta("sum"), 0u);
+  EXPECT_EQ(p.GetMeta("big"), 0u);
+  // The out-of-range key register read as 0, so the add landed on key 0
+  // with r0's value — no wild addressing.
+  EXPECT_EQ(maps.Load("m", 0, "v"), 5u);
+}
+
 // Parameterized: all binops compute the expected value.
 struct BinOpCase {
   BinOpKind op;

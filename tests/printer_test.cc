@@ -9,8 +9,10 @@
 #include "apps/nat.h"
 #include "apps/synflood.h"
 #include "apps/telemetry.h"
+#include "common/rng.h"
 #include "flexbpf/builder.h"
 #include "flexbpf/printer.h"
+#include "flexbpf/random_program.h"
 #include "flexbpf/text_parser.h"
 #include "flexbpf/verifier.h"
 
@@ -116,6 +118,40 @@ TEST_P(RoundTripTest, PrintParseRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(
     AllApps, RoundTripTest, ::testing::ValuesIn(RoundTripPrograms()),
     [](const auto& info) { return info.param.name; });
+
+// Property: fuzz-generator output round-trips through the text DSL
+// structurally intact — every instruction kind, branch-lattice shape, and
+// map declaration the generator can emit must print to something the
+// parser reproduces exactly (and that still verifies).  This is what makes
+// text-DSL fixtures from the differential fuzzer trustworthy repros.
+TEST(PrinterRoundTrip, GeneratedProgramsRoundTripExactly) {
+  Verifier verifier;
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    Rng rng(0x9000 + seed);
+    const ProgramIR original = RandomVerifiedProgramIR(rng);
+    const auto text = PrintProgramText(original);
+    ASSERT_TRUE(text.ok()) << "seed " << seed;
+    auto reparsed = ParseProgramText(*text);
+    ASSERT_TRUE(reparsed.ok())
+        << "seed " << seed << ": " << reparsed.error().ToText() << "\n"
+        << *text;
+    const ProgramIR& round = reparsed.value();
+    EXPECT_EQ(round.name, original.name) << "seed " << seed;
+    ASSERT_EQ(round.maps.size(), original.maps.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < original.maps.size(); ++i) {
+      EXPECT_EQ(round.maps[i], original.maps[i])
+          << "seed " << seed << " map " << i;
+    }
+    ASSERT_EQ(round.functions.size(), original.functions.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < original.functions.size(); ++i) {
+      EXPECT_EQ(round.functions[i], original.functions[i])
+          << "seed " << seed << "\n" << *text;
+    }
+    ProgramIR verifiable = round;
+    EXPECT_TRUE(verifier.Verify(verifiable).ok()) << "seed " << seed;
+  }
+}
 
 TEST(PrinterTest, DoublePrintIsStable) {
   const ProgramIR program = apps::MakeFirewallProgram();
