@@ -1,0 +1,456 @@
+// E19: fleet-scale rolling reconfiguration.  A 1000+-device leaf-spine
+// fleet behind a replicated controller takes three full rollouts (deploy,
+// update, update-with-tenant-churn) in bounded hitless waves while the
+// plan cache collapses per-device compilation into one plan per
+// equivalence class.  Measured: wave completion time, plan-cache hit rate
+// (>= 0.9 required on the homogeneous fleet), control messages per
+// device, and invariant cleanliness under live traffic.
+//
+// Phase two is chaos-fleet: a smaller fleet rolls out while the Raft
+// controller is partitioned mid-wave (the wave must stall, not
+// half-apply) and reconfig agents crash mid-plan (the fleet layer must
+// resume the unapplied suffix).  The invariant checker — no blackholes,
+// version consistency, Raft log consistency, fleet convergence — must
+// come back clean, and the binary exits nonzero otherwise.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "controller/fleet.h"
+#include "controller/tenant.h"
+#include "fault/invariants.h"
+#include "flexbpf/builder.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+
+using namespace flexnet;
+
+namespace {
+
+constexpr const char* kUri = "flexnet://fleet/app";
+
+flexbpf::TableDecl FleetTable(const std::string& name) {
+  flexbpf::TableDecl t;
+  t.name = name;
+  t.key = {{"ipv4.src", dataplane::MatchKind::kExact, 32}};
+  t.capacity = 64;
+  dataplane::Action deny = dataplane::MakeDropAction();
+  deny.name = "deny";
+  t.actions.push_back(deny);
+  return t;
+}
+
+// v1: one ACL table, a stats map, a count function — small enough to fit
+// every arch in the fleet (switches, NICs, hosts alike).
+flexbpf::ProgramIR FleetV1() {
+  flexbpf::ProgramBuilder b("fleet");
+  b.AddTable(FleetTable("fleet.acl"));
+  b.AddMap("fleet.stats", 128, {"pkts"});
+  auto fn = flexbpf::FunctionBuilder("fleet.count")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("fleet.stats", 0, "pkts", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+// v2: adds a second table, seeds ACL entries (addresses no generated flow
+// uses, so the deny action never fires on live traffic), and rewrites the
+// count function — structural adds + entry deltas + a function swap.
+flexbpf::ProgramIR FleetV2() {
+  flexbpf::ProgramBuilder b("fleet");
+  flexbpf::TableDecl acl = FleetTable("fleet.acl");
+  acl.entries.push_back({{dataplane::MatchValue::Exact(0xdead0001)}, "deny", 0});
+  acl.entries.push_back({{dataplane::MatchValue::Exact(0xdead0002)}, "deny", 0});
+  b.AddTable(std::move(acl));
+  b.AddTable(FleetTable("fleet.acl2"));
+  b.AddMap("fleet.stats", 128, {"pkts"});
+  auto fn = flexbpf::FunctionBuilder("fleet.count")
+                .FlowKey(0)
+                .Const(1, 2)
+                .MapAdd("fleet.stats", 0, "pkts", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+// v3: retires the second table and rotates the ACL entries — removals and
+// entry remove+add, rolled out while tenants churn between waves.
+flexbpf::ProgramIR FleetV3() {
+  flexbpf::ProgramBuilder b("fleet");
+  flexbpf::TableDecl acl = FleetTable("fleet.acl");
+  acl.entries.push_back({{dataplane::MatchValue::Exact(0xdead0002)}, "deny", 0});
+  acl.entries.push_back({{dataplane::MatchValue::Exact(0xdead0003)}, "deny", 0});
+  b.AddTable(std::move(acl));
+  b.AddMap("fleet.stats", 128, {"pkts"});
+  auto fn = flexbpf::FunctionBuilder("fleet.count")
+                .FlowKey(0)
+                .Const(1, 3)
+                .MapAdd("fleet.stats", 0, "pkts", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+flexbpf::ProgramIR TenantExtension() {
+  flexbpf::ProgramBuilder b("ext");
+  b.AddMap("m", 64, {"v"});
+  auto fn = flexbpf::FunctionBuilder("count")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("m", 0, "v", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+double WavePercentileMs(std::vector<controller::WaveStat> stats, double q) {
+  if (stats.empty()) return 0.0;
+  std::sort(stats.begin(), stats.end(),
+            [](const controller::WaveStat& a, const controller::WaveStat& b) {
+              return (a.finished - a.started) < (b.finished - b.started);
+            });
+  const std::size_t idx = std::min(
+      stats.size() - 1, static_cast<std::size_t>(q * (stats.size() - 1)));
+  return static_cast<double>(stats[idx].finished - stats[idx].started) / 1e6;
+}
+
+void PrintRollout(const char* label, const controller::RolloutReport& r) {
+  bench::PrintRow("%-16s %-7zu %-6zu %-9zu %-8zu %-9.4f %-9.2f %-11.3f "
+                  "%-8zu %-8zu",
+                  label, r.devices, r.waves, r.plans_compiled, r.plans_reused,
+                  r.CacheHitRate(), r.MessagesPerDevice(),
+                  WavePercentileMs(r.wave_stats, 1.0), r.stalled_waves,
+                  r.device_failures);
+}
+
+// Phase one: three rollouts over a 1088-device fleet with live traffic,
+// Raft-committed waves, and tenant churn between the waves of the third.
+int RunFleetScale(bench::BenchRun& run) {
+  const bool smoke = bench::SmokeMode();
+  sim::Simulator sim;
+  net::Network network(&sim);
+  net::LeafSpineConfig topo_cfg;
+  topo_cfg.spines = 8;
+  topo_cfg.leaves = 120;
+  topo_cfg.hosts_per_leaf = 4;  // 8 + 120 + 2*480 = 1088 devices
+  topo_cfg.switch_kind = net::SwitchKind::kDrmt;
+  const net::LeafSpineTopology topo = net::BuildLeafSpine(network, topo_cfg);
+
+  controller::Controller ctrl(&network);
+  controller::TenantManager tenants(&ctrl);
+  controller::FleetConfig fleet_cfg;
+  fleet_cfg.wave_size = smoke ? 256 : 64;
+  controller::FleetManager fleet(&ctrl, fleet_cfg);
+
+  controller::RaftCluster raft(&sim, {}, /*seed=*/7);
+  raft.Start();
+  sim.RunUntil(sim.now() + 500 * kMillisecond);
+  fleet.AttachRaft(&raft);
+
+  fault::InvariantChecker checker(&network);
+  checker.Begin();
+  net::TrafficGenerator gen(&network, /*seed=*/11);
+  const SimDuration traffic_window =
+      smoke ? 60 * kMillisecond : 300 * kMillisecond;
+  const std::size_t flows = smoke ? 2 : 8;
+  for (std::size_t i = 0; i < flows; ++i) {
+    net::FlowSpec flow;
+    const auto& src = topo.endpoint(i);
+    const auto& dst = topo.endpoint(topo.endpoint_count() - 1 - i);
+    flow.from = src.host;
+    flow.src_ip = src.address;
+    flow.dst_ip = dst.address;
+    gen.StartCbr(flow, smoke ? 2000.0 : 5000.0, traffic_window);
+  }
+
+  const auto deploy = fleet.DeployFleetWide(kUri, FleetV1());
+  if (!deploy.ok()) {
+    std::printf("FLEET DEPLOY FAILED: %s\n", deploy.error().ToText().c_str());
+    return 1;
+  }
+  const auto update = fleet.UpdateFleetWide(kUri, FleetV2());
+  if (!update.ok()) {
+    std::printf("FLEET UPDATE FAILED: %s\n", update.error().ToText().c_str());
+    return 1;
+  }
+  // The CI acceptance bar: on a homogeneous fleet (no churn yet) the
+  // cache must serve >= 90% of lookups.  With three device classes in
+  // 1088 devices it should be ~99.7%.
+  const double homogeneous_hit_rate = fleet.plan_cache().HitRate();
+
+  // Third rollout with tenant admit/remove churn riding between waves.
+  std::vector<std::string> active_tenants;
+  std::size_t admitted = 0;
+  fleet.config().on_wave_complete = [&](std::size_t wave) {
+    if (wave % 3 == 0 && admitted < 4) {
+      const std::string name = "tenant" + std::to_string(admitted++);
+      const auto& a = topo.endpoint(2 * admitted);
+      const auto& b = topo.endpoint(2 * admitted + 1);
+      std::vector<runtime::ManagedDevice*> slice{network.Find(a.host),
+                                                 network.Find(b.host)};
+      if (tenants.AdmitTenantOn(name, TenantExtension(), slice).ok()) {
+        active_tenants.push_back(name);
+      }
+    } else if (wave % 3 == 2 && !active_tenants.empty()) {
+      (void)tenants.RemoveTenant(active_tenants.back());
+      active_tenants.pop_back();
+    }
+  };
+  const auto churn = fleet.UpdateFleetWide(kUri, FleetV3());
+  fleet.config().on_wave_complete = nullptr;
+  if (!churn.ok()) {
+    std::printf("FLEET CHURN UPDATE FAILED: %s\n",
+                churn.error().ToText().c_str());
+    return 1;
+  }
+  // Departed tenants release their extensions; the fleet is homogeneous
+  // again and must fingerprint that way.
+  for (const std::string& name : active_tenants) {
+    (void)tenants.RemoveTenant(name);
+  }
+
+  sim.RunUntil(sim.now() + 100 * kMillisecond);  // drain in-flight traffic
+  checker.Finish();
+  checker.CheckFleetConvergence();
+  checker.CheckRaft(raft);
+
+  bench::PrintRow("%-16s %-7s %-6s %-9s %-8s %-9s %-9s %-11s %-8s %-8s",
+                  "rollout", "devices", "waves", "compiled", "reused",
+                  "hit_rate", "msgs/dev", "wave_max_ms", "stalls", "failed");
+  PrintRollout("deploy_v1", *deploy);
+  PrintRollout("update_v2", *update);
+  PrintRollout("update_v3_churn", *churn);
+
+  std::vector<controller::WaveStat> all_waves;
+  std::uint64_t total_msgs = 0;
+  std::size_t total_failures = 0, total_stalls = 0, total_waves = 0;
+  for (const auto* r : {&*deploy, &*update, &*churn}) {
+    all_waves.insert(all_waves.end(), r->wave_stats.begin(),
+                     r->wave_stats.end());
+    total_msgs += r->control_messages;
+    total_failures += r->device_failures;
+    total_stalls += r->stalled_waves;
+    total_waves += r->waves;
+  }
+
+  telemetry::MetricsRegistry& m = run.metrics();
+  m.Set("bench.fleet_devices", static_cast<double>(deploy->devices));
+  m.Set("bench.fleet_rollouts", 3.0);
+  m.Set("bench.fleet_waves", static_cast<double>(total_waves));
+  m.Set("bench.fleet_plan_cache_hit_rate", fleet.plan_cache().HitRate());
+  m.Set("bench.fleet_homogeneous_hit_rate", homogeneous_hit_rate);
+  m.Set("bench.fleet_ctrl_msgs_per_device",
+        static_cast<double>(total_msgs) / (3.0 * deploy->devices));
+  m.Set("bench.fleet_wave_p50_ms", WavePercentileMs(all_waves, 0.5));
+  m.Set("bench.fleet_wave_max_ms", WavePercentileMs(all_waves, 1.0));
+  m.Set("bench.fleet_stalled_waves", static_cast<double>(total_stalls));
+  m.Set("bench.fleet_device_failures", static_cast<double>(total_failures));
+  m.Set("bench.fleet_violations",
+        static_cast<double>(checker.violations().size()));
+  fleet.PublishMetrics(m);
+
+  bench::PrintRow("\nhomogeneous hit rate %.4f (bar: >= 0.9), "
+                  "%.2f ctrl msgs/device/rollout, %llu packets checked, "
+                  "%zu violations",
+                  homogeneous_hit_rate,
+                  static_cast<double>(total_msgs) / (3.0 * deploy->devices),
+                  static_cast<unsigned long long>(checker.packets_checked()),
+                  checker.violations().size());
+
+  int failures = 0;
+  for (const fault::Violation& v : checker.violations()) {
+    std::printf("VIOLATION: %s\n", fault::ToText(v).c_str());
+    ++failures;
+  }
+  if (homogeneous_hit_rate < 0.9) {
+    std::printf("FAIL: homogeneous plan-cache hit rate %.4f < 0.9\n",
+                homogeneous_hit_rate);
+    ++failures;
+  }
+  if (total_failures != 0) {
+    std::printf("FAIL: %zu devices never converged\n", total_failures);
+    ++failures;
+  }
+  if (checker.packets_checked() == 0) {
+    std::printf("FAIL: invariant checker saw no traffic\n");
+    ++failures;
+  }
+  return failures;
+}
+
+// Phase two: chaos-fleet.  The Raft leader is partitioned away mid-wave
+// (the wave stalls until the partition heals and a new leader commits it)
+// and reconfig agents crash mid-plan (the fleet layer resumes the
+// unapplied suffix).  Zero invariant violations required.
+int RunFleetChaos(bench::BenchRun& run) {
+  sim::Simulator sim;
+  net::Network network(&sim);
+  net::LeafSpineConfig topo_cfg;
+  topo_cfg.spines = 2;
+  topo_cfg.leaves = 8;
+  topo_cfg.hosts_per_leaf = 2;  // 2 + 8 + 2*16 = 42 devices
+  topo_cfg.switch_kind = net::SwitchKind::kDrmt;
+  const net::LeafSpineTopology topo = net::BuildLeafSpine(network, topo_cfg);
+
+  // Agent crashes mid-plan at three points across the rollout.
+  fault::FaultPlan plan;
+  plan.seed = 23;
+  plan.rules.push_back({"runtime.step", fault::FaultAction::kCrash, 30, 1, 0});
+  plan.rules.push_back({"runtime.step", fault::FaultAction::kCrash, 120, 1, 0});
+  plan.rules.push_back({"runtime.step", fault::FaultAction::kCrash, 260, 1, 0});
+  fault::FaultInjector injector(plan, &sim);
+
+  controller::Controller ctrl(&network);
+  ctrl.set_fault_injector(&injector);
+  controller::FleetConfig fleet_cfg;
+  fleet_cfg.wave_size = 8;
+  fleet_cfg.raft_commit_timeout = 500 * kMillisecond;
+  controller::FleetManager fleet(&ctrl, fleet_cfg);
+
+  controller::RaftCluster raft(&sim, {}, /*seed=*/13);
+  raft.set_fault_injector(&injector);
+  raft.Start();
+  sim.RunUntil(sim.now() + 500 * kMillisecond);
+  fleet.AttachRaft(&raft);
+
+  fault::InvariantChecker checker(&network);
+  checker.Begin();
+  net::TrafficGenerator gen(&network, /*seed=*/29);
+  for (std::size_t i = 0; i < 2; ++i) {
+    net::FlowSpec flow;
+    const auto& src = topo.endpoint(i);
+    const auto& dst = topo.endpoint(topo.endpoint_count() - 1 - i);
+    flow.from = src.host;
+    flow.src_ip = src.address;
+    flow.dst_ip = dst.address;
+    gen.StartCbr(flow, 2000.0, 4 * kSecond);
+  }
+
+  // Partition the current leader away from the rest after the second
+  // wave; heal 1.2 s later.  The next wave's commit must stall (never
+  // half-apply), then go through the newly elected majority leader.
+  bool partitioned = false;
+  fleet.config().on_wave_complete = [&](std::size_t wave) {
+    if (wave != 1 || partitioned) return;
+    const int leader = raft.leader();
+    if (leader < 0) return;
+    partitioned = true;
+    std::vector<std::size_t> minority{static_cast<std::size_t>(leader)};
+    std::vector<std::size_t> majority;
+    for (std::size_t n = 0; n < raft.size(); ++n) {
+      if (static_cast<int>(n) != leader) majority.push_back(n);
+    }
+    controller::ArmPartition(injector, minority, majority);
+    sim.Schedule(1200 * kMillisecond, [&injector, minority, majority]() {
+      controller::HealPartition(injector, minority, majority);
+    });
+  };
+
+  const auto deploy = fleet.DeployFleetWide(kUri, FleetV1());
+  const auto update = fleet.UpdateFleetWide(kUri, FleetV2());
+  fleet.config().on_wave_complete = nullptr;
+  if (!deploy.ok() || !update.ok()) {
+    std::printf("CHAOS FLEET ROLLOUT FAILED: %s\n",
+                (!deploy.ok() ? deploy.error() : update.error())
+                    .ToText()
+                    .c_str());
+    return 1;
+  }
+
+  sim.RunUntil(sim.now() + 5 * kSecond);  // drain traffic + settle raft
+  checker.Finish();
+  checker.CheckFleetConvergence();
+  checker.CheckRaft(raft);
+
+  std::size_t retries = 0, stalls = 0, failures_devices = 0;
+  for (const auto* r : {&*deploy, &*update}) {
+    stalls += r->stalled_waves;
+    failures_devices += r->device_failures;
+    for (const controller::WaveStat& w : r->wave_stats) retries += w.retries;
+  }
+
+  bench::PrintRow("\nchaos-fleet: %zu devices, %llu faults injected, "
+                  "%zu stalled waves, %zu suffix retries, %zu violations",
+                  deploy->devices,
+                  static_cast<unsigned long long>(injector.injected()), stalls,
+                  retries, checker.violations().size());
+
+  telemetry::MetricsRegistry& m = run.metrics();
+  m.Set("bench.chaos_fleet_devices", static_cast<double>(deploy->devices));
+  m.Set("bench.chaos_fleet_faults", static_cast<double>(injector.injected()));
+  m.Set("bench.chaos_fleet_stalled_waves", static_cast<double>(stalls));
+  m.Set("bench.chaos_fleet_retries", static_cast<double>(retries));
+  m.Set("bench.chaos_fleet_violations",
+        static_cast<double>(checker.violations().size()));
+
+  int failures = 0;
+  for (const fault::Violation& v : checker.violations()) {
+    std::printf("VIOLATION: %s\n", fault::ToText(v).c_str());
+    ++failures;
+  }
+  if (stalls == 0) {
+    std::printf("FAIL: the mid-wave partition never stalled a wave\n");
+    ++failures;
+  }
+  if (retries == 0) {
+    std::printf("FAIL: agent crashes never forced a suffix retry\n");
+    ++failures;
+  }
+  if (failures_devices != 0) {
+    std::printf("FAIL: %zu devices never converged under chaos\n",
+                failures_devices);
+    ++failures;
+  }
+  return failures;
+}
+
+int RunExperiment() {
+  bench::BenchRun run("fleet");
+  bench::PrintHeader(
+      "E19 (bench_fleet): fleet-scale rolling reconfiguration",
+      "a 1000+-device fleet updates in hitless Raft-committed waves with "
+      ">= 0.9 plan-cache hit rate, bounded control traffic, and zero "
+      "invariant violations under partitions and agent crashes");
+  int failures = RunFleetScale(run);
+  failures += RunFleetChaos(run);
+  if (failures == 0) {
+    bench::PrintRow("\nfleet rollouts hitless; all invariants held");
+  }
+  run.Finish();
+  return failures;
+}
+
+void BM_FleetDeploy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(&sim);
+    net::LeafSpineConfig cfg;
+    cfg.spines = 2;
+    cfg.leaves = 4;
+    cfg.hosts_per_leaf = 2;
+    net::BuildLeafSpine(network, cfg);
+    controller::Controller ctrl(&network);
+    controller::FleetManager fleet(&ctrl);
+    benchmark::DoNotOptimize(fleet.DeployFleetWide(kUri, FleetV1()).ok());
+  }
+}
+BENCHMARK(BM_FleetDeploy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int failing = RunExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return failing == 0 ? 0 : 1;
+}

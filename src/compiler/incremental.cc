@@ -117,6 +117,140 @@ Result<dataplane::TableEntry> ResolveEntry(const flexbpf::TableDecl& table,
 
 }  // namespace
 
+Result<ClassPlanResult> ComputeClassPlan(const flexbpf::ProgramIR& before,
+                                         const flexbpf::ProgramIR& after,
+                                         arch::ArchKind arch) {
+  // Verified once per equivalence class — at fleet scale this alone saves
+  // O(devices) verifier runs per rollout.
+  flexbpf::ProgramIR verified = after;
+  {
+    flexbpf::Verifier verifier;
+    auto r = verifier.Verify(verified);
+    if (!r.ok()) return r.error();
+  }
+
+  ClassPlanResult result;
+  result.delta = DiffPrograms(before, verified);
+  runtime::ReconfigPlan& plan = result.plan;
+  plan.description = "class plan: " + before.name + " -> " + verified.name +
+                     " on " + arch::ToString(arch);
+  const ProgramDelta& delta = result.delta;
+
+  // Removals first (they free the resources the additions need), in the
+  // same order Recompile uses: functions, tables, maps.
+  for (const std::string& name : delta.functions_removed) {
+    plan.steps.push_back(runtime::StepRemoveFunction{name});
+    ++result.structural_ops;
+  }
+  for (const std::string& name : delta.tables_removed) {
+    plan.steps.push_back(runtime::StepRemoveTable{name});
+    ++result.structural_ops;
+  }
+  for (const std::string& name : delta.maps_removed) {
+    plan.steps.push_back(runtime::StepRemoveMap{name});
+    ++result.structural_ops;
+  }
+
+  // Restructured tables: remove + re-add in place (full-copy model — the
+  // element stays on this device by construction).
+  for (const flexbpf::TableDecl& table : delta.tables_restructured) {
+    plan.steps.push_back(runtime::StepRemoveTable{table.name});
+    runtime::StepAddTable add;
+    add.decl = table;
+    plan.steps.push_back(std::move(add));
+    result.structural_ops += 2;
+  }
+
+  // Changed functions: replace in place.
+  for (const flexbpf::FunctionDecl& fn : delta.functions_changed) {
+    plan.steps.push_back(runtime::StepRemoveFunction{fn.name});
+    runtime::StepAddFunction add;
+    add.fn = fn;
+    plan.steps.push_back(std::move(add));
+    result.structural_ops += 2;
+  }
+
+  // Additions, in the full compiler's per-device emission order: maps,
+  // parser states, tables (pipeline order), functions.
+  for (const flexbpf::MapDecl& map : delta.maps_added) {
+    runtime::StepAddMap step;
+    step.decl = map;
+    step.encoding = ResolveEncoding(map.encoding, arch);
+    plan.steps.push_back(std::move(step));
+    ++result.structural_ops;
+  }
+  for (const flexbpf::HeaderRequirement& req : delta.headers_added) {
+    runtime::StepAddParserState step;
+    step.state.name = req.header;
+    step.from = req.after;
+    step.select_value = req.select_value;
+    plan.steps.push_back(std::move(step));
+    ++result.structural_ops;
+  }
+  // Stage-ordering metadata mirrors compile.cc: the table's index within
+  // the *new* program and the program's identity as the order group.
+  const std::uint64_t order_group = std::hash<std::string>{}(verified.name) | 1;
+  for (const flexbpf::TableDecl& table : delta.tables_added) {
+    runtime::StepAddTable step;
+    step.decl = table;  // carries initial entries: deploy == update-from-empty
+    for (std::size_t i = 0; i < verified.tables.size(); ++i) {
+      if (verified.tables[i].name == table.name) {
+        step.order_hint = i;
+        step.order_group = order_group;
+        break;
+      }
+    }
+    plan.steps.push_back(std::move(step));
+    ++result.structural_ops;
+  }
+  for (const flexbpf::FunctionDecl& fn : delta.functions_added) {
+    runtime::StepAddFunction step;
+    step.fn = fn;
+    plan.steps.push_back(std::move(step));
+    ++result.structural_ops;
+  }
+
+  // Entry-level deltas: control-plane writes against the hosting table.
+  for (const EntryDelta& ed : delta.entry_deltas) {
+    const flexbpf::TableDecl* table = verified.FindTable(ed.table);
+    if (table == nullptr) {
+      return Internal("entry delta against unknown table '" + ed.table + "'");
+    }
+    for (const auto& match : ed.removed) {
+      plan.steps.push_back(runtime::StepRemoveEntry{ed.table, match});
+      ++result.entry_ops;
+    }
+    for (const flexbpf::InitialEntry& e : ed.added) {
+      FLEXNET_ASSIGN_OR_RETURN(dataplane::TableEntry entry,
+                               ResolveEntry(*table, e));
+      plan.steps.push_back(runtime::StepAddEntry{ed.table, std::move(entry)});
+      ++result.entry_ops;
+    }
+  }
+  return result;
+}
+
+CompiledProgram BindFullCopy(const flexbpf::ProgramIR& program,
+                             DeviceId device) {
+  CompiledProgram bound;
+  bound.program_name = program.name;
+  bound.placements.reserve(program.tables.size() + program.functions.size() +
+                           program.maps.size());
+  for (const flexbpf::TableDecl& t : program.tables) {
+    bound.placements.push_back(
+        ElementPlacement{ElementKind::kTable, t.name, device, "fleet"});
+  }
+  for (const flexbpf::FunctionDecl& f : program.functions) {
+    bound.placements.push_back(
+        ElementPlacement{ElementKind::kFunction, f.name, device, "fleet"});
+  }
+  for (const flexbpf::MapDecl& m : program.maps) {
+    bound.placements.push_back(
+        ElementPlacement{ElementKind::kMap, m.name, device, "fleet"});
+  }
+  return bound;
+}
+
 Result<IncrementalResult> IncrementalCompiler::Recompile(
     const flexbpf::ProgramIR& before, const flexbpf::ProgramIR& after,
     const CompiledProgram& existing,

@@ -49,6 +49,43 @@ struct ProgramDelta {
 ProgramDelta DiffPrograms(const flexbpf::ProgramIR& before,
                           const flexbpf::ProgramIR& after);
 
+// --- Pure plan computation (the fleet path) -------------------------------
+//
+// At fleet scale every device hosts a *full copy* of the program, so the
+// plan taking `before` to `after` depends only on (diff, arch kind) — not
+// on which device it lands on.  ComputeClassPlan is that pure computation:
+// no device probing, no placement search, verified once per equivalence
+// class and cached (compiler/plan_cache.h); BindFullCopy is the
+// device-specific binding step, a mechanical placement-book rehydration.
+// Recompile() below remains the sliced path where elements spread across
+// devices and placement genuinely needs live probes.
+
+struct ClassPlanResult {
+  // Device-agnostic steps for one device of the class's arch kind.
+  runtime::ReconfigPlan plan;
+  ProgramDelta delta;
+  std::size_t structural_ops = 0;
+  std::size_t entry_ops = 0;
+
+  std::size_t TotalOps() const noexcept { return structural_ops + entry_ops; }
+};
+
+// Computes the single-device plan updating a full copy of `before` into a
+// full copy of `after` on a device of kind `arch` (map encodings are
+// arch-resolved — part of the cache key).  `before` may be an empty
+// program: the result is then a full install plan, so fleet deploys and
+// fleet updates share one code path.  Pure: touches no devices.
+Result<ClassPlanResult> ComputeClassPlan(const flexbpf::ProgramIR& before,
+                                         const flexbpf::ProgramIR& after,
+                                         arch::ArchKind arch);
+
+// Device-specific binding of a class plan: the placement book for a device
+// hosting every element of `program`.  O(elements), no probing.
+CompiledProgram BindFullCopy(const flexbpf::ProgramIR& program,
+                             DeviceId device);
+
+// --- Sliced incremental path ----------------------------------------------
+
 struct IncrementalResult {
   // Updated placement book for the new program version.
   CompiledProgram compiled;

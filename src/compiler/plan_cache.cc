@@ -1,0 +1,175 @@
+#include "compiler/plan_cache.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "flexbpf/printer.h"
+
+namespace flexnet::compiler {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t MixBytes(std::uint64_t state, std::string_view text) noexcept {
+  for (const char c : text) {
+    state ^= static_cast<std::uint8_t>(c);
+    state *= kFnvPrime;
+  }
+  // Field separator so ("ab","c") and ("a","bc") hash differently.
+  state ^= 0x1f;
+  state *= kFnvPrime;
+  return state;
+}
+
+std::uint64_t MixU64(std::uint64_t state, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    state ^= (value >> (8 * i)) & 0xff;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint64_t FnvHash64(std::string_view text) noexcept {
+  return MixBytes(kFnvOffset, text);
+}
+
+std::uint64_t FnvMix(std::uint64_t state, std::string_view next) noexcept {
+  return MixBytes(state, next);
+}
+
+std::uint64_t FingerprintProgram(const flexbpf::ProgramIR& program) {
+  const auto text = flexbpf::PrintProgramText(program);
+  if (text.ok()) return FnvHash64(text.value());
+  // The printer currently cannot fail; keep a deterministic fallback
+  // anyway so an unprintable construct degrades to name identity.
+  return FnvHash64("unprintable:" + program.name);
+}
+
+std::uint64_t FingerprintPlacement(const flexbpf::ProgramIR& program) {
+  std::vector<std::string> elements;
+  elements.reserve(program.tables.size() + program.functions.size() +
+                   program.maps.size());
+  for (const flexbpf::TableDecl& t : program.tables) {
+    elements.push_back("table:" + t.name);
+  }
+  for (const flexbpf::FunctionDecl& f : program.functions) {
+    elements.push_back("fn:" + f.name);
+  }
+  for (const flexbpf::MapDecl& m : program.maps) {
+    elements.push_back("map:" + m.name);
+  }
+  std::sort(elements.begin(), elements.end());
+  std::uint64_t state = kFnvOffset;
+  for (const std::string& e : elements) state = MixBytes(state, e);
+  return state;
+}
+
+std::uint64_t FingerprintDevice(const runtime::ManagedDevice& device) {
+  std::uint64_t state = kFnvOffset;
+  state = MixBytes(state, arch::ToString(device.device().arch()));
+
+  // Pipeline tables in execution order (order is semantics: it decides
+  // which table sees the packet first).
+  const dataplane::Pipeline& pipeline = device.device().pipeline();
+  for (const std::string& name : pipeline.TableNames()) {
+    const dataplane::MatchActionTable* table = pipeline.FindTable(name);
+    if (table == nullptr) continue;
+    state = MixBytes(state, "table");
+    state = MixBytes(state, table->name());
+    state = MixU64(state, table->capacity());
+    for (const dataplane::KeySpec& key : table->key()) {
+      state = MixBytes(state, key.field);
+      state = MixBytes(state, dataplane::ToString(key.kind));
+      state = MixU64(state, key.width_bits);
+    }
+    // Live entries: an out-of-band table write must change the class.
+    for (const dataplane::TableEntry& entry : table->entries()) {
+      for (const dataplane::MatchValue& m : entry.match) {
+        state = MixU64(state, m.value);
+        state = MixU64(state, m.mask);
+        state = MixU64(state, m.prefix_len);
+        state = MixU64(state, m.range_hi);
+      }
+      state = MixBytes(state, entry.action.name);
+      state = MixU64(state, static_cast<std::uint64_t>(entry.priority));
+    }
+  }
+
+  // Installed FlexBPF functions, canonical text form.
+  for (const flexbpf::FunctionDecl& fn : device.functions()) {
+    state = MixBytes(state, "fn");
+    const auto printed = flexbpf::PrintFunction(fn);
+    state = MixBytes(state, printed.ok() ? printed.value() : fn.name);
+  }
+
+  // Encoded maps, name-sorted (MapSet order is an install artifact).
+  std::vector<std::string> map_names = device.maps().Names();
+  std::sort(map_names.begin(), map_names.end());
+  for (const std::string& name : map_names) {
+    state = MixBytes(state, "map");
+    state = MixBytes(state, name);
+    if (const state::EncodedMap* map = device.maps().Find(name)) {
+      state = MixU64(state, static_cast<std::uint64_t>(map->encoding()));
+    }
+  }
+  return state;
+}
+
+std::size_t PlanKeyHash::operator()(const PlanKey& key) const noexcept {
+  std::uint64_t state = kFnvOffset;
+  state = MixU64(state, key.before_hash);
+  state = MixU64(state, key.after_hash);
+  state = MixU64(state, static_cast<std::uint64_t>(key.arch));
+  state = MixU64(state, key.placement_hash);
+  state = MixU64(state, key.device_fingerprint);
+  return static_cast<std::size_t>(state);
+}
+
+PlanKey MakePlanKey(const flexbpf::ProgramIR& before,
+                    const flexbpf::ProgramIR& after,
+                    const runtime::ManagedDevice& device) {
+  PlanKey key;
+  key.before_hash = FingerprintProgram(before);
+  key.after_hash = FingerprintProgram(after);
+  key.arch = device.device().arch();
+  key.placement_hash = FingerprintPlacement(after);
+  key.device_fingerprint = FingerprintDevice(device);
+  return key;
+}
+
+std::shared_ptr<const runtime::ReconfigPlan> PlanCache::Find(
+    const PlanKey& key) {
+  const auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+std::shared_ptr<const runtime::ReconfigPlan> PlanCache::Insert(
+    const PlanKey& key, runtime::ReconfigPlan plan) {
+  auto shared = std::make_shared<const runtime::ReconfigPlan>(std::move(plan));
+  plans_[key] = shared;
+  return shared;
+}
+
+void PlanCache::Clear() {
+  plans_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void PlanCache::PublishMetrics(telemetry::MetricsRegistry& registry) const {
+  registry.Count("controller_plan_cache_hits", hits_);
+  registry.Count("controller_plan_cache_misses", misses_);
+  registry.Count("controller_plan_cache_entries", plans_.size());
+  registry.Set("controller_plan_cache_hit_rate", HitRate());
+}
+
+}  // namespace flexnet::compiler

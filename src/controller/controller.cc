@@ -32,77 +32,111 @@ std::vector<runtime::ManagedDevice*> Controller::AllDevices() const {
   return devices;
 }
 
-Result<SimTime> Controller::ApplyPlansConsistently(
-    const std::unordered_map<DeviceId, runtime::ReconfigPlan>& plans) {
-  if (plans.empty()) return network_->simulator()->now();
+Result<WaveApplyOutcome> Controller::ApplyPlanWave(
+    std::vector<WavePlanAssignment> wave) {
+  WaveApplyOutcome outcome;
+  outcome.finished = network_->simulator()->now();
+  if (wave.empty()) return outcome;
   // Scoped span covering both phases; engine plan spans (including the
   // edge-phase ones scheduled below, which fire inside RunUntil while this
   // scope is still open) nest under it.
   telemetry::ScopedSpan apply_span(&metrics_->tracer(),
                                    "controller.apply_plans");
-  apply_span.Annotate("devices", std::to_string(plans.size()));
+  apply_span.Annotate("devices", std::to_string(wave.size()));
   // Two-phase ordering: devices with more links (interior/fabric) update
   // first; edge devices (hosts/NICs, where traffic enters) flip last.
   // Within our latency model plans run concurrently per device, so we
   // stagger phases: interior now, edge after the slowest interior plan.
-  std::vector<std::pair<DeviceId, const runtime::ReconfigPlan*>> interior;
-  std::vector<std::pair<DeviceId, const runtime::ReconfigPlan*>> edge;
-  for (const auto& [id, plan] : plans) {
-    runtime::ManagedDevice* device = network_->Find(id);
+  // Each phase is sorted by device id — the apply order (and therefore the
+  // trace and any injected fault alignment) is a function of the wave's
+  // *contents*, never of hash-map iteration order.
+  std::vector<std::pair<runtime::ManagedDevice*, const WavePlanAssignment*>>
+      interior;
+  std::vector<std::pair<runtime::ManagedDevice*, const WavePlanAssignment*>>
+      edge;
+  for (const WavePlanAssignment& assignment : wave) {
+    runtime::ManagedDevice* device = network_->Find(assignment.device);
     if (device == nullptr) {
       return NotFound("plan targets unknown device");
     }
+    if (assignment.plan == nullptr) {
+      return InvalidArgument("wave assignment without a plan");
+    }
     const arch::ArchKind kind = device->device().arch();
     if (kind == arch::ArchKind::kHost || kind == arch::ArchKind::kNic) {
-      edge.emplace_back(id, &plan);
+      edge.emplace_back(device, &assignment);
     } else {
-      interior.emplace_back(id, &plan);
+      interior.emplace_back(device, &assignment);
     }
   }
-  sim::Simulator* sim = network_->simulator();
-  SimTime interior_done = sim->now();
-  bool failed = false;
-  std::vector<std::string> errors;
-  const auto on_done = [&failed, &errors](const runtime::ApplyReport& report) {
-    if (!report.ok()) {
-      failed = true;
-      errors.insert(errors.end(), report.errors.begin(), report.errors.end());
-    }
+  const auto by_device_id = [](const auto& a, const auto& b) {
+    return a.first->id() < b.first->id();
   };
-  for (const auto& [id, plan] : interior) {
-    runtime::ManagedDevice* device = network_->Find(id);
-    reconfig_ops_ += plan->OpCount();
+  std::sort(interior.begin(), interior.end(), by_device_id);
+  std::sort(edge.begin(), edge.end(), by_device_id);
+
+  sim::Simulator* sim = network_->simulator();
+  // Shared across the wave's done-callbacks; heap-allocated because edge
+  // applies fire inside RunUntil after this frame could have returned on
+  // an error path.
+  auto failures = std::make_shared<
+      std::vector<std::pair<DeviceId, runtime::ApplyReport>>>();
+  const auto on_done_for = [failures](DeviceId id) {
+    return [failures, id](const runtime::ApplyReport& report) {
+      if (!report.ok()) failures->emplace_back(id, report);
+    };
+  };
+  SimTime interior_done = sim->now();
+  for (const auto& [device, assignment] : interior) {
+    reconfig_ops_ += assignment->plan->OpCount();
     interior_done = std::max(
-        interior_done, engine_.ApplyRuntime(*device, *plan, on_done));
+        interior_done, engine_.ApplyShared(*device, assignment->plan,
+                                           on_done_for(device->id())));
   }
   // Phase two: schedule edge plans to start once interior is in place.
   SimTime all_done = interior_done;
-  for (const auto& [id, plan] : edge) {
-    runtime::ManagedDevice* device = network_->Find(id);
-    reconfig_ops_ += plan->OpCount();
+  for (const auto& [device, assignment] : edge) {
+    reconfig_ops_ += assignment->plan->OpCount();
     const SimDuration offset = interior_done - sim->now();
-    // Model phase-two start by prepending the wait to the plan cost.
-    runtime::ReconfigPlan copy = *plan;
     const SimTime done_at =
-        interior_done + copy.EstimateDuration(device->device());
+        interior_done + assignment->plan->EstimateDuration(device->device());
     runtime::RuntimeEngine* engine = &engine_;
     runtime::ManagedDevice* dev = device;
-    runtime::ReconfigPlan plan_copy = std::move(copy);
-    sim->Schedule(offset, [engine, dev, plan_copy, on_done]() {
-      engine->ApplyRuntime(*dev, plan_copy, on_done);
+    std::shared_ptr<const runtime::ReconfigPlan> plan = assignment->plan;
+    auto on_done = on_done_for(device->id());
+    sim->Schedule(offset, [engine, dev, plan, on_done]() {
+      engine->ApplyShared(*dev, plan, on_done);
     });
     all_done = std::max(all_done, done_at);
   }
-  network_->simulator()->RunUntil(all_done);
-  if (failed) {
+  sim->RunUntil(all_done);
+  outcome.finished = all_done;
+  outcome.failures = std::move(*failures);
+  return outcome;
+}
+
+Result<SimTime> Controller::ApplyPlansConsistently(
+    const std::unordered_map<DeviceId, runtime::ReconfigPlan>& plans) {
+  if (plans.empty()) return network_->simulator()->now();
+  std::vector<WavePlanAssignment> wave;
+  wave.reserve(plans.size());
+  for (const auto& [id, plan] : plans) {
+    wave.push_back(WavePlanAssignment{
+        id, std::make_shared<const runtime::ReconfigPlan>(plan)});
+  }
+  FLEXNET_ASSIGN_OR_RETURN(WaveApplyOutcome outcome,
+                           ApplyPlanWave(std::move(wave)));
+  if (!outcome.failures.empty()) {
     std::string joined;
-    for (const std::string& e : errors) {
-      joined += e;
-      joined += "; ";
+    for (const auto& [id, report] : outcome.failures) {
+      for (const std::string& e : report.errors) {
+        joined += e;
+        joined += "; ";
+      }
     }
     return Internal("plan application failed: " + joined);
   }
-  return all_done;
+  return outcome.finished;
 }
 
 Result<DeployOutcome> Controller::DeployApp(

@@ -49,6 +49,21 @@ struct DeployOutcome {
   SimDuration predicted_latency = 0;
 };
 
+// One device's share of a fleet wave: an immutable plan shared across the
+// device's whole equivalence class (compiler/plan_cache.h).
+struct WavePlanAssignment {
+  DeviceId device;
+  std::shared_ptr<const runtime::ReconfigPlan> plan;
+};
+
+struct WaveApplyOutcome {
+  SimTime finished = 0;
+  // Per-device reports for plans that did not fully apply (crashed or
+  // failed steps).  steps_applied tells the fleet layer which suffix to
+  // re-apply on retry.
+  std::vector<std::pair<DeviceId, runtime::ApplyReport>> failures;
+};
+
 class Controller {
  public:
   // Deploy/update/migrate latencies and op counts are recorded into
@@ -91,10 +106,28 @@ class Controller {
   compiler::CompileOptions& compile_options() noexcept { return options_; }
   telemetry::MetricsRegistry* metrics() noexcept { return metrics_; }
 
+  // --- Fleet wave API (controller/fleet.h drives this) ---
+  //
+  // Applies one wave of shared plans with deterministic consistent
+  // ordering: interior devices first, edge (host/NIC) devices last, and
+  // *sorted by device id within each phase* — wave traces and chaos
+  // schedules reproduce run to run regardless of how the caller's map was
+  // ordered.  Per-device failures are reported in the outcome (not folded
+  // into one error) so the fleet layer can resume crashed suffixes.
+  Result<WaveApplyOutcome> ApplyPlanWave(std::vector<WavePlanAssignment> wave);
+
+  // Forwards to the controller's RuntimeEngine: fleet chaos schedules
+  // inject agent crashes/stalls into wave applies ("runtime.step").
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    engine_.set_fault_injector(injector);
+  }
+
  private:
   std::vector<runtime::ManagedDevice*> AllDevices() const;
   // Applies plans with consistent ordering (interior first, ingress last),
-  // driving the simulator until done.  Returns completion time.
+  // driving the simulator until done.  Returns completion time.  Thin
+  // wrapper over ApplyPlanWave: plans are sorted by device id, so apply
+  // order is deterministic even though the input map is unordered.
   Result<SimTime> ApplyPlansConsistently(
       const std::unordered_map<DeviceId, runtime::ReconfigPlan>& plans);
 

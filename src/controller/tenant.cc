@@ -4,6 +4,12 @@ namespace flexnet::controller {
 
 Result<TenantRecord> TenantManager::AdmitTenant(
     const std::string& name, const flexbpf::ProgramIR& extension) {
+  return AdmitTenantOn(name, extension, {});
+}
+
+Result<TenantRecord> TenantManager::AdmitTenantOn(
+    const std::string& name, const flexbpf::ProgramIR& extension,
+    std::vector<runtime::ManagedDevice*> slice) {
   if (tenants_.contains(name)) {
     return AlreadyExists("tenant '" + name + "'");
   }
@@ -37,7 +43,8 @@ Result<TenantRecord> TenantManager::AdmitTenant(
 
   const std::string uri = "flexnet://" + name + "/extension";
   const SimTime started = controller_->network()->simulator()->now();
-  auto deployed = controller_->DeployApp(uri, std::move(rewritten).value());
+  auto deployed = controller_->DeployApp(uri, std::move(rewritten).value(),
+                                         std::move(slice));
   if (!deployed.ok()) {
     free_vlans_.push_back(vlan);
     metrics->Count("controller.tenant_rejects");

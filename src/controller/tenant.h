@@ -35,6 +35,14 @@ class TenantManager {
   Result<TenantRecord> AdmitTenant(const std::string& name,
                                    const flexbpf::ProgramIR& extension);
 
+  // Slice-scoped admit: deploys the rewritten extension only on `slice`
+  // (fleet rollouts admit tenants onto their edge pods while the fleet
+  // layer owns the rest of the network).  Empty slice = whole network,
+  // identical to AdmitTenant.
+  Result<TenantRecord> AdmitTenantOn(
+      const std::string& name, const flexbpf::ProgramIR& extension,
+      std::vector<runtime::ManagedDevice*> slice);
+
   // Retires the tenant's app and releases its VLAN.
   Status RemoveTenant(const std::string& name);
 

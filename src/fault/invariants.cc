@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "compiler/plan_cache.h"
+
 namespace flexnet::fault {
 
 void InvariantChecker::Begin() {
@@ -221,6 +223,24 @@ void InvariantChecker::CheckRaft(const controller::RaftCluster& cluster,
   if (expect_leader && cluster.leader() < 0) {
     AddViolation("raft_availability",
                  "no leader after faults cleared and timers ran");
+  }
+}
+
+void InvariantChecker::CheckFleetConvergence() {
+  // kind -> (fingerprint of the group's first device, that device's name).
+  std::unordered_map<int, std::pair<std::uint64_t, std::string>> reference;
+  for (const auto& device : network_->devices()) {
+    const int kind = static_cast<int>(device->device().arch());
+    const std::uint64_t fp = compiler::FingerprintDevice(*device);
+    const auto [it, inserted] =
+        reference.emplace(kind, std::make_pair(fp, device->name()));
+    if (!inserted && it->second.first != fp) {
+      AddViolation("fleet_convergence",
+                   "device '" + device->name() + "' (" +
+                       arch::ToString(device->device().arch()) +
+                       ") diverged from '" + it->second.second +
+                       "' after rollout");
+    }
   }
 }
 

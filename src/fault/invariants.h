@@ -22,6 +22,10 @@
 //                        is the deliberately slow comparison point
 //   raft_log_consistency replicated controller committed prefixes agree
 //   raft_availability    a leader exists once faults have cleared
+//   fleet_convergence    after a fleet rollout, every device in an
+//                        arch-kind group hosts identical state (equal
+//                        compiler::FingerprintDevice) — crashed or
+//                        partitioned devices were resumed, not skipped
 //   postcard_parity      a sampled packet's postcard agrees with its hop
 //                        trace (same devices, same versions, monotone hop
 //                        times) — the telemetry layer may not invent or
@@ -91,6 +95,13 @@ class InvariantChecker {
   // raft_log_consistency + raft_availability.
   void CheckRaft(const controller::RaftCluster& cluster,
                  bool expect_leader = true);
+
+  // fleet_convergence: groups the network's devices by arch kind and
+  // requires every group member to share one device-state fingerprint.
+  // Call after a fleet rollout has (reportedly) converged; a device a
+  // chaos schedule crashed mid-wave and the fleet layer failed to resume
+  // shows up here with its odd fingerprint.
+  void CheckFleetConvergence();
 
   void AddViolation(std::string invariant, std::string detail) {
     violations_.push_back({std::move(invariant), std::move(detail)});

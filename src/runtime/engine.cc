@@ -25,7 +25,9 @@ struct ApplyChain {
   sim::Simulator* sim;
   telemetry::MetricsRegistry* metrics;
   fault::FaultInjector* injector;
-  ReconfigPlan plan;
+  // Shared, immutable: at fleet scale every device in an equivalence class
+  // chains over the same plan object (no per-device deep copy).
+  std::shared_ptr<const ReconfigPlan> plan;
   std::size_t next = 0;
   std::shared_ptr<ApplyReport> report;
   telemetry::SpanId plan_span;
@@ -43,11 +45,11 @@ struct ApplyChain {
   // Schedules step `next` (or the finish when the plan is exhausted).
   // Self = shared_ptr to this chain, kept alive by the scheduled closures.
   void ScheduleNext(std::shared_ptr<ApplyChain> self) {
-    if (next >= plan.steps.size()) {
+    if (next >= plan->steps.size()) {
       sim->ScheduleAt(sim->now(), [self]() { self->Finish(self->sim->now()); });
       return;
     }
-    SimDuration cost = StepCost(*device, plan.steps[next]);
+    SimDuration cost = StepCost(*device, plan->steps[next]);
     if (injector != nullptr) {
       if (const auto f = injector->Decide("runtime.step")) {
         if (f.action == fault::FaultAction::kCrash) {
@@ -69,7 +71,7 @@ struct ApplyChain {
   }
 
   void ApplyStep(SimDuration cost, SimTime step_begin) {
-    const ReconfigStep& step = plan.steps[next];
+    const ReconfigStep& step = plan->steps[next];
     const Status status = device->ApplyStep(step);
     metrics->Observe("runtime.step_apply_ns", static_cast<double>(cost));
     metrics->trace().Record(sim->now(), "reconfig.step",
@@ -100,13 +102,13 @@ struct ApplyChain {
                                 std::to_string(next));
     metrics->tracer().Annotate(plan_span, "crash_at_step",
                                std::to_string(next));
-    for (std::size_t i = next; i < plan.steps.size(); ++i) {
+    for (std::size_t i = next; i < plan->steps.size(); ++i) {
       ++report->steps_failed;
       metrics->Count("runtime.steps_failed");
-      report->errors.push_back(ToText(plan.steps[i]) +
+      report->errors.push_back(ToText(plan->steps[i]) +
                                ": fault: reconfig agent crashed");
     }
-    next = plan.steps.size();
+    next = plan->steps.size();
     sim->ScheduleAt(sim->now(), [self]() { self->Finish(self->sim->now()); });
   }
 };
@@ -115,6 +117,13 @@ struct ApplyChain {
 
 SimTime RuntimeEngine::ApplyRuntime(ManagedDevice& dev, ReconfigPlan plan,
                                     DoneFn done) {
+  return ApplyShared(dev, std::make_shared<const ReconfigPlan>(std::move(plan)),
+                     std::move(done));
+}
+
+SimTime RuntimeEngine::ApplyShared(ManagedDevice& dev,
+                                   std::shared_ptr<const ReconfigPlan> plan,
+                                   DoneFn done) {
   auto report = std::make_shared<ApplyReport>();
   report->started = sim_->now();
   // One span per plan (parented under the caller's open scope, e.g.
@@ -124,11 +133,13 @@ SimTime RuntimeEngine::ApplyRuntime(ManagedDevice& dev, ReconfigPlan plan,
   const telemetry::SpanId plan_span = metrics_->tracer().StartSpan(
       report->started, "runtime.apply_plan", dev.name());
   metrics_->tracer().Annotate(plan_span, "steps",
-                              std::to_string(plan.steps.size()));
+                              std::to_string(plan->steps.size()));
   // Predicted completion assumes no faults; callers treat it as the ETA
   // and learn the truth from the report.
   SimDuration predicted = 0;
-  for (const ReconfigStep& step : plan.steps) predicted += StepCost(dev, step);
+  for (const ReconfigStep& step : plan->steps) {
+    predicted += StepCost(dev, step);
+  }
 
   auto chain = std::make_shared<ApplyChain>(
       ApplyChain{&dev, sim_, metrics_, injector_, std::move(plan), 0, report,

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,15 @@ class RuntimeEngine {
   // report, mirroring how a real reconfig RPC stream behaves).
   SimTime ApplyRuntime(ManagedDevice& dev, ReconfigPlan plan,
                        DoneFn done = nullptr);
+
+  // Cheap instantiate-from-cached-plan path (fleet rollouts): the caller
+  // keeps one immutable plan per equivalence class and every device's
+  // apply chain holds the same shared object — O(1000) devices, one plan
+  // allocation instead of one deep copy each.  Execution semantics are
+  // identical to ApplyRuntime (which now delegates here).
+  SimTime ApplyShared(ManagedDevice& dev,
+                      std::shared_ptr<const ReconfigPlan> plan,
+                      DoneFn done = nullptr);
 
   // Drain baseline: device offline for the whole reflash window.
   SimTime ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,

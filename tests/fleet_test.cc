@@ -1,0 +1,360 @@
+// Fleet orchestration tests: deterministic wave ordering, equivalence-class
+// plan reuse across rollouts, crashed-agent suffix resume, Raft-gated
+// waves stalling (not half-applying) under a controller partition, and
+// slice-scoped tenant admission riding between waves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/incremental.h"
+#include "compiler/plan_cache.h"
+#include "controller/controller.h"
+#include "controller/fleet.h"
+#include "controller/raft.h"
+#include "controller/tenant.h"
+#include "fault/fault.h"
+#include "fault/invariants.h"
+#include "flexbpf/builder.h"
+#include "net/topology.h"
+
+namespace flexnet::controller {
+namespace {
+
+flexbpf::TableDecl AclTable(const std::string& name) {
+  flexbpf::TableDecl t;
+  t.name = name;
+  t.key = {{"ipv4.src", dataplane::MatchKind::kExact, 32}};
+  t.capacity = 64;
+  dataplane::Action deny = dataplane::MakeDropAction();
+  deny.name = "deny";
+  t.actions.push_back(deny);
+  return t;
+}
+
+flexbpf::ProgramIR AppV1() {
+  flexbpf::ProgramBuilder b("fleetapp");
+  b.AddTable(AclTable("acl"));
+  b.AddMap("stats", 64, {"v"});
+  auto fn = flexbpf::FunctionBuilder("count")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("stats", 0, "v", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+flexbpf::ProgramIR AppV2() {
+  flexbpf::ProgramBuilder b("fleetapp");
+  flexbpf::TableDecl acl = AclTable("acl");
+  acl.entries.push_back({{dataplane::MatchValue::Exact(0xdead0001)}, "deny", 0});
+  b.AddTable(std::move(acl));
+  b.AddTable(AclTable("acl2"));
+  b.AddMap("stats", 64, {"v"});
+  auto fn = flexbpf::FunctionBuilder("count")
+                .FlowKey(0)
+                .Const(1, 2)
+                .MapAdd("stats", 0, "v", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+flexbpf::ProgramIR TenantExtensionProgram() {
+  flexbpf::ProgramBuilder b("ext");
+  b.AddMap("m", 64, {"v"});
+  auto fn = flexbpf::FunctionBuilder("count")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("m", 0, "v", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+std::vector<std::string> ReconfigStepDetails(
+    const telemetry::MetricsRegistry& metrics) {
+  std::vector<std::string> details;
+  for (const telemetry::TraceEvent& event : metrics.trace().Events()) {
+    if (event.kind == "reconfig.step") details.push_back(event.detail);
+  }
+  return details;
+}
+
+// One self-contained world; two of these let us replay the same wave with
+// permuted input and compare the observable apply order.
+struct World {
+  sim::Simulator sim;
+  telemetry::MetricsRegistry metrics;
+  net::Network network{&sim};
+  net::LinearTopology topo;
+  std::unique_ptr<Controller> ctrl;
+
+  World() {
+    topo = net::BuildLinear(network, 3);
+    ctrl = std::make_unique<Controller>(&network, compiler::CompileOptions{},
+                                        &metrics);
+  }
+
+  // Builds a full-fleet wave (deploy-from-empty) with one shared class
+  // plan per arch kind, in the order `ids` lists the devices.
+  std::vector<WavePlanAssignment> BuildWave(const flexbpf::ProgramIR& program,
+                                            bool reversed) {
+    const flexbpf::ProgramIR empty = [&] {
+      flexbpf::ProgramIR e;
+      e.name = program.name;
+      return e;
+    }();
+    std::unordered_map<int, std::shared_ptr<const runtime::ReconfigPlan>>
+        class_plans;
+    std::vector<WavePlanAssignment> wave;
+    for (const auto& device : network.devices()) {
+      const arch::ArchKind kind = device->device().arch();
+      auto& plan = class_plans[static_cast<int>(kind)];
+      if (!plan) {
+        auto computed = compiler::ComputeClassPlan(empty, program, kind);
+        EXPECT_TRUE(computed.ok());
+        plan = std::make_shared<const runtime::ReconfigPlan>(
+            std::move(computed->plan));
+      }
+      wave.push_back({device->id(), plan});
+    }
+    if (reversed) std::reverse(wave.begin(), wave.end());
+    return wave;
+  }
+};
+
+TEST(ApplyPlanWaveTest, OrderIsDeterministicRegardlessOfInputOrder) {
+  World forward;
+  World backward;
+  const flexbpf::ProgramIR program = AppV1();
+
+  auto a = forward.ctrl->ApplyPlanWave(forward.BuildWave(program, false));
+  auto b = backward.ctrl->ApplyPlanWave(backward.BuildWave(program, true));
+  ASSERT_TRUE(a.ok()) << a.error().ToText();
+  ASSERT_TRUE(b.ok()) << b.error().ToText();
+  EXPECT_TRUE(a->failures.empty());
+  EXPECT_TRUE(b->failures.empty());
+
+  // The observable apply sequence (device + step, in trace order) must be
+  // identical in both worlds: sorted by device id within each phase, not
+  // by whatever order the caller assembled the wave in.
+  const auto steps_forward = ReconfigStepDetails(forward.metrics);
+  const auto steps_backward = ReconfigStepDetails(backward.metrics);
+  ASSERT_FALSE(steps_forward.empty());
+  EXPECT_EQ(steps_forward, steps_backward);
+
+  // And the phases hold: every interior (switch) step precedes every edge
+  // (host/NIC) step.
+  const auto is_edge_step = [&](const std::string& detail) {
+    const std::string device_name = detail.substr(0, detail.find(':'));
+    const runtime::ManagedDevice* dev =
+        forward.network.FindByName(device_name);
+    EXPECT_NE(dev, nullptr) << detail;
+    const arch::ArchKind kind = dev->device().arch();
+    return kind == arch::ArchKind::kHost || kind == arch::ArchKind::kNic;
+  };
+  bool seen_edge = false;
+  for (const std::string& detail : steps_forward) {
+    if (is_edge_step(detail)) {
+      seen_edge = true;
+    } else {
+      EXPECT_FALSE(seen_edge) << "interior step after edge step: " << detail;
+    }
+  }
+  EXPECT_TRUE(seen_edge);
+}
+
+TEST(FleetManagerTest, RolloutLifecycleReusesClassPlans) {
+  sim::Simulator sim;
+  telemetry::MetricsRegistry metrics;
+  net::Network network(&sim);
+  net::BuildLeafSpine(network,
+                      {.spines = 1, .leaves = 2, .hosts_per_leaf = 1});
+  Controller ctrl(&network, {}, &metrics);
+  FleetManager fleet(&ctrl, {.wave_size = 2});
+  const std::string uri = "flexnet://fleet/app";
+
+  // 7 devices, 3 equivalence classes (switches, NICs, hosts).
+  auto deploy = fleet.DeployFleetWide(uri, AppV1());
+  ASSERT_TRUE(deploy.ok()) << deploy.error().ToText();
+  EXPECT_EQ(deploy->devices, 7u);
+  EXPECT_EQ(deploy->plans_compiled, 3u);
+  EXPECT_EQ(deploy->plans_reused, 4u);
+  // Interior phase: 3 switches in waves of 2 -> 2 waves; edge phase:
+  // 4 endpoints -> 2 waves.
+  EXPECT_EQ(deploy->waves, 4u);
+  EXPECT_EQ(deploy->wave_stats.size(), 4u);
+  EXPECT_TRUE(deploy->ok());
+  EXPECT_EQ(fleet.generation(uri), 1u);
+  for (const auto& device : network.devices()) {
+    EXPECT_TRUE(device->HasTable("acl")) << device->name();
+  }
+
+  auto update = fleet.UpdateFleetWide(uri, AppV2());
+  ASSERT_TRUE(update.ok()) << update.error().ToText();
+  EXPECT_EQ(update->plans_compiled, 3u);
+  EXPECT_EQ(update->plans_reused, 4u);
+  EXPECT_EQ(fleet.generation(uri), 2u);
+  ASSERT_NE(fleet.FindProgram(uri), nullptr);
+  for (const auto& device : network.devices()) {
+    EXPECT_TRUE(device->HasTable("acl2")) << device->name();
+  }
+
+  fault::InvariantChecker checker(&network);
+  checker.CheckFleetConvergence();
+  EXPECT_TRUE(checker.ok()) << fault::ToText(checker.violations().front());
+
+  EXPECT_EQ(fleet.waves_started(), 8u);
+  EXPECT_EQ(fleet.waves_completed(), 8u);
+  EXPECT_EQ(fleet.waves_stalled(), 0u);
+  const telemetry::Counter* started = metrics.FindCounter("fleet_wave_started");
+  const telemetry::Counter* completed =
+      metrics.FindCounter("fleet_wave_completed");
+  ASSERT_NE(started, nullptr);
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(started->value(), 8u);
+  EXPECT_EQ(completed->value(), 8u);
+
+  auto retire = fleet.RetireFleetWide(uri);
+  ASSERT_TRUE(retire.ok()) << retire.error().ToText();
+  EXPECT_EQ(fleet.FindProgram(uri), nullptr);
+  for (const auto& device : network.devices()) {
+    EXPECT_FALSE(device->HasTable("acl")) << device->name();
+    EXPECT_FALSE(device->HasFunction("count")) << device->name();
+  }
+}
+
+TEST(FleetManagerTest, CrashedReconfigAgentIsResumedFromSuffix) {
+  sim::Simulator sim;
+  telemetry::MetricsRegistry metrics;
+  net::Network network(&sim);
+  net::BuildLinear(network, 4);
+  Controller ctrl(&network, {}, &metrics);
+  fault::FaultInjector injector(
+      {.seed = 1,
+       .rules = {{.point = "runtime.step",
+                  .action = fault::FaultAction::kCrash,
+                  .after = 5,
+                  .count = 1}}},
+      &sim);
+  ctrl.set_fault_injector(&injector);
+  FleetManager fleet(&ctrl, {.wave_size = 3});
+
+  auto deploy = fleet.DeployFleetWide("flexnet://fleet/app", AppV1());
+  ASSERT_TRUE(deploy.ok()) << deploy.error().ToText();
+  EXPECT_GE(injector.injected(), 1u);
+  EXPECT_EQ(deploy->device_failures, 0u);
+  std::size_t retries = 0;
+  for (const WaveStat& stat : deploy->wave_stats) retries += stat.retries;
+  EXPECT_GE(retries, 1u);
+
+  // The crashed device was resumed, not skipped: its class converged.
+  fault::InvariantChecker checker(&network);
+  checker.CheckFleetConvergence();
+  EXPECT_TRUE(checker.ok()) << fault::ToText(checker.violations().front());
+}
+
+TEST(FleetManagerTest, PartitionedControllerStallsWaveThenRecovers) {
+  sim::Simulator sim;
+  telemetry::MetricsRegistry metrics;
+  net::Network network(&sim);
+  net::BuildLinear(network, 4);
+  Controller ctrl(&network, {}, &metrics);
+  fault::FaultInjector injector({}, &sim);
+  RaftCluster raft(&sim, RaftConfig{}, /*seed=*/7);
+  raft.set_fault_injector(&injector);
+  raft.Start();
+  sim.RunUntil(sim.now() + 500 * kMillisecond);
+  ASSERT_GE(raft.leader(), 0);
+
+  FleetManager fleet(&ctrl, {.wave_size = 2,
+                             .raft_commit_timeout = 200 * kMillisecond});
+  fleet.AttachRaft(&raft);
+  // After the first wave commits, cut the leader off from the majority;
+  // heal one second later.  The next wave's commit must stall (and be
+  // counted) rather than the wave half-applying.
+  fleet.config().on_wave_complete = [&](std::size_t wave_index) {
+    if (wave_index != 0) return;
+    const auto leader = static_cast<std::size_t>(raft.leader());
+    std::vector<std::size_t> majority;
+    for (std::size_t n = 0; n < raft.size(); ++n) {
+      if (n != leader) majority.push_back(n);
+    }
+    ArmPartition(injector, {leader}, majority);
+    sim.Schedule(1 * kSecond, [&injector, leader, majority] {
+      HealPartition(injector, {leader}, majority);
+    });
+  };
+
+  auto deploy = fleet.DeployFleetWide("flexnet://fleet/app", AppV1());
+  ASSERT_TRUE(deploy.ok()) << deploy.error().ToText();
+  EXPECT_TRUE(deploy->ok());
+  EXPECT_GE(deploy->stalled_waves, 1u);
+  EXPECT_GE(fleet.waves_stalled(), 1u);
+  const telemetry::Counter* stalled = metrics.FindCounter("fleet_wave_stalled");
+  ASSERT_NE(stalled, nullptr);
+  EXPECT_GE(stalled->value(), 1u);
+
+  // Every wave descriptor committed (in order) once the partition healed.
+  sim.RunUntil(sim.now() + 2 * kSecond);
+  fault::InvariantChecker checker(&network);
+  checker.CheckRaft(raft);
+  checker.CheckFleetConvergence();
+  EXPECT_TRUE(checker.ok()) << fault::ToText(checker.violations().front());
+  std::size_t wave_entries = 0;
+  const int leader_now = raft.leader();
+  ASSERT_GE(leader_now, 0);
+  for (const LogEntry& entry :
+       raft.log(static_cast<std::size_t>(leader_now))) {
+    if (entry.op.rfind("fleet.wave:", 0) == 0) ++wave_entries;
+  }
+  EXPECT_EQ(wave_entries, deploy->waves);
+}
+
+TEST(FleetManagerTest, TenantAdmissionScopedToSlice) {
+  sim::Simulator sim;
+  telemetry::MetricsRegistry metrics;
+  net::Network network(&sim);
+  const auto topo = net::BuildLeafSpine(
+      network, {.spines = 1, .leaves = 2, .hosts_per_leaf = 2});
+  Controller ctrl(&network, {}, &metrics);
+  TenantManager tenants(&ctrl);
+
+  // Admit onto one pod's two hosts only.
+  std::vector<runtime::ManagedDevice*> slice = {
+      network.Find(topo.endpoint(0).host), network.Find(topo.endpoint(1).host)};
+  const auto record =
+      tenants.AdmitTenantOn("acme", TenantExtensionProgram(), slice);
+  ASSERT_TRUE(record.ok()) << record.error().ToText();
+  EXPECT_EQ(record->vlan, 100u);
+
+  // The rewritten extension ("t<vlan>." prefix) was placed somewhere in
+  // the slice and nowhere else (placement distributes elements across
+  // the slice; it must never escape it).
+  bool placed_in_slice = false;
+  for (const auto& device : network.devices()) {
+    const bool in_slice =
+        std::find(slice.begin(), slice.end(), device.get()) != slice.end();
+    if (in_slice) {
+      placed_in_slice |= device->HasFunction("t100.count");
+    } else {
+      EXPECT_FALSE(device->HasFunction("t100.count")) << device->name();
+    }
+  }
+  EXPECT_TRUE(placed_in_slice);
+  ASSERT_TRUE(tenants.RemoveTenant("acme").ok());
+  for (runtime::ManagedDevice* device : slice) {
+    EXPECT_FALSE(device->HasFunction("t100.count"));
+  }
+}
+
+}  // namespace
+}  // namespace flexnet::controller

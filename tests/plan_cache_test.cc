@@ -1,0 +1,267 @@
+// Differential tests for the plan equivalence-class cache: a cached plan
+// applied to a class sibling must be byte-for-byte the plan a fresh
+// compile would produce, and must leave the sibling in the identical
+// device state — across every device architecture.  A device whose state
+// diverged out-of-band must stop matching its class key (structural
+// invalidation) instead of receiving a stale plan.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/endpoint.h"
+#include "compiler/incremental.h"
+#include "compiler/plan_cache.h"
+#include "flexbpf/builder.h"
+#include "net/topology.h"
+#include "runtime/engine.h"
+
+namespace flexnet::compiler {
+namespace {
+
+flexbpf::TableDecl SmallTable(const std::string& name) {
+  flexbpf::TableDecl t;
+  t.name = name;
+  t.key = {{"ipv4.src", dataplane::MatchKind::kExact, 32}};
+  t.capacity = 64;
+  dataplane::Action deny = dataplane::MakeDropAction();
+  deny.name = "deny";
+  t.actions.push_back(deny);
+  return t;
+}
+
+flexbpf::ProgramIR V1() {
+  flexbpf::ProgramBuilder b("app");
+  b.AddTable(SmallTable("t0"));
+  b.AddMap("m0", 64, {"v"});
+  auto fn = flexbpf::FunctionBuilder("f0")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("m0", 0, "v", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+// v2: seeds entries into t0, adds t1, rewrites f0 — structural + entry
+// deltas in one plan.
+flexbpf::ProgramIR V2() {
+  flexbpf::ProgramBuilder b("app");
+  flexbpf::TableDecl t0 = SmallTable("t0");
+  t0.entries.push_back({{dataplane::MatchValue::Exact(0xbad00001)}, "deny", 0});
+  b.AddTable(std::move(t0));
+  b.AddTable(SmallTable("t1"));
+  b.AddMap("m0", 64, {"v"});
+  auto fn = flexbpf::FunctionBuilder("f0")
+                .FlowKey(0)
+                .Const(1, 2)
+                .MapAdd("m0", 0, "v", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  return b.Build();
+}
+
+flexbpf::ProgramIR EmptyLike(const flexbpf::ProgramIR& p) {
+  flexbpf::ProgramIR empty;
+  empty.name = p.name;
+  return empty;
+}
+
+std::vector<std::string> StepTexts(const runtime::ReconfigPlan& plan) {
+  std::vector<std::string> texts;
+  texts.reserve(plan.steps.size());
+  for (const runtime::ReconfigStep& step : plan.steps) {
+    texts.push_back(runtime::ToText(step));
+  }
+  return texts;
+}
+
+constexpr arch::ArchKind kAllKinds[] = {
+    arch::ArchKind::kRmt, arch::ArchKind::kDrmt, arch::ArchKind::kTile,
+    arch::ArchKind::kNic, arch::ArchKind::kHost};
+
+// Two fresh devices of the requested kind — a class representative and a
+// sibling the cached plan is rehydrated onto.
+struct DevicePair {
+  runtime::ManagedDevice* a;
+  runtime::ManagedDevice* b;
+};
+
+DevicePair AddPair(net::Network& network, arch::ArchKind kind,
+                   std::uint64_t base_id) {
+  const auto make = [&](std::uint64_t id,
+                        const std::string& name) -> runtime::ManagedDevice* {
+    switch (kind) {
+      case arch::ArchKind::kRmt:
+        return network.AddDevice(
+            net::MakeSwitch(net::SwitchKind::kRmt, DeviceId(id), name));
+      case arch::ArchKind::kDrmt:
+        return network.AddDevice(
+            net::MakeSwitch(net::SwitchKind::kDrmt, DeviceId(id), name));
+      case arch::ArchKind::kTile:
+        return network.AddDevice(
+            net::MakeSwitch(net::SwitchKind::kTile, DeviceId(id), name));
+      case arch::ArchKind::kNic:
+        return network.AddDevice(
+            std::make_unique<arch::NicDevice>(DeviceId(id), name));
+      case arch::ArchKind::kHost:
+        return network.AddDevice(
+            std::make_unique<arch::HostDevice>(DeviceId(id), name));
+    }
+    return nullptr;
+  };
+  return {make(base_id, "dev-a-" + std::to_string(base_id)),
+          make(base_id + 1, "dev-b-" + std::to_string(base_id))};
+}
+
+void ApplyAndDrain(sim::Simulator& sim, runtime::RuntimeEngine& engine,
+                   runtime::ManagedDevice& dev,
+                   std::shared_ptr<const runtime::ReconfigPlan> plan) {
+  engine.ApplyShared(dev, std::move(plan));
+  sim.Run();
+}
+
+TEST(PlanCacheDifferential, CachedEqualsFreshAcrossAllArchKinds) {
+  sim::Simulator sim;
+  net::Network network(&sim);
+  runtime::RuntimeEngine engine(&sim);
+  const flexbpf::ProgramIR v1 = V1();
+  const flexbpf::ProgramIR v2 = V2();
+  const flexbpf::ProgramIR empty = EmptyLike(v1);
+
+  std::uint64_t next_id = 1000;
+  for (const arch::ArchKind kind : kAllKinds) {
+    SCOPED_TRACE(arch::ToString(kind));
+    const DevicePair pair = AddPair(network, kind, next_id);
+    next_id += 2;
+    PlanCache cache;
+
+    // Deploy (update-from-empty), then update v1 -> v2.  Each round: the
+    // representative misses and compiles; the sibling must hit, receive a
+    // byte-for-byte identical plan, and land in the identical state.
+    struct Round {
+      const flexbpf::ProgramIR* before;
+      const flexbpf::ProgramIR* after;
+    };
+    for (const Round& round : {Round{&empty, &v1}, Round{&v1, &v2}}) {
+      const PlanKey key_a = MakePlanKey(*round.before, *round.after, *pair.a);
+      ASSERT_EQ(cache.Find(key_a), nullptr);
+      auto fresh = ComputeClassPlan(*round.before, *round.after, kind);
+      ASSERT_TRUE(fresh.ok()) << fresh.error().ToText();
+      const auto cached = cache.Insert(key_a, std::move(fresh->plan));
+      ApplyAndDrain(sim, engine, *pair.a, cached);
+
+      // The sibling is in the representative's pre-apply state, so it
+      // must produce the same key and hit the cache.
+      const PlanKey key_b = MakePlanKey(*round.before, *round.after, *pair.b);
+      EXPECT_EQ(key_a, key_b);
+      const auto hit = cache.Find(key_b);
+      ASSERT_NE(hit, nullptr);
+      // Byte-for-byte: the cached plan's step text equals what a fresh
+      // compile produces right now.
+      auto refresh = ComputeClassPlan(*round.before, *round.after, kind);
+      ASSERT_TRUE(refresh.ok());
+      EXPECT_EQ(StepTexts(*hit), StepTexts(refresh->plan));
+      ApplyAndDrain(sim, engine, *pair.b, hit);
+
+      EXPECT_EQ(FingerprintDevice(*pair.a), FingerprintDevice(*pair.b));
+    }
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_TRUE(pair.b->HasTable("t0"));
+    EXPECT_TRUE(pair.b->HasTable("t1"));
+    EXPECT_TRUE(pair.b->HasFunction("f0"));
+  }
+}
+
+TEST(PlanCacheDifferential, DivergedDeviceStopsMatchingItsClass) {
+  sim::Simulator sim;
+  net::Network network(&sim);
+  runtime::RuntimeEngine engine(&sim);
+  const flexbpf::ProgramIR v1 = V1();
+  const flexbpf::ProgramIR v2 = V2();
+  const flexbpf::ProgramIR empty = EmptyLike(v1);
+  const DevicePair pair = AddPair(network, arch::ArchKind::kDrmt, 2000);
+
+  PlanCache cache;
+  auto deploy = ComputeClassPlan(empty, v1, arch::ArchKind::kDrmt);
+  ASSERT_TRUE(deploy.ok());
+  const auto plan = cache.Insert(MakePlanKey(empty, v1, *pair.a),
+                                 std::move(deploy->plan));
+  ApplyAndDrain(sim, engine, *pair.a, plan);
+  ApplyAndDrain(sim, engine, *pair.b, plan);
+  ASSERT_EQ(FingerprintDevice(*pair.a), FingerprintDevice(*pair.b));
+
+  // Both devices key identically for the v1 -> v2 update...
+  auto update = ComputeClassPlan(v1, v2, arch::ArchKind::kDrmt);
+  ASSERT_TRUE(update.ok());
+  cache.Insert(MakePlanKey(v1, v2, *pair.a), std::move(update->plan));
+  ASSERT_NE(cache.Find(MakePlanKey(v1, v2, *pair.b)), nullptr);
+
+  // ...until an operator pokes device B behind the controller's back.
+  // The fingerprint is read from the live device, so B stops matching —
+  // a cache miss, never a stale plan.
+  ASSERT_TRUE(pair.b->ApplyStep(runtime::StepRemoveTable{"t0"}).ok());
+  EXPECT_NE(FingerprintDevice(*pair.a), FingerprintDevice(*pair.b));
+  EXPECT_EQ(cache.Find(MakePlanKey(v1, v2, *pair.b)), nullptr);
+}
+
+TEST(PlanCacheTest, KeysAreDeviceFreeWithinAClass) {
+  sim::Simulator sim;
+  net::Network network(&sim);
+  const flexbpf::ProgramIR v1 = V1();
+  const flexbpf::ProgramIR empty = EmptyLike(v1);
+  const DevicePair pair = AddPair(network, arch::ArchKind::kRmt, 3000);
+  // Different device ids and names, same class: identical keys.
+  EXPECT_EQ(MakePlanKey(empty, v1, *pair.a), MakePlanKey(empty, v1, *pair.b));
+  // Same diff on a different arch: different key.
+  net::Network other(&sim);
+  const DevicePair tile = AddPair(other, arch::ArchKind::kTile, 3100);
+  EXPECT_FALSE(MakePlanKey(empty, v1, *pair.a) ==
+               MakePlanKey(empty, v1, *tile.a));
+}
+
+TEST(PlanCacheTest, CountersAndMetricsExport) {
+  sim::Simulator sim;
+  net::Network network(&sim);
+  const flexbpf::ProgramIR v1 = V1();
+  const flexbpf::ProgramIR empty = EmptyLike(v1);
+  const DevicePair pair = AddPair(network, arch::ArchKind::kHost, 4000);
+
+  PlanCache cache;
+  const PlanKey key = MakePlanKey(empty, v1, *pair.a);
+  EXPECT_EQ(cache.Find(key), nullptr);
+  auto computed = ComputeClassPlan(empty, v1, arch::ArchKind::kHost);
+  ASSERT_TRUE(computed.ok());
+  cache.Insert(key, std::move(computed->plan));
+  EXPECT_NE(cache.Find(key), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+
+  telemetry::MetricsRegistry registry;
+  cache.PublishMetrics(registry);
+  const telemetry::Counter* hits =
+      registry.FindCounter("controller_plan_cache_hits");
+  const telemetry::Counter* misses =
+      registry.FindCounter("controller_plan_cache_misses");
+  const telemetry::Counter* entries =
+      registry.FindCounter("controller_plan_cache_entries");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(hits->value(), 1u);
+  EXPECT_EQ(misses->value(), 1u);
+  EXPECT_EQ(entries->value(), 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.Find(key), nullptr);
+}
+
+}  // namespace
+}  // namespace flexnet::compiler
