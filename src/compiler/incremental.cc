@@ -14,7 +14,8 @@ std::size_t ProgramDelta::StructuralChangeCount() const noexcept {
   return tables_added.size() + tables_removed.size() +
          tables_restructured.size() + functions_added.size() +
          functions_removed.size() + functions_changed.size() +
-         maps_added.size() + maps_removed.size() + headers_added.size();
+         maps_added.size() + maps_removed.size() + headers_added.size() +
+         headers_removed.size();
 }
 
 std::size_t ProgramDelta::EntryChangeCount() const noexcept {
@@ -88,12 +89,25 @@ ProgramDelta DiffPrograms(const flexbpf::ProgramIR& before,
       delta.maps_removed.push_back(old_map.name);
     }
   }
-  // Headers: additions only (removals are rare and unsafe while tables
-  // still match on the header; the composer handles retirement).
+  // Headers.  A requirement that changed (same header, new chaining) is a
+  // remove + add: removals land before additions in every plan, so the
+  // state is rewired, not duplicated.
   for (const flexbpf::HeaderRequirement& req : after.headers) {
     if (std::find(before.headers.begin(), before.headers.end(), req) ==
         before.headers.end()) {
       delta.headers_added.push_back(req);
+    }
+  }
+  for (const flexbpf::HeaderRequirement& req : before.headers) {
+    // Exact-requirement match: a header whose chaining changed is removed
+    // here and re-added above.
+    if (std::find(after.headers.begin(), after.headers.end(), req) !=
+        after.headers.end()) {
+      continue;
+    }
+    if (std::find(delta.headers_removed.begin(), delta.headers_removed.end(),
+                  req.header) == delta.headers_removed.end()) {
+      delta.headers_removed.push_back(req.header);
     }
   }
   return delta;
@@ -148,6 +162,14 @@ Result<ClassPlanResult> ComputeClassPlan(const flexbpf::ProgramIR& before,
   }
   for (const std::string& name : delta.maps_removed) {
     plan.steps.push_back(runtime::StepRemoveMap{name});
+    ++result.structural_ops;
+  }
+  // Parser states last among removals: the tables matching on these
+  // headers are removed above, so no table is left matching an
+  // unparseable header.  Without this, retire (update-to-empty) would
+  // leave the app's parser states installed on every device.
+  for (const std::string& header : delta.headers_removed) {
+    plan.steps.push_back(runtime::StepRemoveParserState{header});
     ++result.structural_ops;
   }
 

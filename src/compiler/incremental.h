@@ -40,6 +40,12 @@ struct ProgramDelta {
   std::vector<flexbpf::MapDecl> maps_added;
   std::vector<std::string> maps_removed;
   std::vector<flexbpf::HeaderRequirement> headers_added;
+  // Header names no longer required by any requirement in `after`.  The
+  // full-copy class-plan path retires their parser states (the tables
+  // matching on them are removed in the same plan, removals first); the
+  // sliced Recompile path leaves retirement to the composer, which sees
+  // every co-hosted app.
+  std::vector<std::string> headers_removed;
 
   bool Empty() const noexcept;
   std::size_t StructuralChangeCount() const noexcept;

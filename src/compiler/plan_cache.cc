@@ -99,6 +99,28 @@ std::uint64_t FingerprintDevice(const runtime::ManagedDevice& device) {
     }
   }
 
+  // Parse graph, name-sorted (unordered_map order is an install
+  // artifact).  Without this, parser-state residue (e.g. a retire that
+  // failed to remove a header's state) would be invisible to the class
+  // key and the fleet-convergence invariant.
+  const dataplane::ParseGraph& parser = pipeline.parser();
+  state = MixBytes(state, "start");
+  state = MixBytes(state, parser.start());
+  std::vector<std::string> state_names = parser.StateNames();
+  std::sort(state_names.begin(), state_names.end());
+  for (const std::string& name : state_names) {
+    const dataplane::ParseState* ps = parser.FindState(name);
+    if (ps == nullptr) continue;
+    state = MixBytes(state, "parse");
+    state = MixBytes(state, ps->name);
+    state = MixBytes(state, ps->select_field);
+    for (const dataplane::ParseTransition& t : ps->transitions) {
+      state = MixU64(state, t.select_value);
+      state = MixBytes(state, t.next_state);
+      state = MixU64(state, t.is_default ? 1 : 0);
+    }
+  }
+
   // Installed FlexBPF functions, canonical text form.
   for (const flexbpf::FunctionDecl& fn : device.functions()) {
     state = MixBytes(state, "fn");
@@ -143,32 +165,48 @@ PlanKey MakePlanKey(const flexbpf::ProgramIR& before,
 
 std::shared_ptr<const runtime::ReconfigPlan> PlanCache::Find(
     const PlanKey& key) {
-  const auto it = plans_.find(key);
-  if (it == plans_.end()) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
 }
 
 std::shared_ptr<const runtime::ReconfigPlan> PlanCache::Insert(
     const PlanKey& key, runtime::ReconfigPlan plan) {
   auto shared = std::make_shared<const runtime::ReconfigPlan>(std::move(plan));
-  plans_[key] = shared;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = shared;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return shared;
+  }
+  lru_.emplace_front(key, shared);
+  index_.emplace(key, lru_.begin());
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
   return shared;
 }
 
 void PlanCache::Clear() {
-  plans_.clear();
+  lru_.clear();
+  index_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 void PlanCache::PublishMetrics(telemetry::MetricsRegistry& registry) const {
   registry.Count("controller_plan_cache_hits", hits_);
   registry.Count("controller_plan_cache_misses", misses_);
-  registry.Count("controller_plan_cache_entries", plans_.size());
+  registry.Count("controller_plan_cache_entries", index_.size());
+  registry.Count("controller_plan_cache_evictions", evictions_);
   registry.Set("controller_plan_cache_hit_rate", HitRate());
 }
 

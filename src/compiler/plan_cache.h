@@ -34,10 +34,12 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "flexbpf/ir.h"
 #include "runtime/managed_device.h"
@@ -59,7 +61,8 @@ std::uint64_t FingerprintProgram(const flexbpf::ProgramIR& program);
 std::uint64_t FingerprintPlacement(const flexbpf::ProgramIR& program);
 
 // Hosted-state fingerprint read from the live device: arch kind, pipeline
-// tables in execution order (key specs, capacity, live entries), installed
+// tables in execution order (key specs, capacity, live entries), the
+// parse graph (name-sorted states with their transitions), installed
 // FlexBPF functions, and the encoded map set.  Program-version counters
 // are deliberately excluded: the class is defined by *what* the device
 // hosts, not how many steps it took to get there.
@@ -89,19 +92,35 @@ PlanKey MakePlanKey(const flexbpf::ProgramIR& before,
 // Class-keyed store of immutable reconfiguration plans.  Plans are held by
 // shared_ptr<const>: a thousand devices applying the same class plan share
 // one object (RuntimeEngine::ApplyShared) instead of a thousand copies.
+//
+// The cache is bounded: keys embed the live device-state fingerprint, so
+// a long-lived controller with ongoing rollouts and device churn mints
+// new keys forever (every divergent device is its own class).  Entries
+// are evicted least-recently-used once `capacity` is exceeded; handed-out
+// shared_ptrs stay valid across eviction.  An eviction costs at most one
+// redundant ComputeClassPlan, never correctness.
 class PlanCache {
  public:
-  // Cache lookup; counts a hit or miss.  nullptr on miss.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Cache lookup; counts a hit or miss and refreshes the entry's LRU
+  // position on a hit.  nullptr on miss.
   std::shared_ptr<const runtime::ReconfigPlan> Find(const PlanKey& key);
 
   // Stores the freshly computed plan for `key`, returning the shared
   // handle callers apply from.  Re-inserting an existing key replaces it.
+  // Evicts the least-recently-used entry when over capacity.
   std::shared_ptr<const runtime::ReconfigPlan> Insert(
       const PlanKey& key, runtime::ReconfigPlan plan);
 
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
-  std::size_t entries() const noexcept { return plans_.size(); }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::size_t entries() const noexcept { return index_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
   double HitRate() const noexcept {
     const std::uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
@@ -109,15 +128,19 @@ class PlanCache {
 
   void Clear();
 
-  // controller_plan_cache_{hits,misses,entries} (EXPERIMENTS E19).
+  // controller_plan_cache_{hits,misses,entries,evictions} (EXPERIMENTS E19).
   void PublishMetrics(telemetry::MetricsRegistry& registry) const;
 
  private:
-  std::unordered_map<PlanKey, std::shared_ptr<const runtime::ReconfigPlan>,
-                     PlanKeyHash>
-      plans_;
+  using Entry =
+      std::pair<PlanKey, std::shared_ptr<const runtime::ReconfigPlan>>;
+  // Most-recently-used at the front; index_ points into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_;
+  std::size_t capacity_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace flexnet::compiler

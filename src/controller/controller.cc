@@ -78,12 +78,20 @@ Result<WaveApplyOutcome> Controller::ApplyPlanWave(
   sim::Simulator* sim = network_->simulator();
   // Shared across the wave's done-callbacks; heap-allocated because edge
   // applies fire inside RunUntil after this frame could have returned on
-  // an error path.
-  auto failures = std::make_shared<
-      std::vector<std::pair<DeviceId, runtime::ApplyReport>>>();
-  const auto on_done_for = [failures](DeviceId id) {
-    return [failures, id](const runtime::ApplyReport& report) {
-      if (!report.ok()) failures->emplace_back(id, report);
+  // an error path.  `outstanding` counts apply chains whose done-callback
+  // has not fired yet: stall/delay faults push a chain past the fault-free
+  // ETA, and the wave must not be declared finished (nor its failures
+  // harvested) while any chain is still running.
+  struct WaveState {
+    std::vector<std::pair<DeviceId, runtime::ApplyReport>> failures;
+    std::size_t outstanding = 0;
+  };
+  auto state = std::make_shared<WaveState>();
+  state->outstanding = interior.size() + edge.size();
+  const auto on_done_for = [state](DeviceId id) {
+    return [state, id](const runtime::ApplyReport& report) {
+      if (!report.ok()) state->failures.emplace_back(id, report);
+      --state->outstanding;
     };
   };
   SimTime interior_done = sim->now();
@@ -110,8 +118,13 @@ Result<WaveApplyOutcome> Controller::ApplyPlanWave(
     all_done = std::max(all_done, done_at);
   }
   sim->RunUntil(all_done);
-  outcome.finished = all_done;
-  outcome.failures = std::move(*failures);
+  // `all_done` is the fault-free estimate; injected stalls delay chains
+  // past it.  Keep stepping until every done-callback has fired so late
+  // failures land in the outcome instead of being silently lost.
+  while (state->outstanding > 0 && sim->Step()) {
+  }
+  outcome.finished = std::max(all_done, sim->now());
+  outcome.failures = std::move(state->failures);
   return outcome;
 }
 

@@ -59,8 +59,8 @@ struct WavePlanAssignment {
 struct WaveApplyOutcome {
   SimTime finished = 0;
   // Per-device reports for plans that did not fully apply (crashed or
-  // failed steps).  steps_applied tells the fleet layer which suffix to
-  // re-apply on retry.
+  // failed steps).  ApplyReport::ResumePoint() tells the fleet layer
+  // which suffix to re-apply on retry.
   std::vector<std::pair<DeviceId, runtime::ApplyReport>> failures;
 };
 

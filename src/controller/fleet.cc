@@ -69,22 +69,43 @@ Status FleetManager::CommitWaveThroughRaft(const std::string& op,
                                            RolloutReport& report) {
   sim::Simulator* sim = controller_->network()->simulator();
   telemetry::MetricsRegistry* metrics = controller_->metrics();
-  for (std::size_t attempt = 0; attempt <= config_.raft_retry_limit;
-       ++attempt) {
+  // RaftCluster holds each Propose callback in its pending list until the
+  // entry commits at a leader — potentially long after this attempt's
+  // deadline has passed (a partition heals, a later attempt's RunUntil
+  // steps the simulator).  The callback therefore captures heap state by
+  // shared_ptr, never stack locals, and every attempt's state is kept so
+  // a *stale* proposal that commits late still counts: the wave record is
+  // in the log, which is all the gate requires.  (A late commit racing a
+  // re-propose can duplicate the descriptor in the log; descriptors are
+  // idempotent markers keyed by uri/generation/wave, so replicas ignore
+  // the duplicate.)
+  struct ProposeState {
     bool responded = false;
     bool committed = false;
-    const bool proposed = raft_->Propose(op, [&](bool ok, std::uint64_t) {
-      responded = true;
-      committed = ok;
+  };
+  std::vector<std::shared_ptr<ProposeState>> attempts;
+  const auto any_committed = [&attempts]() {
+    for (const auto& a : attempts) {
+      if (a->responded && a->committed) return true;
+    }
+    return false;
+  };
+  for (std::size_t attempt = 0; attempt <= config_.raft_retry_limit;
+       ++attempt) {
+    auto state = std::make_shared<ProposeState>();
+    attempts.push_back(state);
+    const bool proposed = raft_->Propose(op, [state](bool ok, std::uint64_t) {
+      state->responded = true;
+      state->committed = ok;
     });
     if (proposed) {
       // Drive the cluster until the commit callback fires or the deadline
       // passes.  Heartbeats keep the event queue non-empty while any node
       // is alive, so a lost entry ends at the deadline, not in a dry run.
       const SimTime deadline = sim->now() + config_.raft_commit_timeout;
-      while (!responded && sim->now() < deadline && sim->Step()) {
+      while (!state->responded && sim->now() < deadline && sim->Step()) {
       }
-      if (responded && committed) return OkStatus();
+      if (any_committed()) return OkStatus();
     }
     // No leader, a lost entry, or a commit timeout: the wave is stalled.
     // Never touch a device without a committed wave record — a partitioned
@@ -98,6 +119,9 @@ Status FleetManager::CommitWaveThroughRaft(const std::string& op,
     metrics->trace().Record(sim->now(), "fleet.wave_stall", op);
     // Give elections (and healing partitions) a window before re-proposing.
     sim->RunUntil(sim->now() + config_.raft_commit_timeout);
+    // An earlier proposal may have committed while the simulator ran the
+    // backoff window — the wave record is in the log; no re-propose.
+    if (any_committed()) return OkStatus();
   }
   return Unavailable("wave never committed through raft: " + op);
 }
@@ -199,13 +223,16 @@ Result<RolloutReport> FleetManager::Rollout(const std::string& uri,
       FLEXNET_ASSIGN_OR_RETURN(WaveApplyOutcome outcome,
                                controller_->ApplyPlanWave(std::move(assignments)));
 
-      // Crash recovery: a failed device re-applies only the unapplied
-      // suffix (steps are atomic — steps_applied is exactly the resume
-      // point), retried until it converges or its budget runs out.
+      // Crash recovery: a failed device re-applies from the first step
+      // whose effects are not on the device.  ApplyReport::ResumePoint()
+      // is the first *failed* step, not the applied-step count — a
+      // semantic failure (capacity exhaustion) does not stop the chain,
+      // so later steps may have applied and the count is not a prefix.
+      // Retried until it converges or its budget runs out.
       std::unordered_map<DeviceId, std::pair<std::size_t, std::size_t>>
-          pending;  // device -> {steps already applied, attempts}
+          pending;  // device -> {resume step index, attempts}
       for (const auto& [id, rep] : outcome.failures) {
-        pending.emplace(id, std::make_pair(rep.steps_applied, std::size_t{0}));
+        pending.emplace(id, std::make_pair(rep.ResumePoint(), std::size_t{0}));
       }
       while (!pending.empty()) {
         std::vector<WavePlanAssignment> retry_wave;
@@ -243,7 +270,7 @@ Result<RolloutReport> FleetManager::Rollout(const std::string& uri,
             controller_->ApplyPlanWave(std::move(retry_wave)));
         std::unordered_map<DeviceId, std::size_t> failed_again;
         for (const auto& [id, rep] : retry_outcome.failures) {
-          failed_again.emplace(id, rep.steps_applied);
+          failed_again.emplace(id, rep.ResumePoint());
         }
         for (auto it = pending.begin(); it != pending.end();) {
           const auto f = failed_again.find(it->first);

@@ -20,8 +20,9 @@
 //     leaderless controller stalls the wave (counted, traced, retried)
 //     instead of half-applying it;
 //   * per-device apply failures (crashed reconfig agents) are retried by
-//     re-applying only the unapplied suffix, using ApplyReport's
-//     steps_applied — steps are atomic, so a crash leaves no torn state.
+//     re-applying the suffix from ApplyReport::ResumePoint() (the first
+//     step that did not land) — steps are atomic, so a crash leaves no
+//     torn state.
 //
 // docs/FLEET.md documents the wave protocol and cache invalidation rules;
 // bench/bench_fleet.cc (experiment E19) measures wave completion time,
@@ -52,6 +53,11 @@ struct FleetConfig {
   // Stalled waves re-propose up to this many times before the rollout
   // gives up (partitions are expected to heal within the retry window).
   std::size_t raft_retry_limit = 8;
+  // Plan-cache entry bound (LRU).  Keys embed the live device-state
+  // fingerprint, so device churn mints new keys forever on a long-lived
+  // controller; the bound keeps memory flat.  Rollout working sets are
+  // one entry per (equivalence class, wave kind) — tiny next to this.
+  std::size_t plan_cache_capacity = 4096;
   // Invoked after each wave completes (chaos scheduling, tenant churn
   // between waves).  The wave index is 0-based across both phases.
   std::function<void(std::size_t wave_index)> on_wave_complete;
@@ -92,7 +98,9 @@ struct RolloutReport {
 class FleetManager {
  public:
   explicit FleetManager(Controller* controller, FleetConfig config = {})
-      : controller_(controller), config_(std::move(config)) {}
+      : controller_(controller),
+        config_(std::move(config)),
+        cache_(config_.plan_cache_capacity) {}
 
   // Routes every wave through consensus: the wave descriptor is proposed
   // and must commit before the wave's devices are touched.  Null detaches

@@ -46,6 +46,12 @@ bool ParseGraph::HasState(const std::string& name) const noexcept {
   return states_.contains(name);
 }
 
+const ParseState* ParseGraph::FindState(
+    const std::string& name) const noexcept {
+  const auto it = states_.find(name);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
 Status ParseGraph::SetStart(std::string state_name) {
   if (!states_.contains(state_name)) {
     return NotFound("parse state '" + state_name + "'");
@@ -85,6 +91,23 @@ Status ParseGraph::RemoveTransition(const std::string& from,
     }
   }
   return NotFound("transition on value " + std::to_string(value));
+}
+
+std::size_t ParseGraph::RemoveTransitionsTo(const std::string& state) {
+  std::size_t removed = 0;
+  for (auto& [name, ps] : states_) {
+    auto& ts = ps.transitions;
+    for (auto t = ts.begin(); t != ts.end();) {
+      if (t->next_state == state) {
+        t = ts.erase(t);
+        ++removed;
+      } else {
+        ++t;
+      }
+    }
+  }
+  if (removed > 0) Bump();
+  return removed;
 }
 
 ParseResult ParseGraph::Parse(

@@ -57,6 +57,16 @@ class ParseGraph {
   Status AddTransition(const std::string& from, std::uint64_t value,
                        const std::string& to);
   Status RemoveTransition(const std::string& from, std::uint64_t value);
+  // Erases every transition pointing at `state` (returns how many).  The
+  // runtime uses this before RemoveState so retiring a header leaves no
+  // dangling accept-edges behind — a retired device must be structurally
+  // identical to one that never hosted the header.
+  std::size_t RemoveTransitionsTo(const std::string& state);
+
+  // Read-only view of one state (nullptr when absent) and of the start
+  // state — the device-state fingerprint hashes the graph through these.
+  const ParseState* FindState(const std::string& name) const noexcept;
+  const std::string& start() const noexcept { return start_; }
 
   // --- Execution ---
   // Walks the graph against the packet's header stack.  Headers not visited

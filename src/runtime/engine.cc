@@ -84,6 +84,7 @@ struct ApplyChain {
       ++report->steps_applied;
       metrics->Count("runtime.steps_applied");
     } else {
+      if (report->steps_failed == 0) report->first_failed_step = next;
       ++report->steps_failed;
       metrics->Count("runtime.steps_failed");
       metrics->tracer().Annotate(step_span, "error", status.error().ToText());
@@ -102,6 +103,7 @@ struct ApplyChain {
                                 std::to_string(next));
     metrics->tracer().Annotate(plan_span, "crash_at_step",
                                std::to_string(next));
+    if (report->steps_failed == 0) report->first_failed_step = next;
     for (std::size_t i = next; i < plan->steps.size(); ++i) {
       ++report->steps_failed;
       metrics->Count("runtime.steps_failed");
@@ -188,12 +190,14 @@ SimTime RuntimeEngine::ApplyDrain(ManagedDevice& dev, ReconfigPlan plan,
   sim_->ScheduleAt(finish, [device, plan = std::move(plan), report, done,
                             finish, metrics, drain_span]() {
     device->Fence();  // reflash lands as one atomic image swap
-    for (const ReconfigStep& step : plan.steps) {
+    for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+      const ReconfigStep& step = plan.steps[i];
       const Status status = device->ApplyStep(step);
       if (status.ok()) {
         ++report->steps_applied;
         metrics->Count("runtime.steps_applied");
       } else {
+        if (report->steps_failed == 0) report->first_failed_step = i;
         ++report->steps_failed;
         metrics->Count("runtime.steps_failed");
         report->errors.push_back(ToText(step) + ": " + status.error().ToText());

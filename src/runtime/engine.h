@@ -33,9 +33,20 @@ struct ApplyReport {
   SimTime finished = 0;
   std::size_t steps_applied = 0;
   std::size_t steps_failed = 0;
+  // Index of the first step that did not apply (SIZE_MAX when all ok).
+  // A crash fails the whole suffix, but a *semantic* failure (e.g.
+  // capacity exhaustion) does not stop the chain — later steps may have
+  // applied, so steps_applied alone is a count, not a resume prefix.
+  std::size_t first_failed_step = SIZE_MAX;
   std::vector<std::string> errors;
   SimDuration duration() const noexcept { return finished - started; }
   bool ok() const noexcept { return steps_failed == 0; }
+  // Where a retry of the same plan must start: the first step whose
+  // effects are not on the device.  Every step before it applied; the
+  // step itself (and possibly later ones) did not.
+  std::size_t ResumePoint() const noexcept {
+    return ok() ? steps_applied : first_failed_step;
+  }
 };
 
 class RuntimeEngine {

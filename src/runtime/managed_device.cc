@@ -172,7 +172,12 @@ Status ManagedDevice::ApplyStep(const ReconfigStep& step) {
       if (!status.ok()) (void)parser.RemoveState(s->state.name);
     }
   } else if (const auto* s = std::get_if<StepRemoveParserState>(&step)) {
-    status = device_->pipeline().parser().RemoveState(s->name);
+    // Unwire inbound edges first: RemoveState alone leaves the chaining
+    // transition behind (as a dangling accept), which a retired device's
+    // state fingerprint would see as residue.
+    dataplane::ParseGraph& parser = device_->pipeline().parser();
+    parser.RemoveTransitionsTo(s->name);
+    status = parser.RemoveState(s->name);
   } else if (const auto* s = std::get_if<StepAddEntry>(&step)) {
     dataplane::MatchActionTable* table =
         device_->pipeline().FindTable(s->table);

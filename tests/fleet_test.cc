@@ -262,6 +262,81 @@ TEST(FleetManagerTest, CrashedReconfigAgentIsResumedFromSuffix) {
   EXPECT_TRUE(checker.ok()) << fault::ToText(checker.violations().front());
 }
 
+TEST(ApplyPlanWaveTest, LateFailurePastFaultFreeEtaIsNotLost) {
+  sim::Simulator sim;
+  telemetry::MetricsRegistry metrics;
+  net::Network network(&sim);
+  net::BuildLinear(network, 3);
+  Controller ctrl(&network, {}, &metrics);
+  // The device's only step both *stalls* (lands 5s after the fault-free
+  // ETA) and fails semantically.  The wave must keep the simulator
+  // running until the late done-callback fires: returning at the ETA
+  // would silently drop the failure.
+  fault::FaultInjector injector(
+      {.seed = 1,
+       .rules = {{.point = "runtime.step",
+                  .action = fault::FaultAction::kStall,
+                  .after = 0,
+                  .count = 1,
+                  .delay = 5 * kSecond}}},
+      &sim);
+  ctrl.set_fault_injector(&injector);
+
+  runtime::ReconfigPlan plan;
+  plan.description = "late failing step";
+  plan.steps.push_back(runtime::StepRemoveTable{"ghost"});  // always fails
+  std::vector<WavePlanAssignment> wave;
+  wave.push_back(WavePlanAssignment{
+      network.devices().front()->id(),
+      std::make_shared<const runtime::ReconfigPlan>(std::move(plan))});
+
+  auto outcome = ctrl.ApplyPlanWave(std::move(wave));
+  ASSERT_TRUE(outcome.ok()) << outcome.error().ToText();
+  ASSERT_EQ(outcome->failures.size(), 1u);
+  EXPECT_EQ(outcome->failures[0].second.ResumePoint(), 0u);
+  EXPECT_GE(outcome->finished, 5 * kSecond);
+}
+
+TEST(FleetManagerTest, StalledThenCrashedChainIsStillRetriedToConvergence) {
+  sim::Simulator sim;
+  telemetry::MetricsRegistry metrics;
+  net::Network network(&sim);
+  net::BuildLinear(network, 4);
+  Controller ctrl(&network, {}, &metrics);
+  // First device's step 0 stalls 10s (its chain now outlives every
+  // fault-free wave estimate), then its step 1 crashes the agent — so the
+  // failure report arrives long after the wave "should" have finished.
+  // The rollout must still observe it, retry the suffix, and converge.
+  fault::FaultInjector injector(
+      {.seed = 1,
+       .rules = {{.point = "runtime.step",
+                  .action = fault::FaultAction::kStall,
+                  .after = 0,
+                  .count = 1,
+                  .delay = 10 * kSecond},
+                 {.point = "runtime.step",
+                  .action = fault::FaultAction::kCrash,
+                  .after = 1,
+                  .count = 1}}},
+      &sim);
+  ctrl.set_fault_injector(&injector);
+  FleetManager fleet(&ctrl, {.wave_size = 1});
+
+  auto deploy = fleet.DeployFleetWide("flexnet://fleet/app", AppV1());
+  ASSERT_TRUE(deploy.ok()) << deploy.error().ToText();
+  EXPECT_GE(injector.injected(), 2u);
+  EXPECT_EQ(deploy->device_failures, 0u);
+  std::size_t retries = 0;
+  for (const WaveStat& stat : deploy->wave_stats) retries += stat.retries;
+  EXPECT_GE(retries, 1u);
+  for (const auto& device : network.devices()) {
+    EXPECT_TRUE(device->HasTable("acl")) << device->name();
+  }
+  fault::InvariantChecker checker(&network);
+  checker.CheckFleetConvergence();
+  EXPECT_TRUE(checker.ok()) << fault::ToText(checker.violations().front());
+}
+
 TEST(FleetManagerTest, PartitionedControllerStallsWaveThenRecovers) {
   sim::Simulator sim;
   telemetry::MetricsRegistry metrics;

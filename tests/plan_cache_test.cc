@@ -209,6 +209,88 @@ TEST(PlanCacheDifferential, DivergedDeviceStopsMatchingItsClass) {
   EXPECT_EQ(cache.Find(MakePlanKey(v1, v2, *pair.b)), nullptr);
 }
 
+// V1 plus a custom header chained off udp — exercises parser-state
+// install and retire through the class-plan path.
+flexbpf::ProgramIR V1WithHeader() {
+  flexbpf::ProgramBuilder b("app");
+  b.AddTable(SmallTable("t0"));
+  b.AddMap("m0", 64, {"v"});
+  auto fn = flexbpf::FunctionBuilder("f0")
+                .FlowKey(0)
+                .Const(1, 1)
+                .MapAdd("m0", 0, "v", 1)
+                .Return()
+                .Build();
+  b.AddFunction(std::move(fn).value());
+  b.RequireHeader("vxlan", "udp", 4789);
+  return b.Build();
+}
+
+TEST(PlanCacheDifferential, RetireRemovesParserStatesAndFingerprintSeesThem) {
+  sim::Simulator sim;
+  net::Network network(&sim);
+  runtime::RuntimeEngine engine(&sim);
+  const flexbpf::ProgramIR prog = V1WithHeader();
+  const flexbpf::ProgramIR empty = EmptyLike(prog);
+  const DevicePair pair = AddPair(network, arch::ArchKind::kDrmt, 5000);
+
+  // The diff to empty must retire the header's parser state, not only
+  // tables/maps/functions.
+  const ProgramDelta delta = DiffPrograms(prog, empty);
+  ASSERT_EQ(delta.headers_removed.size(), 1u);
+  EXPECT_EQ(delta.headers_removed[0], "vxlan");
+
+  auto deploy = ComputeClassPlan(empty, prog, arch::ArchKind::kDrmt);
+  ASSERT_TRUE(deploy.ok()) << deploy.error().ToText();
+  ApplyAndDrain(sim, engine, *pair.a,
+                std::make_shared<const runtime::ReconfigPlan>(
+                    std::move(deploy->plan)));
+  EXPECT_TRUE(pair.a->device().pipeline().parser().HasState("vxlan"));
+  // Parser residue is visible to the class key: the deployed device no
+  // longer fingerprints like its pristine sibling.
+  EXPECT_NE(FingerprintDevice(*pair.a), FingerprintDevice(*pair.b));
+
+  auto retire = ComputeClassPlan(prog, empty, arch::ArchKind::kDrmt);
+  ASSERT_TRUE(retire.ok()) << retire.error().ToText();
+  ApplyAndDrain(sim, engine, *pair.a,
+                std::make_shared<const runtime::ReconfigPlan>(
+                    std::move(retire->plan)));
+  EXPECT_FALSE(pair.a->device().pipeline().parser().HasState("vxlan"));
+  // Retire returns the device to its pristine class: deploy/retire cycles
+  // leak no state the fingerprint could miss.
+  EXPECT_EQ(FingerprintDevice(*pair.a), FingerprintDevice(*pair.b));
+
+  // And an out-of-band parser poke alone diverges the fingerprint.
+  runtime::StepAddParserState poke;
+  poke.state.name = "geneve";
+  poke.from = "udp";
+  poke.select_value = 6081;
+  ASSERT_TRUE(pair.b->ApplyStep(poke).ok());
+  EXPECT_NE(FingerprintDevice(*pair.a), FingerprintDevice(*pair.b));
+}
+
+TEST(PlanCacheTest, LruEvictionBoundsEntries) {
+  PlanCache cache(/*capacity=*/2);
+  const PlanKey k1{1, 2, arch::ArchKind::kRmt, 3, 4};
+  const PlanKey k2{5, 6, arch::ArchKind::kRmt, 7, 8};
+  const PlanKey k3{9, 10, arch::ArchKind::kRmt, 11, 12};
+  cache.Insert(k1, runtime::ReconfigPlan{});
+  cache.Insert(k2, runtime::ReconfigPlan{});
+  EXPECT_EQ(cache.entries(), 2u);
+
+  // Touch k1 so k2 becomes the LRU victim when k3 arrives.
+  const auto held = cache.Find(k1);
+  ASSERT_NE(held, nullptr);
+  cache.Insert(k3, runtime::ReconfigPlan{});
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Find(k2), nullptr);
+  EXPECT_NE(cache.Find(k1), nullptr);
+  EXPECT_NE(cache.Find(k3), nullptr);
+  // Handed-out plans stay valid across eviction.
+  EXPECT_EQ(held->steps.size(), 0u);
+}
+
 TEST(PlanCacheTest, KeysAreDeviceFreeWithinAClass) {
   sim::Simulator sim;
   net::Network network(&sim);

@@ -298,6 +298,47 @@ TEST(EngineTest, FailingStepReportedNotFatal) {
   EXPECT_EQ(report.steps_applied, 1u);
   ASSERT_EQ(report.errors.size(), 1u);
   EXPECT_TRUE(dev->HasTable("t"));
+  // The chain ran past the failure, so steps_applied is NOT a resume
+  // prefix; the resume point is the first step that did not land.
+  EXPECT_EQ(report.first_failed_step, 0u);
+  EXPECT_EQ(report.ResumePoint(), 0u);
+}
+
+TEST(EngineTest, SemanticFailureMidPlanResumePointIsFirstFailure) {
+  sim::Simulator sim;
+  auto dev = MakeDrmt();
+  RuntimeEngine engine(&sim);
+  ReconfigPlan plan;
+  plan.steps.push_back(StepAddTable{SimpleTable("a"), 0});  // applies
+  plan.steps.push_back(StepRemoveTable{"ghost"});           // fails
+  plan.steps.push_back(StepAddTable{SimpleTable("b"), 1});  // applies
+  plan.steps.push_back(StepRemoveTable{"ghost2"});          // fails
+  ApplyReport report;
+  engine.ApplyRuntime(*dev, plan,
+                      [&](const ApplyReport& r) { report = r; });
+  sim.Run();
+  EXPECT_EQ(report.steps_applied, 2u);
+  EXPECT_EQ(report.steps_failed, 2u);
+  // A suffix retry must start at the first *failed* step (index 1), not
+  // at the applied-step count (2), which would skip the failure forever.
+  EXPECT_EQ(report.first_failed_step, 1u);
+  EXPECT_EQ(report.ResumePoint(), 1u);
+}
+
+TEST(EngineTest, CleanApplyResumePointIsPlanLength) {
+  sim::Simulator sim;
+  auto dev = MakeDrmt();
+  RuntimeEngine engine(&sim);
+  ReconfigPlan plan;
+  plan.steps.push_back(StepAddTable{SimpleTable("a"), 0});
+  plan.steps.push_back(StepAddTable{SimpleTable("b"), 1});
+  ApplyReport report;
+  engine.ApplyRuntime(*dev, plan,
+                      [&](const ApplyReport& r) { report = r; });
+  sim.Run();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.first_failed_step, SIZE_MAX);
+  EXPECT_EQ(report.ResumePoint(), plan.steps.size());
 }
 
 TEST(EngineTest, StepsApplyIncrementallyOverTime) {
